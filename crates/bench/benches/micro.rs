@@ -1,0 +1,81 @@
+//! Criterion micro-benchmarks for SNAPLE's hot primitives: raw similarity
+//! computation, top-k selection, triple merging, and full GAS steps.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snaple_core::similarity::{intersection_size, Jaccard, Similarity};
+use snaple_core::topk::top_k_by_score;
+use snaple_core::{NeighborhoodView, ScoreSpec, Snaple, SnapleConfig};
+use snaple_gas::ClusterSpec;
+use snaple_graph::gen::datasets;
+use snaple_graph::VertexId;
+
+fn sorted_ids(n: usize, max: u32, rng: &mut StdRng) -> Vec<VertexId> {
+    let mut v: Vec<VertexId> = (0..n).map(|_| VertexId::new(rng.gen_range(0..max))).collect();
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity");
+    let mut rng = StdRng::seed_from_u64(1);
+    for &len in &[16usize, 64, 200] {
+        let a = sorted_ids(len, 10_000, &mut rng);
+        let b = sorted_ids(len, 10_000, &mut rng);
+        group.bench_with_input(BenchmarkId::new("jaccard", len), &len, |bench, _| {
+            let (va, vb) = (
+                NeighborhoodView::new(&a, a.len()),
+                NeighborhoodView::new(&b, b.len()),
+            );
+            bench.iter(|| black_box(Jaccard.score(va, vb)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("intersection", len),
+            &len,
+            |bench, _| bench.iter(|| black_box(intersection_size(&a, &b))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topk");
+    let mut rng = StdRng::seed_from_u64(2);
+    for &n in &[100usize, 1_000, 10_000] {
+        let items: Vec<(VertexId, f32)> = (0..n)
+            .map(|i| (VertexId::new(i as u32), rng.gen::<f32>()))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("top5", n), &n, |bench, _| {
+            bench.iter(|| black_box(top_k_by_score(items.clone(), 5)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict");
+    group.sample_size(10);
+    let graph = datasets::GOWALLA.emulate(0.01, 7);
+    let cluster = ClusterSpec::type_ii(4);
+    for &klocal in &[5usize, 20] {
+        group.bench_with_input(
+            BenchmarkId::new("linearSum-gowalla-1pct", klocal),
+            &klocal,
+            |bench, &kl| {
+                bench.iter(|| {
+                    let snaple = Snaple::new(
+                        SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(kl)),
+                    );
+                    black_box(snaple.predict(&graph, &cluster).unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity, bench_topk, bench_end_to_end);
+criterion_main!(benches);

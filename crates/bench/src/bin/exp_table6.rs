@@ -1,0 +1,102 @@
+//! Reproduces **Table 6** — SNAPLE vs the best single-machine
+//! configuration: on one type-II node, SNAPLE with `klocal = 20` against
+//! the best random-walk PPR trade-off found in Figure 11 (`w = 100, d = 3`
+//! for livejournal; the paper's twitter-rv pick is also `w`-limited).
+//!
+//! Also reports the paper's closing comparison (§5.9): the distributed
+//! 256-core SNAPLE run that matches Cassovary's twitter-rv recall, and its
+//! speedup.
+
+use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
+use snaple_cassovary::RandomWalkConfig;
+use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_eval::table::{fmt_recall, fmt_seconds};
+use snaple_eval::{Runner, TextTable};
+use snaple_gas::ClusterSpec;
+
+fn main() {
+    let args = ExpArgs::parse(
+        "exp-table6",
+        "Table 6: SNAPLE vs a state-of-the-art single-machine solution",
+    );
+    banner("exp-table6", "paper Table 6 (§5.9)", &args);
+
+    let machine = ClusterSpec::single_machine(20, 128 << 30);
+    let mut table = TextTable::new(vec![
+        "dataset",
+        "CASSOVARY recall",
+        "CASSOVARY time(s)",
+        "SNAPLE recall",
+        "SNAPLE time(s)",
+        "speedup",
+    ]);
+
+    let mut twitter_cassovary_recall = 0.0;
+    for name in ["livejournal", "twitter-rv"] {
+        let ds = dataset(&args, name);
+        let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);
+        let runner = Runner::new(&holdout);
+
+        // Best Cassovary trade-off from the Figure 11 sweep — the paper
+        // settles on w = 100 for livejournal and needs w = 1000 on
+        // twitter-rv to reach competitive recall (its Table 6 entry).
+        let (w, d) = if args.quick {
+            (50, 3)
+        } else if *name == *"twitter-rv" {
+            (1000, 3)
+        } else {
+            (100, 3)
+        };
+        let cass = runner.run_cassovary(
+            &format!("PPR w={w} d={d}"),
+            RandomWalkConfig::new().walks(w).depth(d).seed(args.seed),
+            &machine,
+        );
+        if *name == *"twitter-rv" {
+            twitter_cassovary_recall = cass.recall;
+        }
+
+        let snaple = runner.run_snaple(
+            "linearSum klocal=20",
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(Some(20))
+                .seed(args.seed),
+            &machine,
+        );
+
+        table.row(vec![
+            (*name).to_owned(),
+            fmt_recall(cass.recall),
+            fmt_seconds(cass.simulated_seconds),
+            fmt_recall(snaple.recall),
+            fmt_seconds(snaple.simulated_seconds),
+            format!(
+                "{:.2}",
+                cass.simulated_seconds / snaple.simulated_seconds.max(1e-9)
+            ),
+        ]);
+    }
+    emit(&args, "table6", &table);
+
+    // The paper's closing claim: on 256 cores, SNAPLE with klocal = 5
+    // reaches Cassovary's twitter-rv recall with a large speedup.
+    let ds = dataset(&args, "twitter-rv");
+    let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);
+    let runner = Runner::new(&holdout);
+    let cluster = scaled_cluster(ClusterSpec::type_i(32), &ds);
+    let distributed = runner.run_snaple(
+        "linearSum klocal=5 @256 cores",
+        SnapleConfig::new(ScoreSpec::LinearSum)
+            .klocal(Some(5))
+            .seed(args.seed),
+        &cluster,
+    );
+    println!(
+        "distributed check (paper: 30.6x speedup at matching recall):\n\
+         SNAPLE klocal=5 on 256 type-I cores: recall {} vs Cassovary's {} \n\
+         in {} simulated seconds",
+        fmt_recall(distributed.recall),
+        fmt_recall(twitter_cassovary_recall),
+        fmt_seconds(distributed.simulated_seconds),
+    );
+}

@@ -1,0 +1,187 @@
+//! Path combinators (`⊗`, paper §3.1, Table 1).
+//!
+//! A combinator merges the raw similarities of the two edges of a 2-hop
+//! path `u → v → z` into a single *path similarity*
+//! `sim⋆_v(u, z) = sim(u, v) ⊗ sim(v, z)`. The paper requires `⊗` to be
+//! monotonically increasing in both arguments; the property tests in this
+//! module enforce that for every shipped combinator.
+
+use std::fmt::Debug;
+
+/// A binary path combinator; see the [module docs](self).
+pub trait Combinator: Send + Sync + Debug {
+    /// Stable name for reports ("linear", "eucl", ...).
+    fn name(&self) -> &str;
+
+    /// Combines the raw similarities of the path's two edges.
+    fn combine(&self, a: f32, b: f32) -> f32;
+}
+
+/// Linear combination `α·a + (1−α)·b` (paper Table 1, row *linear*).
+///
+/// The paper's evaluation fixes `α = 0.9`, "which was found to return the
+/// best predictions" (§5.2).
+#[derive(Copy, Clone, Debug)]
+pub struct Linear {
+    /// Weight of the first hop's similarity.
+    pub alpha: f32,
+}
+
+impl Linear {
+    /// Creates a linear combinator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is not in `[0, 1]`.
+    pub fn new(alpha: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alpha),
+            "alpha must be in [0, 1], got {alpha}"
+        );
+        Linear { alpha }
+    }
+}
+
+impl Default for Linear {
+    fn default() -> Self {
+        Linear { alpha: 0.9 }
+    }
+}
+
+impl Combinator for Linear {
+    fn name(&self) -> &str {
+        "linear"
+    }
+
+    fn combine(&self, a: f32, b: f32) -> f32 {
+        self.alpha * a + (1.0 - self.alpha) * b
+    }
+}
+
+/// Euclidean norm `sqrt(a² + b²)` (row *eucl*).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Euclidean;
+
+impl Combinator for Euclidean {
+    fn name(&self) -> &str {
+        "eucl"
+    }
+
+    fn combine(&self, a: f32, b: f32) -> f32 {
+        (a * a + b * b).sqrt()
+    }
+}
+
+/// Geometric mean `sqrt(a·b)` (row *geom*).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Geometric;
+
+impl Combinator for Geometric {
+    fn name(&self) -> &str {
+        "geom"
+    }
+
+    fn combine(&self, a: f32, b: f32) -> f32 {
+        (a * b).sqrt()
+    }
+}
+
+/// Plain sum `a + b` (row *sum*; the special case `α = ½` of [`Linear`]
+/// scaled by 2 — used by the paper's PPR configuration).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Arithmetic;
+
+impl Combinator for Arithmetic {
+    fn name(&self) -> &str {
+        "sum"
+    }
+
+    fn combine(&self, a: f32, b: f32) -> f32 {
+        a + b
+    }
+}
+
+/// Constant `1` (row *count*): every path contributes equally, reducing the
+/// final score to the number of 2-hop paths — the *counter* configuration.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Count;
+
+impl Combinator for Count {
+    fn name(&self) -> &str {
+        "count"
+    }
+
+    fn combine(&self, _a: f32, _b: f32) -> f32 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn all() -> Vec<Box<dyn Combinator>> {
+        vec![
+            Box::new(Linear::default()),
+            Box::new(Linear::new(0.5)),
+            Box::new(Euclidean),
+            Box::new(Geometric),
+            Box::new(Arithmetic),
+            Box::new(Count),
+        ]
+    }
+
+    #[test]
+    fn table_one_examples() {
+        assert!((Linear::new(0.5).combine(0.2, 0.4) - 0.3).abs() < 1e-6);
+        assert!((Euclidean.combine(3.0, 4.0) - 5.0).abs() < 1e-6);
+        assert!((Geometric.combine(0.25, 1.0) - 0.5).abs() < 1e-6);
+        assert!((Arithmetic.combine(0.2, 0.3) - 0.5).abs() < 1e-6);
+        assert_eq!(Count.combine(0.9, 0.1), 1.0);
+    }
+
+    #[test]
+    fn linear_alpha_point_nine_weights_first_hop() {
+        let c = Linear::default();
+        assert!(c.combine(1.0, 0.0) > c.combine(0.0, 1.0));
+        assert!((c.combine(1.0, 0.0) - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn linear_rejects_bad_alpha() {
+        let _ = Linear::new(1.5);
+    }
+
+    proptest! {
+        /// Paper §3.1: ⊗ must be monotonically increasing on both
+        /// parameters (weakly, since Count is constant).
+        #[test]
+        fn combinators_are_monotone(
+            a in 0.0f32..1.0,
+            b in 0.0f32..1.0,
+            da in 0.0f32..1.0,
+            db in 0.0f32..1.0,
+        ) {
+            for c in all() {
+                let base = c.combine(a, b);
+                prop_assert!(
+                    c.combine(a + da, b) >= base - 1e-6,
+                    "{} not monotone in a", c.name()
+                );
+                prop_assert!(
+                    c.combine(a, b + db) >= base - 1e-6,
+                    "{} not monotone in b", c.name()
+                );
+            }
+        }
+
+        #[test]
+        fn combinators_are_nonnegative(a in 0.0f32..1.0, b in 0.0f32..1.0) {
+            for c in all() {
+                prop_assert!(c.combine(a, b) >= 0.0, "{}", c.name());
+            }
+        }
+    }
+}

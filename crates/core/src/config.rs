@@ -1,0 +1,420 @@
+//! Scoring configurations and predictor settings.
+
+use std::fmt;
+use std::sync::Arc;
+
+use snaple_gas::PartitionStrategy;
+
+use crate::aggregator::{self, Aggregator};
+use crate::combinator::{self, Combinator};
+use crate::similarity::{self, Similarity};
+
+/// The named scoring configurations of the paper's Table 3.
+///
+/// Each value is a (similarity, combinator `⊗`, aggregator `⊕`) triple;
+/// [`ScoreSpec::resolve`] instantiates the components. The `Sum` family
+/// additionally contains the two gray rows of the table: a personalized
+/// PageRank-like score (`Ppr`) and the plain 2-hop path counter
+/// (`Counter`).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+#[allow(missing_docs)] // the variants are the paper's Table 3 row names
+pub enum ScoreSpec {
+    LinearSum,
+    EuclSum,
+    GeomSum,
+    Ppr,
+    Counter,
+    LinearMean,
+    EuclMean,
+    GeomMean,
+    LinearGeom,
+    EuclGeom,
+    GeomGeom,
+}
+
+impl ScoreSpec {
+    /// All eleven rows of Table 3, in table order.
+    pub fn all() -> [ScoreSpec; 11] {
+        [
+            ScoreSpec::LinearSum,
+            ScoreSpec::EuclSum,
+            ScoreSpec::GeomSum,
+            ScoreSpec::Ppr,
+            ScoreSpec::Counter,
+            ScoreSpec::LinearMean,
+            ScoreSpec::EuclMean,
+            ScoreSpec::GeomMean,
+            ScoreSpec::LinearGeom,
+            ScoreSpec::EuclGeom,
+            ScoreSpec::GeomGeom,
+        ]
+    }
+
+    /// The five `Sum`-aggregated configurations (paper Fig. 8a, 9, 10).
+    pub fn sum_family() -> [ScoreSpec; 5] {
+        [
+            ScoreSpec::Counter,
+            ScoreSpec::EuclSum,
+            ScoreSpec::GeomSum,
+            ScoreSpec::LinearSum,
+            ScoreSpec::Ppr,
+        ]
+    }
+
+    /// The three `Mean`-aggregated configurations (paper Fig. 8b).
+    pub fn mean_family() -> [ScoreSpec; 3] {
+        [ScoreSpec::EuclMean, ScoreSpec::GeomMean, ScoreSpec::LinearMean]
+    }
+
+    /// The three `Geom`-aggregated configurations (paper Fig. 8c).
+    pub fn geom_family() -> [ScoreSpec; 3] {
+        [ScoreSpec::EuclGeom, ScoreSpec::GeomGeom, ScoreSpec::LinearGeom]
+    }
+
+    /// The paper's name for this configuration ("linearSum", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreSpec::LinearSum => "linearSum",
+            ScoreSpec::EuclSum => "euclSum",
+            ScoreSpec::GeomSum => "geomSum",
+            ScoreSpec::Ppr => "PPR",
+            ScoreSpec::Counter => "counter",
+            ScoreSpec::LinearMean => "linearMean",
+            ScoreSpec::EuclMean => "euclMean",
+            ScoreSpec::GeomMean => "geomMean",
+            ScoreSpec::LinearGeom => "linearGeom",
+            ScoreSpec::EuclGeom => "euclGeom",
+            ScoreSpec::GeomGeom => "geomGeom",
+        }
+    }
+
+    /// Parses a paper name back into a spec.
+    pub fn parse(name: &str) -> Option<ScoreSpec> {
+        ScoreSpec::all().into_iter().find(|s| s.name() == name)
+    }
+
+    /// Instantiates the similarity/combinator/aggregator triple, using
+    /// `alpha` for linear combinators.
+    pub fn resolve(self, alpha: f32) -> ScoreComponents {
+        use ScoreSpec::*;
+        let similarity: Arc<dyn Similarity> = match self {
+            Ppr => Arc::new(similarity::InverseDegree),
+            Counter => Arc::new(similarity::Unit),
+            _ => Arc::new(similarity::Jaccard),
+        };
+        let combinator: Arc<dyn Combinator> = match self {
+            LinearSum | LinearMean | LinearGeom => Arc::new(combinator::Linear::new(alpha)),
+            EuclSum | EuclMean | EuclGeom => Arc::new(combinator::Euclidean),
+            GeomSum | GeomMean | GeomGeom => Arc::new(combinator::Geometric),
+            Ppr => Arc::new(combinator::Arithmetic),
+            Counter => Arc::new(combinator::Count),
+        };
+        let aggregator: Arc<dyn Aggregator> = match self {
+            LinearSum | EuclSum | GeomSum | Ppr | Counter => Arc::new(aggregator::Sum),
+            LinearMean | EuclMean | GeomMean => Arc::new(aggregator::Mean),
+            LinearGeom | EuclGeom | GeomGeom => Arc::new(aggregator::GeometricMean),
+        };
+        ScoreComponents {
+            name: self.name().to_owned(),
+            similarity,
+            // Eq. 11 defines Γmax via the similarity metric *on sets*
+            // `f(Γ̂(u), Γ̂(z))`, so neighbor sampling always ranks by
+            // Jaccard even when the scoring similarity is degenerate
+            // (counter's constant, PPR's inverse degree).
+            selection_similarity: Arc::new(similarity::Jaccard),
+            combinator,
+            aggregator,
+        }
+    }
+}
+
+impl fmt::Display for ScoreSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully instantiated scoring configuration.
+///
+/// Usually produced by [`ScoreSpec::resolve`]; build one by hand to plug
+/// custom metrics into the framework.
+#[derive(Clone)]
+pub struct ScoreComponents {
+    /// Display name used in reports.
+    pub name: String,
+    /// Raw similarity `sim(u, v)` fed into the combinator.
+    pub similarity: Arc<dyn Similarity>,
+    /// Set similarity ranking neighbors for `Γmax`/`Γmin` sampling
+    /// (eq. 11's `f`; Jaccard in every named configuration).
+    pub selection_similarity: Arc<dyn Similarity>,
+    /// Path combinator `⊗`.
+    pub combinator: Arc<dyn Combinator>,
+    /// Path aggregator `⊕`.
+    pub aggregator: Arc<dyn Aggregator>,
+}
+
+impl ScoreComponents {
+    /// Whether scoring and selection use the same similarity (lets step 2
+    /// compute it once).
+    pub fn shares_selection_similarity(&self) -> bool {
+        self.similarity.name() == self.selection_similarity.name()
+    }
+}
+
+impl fmt::Debug for ScoreComponents {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScoreComponents")
+            .field("name", &self.name)
+            .field("similarity", &self.similarity.name())
+            .field("selection_similarity", &self.selection_similarity.name())
+            .field("combinator", &self.combinator.name())
+            .field("aggregator", &self.aggregator.name())
+            .finish()
+    }
+}
+
+/// Path length explored by the scoring program.
+///
+/// The paper evaluates 2-hop paths (`K = 2` in eq. 2) and sketches the
+/// extension to longer paths by "recursively applying ⊗ to the raw
+/// similarities of individual edges" (footnote 2). [`PathLength::Three`]
+/// implements that recursion: each vertex's aggregated 2-hop scores are
+/// promoted into its similarity table and the path-combination step runs a
+/// second time, scoring candidates up to three hops away.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PathLength {
+    /// Standard 2-hop SNAPLE (the paper's evaluated configuration).
+    #[default]
+    Two,
+    /// Recursive 3-hop extension (paper §3.1, footnote 2).
+    Three,
+}
+
+/// Neighbor-sampling policy for step 2 (paper §5.6).
+///
+/// The paper compares keeping the `klocal` *most* similar neighbors
+/// (`Γmax`, the default), the *least* similar (`Γmin`), and a uniform
+/// random subset (`Γrnd`), showing `Γmax` dominates for small `klocal`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum SelectionPolicy {
+    /// Keep the most similar neighbors (`Γmax_klocal`, eq. 11).
+    #[default]
+    Max,
+    /// Keep the least similar neighbors (`Γmin_klocal`).
+    Min,
+    /// Keep a uniform random subset (`Γrnd_klocal`).
+    Random,
+}
+
+impl SelectionPolicy {
+    /// All policies, for the Figure 7 sweep.
+    pub fn all() -> [SelectionPolicy; 3] {
+        [
+            SelectionPolicy::Max,
+            SelectionPolicy::Min,
+            SelectionPolicy::Random,
+        ]
+    }
+
+    /// Paper notation for the policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectionPolicy::Max => "max",
+            SelectionPolicy::Min => "min",
+            SelectionPolicy::Random => "rnd",
+        }
+    }
+}
+
+/// Full configuration of a SNAPLE prediction run.
+///
+/// Defaults follow the paper's evaluation protocol (§5.2): `k = 5`
+/// predictions per vertex, truncation threshold `thrΓ = 200`, sampling
+/// parameter `klocal = 20`, linear-combinator weight `α = 0.9`, `Γmax`
+/// sampling.
+///
+/// ```
+/// use snaple_core::{ScoreSpec, SnapleConfig};
+/// let c = SnapleConfig::new(ScoreSpec::LinearSum)
+///     .k(10)
+///     .klocal(None) // no sampling
+///     .thr_gamma(Some(80));
+/// assert_eq!(c.k, 10);
+/// assert_eq!(c.klocal, None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SnapleConfig {
+    /// Number of predictions returned per vertex.
+    pub k: usize,
+    /// Sampling parameter `klocal`; `None` disables sampling (`∞`).
+    pub klocal: Option<usize>,
+    /// Truncation threshold `thrΓ`; `None` disables truncation (`∞`).
+    pub thr_gamma: Option<usize>,
+    /// Scoring configuration (Table 3 row).
+    pub score: ScoreSpec,
+    /// Linear-combinator weight `α`.
+    pub alpha: f32,
+    /// Neighbor-sampling policy for step 2.
+    pub selection: SelectionPolicy,
+    /// Seed driving every randomized decision (truncation, random
+    /// sampling, partitioning).
+    pub seed: u64,
+    /// Edge-placement strategy of the underlying engine.
+    pub partition: PartitionStrategy,
+    /// How many hops the scored paths span.
+    pub path_length: PathLength,
+}
+
+impl SnapleConfig {
+    /// Creates a configuration with the paper's default parameters.
+    pub fn new(score: ScoreSpec) -> Self {
+        SnapleConfig {
+            k: 5,
+            klocal: Some(20),
+            thr_gamma: Some(200),
+            score,
+            alpha: 0.9,
+            selection: SelectionPolicy::Max,
+            seed: 0x5a_b1e,
+            partition: PartitionStrategy::RandomVertexCut,
+            path_length: PathLength::Two,
+        }
+    }
+
+    /// Sets the number of predictions per vertex.
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = k;
+        self
+    }
+
+    /// Sets the sampling parameter (`None` = no sampling).
+    pub fn klocal(mut self, klocal: Option<usize>) -> Self {
+        self.klocal = klocal;
+        self
+    }
+
+    /// Sets the truncation threshold (`None` = no truncation).
+    pub fn thr_gamma(mut self, thr: Option<usize>) -> Self {
+        self.thr_gamma = thr;
+        self
+    }
+
+    /// Sets the linear-combinator weight.
+    pub fn alpha(mut self, alpha: f32) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Sets the neighbor-sampling policy.
+    pub fn selection(mut self, policy: SelectionPolicy) -> Self {
+        self.selection = policy;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the partition strategy.
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition = strategy;
+        self
+    }
+
+    /// Sets the explored path length.
+    pub fn path_length(mut self, length: PathLength) -> Self {
+        self.path_length = length;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_three_is_complete() {
+        assert_eq!(ScoreSpec::all().len(), 11);
+        let names: Vec<_> = ScoreSpec::all().iter().map(|s| s.name()).collect();
+        assert!(names.contains(&"linearSum"));
+        assert!(names.contains(&"PPR"));
+        assert!(names.contains(&"counter"));
+        assert!(names.contains(&"geomGeom"));
+    }
+
+    #[test]
+    fn families_partition_the_table() {
+        let mut all: Vec<ScoreSpec> = Vec::new();
+        all.extend(ScoreSpec::sum_family());
+        all.extend(ScoreSpec::mean_family());
+        all.extend(ScoreSpec::geom_family());
+        all.sort_by_key(|s| s.name());
+        let mut expected = ScoreSpec::all().to_vec();
+        expected.sort_by_key(|s| s.name());
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in ScoreSpec::all() {
+            assert_eq!(ScoreSpec::parse(s.name()), Some(s));
+        }
+        assert_eq!(ScoreSpec::parse("bogus"), None);
+    }
+
+    #[test]
+    fn resolve_matches_table_three_rows() {
+        let c = ScoreSpec::LinearSum.resolve(0.9);
+        assert_eq!(c.similarity.name(), "jaccard");
+        assert_eq!(c.combinator.name(), "linear");
+        assert_eq!(c.aggregator.name(), "Sum");
+
+        let ppr = ScoreSpec::Ppr.resolve(0.9);
+        assert_eq!(ppr.similarity.name(), "inverse-degree");
+        assert_eq!(ppr.combinator.name(), "sum");
+        assert_eq!(ppr.aggregator.name(), "Sum");
+
+        let counter = ScoreSpec::Counter.resolve(0.9);
+        assert_eq!(counter.similarity.name(), "unit");
+        assert_eq!(counter.combinator.name(), "count");
+
+        let gg = ScoreSpec::GeomGeom.resolve(0.9);
+        assert_eq!(gg.combinator.name(), "geom");
+        assert_eq!(gg.aggregator.name(), "Geom");
+    }
+
+    #[test]
+    fn config_defaults_follow_the_paper() {
+        let c = SnapleConfig::new(ScoreSpec::LinearSum);
+        assert_eq!(c.k, 5);
+        assert_eq!(c.klocal, Some(20));
+        assert_eq!(c.thr_gamma, Some(200));
+        assert!((c.alpha - 0.9).abs() < 1e-6);
+        assert_eq!(c.selection, SelectionPolicy::Max);
+    }
+
+    #[test]
+    fn builder_methods_chain() {
+        let c = SnapleConfig::new(ScoreSpec::Counter)
+            .k(7)
+            .klocal(Some(40))
+            .thr_gamma(None)
+            .alpha(0.5)
+            .selection(SelectionPolicy::Random)
+            .seed(9)
+            .partition(PartitionStrategy::GreedyVertexCut);
+        assert_eq!(c.k, 7);
+        assert_eq!(c.thr_gamma, None);
+        assert_eq!(c.selection, SelectionPolicy::Random);
+        assert_eq!(c.partition, PartitionStrategy::GreedyVertexCut);
+    }
+
+    #[test]
+    fn components_debug_is_informative() {
+        let c = ScoreSpec::EuclMean.resolve(0.9);
+        let s = format!("{c:?}");
+        assert!(s.contains("eucl") && s.contains("Mean") && s.contains("jaccard"));
+    }
+}

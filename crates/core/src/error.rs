@@ -1,0 +1,63 @@
+//! Error type of the SNAPLE predictor.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use snaple_gas::EngineError;
+
+/// Errors produced while running a SNAPLE prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapleError {
+    /// The underlying GAS engine failed (resource exhaustion, injected node
+    /// failures, invalid cluster shapes).
+    Engine(EngineError),
+    /// The prediction configuration is unusable.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SnapleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapleError::Engine(e) => write!(f, "engine error: {e}"),
+            SnapleError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for SnapleError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SnapleError::Engine(e) => Some(e),
+            SnapleError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<EngineError> for SnapleError {
+    fn from(e: EngineError) -> Self {
+        SnapleError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaple_gas::NodeId;
+
+    #[test]
+    fn wraps_engine_errors_with_source() {
+        let e: SnapleError = EngineError::NodeFailure {
+            node: NodeId::new(1),
+            step: "s".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("engine error"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SnapleError>();
+    }
+}

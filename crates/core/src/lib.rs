@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! **SNAPLE** — scalable link prediction for gather-apply-scatter engines.
+//!
+//! This crate implements the contribution of *"Scaling Out Link Prediction
+//! with SNAPLE: 1 Billion Edges and Beyond"* (Kermarrec, Taïani, Tirado;
+//! INRIA RR-454): a scoring framework for the link-prediction problem that
+//! fits the locality constraints of GAS engines.
+//!
+//! # The scoring framework
+//!
+//! A SNAPLE *scoring configuration* is the triple of
+//!
+//! 1. a raw [`similarity`] metric `sim(u, v)` computed from the (truncated)
+//!    neighborhoods of adjacent vertices — Jaccard's coefficient by default;
+//! 2. a [`combinator`] `⊗` that turns the two raw similarities along a
+//!    2-hop path `u → v → z` into a *path similarity*
+//!    `sim⋆_v(u, z) = sim(u, v) ⊗ sim(v, z)` (paper §3.1);
+//! 3. an [`aggregator`] `⊕` that merges the path similarities of all paths
+//!    reaching the same candidate `z` into the final `score(u, z)`
+//!    (paper §3.2), decomposed into an incremental `⊕pre` and a
+//!    normalization `⊕post`.
+//!
+//! The eleven named combinations of the paper's Table 3 are available as
+//! [`ScoreSpec`] values; arbitrary user-supplied components can be used via
+//! [`ScoreComponents`].
+//!
+//! # The GAS program
+//!
+//! [`Snaple::predict`] runs the paper's Algorithm 2 as three GAS steps on a
+//! [`snaple_gas::Engine`]:
+//!
+//! 1. [`steps::NeighborhoodStep`] — collect each vertex's neighbor ids,
+//!    probabilistically truncated to `thrΓ` entries;
+//! 2. [`steps::SimilarityStep`] — compute raw similarities along edges and
+//!    keep each vertex's `klocal` most similar neighbors
+//!    (`Γmax_klocal`, eq. 11 — or the min/random variants of §5.6);
+//! 3. [`steps::ScoreStep`] — combine and aggregate path similarities over
+//!    the sampled 2-hop paths and keep the top-`k` candidates.
+//!
+//! # Example
+//!
+//! ```
+//! use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let config = SnapleConfig::new(ScoreSpec::LinearSum)
+//!     .k(5)
+//!     .klocal(Some(20))
+//!     .thr_gamma(Some(200));
+//! let prediction = Snaple::new(config).predict(&graph, &ClusterSpec::type_ii(4))?;
+//! assert_eq!(prediction.num_vertices(), graph.num_vertices());
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
+
+pub mod aggregator;
+pub mod combinator;
+pub mod config;
+pub mod error;
+pub mod predictor;
+pub mod similarity;
+pub mod state;
+pub mod steps;
+pub mod topk;
+
+pub use aggregator::Aggregator;
+pub use combinator::Combinator;
+pub use config::{PathLength, ScoreComponents, ScoreSpec, SelectionPolicy, SnapleConfig};
+pub use error::SnapleError;
+pub use predictor::{Prediction, Snaple};
+pub use similarity::{NeighborhoodView, Similarity};
+pub use state::SnapleVertex;

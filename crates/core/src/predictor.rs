@@ -1,0 +1,401 @@
+//! The public SNAPLE predictor.
+
+use snaple_gas::{ClusterSpec, Engine, RunStats};
+use snaple_graph::{CsrGraph, VertexId};
+
+use crate::config::{PathLength, ScoreComponents, SnapleConfig};
+use crate::error::SnapleError;
+use crate::state::SnapleVertex;
+use crate::steps::{NeighborhoodStep, PromoteScoresStep, ScoreStep, SecondHop, SimilarityStep};
+
+/// SNAPLE link predictor: configuration plus resolved scoring components.
+///
+/// See the [crate docs](crate) for the model and a complete example.
+#[derive(Clone, Debug)]
+pub struct Snaple {
+    config: SnapleConfig,
+    components: ScoreComponents,
+}
+
+impl Snaple {
+    /// Creates a predictor from a configuration, resolving the named
+    /// [`ScoreSpec`](crate::ScoreSpec) into concrete components.
+    pub fn new(config: SnapleConfig) -> Self {
+        let components = config.score.resolve(config.alpha);
+        Snaple { config, components }
+    }
+
+    /// Creates a predictor with custom scoring components (a user-supplied
+    /// similarity, combinator or aggregator); `config.score` is ignored
+    /// except for reporting.
+    pub fn with_components(config: SnapleConfig, components: ScoreComponents) -> Self {
+        Snaple { config, components }
+    }
+
+    /// The predictor's configuration.
+    pub fn config(&self) -> &SnapleConfig {
+        &self.config
+    }
+
+    /// The resolved scoring components.
+    pub fn components(&self) -> &ScoreComponents {
+        &self.components
+    }
+
+    /// Runs the three-step GAS program of the paper's Algorithm 2 on
+    /// `graph` over the simulated `cluster` and returns the per-vertex
+    /// predictions together with the engine's execution statistics.
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapleError::InvalidConfig`] if `k` is zero.
+    /// * [`SnapleError::Engine`] when the simulated cluster cannot execute
+    ///   the program (memory exhaustion, invalid node counts).
+    pub fn predict(
+        &self,
+        graph: &CsrGraph,
+        cluster: &ClusterSpec,
+    ) -> Result<Prediction, SnapleError> {
+        self.predict_inner(graph, cluster, None)
+    }
+
+    /// Like [`Snaple::predict`], with per-vertex content attached: the
+    /// sorted tag bag `attributes[i]` becomes vertex `i`'s content, visible
+    /// to content-aware similarities such as
+    /// [`similarity::ContentBlend`](crate::similarity::ContentBlend)
+    /// (paper §3.1's content extension).
+    ///
+    /// # Errors
+    ///
+    /// As [`Snaple::predict`], plus [`SnapleError::InvalidConfig`] when
+    /// `attributes` does not have one entry per vertex.
+    pub fn predict_with_attributes(
+        &self,
+        graph: &CsrGraph,
+        cluster: &ClusterSpec,
+        attributes: &[Vec<u32>],
+    ) -> Result<Prediction, SnapleError> {
+        if attributes.len() != graph.num_vertices() {
+            return Err(SnapleError::InvalidConfig(format!(
+                "attributes cover {} vertices but the graph has {}",
+                attributes.len(),
+                graph.num_vertices()
+            )));
+        }
+        self.predict_inner(graph, cluster, Some(attributes))
+    }
+
+    fn predict_inner(
+        &self,
+        graph: &CsrGraph,
+        cluster: &ClusterSpec,
+        attributes: Option<&[Vec<u32>]>,
+    ) -> Result<Prediction, SnapleError> {
+        if self.config.k == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "k must be at least 1".to_owned(),
+            ));
+        }
+        if self.config.klocal == Some(0) {
+            return Err(SnapleError::InvalidConfig(
+                "klocal must be at least 1 (use None to disable sampling)".to_owned(),
+            ));
+        }
+        let mut engine = Engine::new(
+            graph,
+            cluster.clone(),
+            self.config.partition,
+            self.config.seed,
+        )?;
+        let mut state = vec![SnapleVertex::default(); graph.num_vertices()];
+        if let Some(attrs) = attributes {
+            for (vertex, tags) in state.iter_mut().zip(attrs) {
+                let mut tags = tags.clone();
+                tags.sort_unstable();
+                tags.dedup();
+                vertex.tags = tags;
+            }
+        }
+
+        engine.run_step(
+            &NeighborhoodStep {
+                thr_gamma: self.config.thr_gamma,
+            },
+            &mut state,
+        )?;
+        engine.run_step(
+            &SimilarityStep {
+                components: &self.components,
+                klocal: self.config.klocal,
+                selection: self.config.selection,
+            },
+            &mut state,
+        )?;
+        if self.config.path_length == PathLength::Three {
+            // Recursive longer-path extension (paper §3.1, footnote 2):
+            // compute 2-hop scores, promote them into the similarity
+            // tables, then combine once more — scoring 3-hop paths.
+            let keep = self.config.klocal.unwrap_or(self.config.k.max(20));
+            engine.run_step(
+                &ScoreStep {
+                    components: &self.components,
+                    k: keep,
+                    second_hop: SecondHop::Sims,
+                },
+                &mut state,
+            )?;
+            engine.run_step(&PromoteScoresStep { keep }, &mut state)?;
+        }
+        let second_hop = match self.config.path_length {
+            PathLength::Two => SecondHop::Sims,
+            PathLength::Three => SecondHop::Paths,
+        };
+        engine.run_step(
+            &ScoreStep {
+                components: &self.components,
+                k: self.config.k,
+                second_hop,
+            },
+            &mut state,
+        )?;
+
+        let predictions = state.into_iter().map(|s| s.predictions).collect();
+        Ok(Prediction {
+            predictions,
+            stats: engine.into_stats(),
+        })
+    }
+}
+
+/// The result of a SNAPLE run: per-vertex predicted edges plus execution
+/// statistics.
+#[derive(Clone, Debug)]
+pub struct Prediction {
+    predictions: Vec<Vec<(VertexId, f32)>>,
+    /// Engine statistics (simulated time, network bytes, peak memory,
+    /// replication factor).
+    pub stats: RunStats,
+}
+
+impl Prediction {
+    /// Assembles a result from raw parts.
+    ///
+    /// Exists so that alternative predictors sharing SNAPLE's evaluation
+    /// pipeline (the BASELINE of paper §5.3, the Cassovary comparator of
+    /// §5.9) can return the same result type.
+    pub fn from_parts(predictions: Vec<Vec<(VertexId, f32)>>, stats: RunStats) -> Self {
+        Prediction { predictions, stats }
+    }
+
+    /// Number of vertices predictions were computed for.
+    pub fn num_vertices(&self) -> usize {
+        self.predictions.len()
+    }
+
+    /// Predicted `(target, score)` pairs for `u`, best first.
+    pub fn for_vertex(&self, u: VertexId) -> &[(VertexId, f32)] {
+        &self.predictions[u.index()]
+    }
+
+    /// Iterates `(source, predictions)` pairs over all vertices.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[(VertexId, f32)])> + '_ {
+        self.predictions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (VertexId::new(i as u32), p.as_slice()))
+    }
+
+    /// Total number of predicted edges.
+    pub fn total_predictions(&self) -> usize {
+        self.predictions.iter().map(Vec::len).sum()
+    }
+
+    /// Simulated cluster seconds the run took (cost-model output).
+    pub fn simulated_seconds(&self) -> f64 {
+        self.stats.simulated_seconds()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ScoreSpec, SelectionPolicy};
+    use snaple_gas::EngineError;
+    use snaple_graph::gen::datasets;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    /// Diamond-with-tail from the paper's Figure 2 spirit:
+    /// 0 → {1, 2}; 1 → {3, 4}; 2 → {3}. Candidate 3 is reachable over two
+    /// paths, candidate 4 over one.
+    fn path_count_graph() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 3)])
+    }
+
+    fn predict(config: SnapleConfig, graph: &CsrGraph) -> Prediction {
+        Snaple::new(config)
+            .predict(graph, &ClusterSpec::type_ii(2))
+            .unwrap()
+    }
+
+    #[test]
+    fn counter_scores_count_paths() {
+        let g = path_count_graph();
+        let p = predict(
+            SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(None).thr_gamma(None),
+            &g,
+        );
+        let preds = p.for_vertex(v(0));
+        // 3 reached by two paths, 4 by one.
+        assert_eq!(preds[0], (v(3), 2.0));
+        assert_eq!(preds[1], (v(4), 1.0));
+    }
+
+    #[test]
+    fn predictions_never_include_self_or_existing_neighbors() {
+        let g = datasets::GOWALLA.emulate(0.005, 3);
+        let p = predict(
+            SnapleConfig::new(ScoreSpec::LinearSum).k(5).klocal(Some(10)),
+            &g,
+        );
+        for (u, preds) in p.iter() {
+            for &(z, score) in preds {
+                assert_ne!(z, u, "self prediction at {u}");
+                assert!(score >= 0.0);
+                // With thrΓ high enough the full neighborhood is retained,
+                // so no prediction may duplicate an existing edge.
+                assert!(!g.has_edge(u, z), "{u} -> {z} already exists");
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_k_predictions_per_vertex() {
+        let g = datasets::GOWALLA.emulate(0.005, 3);
+        for k in [1, 3, 5] {
+            let p = predict(SnapleConfig::new(ScoreSpec::LinearSum).k(k), &g);
+            assert!(p.iter().all(|(_, preds)| preds.len() <= k));
+            assert!(p.total_predictions() > 0);
+        }
+    }
+
+    #[test]
+    fn results_match_across_cluster_sizes_exactly_for_counter() {
+        let g = datasets::GOWALLA.emulate(0.004, 5);
+        let config = SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(Some(10));
+        let single = Snaple::new(config.clone())
+            .predict(&g, &ClusterSpec::single_machine(20, 128 << 30))
+            .unwrap();
+        let cluster = Snaple::new(config)
+            .predict(&g, &ClusterSpec::type_i(16))
+            .unwrap();
+        for (u, preds) in single.iter() {
+            assert_eq!(preds, cluster.for_vertex(u), "vertex {u}");
+        }
+    }
+
+    #[test]
+    fn klocal_none_explores_more_candidates_than_small_klocal() {
+        let g = datasets::POKEC.emulate(0.002, 9);
+        let full = predict(
+            SnapleConfig::new(ScoreSpec::LinearSum).klocal(None).thr_gamma(None),
+            &g,
+        );
+        let sampled = predict(
+            SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(2)).thr_gamma(None),
+            &g,
+        );
+        // Sampling restricts the candidate space, so the sampled run can
+        // never produce more scored work than the full run.
+        let full_work = full.stats.total_work_ops();
+        let sampled_work = sampled.stats.total_work_ops();
+        assert!(
+            sampled_work < full_work,
+            "sampled {sampled_work} !< full {full_work}"
+        );
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let g = path_count_graph();
+        let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).k(0))
+            .predict(&g, &ClusterSpec::type_i(1))
+            .unwrap_err();
+        assert!(matches!(err, SnapleError::InvalidConfig(_)));
+        let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(0)))
+            .predict(&g, &ClusterSpec::type_i(1))
+            .unwrap_err();
+        assert!(matches!(err, SnapleError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn memory_exhaustion_propagates() {
+        let g = datasets::GOWALLA.emulate(0.005, 3);
+        let starved = ClusterSpec {
+            memory_per_node: 1024,
+            ..ClusterSpec::type_i(2)
+        };
+        let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum))
+            .predict(&g, &starved)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SnapleError::Engine(EngineError::ResourceExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn selection_policies_produce_different_samples() {
+        let g = datasets::LIVEJOURNAL.emulate(0.0005, 11);
+        let base = SnapleConfig::new(ScoreSpec::LinearSum).k(5).klocal(Some(3));
+        let max = predict(base.clone().selection(SelectionPolicy::Max), &g);
+        let min = predict(base.clone().selection(SelectionPolicy::Min), &g);
+        let differing = max
+            .iter()
+            .zip(min.iter())
+            .filter(|((_, a), (_, b))| a != b)
+            .count();
+        assert!(differing > 0, "Γmax and Γmin should sample differently");
+    }
+
+    #[test]
+    fn stats_expose_three_steps() {
+        let g = path_count_graph();
+        let p = predict(SnapleConfig::new(ScoreSpec::LinearSum), &g);
+        assert_eq!(p.stats.steps.len(), 3);
+        assert!(p.simulated_seconds() > 0.0);
+        assert_eq!(p.num_vertices(), 5);
+    }
+
+    #[test]
+    fn three_hop_paths_reach_further_candidates() {
+        use crate::config::PathLength;
+        // Chain with side links: 0 -> 1 -> 2 -> 3; 3 is 3 hops from 0.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 0), (2, 1)]);
+        let two = predict(
+            SnapleConfig::new(ScoreSpec::Counter).klocal(None).thr_gamma(None),
+            &g,
+        );
+        let three = predict(
+            SnapleConfig::new(ScoreSpec::Counter)
+                .klocal(None)
+                .thr_gamma(None)
+                .path_length(PathLength::Three),
+            &g,
+        );
+        let v3 = v(3);
+        assert!(
+            !two.for_vertex(v(0)).iter().any(|(z, _)| *z == v3),
+            "2-hop scoring must not reach vertex 3"
+        );
+        assert!(
+            three.for_vertex(v(0)).iter().any(|(z, _)| *z == v3),
+            "3-hop scoring must reach vertex 3: {:?}",
+            three.for_vertex(v(0))
+        );
+        // The extension adds two GAS steps.
+        assert_eq!(three.stats.steps.len(), 5);
+    }
+}

@@ -1,0 +1,389 @@
+//! Raw vertex similarity metrics (`sim(u, v)`, paper eq. 6).
+//!
+//! A raw similarity compares two *adjacent* vertices from their (truncated)
+//! neighborhoods — the only topological information a GAS vertex program
+//! can reach cheaply. The paper uses Jaccard's coefficient throughout its
+//! evaluation and `1/|Γ(v)|` for the PPR-like configuration; the other
+//! metrics here are classical alternatives that slot into the same
+//! framework (see DESIGN.md §8).
+
+use std::fmt::Debug;
+
+use snaple_graph::VertexId;
+
+/// What a similarity metric may see of a vertex: its truncated, sorted
+/// neighbor list `Γ̂`, its true out-degree `|Γ|`, and (optionally) the
+/// vertex's *content* — a sorted bag of tag ids, the "application-dependent
+/// knowledge attached to vertices" of the paper's §2.1/§3.1 content
+/// extension.
+#[derive(Copy, Clone, Debug)]
+pub struct NeighborhoodView<'a> {
+    /// Truncated neighborhood, sorted by vertex id.
+    pub neighbors: &'a [VertexId],
+    /// True (untruncated) out-degree.
+    pub degree: usize,
+    /// Sorted content tags (empty when the graph carries no content).
+    pub tags: &'a [u32],
+}
+
+impl<'a> NeighborhoodView<'a> {
+    /// Creates a topology-only view.
+    pub fn new(neighbors: &'a [VertexId], degree: usize) -> Self {
+        NeighborhoodView {
+            neighbors,
+            degree,
+            tags: &[],
+        }
+    }
+
+    /// Creates a view carrying vertex content.
+    pub fn with_tags(neighbors: &'a [VertexId], degree: usize, tags: &'a [u32]) -> Self {
+        NeighborhoodView {
+            neighbors,
+            degree,
+            tags,
+        }
+    }
+}
+
+/// Size of the intersection of two sorted tag bags.
+fn tag_intersection(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Size of the intersection of two sorted vertex lists (linear merge).
+pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// A raw similarity metric on neighborhoods.
+///
+/// Implementations must be symmetric in spirit but are always called with
+/// `u` = the scoring vertex and `v` = its neighbor, so degree-based metrics
+/// like [`InverseDegree`] may be deliberately asymmetric (the paper's PPR
+/// row uses `1/|Γ(v)|`).
+pub trait Similarity: Send + Sync + Debug {
+    /// Stable name for reports ("jaccard", ...).
+    fn name(&self) -> &str;
+
+    /// Computes `sim(u, v) >= 0`.
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32;
+}
+
+/// Jaccard's coefficient `|Γ̂(u) ∩ Γ̂(v)| / |Γ̂(u) ∪ Γ̂(v)|` — the paper's
+/// default raw similarity.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Jaccard;
+
+impl Similarity for Jaccard {
+    fn name(&self) -> &str {
+        "jaccard"
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        let inter = intersection_size(u.neighbors, v.neighbors);
+        let union = u.neighbors.len() + v.neighbors.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f32 / union as f32
+        }
+    }
+}
+
+/// Raw common-neighbor count `|Γ̂(u) ∩ Γ̂(v)|` (Liben-Nowell & Kleinberg).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct CommonNeighbors;
+
+impl Similarity for CommonNeighbors {
+    fn name(&self) -> &str {
+        "common-neighbors"
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        intersection_size(u.neighbors, v.neighbors) as f32
+    }
+}
+
+/// Cosine similarity `|Γ̂(u) ∩ Γ̂(v)| / sqrt(|Γ̂(u)|·|Γ̂(v)|)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Cosine;
+
+impl Similarity for Cosine {
+    fn name(&self) -> &str {
+        "cosine"
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        let denom = (u.neighbors.len() as f32 * v.neighbors.len() as f32).sqrt();
+        if denom == 0.0 {
+            0.0
+        } else {
+            intersection_size(u.neighbors, v.neighbors) as f32 / denom
+        }
+    }
+}
+
+/// Sørensen–Dice coefficient `2·|Γ̂(u) ∩ Γ̂(v)| / (|Γ̂(u)| + |Γ̂(v)|)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Dice;
+
+impl Similarity for Dice {
+    fn name(&self) -> &str {
+        "dice"
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        let total = u.neighbors.len() + v.neighbors.len();
+        if total == 0 {
+            0.0
+        } else {
+            2.0 * intersection_size(u.neighbors, v.neighbors) as f32 / total as f32
+        }
+    }
+}
+
+/// Szymkiewicz–Simpson overlap `|Γ̂(u) ∩ Γ̂(v)| / min(|Γ̂(u)|, |Γ̂(v)|)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Overlap;
+
+impl Similarity for Overlap {
+    fn name(&self) -> &str {
+        "overlap"
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        let min = u.neighbors.len().min(v.neighbors.len());
+        if min == 0 {
+            0.0
+        } else {
+            intersection_size(u.neighbors, v.neighbors) as f32 / min as f32
+        }
+    }
+}
+
+/// `1 / |Γ(v)|` — the transition probability of a uniform random walk, used
+/// by the paper's PPR-like configuration (Table 3, gray row).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct InverseDegree;
+
+impl Similarity for InverseDegree {
+    fn name(&self) -> &str {
+        "inverse-degree"
+    }
+
+    fn score(&self, _u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        if v.degree == 0 {
+            0.0
+        } else {
+            1.0 / v.degree as f32
+        }
+    }
+}
+
+/// Content-aware similarity (paper §3.1: "this approach can be extended to
+/// content-based metrics by simply including data attached to vertices in
+/// f"): a convex blend of topological Jaccard over neighborhoods and
+/// Jaccard over the vertices' content tags.
+#[derive(Copy, Clone, Debug)]
+pub struct ContentBlend {
+    /// Weight of the topological term (`1.0` = pure structure,
+    /// `0.0` = pure content).
+    pub topology_weight: f32,
+}
+
+impl ContentBlend {
+    /// Creates a blend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `topology_weight` is outside `[0, 1]`.
+    pub fn new(topology_weight: f32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&topology_weight),
+            "topology_weight must be in [0, 1], got {topology_weight}"
+        );
+        ContentBlend { topology_weight }
+    }
+}
+
+impl Similarity for ContentBlend {
+    fn name(&self) -> &str {
+        "content-blend"
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        let topo = Jaccard.score(u, v);
+        let inter = tag_intersection(u.tags, v.tags);
+        let union = u.tags.len() + v.tags.len() - inter;
+        let content = if union == 0 {
+            0.0
+        } else {
+            inter as f32 / union as f32
+        };
+        self.topology_weight * topo + (1.0 - self.topology_weight) * content
+    }
+}
+
+/// `1` for every edge — the degenerate similarity of the paper's *counter*
+/// configuration, which reduces scoring to counting 2-hop paths.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Unit;
+
+impl Similarity for Unit {
+    fn name(&self) -> &str {
+        "unit"
+    }
+
+    fn score(&self, _u: NeighborhoodView<'_>, _v: NeighborhoodView<'_>) -> f32 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(xs: &[u32]) -> Vec<VertexId> {
+        xs.iter().copied().map(VertexId::new).collect()
+    }
+
+    fn view<'a>(n: &'a [VertexId]) -> NeighborhoodView<'a> {
+        NeighborhoodView::new(n, n.len())
+    }
+
+    #[test]
+    fn intersection_of_sorted_lists() {
+        let a = ids(&[1, 3, 5, 7]);
+        let b = ids(&[2, 3, 4, 7, 9]);
+        assert_eq!(intersection_size(&a, &b), 2);
+        assert_eq!(intersection_size(&a, &[]), 0);
+        assert_eq!(intersection_size(&a, &a), 4);
+    }
+
+    #[test]
+    fn jaccard_matches_hand_computation() {
+        let a = ids(&[1, 2, 3]);
+        let b = ids(&[2, 3, 4, 5]);
+        // |∩| = 2, |∪| = 5
+        assert!((Jaccard.score(view(&a), view(&b)) - 0.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaccard_bounds_and_identity() {
+        let a = ids(&[1, 2, 3]);
+        assert_eq!(Jaccard.score(view(&a), view(&a)), 1.0);
+        let empty: Vec<VertexId> = vec![];
+        assert_eq!(Jaccard.score(view(&empty), view(&empty)), 0.0);
+        let b = ids(&[9, 10]);
+        assert_eq!(Jaccard.score(view(&a), view(&b)), 0.0);
+    }
+
+    #[test]
+    fn cosine_dice_overlap_agree_on_disjoint_and_equal() {
+        let a = ids(&[1, 2]);
+        let b = ids(&[3, 4]);
+        for s in [&Cosine as &dyn Similarity, &Dice, &Overlap] {
+            assert_eq!(s.score(view(&a), view(&b)), 0.0, "{}", s.name());
+            assert!((s.score(view(&a), view(&a)) - 1.0).abs() < 1e-6, "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn common_neighbors_counts() {
+        let a = ids(&[1, 2, 3, 4]);
+        let b = ids(&[2, 4, 6]);
+        assert_eq!(CommonNeighbors.score(view(&a), view(&b)), 2.0);
+    }
+
+    #[test]
+    fn inverse_degree_uses_true_degree_of_v() {
+        let a = ids(&[1]);
+        let b = ids(&[1, 2]); // truncated list of 2, true degree 10
+        let v = NeighborhoodView::new(&b, 10);
+        assert!((InverseDegree.score(view(&a), v) - 0.1).abs() < 1e-6);
+        let zero = NeighborhoodView::new(&[], 0);
+        assert_eq!(InverseDegree.score(view(&a), zero), 0.0);
+    }
+
+    #[test]
+    fn unit_is_constant() {
+        let a = ids(&[1]);
+        let empty: Vec<VertexId> = vec![];
+        assert_eq!(Unit.score(view(&a), view(&empty)), 1.0);
+    }
+
+    #[test]
+    fn content_blend_mixes_structure_and_tags() {
+        let nbrs_a = ids(&[1, 2, 3]);
+        let nbrs_b = ids(&[2, 3, 4, 5]);
+        let tags_a = [10u32, 11, 12];
+        let tags_b = [11u32, 12, 13];
+        let a = NeighborhoodView::with_tags(&nbrs_a, 3, &tags_a);
+        let b = NeighborhoodView::with_tags(&nbrs_b, 4, &tags_b);
+        // topo jaccard = 0.4; tag jaccard = 2/4 = 0.5
+        let pure_topo = ContentBlend::new(1.0).score(a, b);
+        assert!((pure_topo - 0.4).abs() < 1e-6);
+        let pure_content = ContentBlend::new(0.0).score(a, b);
+        assert!((pure_content - 0.5).abs() < 1e-6);
+        let half = ContentBlend::new(0.5).score(a, b);
+        assert!((half - 0.45).abs() < 1e-6);
+    }
+
+    #[test]
+    fn content_blend_without_tags_degrades_to_weighted_topology() {
+        let nbrs_a = ids(&[1, 2]);
+        let nbrs_b = ids(&[1, 2]);
+        let a = view(&nbrs_a);
+        let b = view(&nbrs_b);
+        assert!((ContentBlend::new(0.7).score(a, b) - 0.7).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology_weight")]
+    fn content_blend_rejects_bad_weight() {
+        let _ = ContentBlend::new(1.5);
+    }
+
+    #[test]
+    fn all_metrics_are_nonnegative_and_symmetricish() {
+        let a = ids(&[1, 3, 5]);
+        let b = ids(&[1, 2, 3, 8]);
+        for s in [
+            &Jaccard as &dyn Similarity,
+            &CommonNeighbors,
+            &Cosine,
+            &Dice,
+            &Overlap,
+        ] {
+            let ab = s.score(view(&a), view(&b));
+            let ba = s.score(view(&b), view(&a));
+            assert!(ab >= 0.0);
+            assert!((ab - ba).abs() < 1e-6, "{} not symmetric", s.name());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-vertex program state shared by SNAPLE's three GAS steps.
+
+use snaple_gas::size::COLLECTION_OVERHEAD;
+use snaple_gas::SizeEstimate;
+use snaple_graph::VertexId;
+
+/// SNAPLE's per-vertex state (`Du` in the paper's Algorithm 2).
+///
+/// Populated progressively: step 1 fills [`gamma`](Self::gamma), step 2
+/// fills [`sims`](Self::sims), step 3 fills
+/// [`predictions`](Self::predictions).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SnapleVertex {
+    /// Truncated neighborhood `Γ̂(u)`, sorted by vertex id.
+    pub gamma: Vec<VertexId>,
+    /// Sorted content tags attached to the vertex (empty without content).
+    pub tags: Vec<u32>,
+    /// True out-degree `|Γ(u)|`.
+    pub out_degree: u32,
+    /// The `klocal` sampled neighbors with their raw similarities
+    /// (`Du.sims`), sorted by vertex id for O(log) membership tests.
+    pub sims: Vec<(VertexId, f32)>,
+    /// Aggregated multi-hop path scores promoted for the longer-path
+    /// extension (empty in standard 2-hop runs), sorted by vertex id.
+    pub paths: Vec<(VertexId, f32)>,
+    /// Final top-`k` predicted edges with scores, best first.
+    pub predictions: Vec<(VertexId, f32)>,
+}
+
+impl SnapleVertex {
+    /// Raw similarity of sampled neighbor `v`, if `v` survived sampling.
+    #[inline]
+    pub fn sim_of(&self, v: VertexId) -> Option<f32> {
+        self.sims
+            .binary_search_by_key(&v, |&(id, _)| id)
+            .ok()
+            .map(|i| self.sims[i].1)
+    }
+
+    /// Whether `v` is in the truncated neighborhood `Γ̂(u)`.
+    #[inline]
+    pub fn in_gamma(&self, v: VertexId) -> bool {
+        self.gamma.binary_search(&v).is_ok()
+    }
+}
+
+impl SizeEstimate for SnapleVertex {
+    fn estimated_bytes(&self) -> u64 {
+        // gamma ids + tags + (id, sim/score) pair tables + degree scalar.
+        5 * COLLECTION_OVERHEAD
+            + 4
+            + self.gamma.len() as u64 * 4
+            + self.tags.len() as u64 * 4
+            + self.sims.len() as u64 * 8
+            + self.paths.len() as u64 * 8
+            + self.predictions.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn sim_lookup_uses_sorted_order() {
+        let s = SnapleVertex {
+            sims: vec![(v(2), 0.5), (v(7), 0.25), (v(9), 0.75)],
+            ..Default::default()
+        };
+        assert_eq!(s.sim_of(v(7)), Some(0.25));
+        assert_eq!(s.sim_of(v(3)), None);
+    }
+
+    #[test]
+    fn gamma_membership() {
+        let s = SnapleVertex {
+            gamma: vec![v(1), v(4), v(6)],
+            ..Default::default()
+        };
+        assert!(s.in_gamma(v(4)));
+        assert!(!s.in_gamma(v(5)));
+    }
+
+    #[test]
+    fn size_grows_with_contents() {
+        let empty = SnapleVertex::default();
+        let full = SnapleVertex {
+            gamma: vec![v(1); 10],
+            tags: vec![7; 3],
+            out_degree: 10,
+            sims: vec![(v(1), 1.0); 5],
+            paths: vec![(v(1), 1.0); 2],
+            predictions: vec![(v(1), 1.0); 5],
+        };
+        assert!(full.estimated_bytes() > empty.estimated_bytes());
+        assert_eq!(
+            full.estimated_bytes() - empty.estimated_bytes(),
+            10 * 4 + 3 * 4 + 5 * 8 + 2 * 8 + 5 * 8
+        );
+    }
+}

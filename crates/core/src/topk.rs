@@ -1,0 +1,142 @@
+//! Deterministic top-k selection (`argtopk`, paper Algorithm 1).
+
+use snaple_graph::VertexId;
+
+/// Selects the `k` entries with the largest scores.
+///
+/// Ties break toward the smaller vertex id, making selection fully
+/// deterministic — a requirement for the engine's "same result on any
+/// cluster size" invariant. The result is sorted by descending score (then
+/// ascending id).
+///
+/// ```
+/// use snaple_core::topk::top_k_by_score;
+/// use snaple_graph::VertexId;
+/// let v = |i| VertexId::new(i);
+/// let xs = vec![(v(1), 0.5), (v(2), 0.9), (v(3), 0.5), (v(4), 0.1)];
+/// assert_eq!(top_k_by_score(xs, 2), vec![(v(2), 0.9), (v(1), 0.5)]);
+/// ```
+pub fn top_k_by_score(mut items: Vec<(VertexId, f32)>, k: usize) -> Vec<(VertexId, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if items.len() > k {
+        items.select_nth_unstable_by(k - 1, |a, b| cmp_desc(*a, *b));
+        items.truncate(k);
+    }
+    items.sort_unstable_by(|a, b| cmp_desc(*a, *b));
+    items
+}
+
+/// Selects the `k` entries with the *smallest* scores (used by the `Γmin`
+/// sampling policy of the paper's §5.6). Result sorted ascending by score
+/// (then ascending id).
+pub fn bottom_k_by_score(mut items: Vec<(VertexId, f32)>, k: usize) -> Vec<(VertexId, f32)> {
+    if k == 0 {
+        return Vec::new();
+    }
+    if items.len() > k {
+        items.select_nth_unstable_by(k - 1, |a, b| cmp_asc(*a, *b));
+        items.truncate(k);
+    }
+    items.sort_unstable_by(|a, b| cmp_asc(*a, *b));
+    items
+}
+
+fn cmp_desc(a: (VertexId, f32), b: (VertexId, f32)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+fn cmp_asc(a: (VertexId, f32), b: (VertexId, f32)) -> std::cmp::Ordering {
+    a.1.partial_cmp(&b.1)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn returns_everything_when_k_is_large() {
+        let xs = vec![(v(1), 0.1), (v(2), 0.2)];
+        assert_eq!(top_k_by_score(xs.clone(), 5).len(), 2);
+        assert_eq!(bottom_k_by_score(xs, 5).len(), 2);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let xs = vec![(v(1), 0.1)];
+        assert!(top_k_by_score(xs.clone(), 0).is_empty());
+        assert!(bottom_k_by_score(xs, 0).is_empty());
+    }
+
+    #[test]
+    fn ties_break_by_smaller_id() {
+        let xs = vec![(v(9), 0.5), (v(2), 0.5), (v(5), 0.5)];
+        let top = top_k_by_score(xs.clone(), 2);
+        assert_eq!(top, vec![(v(2), 0.5), (v(5), 0.5)]);
+        let bot = bottom_k_by_score(xs, 2);
+        assert_eq!(bot, vec![(v(2), 0.5), (v(5), 0.5)]);
+    }
+
+    #[test]
+    fn bottom_k_mirrors_top_k() {
+        let xs = vec![(v(1), 1.0), (v(2), 2.0), (v(3), 3.0)];
+        assert_eq!(top_k_by_score(xs.clone(), 1)[0].0, v(3));
+        assert_eq!(bottom_k_by_score(xs, 1)[0].0, v(1));
+    }
+
+    proptest! {
+        #[test]
+        fn top_k_really_selects_the_maxima(
+            scores in proptest::collection::vec(0.0f32..1.0, 0..50),
+            k in 0usize..20,
+        ) {
+            let items: Vec<(VertexId, f32)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (v(i as u32), s))
+                .collect();
+            let top = top_k_by_score(items.clone(), k);
+            prop_assert_eq!(top.len(), k.min(items.len()));
+            // Sorted descending.
+            prop_assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+            // Every excluded score must be <= the smallest included score.
+            if let Some(&(_, cutoff)) = top.last() {
+                let included: std::collections::HashSet<u32> =
+                    top.iter().map(|(id, _)| id.as_u32()).collect();
+                for (id, s) in &items {
+                    if !included.contains(&id.as_u32()) {
+                        prop_assert!(*s <= cutoff + 1e-6);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn selection_is_permutation_invariant(
+            scores in proptest::collection::vec(0.0f32..1.0, 1..30),
+            k in 1usize..10,
+        ) {
+            let items: Vec<(VertexId, f32)> = scores
+                .iter()
+                .enumerate()
+                .map(|(i, &s)| (v(i as u32), s))
+                .collect();
+            let mut shuffled = items.clone();
+            shuffled.reverse();
+            prop_assert_eq!(
+                top_k_by_score(items, k),
+                top_k_by_score(shuffled, k)
+            );
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the SNAPLE scoring framework: framework semantics
+//! against a brute-force reference implementation on small random graphs.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use snaple_core::aggregator::{Aggregator, GeometricMean, Mean, Sum};
+use snaple_core::combinator::{Combinator, Count, Linear};
+use snaple_core::similarity::{Jaccard, Similarity};
+use snaple_core::{NeighborhoodView, ScoreSpec, Snaple, SnapleConfig};
+use snaple_gas::ClusterSpec;
+use snaple_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Brute-force reference of the SNAPLE score (no truncation/sampling):
+/// for every candidate z two hops from u, combine raw Jaccard similarities
+/// along every path and aggregate.
+fn reference_scores(
+    graph: &CsrGraph,
+    u: VertexId,
+    combinator: &dyn Combinator,
+    aggregator: &dyn Aggregator,
+) -> HashMap<VertexId, f32> {
+    let sim = |a: VertexId, b: VertexId| {
+        Jaccard.score(
+            NeighborhoodView::new(graph.out_neighbors(a), graph.out_degree(a)),
+            NeighborhoodView::new(graph.out_neighbors(b), graph.out_degree(b)),
+        )
+    };
+    let mut paths: HashMap<VertexId, Vec<f32>> = HashMap::new();
+    for &v in graph.out_neighbors(u) {
+        let s_uv = sim(u, v);
+        for &z in graph.out_neighbors(v) {
+            if z == u || graph.has_edge(u, z) {
+                continue;
+            }
+            paths.entry(z).or_default().push(combinator.combine(s_uv, sim(v, z)));
+        }
+    }
+    paths
+        .into_iter()
+        .map(|(z, ps)| (z, aggregator.aggregate(&ps)))
+        .collect()
+}
+
+fn graph_from(edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(1);
+    for (u, v) in edges {
+        b.add_edge(*u, *v);
+    }
+    b.build()
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..25, 0u32..25), 1..150)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The GAS implementation with sampling disabled must equal the
+    /// brute-force definition of the framework (paper eq. 8–10), for each
+    /// aggregator family.
+    #[test]
+    fn gas_program_matches_brute_force(edges in edges_strategy(), spec_idx in 0usize..3) {
+        let (spec, agg): (ScoreSpec, &dyn Aggregator) = match spec_idx {
+            0 => (ScoreSpec::LinearSum, &Sum),
+            1 => (ScoreSpec::LinearMean, &Mean),
+            _ => (ScoreSpec::LinearGeom, &GeometricMean),
+        };
+        let graph = graph_from(&edges);
+        let config = SnapleConfig::new(spec)
+            .k(graph.num_vertices())
+            .klocal(None)
+            .thr_gamma(None)
+            .seed(1);
+        let combinator = Linear::new(config.alpha);
+        let prediction = Snaple::new(config)
+            .predict(&graph, &ClusterSpec::single_machine(4, 32 << 30))
+            .unwrap();
+        for u in graph.vertices() {
+            let expect = reference_scores(&graph, u, &combinator, agg);
+            let got: HashMap<VertexId, f32> =
+                prediction.for_vertex(u).iter().copied().collect();
+            prop_assert_eq!(
+                got.len(),
+                expect.len(),
+                "vertex {} candidates: got {:?} expect {:?} ({:?})",
+                u, got, expect, spec
+            );
+            for (z, s) in &expect {
+                let g = got.get(z).copied().unwrap_or(f32::NAN);
+                prop_assert!(
+                    (g - s).abs() < 1e-4,
+                    "vertex {} candidate {}: got {} expect {} ({:?})",
+                    u, z, g, s, spec
+                );
+            }
+        }
+    }
+
+    /// Counter scores are exactly the 2-hop path counts.
+    #[test]
+    fn counter_equals_path_counts(edges in edges_strategy()) {
+        let graph = graph_from(&edges);
+        let config = SnapleConfig::new(ScoreSpec::Counter)
+            .k(graph.num_vertices())
+            .klocal(None)
+            .thr_gamma(None);
+        let prediction = Snaple::new(config)
+            .predict(&graph, &ClusterSpec::single_machine(4, 32 << 30))
+            .unwrap();
+        for u in graph.vertices() {
+            let expect = reference_scores(&graph, u, &Count, &Sum);
+            for (z, s) in prediction.for_vertex(u) {
+                prop_assert!((s - expect[z]).abs() < 1e-6);
+                prop_assert!((s.fract()).abs() < 1e-6, "counts must be integral");
+            }
+        }
+    }
+
+    /// Predictions are sorted, bounded by k, and never contain self or
+    /// existing neighbors, under arbitrary sampling parameters.
+    #[test]
+    fn prediction_lists_are_well_formed(
+        edges in edges_strategy(),
+        k in 1usize..6,
+        klocal in 1usize..8,
+        thr in 1usize..10,
+    ) {
+        let graph = graph_from(&edges);
+        let config = SnapleConfig::new(ScoreSpec::LinearSum)
+            .k(k)
+            .klocal(Some(klocal))
+            .thr_gamma(Some(thr));
+        let prediction = Snaple::new(config)
+            .predict(&graph, &ClusterSpec::type_i(4))
+            .unwrap();
+        for (u, preds) in prediction.iter() {
+            prop_assert!(preds.len() <= k);
+            prop_assert!(preds.windows(2).all(|w| w[0].1 >= w[1].1));
+            for &(z, s) in preds {
+                prop_assert!(z != u);
+                prop_assert!(s >= 0.0 && s.is_finite());
+            }
+        }
+    }
+}

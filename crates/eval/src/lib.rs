@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! Evaluation harness for the SNAPLE reproduction.
+//!
+//! Implements the paper's evaluation protocol (§5.2) end to end:
+//!
+//! * [`protocol`] — the hold-out construction: remove `r` random outgoing
+//!   edges from every vertex with `|Γ(u)| > 3`, keeping at least one edge,
+//!   and rebuild the training graph;
+//! * [`metrics`] — recall (the paper's primary metric; precision is
+//!   proportional under the fixed-`k` protocol and provided for
+//!   completeness) plus mean reciprocal rank as an extra diagnostic;
+//! * [`datasets`] — the five emulated datasets with their default
+//!   reproduction scales;
+//! * [`runner`] — one-call execution of a predictor on a dataset returning
+//!   a [`runner::Measurement`] (recall, simulated time, traffic, memory,
+//!   or the OOM outcome);
+//! * [`table`] — plain-text/markdown/TSV tables used by every experiment
+//!   binary to print the same rows the paper reports.
+
+pub mod datasets;
+pub mod metrics;
+pub mod protocol;
+pub mod runner;
+pub mod table;
+
+pub use datasets::EvalDataset;
+pub use metrics::{mean_reciprocal_rank, precision, recall, recall_at_k};
+pub use protocol::HoldOut;
+pub use runner::{Measurement, Outcome, Runner};
+pub use table::TextTable;

@@ -1,0 +1,177 @@
+//! Prediction quality metrics.
+
+use snaple_core::Prediction;
+
+use crate::protocol::HoldOut;
+
+/// Recall: the proportion of held-out edges that appear among the returned
+/// predictions — the paper's primary quality metric (§5.2).
+///
+/// Returns `0.0` when nothing was held out.
+pub fn recall(prediction: &Prediction, holdout: &HoldOut) -> f64 {
+    let total = holdout.num_removed();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (&u, held) in &holdout.removed {
+        let preds = prediction.for_vertex(u);
+        hits += preds
+            .iter()
+            .filter(|(z, _)| held.binary_search(z).is_ok())
+            .count();
+    }
+    hits as f64 / total as f64
+}
+
+/// Recall considering only each vertex's first `k` predictions.
+///
+/// Because top-`k` lists nest (`top-5 ⊂ top-10 ⊂ …`), a single run with a
+/// large `k` can regenerate the paper's Figure 9 sweep by truncation
+/// instead of re-running the predictor once per `k`.
+pub fn recall_at_k(prediction: &Prediction, holdout: &HoldOut, k: usize) -> f64 {
+    let total = holdout.num_removed();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (&u, held) in &holdout.removed {
+        let preds = prediction.for_vertex(u);
+        hits += preds
+            .iter()
+            .take(k)
+            .filter(|(z, _)| held.binary_search(z).is_ok())
+            .count();
+    }
+    hits as f64 / total as f64
+}
+
+/// Precision: the proportion of returned predictions that are held-out
+/// edges. Under the paper's protocol (fixed removals, fixed `k`) precision
+/// is proportional to recall and therefore "not relevant in our set-up"
+/// (§5.2); it is provided for completeness.
+pub fn precision(prediction: &Prediction, holdout: &HoldOut) -> f64 {
+    let mut hits = 0usize;
+    let mut returned = 0usize;
+    for (&u, held) in &holdout.removed {
+        let preds = prediction.for_vertex(u);
+        returned += preds.len();
+        hits += preds
+            .iter()
+            .filter(|(z, _)| held.binary_search(z).is_ok())
+            .count();
+    }
+    if returned == 0 {
+        0.0
+    } else {
+        hits as f64 / returned as f64
+    }
+}
+
+/// Mean reciprocal rank of the first held-out edge in each vertex's
+/// prediction list (an extra diagnostic beyond the paper).
+pub fn mean_reciprocal_rank(prediction: &Prediction, holdout: &HoldOut) -> f64 {
+    if holdout.removed.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (&u, held) in &holdout.removed {
+        let preds = prediction.for_vertex(u);
+        if let Some(rank) = preds
+            .iter()
+            .position(|(z, _)| held.binary_search(z).is_ok())
+        {
+            total += 1.0 / (rank + 1) as f64;
+        }
+    }
+    total / holdout.removed.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaple_core::Prediction;
+    use snaple_gas::RunStats;
+    use snaple_graph::{CsrGraph, VertexId};
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    fn holdout_with(removed: &[(u32, &[u32])]) -> HoldOut {
+        let train = CsrGraph::from_edges(10, &[]);
+        let mut map = std::collections::HashMap::new();
+        for &(u, vs) in removed {
+            map.insert(v(u), vs.iter().copied().map(v).collect());
+        }
+        HoldOut {
+            train,
+            removed: map,
+        }
+    }
+
+    fn prediction_with(per_vertex: &[(u32, &[u32])]) -> Prediction {
+        let mut preds: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); 10];
+        for &(u, vs) in per_vertex {
+            preds[u as usize] = vs
+                .iter()
+                .enumerate()
+                .map(|(i, &z)| (v(z), 1.0 - i as f32 * 0.1))
+                .collect();
+        }
+        Prediction::from_parts(preds, RunStats::default())
+    }
+
+    #[test]
+    fn recall_counts_hits_over_removed() {
+        let h = holdout_with(&[(0, &[5, 6]), (1, &[7])]);
+        let p = prediction_with(&[(0, &[5, 9]), (1, &[8])]);
+        // 1 hit of 3 removed.
+        assert!((recall(&p, &h) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_zero_recall() {
+        let h = holdout_with(&[(0, &[5])]);
+        assert_eq!(recall(&prediction_with(&[(0, &[5])]), &h), 1.0);
+        assert_eq!(recall(&prediction_with(&[(0, &[6])]), &h), 0.0);
+        let empty = holdout_with(&[]);
+        assert_eq!(recall(&prediction_with(&[]), &empty), 0.0);
+    }
+
+    #[test]
+    fn precision_normalizes_by_returned() {
+        let h = holdout_with(&[(0, &[5, 6])]);
+        let p = prediction_with(&[(0, &[5, 9, 8, 7])]);
+        assert!((precision(&p, &h) - 0.25).abs() < 1e-12);
+        assert_eq!(precision(&prediction_with(&[]), &h), 0.0);
+    }
+
+    #[test]
+    fn mrr_rewards_early_hits() {
+        let h = holdout_with(&[(0, &[9])]);
+        let first = prediction_with(&[(0, &[9, 8])]);
+        let second = prediction_with(&[(0, &[8, 9])]);
+        assert!((mean_reciprocal_rank(&first, &h) - 1.0).abs() < 1e-12);
+        assert!((mean_reciprocal_rank(&second, &h) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recall_at_k_truncates() {
+        let h = holdout_with(&[(0, &[9])]);
+        let p = prediction_with(&[(0, &[8, 9])]);
+        assert_eq!(recall_at_k(&p, &h, 1), 0.0);
+        assert_eq!(recall_at_k(&p, &h, 2), 1.0);
+        // Full-list recall agrees with a k covering everything.
+        assert_eq!(recall(&p, &h), recall_at_k(&p, &h, 10));
+    }
+
+    #[test]
+    fn metrics_stay_in_unit_interval() {
+        let h = holdout_with(&[(0, &[1, 2]), (3, &[4])]);
+        let p = prediction_with(&[(0, &[1, 2, 5]), (3, &[4])]);
+        for m in [recall(&p, &h), precision(&p, &h), mean_reciprocal_rank(&p, &h)] {
+            assert!((0.0..=1.0).contains(&m), "{m}");
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! The paper's hold-out protocol (§5.2).
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snaple_graph::sample::sample_indices;
+use snaple_graph::{CsrGraph, GraphBuilder, VertexId};
+
+/// Minimum out-degree for a vertex to participate in edge removal: the
+/// paper removes edges from "each vertex with `|Γ(u)| > 3`".
+pub const MIN_DEGREE_FOR_REMOVAL: usize = 4;
+
+/// A train/test split produced by [`HoldOut::remove_edges`].
+#[derive(Clone, Debug)]
+pub struct HoldOut {
+    /// The graph with test edges removed.
+    pub train: CsrGraph,
+    /// Removed (held-out) out-edges per source vertex, each list sorted.
+    pub removed: HashMap<VertexId, Vec<VertexId>>,
+}
+
+impl HoldOut {
+    /// Removes `per_vertex` random outgoing edges from every vertex with
+    /// out-degree `> 3` (paper §5.2/§5.8). Vertices with fewer than
+    /// `per_vertex + 1` edges keep one edge and lose the rest, mirroring
+    /// the paper: "if a vertex has less edges than the number to be
+    /// removed, we removed all the edges except one".
+    ///
+    /// Deterministic for a given `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_vertex` is zero.
+    pub fn remove_edges(graph: &CsrGraph, per_vertex: usize, seed: u64) -> HoldOut {
+        assert!(per_vertex >= 1, "must remove at least one edge per vertex");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut removed: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        let mut builder = GraphBuilder::with_capacity(graph.num_edges());
+        builder.reserve_vertices(graph.num_vertices());
+        for u in graph.vertices() {
+            let nbrs = graph.out_neighbors(u);
+            if nbrs.len() < MIN_DEGREE_FOR_REMOVAL {
+                for v in nbrs {
+                    builder.add_edge(u.as_u32(), v.as_u32());
+                }
+                continue;
+            }
+            let to_remove = per_vertex.min(nbrs.len() - 1);
+            let picked = sample_indices(nbrs.len(), to_remove, &mut rng);
+            let mut held: Vec<VertexId> = picked.iter().map(|&i| nbrs[i]).collect();
+            held.sort_unstable();
+            let mut pick_iter = picked.iter().peekable();
+            for (i, v) in nbrs.iter().enumerate() {
+                if pick_iter.peek() == Some(&&i) {
+                    pick_iter.next();
+                    continue;
+                }
+                builder.add_edge(u.as_u32(), v.as_u32());
+            }
+            removed.insert(u, held);
+        }
+        HoldOut {
+            train: builder.build(),
+            removed,
+        }
+    }
+
+    /// Total number of held-out edges.
+    pub fn num_removed(&self) -> usize {
+        self.removed.values().map(Vec::len).sum()
+    }
+
+    /// Whether `(u, v)` was held out.
+    pub fn is_removed(&self, u: VertexId, v: VertexId) -> bool {
+        self.removed
+            .get(&u)
+            .is_some_and(|vs| vs.binary_search(&v).is_ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaple_graph::gen::datasets;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn removes_one_edge_from_high_degree_vertices_only() {
+        // Vertex 0 has degree 4 (eligible), vertex 1 degree 2 (not).
+        let g = CsrGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (1, 3)]);
+        let h = HoldOut::remove_edges(&g, 1, 7);
+        assert_eq!(h.num_removed(), 1);
+        assert_eq!(h.train.out_degree(v(0)), 3);
+        assert_eq!(h.train.out_degree(v(1)), 2);
+        let held = &h.removed[&v(0)][0];
+        assert!(!h.train.has_edge(v(0), *held));
+        assert!(h.is_removed(v(0), *held));
+        assert!(!h.is_removed(v(1), v(2)));
+    }
+
+    #[test]
+    fn vertex_count_is_preserved() {
+        let g = datasets::GOWALLA.emulate(0.003, 1);
+        let h = HoldOut::remove_edges(&g, 1, 3);
+        assert_eq!(h.train.num_vertices(), g.num_vertices());
+        assert_eq!(h.train.num_edges() + h.num_removed(), g.num_edges());
+    }
+
+    #[test]
+    fn multiple_removals_keep_at_least_one_edge() {
+        // Degree-4 vertex, ask to remove 10: must keep exactly one.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let h = HoldOut::remove_edges(&g, 10, 1);
+        assert_eq!(h.train.out_degree(v(0)), 1);
+        assert_eq!(h.removed[&v(0)].len(), 3);
+    }
+
+    #[test]
+    fn removal_counts_scale_with_per_vertex() {
+        let g = datasets::POKEC.emulate(0.002, 2);
+        let h1 = HoldOut::remove_edges(&g, 1, 5);
+        let h3 = HoldOut::remove_edges(&g, 3, 5);
+        assert!(h3.num_removed() > 2 * h1.num_removed());
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let g = datasets::GOWALLA.emulate(0.002, 2);
+        let a = HoldOut::remove_edges(&g, 1, 9);
+        let b = HoldOut::remove_edges(&g, 1, 9);
+        assert_eq!(a.removed, b.removed);
+        let c = HoldOut::remove_edges(&g, 1, 10);
+        assert_ne!(a.removed, c.removed);
+    }
+
+    #[test]
+    fn removed_edges_really_existed() {
+        let g = datasets::GOWALLA.emulate(0.002, 2);
+        let h = HoldOut::remove_edges(&g, 2, 9);
+        for (&u, held) in &h.removed {
+            for &z in held {
+                assert!(g.has_edge(u, z), "({u}, {z}) not in the original graph");
+                assert!(!h.train.has_edge(u, z), "({u}, {z}) still in train");
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! One-call experiment execution.
+
+use std::time::Instant;
+
+use snaple_baseline::{Baseline, BaselineConfig};
+use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple_core::{Prediction, Snaple, SnapleConfig, SnapleError};
+use snaple_gas::{ClusterSpec, EngineError};
+use snaple_graph::CsrGraph;
+
+use crate::metrics::recall;
+use crate::protocol::HoldOut;
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Outcome {
+    /// The run completed and produced predictions.
+    Completed,
+    /// A simulated node ran out of memory (the paper's "fails due to
+    /// resource exhaustion").
+    OutOfMemory {
+        /// Human-readable detail from the engine.
+        detail: String,
+    },
+    /// Any other failure.
+    Failed {
+        /// Error description.
+        detail: String,
+    },
+}
+
+impl Outcome {
+    /// Whether the run completed.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Outcome::Completed)
+    }
+}
+
+/// The result of one experimental run.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Label of the predictor/configuration ("linearSum", "BASELINE", ...).
+    pub label: String,
+    /// Recall against the hold-out (0 when the run failed).
+    pub recall: f64,
+    /// Simulated cluster seconds (cost-model output; 0 when failed).
+    pub simulated_seconds: f64,
+    /// Real wall-clock seconds spent executing on the host (diagnostic).
+    pub wall_seconds: f64,
+    /// Total simulated network traffic in bytes.
+    pub network_bytes: u64,
+    /// Peak simulated per-node memory in bytes.
+    pub peak_memory: u64,
+    /// How the run ended.
+    pub outcome: Outcome,
+}
+
+impl Measurement {
+    fn from_result(
+        label: String,
+        started: Instant,
+        result: Result<Prediction, SnapleError>,
+        holdout: &HoldOut,
+    ) -> Measurement {
+        let wall = started.elapsed().as_secs_f64();
+        match result {
+            Ok(prediction) => Measurement {
+                label,
+                recall: recall(&prediction, holdout),
+                simulated_seconds: prediction.simulated_seconds(),
+                wall_seconds: wall,
+                network_bytes: prediction.stats.total_network_bytes(),
+                peak_memory: prediction.stats.peak_memory(),
+                outcome: Outcome::Completed,
+            },
+            Err(SnapleError::Engine(e @ EngineError::ResourceExhausted { .. })) => Measurement {
+                label,
+                recall: 0.0,
+                simulated_seconds: 0.0,
+                wall_seconds: wall,
+                network_bytes: 0,
+                peak_memory: 0,
+                outcome: Outcome::OutOfMemory {
+                    detail: e.to_string(),
+                },
+            },
+            Err(e) => Measurement {
+                label,
+                recall: 0.0,
+                simulated_seconds: 0.0,
+                wall_seconds: wall,
+                network_bytes: 0,
+                peak_memory: 0,
+                outcome: Outcome::Failed {
+                    detail: e.to_string(),
+                },
+            },
+        }
+    }
+}
+
+/// Executes predictors against a fixed train/test split.
+///
+/// The runner borrows the hold-out so that expensive dataset generation
+/// happens once per experiment, as in the paper's setup where graph
+/// loading time is excluded from measurements (§5.2). All predictors run
+/// on the *training* graph.
+#[derive(Debug)]
+pub struct Runner<'a> {
+    holdout: &'a HoldOut,
+}
+
+impl<'a> Runner<'a> {
+    /// Creates a runner over a prepared split.
+    pub fn new(holdout: &'a HoldOut) -> Self {
+        Runner { holdout }
+    }
+
+    /// The training graph predictors run on.
+    pub fn train_graph(&self) -> &CsrGraph {
+        &self.holdout.train
+    }
+
+    /// Runs SNAPLE with `config` on `cluster`.
+    pub fn run_snaple(
+        &self,
+        label: &str,
+        config: SnapleConfig,
+        cluster: &ClusterSpec,
+    ) -> Measurement {
+        let started = Instant::now();
+        let result = Snaple::new(config).predict(&self.holdout.train, cluster);
+        Measurement::from_result(label.to_owned(), started, result, self.holdout)
+    }
+
+    /// Runs the BASELINE predictor on `cluster`.
+    pub fn run_baseline(&self, config: BaselineConfig, cluster: &ClusterSpec) -> Measurement {
+        let started = Instant::now();
+        let result = Baseline::new(config).predict(&self.holdout.train, cluster);
+        Measurement::from_result("BASELINE".to_owned(), started, result, self.holdout)
+    }
+
+    /// Runs the Cassovary-style random-walk predictor on `machine`.
+    pub fn run_cassovary(
+        &self,
+        label: &str,
+        config: RandomWalkConfig,
+        machine: &ClusterSpec,
+    ) -> Measurement {
+        let started = Instant::now();
+        let prediction = RandomWalkPpr::new(config).predict(&self.holdout.train, machine);
+        Measurement::from_result(label.to_owned(), started, Ok(prediction), self.holdout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::EvalDataset;
+    use snaple_core::ScoreSpec;
+
+    fn split() -> (CsrGraph, HoldOut) {
+        EvalDataset::by_name("gowalla")
+            .unwrap()
+            .scaled_by(0.02)
+            .load_with_holdout(7, 1)
+    }
+
+    #[test]
+    fn snaple_run_produces_positive_recall_on_clustered_graphs() {
+        let (_graph, holdout) = split();
+        let runner = Runner::new(&holdout);
+        let m = runner.run_snaple(
+            "linearSum",
+            SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)),
+            &ClusterSpec::type_ii(4),
+        );
+        assert!(m.outcome.is_completed());
+        assert!(m.recall > 0.05, "recall {}", m.recall);
+        assert!(m.simulated_seconds > 0.0);
+        assert!(m.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn oom_is_reported_not_panicked() {
+        let (_graph, holdout) = split();
+        let runner = Runner::new(&holdout);
+        let starved = ClusterSpec {
+            memory_per_node: 100_000,
+            ..ClusterSpec::type_ii(4)
+        };
+        let m = runner.run_baseline(BaselineConfig::new(), &starved);
+        assert!(matches!(m.outcome, Outcome::OutOfMemory { .. }), "{:?}", m.outcome);
+        assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn cassovary_runs_and_scores() {
+        let (_graph, holdout) = split();
+        let runner = Runner::new(&holdout);
+        let m = runner.run_cassovary(
+            "PPR w=50 d=3",
+            RandomWalkConfig::new().walks(50).depth(3),
+            &ClusterSpec::single_machine(20, 128 << 30),
+        );
+        assert!(m.outcome.is_completed());
+        assert!(m.recall > 0.0, "recall {}", m.recall);
+    }
+
+    #[test]
+    fn predictors_run_on_train_not_full_graph() {
+        let (graph, holdout) = split();
+        let runner = Runner::new(&holdout);
+        assert_eq!(runner.train_graph().num_edges(), holdout.train.num_edges());
+        assert!(runner.train_graph().num_edges() < graph.num_edges());
+    }
+}

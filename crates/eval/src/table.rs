@@ -1,0 +1,192 @@
+//! Plain-text result tables.
+//!
+//! Every experiment binary renders its results through [`TextTable`] so
+//! that the console output mirrors the corresponding table or figure series
+//! of the paper, and `--out` directories receive the same data as TSV for
+//! plotting.
+
+use std::fmt::Write as _;
+
+/// A simple column-aligned table builder.
+///
+/// ```
+/// use snaple_eval::TextTable;
+/// let mut t = TextTable::new(vec!["dataset", "recall"]);
+/// t.row(vec!["gowalla".into(), "0.28".into()]);
+/// let s = t.render();
+/// assert!(s.contains("gowalla"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        widths
+    }
+
+    /// Renders an aligned plain-text table.
+    pub fn render(&self) -> String {
+        let widths = self.widths();
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}", w = *w);
+            }
+            // Avoid trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Renders tab-separated values (header row included).
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.headers.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("| {} |\n", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// Formats a float with three significant decimals ("0.283").
+pub fn fmt_recall(r: f64) -> String {
+    format!("{r:.3}")
+}
+
+/// Formats seconds adaptively ("1.1", "12.8", "585").
+pub fn fmt_seconds(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}")
+    } else {
+        format!("{s:.1}")
+    }
+}
+
+/// Formats a ratio as the paper does in Table 5 brackets ("(2.3)").
+pub fn fmt_gain(g: f64) -> String {
+    if g >= 100.0 {
+        format!("({g:.0})")
+    } else {
+        format!("({g:.1})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "2".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // Both value columns start at the same offset.
+        let off_a = lines[2].find('1').unwrap();
+        let off_b = lines[3].find('2').unwrap();
+        assert_eq!(off_a, off_b);
+    }
+
+    #[test]
+    fn tsv_and_markdown_have_all_rows() {
+        let mut t = TextTable::new(vec!["x"]);
+        t.row(vec!["1".into()]).row(vec!["2".into()]);
+        assert_eq!(t.to_tsv().lines().count(), 3);
+        assert_eq!(t.to_markdown().lines().count(), 4);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_recall(0.2834), "0.283");
+        assert_eq!(fmt_seconds(585.2), "585");
+        assert_eq!(fmt_seconds(1.06), "1.1");
+        assert_eq!(fmt_gain(2.31), "(2.3)");
+        assert_eq!(fmt_gain(109.0), "(109)");
+    }
+}

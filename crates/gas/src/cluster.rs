@@ -1,0 +1,180 @@
+//! Simulated cluster descriptions.
+
+use std::fmt;
+
+/// Identifier of a simulated compute node (machine) in a cluster.
+///
+/// Distinct from [`snaple_graph::VertexId`]: a `NodeId` names a machine of
+/// the simulated deployment, not a vertex of the graph.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Creates a node id.
+    #[inline]
+    pub const fn new(raw: u16) -> Self {
+        NodeId(raw)
+    }
+
+    /// Dense index of the node, for indexing per-node arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(raw: u16) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Description of a simulated cluster deployment.
+///
+/// The two presets mirror the paper's testbed (§5.1): *type-I* nodes have
+/// 8 cores, 32 GB of memory and gigabit Ethernet; *type-II* nodes have
+/// 20 cores, 128 GB and 10-gigabit Ethernet.
+///
+/// ```
+/// use snaple_gas::ClusterSpec;
+/// let c = ClusterSpec::type_i(32);
+/// assert_eq!(c.total_cores(), 256);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterSpec {
+    /// Label used in reports ("type-I", "type-II", ...).
+    pub name: String,
+    /// Number of machines.
+    pub nodes: usize,
+    /// Cores per machine.
+    pub cores_per_node: usize,
+    /// Memory capacity per machine, in bytes.
+    pub memory_per_node: u64,
+    /// Point-to-point network bandwidth, in bytes per second.
+    pub bandwidth: f64,
+    /// Fixed synchronization cost per GAS superstep, in seconds.
+    pub step_latency: f64,
+}
+
+const GIB: u64 = 1 << 30;
+
+impl ClusterSpec {
+    /// The paper's type-I machines: 2× Intel Xeon L5420 (8 cores), 32 GB,
+    /// gigabit Ethernet.
+    pub fn type_i(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        ClusterSpec {
+            name: "type-I".to_owned(),
+            nodes,
+            cores_per_node: 8,
+            memory_per_node: 32 * GIB,
+            bandwidth: 125.0e6, // 1 GbE
+            step_latency: 0.05,
+        }
+    }
+
+    /// The paper's type-II machines: 2× Intel Xeon E5-2660v2 (20 cores),
+    /// 128 GB, 10-gigabit Ethernet.
+    pub fn type_ii(nodes: usize) -> Self {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        ClusterSpec {
+            name: "type-II".to_owned(),
+            nodes,
+            cores_per_node: 20,
+            memory_per_node: 128 * GIB,
+            bandwidth: 1.25e9, // 10 GbE
+            step_latency: 0.05,
+        }
+    }
+
+    /// A single standalone machine (no network costs), used for the paper's
+    /// Cassovary comparison (§5.9).
+    pub fn single_machine(cores: usize, memory: u64) -> Self {
+        assert!(cores >= 1, "a machine needs at least one core");
+        ClusterSpec {
+            name: "single".to_owned(),
+            nodes: 1,
+            cores_per_node: cores,
+            memory_per_node: memory,
+            bandwidth: f64::INFINITY,
+            step_latency: 0.0,
+        }
+    }
+
+    /// Total core count across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// Returns a copy with per-node memory multiplied by `factor`.
+    ///
+    /// The evaluation harness scales memory capacity together with dataset
+    /// scale so that out-of-memory crossovers land on the same datasets as
+    /// in the paper despite the scaled-down inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn with_memory_scale(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "memory scale must be positive, got {factor}"
+        );
+        self.memory_per_node = (self.memory_per_node as f64 * factor).round() as u64;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_paper() {
+        let t1 = ClusterSpec::type_i(32);
+        assert_eq!(t1.total_cores(), 256);
+        assert_eq!(t1.memory_per_node, 32 * GIB);
+        let t2 = ClusterSpec::type_ii(8);
+        assert_eq!(t2.total_cores(), 160);
+        assert!(t2.bandwidth > t1.bandwidth);
+    }
+
+    #[test]
+    fn single_machine_has_no_network() {
+        let m = ClusterSpec::single_machine(20, 128 * GIB);
+        assert_eq!(m.nodes, 1);
+        assert!(m.bandwidth.is_infinite());
+        assert_eq!(m.step_latency, 0.0);
+    }
+
+    #[test]
+    fn memory_scaling() {
+        let c = ClusterSpec::type_i(1).with_memory_scale(0.5);
+        assert_eq!(c.memory_per_node, 16 * GIB);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_cluster() {
+        let _ = ClusterSpec::type_i(0);
+    }
+
+    #[test]
+    fn node_id_formats() {
+        assert_eq!(NodeId::new(3).to_string(), "n3");
+        assert_eq!(format!("{:?}", NodeId::from(4u16)), "n4");
+        assert_eq!(NodeId::new(7).index(), 7);
+    }
+}

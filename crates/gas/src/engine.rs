@@ -1,0 +1,571 @@
+//! The GAS superstep executor.
+
+use std::thread;
+
+use snaple_graph::hash::hash2;
+use snaple_graph::{CsrGraph, Direction, VertexId};
+
+use crate::cluster::{ClusterSpec, NodeId};
+use crate::cost::CostModel;
+use crate::error::EngineError;
+use crate::partition::{PartitionStrategy, PartitionedGraph};
+use crate::program::{GasStep, GatherCtx, WorkTally};
+use crate::size::SizeEstimate;
+use crate::stats::{NodeStats, RunStats, StepStats};
+
+/// Framing overhead charged per partial-gather message (vertex id + length).
+const MESSAGE_OVERHEAD: u64 = 8;
+
+/// Executes GAS programs over a partitioned graph on a simulated cluster.
+///
+/// See the [crate docs](crate) for the execution and accounting model and a
+/// complete example.
+#[derive(Debug)]
+pub struct Engine<'g> {
+    graph: &'g CsrGraph,
+    cluster: ClusterSpec,
+    part: PartitionedGraph,
+    cost: CostModel,
+    run: RunStats,
+    seed: u64,
+    step_counter: usize,
+    injected_failure: Option<(NodeId, usize)>,
+}
+
+impl<'g> Engine<'g> {
+    /// Partitions `graph` over `cluster` and prepares an engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for unusable cluster shapes
+    /// (zero nodes, more than [`crate::partition::MAX_NODES`] nodes).
+    pub fn new(
+        graph: &'g CsrGraph,
+        cluster: ClusterSpec,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        let part = PartitionedGraph::build(graph, cluster.nodes, strategy, seed)?;
+        let cost = CostModel::for_cluster(&cluster);
+        let replication_factor = part.replication_factor();
+        Ok(Engine {
+            graph,
+            cluster,
+            part,
+            cost,
+            run: RunStats {
+                steps: Vec::new(),
+                replication_factor,
+            },
+            seed,
+            step_counter: 0,
+            injected_failure: None,
+        })
+    }
+
+    /// The graph this engine executes over.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The vertex-cut partition.
+    pub fn partitioned(&self) -> &PartitionedGraph {
+        &self.part
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.run
+    }
+
+    /// Consumes the engine, returning its accumulated statistics.
+    pub fn into_stats(self) -> RunStats {
+        self.run
+    }
+
+    /// Simulated seconds accumulated so far.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.run.simulated_seconds()
+    }
+
+    /// Replaces the cost model (e.g. for sensitivity analyses).
+    pub fn set_cost_model(&mut self, cost: CostModel) {
+        self.cost = cost;
+    }
+
+    /// Arranges for `node` to fail when step number `at_step` (0-based,
+    /// counted across `run_step` calls) starts, for fault-injection tests.
+    pub fn inject_failure(&mut self, node: NodeId, at_step: usize) {
+        self.injected_failure = Some((node, at_step));
+    }
+
+    /// Runs one GAS superstep of `step` over `state`.
+    ///
+    /// `state[i]` is the program state of vertex `i`; it is read during the
+    /// gather phase and rewritten by `apply` at the end of the step.
+    ///
+    /// # Errors
+    ///
+    /// * [`EngineError::InvalidConfig`] if `state` does not match the graph.
+    /// * [`EngineError::ResourceExhausted`] if any simulated node exceeds
+    ///   its memory capacity while holding replicas and gather partials.
+    /// * [`EngineError::NodeFailure`] if a failure was injected at this step.
+    pub fn run_step<S: GasStep>(
+        &mut self,
+        step: &S,
+        state: &mut [S::Vertex],
+    ) -> Result<&StepStats, EngineError> {
+        if state.len() != self.graph.num_vertices() {
+            return Err(EngineError::InvalidConfig(format!(
+                "state has {} entries but the graph has {} vertices",
+                state.len(),
+                self.graph.num_vertices()
+            )));
+        }
+        let step_idx = self.step_counter;
+        self.step_counter += 1;
+        if let Some((node, at)) = self.injected_failure {
+            if at == step_idx {
+                return Err(EngineError::NodeFailure {
+                    node,
+                    step: step.name().to_owned(),
+                });
+            }
+        }
+
+        let nodes = self.part.num_nodes();
+        let cap = self.cluster.memory_per_node;
+        let step_seed = hash2(self.seed, step_idx as u64, 0x57e9);
+
+        // --- Broadcast phase: replicate vertex state to mirrors. ---------
+        let state_bytes: Vec<u64> = state.iter().map(SizeEstimate::estimated_bytes).collect();
+        let mut mem_base = vec![0u64; nodes];
+        let mut net = vec![0u64; nodes];
+        let mut broadcast_total = 0u64;
+        for n in 0..nodes {
+            // Static CSR share of this node: 8 bytes per stored edge.
+            mem_base[n] = self.part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
+        }
+        for v in self.graph.vertices() {
+            let sb = state_bytes[v.index()];
+            let master = self.part.master(v).index();
+            let mut mask = self.part.presence_mask(v);
+            while mask != 0 {
+                let n = mask.trailing_zeros() as usize;
+                mask &= mask - 1;
+                mem_base[n] += sb;
+                if n != master {
+                    net[n] += sb;
+                    net[master] += sb;
+                    broadcast_total += sb;
+                }
+            }
+        }
+        for (n, &m) in mem_base.iter().enumerate() {
+            if m > cap {
+                return Err(EngineError::ResourceExhausted {
+                    node: NodeId::new(n as u16),
+                    required: m,
+                    capacity: cap,
+                    step: step.name().to_owned(),
+                });
+            }
+        }
+
+        // --- Gather phase: per-node local gathers (parallel). ------------
+        struct NodeGather<G> {
+            node: usize,
+            partials: Vec<(VertexId, G, u64)>,
+            gather_calls: u64,
+            sum_calls: u64,
+            ops: u64,
+            mem_peak: u64,
+        }
+
+        let dir = step.gather_direction();
+        let graph = self.graph;
+        let part = &self.part;
+        let state_ro: &[S::Vertex] = state;
+        let mem_base_ref = &mem_base;
+
+        let gather_results: Vec<Result<NodeGather<S::Gather>, EngineError>> =
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..nodes)
+                    .map(|n| {
+                        scope.spawn(move || {
+                            let ctx = GatherCtx::new(graph, step_seed);
+                            let node = NodeId::new(n as u16);
+                            let mut edges: Vec<(VertexId, VertexId)> =
+                                part.node_edges(node).to_vec();
+                            if dir == Direction::In {
+                                edges.sort_unstable_by_key(|&(s, d)| (d, s));
+                            }
+                            let mut tally = WorkTally::new();
+                            let mut partials: Vec<(VertexId, S::Gather, u64)> = Vec::new();
+                            let mut gather_calls = 0u64;
+                            let mut sum_calls = 0u64;
+                            let mut mem = mem_base_ref[n];
+                            let mut mem_peak = mem;
+                            let mut cur: Option<(VertexId, S::Gather, u64)> = None;
+                            for &(src, dst) in &edges {
+                                let (gatherer, neighbor) = match dir {
+                                    Direction::Out => (src, dst),
+                                    Direction::In => (dst, src),
+                                };
+                                if let Some((g, _, _)) = &cur {
+                                    if *g != gatherer {
+                                        partials.push(cur.take().unwrap());
+                                    }
+                                }
+                                gather_calls += 1;
+                                tally.add(1);
+                                let item = step.gather(
+                                    &ctx,
+                                    gatherer,
+                                    &state_ro[gatherer.index()],
+                                    neighbor,
+                                    &state_ro[neighbor.index()],
+                                    &mut tally,
+                                );
+                                let Some(item) = item else { continue };
+                                let bytes = item.estimated_bytes();
+                                mem += bytes;
+                                mem_peak = mem_peak.max(mem);
+                                if mem > cap {
+                                    return Err(EngineError::ResourceExhausted {
+                                        node,
+                                        required: mem,
+                                        capacity: cap,
+                                        step: step.name().to_owned(),
+                                    });
+                                }
+                                cur = Some(match cur.take() {
+                                    None => (gatherer, item, bytes),
+                                    Some((g, acc, b)) => {
+                                        sum_calls += 1;
+                                        tally.add(1);
+                                        (g, step.sum(acc, item, &mut tally), b + bytes)
+                                    }
+                                });
+                            }
+                            if let Some(last) = cur.take() {
+                                partials.push(last);
+                            }
+                            Ok(NodeGather {
+                                node: n,
+                                partials,
+                                gather_calls,
+                                sum_calls,
+                                ops: tally.ops(),
+                                mem_peak,
+                            })
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("gather worker panicked"))
+                    .collect()
+            });
+
+        let mut node_ops = vec![0u64; nodes];
+        let mut mem_peaks = mem_base.clone();
+        let mut gather_calls = 0u64;
+        let mut sum_calls = 0u64;
+        let mut partial_total = 0u64;
+
+        // --- Merge partials at masters (deterministic node order). -------
+        let mut acc: Vec<Option<(S::Gather, u64)>> =
+            (0..self.graph.num_vertices()).map(|_| None).collect();
+        let mut master_extra = vec![0u64; nodes];
+        let mut merge_tallies: Vec<WorkTally> = vec![WorkTally::new(); nodes];
+        let mut ordered: Vec<NodeGather<S::Gather>> = Vec::with_capacity(nodes);
+        for r in gather_results {
+            ordered.push(r?);
+        }
+        ordered.sort_by_key(|g| g.node);
+        for ng in ordered {
+            node_ops[ng.node] += ng.ops;
+            mem_peaks[ng.node] = mem_peaks[ng.node].max(ng.mem_peak);
+            gather_calls += ng.gather_calls;
+            sum_calls += ng.sum_calls;
+            for (v, g, bytes) in ng.partials {
+                let master = self.part.master(v).index();
+                if master != ng.node {
+                    let framed = bytes + MESSAGE_OVERHEAD;
+                    net[ng.node] += framed;
+                    net[master] += framed;
+                    partial_total += framed;
+                    master_extra[master] += bytes;
+                }
+                let slot = &mut acc[v.index()];
+                *slot = Some(match slot.take() {
+                    None => (g, bytes),
+                    Some((prev, pb)) => {
+                        sum_calls += 1;
+                        let t = &mut merge_tallies[master];
+                        t.add(1);
+                        (step.sum(prev, g, t), pb + bytes)
+                    }
+                });
+            }
+        }
+        for n in 0..nodes {
+            node_ops[n] += merge_tallies[n].ops();
+            let with_partials = mem_base[n] + master_extra[n];
+            mem_peaks[n] = mem_peaks[n].max(with_partials);
+            if with_partials > cap {
+                return Err(EngineError::ResourceExhausted {
+                    node: NodeId::new(n as u16),
+                    required: with_partials,
+                    capacity: cap,
+                    step: step.name().to_owned(),
+                });
+            }
+        }
+
+        // --- Apply phase at masters (parallel over vertex shards). --------
+        let workers = thread::available_parallelism().map_or(2, |p| p.get()).min(
+            self.graph.num_vertices().max(1),
+        );
+        let chunk = self.graph.num_vertices().div_ceil(workers).max(1);
+        let apply_calls = self.graph.num_vertices() as u64;
+        let apply_node_ops: Vec<Vec<u64>> = thread::scope(|scope| {
+            let handles: Vec<_> = state
+                .chunks_mut(chunk)
+                .zip(acc.chunks_mut(chunk))
+                .enumerate()
+                .map(|(ci, (state_chunk, acc_chunk))| {
+                    let part = &self.part;
+                    scope.spawn(move || {
+                        let ctx = GatherCtx::new(graph, step_seed);
+                        let mut ops = vec![0u64; nodes];
+                        let base = ci * chunk;
+                        let mut tally = WorkTally::new();
+                        for (i, (data, a)) in
+                            state_chunk.iter_mut().zip(acc_chunk.iter_mut()).enumerate()
+                        {
+                            let u = VertexId::new((base + i) as u32);
+                            let before = tally.ops();
+                            tally.add(1);
+                            step.apply(&ctx, u, data, a.take().map(|(g, _)| g), &mut tally);
+                            ops[part.master(u).index()] += tally.ops() - before;
+                        }
+                        ops
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("apply worker panicked"))
+                .collect()
+        });
+        for per_worker in apply_node_ops {
+            for (n, o) in per_worker.into_iter().enumerate() {
+                node_ops[n] += o;
+            }
+        }
+
+        // --- Assemble step statistics. ------------------------------------
+        let per_node: Vec<NodeStats> = (0..nodes)
+            .map(|n| NodeStats {
+                compute_ops: node_ops[n],
+                net_bytes: net[n],
+                memory_peak: mem_peaks[n],
+            })
+            .collect();
+        let mut stats = StepStats {
+            name: step.name().to_owned(),
+            gather_calls,
+            sum_calls,
+            apply_calls,
+            work_ops: node_ops.iter().sum(),
+            broadcast_bytes: broadcast_total,
+            partial_bytes: partial_total,
+            per_node,
+            simulated_seconds: 0.0,
+        };
+        stats.simulated_seconds = self
+            .cost
+            .step_seconds(stats.max_node_ops(), stats.max_node_net_bytes());
+        self.run.steps.push(stats);
+        Ok(self.run.steps.last().expect("just pushed"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaple_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Sums neighbor values along out-edges: new state = Σ_{v ∈ Γ(u)} old(v).
+    struct SumNeighbors;
+    impl GasStep for SumNeighbors {
+        type Vertex = u64;
+        type Gather = u64;
+        fn name(&self) -> &str {
+            "sum-neighbors"
+        }
+        fn gather(
+            &self,
+            _: &GatherCtx<'_>,
+            _u: VertexId,
+            _ud: &u64,
+            _v: VertexId,
+            vd: &u64,
+            _w: &mut WorkTally,
+        ) -> Option<u64> {
+            Some(*vd)
+        }
+        fn sum(&self, a: u64, b: u64, _w: &mut WorkTally) -> u64 {
+            a + b
+        }
+        fn apply(
+            &self,
+            _: &GatherCtx<'_>,
+            _u: VertexId,
+            data: &mut u64,
+            acc: Option<u64>,
+            _w: &mut WorkTally,
+        ) {
+            *data = acc.unwrap_or(0);
+        }
+    }
+
+    fn ring(n: u32) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn sum_neighbors_on_a_ring() {
+        let g = ring(10);
+        let mut engine =
+            Engine::new(&g, ClusterSpec::type_i(4), PartitionStrategy::RandomVertexCut, 3)
+                .unwrap();
+        let mut state: Vec<u64> = (0..10).collect();
+        engine.run_step(&SumNeighbors, &mut state).unwrap();
+        // Each vertex takes its successor's old value.
+        let expect: Vec<u64> = (0..10).map(|i| (i + 1) % 10).collect();
+        assert_eq!(state, expect);
+    }
+
+    #[test]
+    fn results_are_identical_across_cluster_sizes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = gen::erdos_renyi(300, 1_500, &mut rng).into_symmetric_graph();
+        let mut reference: Vec<u64> = (0..300).map(|i| i * 17 % 101).collect();
+        let mut one =
+            Engine::new(&g, ClusterSpec::type_i(1), PartitionStrategy::RandomVertexCut, 3)
+                .unwrap();
+        one.run_step(&SumNeighbors, &mut reference).unwrap();
+        for nodes in [2, 8, 32] {
+            let mut state: Vec<u64> = (0..300).map(|i| i * 17 % 101).collect();
+            let mut engine = Engine::new(
+                &g,
+                ClusterSpec::type_i(nodes),
+                PartitionStrategy::GreedyVertexCut,
+                99,
+            )
+            .unwrap();
+            engine.run_step(&SumNeighbors, &mut state).unwrap();
+            assert_eq!(state, reference, "cluster of {nodes} nodes diverged");
+        }
+    }
+
+    #[test]
+    fn single_node_has_no_network_traffic() {
+        let g = ring(20);
+        let mut engine =
+            Engine::new(&g, ClusterSpec::type_i(1), PartitionStrategy::RandomVertexCut, 5)
+                .unwrap();
+        let mut state = vec![1u64; 20];
+        let stats = engine.run_step(&SumNeighbors, &mut state).unwrap();
+        assert_eq!(stats.network_bytes(), 0);
+        assert_eq!(stats.gather_calls, 20);
+        assert_eq!(stats.apply_calls, 20);
+    }
+
+    #[test]
+    fn multi_node_runs_account_network_traffic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = gen::erdos_renyi(200, 2_000, &mut rng).into_symmetric_graph();
+        let mut engine =
+            Engine::new(&g, ClusterSpec::type_i(8), PartitionStrategy::RandomVertexCut, 5)
+                .unwrap();
+        let mut state = vec![1u64; 200];
+        let stats = engine.run_step(&SumNeighbors, &mut state).unwrap();
+        assert!(stats.broadcast_bytes > 0, "mirrors must receive state");
+        assert!(stats.partial_bytes > 0, "masters must receive partials");
+        assert!(stats.simulated_seconds > 0.0);
+        assert!(engine.stats().replication_factor > 1.0);
+    }
+
+    #[test]
+    fn memory_cap_triggers_resource_exhaustion() {
+        let g = ring(100);
+        let cluster = ClusterSpec {
+            memory_per_node: 64, // bytes! nothing fits
+            ..ClusterSpec::type_i(2)
+        };
+        let mut engine =
+            Engine::new(&g, cluster, PartitionStrategy::RandomVertexCut, 1).unwrap();
+        let mut state = vec![1u64; 100];
+        let err = engine.run_step(&SumNeighbors, &mut state).unwrap_err();
+        assert!(matches!(err, EngineError::ResourceExhausted { .. }), "{err}");
+    }
+
+    #[test]
+    fn injected_failures_fire_at_the_right_step() {
+        let g = ring(10);
+        let mut engine =
+            Engine::new(&g, ClusterSpec::type_i(2), PartitionStrategy::RandomVertexCut, 1)
+                .unwrap();
+        engine.inject_failure(NodeId::new(1), 1);
+        let mut state = vec![0u64; 10];
+        engine.run_step(&SumNeighbors, &mut state).unwrap();
+        let err = engine.run_step(&SumNeighbors, &mut state).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::NodeFailure {
+                node: NodeId::new(1),
+                step: "sum-neighbors".into()
+            }
+        );
+    }
+
+    #[test]
+    fn state_length_mismatch_is_rejected() {
+        let g = ring(10);
+        let mut engine =
+            Engine::new(&g, ClusterSpec::type_i(2), PartitionStrategy::RandomVertexCut, 1)
+                .unwrap();
+        let mut state = vec![0u64; 9];
+        assert!(matches!(
+            engine.run_step(&SumNeighbors, &mut state),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate_across_steps() {
+        let g = ring(10);
+        let mut engine =
+            Engine::new(&g, ClusterSpec::type_i(2), PartitionStrategy::RandomVertexCut, 1)
+                .unwrap();
+        let mut state = vec![1u64; 10];
+        engine.run_step(&SumNeighbors, &mut state).unwrap();
+        engine.run_step(&SumNeighbors, &mut state).unwrap();
+        assert_eq!(engine.stats().steps.len(), 2);
+        assert!(engine.simulated_seconds() > 0.0);
+        let run = engine.into_stats();
+        assert_eq!(run.steps.len(), 2);
+    }
+}

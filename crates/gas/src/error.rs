@@ -1,0 +1,77 @@
+//! Engine error type.
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors produced by the GAS engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A simulated node ran out of memory — the failure mode of the paper's
+    /// BASELINE on the large datasets (§5.3).
+    ResourceExhausted {
+        /// The node that exceeded its capacity.
+        node: NodeId,
+        /// Bytes the node would have needed.
+        required: u64,
+        /// The node's configured capacity in bytes.
+        capacity: u64,
+        /// The GAS step during which the exhaustion occurred.
+        step: String,
+    },
+    /// A node failure was injected (fault-tolerance testing).
+    NodeFailure {
+        /// The failed node.
+        node: NodeId,
+        /// The GAS step during which the failure fired.
+        step: String,
+    },
+    /// The engine was configured inconsistently.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::ResourceExhausted {
+                node,
+                required,
+                capacity,
+                step,
+            } => write!(
+                f,
+                "node {node} exhausted memory during step {step:?}: needs {required} bytes, capacity {capacity} bytes"
+            ),
+            EngineError::NodeFailure { node, step } => {
+                write!(f, "node {node} failed during step {step:?}")
+            }
+            EngineError::InvalidConfig(msg) => write!(f, "invalid engine configuration: {msg}"),
+        }
+    }
+}
+
+impl StdError for EngineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_node_and_step() {
+        let e = EngineError::ResourceExhausted {
+            node: NodeId::new(2),
+            required: 100,
+            capacity: 50,
+            step: "gather-2".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("n2") && s.contains("gather-2") && s.contains("100"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineError>();
+    }
+}

@@ -1,0 +1,358 @@
+//! Vertex-cut graph partitioning.
+//!
+//! GAS engines in the PowerGraph tradition split the *edges* of a graph
+//! across machines and replicate vertices wherever their edges land; one
+//! replica per vertex is designated the **master**. The number of replicas
+//! per vertex (the *replication factor*) determines the communication cost
+//! of a GAS step, which is why the choice of partitioner matters.
+//!
+//! Three strategies are provided:
+//!
+//! * [`PartitionStrategy::RandomVertexCut`] — each edge is hashed to a node
+//!   (PowerGraph's default; predictable balance, higher replication).
+//! * [`PartitionStrategy::SourceHash1D`] — all out-edges of a vertex land on
+//!   one node (low replication for sources, but hubs skew load).
+//! * [`PartitionStrategy::GreedyVertexCut`] — PowerGraph's greedy heuristic:
+//!   place each edge on a node that already hosts its endpoints, breaking
+//!   ties by load.
+
+use snaple_graph::hash::{hash1, hash2};
+use snaple_graph::{CsrGraph, VertexId};
+
+use crate::error::EngineError;
+use crate::NodeId;
+
+/// Maximum number of simulated nodes (presence sets are 64-bit masks).
+pub const MAX_NODES: usize = 64;
+
+/// Edge-placement strategy; see the [module docs](self).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PartitionStrategy {
+    /// Hash each edge `(u, v)` to a node.
+    #[default]
+    RandomVertexCut,
+    /// Hash the source vertex: all of `Γ(u)` is stored on one node.
+    SourceHash1D,
+    /// PowerGraph's greedy placement heuristic.
+    GreedyVertexCut,
+}
+
+impl PartitionStrategy {
+    /// All strategies, for sweeps and ablation benches.
+    pub fn all() -> [PartitionStrategy; 3] {
+        [
+            PartitionStrategy::RandomVertexCut,
+            PartitionStrategy::SourceHash1D,
+            PartitionStrategy::GreedyVertexCut,
+        ]
+    }
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            PartitionStrategy::RandomVertexCut => "random",
+            PartitionStrategy::SourceHash1D => "source-1d",
+            PartitionStrategy::GreedyVertexCut => "greedy",
+        }
+    }
+}
+
+/// A graph split across simulated nodes by a vertex-cut.
+#[derive(Clone, Debug)]
+pub struct PartitionedGraph {
+    num_nodes: usize,
+    /// Per node: its edges, in global `(src, dst)` sorted order.
+    node_edges: Vec<Vec<(VertexId, VertexId)>>,
+    /// Per vertex: the node holding the master replica.
+    master: Vec<NodeId>,
+    /// Per vertex: bitmask of nodes where a replica exists (master included).
+    presence: Vec<u64>,
+}
+
+impl PartitionedGraph {
+    /// Partitions `graph` across `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] if `num_nodes` is zero or
+    /// exceeds [`MAX_NODES`].
+    pub fn build(
+        graph: &CsrGraph,
+        num_nodes: usize,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        if num_nodes == 0 || num_nodes > MAX_NODES {
+            return Err(EngineError::InvalidConfig(format!(
+                "num_nodes must be in 1..={MAX_NODES}, got {num_nodes}"
+            )));
+        }
+        let n = graph.num_vertices();
+        let master: Vec<NodeId> = (0..n as u32)
+            .map(|u| NodeId::new((hash1(seed ^ MASTER_SALT, u as u64) % num_nodes as u64) as u16))
+            .collect();
+        let mut presence: Vec<u64> = (0..n).map(|u| 1u64 << master[u].index()).collect();
+        let mut node_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); num_nodes];
+        let mut loads = vec![0u64; num_nodes];
+
+        for (u, v) in graph.edges() {
+            let node = match strategy {
+                PartitionStrategy::RandomVertexCut => {
+                    (hash2(seed, u.as_u32() as u64, v.as_u32() as u64) % num_nodes as u64) as usize
+                }
+                PartitionStrategy::SourceHash1D => {
+                    (hash1(seed, u.as_u32() as u64) % num_nodes as u64) as usize
+                }
+                PartitionStrategy::GreedyVertexCut => greedy_pick(
+                    presence[u.index()],
+                    presence[v.index()],
+                    &loads,
+                    hash2(seed, u.as_u32() as u64, v.as_u32() as u64),
+                ),
+            };
+            node_edges[node].push((u, v));
+            loads[node] += 1;
+            presence[u.index()] |= 1 << node;
+            presence[v.index()] |= 1 << node;
+        }
+        Ok(PartitionedGraph {
+            num_nodes,
+            node_edges,
+            master,
+            presence,
+        })
+    }
+
+    /// Number of simulated nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Node holding the master replica of `v`.
+    pub fn master(&self, v: VertexId) -> NodeId {
+        self.master[v.index()]
+    }
+
+    /// Number of replicas of `v` (at least 1: the master).
+    pub fn replica_count(&self, v: VertexId) -> u32 {
+        self.presence[v.index()].count_ones()
+    }
+
+    /// Whether a replica of `v` lives on `node`.
+    pub fn is_present(&self, v: VertexId, node: NodeId) -> bool {
+        self.presence[v.index()] & (1 << node.index()) != 0
+    }
+
+    /// Bitmask of nodes hosting `v`.
+    pub fn presence_mask(&self, v: VertexId) -> u64 {
+        self.presence[v.index()]
+    }
+
+    /// Edges assigned to `node`, in `(src, dst)` sorted order.
+    pub fn node_edges(&self, node: NodeId) -> &[(VertexId, VertexId)] {
+        &self.node_edges[node.index()]
+    }
+
+    /// Average number of replicas per vertex — PowerGraph's replication
+    /// factor, the key metric a vertex-cut partitioner minimizes.
+    pub fn replication_factor(&self) -> f64 {
+        if self.presence.is_empty() {
+            return 1.0;
+        }
+        let total: u64 = self.presence.iter().map(|m| m.count_ones() as u64).sum();
+        total as f64 / self.presence.len() as f64
+    }
+
+    /// `(min, max)` edges per node, a load-balance indicator.
+    pub fn edge_balance(&self) -> (usize, usize) {
+        let mut min = usize::MAX;
+        let mut max = 0;
+        for e in &self.node_edges {
+            min = min.min(e.len());
+            max = max.max(e.len());
+        }
+        if min == usize::MAX {
+            (0, 0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// Total number of edges across all nodes.
+    pub fn total_edges(&self) -> usize {
+        self.node_edges.iter().map(Vec::len).sum()
+    }
+}
+
+/// PowerGraph greedy heuristic: prefer nodes already hosting both endpoints,
+/// then either endpoint, then the least-loaded node; ties break by load and
+/// then by hash.
+fn greedy_pick(mask_u: u64, mask_v: u64, loads: &[u64], tiebreak: u64) -> usize {
+    let both = mask_u & mask_v;
+    let either = mask_u | mask_v;
+    let candidates = if both != 0 {
+        both
+    } else if either != 0 {
+        either
+    } else {
+        u64::MAX
+    };
+    let mut best = usize::MAX;
+    let mut best_load = u64::MAX;
+    for (node, &load) in loads.iter().enumerate() {
+        if candidates & (1u64 << node) == 0 {
+            continue;
+        }
+        // Deterministic tie-break: rotate preference by the edge hash.
+        let better = load < best_load
+            || (load == best_load && (tiebreak as usize % loads.len()).abs_diff(node) < (tiebreak as usize % loads.len()).abs_diff(best));
+        if better {
+            best = node;
+            best_load = load;
+        }
+    }
+    best
+}
+
+/// Salt separating master assignment from edge placement hashing.
+const MASTER_SALT: u64 = 0xAB5E;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaple_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_graph() -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(5);
+        gen::erdos_renyi(200, 800, &mut rng).into_symmetric_graph()
+    }
+
+    #[test]
+    fn every_strategy_covers_all_edges_exactly_once() {
+        let g = test_graph();
+        for strategy in PartitionStrategy::all() {
+            let p = PartitionedGraph::build(&g, 8, strategy, 42).unwrap();
+            assert_eq!(p.total_edges(), g.num_edges(), "{strategy:?}");
+            let mut collected: Vec<(u32, u32)> = (0..8)
+                .flat_map(|n| {
+                    p.node_edges(NodeId::new(n))
+                        .iter()
+                        .map(|&(u, v)| (u.as_u32(), v.as_u32()))
+                })
+                .collect();
+            collected.sort_unstable();
+            let expected: Vec<(u32, u32)> =
+                g.edges().map(|(u, v)| (u.as_u32(), v.as_u32())).collect();
+            assert_eq!(collected, expected, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn node_edge_lists_stay_sorted() {
+        let g = test_graph();
+        let p = PartitionedGraph::build(&g, 4, PartitionStrategy::RandomVertexCut, 1).unwrap();
+        for n in 0..4 {
+            let edges = p.node_edges(NodeId::new(n));
+            assert!(edges.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn masters_are_present_and_replication_at_least_one() {
+        let g = test_graph();
+        let p = PartitionedGraph::build(&g, 8, PartitionStrategy::GreedyVertexCut, 9).unwrap();
+        for v in g.vertices() {
+            assert!(p.is_present(v, p.master(v)), "{v}");
+            assert!(p.replica_count(v) >= 1);
+        }
+        assert!(p.replication_factor() >= 1.0);
+    }
+
+    #[test]
+    fn endpoints_are_present_where_their_edges_live() {
+        let g = test_graph();
+        let p = PartitionedGraph::build(&g, 8, PartitionStrategy::RandomVertexCut, 3).unwrap();
+        for n in 0..8 {
+            let node = NodeId::new(n);
+            for &(u, v) in p.node_edges(node) {
+                assert!(p.is_present(u, node));
+                assert!(p.is_present(v, node));
+            }
+        }
+    }
+
+    #[test]
+    fn source_hash_keeps_out_edges_together() {
+        let g = test_graph();
+        let p = PartitionedGraph::build(&g, 8, PartitionStrategy::SourceHash1D, 3).unwrap();
+        // Each vertex's out-edges must all live on a single node.
+        for u in g.vertices() {
+            let mut nodes: Vec<u16> = (0..8u16)
+                .filter(|&n| {
+                    p.node_edges(NodeId::new(n))
+                        .iter()
+                        .any(|&(s, _)| s == u)
+                })
+                .collect();
+            nodes.dedup();
+            assert!(nodes.len() <= 1, "vertex {u} spread over {nodes:?}");
+        }
+    }
+
+    #[test]
+    fn greedy_beats_random_on_replication() {
+        let g = test_graph();
+        let random =
+            PartitionedGraph::build(&g, 16, PartitionStrategy::RandomVertexCut, 11).unwrap();
+        let greedy =
+            PartitionedGraph::build(&g, 16, PartitionStrategy::GreedyVertexCut, 11).unwrap();
+        assert!(
+            greedy.replication_factor() < random.replication_factor(),
+            "greedy {} vs random {}",
+            greedy.replication_factor(),
+            random.replication_factor()
+        );
+    }
+
+    #[test]
+    fn single_node_partition_has_replication_one() {
+        let g = test_graph();
+        let p = PartitionedGraph::build(&g, 1, PartitionStrategy::RandomVertexCut, 0).unwrap();
+        assert!((p.replication_factor() - 1.0).abs() < 1e-12);
+        assert_eq!(p.total_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn rejects_invalid_node_counts() {
+        let g = test_graph();
+        assert!(matches!(
+            PartitionedGraph::build(&g, 0, PartitionStrategy::RandomVertexCut, 0),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            PartitionedGraph::build(&g, 65, PartitionStrategy::RandomVertexCut, 0),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn partitioning_is_deterministic() {
+        let g = test_graph();
+        let a = PartitionedGraph::build(&g, 8, PartitionStrategy::GreedyVertexCut, 7).unwrap();
+        let b = PartitionedGraph::build(&g, 8, PartitionStrategy::GreedyVertexCut, 7).unwrap();
+        for n in 0..8 {
+            assert_eq!(a.node_edges(NodeId::new(n)), b.node_edges(NodeId::new(n)));
+        }
+    }
+
+    #[test]
+    fn empty_graph_partitions_cleanly() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let p = PartitionedGraph::build(&g, 4, PartitionStrategy::RandomVertexCut, 0).unwrap();
+        assert_eq!(p.total_edges(), 0);
+        assert_eq!(p.edge_balance(), (0, 0));
+        assert!((p.replication_factor() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,188 @@
+//! The GAS program interface.
+
+use snaple_graph::{CsrGraph, Direction, VertexId};
+
+use crate::size::SizeEstimate;
+
+/// Work counter threaded through a GAS step.
+///
+/// The engine automatically counts one operation per `gather`, `sum` and
+/// `apply` invocation; programs report *additional* units of work (e.g. one
+/// unit per Jaccard merge step, one per path combination) via
+/// [`WorkTally::add`]. These units feed the [cost model](crate::cost) that
+/// converts executions into simulated cluster seconds.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkTally {
+    ops: u64,
+}
+
+impl WorkTally {
+    /// Creates an empty tally.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `n` additional units of work.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.ops += n;
+    }
+
+    /// Total units recorded so far.
+    #[inline]
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Merges another tally into this one.
+    pub fn merge(&mut self, other: &WorkTally) {
+        self.ops += other.ops;
+    }
+}
+
+/// Read-only execution context available to `gather` and `apply`.
+///
+/// Mirrors what GraphLab exposes to vertex programs: the degrees of the
+/// vertex being processed (`num_out_edges` in GraphLab's API), edge weights,
+/// and a per-run seed for deterministic randomized decisions (such as the
+/// probabilistic neighborhood truncation of the paper's Algorithm 2,
+/// line 3). Full topology is deliberately *not* exposed — that is the GAS
+/// restriction the paper works within.
+#[derive(Debug)]
+pub struct GatherCtx<'a> {
+    graph: &'a CsrGraph,
+    seed: u64,
+}
+
+impl<'a> GatherCtx<'a> {
+    pub(crate) fn new(graph: &'a CsrGraph, seed: u64) -> Self {
+        GatherCtx { graph, seed }
+    }
+
+    /// Out-degree `|Γ(u)|` of a vertex.
+    #[inline]
+    pub fn out_degree(&self, u: VertexId) -> usize {
+        self.graph.out_degree(u)
+    }
+
+    /// In-degree `|Γ⁻¹(u)|` of a vertex.
+    #[inline]
+    pub fn in_degree(&self, u: VertexId) -> usize {
+        self.graph.in_degree(u)
+    }
+
+    /// Number of vertices in the graph.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Weight of the edge `(u, v)` (1.0 for unweighted graphs), or `None`
+    /// if no such edge exists.
+    #[inline]
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<f32> {
+        self.graph.edge_weight(u, v)
+    }
+
+    /// Per-run seed for deterministic hash-based randomness.
+    #[inline]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+/// One gather-apply superstep of a GAS program.
+///
+/// A multi-step program (like SNAPLE's Algorithm 2) is expressed as a
+/// sequence of `GasStep` values sharing a vertex state type, executed in
+/// order via [`Engine::run_step`](crate::Engine::run_step).
+///
+/// Semantics, following the paper's §2.3 (notation of PowerGraph):
+///
+/// 1. **gather** runs once per edge adjacent to the accumulating vertex `u`
+///    in [`gather_direction`](GasStep::gather_direction), on whichever
+///    simulated node stores the edge. It may read both endpoint states.
+/// 2. **sum** folds gather results into per-node partial accumulators;
+///    partials cross the (accounted) network to `u`'s master replica.
+///    It must be commutative and associative up to the tolerance the
+///    program cares about.
+/// 3. **apply** runs at the master with the fully merged accumulator
+///    (`None` if no edge produced a gather value) and may rewrite `u`'s
+///    state. The new state is broadcast to mirrors before the next step
+///    (also accounted).
+///
+/// The scatter phase of the full GAS model is intentionally absent: neither
+/// SNAPLE nor the paper's baselines use it (paper §4: "We do not use any
+/// scatter phase"), and omitting it keeps accounting exact.
+pub trait GasStep: Sync {
+    /// Per-vertex program state, shared across all steps of a program.
+    type Vertex: Send + Sync + SizeEstimate;
+    /// Per-step accumulator type.
+    type Gather: Send + SizeEstimate;
+
+    /// Human-readable step name (used in stats and error reports).
+    fn name(&self) -> &str;
+
+    /// Which adjacent edges `u` gathers over. Defaults to out-edges, the
+    /// direction used throughout the paper.
+    fn gather_direction(&self) -> Direction {
+        Direction::Out
+    }
+
+    /// Produces an accumulator contribution for one edge.
+    ///
+    /// `u` is the accumulating vertex, `v` the neighbor along the gathered
+    /// edge ((u, v) for [`Direction::Out`], (v, u) for [`Direction::In`]).
+    /// Returning `None` contributes nothing (and transfers nothing).
+    fn gather(
+        &self,
+        ctx: &GatherCtx<'_>,
+        u: VertexId,
+        u_data: &Self::Vertex,
+        v: VertexId,
+        v_data: &Self::Vertex,
+        work: &mut WorkTally,
+    ) -> Option<Self::Gather>;
+
+    /// Folds two accumulators. Must be commutative and associative.
+    fn sum(&self, a: Self::Gather, b: Self::Gather, work: &mut WorkTally) -> Self::Gather;
+
+    /// Consumes the merged accumulator and updates the vertex state.
+    fn apply(
+        &self,
+        ctx: &GatherCtx<'_>,
+        u: VertexId,
+        data: &mut Self::Vertex,
+        acc: Option<Self::Gather>,
+        work: &mut WorkTally,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tally_accumulates_and_merges() {
+        let mut a = WorkTally::new();
+        a.add(3);
+        a.add(4);
+        let mut b = WorkTally::new();
+        b.add(10);
+        a.merge(&b);
+        assert_eq!(a.ops(), 17);
+        assert_eq!(WorkTally::default().ops(), 0);
+    }
+
+    #[test]
+    fn ctx_exposes_degrees_weights_and_seed() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2), (1, 0)]);
+        let ctx = GatherCtx::new(&g, 99);
+        assert_eq!(ctx.out_degree(VertexId::new(0)), 2);
+        assert_eq!(ctx.in_degree(VertexId::new(0)), 1);
+        assert_eq!(ctx.num_vertices(), 3);
+        assert_eq!(ctx.edge_weight(VertexId::new(0), VertexId::new(1)), Some(1.0));
+        assert_eq!(ctx.edge_weight(VertexId::new(2), VertexId::new(0)), None);
+        assert_eq!(ctx.seed(), 99);
+    }
+}

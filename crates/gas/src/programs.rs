@@ -1,0 +1,387 @@
+//! Reference GAS programs: PageRank, connected components, degree counting.
+//!
+//! These are the "hello world"s of vertex-centric computation. They serve
+//! three purposes here: they demonstrate that the engine is a *general*
+//! GAS substrate (not a SNAPLE one-off), they cross-validate the engine
+//! against the sequential oracles in [`snaple_graph::algo`], and they give
+//! the benchmarks non-SNAPLE workloads to measure partitioners with.
+
+use snaple_graph::algo;
+use snaple_graph::{CsrGraph, Direction, VertexId};
+
+use crate::cluster::ClusterSpec;
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::partition::PartitionStrategy;
+use crate::program::{GasStep, GatherCtx, WorkTally};
+
+/// One synchronous PageRank sweep: gathers `rank(v) / outdeg(v)` over
+/// in-edges (dangling mass handled by the driver between sweeps).
+#[derive(Clone, Debug)]
+pub struct PageRankStep {
+    /// Damping factor `d` (0.85 in most of the literature).
+    pub damping: f64,
+    /// Teleport-plus-dangling base value added to every vertex this sweep.
+    pub base: f64,
+}
+
+impl GasStep for PageRankStep {
+    type Vertex = f64;
+    type Gather = f64;
+
+    fn name(&self) -> &str {
+        "pagerank-sweep"
+    }
+
+    fn gather_direction(&self) -> Direction {
+        Direction::In
+    }
+
+    fn gather(
+        &self,
+        ctx: &GatherCtx<'_>,
+        _u: VertexId,
+        _u_data: &f64,
+        v: VertexId,
+        v_data: &f64,
+        _work: &mut WorkTally,
+    ) -> Option<f64> {
+        Some(*v_data / ctx.out_degree(v).max(1) as f64)
+    }
+
+    fn sum(&self, a: f64, b: f64, _work: &mut WorkTally) -> f64 {
+        a + b
+    }
+
+    fn apply(
+        &self,
+        _ctx: &GatherCtx<'_>,
+        _u: VertexId,
+        data: &mut f64,
+        acc: Option<f64>,
+        _work: &mut WorkTally,
+    ) {
+        *data = self.base + self.damping * acc.unwrap_or(0.0);
+    }
+}
+
+/// Runs `iterations` synchronous PageRank sweeps on the engine and returns
+/// the final ranks.
+///
+/// Matches [`snaple_graph::algo::pagerank`] exactly (same dangling-mass
+/// handling), which the tests assert.
+///
+/// # Errors
+///
+/// Propagates engine errors ([`EngineError`]).
+pub fn pagerank(
+    graph: &CsrGraph,
+    cluster: ClusterSpec,
+    strategy: PartitionStrategy,
+    damping: f64,
+    iterations: usize,
+    seed: u64,
+) -> Result<Vec<f64>, EngineError> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let uniform = 1.0 / n as f64;
+    let mut engine = Engine::new(graph, cluster, strategy, seed)?;
+    let mut rank = vec![uniform; n];
+    for _ in 0..iterations {
+        let dangling: f64 = graph
+            .vertices()
+            .filter(|&u| graph.out_degree(u) == 0)
+            .map(|u| rank[u.index()])
+            .sum();
+        let step = PageRankStep {
+            damping,
+            base: (1.0 - damping) * uniform + damping * dangling * uniform,
+        };
+        engine.run_step(&step, &mut rank)?;
+    }
+    Ok(rank)
+}
+
+/// One label-propagation round in one direction: every vertex adopts the
+/// minimum label among itself and its neighbors.
+#[derive(Clone, Debug)]
+pub struct MinLabelStep {
+    dir: Direction,
+}
+
+impl GasStep for MinLabelStep {
+    type Vertex = u32;
+    type Gather = u32;
+
+    fn name(&self) -> &str {
+        "min-label"
+    }
+
+    fn gather_direction(&self) -> Direction {
+        self.dir
+    }
+
+    fn gather(
+        &self,
+        _ctx: &GatherCtx<'_>,
+        _u: VertexId,
+        _u_data: &u32,
+        _v: VertexId,
+        v_data: &u32,
+        _work: &mut WorkTally,
+    ) -> Option<u32> {
+        Some(*v_data)
+    }
+
+    fn sum(&self, a: u32, b: u32, _work: &mut WorkTally) -> u32 {
+        a.min(b)
+    }
+
+    fn apply(
+        &self,
+        _ctx: &GatherCtx<'_>,
+        _u: VertexId,
+        data: &mut u32,
+        acc: Option<u32>,
+        _work: &mut WorkTally,
+    ) {
+        if let Some(m) = acc {
+            *data = (*data).min(m);
+        }
+    }
+}
+
+/// Weakly connected components by min-label propagation: alternating
+/// out-edge and in-edge rounds until a fixpoint. Returns the per-vertex
+/// component label (smallest vertex id in the component), identical to
+/// [`snaple_graph::algo::weakly_connected_components`].
+///
+/// # Errors
+///
+/// Propagates engine errors ([`EngineError`]).
+pub fn connected_components(
+    graph: &CsrGraph,
+    cluster: ClusterSpec,
+    strategy: PartitionStrategy,
+    seed: u64,
+) -> Result<Vec<u32>, EngineError> {
+    let n = graph.num_vertices();
+    let mut engine = Engine::new(graph, cluster, strategy, seed)?;
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    loop {
+        let before = labels.clone();
+        engine.run_step(
+            &MinLabelStep {
+                dir: Direction::Out,
+            },
+            &mut labels,
+        )?;
+        engine.run_step(
+            &MinLabelStep {
+                dir: Direction::In,
+            },
+            &mut labels,
+        )?;
+        if labels == before {
+            return Ok(labels);
+        }
+    }
+}
+
+/// Computes `(out_degree, in_degree)` per vertex as a two-step GAS program
+/// — the simplest possible engine smoke test.
+///
+/// # Errors
+///
+/// Propagates engine errors ([`EngineError`]).
+pub fn degrees(
+    graph: &CsrGraph,
+    cluster: ClusterSpec,
+    strategy: PartitionStrategy,
+    seed: u64,
+) -> Result<Vec<(u32, u32)>, EngineError> {
+    #[derive(Clone, Copy)]
+    struct CountStep {
+        dir: Direction,
+    }
+    impl GasStep for CountStep {
+        type Vertex = (u32, u32);
+        type Gather = u32;
+        fn name(&self) -> &str {
+            "degree-count"
+        }
+        fn gather_direction(&self) -> Direction {
+            self.dir
+        }
+        fn gather(
+            &self,
+            _: &GatherCtx<'_>,
+            _u: VertexId,
+            _ud: &(u32, u32),
+            _v: VertexId,
+            _vd: &(u32, u32),
+            _w: &mut WorkTally,
+        ) -> Option<u32> {
+            Some(1)
+        }
+        fn sum(&self, a: u32, b: u32, _w: &mut WorkTally) -> u32 {
+            a + b
+        }
+        fn apply(
+            &self,
+            _: &GatherCtx<'_>,
+            _u: VertexId,
+            data: &mut (u32, u32),
+            acc: Option<u32>,
+            _w: &mut WorkTally,
+        ) {
+            match self.dir {
+                Direction::Out => data.0 = acc.unwrap_or(0),
+                Direction::In => data.1 = acc.unwrap_or(0),
+            }
+        }
+    }
+
+    let mut state = vec![(0u32, 0u32); graph.num_vertices()];
+    let mut engine = Engine::new(graph, cluster, strategy, seed)?;
+    engine.run_step(
+        &CountStep {
+            dir: Direction::Out,
+        },
+        &mut state,
+    )?;
+    engine.run_step(
+        &CountStep {
+            dir: Direction::In,
+        },
+        &mut state,
+    )?;
+    Ok(state)
+}
+
+/// Cross-checks engine outputs against the sequential oracles; returns the
+/// per-vertex maximum PageRank deviation. Used by tests and the `verify`
+/// paths of the benchmarks.
+///
+/// # Errors
+///
+/// Propagates engine errors ([`EngineError`]).
+pub fn validate_against_oracles(
+    graph: &CsrGraph,
+    cluster: ClusterSpec,
+    strategy: PartitionStrategy,
+    seed: u64,
+) -> Result<f64, EngineError> {
+    let gas_pr = pagerank(graph, cluster.clone(), strategy, 0.85, 20, seed)?;
+    let seq_pr = algo::pagerank(graph, 0.85, 20);
+    let max_dev = gas_pr
+        .iter()
+        .zip(&seq_pr)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+
+    let gas_cc = connected_components(graph, cluster, strategy, seed)?;
+    let seq_cc = algo::weakly_connected_components(graph);
+    assert_eq!(gas_cc, seq_cc, "components diverged from the oracle");
+    Ok(max_dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snaple_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn test_graph(seed: u64) -> CsrGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        gen::erdos_renyi(150, 400, &mut rng).into_symmetric_graph()
+    }
+
+    #[test]
+    fn gas_pagerank_matches_sequential_oracle() {
+        let g = test_graph(1);
+        let dev = validate_against_oracles(
+            &g,
+            ClusterSpec::type_i(8),
+            PartitionStrategy::RandomVertexCut,
+            7,
+        )
+        .unwrap();
+        assert!(dev < 1e-12, "max deviation {dev}");
+    }
+
+    #[test]
+    fn gas_pagerank_is_a_distribution() {
+        let g = test_graph(2);
+        let pr = pagerank(
+            &g,
+            ClusterSpec::type_ii(4),
+            PartitionStrategy::GreedyVertexCut,
+            0.85,
+            30,
+            3,
+        )
+        .unwrap();
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        assert!(pr.iter().all(|&r| r > 0.0));
+    }
+
+    #[test]
+    fn components_match_oracle_on_directed_graphs() {
+        // Directed chain + separate pair: weak connectivity must bridge
+        // direction.
+        let g = CsrGraph::from_edges(6, &[(0, 1), (2, 1), (3, 2), (4, 5)]);
+        let labels = connected_components(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::SourceHash1D,
+            1,
+        )
+        .unwrap();
+        assert_eq!(labels, algo::weakly_connected_components(&g));
+        assert_eq!(labels, vec![0, 0, 0, 0, 4, 4]);
+    }
+
+    #[test]
+    fn degrees_match_graph_accessors() {
+        let g = test_graph(3);
+        let d = degrees(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        for u in g.vertices() {
+            assert_eq!(d[u.index()].0 as usize, g.out_degree(u), "{u}");
+            assert_eq!(d[u.index()].1 as usize, g.in_degree(u), "{u}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_programs_terminate() {
+        let g = CsrGraph::from_edges(0, &[]);
+        assert!(pagerank(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            0.85,
+            3,
+            1
+        )
+        .unwrap()
+        .is_empty());
+        assert!(connected_components(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1
+        )
+        .unwrap()
+        .is_empty());
+    }
+}

@@ -1,0 +1,116 @@
+//! Payload size estimation for network and memory accounting.
+
+use snaple_graph::VertexId;
+
+/// Types whose serialized payload size can be estimated.
+///
+/// The engine uses these estimates for everything it accounts in bytes:
+/// master→mirror state broadcasts, mirror→master gather partials, and
+/// per-node memory footprints. Estimates follow a simple wire model — fixed
+/// width scalars plus a 16-byte envelope per variable-length collection —
+/// so they are deterministic and cheap.
+///
+/// ```
+/// use snaple_gas::SizeEstimate;
+/// assert_eq!(1u32.estimated_bytes(), 4);
+/// assert_eq!(vec![1u32, 2, 3].estimated_bytes(), 16 + 12);
+/// ```
+pub trait SizeEstimate {
+    /// Estimated payload size in bytes.
+    fn estimated_bytes(&self) -> u64;
+}
+
+/// Envelope overhead charged per variable-length collection.
+pub const COLLECTION_OVERHEAD: u64 = 16;
+
+macro_rules! fixed_size {
+    ($($t:ty => $n:expr),* $(,)?) => {
+        $(impl SizeEstimate for $t {
+            #[inline]
+            fn estimated_bytes(&self) -> u64 { $n }
+        })*
+    };
+}
+
+fixed_size! {
+    u8 => 1, u16 => 2, u32 => 4, u64 => 8, usize => 8,
+    i8 => 1, i16 => 2, i32 => 4, i64 => 8,
+    f32 => 4, f64 => 8, bool => 1,
+    VertexId => 4,
+    () => 0,
+}
+
+impl<T: SizeEstimate> SizeEstimate for Option<T> {
+    fn estimated_bytes(&self) -> u64 {
+        1 + self.as_ref().map_or(0, SizeEstimate::estimated_bytes)
+    }
+}
+
+impl<T: SizeEstimate> SizeEstimate for Vec<T> {
+    fn estimated_bytes(&self) -> u64 {
+        COLLECTION_OVERHEAD + self.iter().map(SizeEstimate::estimated_bytes).sum::<u64>()
+    }
+}
+
+impl<T: SizeEstimate> SizeEstimate for [T] {
+    fn estimated_bytes(&self) -> u64 {
+        COLLECTION_OVERHEAD + self.iter().map(SizeEstimate::estimated_bytes).sum::<u64>()
+    }
+}
+
+impl<A: SizeEstimate, B: SizeEstimate> SizeEstimate for (A, B) {
+    fn estimated_bytes(&self) -> u64 {
+        self.0.estimated_bytes() + self.1.estimated_bytes()
+    }
+}
+
+impl<A: SizeEstimate, B: SizeEstimate, C: SizeEstimate> SizeEstimate for (A, B, C) {
+    fn estimated_bytes(&self) -> u64 {
+        self.0.estimated_bytes() + self.1.estimated_bytes() + self.2.estimated_bytes()
+    }
+}
+
+impl<T: SizeEstimate + ?Sized> SizeEstimate for &T {
+    fn estimated_bytes(&self) -> u64 {
+        (**self).estimated_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_have_fixed_sizes() {
+        assert_eq!(3u8.estimated_bytes(), 1);
+        assert_eq!(3u64.estimated_bytes(), 8);
+        assert_eq!(3.0f32.estimated_bytes(), 4);
+        assert_eq!(VertexId::new(9).estimated_bytes(), 4);
+        assert_eq!(().estimated_bytes(), 0);
+    }
+
+    #[test]
+    fn options_charge_a_tag_byte() {
+        assert_eq!(None::<u32>.estimated_bytes(), 1);
+        assert_eq!(Some(1u32).estimated_bytes(), 5);
+    }
+
+    #[test]
+    fn collections_charge_envelope_plus_elements() {
+        let v: Vec<(VertexId, f32)> = vec![(VertexId::new(1), 0.5); 3];
+        assert_eq!(v.estimated_bytes(), COLLECTION_OVERHEAD + 3 * 8);
+        let nested: Vec<Vec<u32>> = vec![vec![1, 2], vec![]];
+        assert_eq!(
+            nested.estimated_bytes(),
+            COLLECTION_OVERHEAD + (COLLECTION_OVERHEAD + 8) + COLLECTION_OVERHEAD
+        );
+    }
+
+    #[test]
+    fn slices_and_refs_delegate() {
+        let v = [1u32, 2, 3];
+        assert_eq!(v[..].estimated_bytes(), COLLECTION_OVERHEAD + 12);
+        let r = &5u64;
+        assert_eq!(r.estimated_bytes(), 8);
+    }
+}

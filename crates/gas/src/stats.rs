@@ -1,0 +1,148 @@
+//! Execution statistics collected by the engine.
+
+/// Per-node tallies for one GAS step.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NodeStats {
+    /// Compute operations executed on this node (engine-counted calls plus
+    /// program-reported work units).
+    pub compute_ops: u64,
+    /// Bytes this node sent or received over the simulated network.
+    pub net_bytes: u64,
+    /// Peak simulated memory footprint of the node during the step.
+    pub memory_peak: u64,
+}
+
+/// Statistics of one executed GAS step.
+#[derive(Clone, Debug, Default)]
+pub struct StepStats {
+    /// Step name as reported by the program.
+    pub name: String,
+    /// Number of `gather` invocations.
+    pub gather_calls: u64,
+    /// Number of `sum` invocations (local folds plus master merges).
+    pub sum_calls: u64,
+    /// Number of `apply` invocations.
+    pub apply_calls: u64,
+    /// Total work units, including program-reported extra work.
+    pub work_ops: u64,
+    /// Bytes of vertex state broadcast from masters to mirrors.
+    pub broadcast_bytes: u64,
+    /// Bytes of gather partials sent from mirrors to masters.
+    pub partial_bytes: u64,
+    /// Per-node breakdown.
+    pub per_node: Vec<NodeStats>,
+    /// Simulated wall-clock duration of the step (cost model output).
+    pub simulated_seconds: f64,
+}
+
+impl StepStats {
+    /// Total bytes crossing the simulated network during this step.
+    pub fn network_bytes(&self) -> u64 {
+        self.broadcast_bytes + self.partial_bytes
+    }
+
+    /// Largest per-node compute-op count (the straggler that bounds the
+    /// step's compute time).
+    pub fn max_node_ops(&self) -> u64 {
+        self.per_node.iter().map(|n| n.compute_ops).max().unwrap_or(0)
+    }
+
+    /// Largest per-node network volume.
+    pub fn max_node_net_bytes(&self) -> u64 {
+        self.per_node.iter().map(|n| n.net_bytes).max().unwrap_or(0)
+    }
+
+    /// Largest per-node memory footprint.
+    pub fn peak_memory(&self) -> u64 {
+        self.per_node.iter().map(|n| n.memory_peak).max().unwrap_or(0)
+    }
+}
+
+/// Accumulated statistics of a full GAS program run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// One entry per executed step, in order.
+    pub steps: Vec<StepStats>,
+    /// Replication factor of the partition the run executed on.
+    pub replication_factor: f64,
+}
+
+impl RunStats {
+    /// Simulated wall-clock seconds across all steps.
+    pub fn simulated_seconds(&self) -> f64 {
+        self.steps.iter().map(|s| s.simulated_seconds).sum()
+    }
+
+    /// Total simulated network traffic in bytes.
+    pub fn total_network_bytes(&self) -> u64 {
+        self.steps.iter().map(StepStats::network_bytes).sum()
+    }
+
+    /// Peak per-node memory across all steps.
+    pub fn peak_memory(&self) -> u64 {
+        self.steps.iter().map(StepStats::peak_memory).max().unwrap_or(0)
+    }
+
+    /// Total work units across all steps.
+    pub fn total_work_ops(&self) -> u64 {
+        self.steps.iter().map(|s| s.work_ops).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(ops: &[u64], net: &[u64], mem: &[u64], secs: f64) -> StepStats {
+        StepStats {
+            name: "s".into(),
+            per_node: ops
+                .iter()
+                .zip(net)
+                .zip(mem)
+                .map(|((&o, &n), &m)| NodeStats {
+                    compute_ops: o,
+                    net_bytes: n,
+                    memory_peak: m,
+                })
+                .collect(),
+            broadcast_bytes: net.iter().sum::<u64>() / 2,
+            partial_bytes: net.iter().sum::<u64>() / 2,
+            simulated_seconds: secs,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn step_maxes() {
+        let s = step(&[5, 9, 2], &[10, 4, 7], &[100, 50, 200], 1.5);
+        assert_eq!(s.max_node_ops(), 9);
+        assert_eq!(s.max_node_net_bytes(), 10);
+        assert_eq!(s.peak_memory(), 200);
+        assert_eq!(s.network_bytes(), 20);
+    }
+
+    #[test]
+    fn run_aggregates() {
+        let run = RunStats {
+            steps: vec![
+                step(&[5], &[10], &[100], 1.0),
+                step(&[7], &[2], &[300], 0.5),
+            ],
+            replication_factor: 1.5,
+        };
+        assert!((run.simulated_seconds() - 1.5).abs() < 1e-12);
+        assert_eq!(run.peak_memory(), 300);
+        assert_eq!(run.total_network_bytes(), 10 + 2);
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let s = StepStats::default();
+        assert_eq!(s.max_node_ops(), 0);
+        assert_eq!(s.peak_memory(), 0);
+        let r = RunStats::default();
+        assert_eq!(r.simulated_seconds(), 0.0);
+        assert_eq!(r.total_work_ops(), 0);
+    }
+}

@@ -1,0 +1,342 @@
+//! Classic sequential graph algorithms.
+//!
+//! These serve two roles in the reproduction: validating the synthetic
+//! dataset emulators (e.g. giant-component size, core structure), and
+//! acting as *sequential oracles* for the GAS engine — the engine's
+//! distributed PageRank and connected-components programs
+//! ([`snaple_gas::programs`](https://example.org)) are tested for exact
+//! agreement with the implementations here.
+
+use std::collections::VecDeque;
+
+use crate::{CsrGraph, VertexId};
+
+/// Union-find with path halving and union by size.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Finds the representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        let mut x = x;
+        while self.parent[x as usize] != x {
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets containing `a` and `b`; returns `true` if they were
+    /// distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+}
+
+/// Weakly connected components: per-vertex component label (the smallest
+/// vertex id in the component), ignoring edge direction.
+pub fn weakly_connected_components(graph: &CsrGraph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for (u, v) in graph.edges() {
+        uf.union(u.as_u32(), v.as_u32());
+    }
+    // Canonical label: smallest member id per component.
+    let mut label = vec![u32::MAX; n];
+    for x in 0..n as u32 {
+        let r = uf.find(x) as usize;
+        label[r] = label[r].min(x);
+    }
+    (0..n as u32).map(|x| label[uf.find(x) as usize]).collect()
+}
+
+/// Number of vertices in the largest weakly connected component.
+pub fn largest_component_size(graph: &CsrGraph) -> usize {
+    let labels = weakly_connected_components(graph);
+    let mut counts = std::collections::HashMap::new();
+    for l in labels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    counts.into_values().max().unwrap_or(0)
+}
+
+/// BFS hop distances from `source` along out-edges, up to `max_depth`
+/// (`None` = unreachable within the bound).
+pub fn bfs_distances(
+    graph: &CsrGraph,
+    source: VertexId,
+    max_depth: usize,
+) -> Vec<Option<u32>> {
+    let mut dist = vec![None; graph.num_vertices()];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let d = dist[u.index()].expect("queued vertices have distances");
+        if d as usize >= max_depth {
+            continue;
+        }
+        for &v in graph.out_neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(d + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// K-core decomposition (Batagelj–Zaveršnik peeling) over the undirected
+/// view of the graph (union of in- and out-adjacency). Returns each
+/// vertex's core number.
+pub fn core_numbers(graph: &CsrGraph) -> Vec<u32> {
+    let n = graph.num_vertices();
+    // Undirected degree = |Γ(u) ∪ Γ⁻¹(u)|; merge the two sorted lists.
+    let und_degree = |u: VertexId| {
+        let (a, b) = (graph.out_neighbors(u), graph.in_neighbors(u));
+        let mut count = 0usize;
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            count += 1;
+            if j >= b.len() || (i < a.len() && a[i] < b[j]) {
+                i += 1;
+            } else if i >= a.len() || b[j] < a[i] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        count
+    };
+    let mut degree: Vec<usize> = graph.vertices().map(und_degree).collect();
+    let max_degree = degree.iter().copied().max().unwrap_or(0);
+
+    // Bucket sort by degree.
+    let mut bins = vec![0usize; max_degree + 2];
+    for &d in &degree {
+        bins[d] += 1;
+    }
+    let mut start = 0;
+    for bin in bins.iter_mut() {
+        let count = *bin;
+        *bin = start;
+        start += count;
+    }
+    let mut pos = vec![0usize; n];
+    let mut order = vec![0u32; n];
+    for u in 0..n {
+        pos[u] = bins[degree[u]];
+        order[pos[u]] = u as u32;
+        bins[degree[u]] += 1;
+    }
+    for d in (1..bins.len()).rev() {
+        bins[d] = bins[d - 1];
+    }
+    bins[0] = 0;
+
+    let mut core = vec![0u32; n];
+    let neighbors = |u: VertexId| -> Vec<VertexId> {
+        let mut ns: Vec<VertexId> = graph
+            .out_neighbors(u)
+            .iter()
+            .chain(graph.in_neighbors(u))
+            .copied()
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        ns
+    };
+    for i in 0..n {
+        let u = order[i] as usize;
+        core[u] = degree[u] as u32;
+        for v in neighbors(VertexId::new(u as u32)) {
+            let v = v.index();
+            if degree[v] > degree[u] {
+                // Move v one bucket down.
+                let dv = degree[v];
+                let pv = pos[v];
+                let pw = bins[dv];
+                let w = order[pw] as usize;
+                if v != w {
+                    order.swap(pv, pw);
+                    pos[v] = pw;
+                    pos[w] = pv;
+                }
+                bins[dv] += 1;
+                degree[v] -= 1;
+            }
+        }
+    }
+    core
+}
+
+/// Sequential PageRank with uniform teleport, `iterations` synchronous
+/// sweeps, damping `d`. Dangling mass is redistributed uniformly.
+///
+/// # Panics
+///
+/// Panics if `damping` is outside `[0, 1]`.
+pub fn pagerank(graph: &CsrGraph, damping: f64, iterations: usize) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&damping), "damping must be in [0, 1]");
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        for u in graph.vertices() {
+            if graph.out_degree(u) == 0 {
+                dangling += rank[u.index()];
+            }
+        }
+        for slot in next.iter_mut() {
+            *slot = (1.0 - damping) * uniform + damping * dangling * uniform;
+        }
+        for u in graph.vertices() {
+            let share = rank[u.index()] / graph.out_degree(u).max(1) as f64;
+            for &v in graph.out_neighbors(u) {
+                next[v.index()] += damping * share;
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_and_isolate() -> CsrGraph {
+        // Component A: 0-1-2 triangle (symmetric); component B: 3-4 edge
+        // (symmetric); vertex 5 isolated.
+        CsrGraph::from_edges(
+            6,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (3, 4), (4, 3)],
+        )
+    }
+
+    #[test]
+    fn union_find_merges_and_sizes() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(1, 2));
+        assert_eq!(uf.set_size(2), 3);
+        assert_eq!(uf.set_size(4), 1);
+        assert_eq!(uf.find(0), uf.find(2));
+        assert_ne!(uf.find(0), uf.find(3));
+    }
+
+    #[test]
+    fn components_of_two_triangles() {
+        let g = two_triangles_and_isolate();
+        let labels = weakly_connected_components(&g);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 5]);
+        assert_eq!(largest_component_size(&g), 3);
+    }
+
+    #[test]
+    fn components_ignore_direction() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (2, 1)]);
+        let labels = weakly_connected_components(&g);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn bfs_distances_on_a_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, VertexId::new(0), 10);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        let bounded = bfs_distances(&g, VertexId::new(0), 2);
+        assert_eq!(bounded, vec![Some(0), Some(1), Some(2), None]);
+        // Directionality respected.
+        let back = bfs_distances(&g, VertexId::new(3), 10);
+        assert_eq!(back, vec![None, None, None, Some(0)]);
+    }
+
+    #[test]
+    fn core_numbers_of_triangle_with_tail() {
+        // Triangle (core 2) with a pendant vertex (core 1).
+        let g = CsrGraph::from_edges(
+            4,
+            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3), (3, 2)],
+        );
+        assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
+    }
+
+    #[test]
+    fn core_numbers_of_clique() {
+        let mut edges = Vec::new();
+        for a in 0..5u32 {
+            for b in 0..5u32 {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        let g = CsrGraph::from_edges(5, &edges);
+        assert!(core_numbers(&g).iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        // Star: everyone points at 0.
+        let g = CsrGraph::from_edges(5, &[(1, 0), (2, 0), (3, 0), (4, 0)]);
+        let pr = pagerank(&g, 0.85, 50);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        for i in 1..5 {
+            assert!(pr[0] > pr[i], "hub must outrank leaves");
+        }
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycles() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 0.85, 100);
+        for &r in &pr {
+            assert!((r - 0.25).abs() < 1e-9, "{pr:?}");
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_empty_and_dangling() {
+        assert!(pagerank(&CsrGraph::from_edges(0, &[]), 0.85, 5).is_empty());
+        let g = CsrGraph::from_edges(2, &[(0, 1)]); // 1 dangles
+        let pr = pagerank(&g, 0.85, 80);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[1] > pr[0]);
+    }
+}

@@ -1,0 +1,217 @@
+//! Mutable graph construction.
+
+use crate::{CsrGraph, VertexId};
+
+/// Incremental builder for [`CsrGraph`].
+///
+/// Collect edges in any order, then call [`GraphBuilder::build`]. The builder
+/// sorts edges, removes duplicates and self-loops, and (optionally)
+/// symmetrizes the edge set so that undirected inputs become directed graphs
+/// with both orientations — the transformation the paper applies to the
+/// *gowalla* and *orkut* datasets.
+///
+/// # Example
+///
+/// ```
+/// use snaple_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.symmetrize(true);
+/// b.add_edge(0, 1); // also yields (1, 0)
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    edges: Vec<(u32, u32)>,
+    weights: Vec<f32>,
+    weighted: bool,
+    min_vertices: usize,
+    symmetrize: bool,
+    keep_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with capacity for `edges` edges.
+    pub fn with_capacity(edges: usize) -> Self {
+        GraphBuilder {
+            edges: Vec::with_capacity(edges),
+            ..Self::default()
+        }
+    }
+
+    /// Ensures the built graph has at least `n` vertices, even if the top
+    /// ids never appear in an edge.
+    pub fn reserve_vertices(&mut self, n: usize) -> &mut Self {
+        self.min_vertices = self.min_vertices.max(n);
+        self
+    }
+
+    /// If `true`, every added edge `(u, v)` also produces `(v, u)`.
+    pub fn symmetrize(&mut self, yes: bool) -> &mut Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// If `true`, self-loops survive into the built graph (default: removed).
+    pub fn keep_self_loops(&mut self, yes: bool) -> &mut Self {
+        self.keep_self_loops = yes;
+        self
+    }
+
+    /// Adds a directed edge with weight `1.0`.
+    #[inline]
+    pub fn add_edge(&mut self, u: u32, v: u32) -> &mut Self {
+        self.edges.push((u, v));
+        self.weights.push(1.0);
+        self
+    }
+
+    /// Adds a directed edge with an explicit weight. Once any weighted edge
+    /// is added the built graph is weighted.
+    #[inline]
+    pub fn add_weighted_edge(&mut self, u: u32, v: u32, w: f32) -> &mut Self {
+        self.edges.push((u, v));
+        self.weights.push(w);
+        self.weighted = true;
+        self
+    }
+
+    /// Number of edges added so far (before deduplication).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Consumes the builder and produces the CSR graph.
+    ///
+    /// Duplicated edges keep the weight of their first occurrence (in the
+    /// symmetrized case, the forward orientation's weight wins ties).
+    pub fn build(&mut self) -> CsrGraph {
+        let mut triples: Vec<(u32, u32, f32)> = Vec::with_capacity(
+            self.edges.len() * if self.symmetrize { 2 } else { 1 },
+        );
+        for (i, &(u, v)) in self.edges.iter().enumerate() {
+            let w = self.weights[i];
+            triples.push((u, v, w));
+            if self.symmetrize {
+                triples.push((v, u, w));
+            }
+        }
+        if !self.keep_self_loops {
+            triples.retain(|&(u, v, _)| u != v);
+        }
+        triples.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triples.dedup_by_key(|t| (t.0, t.1));
+
+        let n = triples
+            .iter()
+            .map(|&(u, v, _)| u.max(v) as usize + 1)
+            .max()
+            .unwrap_or(0)
+            .max(self.min_vertices);
+
+        let mut offsets = vec![0usize; n + 1];
+        for &(u, _, _) in &triples {
+            offsets[u as usize + 1] += 1;
+        }
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
+        }
+        let targets: Vec<VertexId> =
+            triples.iter().map(|&(_, v, _)| VertexId::new(v)).collect();
+        let weights = if self.weighted {
+            Some(triples.iter().map(|&(_, _, w)| w).collect())
+        } else {
+            None
+        };
+        CsrGraph::from_parts(n, offsets, targets, weights)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_sorts() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(2, 1).add_edge(0, 1).add_edge(2, 1).add_edge(2, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 3);
+        let nbrs: Vec<u32> = g
+            .out_neighbors(VertexId::new(2))
+            .iter()
+            .map(|v| v.as_u32())
+            .collect();
+        assert_eq!(nbrs, vec![0, 1]);
+    }
+
+    #[test]
+    fn removes_self_loops_by_default() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(1, 1).add_edge(0, 1);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn keeps_self_loops_when_asked() {
+        let mut b = GraphBuilder::new();
+        b.keep_self_loops(true);
+        b.add_edge(1, 1);
+        assert_eq!(b.build().num_edges(), 1);
+    }
+
+    #[test]
+    fn symmetrize_duplicates_both_directions() {
+        let mut b = GraphBuilder::new();
+        b.symmetrize(true);
+        b.add_edge(0, 1).add_edge(1, 0).add_edge(1, 2);
+        let g = b.build();
+        // (0,1),(1,0),(1,2),(2,1)
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(VertexId::new(2), VertexId::new(1)));
+    }
+
+    #[test]
+    fn reserve_vertices_pads_isolated_ids() {
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        b.reserve_vertices(10);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.out_degree(VertexId::new(9)), 0);
+    }
+
+    #[test]
+    fn weighted_edges_survive_and_first_weight_wins() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 1, 0.5);
+        b.add_weighted_edge(0, 2, 0.25);
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(VertexId::new(0), VertexId::new(1)), Some(0.5));
+        assert_eq!(
+            g.edge_weight(VertexId::new(0), VertexId::new(2)),
+            Some(0.25)
+        );
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        assert_eq!(GraphBuilder::new().build().num_vertices(), 0);
+        assert!(GraphBuilder::new().is_empty());
+        let mut b = GraphBuilder::new();
+        b.add_edge(0, 1);
+        assert_eq!(b.len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Error type for graph construction and I/O.
+
+use std::error::Error as StdError;
+use std::fmt;
+use std::io;
+
+/// Errors produced while building, reading or writing graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// A text edge list could not be parsed.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A binary graph file was malformed.
+    Corrupt(String),
+    /// An edge referenced a vertex outside the declared vertex range.
+    VertexOutOfRange {
+        /// The offending vertex id.
+        vertex: u32,
+        /// The number of vertices the graph was declared with.
+        num_vertices: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Corrupt(msg) => write!(f, "corrupt graph file: {msg}"),
+            GraphError::VertexOutOfRange {
+                vertex,
+                num_vertices,
+            } => write!(
+                f,
+                "vertex {vertex} out of range for graph with {num_vertices} vertices"
+            ),
+        }
+    }
+}
+
+impl StdError for GraphError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "expected two fields".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: expected two fields");
+    }
+
+    #[test]
+    fn io_errors_convert_and_expose_source() {
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn error_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic hashing utilities.
+//!
+//! The GAS engine and the SNAPLE steps must behave identically regardless of
+//! how a graph is partitioned across simulated nodes, so every random-looking
+//! decision that the paper makes per vertex or per edge (e.g. the
+//! probabilistic truncation of Algorithm 2, line 3) is driven by one of these
+//! stateless hashes instead of a shared RNG.
+
+/// SplitMix64 finalizer — a cheap, high-quality 64-bit mixing function.
+///
+/// ```
+/// use snaple_graph::hash::splitmix64;
+/// assert_ne!(splitmix64(1), splitmix64(2));
+/// assert_eq!(splitmix64(42), splitmix64(42));
+/// ```
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hashes a `(seed, a)` pair into a well-mixed 64-bit value.
+#[inline]
+pub fn hash1(seed: u64, a: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a))
+}
+
+/// Hashes a `(seed, a, b)` triple into a well-mixed 64-bit value.
+///
+/// Order matters: `hash2(s, a, b) != hash2(s, b, a)` in general, which is
+/// what we want for directed edges.
+#[inline]
+pub fn hash2(seed: u64, a: u64, b: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(a).wrapping_add(splitmix64(b).rotate_left(17)))
+}
+
+/// Maps a 64-bit hash to a uniform `f64` in `[0, 1)`.
+///
+/// ```
+/// use snaple_graph::hash::{splitmix64, unit_f64};
+/// let u = unit_f64(splitmix64(7));
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[inline]
+pub fn unit_f64(h: u64) -> f64 {
+    // Use the top 53 bits for a dyadic rational in [0,1).
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Deterministic uniform draw in `[0, 1)` for an edge `(u, v)` under `seed`.
+#[inline]
+pub fn edge_unit(seed: u64, u: u32, v: u32) -> f64 {
+    unit_f64(hash2(seed, u as u64, v as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_reference_vectors() {
+        // Reference values from the SplitMix64 paper/public-domain code with
+        // seed increments applied by the caller (we test the finalizer only).
+        // splitmix64 stream with seed 0: first two outputs correspond to
+        // finalizing 0 and GOLDEN (the state after one increment).
+        assert_eq!(splitmix64(0), 0xe220a8397b1dcdaf);
+        assert_eq!(splitmix64(0x9e37_79b9_7f4a_7c15), 0x6e789e6aa1b965f4);
+    }
+
+    #[test]
+    fn hash2_is_order_sensitive() {
+        assert_ne!(hash2(0, 1, 2), hash2(0, 2, 1));
+    }
+
+    #[test]
+    fn unit_values_are_in_range_and_spread() {
+        let mut lo = 0usize;
+        for i in 0..10_000u64 {
+            let u = unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+            if u < 0.5 {
+                lo += 1;
+            }
+        }
+        // Roughly balanced halves.
+        assert!((4_000..6_000).contains(&lo), "lo = {lo}");
+    }
+
+    #[test]
+    fn edge_unit_is_deterministic() {
+        assert_eq!(edge_unit(9, 3, 4), edge_unit(9, 3, 4));
+        assert_ne!(edge_unit(9, 3, 4), edge_unit(10, 3, 4));
+    }
+}

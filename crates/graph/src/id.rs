@@ -1,0 +1,97 @@
+//! Vertex identifiers.
+
+use std::fmt;
+
+/// A compact identifier for a vertex of a [`CsrGraph`](crate::CsrGraph).
+///
+/// Vertex ids are dense: a graph with `n` vertices uses ids `0..n`. The
+/// newtype keeps vertex ids from being confused with ordinary counters or
+/// with the *node* (machine) ids of the GAS engine.
+///
+/// ```
+/// use snaple_graph::VertexId;
+/// let v = VertexId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(u32::from(v), 7);
+/// assert_eq!(v.to_string(), "v7");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VertexId(u32);
+
+impl VertexId {
+    /// Creates a vertex id from its dense index.
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        VertexId(raw)
+    }
+
+    /// Returns the id as a `usize`, suitable for indexing per-vertex arrays.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for VertexId {
+    #[inline]
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+impl From<VertexId> for u32 {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0
+    }
+}
+
+impl From<VertexId> for usize {
+    #[inline]
+    fn from(v: VertexId) -> Self {
+        v.0 as usize
+    }
+}
+
+impl fmt::Debug for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_u32() {
+        let v = VertexId::new(42);
+        assert_eq!(VertexId::from(u32::from(v)), v);
+        assert_eq!(v.index(), 42);
+        assert_eq!(v.as_u32(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_raw_value() {
+        assert!(VertexId::new(1) < VertexId::new(2));
+        assert_eq!(VertexId::default(), VertexId::new(0));
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", VertexId::new(3)), "v3");
+        assert_eq!(format!("{}", VertexId::new(3)), "v3");
+    }
+}

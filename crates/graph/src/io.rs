@@ -1,0 +1,314 @@
+//! Graph serialization: SNAP-style text edge lists and a compact binary
+//! format.
+//!
+//! The text format is one `source target [weight]` triple per line, with `#`
+//! or `%` starting comment lines — the format the paper's public datasets
+//! ship in. The binary format (`SNPLG1`) stores the CSR arrays directly and
+//! loads an order of magnitude faster; the bench harness uses it to cache
+//! emulated datasets between runs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use bytes::{Buf, BufMut};
+
+use crate::{CsrGraph, GraphBuilder, GraphError, VertexId};
+
+const MAGIC: &[u8; 6] = b"SNPLG1";
+const FLAG_WEIGHTED: u8 = 1;
+
+/// Reads a text edge list.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Each data
+/// line must contain two vertex ids and may contain a third `f32` weight
+/// field; fields are whitespace-separated.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Parse`] on malformed lines and [`GraphError::Io`]
+/// on read failures.
+///
+/// ```
+/// use snaple_graph::io::read_edge_list;
+/// let g = read_edge_list("# demo\n0 1\n1 2\n".as_bytes(), false)?;
+/// assert_eq!(g.num_edges(), 2);
+/// # Ok::<(), snaple_graph::GraphError>(())
+/// ```
+pub fn read_edge_list<R: Read>(reader: R, symmetrize: bool) -> Result<CsrGraph, GraphError> {
+    let mut builder = GraphBuilder::new();
+    builder.symmetrize(symmetrize);
+    let buf = BufReader::new(reader);
+    for (lineno, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (su, sv) = match (it.next(), it.next()) {
+            (Some(a), Some(b)) => (a, b),
+            _ => {
+                return Err(GraphError::Parse {
+                    line: lineno + 1,
+                    message: "expected at least two fields".into(),
+                })
+            }
+        };
+        let parse = |s: &str| -> Result<u32, GraphError> {
+            s.parse().map_err(|_| GraphError::Parse {
+                line: lineno + 1,
+                message: format!("invalid vertex id {s:?}"),
+            })
+        };
+        let (u, v) = (parse(su)?, parse(sv)?);
+        match it.next() {
+            Some(sw) => {
+                let w: f32 = sw.parse().map_err(|_| GraphError::Parse {
+                    line: lineno + 1,
+                    message: format!("invalid weight {sw:?}"),
+                })?;
+                builder.add_weighted_edge(u, v, w);
+            }
+            None => {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Writes a graph as a text edge list (weights included when present).
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    writeln!(
+        writer,
+        "# snaple edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for u in graph.vertices() {
+        let nbrs = graph.out_neighbors(u);
+        match graph.out_weights(u) {
+            Some(ws) => {
+                for (v, w) in nbrs.iter().zip(ws) {
+                    writeln!(writer, "{} {} {}", u.as_u32(), v.as_u32(), w)?;
+                }
+            }
+            None => {
+                for v in nbrs {
+                    writeln!(writer, "{} {}", u.as_u32(), v.as_u32())?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Encodes a graph into the `SNPLG1` binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+    let mut header = Vec::with_capacity(MAGIC.len() + 1 + 16);
+    header.put_slice(MAGIC);
+    header.put_u8(if graph.is_weighted() { FLAG_WEIGHTED } else { 0 });
+    header.put_u64_le(graph.num_vertices() as u64);
+    header.put_u64_le(graph.num_edges() as u64);
+    writer.write_all(&header)?;
+
+    let mut body = Vec::with_capacity(graph.num_edges() * 4 + graph.num_vertices() * 8 + 16);
+    let mut offset = 0u64;
+    body.put_u64_le(0);
+    for u in graph.vertices() {
+        offset += graph.out_degree(u) as u64;
+        body.put_u64_le(offset);
+    }
+    for u in graph.vertices() {
+        for v in graph.out_neighbors(u) {
+            body.put_u32_le(v.as_u32());
+        }
+    }
+    if graph.is_weighted() {
+        for u in graph.vertices() {
+            for &w in graph.out_weights(u).unwrap_or(&[]) {
+                body.put_f32_le(w);
+            }
+        }
+    }
+    writer.write_all(&body)?;
+    Ok(())
+}
+
+/// Decodes a graph from the `SNPLG1` binary format.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Corrupt`] on malformed input and [`GraphError::Io`]
+/// on read failures.
+pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    let mut buf = &data[..];
+    if buf.remaining() < MAGIC.len() + 1 + 16 {
+        return Err(GraphError::Corrupt("truncated header".into()));
+    }
+    let mut magic = [0u8; 6];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(GraphError::Corrupt("bad magic".into()));
+    }
+    let flags = buf.get_u8();
+    let weighted = flags & FLAG_WEIGHTED != 0;
+    let n = buf.get_u64_le() as usize;
+    let m = buf.get_u64_le() as usize;
+
+    // Wide arithmetic: corrupt headers may carry counts that would
+    // overflow a usize multiplication (caught by the fuzz property test).
+    let need = (n as u128 + 1) * 8 + (m as u128) * 4 + if weighted { m as u128 * 4 } else { 0 };
+    if (buf.remaining() as u128) < need {
+        return Err(GraphError::Corrupt(format!(
+            "body too short: need {need} bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(buf.get_u64_le() as usize);
+    }
+    if offsets[0] != 0 || offsets[n] != m || offsets.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Corrupt("non-monotonic offsets".into()));
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        let t = buf.get_u32_le();
+        if t as usize >= n {
+            return Err(GraphError::VertexOutOfRange {
+                vertex: t,
+                num_vertices: n,
+            });
+        }
+        targets.push(VertexId::new(t));
+    }
+    let weights = if weighted {
+        let mut w = Vec::with_capacity(m);
+        for _ in 0..m {
+            w.push(buf.get_f32_le());
+        }
+        Some(w)
+    } else {
+        None
+    };
+    Ok(CsrGraph::from_parts(n, offsets, targets, weights))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (3, 1), (4, 0)])
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(&out[..], false).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for u in g.vertices() {
+            assert_eq!(g.out_neighbors(u), g2.out_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn text_skips_comments_and_blank_lines() {
+        let g = read_edge_list("# c\n% c\n\n0 1\n".as_bytes(), false).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn text_symmetrize_doubles_edges() {
+        let g = read_edge_list("0 1\n1 2\n".as_bytes(), true).unwrap();
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        let err = read_edge_list("0\n".as_bytes(), false).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }));
+        let err = read_edge_list("0 x\n".as_bytes(), false).unwrap_err();
+        assert!(err.to_string().contains("invalid vertex id"));
+        let err = read_edge_list("0 1 zz\n".as_bytes(), false).unwrap_err();
+        assert!(err.to_string().contains("invalid weight"));
+    }
+
+    #[test]
+    fn text_parses_weights() {
+        let g = read_edge_list("0 1 0.5\n".as_bytes(), false).unwrap();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(VertexId::new(0), VertexId::new(1)), Some(0.5));
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_binary(&g, &mut out).unwrap();
+        let g2 = read_binary(&out[..]).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for u in g.vertices() {
+            assert_eq!(g.out_neighbors(u), g2.out_neighbors(u));
+            assert_eq!(g.in_neighbors(u), g2.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_weighted() {
+        let mut b = GraphBuilder::new();
+        b.add_weighted_edge(0, 1, 2.5).add_weighted_edge(1, 0, 0.5);
+        let g = b.build();
+        let mut out = Vec::new();
+        write_binary(&g, &mut out).unwrap();
+        let g2 = read_binary(&out[..]).unwrap();
+        assert!(g2.is_weighted());
+        assert_eq!(g2.edge_weight(VertexId::new(0), VertexId::new(1)), Some(2.5));
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let err = read_binary(&b"NOTMAG\x00"[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut out = Vec::new();
+        write_binary(&g, &mut out).unwrap();
+        for cut in [3, MAGIC.len() + 10, out.len() - 1] {
+            let err = read_binary(&out[..cut]).unwrap_err();
+            assert!(matches!(err, GraphError::Corrupt(_)), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_targets() {
+        // Hand-craft: 1 vertex, 1 edge pointing at vertex 5.
+        let mut out = Vec::new();
+        out.put_slice(MAGIC);
+        out.put_u8(0);
+        out.put_u64_le(1);
+        out.put_u64_le(1);
+        out.put_u64_le(0);
+        out.put_u64_le(1);
+        out.put_u32_le(5);
+        let err = read_binary(&out[..]).unwrap_err();
+        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+    }
+}

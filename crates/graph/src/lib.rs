@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for the SNAPLE link-prediction framework.
+//!
+//! This crate provides everything the upper layers need to *hold* and
+//! *produce* graphs:
+//!
+//! * [`CsrGraph`] — an immutable compressed-sparse-row directed graph with
+//!   both out- and in-adjacency, the storage format consumed by the GAS
+//!   engine ([`snaple-gas`](https://example.org/snaple)).
+//! * [`GraphBuilder`] — the mutable construction side: collect edges, then
+//!   [`GraphBuilder::build`] a [`CsrGraph`] (deduplicated, sorted, optionally
+//!   symmetrized).
+//! * [`io`] — text edge-list (SNAP style) and a compact binary codec.
+//! * [`stats`] — degree histograms/CDFs, clustering, reciprocity; used to
+//!   regenerate the paper's Figure 6a–c.
+//! * [`gen`] — seeded synthetic generators (Erdős–Rényi, Barabási–Albert,
+//!   Holme–Kim, Watts–Strogatz) and [`gen::datasets`] emulating the five
+//!   datasets of the paper's Table 4 at a configurable scale.
+//! * [`hash`] / [`sample`] — deterministic hashing and sampling utilities
+//!   shared by the whole workspace (e.g. the probabilistic neighborhood
+//!   truncation of SNAPLE's step 1).
+//!
+//! # Example
+//!
+//! ```
+//! use snaple_graph::{GraphBuilder, VertexId};
+//!
+//! let mut b = GraphBuilder::new();
+//! b.add_edge(0, 1);
+//! b.add_edge(1, 2);
+//! b.add_edge(0, 2);
+//! let g = b.build();
+//! assert_eq!(g.num_vertices(), 3);
+//! assert_eq!(g.out_neighbors(VertexId::new(0)).len(), 2);
+//! ```
+
+pub mod algo;
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod gen;
+pub mod hash;
+pub mod id;
+pub mod io;
+pub mod sample;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::{CsrGraph, Direction};
+pub use error::GraphError;
+pub use id::VertexId;

@@ -1,0 +1,115 @@
+//! Sampling primitives shared across the workspace.
+
+use rand::Rng;
+
+/// Reservoir-samples up to `k` items from an iterator (Algorithm R).
+///
+/// The result preserves no particular order. When the iterator yields `k`
+/// or fewer items, all of them are returned.
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let s = snaple_graph::sample::reservoir_sample(0..100, 5, &mut rng);
+/// assert_eq!(s.len(), 5);
+/// ```
+pub fn reservoir_sample<T, I, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng,
+{
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_range(0..=i);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// Samples `k` distinct indices from `0..n` (Floyd's algorithm), returned in
+/// ascending order.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+pub fn sample_indices<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    assert!(k <= n, "cannot sample {k} of {n}");
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in (n - k)..n {
+        let t = rng.gen_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    chosen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn reservoir_returns_everything_when_small() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut s = reservoir_sample(0..3, 10, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reservoir_zero_is_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(reservoir_sample(0..100, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn reservoir_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..5_000 {
+            for x in reservoir_sample(0..10, 3, &mut rng) {
+                counts[x] += 1;
+            }
+        }
+        // Each element expected 1500 times; allow generous slack.
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((1_200..1_800).contains(&c), "element {i}: {c}");
+        }
+    }
+
+    #[test]
+    fn sample_indices_are_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..100 {
+            let s = sample_indices(20, 7, &mut rng);
+            assert_eq!(s.len(), 7);
+            assert!(s.windows(2).all(|w| w[0] < w[1]));
+            assert!(s.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn sample_indices_full_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(sample_indices(5, 5, &mut rng), vec![0, 1, 2, 3, 4]);
+        assert!(sample_indices(5, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_indices_rejects_oversized_k() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let _ = sample_indices(3, 4, &mut rng);
+    }
+}

@@ -1,0 +1,235 @@
+//! Hand-rolled L2-regularized logistic regression trained with SGD.
+//!
+//! Deliberately minimal: the supervised extension only needs a linear
+//! model over a handful of SNAPLE score columns, so pulling an ML
+//! framework would be all cost and no benefit. Features are standardized
+//! internally (mean/variance learned from the training set) so callers can
+//! feed raw scores of wildly different magnitudes (path counts vs Jaccard
+//! fractions).
+
+use snaple_graph::hash::hash1;
+
+/// A binary logistic-regression model.
+#[derive(Clone, Debug)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl LogisticRegression {
+    /// Creates an untrained model for `num_features` inputs.
+    pub fn new(num_features: usize) -> Self {
+        LogisticRegression {
+            weights: vec![0.0; num_features],
+            bias: 0.0,
+            mean: vec![0.0; num_features],
+            std: vec![1.0; num_features],
+        }
+    }
+
+    /// Learned weights (in standardized feature space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Learned intercept.
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+
+    /// Fits with plain SGD over shuffled samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` have different lengths or a row has the
+    /// wrong width.
+    pub fn fit(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+        epochs: usize,
+        learning_rate: f64,
+        l2: f64,
+        seed: u64,
+    ) {
+        assert_eq!(xs.len(), ys.len(), "features and labels must align");
+        if xs.is_empty() {
+            return;
+        }
+        let d = self.weights.len();
+        for (i, row) in xs.iter().enumerate() {
+            assert_eq!(row.len(), d, "row {i} has width {} != {d}", row.len());
+        }
+        self.learn_standardization(xs);
+        let n = xs.len();
+
+        // Deterministic shuffling: order by a per-(epoch, index) hash.
+        let mut order: Vec<usize> = (0..n).collect();
+        for epoch in 0..epochs {
+            order.sort_by_key(|&i| hash1(seed ^ (epoch as u64), i as u64));
+            let lr = learning_rate / (1.0 + epoch as f64 * 0.5);
+            for &i in &order {
+                let z = self.standardized_logit(&xs[i]);
+                let p = sigmoid(z);
+                let err = p - ys[i];
+                for (j, w) in self.weights.iter_mut().enumerate() {
+                    let xij = (xs[i][j] - self.mean[j]) / self.std[j];
+                    *w -= lr * (err * xij + l2 * *w);
+                }
+                self.bias -= lr * err;
+            }
+        }
+    }
+
+    fn learn_standardization(&mut self, xs: &[Vec<f64>]) {
+        let d = self.weights.len();
+        let n = xs.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in xs {
+            for (m, x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in mean.iter_mut() {
+            *m /= n;
+        }
+        let mut var = vec![0.0; d];
+        for row in xs {
+            for ((v, x), m) in var.iter_mut().zip(row).zip(&mean) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        self.std = var
+            .into_iter()
+            .map(|v| (v / n).sqrt().max(1e-9))
+            .collect();
+        self.mean = mean;
+    }
+
+    fn standardized_logit(&self, x: &[f64]) -> f64 {
+        let mut z = self.bias;
+        for ((w, x), (m, s)) in self
+            .weights
+            .iter()
+            .zip(x)
+            .zip(self.mean.iter().zip(&self.std))
+        {
+            z += w * (x - m) / s;
+        }
+        z
+    }
+
+    /// Probability that `x` is a positive example.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong width.
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.weights.len(), "feature width mismatch");
+        sigmoid(self.standardized_logit(x))
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn separable_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        // Positive iff x0 + x1 > 1.0; x2 is pure noise.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = (i % 17) as f64 / 17.0;
+            let b = ((i * 7) % 13) as f64 / 13.0;
+            let noise = ((i * 31) % 11) as f64 / 11.0;
+            xs.push(vec![a, b, noise]);
+            ys.push(if a + b > 1.0 { 1.0 } else { 0.0 });
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let (xs, ys) = separable_data(600);
+        let mut m = LogisticRegression::new(3);
+        m.fit(&xs, &ys, 30, 0.5, 1e-5, 7);
+        let mut correct = 0;
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = m.predict_proba(x);
+            if (p > 0.5) == (*y > 0.5) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / xs.len() as f64;
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Signal features outweigh the noise feature.
+        assert!(m.weights()[0].abs() > 3.0 * m.weights()[2].abs());
+        assert!(m.weights()[1].abs() > 3.0 * m.weights()[2].abs());
+    }
+
+    #[test]
+    fn untrained_model_is_uninformative() {
+        let m = LogisticRegression::new(2);
+        assert!((m.predict_proba(&[5.0, -3.0]) - 0.5).abs() < 1e-12);
+        assert_eq!(m.bias(), 0.0);
+    }
+
+    #[test]
+    fn fit_on_empty_data_is_a_no_op() {
+        let mut m = LogisticRegression::new(2);
+        m.fit(&[], &[], 5, 0.1, 0.0, 1);
+        assert!((m.predict_proba(&[1.0, 1.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let (xs, ys) = separable_data(200);
+        let mut a = LogisticRegression::new(3);
+        let mut b = LogisticRegression::new(3);
+        a.fit(&xs, &ys, 10, 0.3, 1e-4, 9);
+        b.fit(&xs, &ys, 10, 0.3, 1e-4, 9);
+        assert_eq!(a.weights(), b.weights());
+        assert_eq!(a.bias(), b.bias());
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_labels_panic() {
+        let mut m = LogisticRegression::new(1);
+        m.fit(&[vec![1.0]], &[1.0, 0.0], 1, 0.1, 0.0, 1);
+    }
+
+    proptest! {
+        #[test]
+        fn probabilities_stay_in_unit_interval(
+            x in proptest::collection::vec(-100.0f64..100.0, 4),
+            w in proptest::collection::vec(-10.0f64..10.0, 4),
+            bias in -10.0f64..10.0,
+        ) {
+            let mut m = LogisticRegression::new(4);
+            m.weights = w;
+            m.bias = bias;
+            let p = m.predict_proba(&x);
+            prop_assert!((0.0..=1.0).contains(&p));
+            prop_assert!(p.is_finite());
+        }
+
+        #[test]
+        fn sigmoid_is_monotone_and_symmetric(a in -50.0f64..50.0, d in 0.0f64..10.0) {
+            prop_assert!(sigmoid(a + d) >= sigmoid(a) - 1e-12);
+            prop_assert!((sigmoid(a) + sigmoid(-a) - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Cluster sizing: how deployment shape changes cost, not results.
+//!
+//! Runs the same SNAPLE workload on deployments from 1 to 32 machines and
+//! reports simulated time, network traffic and replication factor — the
+//! numbers an operator would look at before renting a cluster. Also
+//! demonstrates the partitioner ablation (random vs greedy vertex-cuts).
+//!
+//! ```bash
+//! cargo run --release --example cluster_sizing
+//! ```
+
+use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::eval::{metrics, HoldOut, TextTable};
+use snaple::gas::{ClusterSpec, PartitionStrategy};
+use snaple::graph::gen::datasets;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = datasets::POKEC.emulate(0.01, 31);
+    let holdout = HoldOut::remove_edges(&graph, 1, 8);
+    println!(
+        "pokec emulation: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    println!();
+
+    let mut table = TextTable::new(vec![
+        "machines",
+        "cores",
+        "partitioner",
+        "replication",
+        "net (MB)",
+        "sim. time (s)",
+        "recall@5",
+    ]);
+
+    for &nodes in &[1usize, 4, 8, 16, 32] {
+        for strategy in [
+            PartitionStrategy::RandomVertexCut,
+            PartitionStrategy::GreedyVertexCut,
+        ] {
+            let cluster = ClusterSpec::type_i(nodes);
+            let snaple = Snaple::new(
+                SnapleConfig::new(ScoreSpec::LinearSum)
+                    .klocal(Some(20))
+                    .partition(strategy),
+            );
+            let p = snaple.predict(&holdout.train, &cluster)?;
+            table.row(vec![
+                nodes.to_string(),
+                cluster.total_cores().to_string(),
+                strategy.name().into(),
+                format!("{:.2}", p.stats.replication_factor),
+                format!("{:.1}", p.stats.total_network_bytes() as f64 / 1e6),
+                format!("{:.1}", p.simulated_seconds()),
+                format!("{:.3}", metrics::recall(&p, &holdout)),
+            ]);
+        }
+    }
+
+    println!("{}", table.render());
+    println!("observations:");
+    println!("  - recall is identical everywhere: distribution never changes results;");
+    println!("  - greedy vertex-cuts lower the replication factor and with it traffic;");
+    println!("  - past the sweet spot, extra machines buy little: per-step barrier");
+    println!("    latency and mirror traffic eat the per-node compute savings.");
+    Ok(())
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # SNAPLE — scalable link prediction for GAS engines
+//!
+//! Umbrella crate of the reproduction of *"Scaling Out Link Prediction with
+//! SNAPLE: 1 Billion Edges and Beyond"* (Kermarrec, Taïani, Tirado; INRIA
+//! RR-454 / MIDDLEWARE 2015). It re-exports the workspace crates under one
+//! roof and hosts the runnable examples and cross-crate integration tests.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`graph`] | `snaple-graph` | CSR graphs, I/O, statistics, generators |
+//! | [`gas`] | `snaple-gas` | simulated distributed GAS engine |
+//! | [`core`] | `snaple-core` | the SNAPLE scoring framework + predictor |
+//! | [`baseline`] | `snaple-baseline` | the paper's direct GAS baseline |
+//! | [`cassovary`] | `snaple-cassovary` | single-machine random-walk comparator |
+//! | [`eval`] | `snaple-eval` | hold-out protocol, recall, experiment runner |
+//! | [`supervised`] | `snaple-supervised` | supervised re-ranking over SNAPLE scores (§7 future work) |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::gas::ClusterSpec;
+//! use snaple::graph::gen::datasets;
+//!
+//! // A scaled-down emulation of the paper's gowalla dataset...
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! // ...a 4-node cluster of the paper's type-II machines...
+//! let cluster = ClusterSpec::type_ii(4);
+//! // ...and the paper's best-recall configuration.
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let prediction = snaple.predict(&graph, &cluster)?;
+//! println!(
+//!     "predicted {} edges in {:.1} simulated seconds",
+//!     prediction.total_predictions(),
+//!     prediction.simulated_seconds()
+//! );
+//! # Ok::<(), snaple::core::SnapleError>(())
+//! ```
+
+pub use snaple_baseline as baseline;
+pub use snaple_cassovary as cassovary;
+pub use snaple_core as core;
+pub use snaple_eval as eval;
+pub use snaple_gas as gas;
+pub use snaple_graph as graph;
+pub use snaple_supervised as supervised;

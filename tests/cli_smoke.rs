@@ -1,0 +1,125 @@
+//! End-to-end smoke tests of the `snaple-cli` binary: every subcommand,
+//! both graph formats, and error paths.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_snaple-cli"))
+}
+
+fn run(args: &[&str]) -> Output {
+    cli().args(args).output().expect("binary runs")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("snaple-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn emulate_stats_predict_evaluate_pipeline() {
+    let graph_path = tmp("pipeline.snplg");
+    let out = run(&[
+        "emulate",
+        "--dataset",
+        "gowalla",
+        "--scale",
+        "0.005",
+        "--seed",
+        "7",
+        "--out",
+        graph_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(graph_path.exists());
+
+    let out = run(&["stats", "--graph", graph_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("vertices"), "{stdout}");
+    assert!(stdout.contains("reciprocity"), "{stdout}");
+
+    let out = run(&[
+        "predict",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--score",
+        "counter",
+        "--k",
+        "3",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let first = stdout.lines().next().expect("at least one prediction");
+    assert_eq!(first.split('\t').count(), 3, "TSV rows: {first}");
+
+    let out = run(&[
+        "evaluate",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--score",
+        "counter",
+        "--removals",
+        "1",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("recall"), "{stdout}");
+    let recall: f64 = stdout
+        .lines()
+        .find(|l| l.starts_with("recall"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("recall line parses");
+    assert!((0.0..=1.0).contains(&recall));
+    let _ = std::fs::remove_file(graph_path);
+}
+
+#[test]
+fn text_edge_lists_work_too() {
+    let graph_path = tmp("text.txt");
+    std::fs::write(&graph_path, "# tiny\n0 1\n1 2\n2 0\n2 3\n").unwrap();
+    let out = run(&["stats", "--graph", graph_path.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("edges         4"));
+    let _ = std::fs::remove_file(graph_path);
+}
+
+#[test]
+fn helpful_errors_for_bad_input() {
+    let out = run(&["predict", "--graph", "/nonexistent/file"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    let out = run(&["emulate", "--dataset", "friendster", "--out", "/tmp/x"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+
+    let out = run(&["frobnicate"]);
+    assert!(!out.status.success());
+
+    let graph_path = tmp("err.txt");
+    std::fs::write(&graph_path, "0 1\n").unwrap();
+    let out = run(&[
+        "predict",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--score",
+        "not-a-score",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown score"));
+    let _ = std::fs::remove_file(graph_path);
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = run(&["--help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stderr);
+    for cmd in ["emulate", "stats", "predict", "evaluate"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}

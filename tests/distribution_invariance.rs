@@ -1,0 +1,122 @@
+//! The engine's central correctness property: *distribution must not
+//! change results*. SNAPLE's predictions on a 1-node deployment must equal
+//! its predictions on any cluster, for every partitioning strategy.
+//!
+//! Exact equality is asserted for integer-valued scoring (counter); the
+//! float-valued configurations are compared with prediction-set tolerance
+//! (merge order may reassociate f32 additions).
+
+use proptest::prelude::*;
+
+use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::gas::{ClusterSpec, PartitionStrategy};
+use snaple::graph::gen::{self, CommunityParams};
+use snaple::graph::CsrGraph;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_graph(n: usize, m_per_vertex: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::community_graph(
+        n,
+        CommunityParams {
+            m: m_per_vertex,
+            p_triad: 0.4,
+            p_community: 0.7,
+            mean_community_size: 15,
+        },
+        &mut rng,
+    )
+    .into_symmetric_graph()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn counter_predictions_identical_on_any_cluster(
+        seed in 0u64..1_000,
+        nodes in 2usize..24,
+    ) {
+        let graph = random_graph(400, 4, seed);
+        let config = SnapleConfig::new(ScoreSpec::Counter)
+            .klocal(Some(8))
+            .thr_gamma(Some(50))
+            .seed(seed);
+        let single = Snaple::new(config.clone())
+            .predict(&graph, &ClusterSpec::single_machine(8, 32 << 30))
+            .unwrap();
+        for strategy in PartitionStrategy::all() {
+            let clustered = Snaple::new(config.clone().partition(strategy))
+                .predict(&graph, &ClusterSpec::type_i(nodes))
+                .unwrap();
+            for (u, preds) in single.iter() {
+                prop_assert_eq!(
+                    preds,
+                    clustered.for_vertex(u),
+                    "vertex {} with {:?} on {} nodes",
+                    u,
+                    strategy,
+                    nodes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn float_scores_agree_within_tolerance_across_clusters(
+        seed in 0u64..1_000,
+    ) {
+        let graph = random_graph(300, 4, seed);
+        let config = SnapleConfig::new(ScoreSpec::LinearSum)
+            .klocal(Some(8))
+            .seed(seed);
+        let single = Snaple::new(config.clone())
+            .predict(&graph, &ClusterSpec::single_machine(8, 32 << 30))
+            .unwrap();
+        let clustered = Snaple::new(config)
+            .predict(&graph, &ClusterSpec::type_i(16))
+            .unwrap();
+        for (u, a) in single.iter() {
+            let b = clustered.for_vertex(u);
+            prop_assert_eq!(a.len(), b.len(), "vertex {}", u);
+            // Same candidate multisets up to float-tie reordering: compare
+            // sorted-by-id lists with score tolerance.
+            let mut xs: Vec<_> = a.to_vec();
+            let mut ys: Vec<_> = b.to_vec();
+            xs.sort_by_key(|&(z, _)| z);
+            ys.sort_by_key(|&(z, _)| z);
+            for ((za, sa), (zb, sb)) in xs.iter().zip(&ys) {
+                // Ties in score may legitimately swap which candidate
+                // appears; only flag mismatches with materially different
+                // scores.
+                if za != zb {
+                    prop_assert!(
+                        (sa - sb).abs() < 1e-3,
+                        "vertex {}: {:?} vs {:?}",
+                        u,
+                        xs,
+                        ys
+                    );
+                } else {
+                    prop_assert!((sa - sb).abs() < 1e-3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replication_factor_grows_with_cluster_size(seed in 0u64..1_000) {
+        let graph = random_graph(300, 4, seed);
+        let config = SnapleConfig::new(ScoreSpec::Counter).seed(seed);
+        let few = Snaple::new(config.clone())
+            .predict(&graph, &ClusterSpec::type_i(2))
+            .unwrap();
+        let many = Snaple::new(config)
+            .predict(&graph, &ClusterSpec::type_i(32))
+            .unwrap();
+        prop_assert!(few.stats.replication_factor <= many.stats.replication_factor);
+        prop_assert!(few.stats.replication_factor >= 1.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property tests on the evaluation protocol, spanning graph generation,
+//! hold-out construction and metric computation.
+
+use proptest::prelude::*;
+
+use snaple::eval::{metrics, HoldOut};
+use snaple::gas::RunStats;
+use snaple::graph::gen;
+use snaple::graph::{CsrGraph, VertexId};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn er_graph(n: usize, m: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::erdos_renyi(n, m, &mut rng).into_symmetric_graph()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn holdout_conserves_edges(seed in 0u64..10_000, per_vertex in 1usize..4) {
+        let graph = er_graph(120, 500, seed);
+        let h = HoldOut::remove_edges(&graph, per_vertex, seed);
+        prop_assert_eq!(
+            graph.num_edges(),
+            h.train.num_edges() + h.num_removed()
+        );
+        prop_assert_eq!(graph.num_vertices(), h.train.num_vertices());
+    }
+
+    #[test]
+    fn holdout_respects_min_degree(seed in 0u64..10_000) {
+        let graph = er_graph(120, 400, seed);
+        let h = HoldOut::remove_edges(&graph, 1, seed);
+        for u in graph.vertices() {
+            let removed = h.removed.get(&u).map_or(0, Vec::len);
+            if graph.out_degree(u) < 4 {
+                prop_assert_eq!(removed, 0, "vertex {} deg {}", u, graph.out_degree(u));
+            } else {
+                prop_assert_eq!(removed, 1);
+                // Training keeps at least one out-edge.
+                prop_assert!(h.train.out_degree(u) >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn recall_is_bounded_and_monotone_in_hits(seed in 0u64..10_000) {
+        let graph = er_graph(100, 400, seed);
+        let h = HoldOut::remove_edges(&graph, 1, seed);
+        // Oracle prediction: exactly the removed edges.
+        let mut perfect: Vec<Vec<(VertexId, f32)>> =
+            vec![Vec::new(); graph.num_vertices()];
+        for (&u, held) in &h.removed {
+            perfect[u.index()] = held.iter().map(|&z| (z, 1.0)).collect();
+        }
+        let oracle =
+            snaple::core::Prediction::from_parts(perfect, RunStats::default());
+        prop_assert!((metrics::recall(&oracle, &h) - 1.0).abs() < 1e-12);
+        prop_assert!((metrics::precision(&oracle, &h) - 1.0).abs() < 1e-12);
+        prop_assert!((metrics::mean_reciprocal_rank(&oracle, &h) - 1.0).abs() < 1e-12);
+
+        // Dropping every other vertex's answers halves-ish the recall and
+        // never increases it.
+        let mut partial: Vec<Vec<(VertexId, f32)>> =
+            vec![Vec::new(); graph.num_vertices()];
+        for (&u, held) in &h.removed {
+            if u.as_u32() % 2 == 0 {
+                partial[u.index()] = held.iter().map(|&z| (z, 1.0)).collect();
+            }
+        }
+        let half = snaple::core::Prediction::from_parts(partial, RunStats::default());
+        prop_assert!(metrics::recall(&half, &h) <= metrics::recall(&oracle, &h));
+    }
+
+    #[test]
+    fn recall_at_k_is_monotone_in_k(seed in 0u64..10_000) {
+        let graph = er_graph(100, 400, seed);
+        let h = HoldOut::remove_edges(&graph, 1, seed);
+        // A noisy prediction: removed edge hidden at a random-ish rank.
+        let mut preds: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); graph.num_vertices()];
+        for (&u, held) in &h.removed {
+            let mut list: Vec<(VertexId, f32)> = (0..10)
+                .map(|i| (VertexId::new((u.as_u32() + i + 1) % 100), 1.0 - i as f32 * 0.05))
+                .collect();
+            if u.as_u32() % 3 == 0 {
+                list.insert((u.as_u32() % 7) as usize, (held[0], 2.0));
+            }
+            preds[u.index()] = list;
+        }
+        let p = snaple::core::Prediction::from_parts(preds, RunStats::default());
+        let mut last = 0.0;
+        for k in [1, 2, 5, 8, 12] {
+            let r = metrics::recall_at_k(&p, &h, k);
+            prop_assert!(r >= last - 1e-12, "recall@{k} {r} < {last}");
+            prop_assert!((0.0..=1.0).contains(&r));
+            last = r;
+        }
+    }
+}
+
+#[test]
+fn graph_generators_feed_the_protocol() {
+    // Smoke-check the whole path for each generator family.
+    let mut rng = StdRng::seed_from_u64(5);
+    let graphs = vec![
+        gen::erdos_renyi(200, 800, &mut rng).into_symmetric_graph(),
+        gen::barabasi_albert(200, 3, &mut rng).into_symmetric_graph(),
+        gen::holme_kim(200, 3, 0.5, &mut rng).into_symmetric_graph(),
+        gen::watts_strogatz(200, 6, 0.1, &mut rng).into_symmetric_graph(),
+        gen::community_graph(
+            200,
+            gen::CommunityParams {
+                m: 3,
+                p_triad: 0.4,
+                p_community: 0.7,
+                mean_community_size: 12,
+            },
+            &mut rng,
+        )
+        .into_symmetric_graph(),
+    ];
+    for g in graphs {
+        let h = HoldOut::remove_edges(&g, 1, 9);
+        assert!(h.num_removed() > 0);
+        assert!(h.train.num_edges() < g.num_edges());
+    }
+}
