@@ -26,18 +26,21 @@
 //!
 //! ```
 //! use snaple_baseline::{Baseline, BaselineConfig};
+//! use snaple_core::{PredictRequest, Predictor};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::CsrGraph;
 //!
 //! let g = CsrGraph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 3), (1, 4)]);
-//! let p = Baseline::new(BaselineConfig::new().k(2)).predict(&g, &ClusterSpec::type_ii(2))?;
+//! let cluster = ClusterSpec::type_ii(2);
+//! let baseline = Baseline::new(BaselineConfig::new().k(2));
+//! let p = Predictor::predict(&baseline, &PredictRequest::new(&g, &cluster))?;
 //! assert!(!p.for_vertex(snaple_graph::VertexId::new(0)).is_empty());
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 
 use snaple_core::similarity::{Jaccard, Similarity};
 use snaple_core::topk::top_k_by_score;
-use snaple_core::{NeighborhoodView, Prediction, SnapleError};
+use snaple_core::{NeighborhoodView, PredictRequest, Prediction, Predictor, SnapleError};
 use snaple_gas::size::COLLECTION_OVERHEAD;
 use snaple_gas::{
     ClusterSpec, Engine, GasStep, GatherCtx, PartitionStrategy, SizeEstimate, WorkTally,
@@ -322,35 +325,75 @@ impl Baseline {
         &self.config
     }
 
+    /// Runs the three BASELINE steps on `graph` over `cluster`.
+    ///
+    /// Thin compatibility wrapper over the [`Predictor`] trait.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
+                this wrapper is equivalent to predict(&PredictRequest::new(graph, cluster))"
+    )]
+    pub fn predict(
+        &self,
+        graph: &CsrGraph,
+        cluster: &ClusterSpec,
+    ) -> Result<Prediction, SnapleError> {
+        Predictor::predict(self, &PredictRequest::new(graph, cluster))
+    }
+}
+
+impl Predictor for Baseline {
     /// Runs the three BASELINE steps and returns predictions plus engine
     /// statistics.
+    ///
+    /// With [`PredictRequest::queries`], the steps execute under
+    /// shrinking active-vertex masks (neighborhoods two hops out,
+    /// neighbor tables one hop out, scores for the queries alone), which
+    /// also shrinks the replicated neighbor-of-neighbor tables — the
+    /// memory hog that makes all-vertices BASELINE die on large graphs.
+    /// Queried rows are bit-identical to an all-vertices run; all other
+    /// rows are empty.
     ///
     /// # Errors
     ///
     /// [`SnapleError::Engine`] on resource exhaustion — expected on large
     /// graphs, which is the paper's headline observation about this
     /// approach — or invalid cluster shapes;
-    /// [`SnapleError::InvalidConfig`] if `k` is zero.
-    pub fn predict(
-        &self,
-        graph: &CsrGraph,
-        cluster: &ClusterSpec,
-    ) -> Result<Prediction, SnapleError> {
+    /// [`SnapleError::InvalidConfig`] if `k` is zero, a query id is out of
+    /// range, or attributes are attached (BASELINE is structural only).
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
+        req.validate()?;
         if self.config.k == 0 {
             return Err(SnapleError::InvalidConfig(
                 "k must be at least 1".to_owned(),
             ));
         }
+        if req.attributes().is_some() {
+            return Err(SnapleError::InvalidConfig(
+                "BASELINE scores structure only and accepts no content attributes".to_owned(),
+            ));
+        }
+        let graph = req.graph();
         let mut engine = Engine::new(
             graph,
-            cluster.clone(),
+            req.cluster().clone(),
             self.config.partition,
             self.config.seed,
         )?;
+        // Shrinking lookahead masks for targeted runs: scores need the
+        // queries, neighbor tables their direct neighbors, neighborhoods
+        // everything two hops out.
+        let score_mask = req.query_mask();
+        let propagate_mask = score_mask.as_ref().map(|m| m.expand_out(graph));
+        let collect_mask = propagate_mask.as_ref().map(|m| m.expand_out(graph));
         let mut state = vec![BaselineVertex::default(); graph.num_vertices()];
-        engine.run_step(&CollectStep, &mut state)?;
-        engine.run_step(&PropagateStep, &mut state)?;
-        engine.run_step(&ScoreStep { k: self.config.k }, &mut state)?;
+        engine.run_step_masked(&CollectStep, &mut state, collect_mask.as_ref())?;
+        engine.run_step_masked(&PropagateStep, &mut state, propagate_mask.as_ref())?;
+        engine.run_step_masked(
+            &ScoreStep { k: self.config.k },
+            &mut state,
+            score_mask.as_ref(),
+        )?;
         let predictions: Vec<Vec<(VertexId, f32)>> =
             state.into_iter().map(|s| s.predictions).collect();
         Ok(Prediction::from_parts(predictions, engine.into_stats()))
@@ -360,6 +403,7 @@ impl Baseline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snaple_core::QuerySet;
     use snaple_gas::EngineError;
     use snaple_graph::gen::datasets;
 
@@ -367,16 +411,27 @@ mod tests {
         VertexId::new(i)
     }
 
+    fn run(config: BaselineConfig, graph: &CsrGraph, cluster: &ClusterSpec) -> Prediction {
+        Predictor::predict(&Baseline::new(config), &PredictRequest::new(graph, cluster)).unwrap()
+    }
+
     #[test]
     fn scores_two_hop_candidates_with_jaccard() {
         // 0 → {1, 2}; 1 → {3}; 2 → {3, 4}; 3 → {1}; 4 → {1, 2}
         let g = CsrGraph::from_edges(
             5,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (2, 4), (3, 1), (4, 1), (4, 2)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (2, 4),
+                (3, 1),
+                (4, 1),
+                (4, 2),
+            ],
         );
-        let p = Baseline::new(BaselineConfig::new().k(3))
-            .predict(&g, &ClusterSpec::type_ii(2))
-            .unwrap();
+        let p = run(BaselineConfig::new().k(3), &g, &ClusterSpec::type_ii(2));
         let preds = p.for_vertex(v(0));
         // Candidates of 0: 3 (Γ = {1}) and 4 (Γ = {1, 2}).
         // Jaccard(Γ0, Γ3) = |{1}| / |{1,2}| = 0.5
@@ -390,9 +445,7 @@ mod tests {
     #[test]
     fn never_predicts_existing_neighbors_or_self() {
         let g = datasets::GOWALLA.emulate(0.004, 17);
-        let p = Baseline::new(BaselineConfig::new())
-            .predict(&g, &ClusterSpec::type_ii(4))
-            .unwrap();
+        let p = run(BaselineConfig::new(), &g, &ClusterSpec::type_ii(4));
         for (u, preds) in p.iter() {
             for &(z, _) in preds {
                 assert_ne!(z, u);
@@ -408,9 +461,11 @@ mod tests {
             memory_per_node: 200_000, // 200 kB: state fits, tables do not
             ..ClusterSpec::type_i(4)
         };
-        let err = Baseline::new(BaselineConfig::new())
-            .predict(&g, &starved)
-            .unwrap_err();
+        let err = Predictor::predict(
+            &Baseline::new(BaselineConfig::new()),
+            &PredictRequest::new(&g, &starved),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             SnapleError::Engine(EngineError::ResourceExhausted { .. })
@@ -418,16 +473,75 @@ mod tests {
     }
 
     #[test]
+    fn targeted_rows_match_the_full_run_and_cost_less() {
+        let g = datasets::GOWALLA.emulate(0.004, 17);
+        let cluster = ClusterSpec::type_ii(4);
+        let full = run(BaselineConfig::new(), &g, &cluster);
+        let queries = QuerySet::sample(g.num_vertices(), g.num_vertices() / 50, 5);
+        let baseline = Baseline::new(BaselineConfig::new());
+        let targeted = Predictor::predict(
+            &baseline,
+            &PredictRequest::new(&g, &cluster).with_queries(&queries),
+        )
+        .unwrap();
+        for (u, preds) in targeted.iter() {
+            if queries.contains(u) {
+                assert_eq!(preds, full.for_vertex(u), "queried row {u}");
+            } else {
+                assert!(preds.is_empty(), "non-queried row {u}");
+            }
+        }
+        assert!(targeted.stats.total_work_ops() < full.stats.total_work_ops());
+        assert!(targeted.stats.peak_memory() < full.stats.peak_memory());
+    }
+
+    #[test]
+    fn targeted_runs_survive_clusters_that_oom_in_batch_mode() {
+        // The serving payoff: a memory budget too small for the full
+        // neighbor-table replication still answers small query sets.
+        let g = datasets::GOWALLA.emulate(0.01, 3);
+        let starved = ClusterSpec {
+            memory_per_node: 200_000,
+            ..ClusterSpec::type_i(4)
+        };
+        let baseline = Baseline::new(BaselineConfig::new());
+        assert!(matches!(
+            Predictor::predict(&baseline, &PredictRequest::new(&g, &starved)),
+            Err(SnapleError::Engine(EngineError::ResourceExhausted { .. }))
+        ));
+        let queries = QuerySet::sample(g.num_vertices(), 5, 1);
+        let p = Predictor::predict(
+            &baseline,
+            &PredictRequest::new(&g, &starved).with_queries(&queries),
+        )
+        .unwrap();
+        assert!(p.total_predictions() > 0);
+    }
+
+    #[test]
+    fn rejects_content_attributes() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let cluster = ClusterSpec::type_i(1);
+        let attrs = vec![vec![1u32]; 2];
+        let err = Predictor::predict(
+            &Baseline::new(BaselineConfig::new()),
+            &PredictRequest::new(&g, &cluster).with_attributes(&attrs),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapleError::InvalidConfig(_)));
+    }
+
+    #[test]
     fn uses_far_more_memory_and_traffic_than_snaple() {
         use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
         let g = datasets::GOWALLA.emulate(0.004, 3);
         let cluster = ClusterSpec::type_ii(4);
-        let base = Baseline::new(BaselineConfig::new())
-            .predict(&g, &cluster)
-            .unwrap();
-        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)))
-            .predict(&g, &cluster)
-            .unwrap();
+        let base = run(BaselineConfig::new(), &g, &cluster);
+        let snaple = Predictor::predict(
+            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20))),
+            &PredictRequest::new(&g, &cluster),
+        )
+        .unwrap();
         assert!(
             base.stats.peak_memory() > 3 * snaple.stats.peak_memory(),
             "baseline {} vs snaple {}",
@@ -445,9 +559,27 @@ mod tests {
     #[test]
     fn zero_k_is_rejected() {
         let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let cluster = ClusterSpec::type_i(1);
         assert!(matches!(
-            Baseline::new(BaselineConfig::new().k(0)).predict(&g, &ClusterSpec::type_i(1)),
+            Predictor::predict(
+                &Baseline::new(BaselineConfig::new().k(0)),
+                &PredictRequest::new(&g, &cluster),
+            ),
             Err(SnapleError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrapper_matches_the_trait_api() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 0)]);
+        let cluster = ClusterSpec::type_ii(2);
+        let baseline = Baseline::new(BaselineConfig::new().k(2));
+        let legacy = baseline.predict(&g, &cluster).unwrap();
+        let trait_based =
+            Predictor::predict(&baseline, &PredictRequest::new(&g, &cluster)).unwrap();
+        for (u, preds) in legacy.iter() {
+            assert_eq!(preds, trait_based.for_vertex(u));
+        }
     }
 }

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use snaple_core::{ScoreSpec, SelectionPolicy, Snaple, SnapleConfig};
+use snaple_core::{PredictRequest, Predictor, ScoreSpec, SelectionPolicy, Snaple, SnapleConfig};
 use snaple_gas::{ClusterSpec, PartitionStrategy, PartitionedGraph};
 use snaple_graph::gen::datasets;
 
@@ -40,7 +40,8 @@ fn bench_selection_policies(c: &mut Criterion) {
                             .klocal(Some(10))
                             .selection(p),
                     );
-                    black_box(snaple.predict(&graph, &cluster).unwrap())
+                    let req = PredictRequest::new(&graph, &cluster);
+                    black_box(Predictor::predict(&snaple, &req).unwrap())
                 });
             },
         );

@@ -7,13 +7,17 @@ use rand::{Rng, SeedableRng};
 
 use snaple_core::similarity::{intersection_size, Jaccard, Similarity};
 use snaple_core::topk::top_k_by_score;
-use snaple_core::{NeighborhoodView, ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{
+    NeighborhoodView, PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+};
 use snaple_gas::ClusterSpec;
 use snaple_graph::gen::datasets;
 use snaple_graph::VertexId;
 
 fn sorted_ids(n: usize, max: u32, rng: &mut StdRng) -> Vec<VertexId> {
-    let mut v: Vec<VertexId> = (0..n).map(|_| VertexId::new(rng.gen_range(0..max))).collect();
+    let mut v: Vec<VertexId> = (0..n)
+        .map(|_| VertexId::new(rng.gen_range(0..max)))
+        .collect();
     v.sort_unstable();
     v.dedup();
     v
@@ -32,11 +36,9 @@ fn bench_similarity(c: &mut Criterion) {
             );
             bench.iter(|| black_box(Jaccard.score(va, vb)));
         });
-        group.bench_with_input(
-            BenchmarkId::new("intersection", len),
-            &len,
-            |bench, _| bench.iter(|| black_box(intersection_size(&a, &b))),
-        );
+        group.bench_with_input(BenchmarkId::new("intersection", len), &len, |bench, _| {
+            bench.iter(|| black_box(intersection_size(&a, &b)))
+        });
     }
     group.finish();
 }
@@ -66,10 +68,10 @@ fn bench_end_to_end(c: &mut Criterion) {
             &klocal,
             |bench, &kl| {
                 bench.iter(|| {
-                    let snaple = Snaple::new(
-                        SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(kl)),
-                    );
-                    black_box(snaple.predict(&graph, &cluster).unwrap())
+                    let snaple =
+                        Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(kl)));
+                    let req = PredictRequest::new(&graph, &cluster);
+                    black_box(Predictor::predict(&snaple, &req).unwrap())
                 });
             },
         );
@@ -77,5 +79,45 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_similarity, bench_topk, bench_end_to_end);
+/// All-vertices vs. targeted (1% query subset) prediction on the emulated
+/// GOWALLA dataset — the serving speedup the `QuerySet` API exists for.
+/// Tracked in `BENCH_*.json` so regressions in the masked path show up.
+fn bench_targeted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("targeted");
+    group.sample_size(10);
+    let graph = datasets::GOWALLA.emulate(0.01, 7);
+    let cluster = ClusterSpec::type_ii(4);
+    let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+    let one_percent = QuerySet::sample(graph.num_vertices(), graph.num_vertices() / 100, 7);
+
+    group.bench_with_input(
+        BenchmarkId::new("linearSum-gowalla-1pct", "all-vertices"),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                let req = PredictRequest::new(&graph, &cluster);
+                black_box(Predictor::predict(&snaple, &req).unwrap())
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("linearSum-gowalla-1pct", "query-subset-1pct"),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                let req = PredictRequest::new(&graph, &cluster).with_queries(&one_percent);
+                black_box(Predictor::predict(&snaple, &req).unwrap())
+            });
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_similarity,
+    bench_topk,
+    bench_end_to_end,
+    bench_targeted
+);
 criterion_main!(benches);

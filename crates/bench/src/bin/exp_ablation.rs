@@ -5,7 +5,7 @@
 //! synthetic datasets carry).
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::{HoldOut, Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -14,7 +14,11 @@ fn main() {
         "exp-ablation",
         "ablations: linear-combinator alpha and emulator triad closure",
     );
-    banner("exp-ablation", "design-choice ablations (DESIGN.md §8)", &args);
+    banner(
+        "exp-ablation",
+        "design-choice ablations (DESIGN.md §8)",
+        &args,
+    );
 
     // --- alpha sweep -----------------------------------------------------
     let alphas: &[f32] = if args.quick {
@@ -33,7 +37,7 @@ fn main() {
                 .klocal(Some(20))
                 .alpha(alpha)
                 .seed(args.seed);
-            let m = runner.run_snaple("linearSum", config, &cluster);
+            let m = runner.run("linearSum", &Snaple::new(config), &runner.request(&cluster));
             alpha_table.row(vec![
                 name.into(),
                 format!("{alpha:.1}"),
@@ -66,15 +70,23 @@ fn main() {
         let holdout = HoldOut::remove_edges(&graph, 1, args.seed ^ 0x0ed6e);
         let runner = Runner::new(&holdout);
         let cluster = scaled_cluster(ClusterSpec::type_ii(4), &ds);
-        let counter = runner.run_snaple(
+        let counter = runner.run(
             "counter",
-            SnapleConfig::new(ScoreSpec::Counter).klocal(Some(20)).seed(args.seed),
-            &cluster,
+            &Snaple::new(
+                SnapleConfig::new(ScoreSpec::Counter)
+                    .klocal(Some(20))
+                    .seed(args.seed),
+            ),
+            &runner.request(&cluster),
         );
-        let linear = runner.run_snaple(
+        let linear = runner.run(
             "linearSum",
-            SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)).seed(args.seed),
-            &cluster,
+            &Snaple::new(
+                SnapleConfig::new(ScoreSpec::LinearSum)
+                    .klocal(Some(20))
+                    .seed(args.seed),
+            ),
+            &runner.request(&cluster),
         );
         triad_table.row(vec![
             format!("{p:.1}"),

@@ -6,7 +6,7 @@
 //! missing links, so recall decreases roughly proportionally.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -18,7 +18,11 @@ fn main() {
     banner("exp-fig10", "paper Figure 10 (§5.8)", &args);
 
     let klocal = if args.quick { 20 } else { 80 };
-    let removals: &[usize] = if args.quick { &[1, 3, 5] } else { &[1, 2, 3, 4, 5] };
+    let removals: &[usize] = if args.quick {
+        &[1, 3, 5]
+    } else {
+        &[1, 2, 3, 4, 5]
+    };
     let scores: Vec<ScoreSpec> = if args.quick {
         vec![ScoreSpec::LinearSum, ScoreSpec::Counter]
     } else {
@@ -36,7 +40,11 @@ fn main() {
                 let config = SnapleConfig::new(score)
                     .klocal(Some(klocal))
                     .seed(args.seed);
-                let m = runner.run_snaple(score.name(), config, &cluster);
+                let m = runner.run(
+                    score.name(),
+                    &Snaple::new(config),
+                    &runner.request(&cluster),
+                );
                 table.row(vec![
                     (*name).to_owned(),
                     score.name().to_owned(),

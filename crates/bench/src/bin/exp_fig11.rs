@@ -7,7 +7,7 @@
 //! optimal), more walks help but cost linearly more time.
 
 use snaple_bench::{banner, dataset, emit, ExpArgs};
-use snaple_cassovary::RandomWalkConfig;
+use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
 use snaple_eval::table::fmt_seconds;
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -19,17 +19,15 @@ fn main() {
     );
     banner("exp-fig11", "paper Figure 11 (§5.9)", &args);
 
-    let walks: &[usize] = if args.quick { &[10, 100] } else { &[10, 100, 1000] };
+    let walks: &[usize] = if args.quick {
+        &[10, 100]
+    } else {
+        &[10, 100, 1000]
+    };
     let depths: &[usize] = if args.quick { &[3, 10] } else { &[3, 4, 5, 10] };
     let machine = ClusterSpec::single_machine(20, 128 << 30);
 
-    let mut table = TextTable::new(vec![
-        "dataset",
-        "w",
-        "d",
-        "sim time (s)",
-        "recall",
-    ]);
+    let mut table = TextTable::new(vec!["dataset", "w", "d", "sim time (s)", "recall"]);
     for name in ["livejournal", "twitter-rv"] {
         let ds = dataset(&args, name);
         let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);
@@ -37,7 +35,11 @@ fn main() {
         for &w in walks {
             for &d in depths {
                 let config = RandomWalkConfig::new().walks(w).depth(d).seed(args.seed);
-                let m = runner.run_cassovary(&format!("PPR w={w} d={d}"), config, &machine);
+                let m = runner.run(
+                    &format!("PPR w={w} d={d}"),
+                    &RandomWalkPpr::new(config),
+                    &runner.request(&machine),
+                );
                 table.row(vec![
                     (*name).to_owned(),
                     w.to_string(),

@@ -6,7 +6,7 @@
 //! points".
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::table::fmt_seconds;
 use snaple_eval::{Outcome, Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -48,7 +48,7 @@ fn main() {
                 let config = SnapleConfig::new(ScoreSpec::LinearSum)
                     .klocal(Some(klocal))
                     .seed(args.seed);
-                let m = runner.run_snaple("linearSum", config, &cluster);
+                let m = runner.run("linearSum", &Snaple::new(config), &runner.request(&cluster));
                 let (time, recall) = match &m.outcome {
                     Outcome::Completed => {
                         (fmt_seconds(m.simulated_seconds), format!("{:.3}", m.recall))

@@ -9,7 +9,7 @@
 //! stops improving.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
 use snaple_graph::stats::degree_coverage;
@@ -72,7 +72,7 @@ fn main() {
                 .klocal(Some(klocal))
                 .thr_gamma(Some(thr))
                 .seed(args.seed);
-            let m = runner.run_snaple("linearSum", config, &cluster);
+            let m = runner.run("linearSum", &Snaple::new(config), &runner.request(&cluster));
             if !m.outcome.is_completed() {
                 recall_table.row(vec![
                     (*name).to_owned(),

@@ -7,7 +7,7 @@
 //! `klocal = 5`), and the three converge as `klocal` grows.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SelectionPolicy, SnapleConfig};
+use snaple_core::{ScoreSpec, SelectionPolicy, Snaple, SnapleConfig};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -39,7 +39,11 @@ fn main() {
                     .klocal(Some(klocal))
                     .selection(policy)
                     .seed(args.seed);
-                let m = runner.run_snaple(score.name(), config, &cluster);
+                let m = runner.run(
+                    score.name(),
+                    &Snaple::new(config),
+                    &runner.request(&cluster),
+                );
                 cells.push(format!("{:.3}", m.recall));
             }
             table.row(cells);

@@ -8,7 +8,7 @@
 //! the y-axis recall.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::table::fmt_seconds;
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -59,7 +59,11 @@ fn main() {
                     let config = SnapleConfig::new(score)
                         .klocal(Some(klocal))
                         .seed(args.seed);
-                    let m = runner.run_snaple(score.name(), config, &cluster);
+                    let m = runner.run(
+                        score.name(),
+                        &Snaple::new(config),
+                        &runner.request(&cluster),
+                    );
                     let (time, recall) = if m.outcome.is_completed() {
                         (fmt_seconds(m.simulated_seconds), format!("{:.3}", m.recall))
                     } else {

@@ -7,7 +7,7 @@
 //! truncation — equivalent to the paper's per-`k` runs.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{Snaple, SnapleConfig, ScoreSpec};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::{metrics, Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -24,9 +24,7 @@ fn main() {
         ScoreSpec::sum_family().to_vec()
     };
 
-    let mut table = TextTable::new(vec![
-        "dataset", "score", "k=5", "k=10", "k=15", "k=20",
-    ]);
+    let mut table = TextTable::new(vec!["dataset", "score", "k=5", "k=10", "k=15", "k=20"]);
     for name in ["livejournal", "pokec"] {
         let ds = dataset(&args, name);
         let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);
@@ -37,7 +35,8 @@ fn main() {
                 .k(*KS.last().expect("nonempty"))
                 .klocal(Some(klocal))
                 .seed(args.seed);
-            let prediction = match Snaple::new(config).predict(runner.train_graph(), &cluster) {
+            let req = snaple_core::PredictRequest::new(runner.train_graph(), &cluster);
+            let prediction = match snaple_core::Predictor::predict(&Snaple::new(config), &req) {
                 Ok(p) => p,
                 Err(e) => {
                     eprintln!("warning: {name}/{}: {e}", score.name());
@@ -46,7 +45,10 @@ fn main() {
             };
             let mut cells = vec![(*name).to_owned(), score.name().to_owned()];
             for k in KS {
-                cells.push(format!("{:.3}", metrics::recall_at_k(&prediction, &holdout, k)));
+                cells.push(format!(
+                    "{:.3}",
+                    metrics::recall_at_k(&prediction, &holdout, k)
+                ));
             }
             table.row(cells);
         }

@@ -6,9 +6,9 @@
 //! Also reproduces the observation that made the paper's headline:
 //! BASELINE *fails by resource exhaustion* on orkut and twitter-rv.
 
-use snaple_baseline::BaselineConfig;
+use snaple_baseline::{Baseline, BaselineConfig};
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::table::{fmt_gain, fmt_recall, fmt_seconds};
 use snaple_eval::{Outcome, Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -26,8 +26,12 @@ fn main() {
     // scale).
     let table5_scale = if args.quick { 0.15 } else { 0.4 };
     let scores = [ScoreSpec::LinearSum, ScoreSpec::Counter, ScoreSpec::Ppr];
-    let corners: [(Option<usize>, Option<usize>); 4] =
-        [(None, None), (Some(20), None), (None, Some(20)), (Some(20), Some(20))];
+    let corners: [(Option<usize>, Option<usize>); 4] = [
+        (None, None),
+        (Some(20), None),
+        (None, Some(20)),
+        (Some(20), Some(20)),
+    ];
 
     let mut table = TextTable::new(vec![
         "dataset",
@@ -46,7 +50,11 @@ fn main() {
         let runner = Runner::new(&holdout);
         let cluster = scaled_cluster(ClusterSpec::type_ii(4), &ds);
 
-        let base = runner.run_baseline(BaselineConfig::new().seed(args.seed), &cluster);
+        let base = runner.run(
+            "BASELINE",
+            &Baseline::new(BaselineConfig::new().seed(args.seed)),
+            &runner.request(&cluster),
+        );
         table.row(vec![
             name.into(),
             "BASELINE".into(),
@@ -64,10 +72,13 @@ fn main() {
                     .thr_gamma(thr)
                     .klocal(klocal)
                     .seed(args.seed);
-                let m = runner.run_snaple(score.name(), config, &cluster);
-                let fmt_inf = |v: Option<usize>| {
-                    v.map_or_else(|| "∞".to_owned(), |x| x.to_string())
-                };
+                let m = runner.run(
+                    score.name(),
+                    &Snaple::new(config),
+                    &runner.request(&cluster),
+                );
+                let fmt_inf =
+                    |v: Option<usize>| v.map_or_else(|| "∞".to_owned(), |x| x.to_string());
                 table.row(vec![
                     name.into(),
                     score.name().into(),
@@ -84,14 +95,20 @@ fn main() {
     emit(&args, "table5", &table);
 
     // The headline: BASELINE exhausts memory on the large datasets.
-    println!("BASELINE on the large datasets (paper: \"fail by exhausting the available memory\"):");
+    println!(
+        "BASELINE on the large datasets (paper: \"fail by exhausting the available memory\"):"
+    );
     let mut oom = TextTable::new(vec!["dataset", "outcome"]);
     for name in ["orkut", "twitter-rv"] {
         let ds = dataset(&args, name).scaled_by(table5_scale);
         let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);
         let runner = Runner::new(&holdout);
         let cluster = scaled_cluster(ClusterSpec::type_ii(4), &ds);
-        let m = runner.run_baseline(BaselineConfig::new().seed(args.seed), &cluster);
+        let m = runner.run(
+            "BASELINE",
+            &Baseline::new(BaselineConfig::new().seed(args.seed)),
+            &runner.request(&cluster),
+        );
         let outcome = match &m.outcome {
             Outcome::OutOfMemory { detail } => format!("OUT OF MEMORY — {detail}"),
             Outcome::Completed => format!(

@@ -8,8 +8,8 @@
 //! speedup.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_cassovary::RandomWalkConfig;
-use snaple_core::{ScoreSpec, SnapleConfig};
+use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
 use snaple_eval::table::{fmt_recall, fmt_seconds};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -47,21 +47,23 @@ fn main() {
         } else {
             (100, 3)
         };
-        let cass = runner.run_cassovary(
+        let cass = runner.run(
             &format!("PPR w={w} d={d}"),
-            RandomWalkConfig::new().walks(w).depth(d).seed(args.seed),
-            &machine,
+            &RandomWalkPpr::new(RandomWalkConfig::new().walks(w).depth(d).seed(args.seed)),
+            &runner.request(&machine),
         );
         if *name == *"twitter-rv" {
             twitter_cassovary_recall = cass.recall;
         }
 
-        let snaple = runner.run_snaple(
+        let snaple = runner.run(
             "linearSum klocal=20",
-            SnapleConfig::new(ScoreSpec::LinearSum)
-                .klocal(Some(20))
-                .seed(args.seed),
-            &machine,
+            &Snaple::new(
+                SnapleConfig::new(ScoreSpec::LinearSum)
+                    .klocal(Some(20))
+                    .seed(args.seed),
+            ),
+            &runner.request(&machine),
         );
 
         table.row(vec![
@@ -84,12 +86,14 @@ fn main() {
     let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);
     let runner = Runner::new(&holdout);
     let cluster = scaled_cluster(ClusterSpec::type_i(32), &ds);
-    let distributed = runner.run_snaple(
+    let distributed = runner.run(
         "linearSum klocal=5 @256 cores",
-        SnapleConfig::new(ScoreSpec::LinearSum)
-            .klocal(Some(5))
-            .seed(args.seed),
-        &cluster,
+        &Snaple::new(
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(Some(5))
+                .seed(args.seed),
+        ),
+        &runner.request(&cluster),
     );
     println!(
         "distributed check (paper: 30.6x speedup at matching recall):\n\

@@ -91,16 +91,11 @@ impl ExpArgs {
     }
 }
 
-fn expect_value<T: std::str::FromStr>(
-    it: &mut impl Iterator<Item = String>,
-    flag: &str,
-) -> T {
-    it.next()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            eprintln!("error: {flag} needs a value");
-            exit(2)
-        })
+fn expect_value<T: std::str::FromStr>(it: &mut impl Iterator<Item = String>, flag: &str) -> T {
+    it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("error: {flag} needs a value");
+        exit(2)
+    })
 }
 
 fn usage_and_exit(experiment: &str, description: &str, error: &str) -> ! {

@@ -17,18 +17,25 @@
 //! — one work unit per walk hop — so Table 6 and Figure 11 compare like
 //! with like.
 //!
+//! Random walks are sourced per vertex, which makes this backend the
+//! natural fit for targeted prediction: with
+//! [`PredictRequest::queries`](snaple_core::PredictRequest::queries) only
+//! the queried vertices walk, and the hop budget shrinks proportionally.
+//!
 //! # Example
 //!
 //! ```
 //! use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
+//! use snaple_core::{PredictRequest, Predictor};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::CsrGraph;
 //!
 //! let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
 //! let machine = ClusterSpec::single_machine(20, 128 << 30);
-//! let p = RandomWalkPpr::new(RandomWalkConfig::new().walks(50).depth(3))
-//!     .predict(&g, &machine);
+//! let ppr = RandomWalkPpr::new(RandomWalkConfig::new().walks(50).depth(3));
+//! let p = Predictor::predict(&ppr, &PredictRequest::new(&g, &machine))?;
 //! assert_eq!(p.num_vertices(), 4);
+//! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 
 use std::thread;
@@ -37,7 +44,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use snaple_core::topk::top_k_by_score;
-use snaple_core::Prediction;
+use snaple_core::{PredictRequest, Prediction, Predictor, SnapleError};
 use snaple_gas::stats::{NodeStats, RunStats, StepStats};
 use snaple_gas::{ClusterSpec, CostModel};
 use snaple_graph::hash::hash2;
@@ -141,38 +148,67 @@ impl RandomWalkPpr {
 
     /// Predicts `k` links per vertex on `machine`.
     ///
-    /// Unlike the GAS predictors this cannot fail: a single machine holds
-    /// the whole graph by construction (the paper loads twitter-rv into a
-    /// 128 GB type-II node).
+    /// Thin compatibility wrapper over the [`Predictor`] trait, keeping
+    /// the historical infallible signature (it performs no configuration
+    /// validation: zero walks or depth simply produce empty predictions).
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
+                the trait entry point also validates the configuration and \
+                supports query subsets"
+    )]
     pub fn predict(&self, graph: &CsrGraph, machine: &ClusterSpec) -> Prediction {
+        self.walk(graph, machine, None)
+    }
+
+    /// Runs the walks for `targets` (all vertices when `None`) and
+    /// assembles the shared result type.
+    fn walk(
+        &self,
+        graph: &CsrGraph,
+        machine: &ClusterSpec,
+        targets: Option<&[VertexId]>,
+    ) -> Prediction {
         let n = graph.num_vertices();
+        let all: Vec<VertexId>;
+        let targets: &[VertexId] = match targets {
+            Some(t) => t,
+            None => {
+                all = graph.vertices().collect();
+                &all
+            }
+        };
         let workers = self
             .config
             .threads
             .unwrap_or_else(|| thread::available_parallelism().map_or(2, |p| p.get()))
             .max(1);
-        let chunk = n.div_ceil(workers).max(1);
+        let chunk = targets.len().div_ceil(workers).max(1);
         let hops = self.config.depth.saturating_sub(1);
 
-        let mut predictions: Vec<Vec<(VertexId, f32)>> = Vec::with_capacity(n);
+        let mut predictions: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); n];
         let mut total_hops = 0u64;
-        let shard_results: Vec<(Vec<Vec<(VertexId, f32)>>, u64)> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..n)
-                .step_by(chunk.max(1))
-                .map(|start| {
-                    let end = (start + chunk).min(n);
+        // One shard's output: per-source prediction rows plus hops taken.
+        type ShardResult = (Vec<(VertexId, Vec<(VertexId, f32)>)>, u64);
+        let shard_results: Vec<ShardResult> = thread::scope(|scope| {
+            let handles: Vec<_> = targets
+                .chunks(chunk)
+                .map(|shard| {
                     let config = &self.config;
                     scope.spawn(move || {
-                        let mut out = Vec::with_capacity(end - start);
+                        let mut out = Vec::with_capacity(shard.len());
                         let mut hop_count = 0u64;
                         let mut visits: std::collections::HashMap<VertexId, u32> =
                             std::collections::HashMap::new();
-                        for raw in start..end {
-                            let u = VertexId::new(raw as u32);
-                            // Per-vertex RNG: results do not depend on how
-                            // vertices are sharded across threads.
-                            let mut rng =
-                                StdRng::seed_from_u64(hash2(config.seed, raw as u64, 0xca55));
+                        for &u in shard {
+                            // Per-vertex RNG: results do not depend on
+                            // how vertices are sharded across threads —
+                            // or on which vertices are queried at all.
+                            let mut rng = StdRng::seed_from_u64(hash2(
+                                config.seed,
+                                u.as_u32() as u64,
+                                0xca55,
+                            ));
                             visits.clear();
                             for _ in 0..config.walks {
                                 let mut cur = u;
@@ -194,7 +230,7 @@ impl RandomWalkPpr {
                                 .filter(|(z, _)| !graph.has_edge(u, **z))
                                 .map(|(&z, &c)| (z, c as f32))
                                 .collect();
-                            out.push(top_k_by_score(scored, config.k));
+                            out.push((u, top_k_by_score(scored, config.k)));
                         }
                         (out, hop_count)
                     })
@@ -205,8 +241,12 @@ impl RandomWalkPpr {
                 .map(|h| h.join().expect("walk worker panicked"))
                 .collect()
         });
+        let mut sources = 0u64;
         for (shard, hops_done) in shard_results {
-            predictions.extend(shard);
+            for (u, preds) in shard {
+                predictions[u.index()] = preds;
+                sources += 1;
+            }
             total_hops += hops_done;
         }
 
@@ -215,7 +255,7 @@ impl RandomWalkPpr {
             name: "cassovary-random-walk-ppr".to_owned(),
             gather_calls: 0,
             sum_calls: 0,
-            apply_calls: n as u64,
+            apply_calls: sources,
             work_ops: total_hops,
             broadcast_bytes: 0,
             partial_bytes: 0,
@@ -234,9 +274,55 @@ impl RandomWalkPpr {
     }
 }
 
+impl Predictor for RandomWalkPpr {
+    /// Runs `w` random walks of depth `d` from every requested source and
+    /// predicts the `k` most-visited non-neighbors per source.
+    ///
+    /// With [`PredictRequest::queries`], only the queried vertices walk —
+    /// the hop budget (and therefore the simulated time) shrinks linearly
+    /// with the query count, and per-source seeding keeps each queried row
+    /// bit-identical to an all-vertices run.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] if `k`, `walks` or `depth` is zero
+    /// (matching the GAS backends' validation), if a query id is out of
+    /// range, or if attributes are attached (walks score structure only).
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
+        req.validate()?;
+        if self.config.k == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "k must be at least 1".to_owned(),
+            ));
+        }
+        if self.config.walks == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "walks must be at least 1".to_owned(),
+            ));
+        }
+        if self.config.depth == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "depth must be at least 1 (d = 2 reaches direct neighbors)".to_owned(),
+            ));
+        }
+        if req.attributes().is_some() {
+            return Err(SnapleError::InvalidConfig(
+                "random-walk PPR scores structure only and accepts no content attributes"
+                    .to_owned(),
+            ));
+        }
+        Ok(self.walk(
+            req.graph(),
+            req.cluster(),
+            req.queries().map(|q| q.as_slice()),
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snaple_core::QuerySet;
     use snaple_graph::gen::datasets;
 
     fn v(i: u32) -> VertexId {
@@ -247,12 +333,20 @@ mod tests {
         ClusterSpec::single_machine(20, 128 << 30)
     }
 
+    fn run(config: RandomWalkConfig, graph: &CsrGraph) -> Prediction {
+        let machine = machine();
+        Predictor::predict(
+            &RandomWalkPpr::new(config),
+            &PredictRequest::new(graph, &machine),
+        )
+        .unwrap()
+    }
+
     #[test]
     fn walks_find_the_obvious_two_hop_candidate() {
         // 0 → 1 → 2, plus return edges so walks keep moving.
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 1), (1, 0)]);
-        let p = RandomWalkPpr::new(RandomWalkConfig::new().walks(200).depth(3))
-            .predict(&g, &machine());
+        let p = run(RandomWalkConfig::new().walks(200).depth(3), &g);
         let preds = p.for_vertex(v(0));
         assert_eq!(preds.first().map(|p| p.0), Some(v(2)));
     }
@@ -260,8 +354,7 @@ mod tests {
     #[test]
     fn never_predicts_self_or_existing_neighbors() {
         let g = datasets::GOWALLA.emulate(0.004, 21);
-        let p = RandomWalkPpr::new(RandomWalkConfig::new().walks(20).depth(4))
-            .predict(&g, &machine());
+        let p = run(RandomWalkConfig::new().walks(20).depth(4), &g);
         for (u, preds) in p.iter() {
             for &(z, score) in preds {
                 assert_ne!(z, u);
@@ -274,12 +367,9 @@ mod tests {
     #[test]
     fn deeper_and_wider_walks_cost_more_simulated_time() {
         let g = datasets::GOWALLA.emulate(0.002, 5);
-        let cheap = RandomWalkPpr::new(RandomWalkConfig::new().walks(10).depth(3))
-            .predict(&g, &machine());
-        let deep = RandomWalkPpr::new(RandomWalkConfig::new().walks(10).depth(10))
-            .predict(&g, &machine());
-        let wide = RandomWalkPpr::new(RandomWalkConfig::new().walks(100).depth(3))
-            .predict(&g, &machine());
+        let cheap = run(RandomWalkConfig::new().walks(10).depth(3), &g);
+        let deep = run(RandomWalkConfig::new().walks(10).depth(10), &g);
+        let wide = run(RandomWalkConfig::new().walks(100).depth(3), &g);
         assert!(deep.simulated_seconds() > cheap.simulated_seconds());
         assert!(wide.simulated_seconds() > cheap.simulated_seconds());
         // Work scales linearly in w and in (d-1).
@@ -292,23 +382,19 @@ mod tests {
         // Paper convention: d = 2 visits Γ(u) only, so no predictions
         // outside existing neighbors are possible in a tree.
         let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3)]);
-        let p = RandomWalkPpr::new(RandomWalkConfig::new().walks(50).depth(2))
-            .predict(&g, &machine());
+        let p = run(RandomWalkConfig::new().walks(50).depth(2), &g);
         assert!(p.for_vertex(v(0)).is_empty());
     }
 
     #[test]
     fn deterministic_under_seed_regardless_of_thread_count() {
         let g = datasets::GOWALLA.emulate(0.002, 5);
-        let a = RandomWalkPpr::new(RandomWalkConfig::new().seed(7).threads(Some(1)))
-            .predict(&g, &machine());
-        let b = RandomWalkPpr::new(RandomWalkConfig::new().seed(7).threads(Some(4)))
-            .predict(&g, &machine());
+        let a = run(RandomWalkConfig::new().seed(7).threads(Some(1)), &g);
+        let b = run(RandomWalkConfig::new().seed(7).threads(Some(4)), &g);
         for (u, preds) in a.iter() {
             assert_eq!(preds, b.for_vertex(u), "vertex {u}");
         }
-        let c = RandomWalkPpr::new(RandomWalkConfig::new().seed(8).threads(Some(1)))
-            .predict(&g, &machine());
+        let c = run(RandomWalkConfig::new().seed(8).threads(Some(1)), &g);
         let differing = a.iter().zip(c.iter()).filter(|(x, y)| x.1 != y.1).count();
         assert!(differing > 0, "different seeds should walk differently");
     }
@@ -316,7 +402,67 @@ mod tests {
     #[test]
     fn isolated_vertices_get_no_predictions() {
         let g = CsrGraph::from_edges(3, &[(1, 2)]);
-        let p = RandomWalkPpr::new(RandomWalkConfig::new()).predict(&g, &machine());
+        let p = run(RandomWalkConfig::new(), &g);
         assert!(p.for_vertex(v(0)).is_empty());
+    }
+
+    #[test]
+    fn targeted_walks_match_the_full_run_and_hop_less() {
+        let g = datasets::GOWALLA.emulate(0.004, 21);
+        let machine = machine();
+        let ppr = RandomWalkPpr::new(RandomWalkConfig::new().walks(20).depth(4).seed(3));
+        let full = Predictor::predict(&ppr, &PredictRequest::new(&g, &machine)).unwrap();
+        let queries = QuerySet::sample(g.num_vertices(), g.num_vertices() / 25, 13);
+        let targeted = Predictor::predict(
+            &ppr,
+            &PredictRequest::new(&g, &machine).with_queries(&queries),
+        )
+        .unwrap();
+        for (u, preds) in targeted.iter() {
+            if queries.contains(u) {
+                assert_eq!(preds, full.for_vertex(u), "queried row {u}");
+            } else {
+                assert!(preds.is_empty(), "non-queried row {u}");
+            }
+        }
+        // Hop budget (and simulated time) scales with the query count.
+        let expect = full.stats.total_work_ops() * queries.len() as u64 / g.num_vertices() as u64;
+        let got = targeted.stats.total_work_ops();
+        assert_eq!(got, expect, "hops must scale exactly with the query count");
+        assert!(targeted.simulated_seconds() < full.simulated_seconds());
+    }
+
+    #[test]
+    fn zero_walks_depth_or_k_are_rejected() {
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let machine = machine();
+        for config in [
+            RandomWalkConfig::new().walks(0),
+            RandomWalkConfig::new().depth(0),
+            RandomWalkConfig::new().k(0),
+        ] {
+            let err = Predictor::predict(
+                &RandomWalkPpr::new(config),
+                &PredictRequest::new(&g, &machine),
+            )
+            .unwrap_err();
+            assert!(matches!(err, SnapleError::InvalidConfig(_)));
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrapper_matches_the_trait_api_and_stays_infallible() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let machine = machine();
+        let ppr = RandomWalkPpr::new(RandomWalkConfig::new().walks(30).depth(3));
+        let legacy = ppr.predict(&g, &machine);
+        let trait_based = Predictor::predict(&ppr, &PredictRequest::new(&g, &machine)).unwrap();
+        for (u, preds) in legacy.iter() {
+            assert_eq!(preds, trait_based.for_vertex(u));
+        }
+        // The wrapper keeps the historical lenient behavior.
+        let silent = RandomWalkPpr::new(RandomWalkConfig::new().walks(0)).predict(&g, &machine);
+        assert_eq!(silent.total_predictions(), 0);
     }
 }

@@ -63,12 +63,20 @@ impl ScoreSpec {
 
     /// The three `Mean`-aggregated configurations (paper Fig. 8b).
     pub fn mean_family() -> [ScoreSpec; 3] {
-        [ScoreSpec::EuclMean, ScoreSpec::GeomMean, ScoreSpec::LinearMean]
+        [
+            ScoreSpec::EuclMean,
+            ScoreSpec::GeomMean,
+            ScoreSpec::LinearMean,
+        ]
     }
 
     /// The three `Geom`-aggregated configurations (paper Fig. 8c).
     pub fn geom_family() -> [ScoreSpec; 3] {
-        [ScoreSpec::EuclGeom, ScoreSpec::GeomGeom, ScoreSpec::LinearGeom]
+        [
+            ScoreSpec::EuclGeom,
+            ScoreSpec::GeomGeom,
+            ScoreSpec::LinearGeom,
+        ]
     }
 
     /// The paper's name for this configuration ("linearSum", ...).

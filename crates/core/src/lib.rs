@@ -27,7 +27,7 @@
 //!
 //! # The GAS program
 //!
-//! [`Snaple::predict`] runs the paper's Algorithm 2 as three GAS steps on a
+//! [`Snaple`] runs the paper's Algorithm 2 as three GAS steps on a
 //! [`snaple_gas::Engine`]:
 //!
 //! 1. [`steps::NeighborhoodStep`] — collect each vertex's neighbor ids,
@@ -38,20 +38,57 @@
 //! 3. [`steps::ScoreStep`] — combine and aggregate path similarities over
 //!    the sampled 2-hop paths and keep the top-`k` candidates.
 //!
-//! # Example
+//! # The prediction API
+//!
+//! Every backend (SNAPLE here, plus the BASELINE and Cassovary comparator
+//! crates) implements the [`Predictor`] trait: one `predict` entry point
+//! taking a [`PredictRequest`] — the graph, the cluster, optional
+//! per-vertex content attributes, and an optional [`QuerySet`] restricting
+//! the run to a subset of source vertices.
 //!
 //! ```
-//! use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
 //! let config = SnapleConfig::new(ScoreSpec::LinearSum)
 //!     .k(5)
 //!     .klocal(Some(20))
 //!     .thr_gamma(Some(200));
-//! let prediction = Snaple::new(config).predict(&graph, &ClusterSpec::type_ii(4))?;
+//! let snaple = Snaple::new(config);
+//! let prediction = Predictor::predict(&snaple, &PredictRequest::new(&graph, &cluster))?;
 //! assert_eq!(prediction.num_vertices(), graph.num_vertices());
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
+//!
+//! # Serving a query set
+//!
+//! A production "who to follow" deployment rarely refreshes every user at
+//! once — it answers for the users who are active. Attach a [`QuerySet`]
+//! to the request and the GAS steps run under shrinking active-vertex
+//! masks, touching only the part of the graph that can influence the
+//! queried rows:
+//!
+//! ```
+//! use snaple_core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! // The 500 "currently active" users.
+//! let active = QuerySet::sample(graph.num_vertices(), 500, 7);
+//! let req = PredictRequest::new(&graph, &cluster).with_queries(&active);
+//! let suggestions = Predictor::predict(&snaple, &req)?;
+//! for user in active.iter() {
+//!     // Same rows an all-vertices run would produce, at a fraction of
+//!     // the work (see RunStats::total_work_ops).
+//!     let _ranked = suggestions.for_vertex(user);
+//! }
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 
@@ -60,6 +97,7 @@ pub mod combinator;
 pub mod config;
 pub mod error;
 pub mod predictor;
+pub mod predictor_api;
 pub mod similarity;
 pub mod state;
 pub mod steps;
@@ -70,5 +108,6 @@ pub use combinator::Combinator;
 pub use config::{PathLength, ScoreComponents, ScoreSpec, SelectionPolicy, SnapleConfig};
 pub use error::SnapleError;
 pub use predictor::{Prediction, Snaple};
+pub use predictor_api::{PredictRequest, Predictor, QuerySet};
 pub use similarity::{NeighborhoodView, Similarity};
 pub use state::SnapleVertex;

@@ -1,12 +1,63 @@
 //! The public SNAPLE predictor.
 
 use snaple_gas::{ClusterSpec, Engine, RunStats};
-use snaple_graph::{CsrGraph, VertexId};
+use snaple_graph::{CsrGraph, VertexId, VertexMask};
 
 use crate::config::{PathLength, ScoreComponents, SnapleConfig};
 use crate::error::SnapleError;
+use crate::predictor_api::{PredictRequest, Predictor};
 use crate::state::SnapleVertex;
 use crate::steps::{NeighborhoodStep, PromoteScoresStep, ScoreStep, SecondHop, SimilarityStep};
+
+/// Per-step active-vertex masks of a targeted SNAPLE run.
+///
+/// Masks shrink as information flows toward the queries: the first step
+/// must materialize neighborhoods for every vertex within lookahead of a
+/// query, the last step only scores the queries themselves.
+struct StepMasks {
+    /// [`NeighborhoodStep`] — queries plus every vertex within the
+    /// program's full hop lookahead.
+    neighborhood: VertexMask,
+    /// [`SimilarityStep`] — queries plus the vertices whose similarity
+    /// tables later steps read.
+    similarity: VertexMask,
+    /// The 3-hop extension's extra score + promote pass (`None` for
+    /// standard 2-hop runs) — queries plus their direct out-neighbors.
+    promote: Option<VertexMask>,
+    /// The final [`ScoreStep`] — exactly the queries.
+    score: VertexMask,
+}
+
+impl StepMasks {
+    /// Builds the mask chain for `queries` by expanding one out-hop per
+    /// step of lookahead.
+    fn build(graph: &CsrGraph, queries: &VertexMask, path_length: PathLength) -> StepMasks {
+        let score = queries.clone();
+        match path_length {
+            PathLength::Two => {
+                let similarity = score.expand_out(graph);
+                let neighborhood = similarity.expand_out(graph);
+                StepMasks {
+                    neighborhood,
+                    similarity,
+                    promote: None,
+                    score,
+                }
+            }
+            PathLength::Three => {
+                let promote = score.expand_out(graph);
+                let similarity = promote.expand_out(graph);
+                let neighborhood = similarity.expand_out(graph);
+                StepMasks {
+                    neighborhood,
+                    similarity,
+                    promote: Some(promote),
+                    score,
+                }
+            }
+        }
+    }
+}
 
 /// SNAPLE link predictor: configuration plus resolved scoring components.
 ///
@@ -42,55 +93,67 @@ impl Snaple {
         &self.components
     }
 
-    /// Runs the three-step GAS program of the paper's Algorithm 2 on
-    /// `graph` over the simulated `cluster` and returns the per-vertex
-    /// predictions together with the engine's execution statistics.
+    /// Runs the paper's Algorithm 2 on `graph` over `cluster`.
     ///
-    /// # Errors
-    ///
-    /// * [`SnapleError::InvalidConfig`] if `k` is zero.
-    /// * [`SnapleError::Engine`] when the simulated cluster cannot execute
-    ///   the program (memory exhaustion, invalid node counts).
+    /// Thin compatibility wrapper over the [`Predictor`] trait.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
+                this wrapper is equivalent to predict(&PredictRequest::new(graph, cluster))"
+    )]
     pub fn predict(
         &self,
         graph: &CsrGraph,
         cluster: &ClusterSpec,
     ) -> Result<Prediction, SnapleError> {
-        self.predict_inner(graph, cluster, None)
+        Predictor::predict(self, &PredictRequest::new(graph, cluster))
     }
 
-    /// Like [`Snaple::predict`], with per-vertex content attached: the
-    /// sorted tag bag `attributes[i]` becomes vertex `i`'s content, visible
-    /// to content-aware similarities such as
-    /// [`similarity::ContentBlend`](crate::similarity::ContentBlend)
-    /// (paper §3.1's content extension).
+    /// Runs with per-vertex content attached.
     ///
-    /// # Errors
-    ///
-    /// As [`Snaple::predict`], plus [`SnapleError::InvalidConfig`] when
-    /// `attributes` does not have one entry per vertex.
+    /// Thin compatibility wrapper over the [`Predictor`] trait.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
+                this wrapper is equivalent to \
+                predict(&PredictRequest::new(graph, cluster).with_attributes(attributes))"
+    )]
     pub fn predict_with_attributes(
         &self,
         graph: &CsrGraph,
         cluster: &ClusterSpec,
         attributes: &[Vec<u32>],
     ) -> Result<Prediction, SnapleError> {
-        if attributes.len() != graph.num_vertices() {
-            return Err(SnapleError::InvalidConfig(format!(
-                "attributes cover {} vertices but the graph has {}",
-                attributes.len(),
-                graph.num_vertices()
-            )));
-        }
-        self.predict_inner(graph, cluster, Some(attributes))
+        Predictor::predict(
+            self,
+            &PredictRequest::new(graph, cluster).with_attributes(attributes),
+        )
     }
+}
 
-    fn predict_inner(
-        &self,
-        graph: &CsrGraph,
-        cluster: &ClusterSpec,
-        attributes: Option<&[Vec<u32>]>,
-    ) -> Result<Prediction, SnapleError> {
+impl Predictor for Snaple {
+    /// Runs the three-step GAS program of the paper's Algorithm 2 and
+    /// returns the per-vertex predictions together with the engine's
+    /// execution statistics.
+    ///
+    /// With [`PredictRequest::queries`], the steps execute under
+    /// shrinking active-vertex masks — neighborhoods for everything
+    /// within the program's hop lookahead of a query, similarities for
+    /// queries and their direct neighbors, scores for the queries alone —
+    /// so small query sets do far less gather/scatter work. Queried rows
+    /// are bit-identical to an all-vertices run; all other rows are
+    /// empty. Per-vertex content arrives via
+    /// [`PredictRequest::attributes`] (paper §3.1's content extension).
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapleError::InvalidConfig`] if `k` or `klocal` is zero, if
+    ///   attributes do not cover every vertex, or if a query id is out of
+    ///   range.
+    /// * [`SnapleError::Engine`] when the simulated cluster cannot execute
+    ///   the program (memory exhaustion, invalid node counts).
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
+        req.validate()?;
         if self.config.k == 0 {
             return Err(SnapleError::InvalidConfig(
                 "k must be at least 1".to_owned(),
@@ -101,14 +164,15 @@ impl Snaple {
                 "klocal must be at least 1 (use None to disable sampling)".to_owned(),
             ));
         }
+        let graph = req.graph();
         let mut engine = Engine::new(
             graph,
-            cluster.clone(),
+            req.cluster().clone(),
             self.config.partition,
             self.config.seed,
         )?;
         let mut state = vec![SnapleVertex::default(); graph.num_vertices()];
-        if let Some(attrs) = attributes {
+        if let Some(attrs) = req.attributes() {
             for (vertex, tags) in state.iter_mut().zip(attrs) {
                 let mut tags = tags.clone();
                 tags.sort_unstable();
@@ -116,47 +180,55 @@ impl Snaple {
                 vertex.tags = tags;
             }
         }
+        let masks = req
+            .query_mask()
+            .map(|q| StepMasks::build(graph, &q, self.config.path_length));
 
-        engine.run_step(
+        engine.run_step_masked(
             &NeighborhoodStep {
                 thr_gamma: self.config.thr_gamma,
             },
             &mut state,
+            masks.as_ref().map(|m| &m.neighborhood),
         )?;
-        engine.run_step(
+        engine.run_step_masked(
             &SimilarityStep {
                 components: &self.components,
                 klocal: self.config.klocal,
                 selection: self.config.selection,
             },
             &mut state,
+            masks.as_ref().map(|m| &m.similarity),
         )?;
         if self.config.path_length == PathLength::Three {
             // Recursive longer-path extension (paper §3.1, footnote 2):
             // compute 2-hop scores, promote them into the similarity
             // tables, then combine once more — scoring 3-hop paths.
             let keep = self.config.klocal.unwrap_or(self.config.k.max(20));
-            engine.run_step(
+            let promote_mask = masks.as_ref().and_then(|m| m.promote.as_ref());
+            engine.run_step_masked(
                 &ScoreStep {
                     components: &self.components,
                     k: keep,
                     second_hop: SecondHop::Sims,
                 },
                 &mut state,
+                promote_mask,
             )?;
-            engine.run_step(&PromoteScoresStep { keep }, &mut state)?;
+            engine.run_step_masked(&PromoteScoresStep { keep }, &mut state, promote_mask)?;
         }
         let second_hop = match self.config.path_length {
             PathLength::Two => SecondHop::Sims,
             PathLength::Three => SecondHop::Paths,
         };
-        engine.run_step(
+        engine.run_step_masked(
             &ScoreStep {
                 components: &self.components,
                 k: self.config.k,
                 second_hop,
             },
             &mut state,
+            masks.as_ref().map(|m| &m.score),
         )?;
 
         let predictions = state.into_iter().map(|s| s.predictions).collect();
@@ -220,6 +292,7 @@ impl Prediction {
 mod tests {
     use super::*;
     use crate::config::{ScoreSpec, SelectionPolicy};
+    use crate::predictor_api::QuerySet;
     use snaple_gas::EngineError;
     use snaple_graph::gen::datasets;
 
@@ -235,16 +308,18 @@ mod tests {
     }
 
     fn predict(config: SnapleConfig, graph: &CsrGraph) -> Prediction {
-        Snaple::new(config)
-            .predict(graph, &ClusterSpec::type_ii(2))
-            .unwrap()
+        let cluster = ClusterSpec::type_ii(2);
+        Predictor::predict(&Snaple::new(config), &PredictRequest::new(graph, &cluster)).unwrap()
     }
 
     #[test]
     fn counter_scores_count_paths() {
         let g = path_count_graph();
         let p = predict(
-            SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(None).thr_gamma(None),
+            SnapleConfig::new(ScoreSpec::Counter)
+                .k(5)
+                .klocal(None)
+                .thr_gamma(None),
             &g,
         );
         let preds = p.for_vertex(v(0));
@@ -257,7 +332,9 @@ mod tests {
     fn predictions_never_include_self_or_existing_neighbors() {
         let g = datasets::GOWALLA.emulate(0.005, 3);
         let p = predict(
-            SnapleConfig::new(ScoreSpec::LinearSum).k(5).klocal(Some(10)),
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .k(5)
+                .klocal(Some(10)),
             &g,
         );
         for (u, preds) in p.iter() {
@@ -285,12 +362,15 @@ mod tests {
     fn results_match_across_cluster_sizes_exactly_for_counter() {
         let g = datasets::GOWALLA.emulate(0.004, 5);
         let config = SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(Some(10));
-        let single = Snaple::new(config.clone())
-            .predict(&g, &ClusterSpec::single_machine(20, 128 << 30))
-            .unwrap();
-        let cluster = Snaple::new(config)
-            .predict(&g, &ClusterSpec::type_i(16))
-            .unwrap();
+        let machine = ClusterSpec::single_machine(20, 128 << 30);
+        let single = Predictor::predict(
+            &Snaple::new(config.clone()),
+            &PredictRequest::new(&g, &machine),
+        )
+        .unwrap();
+        let sixteen = ClusterSpec::type_i(16);
+        let cluster =
+            Predictor::predict(&Snaple::new(config), &PredictRequest::new(&g, &sixteen)).unwrap();
         for (u, preds) in single.iter() {
             assert_eq!(preds, cluster.for_vertex(u), "vertex {u}");
         }
@@ -300,11 +380,15 @@ mod tests {
     fn klocal_none_explores_more_candidates_than_small_klocal() {
         let g = datasets::POKEC.emulate(0.002, 9);
         let full = predict(
-            SnapleConfig::new(ScoreSpec::LinearSum).klocal(None).thr_gamma(None),
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(None)
+                .thr_gamma(None),
             &g,
         );
         let sampled = predict(
-            SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(2)).thr_gamma(None),
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(Some(2))
+                .thr_gamma(None),
             &g,
         );
         // Sampling restricts the candidate space, so the sampled run can
@@ -320,13 +404,18 @@ mod tests {
     #[test]
     fn zero_k_is_rejected() {
         let g = path_count_graph();
-        let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).k(0))
-            .predict(&g, &ClusterSpec::type_i(1))
-            .unwrap_err();
+        let one = ClusterSpec::type_i(1);
+        let err = Predictor::predict(
+            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).k(0)),
+            &PredictRequest::new(&g, &one),
+        )
+        .unwrap_err();
         assert!(matches!(err, SnapleError::InvalidConfig(_)));
-        let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(0)))
-            .predict(&g, &ClusterSpec::type_i(1))
-            .unwrap_err();
+        let err = Predictor::predict(
+            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(0))),
+            &PredictRequest::new(&g, &one),
+        )
+        .unwrap_err();
         assert!(matches!(err, SnapleError::InvalidConfig(_)));
     }
 
@@ -337,13 +426,140 @@ mod tests {
             memory_per_node: 1024,
             ..ClusterSpec::type_i(2)
         };
-        let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum))
-            .predict(&g, &starved)
-            .unwrap_err();
+        let err = Predictor::predict(
+            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum)),
+            &PredictRequest::new(&g, &starved),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             SnapleError::Engine(EngineError::ResourceExhausted { .. })
         ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_wrappers_match_the_trait_api() {
+        let g = datasets::GOWALLA.emulate(0.004, 5);
+        let cluster = ClusterSpec::type_ii(2);
+        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(10)));
+        let legacy = snaple.predict(&g, &cluster).unwrap();
+        let trait_based = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
+        for (u, preds) in legacy.iter() {
+            assert_eq!(preds, trait_based.for_vertex(u));
+        }
+
+        let attrs = vec![vec![1u32, 2]; g.num_vertices()];
+        let legacy = snaple
+            .predict_with_attributes(&g, &cluster, &attrs)
+            .unwrap();
+        let trait_based = Predictor::predict(
+            &snaple,
+            &PredictRequest::new(&g, &cluster).with_attributes(&attrs),
+        )
+        .unwrap();
+        for (u, preds) in legacy.iter() {
+            assert_eq!(preds, trait_based.for_vertex(u));
+        }
+        let short = vec![vec![1u32]; 2];
+        assert!(matches!(
+            snaple.predict_with_attributes(&g, &cluster, &short),
+            Err(SnapleError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn targeted_rows_match_the_full_run() {
+        let g = datasets::GOWALLA.emulate(0.005, 3);
+        let cluster = ClusterSpec::type_ii(4);
+        let snaple = Snaple::new(
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .k(5)
+                .klocal(Some(10)),
+        );
+        let full = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
+        let queries = QuerySet::sample(g.num_vertices(), g.num_vertices() / 20, 11);
+        let targeted = Predictor::predict(
+            &snaple,
+            &PredictRequest::new(&g, &cluster).with_queries(&queries),
+        )
+        .unwrap();
+        assert_eq!(targeted.num_vertices(), full.num_vertices());
+        for (u, preds) in targeted.iter() {
+            if queries.contains(u) {
+                assert_eq!(preds, full.for_vertex(u), "queried row {u} diverged");
+            } else {
+                assert!(preds.is_empty(), "non-queried row {u} must stay empty");
+            }
+        }
+        assert!(
+            targeted.stats.total_work_ops() < full.stats.total_work_ops(),
+            "targeted {} !< full {}",
+            targeted.stats.total_work_ops(),
+            full.stats.total_work_ops()
+        );
+    }
+
+    #[test]
+    fn targeted_three_hop_rows_match_the_full_run() {
+        use crate::config::PathLength;
+        let g = datasets::POKEC.emulate(0.002, 9);
+        let cluster = ClusterSpec::type_ii(2);
+        let snaple = Snaple::new(
+            SnapleConfig::new(ScoreSpec::Counter)
+                .klocal(Some(10))
+                .path_length(PathLength::Three),
+        );
+        let full = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
+        let queries = QuerySet::sample(g.num_vertices(), 25, 3);
+        let targeted = Predictor::predict(
+            &snaple,
+            &PredictRequest::new(&g, &cluster).with_queries(&queries),
+        )
+        .unwrap();
+        for q in queries.iter() {
+            assert_eq!(targeted.for_vertex(q), full.for_vertex(q), "row {q}");
+        }
+        assert_eq!(targeted.stats.steps.len(), 5);
+    }
+
+    #[test]
+    fn full_query_set_reproduces_the_all_vertices_run_bit_for_bit() {
+        let g = datasets::GOWALLA.emulate(0.004, 7);
+        let cluster = ClusterSpec::type_ii(4);
+        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(10)));
+        let full = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
+        let everyone = QuerySet::from_indices(0..g.num_vertices() as u32);
+        let via_queries = Predictor::predict(
+            &snaple,
+            &PredictRequest::new(&g, &cluster).with_queries(&everyone),
+        )
+        .unwrap();
+        for (u, preds) in full.iter() {
+            assert_eq!(preds, via_queries.for_vertex(u), "vertex {u}");
+        }
+        assert_eq!(
+            full.stats.total_work_ops(),
+            via_queries.stats.total_work_ops()
+        );
+        assert_eq!(
+            full.stats.total_network_bytes(),
+            via_queries.stats.total_network_bytes()
+        );
+        assert_eq!(full.stats.peak_memory(), via_queries.stats.peak_memory());
+    }
+
+    #[test]
+    fn out_of_range_queries_are_rejected() {
+        let g = path_count_graph();
+        let cluster = ClusterSpec::type_i(1);
+        let bad = QuerySet::from_indices([0, 9]);
+        let err = Predictor::predict(
+            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum)),
+            &PredictRequest::new(&g, &cluster).with_queries(&bad),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SnapleError::InvalidConfig(_)));
     }
 
     #[test]
@@ -375,7 +591,9 @@ mod tests {
         // Chain with side links: 0 -> 1 -> 2 -> 3; 3 is 3 hops from 0.
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 0), (2, 1)]);
         let two = predict(
-            SnapleConfig::new(ScoreSpec::Counter).klocal(None).thr_gamma(None),
+            SnapleConfig::new(ScoreSpec::Counter)
+                .klocal(None)
+                .thr_gamma(None),
             &g,
         );
         let three = predict(

@@ -1,0 +1,318 @@
+//! The unified prediction API: [`Predictor`], [`PredictRequest`] and
+//! [`QuerySet`].
+//!
+//! Every backend in the workspace — SNAPLE itself, the paper's BASELINE,
+//! the Cassovary-style random-walk comparator, and the supervised
+//! re-ranker — answers the same call:
+//!
+//! ```text
+//! fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError>
+//! ```
+//!
+//! A [`PredictRequest`] bundles everything a prediction run needs: the
+//! graph, the simulated [`ClusterSpec`], optional per-vertex content
+//! attributes, and — the serving-oriented capability — an optional
+//! [`QuerySet`] of source vertices. With a query set, backends restrict
+//! their work to the vertices that can still influence the queried rows
+//! (SNAPLE and BASELINE run their GAS steps under shrinking
+//! [`VertexMask`]s, the random-walk backend only walks from the queries),
+//! which is how a "who to follow" service computes suggestions for the
+//! users who are actually online instead of the whole graph.
+//!
+//! Targeted runs are *exact*: the rows they return are bit-identical to
+//! the same rows of an all-vertices run with the same configuration and
+//! seeds; rows outside the query set are empty.
+//!
+//! # Example
+//!
+//! ```
+//! use snaple_core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! // Any backend behind the one interface:
+//! let snaple: &dyn Predictor =
+//!     &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! // All-vertices (batch) prediction:
+//! let all = snaple.predict(&PredictRequest::new(&graph, &cluster))?;
+//! assert_eq!(all.num_vertices(), graph.num_vertices());
+//!
+//! // Targeted (serving) prediction for 1% of the users:
+//! let queries = QuerySet::sample(graph.num_vertices(), graph.num_vertices() / 100, 7);
+//! let req = PredictRequest::new(&graph, &cluster).with_queries(&queries);
+//! let targeted = snaple.predict(&req)?;
+//! for q in queries.iter() {
+//!     assert_eq!(targeted.for_vertex(q), all.for_vertex(q));
+//! }
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
+
+use snaple_gas::ClusterSpec;
+use snaple_graph::hash::hash2;
+use snaple_graph::{CsrGraph, VertexId, VertexMask};
+
+use crate::error::SnapleError;
+use crate::predictor::Prediction;
+
+/// A set of source vertices to predict for, sorted and deduplicated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QuerySet {
+    ids: Vec<VertexId>,
+}
+
+impl QuerySet {
+    /// Builds a query set from any id iterator (duplicates are dropped,
+    /// order does not matter).
+    pub fn new(ids: impl IntoIterator<Item = VertexId>) -> Self {
+        let mut ids: Vec<VertexId> = ids.into_iter().collect();
+        ids.sort_unstable();
+        ids.dedup();
+        QuerySet { ids }
+    }
+
+    /// Builds a query set from raw `u32` indices.
+    pub fn from_indices(ids: impl IntoIterator<Item = u32>) -> Self {
+        QuerySet::new(ids.into_iter().map(VertexId::new))
+    }
+
+    /// Deterministically samples `count` distinct vertices out of
+    /// `0..num_vertices` (hash-ranked, so independent of any RNG state).
+    ///
+    /// Sampling at least `num_vertices` ids returns every vertex.
+    pub fn sample(num_vertices: usize, count: usize, seed: u64) -> Self {
+        if count >= num_vertices {
+            return QuerySet::from_indices(0..num_vertices as u32);
+        }
+        let mut ranked: Vec<(u64, u32)> = (0..num_vertices as u32)
+            .map(|v| (hash2(seed, v as u64, 0x5e7), v))
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(count);
+        QuerySet::from_indices(ranked.into_iter().map(|(_, v)| v))
+    }
+
+    /// Number of queried vertices.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the set is empty (a valid request: no rows are produced).
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// The sorted queried ids.
+    pub fn as_slice(&self) -> &[VertexId] {
+        &self.ids
+    }
+
+    /// Iterates the queried ids in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.ids.iter().copied()
+    }
+
+    /// Whether `v` is queried.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.ids.binary_search(&v).is_ok()
+    }
+
+    /// Largest queried id, if any.
+    pub fn max_id(&self) -> Option<VertexId> {
+        self.ids.last().copied()
+    }
+
+    /// The query set as an active-vertex mask over `num_vertices`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an id is out of range; [`PredictRequest::validate`]
+    /// reports that case as an error before backends get here.
+    pub fn to_mask(&self, num_vertices: usize) -> VertexMask {
+        VertexMask::from_vertices(num_vertices, self.iter())
+    }
+}
+
+impl FromIterator<VertexId> for QuerySet {
+    fn from_iter<I: IntoIterator<Item = VertexId>>(iter: I) -> Self {
+        QuerySet::new(iter)
+    }
+}
+
+/// One prediction call: the graph and cluster to run on, plus optional
+/// per-vertex attributes and an optional query subset.
+///
+/// Requests are cheap reference bundles — build one per run with
+/// [`PredictRequest::new`] and the `with_*` builders.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictRequest<'a> {
+    graph: &'a CsrGraph,
+    cluster: &'a ClusterSpec,
+    attributes: Option<&'a [Vec<u32>]>,
+    queries: Option<&'a QuerySet>,
+}
+
+impl<'a> PredictRequest<'a> {
+    /// Creates an all-vertices request without attributes.
+    pub fn new(graph: &'a CsrGraph, cluster: &'a ClusterSpec) -> Self {
+        PredictRequest {
+            graph,
+            cluster,
+            attributes: None,
+            queries: None,
+        }
+    }
+
+    /// Attaches per-vertex content attributes: `attributes[i]` becomes
+    /// vertex `i`'s tag bag, visible to content-aware similarities such as
+    /// [`similarity::ContentBlend`](crate::similarity::ContentBlend).
+    pub fn with_attributes(mut self, attributes: &'a [Vec<u32>]) -> Self {
+        self.attributes = Some(attributes);
+        self
+    }
+
+    /// Restricts prediction to the sources in `queries`.
+    pub fn with_queries(mut self, queries: &'a QuerySet) -> Self {
+        self.queries = Some(queries);
+        self
+    }
+
+    /// The graph to predict over.
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// The simulated cluster to run on.
+    pub fn cluster(&self) -> &'a ClusterSpec {
+        self.cluster
+    }
+
+    /// Per-vertex content attributes, if attached.
+    pub fn attributes(&self) -> Option<&'a [Vec<u32>]> {
+        self.attributes
+    }
+
+    /// The query subset, if any (`None` means all vertices).
+    pub fn queries(&self) -> Option<&'a QuerySet> {
+        self.queries
+    }
+
+    /// Checks the request's internal consistency: attributes must cover
+    /// every vertex and queried ids must exist in the graph.
+    ///
+    /// Backends call this first; it is public so front ends can fail fast
+    /// before spending work.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] describing the mismatch.
+    pub fn validate(&self) -> Result<(), SnapleError> {
+        if let Some(attrs) = self.attributes {
+            if attrs.len() != self.graph.num_vertices() {
+                return Err(SnapleError::InvalidConfig(format!(
+                    "attributes cover {} vertices but the graph has {}",
+                    attrs.len(),
+                    self.graph.num_vertices()
+                )));
+            }
+        }
+        if let Some(queries) = self.queries {
+            if let Some(max) = queries.max_id() {
+                if max.index() >= self.graph.num_vertices() {
+                    return Err(SnapleError::InvalidConfig(format!(
+                        "query vertex {} out of range: the graph has {} vertices",
+                        max,
+                        self.graph.num_vertices()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The active-vertex mask of the query subset (`None` for
+    /// all-vertices requests).
+    pub fn query_mask(&self) -> Option<VertexMask> {
+        self.queries.map(|q| q.to_mask(self.graph.num_vertices()))
+    }
+}
+
+/// The unified prediction interface every backend implements.
+///
+/// Implementations must honor the whole request: run on
+/// [`PredictRequest::graph`] and [`PredictRequest::cluster`], respect
+/// [`PredictRequest::queries`] exactly (queried rows bit-identical to an
+/// all-vertices run, all other rows empty), and either consume or reject
+/// [`PredictRequest::attributes`].
+pub trait Predictor {
+    /// Runs one prediction request.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] for unusable configurations or
+    /// malformed requests; [`SnapleError::Engine`] when the simulated
+    /// cluster cannot execute the run (e.g. memory exhaustion).
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError>;
+}
+
+impl<P: Predictor + ?Sized> Predictor for &P {
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
+        (**self).predict(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn query_sets_sort_and_dedup() {
+        let q = QuerySet::from_indices([5, 1, 5, 3, 1]);
+        assert_eq!(q.as_slice(), &[v(1), v(3), v(5)]);
+        assert_eq!(q.len(), 3);
+        assert!(q.contains(v(3)));
+        assert!(!q.contains(v(2)));
+        assert_eq!(q.max_id(), Some(v(5)));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_distinct_and_bounded() {
+        let a = QuerySet::sample(1_000, 50, 7);
+        let b = QuerySet::sample(1_000, 50, 7);
+        let c = QuerySet::sample(1_000, 50, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seeds must sample differently");
+        assert_eq!(a.len(), 50);
+        assert!(a.iter().all(|id| id.index() < 1_000));
+        assert_eq!(QuerySet::sample(10, 99, 1).len(), 10);
+    }
+
+    #[test]
+    fn validation_catches_out_of_range_queries_and_short_attributes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let cluster = ClusterSpec::type_i(1);
+        assert!(PredictRequest::new(&g, &cluster).validate().is_ok());
+
+        let bad_q = QuerySet::from_indices([0, 3]);
+        let req = PredictRequest::new(&g, &cluster).with_queries(&bad_q);
+        assert!(matches!(req.validate(), Err(SnapleError::InvalidConfig(_))));
+
+        let attrs = vec![vec![1u32]; 2];
+        let req = PredictRequest::new(&g, &cluster).with_attributes(&attrs);
+        assert!(matches!(req.validate(), Err(SnapleError::InvalidConfig(_))));
+
+        let ok_q = QuerySet::from_indices([0, 2]);
+        let attrs = vec![vec![1u32]; 3];
+        let req = PredictRequest::new(&g, &cluster)
+            .with_attributes(&attrs)
+            .with_queries(&ok_q);
+        assert!(req.validate().is_ok());
+        assert_eq!(req.query_mask().unwrap().len(), 2);
+    }
+}

@@ -309,7 +309,11 @@ mod tests {
         let b = ids(&[3, 4]);
         for s in [&Cosine as &dyn Similarity, &Dice, &Overlap] {
             assert_eq!(s.score(view(&a), view(&b)), 0.0, "{}", s.name());
-            assert!((s.score(view(&a), view(&a)) - 1.0).abs() < 1e-6, "{}", s.name());
+            assert!(
+                (s.score(view(&a), view(&a)) - 1.0).abs() < 1e-6,
+                "{}",
+                s.name()
+            );
         }
     }
 

@@ -154,8 +154,7 @@ impl GasStep for SimilarityStep<'_> {
         work.add(candidates.len() as u64);
         // Rank by the selection similarity, carrying the scoring similarity
         // through as payload via an index indirection.
-        let ranked: Vec<(VertexId, f32)> =
-            candidates.iter().map(|&(v, _, sel)| (v, sel)).collect();
+        let ranked: Vec<(VertexId, f32)> = candidates.iter().map(|&(v, _, sel)| (v, sel)).collect();
         let kept_ids: Vec<VertexId> = match self.klocal {
             None => ranked.into_iter().map(|(v, _)| v).collect(),
             Some(klocal) => match self.selection {
@@ -171,9 +170,7 @@ impl GasStep for SimilarityStep<'_> {
                     // Deterministic uniform subset: order by per-(u, v) hash.
                     let mut hashed: Vec<(u64, VertexId)> = ranked
                         .into_iter()
-                        .map(|(v, _)| {
-                            (hash2(ctx.seed(), u.as_u32() as u64, v.as_u32() as u64), v)
-                        })
+                        .map(|(v, _)| (hash2(ctx.seed(), u.as_u32() as u64, v.as_u32() as u64), v))
                         .collect();
                     hashed.sort_unstable();
                     hashed.truncate(klocal);
@@ -270,7 +267,7 @@ impl GasStep for ScoreStep<'_> {
         work: &mut WorkTally,
     ) -> Vec<(VertexId, f32, u32)> {
         work.add((a.len() + b.len()) as u64);
-        merge_triples(&self.components, a, b)
+        merge_triples(self.components, a, b)
     }
 
     fn apply(
@@ -323,7 +320,7 @@ impl GasStep for PromoteScoresStep {
         None
     }
 
-    fn sum(&self, _a: (), _b: (), _work: &mut WorkTally) -> () {}
+    fn sum(&self, _a: (), _b: (), _work: &mut WorkTally) {}
 
     fn apply(
         &self,
@@ -388,10 +385,7 @@ mod tests {
         let a = vec![(v(1), 1.0, 1), (v(3), 1.0, 2)];
         let b = vec![(v(2), 1.0, 1), (v(3), 1.0, 1)];
         let m = merge_triples(&c, a, b);
-        assert_eq!(
-            m,
-            vec![(v(1), 1.0, 1), (v(2), 1.0, 1), (v(3), 2.0, 3)]
-        );
+        assert_eq!(m, vec![(v(1), 1.0, 1), (v(2), 1.0, 1), (v(3), 2.0, 3)]);
     }
 
     #[test]

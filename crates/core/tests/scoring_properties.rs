@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use snaple_core::aggregator::{Aggregator, GeometricMean, Mean, Sum};
 use snaple_core::combinator::{Combinator, Count, Linear};
 use snaple_core::similarity::{Jaccard, Similarity};
-use snaple_core::{NeighborhoodView, ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NeighborhoodView, PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 use snaple_gas::ClusterSpec;
 use snaple_graph::{CsrGraph, GraphBuilder, VertexId};
 
@@ -34,7 +34,10 @@ fn reference_scores(
             if z == u || graph.has_edge(u, z) {
                 continue;
             }
-            paths.entry(z).or_default().push(combinator.combine(s_uv, sim(v, z)));
+            paths
+                .entry(z)
+                .or_default()
+                .push(combinator.combine(s_uv, sim(v, z)));
         }
     }
     paths
@@ -76,9 +79,10 @@ proptest! {
             .thr_gamma(None)
             .seed(1);
         let combinator = Linear::new(config.alpha);
-        let prediction = Snaple::new(config)
-            .predict(&graph, &ClusterSpec::single_machine(4, 32 << 30))
-            .unwrap();
+        let machine = ClusterSpec::single_machine(4, 32 << 30);
+        let prediction =
+            Predictor::predict(&Snaple::new(config), &PredictRequest::new(&graph, &machine))
+                .unwrap();
         for u in graph.vertices() {
             let expect = reference_scores(&graph, u, &combinator, agg);
             let got: HashMap<VertexId, f32> =
@@ -108,9 +112,10 @@ proptest! {
             .k(graph.num_vertices())
             .klocal(None)
             .thr_gamma(None);
-        let prediction = Snaple::new(config)
-            .predict(&graph, &ClusterSpec::single_machine(4, 32 << 30))
-            .unwrap();
+        let machine = ClusterSpec::single_machine(4, 32 << 30);
+        let prediction =
+            Predictor::predict(&Snaple::new(config), &PredictRequest::new(&graph, &machine))
+                .unwrap();
         for u in graph.vertices() {
             let expect = reference_scores(&graph, u, &Count, &Sum);
             for (z, s) in prediction.for_vertex(u) {
@@ -134,9 +139,10 @@ proptest! {
             .k(k)
             .klocal(Some(klocal))
             .thr_gamma(Some(thr));
-        let prediction = Snaple::new(config)
-            .predict(&graph, &ClusterSpec::type_i(4))
-            .unwrap();
+        let cluster = ClusterSpec::type_i(4);
+        let prediction =
+            Predictor::predict(&Snaple::new(config), &PredictRequest::new(&graph, &cluster))
+                .unwrap();
         for (u, preds) in prediction.iter() {
             prop_assert!(preds.len() <= k);
             prop_assert!(preds.windows(2).all(|w| w[0].1 >= w[1].1));

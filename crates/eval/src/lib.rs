@@ -25,7 +25,10 @@ pub mod runner;
 pub mod table;
 
 pub use datasets::EvalDataset;
-pub use metrics::{mean_reciprocal_rank, precision, recall, recall_at_k};
+pub use metrics::{
+    mean_reciprocal_rank, mean_reciprocal_rank_for, precision, precision_for, recall, recall_at_k,
+    recall_for,
+};
 pub use protocol::HoldOut;
 pub use runner::{Measurement, Outcome, Runner};
 pub use table::TextTable;

@@ -1,25 +1,47 @@
 //! Prediction quality metrics.
 
-use snaple_core::Prediction;
+use snaple_core::{Prediction, QuerySet};
+use snaple_graph::VertexId;
 
 use crate::protocol::HoldOut;
+
+/// The hold-out rows a metric ranges over: all sources, or only the
+/// queried ones for targeted (query-subset) runs.
+fn selected<'a>(
+    holdout: &'a HoldOut,
+    queries: Option<&'a QuerySet>,
+) -> impl Iterator<Item = (VertexId, &'a [VertexId])> {
+    holdout
+        .removed
+        .iter()
+        .filter(move |(u, _)| queries.is_none_or(|q| q.contains(**u)))
+        .map(|(&u, held)| (u, held.as_slice()))
+}
 
 /// Recall: the proportion of held-out edges that appear among the returned
 /// predictions — the paper's primary quality metric (§5.2).
 ///
 /// Returns `0.0` when nothing was held out.
 pub fn recall(prediction: &Prediction, holdout: &HoldOut) -> f64 {
-    let total = holdout.num_removed();
-    if total == 0 {
-        return 0.0;
-    }
+    recall_for(prediction, holdout, None)
+}
+
+/// [`recall`] restricted to the sources in `queries` (all sources when
+/// `None`): hits at queried vertices over held-out edges at queried
+/// vertices — the right denominator for judging a targeted run.
+pub fn recall_for(prediction: &Prediction, holdout: &HoldOut, queries: Option<&QuerySet>) -> f64 {
     let mut hits = 0usize;
-    for (&u, held) in &holdout.removed {
+    let mut total = 0usize;
+    for (u, held) in selected(holdout, queries) {
+        total += held.len();
         let preds = prediction.for_vertex(u);
         hits += preds
             .iter()
             .filter(|(z, _)| held.binary_search(z).is_ok())
             .count();
+    }
+    if total == 0 {
+        return 0.0;
     }
     hits as f64 / total as f64
 }
@@ -51,9 +73,19 @@ pub fn recall_at_k(prediction: &Prediction, holdout: &HoldOut, k: usize) -> f64 
 /// is proportional to recall and therefore "not relevant in our set-up"
 /// (§5.2); it is provided for completeness.
 pub fn precision(prediction: &Prediction, holdout: &HoldOut) -> f64 {
+    precision_for(prediction, holdout, None)
+}
+
+/// [`precision`] restricted to the sources in `queries` (all sources when
+/// `None`).
+pub fn precision_for(
+    prediction: &Prediction,
+    holdout: &HoldOut,
+    queries: Option<&QuerySet>,
+) -> f64 {
     let mut hits = 0usize;
     let mut returned = 0usize;
-    for (&u, held) in &holdout.removed {
+    for (u, held) in selected(holdout, queries) {
         let preds = prediction.for_vertex(u);
         returned += preds.len();
         hits += preds
@@ -71,11 +103,20 @@ pub fn precision(prediction: &Prediction, holdout: &HoldOut) -> f64 {
 /// Mean reciprocal rank of the first held-out edge in each vertex's
 /// prediction list (an extra diagnostic beyond the paper).
 pub fn mean_reciprocal_rank(prediction: &Prediction, holdout: &HoldOut) -> f64 {
-    if holdout.removed.is_empty() {
-        return 0.0;
-    }
+    mean_reciprocal_rank_for(prediction, holdout, None)
+}
+
+/// [`mean_reciprocal_rank`] restricted to the sources in `queries` (all
+/// sources when `None`).
+pub fn mean_reciprocal_rank_for(
+    prediction: &Prediction,
+    holdout: &HoldOut,
+    queries: Option<&QuerySet>,
+) -> f64 {
     let mut total = 0.0;
-    for (&u, held) in &holdout.removed {
+    let mut sources = 0usize;
+    for (u, held) in selected(holdout, queries) {
+        sources += 1;
         let preds = prediction.for_vertex(u);
         if let Some(rank) = preds
             .iter()
@@ -84,7 +125,10 @@ pub fn mean_reciprocal_rank(prediction: &Prediction, holdout: &HoldOut) -> f64 {
             total += 1.0 / (rank + 1) as f64;
         }
     }
-    total / holdout.removed.len() as f64
+    if sources == 0 {
+        return 0.0;
+    }
+    total / sources as f64
 }
 
 #[cfg(test)]
@@ -167,10 +211,34 @@ mod tests {
     }
 
     #[test]
+    fn query_restricted_metrics_use_the_subset_denominator() {
+        use snaple_core::QuerySet;
+        // Sources 0 and 3 have removals; a targeted run answered only 0.
+        let h = holdout_with(&[(0, &[5, 6]), (3, &[4])]);
+        let p = prediction_with(&[(0, &[5, 9])]);
+        // All-vertices recall counts 3's miss: 1 hit of 3 removed.
+        assert!((recall(&p, &h) - 1.0 / 3.0).abs() < 1e-12);
+        // Restricted to the queried source, the denominator is its own
+        // removals only: 1 hit of 2.
+        let q = QuerySet::from_indices([0]);
+        assert!((recall_for(&p, &h, Some(&q)) - 0.5).abs() < 1e-12);
+        assert!((precision_for(&p, &h, Some(&q)) - 0.5).abs() < 1e-12);
+        assert!((mean_reciprocal_rank_for(&p, &h, Some(&q)) - 1.0).abs() < 1e-12);
+        // A query set with no held-out edges yields zero, not NaN.
+        let empty_q = QuerySet::from_indices([7]);
+        assert_eq!(recall_for(&p, &h, Some(&empty_q)), 0.0);
+        assert_eq!(mean_reciprocal_rank_for(&p, &h, Some(&empty_q)), 0.0);
+    }
+
+    #[test]
     fn metrics_stay_in_unit_interval() {
         let h = holdout_with(&[(0, &[1, 2]), (3, &[4])]);
         let p = prediction_with(&[(0, &[1, 2, 5]), (3, &[4])]);
-        for m in [recall(&p, &h), precision(&p, &h), mean_reciprocal_rank(&p, &h)] {
+        for m in [
+            recall(&p, &h),
+            precision(&p, &h),
+            mean_reciprocal_rank(&p, &h),
+        ] {
             assert!((0.0..=1.0).contains(&m), "{m}");
         }
     }

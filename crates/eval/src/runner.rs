@@ -2,9 +2,7 @@
 
 use std::time::Instant;
 
-use snaple_baseline::{Baseline, BaselineConfig};
-use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
-use snaple_core::{Prediction, Snaple, SnapleConfig, SnapleError};
+use snaple_core::{PredictRequest, Prediction, Predictor, SnapleError};
 use snaple_gas::{ClusterSpec, EngineError};
 use snaple_graph::CsrGraph;
 
@@ -105,6 +103,25 @@ impl Measurement {
 /// happens once per experiment, as in the paper's setup where graph
 /// loading time is excluded from measurements (§5.2). All predictors run
 /// on the *training* graph.
+///
+/// Every backend goes through the same generic [`Runner::run`]; build the
+/// request over the training graph with [`Runner::request`]:
+///
+/// ```
+/// use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+/// use snaple_eval::{EvalDataset, Runner};
+/// use snaple_gas::ClusterSpec;
+///
+/// let (_graph, holdout) = EvalDataset::by_name("gowalla")
+///     .unwrap()
+///     .scaled_by(0.01)
+///     .load_with_holdout(7, 1);
+/// let runner = Runner::new(&holdout);
+/// let cluster = ClusterSpec::type_ii(4);
+/// let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+/// let m = runner.run("linearSum", &snaple, &runner.request(&cluster));
+/// assert!(m.outcome.is_completed());
+/// ```
 #[derive(Debug)]
 pub struct Runner<'a> {
     holdout: &'a HoldOut,
@@ -117,39 +134,33 @@ impl<'a> Runner<'a> {
     }
 
     /// The training graph predictors run on.
-    pub fn train_graph(&self) -> &CsrGraph {
+    pub fn train_graph(&self) -> &'a CsrGraph {
         &self.holdout.train
     }
 
-    /// Runs SNAPLE with `config` on `cluster`.
-    pub fn run_snaple(
+    /// Builds a request over the training graph for `cluster`; attach
+    /// queries or attributes with the request's `with_*` builders.
+    pub fn request<'r>(&self, cluster: &'r ClusterSpec) -> PredictRequest<'r>
+    where
+        'a: 'r,
+    {
+        PredictRequest::new(&self.holdout.train, cluster)
+    }
+
+    /// Runs any [`Predictor`] on `req` and measures it against the
+    /// hold-out.
+    ///
+    /// Failures become [`Outcome`]s rather than errors, mirroring how the
+    /// paper reports OOM crashes as missing data points.
+    pub fn run(
         &self,
         label: &str,
-        config: SnapleConfig,
-        cluster: &ClusterSpec,
+        predictor: &dyn Predictor,
+        req: &PredictRequest<'_>,
     ) -> Measurement {
         let started = Instant::now();
-        let result = Snaple::new(config).predict(&self.holdout.train, cluster);
+        let result = predictor.predict(req);
         Measurement::from_result(label.to_owned(), started, result, self.holdout)
-    }
-
-    /// Runs the BASELINE predictor on `cluster`.
-    pub fn run_baseline(&self, config: BaselineConfig, cluster: &ClusterSpec) -> Measurement {
-        let started = Instant::now();
-        let result = Baseline::new(config).predict(&self.holdout.train, cluster);
-        Measurement::from_result("BASELINE".to_owned(), started, result, self.holdout)
-    }
-
-    /// Runs the Cassovary-style random-walk predictor on `machine`.
-    pub fn run_cassovary(
-        &self,
-        label: &str,
-        config: RandomWalkConfig,
-        machine: &ClusterSpec,
-    ) -> Measurement {
-        let started = Instant::now();
-        let prediction = RandomWalkPpr::new(config).predict(&self.holdout.train, machine);
-        Measurement::from_result(label.to_owned(), started, Ok(prediction), self.holdout)
     }
 }
 
@@ -157,7 +168,9 @@ impl<'a> Runner<'a> {
 mod tests {
     use super::*;
     use crate::datasets::EvalDataset;
-    use snaple_core::ScoreSpec;
+    use snaple_baseline::{Baseline, BaselineConfig};
+    use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
+    use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
 
     fn split() -> (CsrGraph, HoldOut) {
         EvalDataset::by_name("gowalla")
@@ -170,11 +183,9 @@ mod tests {
     fn snaple_run_produces_positive_recall_on_clustered_graphs() {
         let (_graph, holdout) = split();
         let runner = Runner::new(&holdout);
-        let m = runner.run_snaple(
-            "linearSum",
-            SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)),
-            &ClusterSpec::type_ii(4),
-        );
+        let cluster = ClusterSpec::type_ii(4);
+        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+        let m = runner.run("linearSum", &snaple, &runner.request(&cluster));
         assert!(m.outcome.is_completed());
         assert!(m.recall > 0.05, "recall {}", m.recall);
         assert!(m.simulated_seconds > 0.0);
@@ -189,22 +200,77 @@ mod tests {
             memory_per_node: 100_000,
             ..ClusterSpec::type_ii(4)
         };
-        let m = runner.run_baseline(BaselineConfig::new(), &starved);
-        assert!(matches!(m.outcome, Outcome::OutOfMemory { .. }), "{:?}", m.outcome);
+        let m = runner.run(
+            "BASELINE",
+            &Baseline::new(BaselineConfig::new()),
+            &runner.request(&starved),
+        );
+        assert!(
+            matches!(m.outcome, Outcome::OutOfMemory { .. }),
+            "{:?}",
+            m.outcome
+        );
         assert_eq!(m.recall, 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_fail_without_panicking() {
+        let (_graph, holdout) = split();
+        let runner = Runner::new(&holdout);
+        let machine = ClusterSpec::single_machine(20, 128 << 30);
+        let m = runner.run(
+            "PPR w=0",
+            &RandomWalkPpr::new(RandomWalkConfig::new().walks(0)),
+            &runner.request(&machine),
+        );
+        assert!(
+            matches!(m.outcome, Outcome::Failed { .. }),
+            "{:?}",
+            m.outcome
+        );
     }
 
     #[test]
     fn cassovary_runs_and_scores() {
         let (_graph, holdout) = split();
         let runner = Runner::new(&holdout);
-        let m = runner.run_cassovary(
+        let machine = ClusterSpec::single_machine(20, 128 << 30);
+        let m = runner.run(
             "PPR w=50 d=3",
-            RandomWalkConfig::new().walks(50).depth(3),
-            &ClusterSpec::single_machine(20, 128 << 30),
+            &RandomWalkPpr::new(RandomWalkConfig::new().walks(50).depth(3)),
+            &runner.request(&machine),
         );
         assert!(m.outcome.is_completed());
         assert!(m.recall > 0.0, "recall {}", m.recall);
+    }
+
+    #[test]
+    fn one_runner_serves_all_backends_including_targeted_requests() {
+        let (_graph, holdout) = split();
+        let runner = Runner::new(&holdout);
+        let cluster = ClusterSpec::type_ii(4);
+        let queries = QuerySet::sample(runner.train_graph().num_vertices(), 100, 3);
+        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+        let baseline = Baseline::new(BaselineConfig::new());
+        let ppr = RandomWalkPpr::new(RandomWalkConfig::new().walks(20).depth(3));
+        let backends: [(&str, &dyn Predictor); 3] =
+            [("snaple", &snaple), ("baseline", &baseline), ("ppr", &ppr)];
+        for (label, predictor) in backends {
+            let full = runner.run(label, predictor, &runner.request(&cluster));
+            let targeted = runner.run(
+                label,
+                predictor,
+                &runner.request(&cluster).with_queries(&queries),
+            );
+            assert!(full.outcome.is_completed(), "{label}");
+            assert!(targeted.outcome.is_completed(), "{label}");
+            assert!(
+                targeted.simulated_seconds < full.simulated_seconds,
+                "{label}: targeted {} !< full {}",
+                targeted.simulated_seconds,
+                full.simulated_seconds
+            );
+        }
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::thread;
 
 use snaple_graph::hash::hash2;
-use snaple_graph::{CsrGraph, Direction, VertexId};
+use snaple_graph::{CsrGraph, Direction, VertexId, VertexMask};
 
 use crate::cluster::{ClusterSpec, NodeId};
 use crate::cost::CostModel;
@@ -120,12 +120,49 @@ impl<'g> Engine<'g> {
         step: &S,
         state: &mut [S::Vertex],
     ) -> Result<&StepStats, EngineError> {
+        self.run_step_masked(step, state, None)
+    }
+
+    /// Runs one GAS superstep restricted to the *active* vertices of
+    /// `mask` (`None` activates every vertex, like [`Engine::run_step`]).
+    ///
+    /// Only active vertices gather and apply: inactive vertices trigger no
+    /// gather calls along their edges, receive no accumulator, and keep
+    /// their state untouched. Accounting follows the restriction — only
+    /// the state of vertices an active gather can read (the active set
+    /// plus its gather-direction frontier) is charged for broadcast
+    /// traffic and replica memory. A full mask is exactly equivalent to
+    /// `None`, byte for byte.
+    ///
+    /// This is the engine half of targeted prediction: callers that only
+    /// need results for a query subset run each step under a mask covering
+    /// the vertices that can still influence those queries.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::run_step`], plus [`EngineError::InvalidConfig`] if the
+    /// mask does not range over exactly the graph's vertices.
+    pub fn run_step_masked<S: GasStep>(
+        &mut self,
+        step: &S,
+        state: &mut [S::Vertex],
+        mask: Option<&VertexMask>,
+    ) -> Result<&StepStats, EngineError> {
         if state.len() != self.graph.num_vertices() {
             return Err(EngineError::InvalidConfig(format!(
                 "state has {} entries but the graph has {} vertices",
                 state.len(),
                 self.graph.num_vertices()
             )));
+        }
+        if let Some(m) = mask {
+            if m.num_vertices() != self.graph.num_vertices() {
+                return Err(EngineError::InvalidConfig(format!(
+                    "mask ranges over {} vertices but the graph has {}",
+                    m.num_vertices(),
+                    self.graph.num_vertices()
+                )));
+            }
         }
         let step_idx = self.step_counter;
         self.step_counter += 1;
@@ -141,17 +178,26 @@ impl<'g> Engine<'g> {
         let nodes = self.part.num_nodes();
         let cap = self.cluster.memory_per_node;
         let step_seed = hash2(self.seed, step_idx as u64, 0x57e9);
+        let dir = step.gather_direction();
+        // Read set of a masked step: active vertices plus the neighbors
+        // their gathers read. Only this state needs replicas this step.
+        let read_mask: Option<VertexMask> = mask.map(|m| m.expand(self.graph, dir));
 
         // --- Broadcast phase: replicate vertex state to mirrors. ---------
         let state_bytes: Vec<u64> = state.iter().map(SizeEstimate::estimated_bytes).collect();
         let mut mem_base = vec![0u64; nodes];
         let mut net = vec![0u64; nodes];
         let mut broadcast_total = 0u64;
-        for n in 0..nodes {
+        for (n, base) in mem_base.iter_mut().enumerate() {
             // Static CSR share of this node: 8 bytes per stored edge.
-            mem_base[n] = self.part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
+            *base = self.part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
         }
         for v in self.graph.vertices() {
+            if let Some(rm) = &read_mask {
+                if !rm.contains(v) {
+                    continue;
+                }
+            }
             let sb = state_bytes[v.index()];
             let master = self.part.master(v).index();
             let mut mask = self.part.presence_mask(v);
@@ -187,7 +233,6 @@ impl<'g> Engine<'g> {
             mem_peak: u64,
         }
 
-        let dir = step.gather_direction();
         let graph = self.graph;
         let part = &self.part;
         let state_ro: &[S::Vertex] = state;
@@ -217,6 +262,11 @@ impl<'g> Engine<'g> {
                                     Direction::Out => (src, dst),
                                     Direction::In => (dst, src),
                                 };
+                                if let Some(m) = mask {
+                                    if !m.contains(gatherer) {
+                                        continue;
+                                    }
+                                }
                                 if let Some((g, _, _)) = &cur {
                                     if *g != gatherer {
                                         partials.push(cur.take().unwrap());
@@ -330,11 +380,11 @@ impl<'g> Engine<'g> {
         }
 
         // --- Apply phase at masters (parallel over vertex shards). --------
-        let workers = thread::available_parallelism().map_or(2, |p| p.get()).min(
-            self.graph.num_vertices().max(1),
-        );
+        let workers = thread::available_parallelism()
+            .map_or(2, |p| p.get())
+            .min(self.graph.num_vertices().max(1));
         let chunk = self.graph.num_vertices().div_ceil(workers).max(1);
-        let apply_calls = self.graph.num_vertices() as u64;
+        let apply_calls = mask.map_or(self.graph.num_vertices(), VertexMask::len) as u64;
         let apply_node_ops: Vec<Vec<u64>> = thread::scope(|scope| {
             let handles: Vec<_> = state
                 .chunks_mut(chunk)
@@ -351,6 +401,11 @@ impl<'g> Engine<'g> {
                             state_chunk.iter_mut().zip(acc_chunk.iter_mut()).enumerate()
                         {
                             let u = VertexId::new((base + i) as u32);
+                            if let Some(m) = mask {
+                                if !m.contains(u) {
+                                    continue;
+                                }
+                            }
                             let before = tally.ops();
                             tally.add(1);
                             step.apply(&ctx, u, data, a.take().map(|(g, _)| g), &mut tally);
@@ -401,9 +456,9 @@ impl<'g> Engine<'g> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snaple_graph::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use snaple_graph::gen;
 
     /// Sums neighbor values along out-edges: new state = Σ_{v ∈ Γ(u)} old(v).
     struct SumNeighbors;
@@ -447,9 +502,13 @@ mod tests {
     #[test]
     fn sum_neighbors_on_a_ring() {
         let g = ring(10);
-        let mut engine =
-            Engine::new(&g, ClusterSpec::type_i(4), PartitionStrategy::RandomVertexCut, 3)
-                .unwrap();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            3,
+        )
+        .unwrap();
         let mut state: Vec<u64> = (0..10).collect();
         engine.run_step(&SumNeighbors, &mut state).unwrap();
         // Each vertex takes its successor's old value.
@@ -462,9 +521,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let g = gen::erdos_renyi(300, 1_500, &mut rng).into_symmetric_graph();
         let mut reference: Vec<u64> = (0..300).map(|i| i * 17 % 101).collect();
-        let mut one =
-            Engine::new(&g, ClusterSpec::type_i(1), PartitionStrategy::RandomVertexCut, 3)
-                .unwrap();
+        let mut one = Engine::new(
+            &g,
+            ClusterSpec::type_i(1),
+            PartitionStrategy::RandomVertexCut,
+            3,
+        )
+        .unwrap();
         one.run_step(&SumNeighbors, &mut reference).unwrap();
         for nodes in [2, 8, 32] {
             let mut state: Vec<u64> = (0..300).map(|i| i * 17 % 101).collect();
@@ -483,9 +546,13 @@ mod tests {
     #[test]
     fn single_node_has_no_network_traffic() {
         let g = ring(20);
-        let mut engine =
-            Engine::new(&g, ClusterSpec::type_i(1), PartitionStrategy::RandomVertexCut, 5)
-                .unwrap();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(1),
+            PartitionStrategy::RandomVertexCut,
+            5,
+        )
+        .unwrap();
         let mut state = vec![1u64; 20];
         let stats = engine.run_step(&SumNeighbors, &mut state).unwrap();
         assert_eq!(stats.network_bytes(), 0);
@@ -497,9 +564,13 @@ mod tests {
     fn multi_node_runs_account_network_traffic() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = gen::erdos_renyi(200, 2_000, &mut rng).into_symmetric_graph();
-        let mut engine =
-            Engine::new(&g, ClusterSpec::type_i(8), PartitionStrategy::RandomVertexCut, 5)
-                .unwrap();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(8),
+            PartitionStrategy::RandomVertexCut,
+            5,
+        )
+        .unwrap();
         let mut state = vec![1u64; 200];
         let stats = engine.run_step(&SumNeighbors, &mut state).unwrap();
         assert!(stats.broadcast_bytes > 0, "mirrors must receive state");
@@ -515,19 +586,25 @@ mod tests {
             memory_per_node: 64, // bytes! nothing fits
             ..ClusterSpec::type_i(2)
         };
-        let mut engine =
-            Engine::new(&g, cluster, PartitionStrategy::RandomVertexCut, 1).unwrap();
+        let mut engine = Engine::new(&g, cluster, PartitionStrategy::RandomVertexCut, 1).unwrap();
         let mut state = vec![1u64; 100];
         let err = engine.run_step(&SumNeighbors, &mut state).unwrap_err();
-        assert!(matches!(err, EngineError::ResourceExhausted { .. }), "{err}");
+        assert!(
+            matches!(err, EngineError::ResourceExhausted { .. }),
+            "{err}"
+        );
     }
 
     #[test]
     fn injected_failures_fire_at_the_right_step() {
         let g = ring(10);
-        let mut engine =
-            Engine::new(&g, ClusterSpec::type_i(2), PartitionStrategy::RandomVertexCut, 1)
-                .unwrap();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
         engine.inject_failure(NodeId::new(1), 1);
         let mut state = vec![0u64; 10];
         engine.run_step(&SumNeighbors, &mut state).unwrap();
@@ -544,9 +621,13 @@ mod tests {
     #[test]
     fn state_length_mismatch_is_rejected() {
         let g = ring(10);
-        let mut engine =
-            Engine::new(&g, ClusterSpec::type_i(2), PartitionStrategy::RandomVertexCut, 1)
-                .unwrap();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
         let mut state = vec![0u64; 9];
         assert!(matches!(
             engine.run_step(&SumNeighbors, &mut state),
@@ -555,11 +636,134 @@ mod tests {
     }
 
     #[test]
+    fn full_mask_is_bit_identical_to_unmasked() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = gen::erdos_renyi(250, 2_000, &mut rng).into_symmetric_graph();
+        let init: Vec<u64> = (0..250).map(|i| i * 31 % 97).collect();
+        let mut unmasked = init.clone();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        engine.run_step(&SumNeighbors, &mut unmasked).unwrap();
+        let reference = engine.into_stats();
+
+        let mut masked = init;
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        let full = VertexMask::full(g.num_vertices());
+        engine
+            .run_step_masked(&SumNeighbors, &mut masked, Some(&full))
+            .unwrap();
+        let stats = engine.into_stats();
+        assert_eq!(masked, unmasked);
+        assert_eq!(stats.steps[0].gather_calls, reference.steps[0].gather_calls);
+        assert_eq!(stats.steps[0].apply_calls, reference.steps[0].apply_calls);
+        assert_eq!(stats.steps[0].work_ops, reference.steps[0].work_ops);
+        assert_eq!(
+            stats.steps[0].broadcast_bytes,
+            reference.steps[0].broadcast_bytes
+        );
+        assert_eq!(
+            stats.steps[0].partial_bytes,
+            reference.steps[0].partial_bytes
+        );
+        assert_eq!(stats.total_network_bytes(), reference.total_network_bytes());
+        assert_eq!(stats.peak_memory(), reference.peak_memory());
+    }
+
+    #[test]
+    fn masked_steps_only_touch_active_vertices() {
+        let g = ring(10);
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
+        let mut state: Vec<u64> = (0..10).collect();
+        let mask = VertexMask::from_vertices(10, [VertexId::new(2), VertexId::new(7)]);
+        let stats = engine
+            .run_step_masked(&SumNeighbors, &mut state, Some(&mask))
+            .unwrap();
+        assert_eq!(stats.gather_calls, 2, "one out-edge per active vertex");
+        assert_eq!(stats.apply_calls, 2);
+        // Active vertices take their successor's value; others are frozen.
+        let expect: Vec<u64> = (0..10u64)
+            .map(|i| if i == 2 || i == 7 { i + 1 } else { i })
+            .collect();
+        assert_eq!(state, expect);
+    }
+
+    #[test]
+    fn masked_work_drops_below_unmasked() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = gen::erdos_renyi(400, 4_000, &mut rng).into_symmetric_graph();
+        let mut full_state = vec![1u64; 400];
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            2,
+        )
+        .unwrap();
+        engine.run_step(&SumNeighbors, &mut full_state).unwrap();
+        let full = engine.into_stats();
+
+        let mask = VertexMask::from_vertices(400, (0..4).map(VertexId::new));
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            2,
+        )
+        .unwrap();
+        let mut state = vec![1u64; 400];
+        engine
+            .run_step_masked(&SumNeighbors, &mut state, Some(&mask))
+            .unwrap();
+        let masked = engine.into_stats();
+        assert!(masked.total_work_ops() < full.total_work_ops());
+        assert!(masked.total_network_bytes() < full.total_network_bytes());
+    }
+
+    #[test]
+    fn mismatched_mask_is_rejected() {
+        let g = ring(10);
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
+        let mut state = vec![0u64; 10];
+        let mask = VertexMask::full(9);
+        assert!(matches!(
+            engine.run_step_masked(&SumNeighbors, &mut state, Some(&mask)),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
     fn stats_accumulate_across_steps() {
         let g = ring(10);
-        let mut engine =
-            Engine::new(&g, ClusterSpec::type_i(2), PartitionStrategy::RandomVertexCut, 1)
-                .unwrap();
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
         let mut state = vec![1u64; 10];
         engine.run_step(&SumNeighbors, &mut state).unwrap();
         engine.run_step(&SumNeighbors, &mut state).unwrap();

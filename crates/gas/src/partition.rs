@@ -205,7 +205,9 @@ fn greedy_pick(mask_u: u64, mask_v: u64, loads: &[u64], tiebreak: u64) -> usize 
         }
         // Deterministic tie-break: rotate preference by the edge hash.
         let better = load < best_load
-            || (load == best_load && (tiebreak as usize % loads.len()).abs_diff(node) < (tiebreak as usize % loads.len()).abs_diff(best));
+            || (load == best_load
+                && (tiebreak as usize % loads.len()).abs_diff(node)
+                    < (tiebreak as usize % loads.len()).abs_diff(best));
         if better {
             best = node;
             best_load = load;
@@ -220,9 +222,9 @@ const MASTER_SALT: u64 = 0xAB5E;
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snaple_graph::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use snaple_graph::gen;
 
     fn test_graph() -> CsrGraph {
         let mut rng = StdRng::seed_from_u64(5);
@@ -290,11 +292,7 @@ mod tests {
         // Each vertex's out-edges must all live on a single node.
         for u in g.vertices() {
             let mut nodes: Vec<u16> = (0..8u16)
-                .filter(|&n| {
-                    p.node_edges(NodeId::new(n))
-                        .iter()
-                        .any(|&(s, _)| s == u)
-                })
+                .filter(|&n| p.node_edges(NodeId::new(n)).iter().any(|&(s, _)| s == u))
                 .collect();
             nodes.dedup();
             assert!(nodes.len() <= 1, "vertex {u} spread over {nodes:?}");

@@ -181,7 +181,10 @@ mod tests {
         assert_eq!(ctx.out_degree(VertexId::new(0)), 2);
         assert_eq!(ctx.in_degree(VertexId::new(0)), 1);
         assert_eq!(ctx.num_vertices(), 3);
-        assert_eq!(ctx.edge_weight(VertexId::new(0), VertexId::new(1)), Some(1.0));
+        assert_eq!(
+            ctx.edge_weight(VertexId::new(0), VertexId::new(1)),
+            Some(1.0)
+        );
         assert_eq!(ctx.edge_weight(VertexId::new(2), VertexId::new(0)), None);
         assert_eq!(ctx.seed(), 99);
     }

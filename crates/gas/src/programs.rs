@@ -178,12 +178,7 @@ pub fn connected_components(
             },
             &mut labels,
         )?;
-        engine.run_step(
-            &MinLabelStep {
-                dir: Direction::In,
-            },
-            &mut labels,
-        )?;
+        engine.run_step(&MinLabelStep { dir: Direction::In }, &mut labels)?;
         if labels == before {
             return Ok(labels);
         }
@@ -252,12 +247,7 @@ pub fn degrees(
         },
         &mut state,
     )?;
-    engine.run_step(
-        &CountStep {
-            dir: Direction::In,
-        },
-        &mut state,
-    )?;
+    engine.run_step(&CountStep { dir: Direction::In }, &mut state)?;
     Ok(state)
 }
 
@@ -291,9 +281,9 @@ pub fn validate_against_oracles(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snaple_graph::gen;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use snaple_graph::gen;
 
     fn test_graph(seed: u64) -> CsrGraph {
         let mut rng = StdRng::seed_from_u64(seed);

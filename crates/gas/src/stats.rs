@@ -44,7 +44,11 @@ impl StepStats {
     /// Largest per-node compute-op count (the straggler that bounds the
     /// step's compute time).
     pub fn max_node_ops(&self) -> u64 {
-        self.per_node.iter().map(|n| n.compute_ops).max().unwrap_or(0)
+        self.per_node
+            .iter()
+            .map(|n| n.compute_ops)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Largest per-node network volume.
@@ -54,7 +58,11 @@ impl StepStats {
 
     /// Largest per-node memory footprint.
     pub fn peak_memory(&self) -> u64 {
-        self.per_node.iter().map(|n| n.memory_peak).max().unwrap_or(0)
+        self.per_node
+            .iter()
+            .map(|n| n.memory_peak)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -80,7 +88,11 @@ impl RunStats {
 
     /// Peak per-node memory across all steps.
     pub fn peak_memory(&self) -> u64 {
-        self.steps.iter().map(StepStats::peak_memory).max().unwrap_or(0)
+        self.steps
+            .iter()
+            .map(StepStats::peak_memory)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total work units across all steps.

@@ -44,7 +44,14 @@ impl GasStep for SumPlusOne {
     fn sum(&self, a: u64, b: u64, _w: &mut WorkTally) -> u64 {
         a + b
     }
-    fn apply(&self, _: &GatherCtx<'_>, _u: VertexId, d: &mut u64, acc: Option<u64>, _w: &mut WorkTally) {
+    fn apply(
+        &self,
+        _: &GatherCtx<'_>,
+        _u: VertexId,
+        d: &mut u64,
+        acc: Option<u64>,
+        _w: &mut WorkTally,
+    ) {
         *d = acc.unwrap_or(0) + 1;
     }
 }

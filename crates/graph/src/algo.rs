@@ -90,11 +90,7 @@ pub fn largest_component_size(graph: &CsrGraph) -> usize {
 
 /// BFS hop distances from `source` along out-edges, up to `max_depth`
 /// (`None` = unreachable within the bound).
-pub fn bfs_distances(
-    graph: &CsrGraph,
-    source: VertexId,
-    max_depth: usize,
-) -> Vec<Option<u32>> {
+pub fn bfs_distances(graph: &CsrGraph, source: VertexId, max_depth: usize) -> Vec<Option<u32>> {
     let mut dist = vec![None; graph.num_vertices()];
     dist[source.index()] = Some(0);
     let mut queue = VecDeque::from([source]);
@@ -243,7 +239,16 @@ mod tests {
         // (symmetric); vertex 5 isolated.
         CsrGraph::from_edges(
             6,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (3, 4), (4, 3)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (0, 2),
+                (2, 0),
+                (3, 4),
+                (4, 3),
+            ],
         )
     }
 
@@ -291,7 +296,16 @@ mod tests {
         // Triangle (core 2) with a pendant vertex (core 1).
         let g = CsrGraph::from_edges(
             4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3), (3, 2)],
+            &[
+                (0, 1),
+                (1, 0),
+                (1, 2),
+                (2, 1),
+                (0, 2),
+                (2, 0),
+                (2, 3),
+                (3, 2),
+            ],
         );
         assert_eq!(core_numbers(&g), vec![2, 2, 2, 1]);
     }

@@ -97,9 +97,8 @@ impl GraphBuilder {
     /// Duplicated edges keep the weight of their first occurrence (in the
     /// symmetrized case, the forward orientation's weight wins ties).
     pub fn build(&mut self) -> CsrGraph {
-        let mut triples: Vec<(u32, u32, f32)> = Vec::with_capacity(
-            self.edges.len() * if self.symmetrize { 2 } else { 1 },
-        );
+        let mut triples: Vec<(u32, u32, f32)> =
+            Vec::with_capacity(self.edges.len() * if self.symmetrize { 2 } else { 1 });
         for (i, &(u, v)) in self.edges.iter().enumerate() {
             let w = self.weights[i];
             triples.push((u, v, w));
@@ -110,7 +109,7 @@ impl GraphBuilder {
         if !self.keep_self_loops {
             triples.retain(|&(u, v, _)| u != v);
         }
-        triples.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+        triples.sort_by_key(|t| (t.0, t.1));
         triples.dedup_by_key(|t| (t.0, t.1));
 
         let n = triples
@@ -127,8 +126,7 @@ impl GraphBuilder {
         for i in 1..=n {
             offsets[i] += offsets[i - 1];
         }
-        let targets: Vec<VertexId> =
-            triples.iter().map(|&(_, v, _)| VertexId::new(v)).collect();
+        let targets: Vec<VertexId> = triples.iter().map(|&(_, v, _)| VertexId::new(v)).collect();
         let weights = if self.weighted {
             Some(triples.iter().map(|&(_, _, w)| w).collect())
         } else {
@@ -145,7 +143,10 @@ mod tests {
     #[test]
     fn dedups_and_sorts() {
         let mut b = GraphBuilder::new();
-        b.add_edge(2, 1).add_edge(0, 1).add_edge(2, 1).add_edge(2, 0);
+        b.add_edge(2, 1)
+            .add_edge(0, 1)
+            .add_edge(2, 1)
+            .add_edge(2, 0);
         let g = b.build();
         assert_eq!(g.num_edges(), 3);
         let nbrs: Vec<u32> = g

@@ -61,8 +61,7 @@ impl CsrGraph {
         if let Some(w) = &out_weights {
             assert_eq!(w.len(), out_targets.len());
         }
-        let (in_offsets, in_sources) =
-            build_reverse(num_vertices, &out_offsets, &out_targets);
+        let (in_offsets, in_sources) = build_reverse(num_vertices, &out_offsets, &out_targets);
         CsrGraph {
             num_vertices,
             out_offsets,
@@ -159,9 +158,9 @@ impl CsrGraph {
     /// weighted.
     #[inline]
     pub fn out_weights(&self, u: VertexId) -> Option<&[f32]> {
-        self.out_weights.as_ref().map(|w| {
-            &w[self.out_offsets[u.index()]..self.out_offsets[u.index() + 1]]
-        })
+        self.out_weights
+            .as_ref()
+            .map(|w| &w[self.out_offsets[u.index()]..self.out_offsets[u.index() + 1]])
     }
 
     /// Weight of edge `(u, v)`; `1.0` for unweighted graphs, `None` if the
@@ -320,10 +319,7 @@ mod tests {
     #[test]
     fn edges_iterator_yields_sorted_pairs() {
         let g = diamond();
-        let edges: Vec<_> = g
-            .edges()
-            .map(|(u, v)| (u.as_u32(), v.as_u32()))
-            .collect();
+        let edges: Vec<_> = g.edges().map(|(u, v)| (u.as_u32(), v.as_u32())).collect();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
     }
 

@@ -169,8 +169,8 @@ impl DatasetSpec {
         // `into_oriented_graph`), so it yields 2/(2−ρ) directed edges on
         // average.
         let edges_per_pair = 2.0 / (2.0 - self.reciprocity);
-        let m_per_vertex = ((target_directed as f64 / (n as f64 * edges_per_pair))
-            .round() as usize)
+        let m_per_vertex = ((target_directed as f64 / (n as f64 * edges_per_pair)).round()
+            as usize)
             .clamp(1, n / 2 - 1);
         let mut rng = StdRng::seed_from_u64(seed ^ crate::hash::hash1(0x5a17, n as u64));
         let params = CommunityParams {

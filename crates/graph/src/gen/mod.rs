@@ -104,7 +104,10 @@ impl UndirectedEdges {
 /// Panics if `m` exceeds the number of distinct pairs `n·(n−1)/2`.
 pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> UndirectedEdges {
     let max_pairs = n.saturating_mul(n.saturating_sub(1)) / 2;
-    assert!(m <= max_pairs, "G({n}, {m}) requested but only {max_pairs} pairs exist");
+    assert!(
+        m <= max_pairs,
+        "G({n}, {m}) requested but only {max_pairs} pairs exist"
+    );
     let mut seen: HashSet<u64> = HashSet::with_capacity(m * 2);
     let mut pairs = Vec::with_capacity(m);
     while pairs.len() < m {
@@ -154,10 +157,10 @@ pub fn holme_kim<R: Rng>(n: usize, m: usize, p_triad: f64, rng: &mut R) -> Undir
     let mut pairs: Vec<(u32, u32)> = Vec::with_capacity((n - m) * m);
 
     let connect = |adj: &mut Vec<Vec<u32>>,
-                       pool: &mut Vec<u32>,
-                       pairs: &mut Vec<(u32, u32)>,
-                       v: u32,
-                       t: u32| {
+                   pool: &mut Vec<u32>,
+                   pairs: &mut Vec<(u32, u32)>,
+                   v: u32,
+                   t: u32| {
         adj[v as usize].push(t);
         adj[t as usize].push(v);
         pool.push(v);
@@ -377,7 +380,11 @@ pub fn community_tags<R: Rng>(
 ) -> Vec<Vec<u32>> {
     assert!((0.0..=1.0).contains(&noise), "noise must be in [0, 1]");
     assert!(vocabulary >= 1, "each community needs a vocabulary");
-    let num_communities = communities.iter().copied().max().map_or(0, |c| c as usize + 1);
+    let num_communities = communities
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |c| c as usize + 1);
     let global_pool = (num_communities * vocabulary) as u32;
     communities
         .iter()
@@ -415,7 +422,10 @@ fn sample_community_size<R: Rng>(mean: usize, rng: &mut R) -> usize {
 ///
 /// Panics if `k` is odd, `k == 0`, `n <= k`, or `beta` is outside `[0, 1]`.
 pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> UndirectedEdges {
-    assert!(k >= 2 && k % 2 == 0, "watts_strogatz requires even k >= 2");
+    assert!(
+        k >= 2 && k.is_multiple_of(2),
+        "watts_strogatz requires even k >= 2"
+    );
     assert!(n > k, "watts_strogatz requires n > k");
     assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
     let mut seen: HashSet<u64> = HashSet::with_capacity(n * k);
@@ -624,7 +634,9 @@ mod tests {
         let mut cross_n = 0usize;
         for i in (0..1_000).step_by(7) {
             for j in (1..1_000).step_by(13) {
-                if i == j { continue; }
+                if i == j {
+                    continue;
+                }
                 let o = overlap(&tags[i], &tags[j]);
                 if labels[i] == labels[j] {
                     same += o;

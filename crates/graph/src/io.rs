@@ -114,7 +114,11 @@ pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), 
 pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
     let mut header = Vec::with_capacity(MAGIC.len() + 1 + 16);
     header.put_slice(MAGIC);
-    header.put_u8(if graph.is_weighted() { FLAG_WEIGHTED } else { 0 });
+    header.put_u8(if graph.is_weighted() {
+        FLAG_WEIGHTED
+    } else {
+        0
+    });
     header.put_u64_le(graph.num_vertices() as u64);
     header.put_u64_le(graph.num_edges() as u64);
     writer.write_all(&header)?;
@@ -277,7 +281,10 @@ mod tests {
         write_binary(&g, &mut out).unwrap();
         let g2 = read_binary(&out[..]).unwrap();
         assert!(g2.is_weighted());
-        assert_eq!(g2.edge_weight(VertexId::new(0), VertexId::new(1)), Some(2.5));
+        assert_eq!(
+            g2.edge_weight(VertexId::new(0), VertexId::new(1)),
+            Some(2.5)
+        );
     }
 
     #[test]
@@ -309,6 +316,9 @@ mod tests {
         out.put_u64_le(1);
         out.put_u32_le(5);
         let err = read_binary(&out[..]).unwrap_err();
-        assert!(matches!(err, GraphError::VertexOutOfRange { vertex: 5, .. }));
+        assert!(matches!(
+            err,
+            GraphError::VertexOutOfRange { vertex: 5, .. }
+        ));
     }
 }

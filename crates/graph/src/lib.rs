@@ -17,6 +17,8 @@
 //! * [`gen`] — seeded synthetic generators (Erdős–Rényi, Barabási–Albert,
 //!   Holme–Kim, Watts–Strogatz) and [`gen::datasets`] emulating the five
 //!   datasets of the paper's Table 4 at a configurable scale.
+//! * [`mask`] — vertex-subset bitmasks ([`VertexMask`]), the substrate of
+//!   targeted (query-subset) prediction in the upper layers.
 //! * [`hash`] / [`sample`] — deterministic hashing and sampling utilities
 //!   shared by the whole workspace (e.g. the probabilistic neighborhood
 //!   truncation of SNAPLE's step 1).
@@ -43,6 +45,7 @@ pub mod gen;
 pub mod hash;
 pub mod id;
 pub mod io;
+pub mod mask;
 pub mod sample;
 pub mod stats;
 
@@ -50,3 +53,4 @@ pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, Direction};
 pub use error::GraphError;
 pub use id::VertexId;
+pub use mask::VertexMask;

@@ -1,0 +1,222 @@
+//! Vertex subsets as bitmasks — the substrate of targeted (query-subset)
+//! prediction.
+//!
+//! A [`VertexMask`] marks the *active* vertices of a computation step.
+//! Targeted prediction runs SNAPLE's GAS steps only for the vertices that
+//! can influence a query's result; the masks for successive steps are built
+//! by [expanding](VertexMask::expand) a query set along the graph's edges,
+//! one hop per step of lookahead.
+
+use crate::csr::{CsrGraph, Direction};
+use crate::id::VertexId;
+
+/// A subset of a graph's vertices, stored as a bitmask.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexMask {
+    bits: Vec<u64>,
+    num_vertices: usize,
+    count: usize,
+}
+
+impl VertexMask {
+    /// Creates an empty mask over `num_vertices` vertices.
+    pub fn empty(num_vertices: usize) -> Self {
+        VertexMask {
+            bits: vec![0; num_vertices.div_ceil(64)],
+            num_vertices,
+            count: 0,
+        }
+    }
+
+    /// Creates a mask with every vertex set.
+    pub fn full(num_vertices: usize) -> Self {
+        let mut mask = VertexMask {
+            bits: vec![!0u64; num_vertices.div_ceil(64)],
+            num_vertices,
+            count: num_vertices,
+        };
+        let spill = num_vertices % 64;
+        if spill != 0 {
+            if let Some(last) = mask.bits.last_mut() {
+                *last = (1u64 << spill) - 1;
+            }
+        }
+        mask
+    }
+
+    /// Creates a mask over `num_vertices` vertices from an id iterator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an id is out of range.
+    pub fn from_vertices(
+        num_vertices: usize,
+        vertices: impl IntoIterator<Item = VertexId>,
+    ) -> Self {
+        let mut mask = VertexMask::empty(num_vertices);
+        for v in vertices {
+            mask.insert(v);
+        }
+        mask
+    }
+
+    /// Number of vertices the mask ranges over (set or not).
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of set vertices.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no vertex is set.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Whether every vertex is set.
+    pub fn is_full(&self) -> bool {
+        self.count == self.num_vertices
+    }
+
+    /// Adds a vertex; returns whether it was newly set.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `v` is out of range.
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let i = v.index();
+        assert!(
+            i < self.num_vertices,
+            "vertex {i} out of range for mask over {} vertices",
+            self.num_vertices
+        );
+        let (word, bit) = (i / 64, 1u64 << (i % 64));
+        let newly = self.bits[word] & bit == 0;
+        if newly {
+            self.bits[word] |= bit;
+            self.count += 1;
+        }
+        newly
+    }
+
+    /// Whether `v` is set (out-of-range vertices are not).
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let i = v.index();
+        i < self.num_vertices && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Iterates the set vertices in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.bits.iter().enumerate().flat_map(|(w, &word)| {
+            let base = w as u32 * 64;
+            let mut rest = word;
+            std::iter::from_fn(move || {
+                if rest == 0 {
+                    return None;
+                }
+                let bit = rest.trailing_zeros();
+                rest &= rest - 1;
+                Some(VertexId::new(base + bit))
+            })
+        })
+    }
+
+    /// Returns this mask united with the `dir`-neighbors of its set
+    /// vertices — one hop of frontier growth.
+    ///
+    /// With [`Direction::Out`], a query mask `Q` becomes `Q ∪ Γ(Q)`: the
+    /// set of vertices whose state a gather over `Q`'s out-edges can read.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the mask and graph sizes disagree.
+    pub fn expand(&self, graph: &CsrGraph, dir: Direction) -> VertexMask {
+        assert_eq!(
+            self.num_vertices,
+            graph.num_vertices(),
+            "mask does not match graph"
+        );
+        let mut out = self.clone();
+        for v in self.iter() {
+            for &w in graph.neighbors(v, dir) {
+                out.insert(w);
+            }
+        }
+        out
+    }
+
+    /// [`expand`](Self::expand) along out-edges — the direction SNAPLE's
+    /// steps gather over.
+    pub fn expand_out(&self, graph: &CsrGraph) -> VertexMask {
+        self.expand(graph, Direction::Out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId::new(i)
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut m = VertexMask::empty(100);
+        assert!(m.is_empty());
+        assert!(m.insert(v(3)));
+        assert!(!m.insert(v(3)));
+        assert!(m.insert(v(64)));
+        assert!(m.insert(v(99)));
+        assert_eq!(m.len(), 3);
+        assert!(m.contains(v(3)));
+        assert!(m.contains(v(64)));
+        assert!(!m.contains(v(4)));
+        assert_eq!(m.iter().collect::<Vec<_>>(), vec![v(3), v(64), v(99)]);
+    }
+
+    #[test]
+    fn full_masks_cover_exactly_the_range() {
+        for n in [0usize, 1, 63, 64, 65, 130] {
+            let m = VertexMask::full(n);
+            assert_eq!(m.len(), n);
+            assert!(m.is_full());
+            assert_eq!(m.iter().count(), n);
+            assert!(!m.contains(v(n as u32)));
+        }
+        assert!(!VertexMask::full(64).is_empty());
+        assert!(VertexMask::full(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        VertexMask::empty(5).insert(v(5));
+    }
+
+    #[test]
+    fn expand_follows_out_edges() {
+        // 0 → 1 → 2 → 3, 4 isolated.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let q = VertexMask::from_vertices(5, [v(0)]);
+        let one = q.expand_out(&g);
+        assert_eq!(one.iter().collect::<Vec<_>>(), vec![v(0), v(1)]);
+        let two = one.expand_out(&g);
+        assert_eq!(two.iter().collect::<Vec<_>>(), vec![v(0), v(1), v(2)]);
+        let in_dir = VertexMask::from_vertices(5, [v(2)]).expand(&g, Direction::In);
+        assert_eq!(in_dir.iter().collect::<Vec<_>>(), vec![v(1), v(2)]);
+    }
+
+    #[test]
+    fn expand_saturates_at_full() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut m = VertexMask::from_vertices(3, [v(0)]);
+        for _ in 0..4 {
+            m = m.expand_out(&g);
+        }
+        assert!(m.is_full());
+    }
+}

@@ -103,10 +103,7 @@ pub fn clustering_coefficient<R: Rng>(graph: &CsrGraph, samples: usize, rng: &mu
     let picked: Vec<VertexId> = if candidates.len() <= samples {
         candidates
     } else {
-        candidates
-            .choose_multiple(rng, samples)
-            .copied()
-            .collect()
+        candidates.choose_multiple(rng, samples).copied().collect()
     };
     let mut total = 0.0;
     for &u in &picked {
@@ -243,10 +240,7 @@ mod tests {
 
     fn triangle_plus_tail() -> CsrGraph {
         // triangle 0-1-2 (symmetric) plus a one-way tail 2 -> 3
-        CsrGraph::from_edges(
-            4,
-            &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3)],
-        )
+        CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0), (2, 3)])
     }
 
     #[test]

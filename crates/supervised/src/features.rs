@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use snaple_core::{Snaple, SnapleConfig, SnapleError};
+use snaple_core::{PredictRequest, Predictor, QuerySet, Snaple, SnapleConfig, SnapleError};
 use snaple_gas::{ClusterSpec, RunStats};
 use snaple_graph::{CsrGraph, VertexId};
 
@@ -35,6 +35,23 @@ impl<'c> FeaturePanel<'c> {
         graph: &CsrGraph,
         cluster: &ClusterSpec,
     ) -> Result<CandidateTable, SnapleError> {
+        self.extract_for(graph, cluster, None)
+    }
+
+    /// Like [`FeaturePanel::extract`], optionally restricted to a query
+    /// subset: every panel configuration runs targeted, so only the
+    /// queried vertices get candidate rows — the serving path of the
+    /// supervised re-ranker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying SNAPLE runs.
+    pub fn extract_for(
+        &self,
+        graph: &CsrGraph,
+        cluster: &ClusterSpec,
+        queries: Option<&QuerySet>,
+    ) -> Result<CandidateTable, SnapleError> {
         let cfg = self.config;
         let mut names: Vec<String> = cfg.panel.iter().map(|s| s.name().to_owned()).collect();
         if cfg.degree_features {
@@ -44,8 +61,7 @@ impl<'c> FeaturePanel<'c> {
         let num_features = names.len();
 
         // candidate -> dense feature row, per vertex.
-        let mut rows: Vec<HashMap<VertexId, Vec<f64>>> =
-            vec![HashMap::new(); graph.num_vertices()];
+        let mut rows: Vec<HashMap<VertexId, Vec<f64>>> = vec![HashMap::new(); graph.num_vertices()];
         let mut stats = RunStats::default();
         for (col, spec) in cfg.panel.iter().enumerate() {
             let snaple = Snaple::new(
@@ -54,7 +70,11 @@ impl<'c> FeaturePanel<'c> {
                     .klocal(cfg.klocal)
                     .seed(cfg.seed),
             );
-            let prediction = snaple.predict(graph, cluster)?;
+            let mut req = PredictRequest::new(graph, cluster);
+            if let Some(q) = queries {
+                req = req.with_queries(q);
+            }
+            let prediction = Predictor::predict(&snaple, &req)?;
             stats.steps.extend(prediction.stats.steps.iter().cloned());
             stats.replication_factor = prediction.stats.replication_factor;
             for (u, preds) in prediction.iter() {
@@ -75,11 +95,7 @@ impl<'c> FeaturePanel<'c> {
                 }
             }
         }
-        Ok(CandidateTable {
-            names,
-            rows,
-            stats,
-        })
+        Ok(CandidateTable { names, rows, stats })
     }
 }
 

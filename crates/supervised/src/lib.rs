@@ -34,7 +34,9 @@
 //! let cluster = ClusterSpec::type_ii(4);
 //! let model = SupervisedSnaple::new(SupervisedConfig::new())
 //!     .train(&graph, &cluster)?;
-//! let prediction = model.predict(&graph, &cluster)?;
+//! // The trained model is a Predictor like every other backend.
+//! use snaple_core::{PredictRequest, Predictor};
+//! let prediction = Predictor::predict(&model, &PredictRequest::new(&graph, &cluster))?;
 //! assert_eq!(prediction.num_vertices(), graph.num_vertices());
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
@@ -42,7 +44,7 @@
 pub mod features;
 pub mod logistic;
 
-use snaple_core::{Prediction, ScoreSpec, SnapleError};
+use snaple_core::{PredictRequest, Prediction, Predictor, ScoreSpec, SnapleError};
 use snaple_gas::ClusterSpec;
 use snaple_graph::CsrGraph;
 
@@ -211,17 +213,23 @@ impl TrainedModel {
     /// Extracts the feature panel on `graph` and ranks each vertex's
     /// candidate pool by the learned model.
     ///
-    /// # Errors
-    ///
-    /// Propagates [`SnapleError`] from the underlying SNAPLE runs.
+    /// Thin compatibility wrapper over the [`Predictor`] trait.
+    #[deprecated(
+        since = "0.2.0",
+        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
+                this wrapper is equivalent to predict(&PredictRequest::new(graph, cluster))"
+    )]
     pub fn predict(
         &self,
         graph: &CsrGraph,
         cluster: &ClusterSpec,
     ) -> Result<Prediction, SnapleError> {
-        let panel = FeaturePanel::new(&self.config);
-        let table = panel.extract(graph, cluster)?;
-        Ok(self.rank(graph, table))
+        Predictor::predict(self, &PredictRequest::new(graph, cluster))
+    }
+
+    /// The feature columns the model consumes, in weight order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
     }
 
     fn rank(&self, graph: &CsrGraph, table: CandidateTable) -> Prediction {
@@ -237,6 +245,30 @@ impl TrainedModel {
             .map(|cands| top_k_by_score(cands, self.config.k))
             .collect();
         Prediction::from_parts(predictions, table.into_stats())
+    }
+}
+
+impl Predictor for TrainedModel {
+    /// Extracts the feature panel (targeted when the request carries a
+    /// [`QuerySet`](snaple_core::QuerySet)) and ranks each requested
+    /// vertex's candidate pool by the learned model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying SNAPLE runs;
+    /// [`SnapleError::InvalidConfig`] when attributes are attached (the
+    /// panel's configurations are structural).
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
+        req.validate()?;
+        if req.attributes().is_some() {
+            return Err(SnapleError::InvalidConfig(
+                "the supervised panel scores structure only and accepts no content attributes"
+                    .to_owned(),
+            ));
+        }
+        let panel = FeaturePanel::new(&self.config);
+        let table = panel.extract_for(req.graph(), req.cluster(), req.queries())?;
+        Ok(self.rank(req.graph(), table))
     }
 }
 
@@ -266,10 +298,7 @@ mod tests {
         let model = SupervisedSnaple::new(SupervisedConfig::new().seed(3))
             .train(&graph, &cluster())
             .unwrap();
-        let weights: Vec<(String, f64)> = model
-            .weights()
-            .map(|(n, w)| (n.to_owned(), w))
-            .collect();
+        let weights: Vec<(String, f64)> = model.weights().map(|(n, w)| (n.to_owned(), w)).collect();
         assert!(weights.len() >= 4, "{weights:?}");
         assert!(weights.iter().all(|(_, w)| w.is_finite()));
         // At least one score column must carry signal.
@@ -288,14 +317,17 @@ mod tests {
         let model = SupervisedSnaple::new(SupervisedConfig::new().seed(7))
             .train(&eval.train, &cl)
             .unwrap();
-        let supervised = model.predict(&eval.train, &cl).unwrap();
+        let supervised =
+            Predictor::predict(&model, &PredictRequest::new(&eval.train, &cl)).unwrap();
         let supervised_recall = metrics::recall(&supervised, &eval);
 
         let mut best_single: f64 = 0.0;
         for spec in [ScoreSpec::LinearSum, ScoreSpec::Counter, ScoreSpec::Ppr] {
-            let p = Snaple::new(SnapleConfig::new(spec).klocal(Some(20)))
-                .predict(&eval.train, &cl)
-                .unwrap();
+            let p = Predictor::predict(
+                &Snaple::new(SnapleConfig::new(spec).klocal(Some(20))),
+                &PredictRequest::new(&eval.train, &cl),
+            )
+            .unwrap();
             best_single = best_single.max(metrics::recall(&p, &eval));
         }
         // Paper §7 hopes supervision "may improve recall"; require at
@@ -313,7 +345,7 @@ mod tests {
         let model = SupervisedSnaple::new(SupervisedConfig::new().k(3).seed(5))
             .train(&graph, &cl)
             .unwrap();
-        let p = model.predict(&graph, &cl).unwrap();
+        let p = Predictor::predict(&model, &PredictRequest::new(&graph, &cl)).unwrap();
         for (u, preds) in p.iter() {
             assert!(preds.len() <= 3);
             for &(z, s) in preds {

@@ -101,10 +101,7 @@ impl LogisticRegression {
                 *v += (x - m) * (x - m);
             }
         }
-        self.std = var
-            .into_iter()
-            .map(|v| (v / n).sqrt().max(1e-9))
-            .collect();
+        self.std = var.into_iter().map(|v| (v / n).sqrt().max(1e-9)).collect();
         self.mean = mean;
     }
 

@@ -1,0 +1,284 @@
+//! Workspace-local stand-in for the `proptest` crate.
+//!
+//! The build environment is offline, so this crate implements the subset of
+//! the proptest API the workspace's property tests use: the [`proptest!`]
+//! macro over functions with `pattern in strategy` arguments, numeric range
+//! and tuple strategies, [`collection::vec`], `prop_assert!`/
+//! `prop_assert_eq!`, and [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Inputs are generated from a deterministic per-test seed; there is no
+//! shrinking — a failing case panics with the ordinary assertion message
+//! (the generating case index is printed so the failure is reproducible).
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// Always produces a clone of the same value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange(std::ops::Range<usize>);
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange(n..n + 1)
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange(r)
+        }
+    }
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length is uniform in `size` (a `usize` or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let range = &self.size.0;
+            let len = if range.is_empty() {
+                range.start
+            } else {
+                rng.gen_range(range.clone())
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Test execution configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases run per property (a subset of the real crate's
+    /// knobs).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// How many generated inputs each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Overrides the number of cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic per-(test, case) generator: FNV-1a over the test path
+    /// mixed with the case index.
+    pub fn case_rng(test_path: &str, case: u32) -> StdRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e37))
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runs each contained `fn name(pat in strategy, ...) { body }` as a test
+/// over many generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    )*
+                    let __run = || $body;
+                    if let Err(e) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(__run)) {
+                        eprintln!(
+                            "proptest case {}/{} of {} failed",
+                            __case + 1,
+                            __config.cases,
+                            stringify!($name),
+                        );
+                        std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property (no shrinking: plain `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u32..17, y in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vecs_respect_size(v in crate::collection::vec((0u32..5, 0u32..5), 2..9)) {
+            prop_assert!((2..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&(a, b)| a < 5 && b < 5));
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(0u32..100, 1..20);
+        let a: Vec<u32> = s.generate(&mut crate::test_runner::case_rng("t", 0));
+        let b: Vec<u32> = s.generate(&mut crate::test_runner::case_rng("t", 0));
+        let c: Vec<u32> = s.generate(&mut crate::test_runner::case_rng("t", 1));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -9,7 +9,7 @@
 //! cargo run --release --example cluster_sizing
 //! ```
 
-use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::{ClusterSpec, PartitionStrategy};
 use snaple::graph::gen::datasets;
@@ -45,7 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .klocal(Some(20))
                     .partition(strategy),
             );
-            let p = snaple.predict(&holdout.train, &cluster)?;
+            let p = Predictor::predict(&snaple, &PredictRequest::new(&holdout.train, &cluster))?;
             table.row(vec![
                 nodes.to_string(),
                 cluster.total_cores().to_string(),

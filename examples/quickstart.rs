@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -36,8 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Pick a (simulated) deployment: 4 of the paper's type-II machines.
     let cluster = ClusterSpec::type_ii(4);
 
-    // 5. Predict.
-    let prediction = snaple.predict(&holdout.train, &cluster)?;
+    // 5. Predict: every backend answers the same PredictRequest — graph,
+    //    cluster, and optionally a query subset (see who_to_follow.rs).
+    let prediction = Predictor::predict(&snaple, &PredictRequest::new(&holdout.train, &cluster))?;
 
     // 6. Inspect results.
     let recall = metrics::recall(&prediction, &holdout);
@@ -62,10 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     println!("sample predictions:");
     for (u, preds) in prediction.iter().filter(|(_, p)| !p.is_empty()).take(5) {
-        let rendered: Vec<String> = preds
-            .iter()
-            .map(|(z, s)| format!("{z} ({s:.2})"))
-            .collect();
+        let rendered: Vec<String> = preds.iter().map(|(z, s)| format!("{z} ({s:.2})")).collect();
         println!("  {u} -> {}", rendered.join(", "));
     }
     Ok(())

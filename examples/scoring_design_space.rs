@@ -13,7 +13,8 @@
 use std::sync::Arc;
 
 use snaple::core::{
-    aggregator, combinator, similarity, ScoreComponents, ScoreSpec, Snaple, SnapleConfig,
+    aggregator, combinator, similarity, PredictRequest, Predictor, ScoreComponents, ScoreSpec,
+    Snaple, SnapleConfig,
 };
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
@@ -37,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for spec in ScoreSpec::all() {
         let snaple = Snaple::new(SnapleConfig::new(spec).klocal(Some(20)));
         let components = snaple.components().clone();
-        let prediction = snaple.predict(&holdout.train, &cluster)?;
+        let prediction =
+            Predictor::predict(&snaple, &PredictRequest::new(&holdout.train, &cluster))?;
         table.row(vec![
             spec.name().into(),
             components.similarity.name().into(),
@@ -59,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)),
         custom,
     );
-    let prediction = snaple.predict(&holdout.train, &cluster)?;
+    let prediction = Predictor::predict(&snaple, &PredictRequest::new(&holdout.train, &cluster))?;
     table.row(vec![
         "cosineGeomMax*".into(),
         "cosine".into(),

@@ -8,7 +8,7 @@
 //! cargo run --release --example supervised_reranking
 //! ```
 
-use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -35,8 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ScoreSpec::Ppr,
         ScoreSpec::EuclSum,
     ] {
-        let p = Snaple::new(SnapleConfig::new(spec).klocal(Some(20)))
-            .predict(&eval.train, &cluster)?;
+        let p = Predictor::predict(
+            &Snaple::new(SnapleConfig::new(spec).klocal(Some(20))),
+            &PredictRequest::new(&eval.train, &cluster),
+        )?;
         table.row(vec![
             spec.name().into(),
             format!("{:.3}", metrics::recall(&p, &eval)),
@@ -46,9 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The supervised combination. Training holds out a *second* batch of
     // edges from the training graph for labels — the evaluation edges stay
     // untouched.
-    let model = SupervisedSnaple::new(SupervisedConfig::new().seed(123))
-        .train(&eval.train, &cluster)?;
-    let p = model.predict(&eval.train, &cluster)?;
+    let model =
+        SupervisedSnaple::new(SupervisedConfig::new().seed(123)).train(&eval.train, &cluster)?;
+    let p = Predictor::predict(&model, &PredictRequest::new(&eval.train, &cluster))?;
     table.row(vec![
         "supervised (logistic over panel)".into(),
         format!("{:.3}", metrics::recall(&p, &eval)),

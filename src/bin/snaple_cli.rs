@@ -11,6 +11,10 @@
 //! snaple-cli predict --graph lj.snplg --score linearSum --k 5 --klocal 20 \
 //!     --nodes 4 --machine type-ii
 //!
+//! # Serve a query subset: only these users' rows are computed
+//! snaple-cli predict --graph lj.snplg --queries 17,42,1001
+//! snaple-cli predict --graph lj.snplg --query-sample 1000
+//!
 //! # Evaluate prediction quality under the paper's hold-out protocol
 //! snaple-cli evaluate --graph lj.snplg --score counter --removals 1
 //! ```
@@ -20,7 +24,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -64,6 +68,8 @@ struct Options {
     machine: String,
     removals: usize,
     symmetrize: bool,
+    queries: Option<String>,
+    query_sample: Option<usize>,
 }
 
 impl Options {
@@ -84,7 +90,9 @@ impl Options {
         let mut it = args.iter();
         while let Some(flag) = it.next() {
             let mut value = |name: &str| -> String {
-                it.next().cloned().unwrap_or_else(|| usage(&format!("{name} needs a value")))
+                it.next()
+                    .cloned()
+                    .unwrap_or_else(|| usage(&format!("{name} needs a value")))
             };
             match flag.as_str() {
                 "--graph" => o.graph = Some(PathBuf::from(value("--graph"))),
@@ -96,18 +104,29 @@ impl Options {
                 "--k" => o.k = parse_num(&value("--k"), "--k"),
                 "--klocal" => {
                     let v = value("--klocal");
-                    o.klocal = if v == "inf" { None } else { Some(parse_num(&v, "--klocal")) };
+                    o.klocal = if v == "inf" {
+                        None
+                    } else {
+                        Some(parse_num(&v, "--klocal"))
+                    };
                 }
                 "--thr-gamma" => {
                     let v = value("--thr-gamma");
-                    o.thr_gamma =
-                        if v == "inf" { None } else { Some(parse_num(&v, "--thr-gamma")) };
+                    o.thr_gamma = if v == "inf" {
+                        None
+                    } else {
+                        Some(parse_num(&v, "--thr-gamma"))
+                    };
                 }
                 "--alpha" => o.alpha = parse_num(&value("--alpha"), "--alpha"),
                 "--nodes" => o.nodes = parse_num(&value("--nodes"), "--nodes"),
                 "--machine" => o.machine = value("--machine"),
                 "--removals" => o.removals = parse_num(&value("--removals"), "--removals"),
                 "--symmetrize" => o.symmetrize = true,
+                "--queries" => o.queries = Some(value("--queries")),
+                "--query-sample" => {
+                    o.query_sample = Some(parse_num(&value("--query-sample"), "--query-sample"))
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -141,10 +160,32 @@ impl Options {
             .alpha(self.alpha)
             .seed(self.seed))
     }
+
+    /// Resolves `--queries`/`--query-sample` into a query set.
+    fn query_set(&self, graph: &CsrGraph) -> Result<Option<QuerySet>, String> {
+        match (&self.queries, self.query_sample) {
+            (Some(_), Some(_)) => Err("--queries and --query-sample are mutually exclusive".into()),
+            (Some(list), None) => {
+                let ids: Result<Vec<u32>, _> =
+                    list.split(',').map(|s| s.trim().parse::<u32>()).collect();
+                let ids = ids.map_err(|_| {
+                    format!("--queries expects comma-separated vertex ids, got {list:?}")
+                })?;
+                Ok(Some(QuerySet::from_indices(ids)))
+            }
+            (None, Some(count)) => Ok(Some(QuerySet::sample(
+                graph.num_vertices(),
+                count,
+                self.seed,
+            ))),
+            (None, None) => Ok(None),
+        }
+    }
 }
 
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
-    s.parse().unwrap_or_else(|_| usage(&format!("invalid value {s:?} for {flag}")))
+    s.parse()
+        .unwrap_or_else(|_| usage(&format!("invalid value {s:?} for {flag}")))
 }
 
 fn usage(error: &str) -> ! {
@@ -163,9 +204,15 @@ commands:
   predict   --graph FILE [--score S] [--k N] [--klocal N|inf]
             [--thr-gamma N|inf] [--alpha F] [--nodes N]
             [--machine type-i|type-ii|single] [--out FILE]
-            run SNAPLE and emit 'source target score' lines
+            [--queries IDS | --query-sample N]
+            run SNAPLE and emit 'source target score' lines;
+            --queries (comma-separated ids) or --query-sample (random
+            subset of N sources) restrict the run to those users
   evaluate  --graph FILE [--removals N] [prediction flags]
-            hold out edges, predict, and report recall/precision/MRR
+            [--queries IDS | --query-sample N]
+            hold out edges, predict, and report recall/precision/MRR;
+            with a query subset, metrics range over the queried
+            sources only
 
 graph files: '.snplg' binary (from emulate/--out) or text edge lists
 (one 'src dst [weight]' per line; add --symmetrize for undirected input)."
@@ -228,7 +275,10 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     println!("edges         {}", s.edges);
     println!("mean degree   {:.2}", s.out_degree.mean);
     println!("max degree    {}", s.out_degree.max);
-    println!("p50/p90/p99   {}/{}/{}", s.out_degree.p50, s.out_degree.p90, s.out_degree.p99);
+    println!(
+        "p50/p90/p99   {}/{}/{}",
+        s.out_degree.p50, s.out_degree.p90, s.out_degree.p99
+    );
     println!("reciprocity   {:.3}", s.reciprocity);
     println!("clustering    {:.3} (sampled)", s.clustering);
     Ok(())
@@ -238,7 +288,12 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
     let graph = load_graph(opts)?;
     let cluster = opts.cluster()?;
     let snaple = Snaple::new(opts.snaple_config()?);
-    let prediction = snaple.predict(&graph, &cluster).map_err(|e| e.to_string())?;
+    let queries = opts.query_set(&graph)?;
+    let mut req = PredictRequest::new(&graph, &cluster);
+    if let Some(q) = &queries {
+        req = req.with_queries(q);
+    }
+    let prediction = Predictor::predict(&snaple, &req).map_err(|e| e.to_string())?;
 
     let mut out: Box<dyn Write> = match &opts.out {
         Some(p) => Box::new(BufWriter::new(
@@ -248,13 +303,16 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
     };
     for (u, preds) in prediction.iter() {
         for (z, score) in preds {
-            writeln!(out, "{}\t{}\t{score}", u.as_u32(), z.as_u32())
-                .map_err(|e| e.to_string())?;
+            writeln!(out, "{}\t{}\t{score}", u.as_u32(), z.as_u32()).map_err(|e| e.to_string())?;
         }
     }
     out.flush().map_err(|e| e.to_string())?;
+    let scope = match &queries {
+        Some(q) => format!("{} queried sources", q.len()),
+        None => format!("{} sources", graph.num_vertices()),
+    };
     eprintln!(
-        "predicted {} edges in {:.2} simulated seconds on {} ({} cores); \
+        "predicted {} edges for {scope} in {:.2} simulated seconds on {} ({} cores); \
          traffic {:.1} MB, replication {:.2}",
         prediction.total_predictions(),
         prediction.simulated_seconds(),
@@ -271,13 +329,31 @@ fn cmd_evaluate(opts: &Options) -> Result<(), String> {
     let holdout = HoldOut::remove_edges(&graph, opts.removals.max(1), opts.seed);
     let cluster = opts.cluster()?;
     let snaple = Snaple::new(opts.snaple_config()?);
-    let prediction = snaple
-        .predict(&holdout.train, &cluster)
-        .map_err(|e| e.to_string())?;
+    let queries = opts.query_set(&holdout.train)?;
+    let mut req = PredictRequest::new(&holdout.train, &cluster);
+    if let Some(q) = &queries {
+        req = req.with_queries(q);
+    }
+    let prediction = Predictor::predict(&snaple, &req).map_err(|e| e.to_string())?;
+    let q = queries.as_ref();
+    if let Some(q) = q {
+        // Metrics over the queried sources only — the all-vertices
+        // denominator would misread a targeted run as low recall.
+        println!("queried sources {}", q.len());
+    }
     println!("held-out edges  {}", holdout.num_removed());
-    println!("recall          {:.4}", metrics::recall(&prediction, &holdout));
-    println!("precision       {:.4}", metrics::precision(&prediction, &holdout));
-    println!("mrr             {:.4}", metrics::mean_reciprocal_rank(&prediction, &holdout));
+    println!(
+        "recall          {:.4}",
+        metrics::recall_for(&prediction, &holdout, q)
+    );
+    println!(
+        "precision       {:.4}",
+        metrics::precision_for(&prediction, &holdout, q)
+    );
+    println!(
+        "mrr             {:.4}",
+        metrics::mean_reciprocal_rank_for(&prediction, &holdout, q)
+    );
     println!("sim. time       {:.2}s", prediction.simulated_seconds());
     Ok(())
 }

@@ -19,8 +19,15 @@
 //!
 //! # Quickstart
 //!
+//! Every backend answers one call: [`Predictor::predict`] over a
+//! [`PredictRequest`] bundling the graph, the simulated cluster, optional
+//! per-vertex attributes, and an optional query subset.
+//!
+//! [`Predictor::predict`]: core::Predictor::predict
+//! [`PredictRequest`]: core::PredictRequest
+//!
 //! ```
-//! use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 //! use snaple::gas::ClusterSpec;
 //! use snaple::graph::gen::datasets;
 //!
@@ -30,7 +37,7 @@
 //! let cluster = ClusterSpec::type_ii(4);
 //! // ...and the paper's best-recall configuration.
 //! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
-//! let prediction = snaple.predict(&graph, &cluster)?;
+//! let prediction = Predictor::predict(&snaple, &PredictRequest::new(&graph, &cluster))?;
 //! println!(
 //!     "predicted {} edges in {:.1} simulated seconds",
 //!     prediction.total_predictions(),
@@ -38,6 +45,34 @@
 //! );
 //! # Ok::<(), snaple::core::SnapleError>(())
 //! ```
+//!
+//! # Serving a query set
+//!
+//! Production link prediction serves *users*, not graphs: a request asks
+//! for suggestions for the accounts that are active right now. Attach a
+//! [`QuerySet`](core::QuerySet) and the run restricts itself to the part
+//! of the graph that can influence those rows — same results for the
+//! queried vertices, a fraction of the work:
+//!
+//! ```
+//! use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::gas::ClusterSpec;
+//! use snaple::graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! let active_users = QuerySet::sample(graph.num_vertices(), 200, 7);
+//! let req = PredictRequest::new(&graph, &cluster).with_queries(&active_users);
+//! let suggestions = Predictor::predict(&snaple, &req)?;
+//! assert!(active_users.iter().all(|u| u.index() < suggestions.num_vertices()));
+//! # Ok::<(), snaple::core::SnapleError>(())
+//! ```
+//!
+//! The same request type drives the BASELINE and random-walk backends, the
+//! supervised re-ranker, the [`eval`] runner, and the `snaple-cli predict
+//! --queries`/`--query-sample` flags.
 
 pub use snaple_baseline as baseline;
 pub use snaple_cassovary as cassovary;

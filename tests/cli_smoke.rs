@@ -32,7 +32,11 @@ fn emulate_stats_predict_evaluate_pipeline() {
         "--out",
         graph_path.to_str().unwrap(),
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(graph_path.exists());
 
     let out = run(&["stats", "--graph", graph_path.to_str().unwrap()]);

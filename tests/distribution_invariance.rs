@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use snaple::core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 use snaple::gas::{ClusterSpec, PartitionStrategy};
 use snaple::graph::gen::{self, CommunityParams};
 use snaple::graph::CsrGraph;
@@ -44,13 +44,19 @@ proptest! {
             .klocal(Some(8))
             .thr_gamma(Some(50))
             .seed(seed);
-        let single = Snaple::new(config.clone())
-            .predict(&graph, &ClusterSpec::single_machine(8, 32 << 30))
-            .unwrap();
+        let machine = ClusterSpec::single_machine(8, 32 << 30);
+        let single = Predictor::predict(
+            &Snaple::new(config.clone()),
+            &PredictRequest::new(&graph, &machine),
+        )
+        .unwrap();
         for strategy in PartitionStrategy::all() {
-            let clustered = Snaple::new(config.clone().partition(strategy))
-                .predict(&graph, &ClusterSpec::type_i(nodes))
-                .unwrap();
+            let cluster = ClusterSpec::type_i(nodes);
+            let clustered = Predictor::predict(
+                &Snaple::new(config.clone().partition(strategy)),
+                &PredictRequest::new(&graph, &cluster),
+            )
+            .unwrap();
             for (u, preds) in single.iter() {
                 prop_assert_eq!(
                     preds,
@@ -72,12 +78,16 @@ proptest! {
         let config = SnapleConfig::new(ScoreSpec::LinearSum)
             .klocal(Some(8))
             .seed(seed);
-        let single = Snaple::new(config.clone())
-            .predict(&graph, &ClusterSpec::single_machine(8, 32 << 30))
-            .unwrap();
-        let clustered = Snaple::new(config)
-            .predict(&graph, &ClusterSpec::type_i(16))
-            .unwrap();
+        let machine = ClusterSpec::single_machine(8, 32 << 30);
+        let single = Predictor::predict(
+            &Snaple::new(config.clone()),
+            &PredictRequest::new(&graph, &machine),
+        )
+        .unwrap();
+        let cluster = ClusterSpec::type_i(16);
+        let clustered =
+            Predictor::predict(&Snaple::new(config), &PredictRequest::new(&graph, &cluster))
+                .unwrap();
         for (u, a) in single.iter() {
             let b = clustered.for_vertex(u);
             prop_assert_eq!(a.len(), b.len(), "vertex {}", u);
@@ -110,12 +120,18 @@ proptest! {
     fn replication_factor_grows_with_cluster_size(seed in 0u64..1_000) {
         let graph = random_graph(300, 4, seed);
         let config = SnapleConfig::new(ScoreSpec::Counter).seed(seed);
-        let few = Snaple::new(config.clone())
-            .predict(&graph, &ClusterSpec::type_i(2))
-            .unwrap();
-        let many = Snaple::new(config)
-            .predict(&graph, &ClusterSpec::type_i(32))
-            .unwrap();
+        let two = ClusterSpec::type_i(2);
+        let few = Predictor::predict(
+            &Snaple::new(config.clone()),
+            &PredictRequest::new(&graph, &two),
+        )
+        .unwrap();
+        let thirty_two = ClusterSpec::type_i(32);
+        let many = Predictor::predict(
+            &Snaple::new(config),
+            &PredictRequest::new(&graph, &thirty_two),
+        )
+        .unwrap();
         prop_assert!(few.stats.replication_factor <= many.stats.replication_factor);
         prop_assert!(few.stats.replication_factor >= 1.0);
     }

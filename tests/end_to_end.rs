@@ -1,9 +1,9 @@
 //! End-to-end integration: emulated dataset → hold-out → predictors →
 //! recall, across the workspace crates.
 
-use snaple::baseline::BaselineConfig;
-use snaple::cassovary::RandomWalkConfig;
-use snaple::core::{PathLength, ScoreSpec, SnapleConfig};
+use snaple::baseline::{Baseline, BaselineConfig};
+use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple::core::{PathLength, PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
 use snaple::eval::{EvalDataset, Runner};
 use snaple::gas::ClusterSpec;
 
@@ -21,15 +21,19 @@ fn snaple_beats_random_walks_on_community_graphs() {
     let cluster = ClusterSpec::type_ii(4);
     let machine = ClusterSpec::single_machine(20, 128 << 30);
 
-    let snaple = runner.run_snaple(
+    let snaple = runner.run(
         "linearSum",
-        SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)).seed(77),
-        &cluster,
+        &Snaple::new(
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(Some(20))
+                .seed(77),
+        ),
+        &runner.request(&cluster),
     );
-    let walks = runner.run_cassovary(
+    let walks = runner.run(
         "ppr",
-        RandomWalkConfig::new().walks(20).depth(3).seed(77),
-        &machine,
+        &RandomWalkPpr::new(RandomWalkConfig::new().walks(20).depth(3).seed(77)),
+        &runner.request(&machine),
     );
     assert!(snaple.outcome.is_completed());
     assert!(snaple.recall > 0.1, "snaple recall {}", snaple.recall);
@@ -47,10 +51,10 @@ fn all_table3_configurations_run_end_to_end() {
     let runner = Runner::new(&holdout);
     let cluster = ClusterSpec::type_ii(2);
     for spec in ScoreSpec::all() {
-        let m = runner.run_snaple(
+        let m = runner.run(
             spec.name(),
-            SnapleConfig::new(spec).klocal(Some(10)).seed(3),
-            &cluster,
+            &Snaple::new(SnapleConfig::new(spec).klocal(Some(10)).seed(3)),
+            &runner.request(&cluster),
         );
         assert!(m.outcome.is_completed(), "{}: {:?}", spec.name(), m.outcome);
         assert!(
@@ -68,15 +72,19 @@ fn sampling_reduces_work_without_destroying_recall() {
     let (_g, holdout) = gowalla_runner_parts();
     let runner = Runner::new(&holdout);
     let cluster = ClusterSpec::type_ii(4);
-    let full = runner.run_snaple(
+    let full = runner.run(
         "full",
-        SnapleConfig::new(ScoreSpec::LinearSum).klocal(None).seed(5),
-        &cluster,
+        &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(None).seed(5)),
+        &runner.request(&cluster),
     );
-    let sampled = runner.run_snaple(
+    let sampled = runner.run(
         "k20",
-        SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)).seed(5),
-        &cluster,
+        &Snaple::new(
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(Some(20))
+                .seed(5),
+        ),
+        &runner.request(&cluster),
     );
     // The paper's §5.3 observation: sampling has minimal recall impact while
     // cutting execution time.
@@ -94,11 +102,20 @@ fn baseline_and_snaple_agree_on_feasible_inputs() {
     let (_g, holdout) = gowalla_runner_parts();
     let runner = Runner::new(&holdout);
     let cluster = ClusterSpec::type_ii(4);
-    let base = runner.run_baseline(BaselineConfig::new().seed(9), &cluster);
-    let snaple = runner.run_snaple(
+    let base = runner.run(
+        "BASELINE",
+        &Baseline::new(BaselineConfig::new().seed(9)),
+        &runner.request(&cluster),
+    );
+    let snaple = runner.run(
         "counter",
-        SnapleConfig::new(ScoreSpec::Counter).klocal(None).thr_gamma(None).seed(9),
-        &cluster,
+        &Snaple::new(
+            SnapleConfig::new(ScoreSpec::Counter)
+                .klocal(None)
+                .thr_gamma(None)
+                .seed(9),
+        ),
+        &runner.request(&cluster),
     );
     assert!(base.outcome.is_completed());
     assert!(snaple.outcome.is_completed());
@@ -119,13 +136,15 @@ fn three_hop_extension_runs_on_real_workloads() {
     let (_g, holdout) = gowalla_runner_parts();
     let runner = Runner::new(&holdout);
     let cluster = ClusterSpec::type_ii(2);
-    let three = runner.run_snaple(
+    let three = runner.run(
         "linearSum-3hop",
-        SnapleConfig::new(ScoreSpec::LinearSum)
-            .klocal(Some(10))
-            .path_length(PathLength::Three)
-            .seed(5),
-        &cluster,
+        &Snaple::new(
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .klocal(Some(10))
+                .path_length(PathLength::Three)
+                .seed(5),
+        ),
+        &runner.request(&cluster),
     );
     assert!(three.outcome.is_completed(), "{:?}", three.outcome);
     assert!((0.0..=1.0).contains(&three.recall));
@@ -133,7 +152,6 @@ fn three_hop_extension_runs_on_real_workloads() {
 
 #[test]
 fn io_round_trip_preserves_predictions() {
-    use snaple::core::Snaple;
     use snaple::graph::io;
 
     let (_g, holdout) = gowalla_runner_parts();
@@ -142,9 +160,19 @@ fn io_round_trip_preserves_predictions() {
     let reloaded = io::read_binary(&buf[..]).unwrap();
 
     let cluster = ClusterSpec::type_ii(2);
-    let config = SnapleConfig::new(ScoreSpec::Counter).klocal(Some(10)).seed(1);
-    let a = Snaple::new(config.clone()).predict(&holdout.train, &cluster).unwrap();
-    let b = Snaple::new(config).predict(&reloaded, &cluster).unwrap();
+    let config = SnapleConfig::new(ScoreSpec::Counter)
+        .klocal(Some(10))
+        .seed(1);
+    let a = Predictor::predict(
+        &Snaple::new(config.clone()),
+        &PredictRequest::new(&holdout.train, &cluster),
+    )
+    .unwrap();
+    let b = Predictor::predict(
+        &Snaple::new(config),
+        &PredictRequest::new(&reloaded, &cluster),
+    )
+    .unwrap();
     for (u, preds) in a.iter() {
         assert_eq!(preds, b.for_vertex(u), "vertex {u}");
     }
@@ -152,11 +180,11 @@ fn io_round_trip_preserves_predictions() {
 
 #[test]
 fn content_based_scoring_works_end_to_end() {
-    use snaple::core::config::ScoreComponents;
-    use snaple::core::{aggregator, combinator, similarity, Snaple};
-    use snaple::graph::gen::{self, CommunityParams};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use snaple::core::config::ScoreComponents;
+    use snaple::core::{aggregator, combinator, similarity};
+    use snaple::graph::gen::{self, CommunityParams};
 
     // Paper §3.1's content extension. On graphs whose communities drive
     // both edges and tags, *pure content* (topology weight 0) must carry
@@ -185,14 +213,20 @@ fn content_based_scoring_works_end_to_end() {
         combinator: std::sync::Arc::new(combinator::Linear::new(0.5)),
         aggregator: std::sync::Arc::new(aggregator::Sum),
     };
-    let config = SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(10)).seed(9);
+    let config = SnapleConfig::new(ScoreSpec::LinearSum)
+        .klocal(Some(10))
+        .seed(9);
 
-    let pure_structure = Snaple::with_components(config.clone(), components(1.0))
-        .predict_with_attributes(&holdout.train, &cluster, &tags)
-        .unwrap();
-    let pure_content = Snaple::with_components(config.clone(), components(0.0))
-        .predict_with_attributes(&holdout.train, &cluster, &tags)
-        .unwrap();
+    let pure_structure = Predictor::predict(
+        &Snaple::with_components(config.clone(), components(1.0)),
+        &PredictRequest::new(&holdout.train, &cluster).with_attributes(&tags),
+    )
+    .unwrap();
+    let pure_content = Predictor::predict(
+        &Snaple::with_components(config.clone(), components(0.0)),
+        &PredictRequest::new(&holdout.train, &cluster).with_attributes(&tags),
+    )
+    .unwrap();
 
     let r_structure = snaple::eval::metrics::recall(&pure_structure, &holdout);
     let r_content = snaple::eval::metrics::recall(&pure_content, &holdout);
@@ -204,9 +238,11 @@ fn content_based_scoring_works_end_to_end() {
 
     // Without attributes, pure-content scoring collapses (tags are empty
     // so all similarities are zero) — the attributes really are the input.
-    let no_tags = Snaple::with_components(config, components(0.0))
-        .predict(&holdout.train, &cluster)
-        .unwrap();
+    let no_tags = Predictor::predict(
+        &Snaple::with_components(config, components(0.0)),
+        &PredictRequest::new(&holdout.train, &cluster),
+    )
+    .unwrap();
     let r_no_tags = snaple::eval::metrics::recall(&no_tags, &holdout);
     assert!(
         r_no_tags < r_content,
@@ -216,10 +252,13 @@ fn content_based_scoring_works_end_to_end() {
 
 #[test]
 fn attribute_length_mismatch_is_rejected() {
-    use snaple::core::Snaple;
     let g = snaple::graph::CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
-    let err = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum))
-        .predict_with_attributes(&g, &ClusterSpec::type_i(1), &[vec![1]])
-        .unwrap_err();
+    let cluster = ClusterSpec::type_i(1);
+    let attrs = [vec![1]];
+    let err = Predictor::predict(
+        &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum)),
+        &PredictRequest::new(&g, &cluster).with_attributes(&attrs),
+    )
+    .unwrap_err();
     assert!(matches!(err, snaple::core::SnapleError::InvalidConfig(_)));
 }

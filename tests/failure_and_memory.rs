@@ -1,16 +1,16 @@
 //! Failure injection and memory-exhaustion behavior across the stack.
 
 use snaple::baseline::{Baseline, BaselineConfig};
-use snaple::core::{ScoreSpec, Snaple, SnapleConfig, SnapleError};
+use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig, SnapleError};
 use snaple::gas::{ClusterSpec, Engine, EngineError, NodeId, PartitionStrategy};
 use snaple::graph::gen::datasets;
 
 #[test]
 fn node_failures_surface_through_the_predictor_stack() {
     // Drive the SNAPLE steps manually so we can inject a failure mid-run.
+    use snaple::core::config::SelectionPolicy;
     use snaple::core::state::SnapleVertex;
     use snaple::core::steps::{NeighborhoodStep, SimilarityStep};
-    use snaple::core::config::SelectionPolicy;
 
     let graph = datasets::GOWALLA.emulate(0.002, 5);
     let mut engine = Engine::new(
@@ -24,7 +24,12 @@ fn node_failures_surface_through_the_predictor_stack() {
     let mut state = vec![SnapleVertex::default(); graph.num_vertices()];
 
     engine
-        .run_step(&NeighborhoodStep { thr_gamma: Some(200) }, &mut state)
+        .run_step(
+            &NeighborhoodStep {
+                thr_gamma: Some(200),
+            },
+            &mut state,
+        )
         .expect("step 1 precedes the failure");
 
     let components = ScoreSpec::LinearSum.resolve(0.9);
@@ -51,20 +56,24 @@ fn node_failures_surface_through_the_predictor_stack() {
 fn baseline_oom_crossover_follows_graph_size() {
     // At matched (scaled) memory budgets, BASELINE survives the small
     // dataset and dies on the denser one — the paper's Table 5 crossover.
-    let cluster_for = |scale: f64| {
-        ClusterSpec::type_ii(4).with_memory_scale(scale)
-    };
+    let cluster_for = |scale: f64| ClusterSpec::type_ii(4).with_memory_scale(scale);
 
     let small = datasets::GOWALLA.emulate(0.01, 3);
-    let ok = Baseline::new(BaselineConfig::new())
-        .predict(&small, &cluster_for(0.01))
-        .map(|p| p.total_predictions());
+    let small_cluster = cluster_for(0.01);
+    let ok = Predictor::predict(
+        &Baseline::new(BaselineConfig::new()),
+        &PredictRequest::new(&small, &small_cluster),
+    )
+    .map(|p| p.total_predictions());
     assert!(ok.is_ok(), "gowalla-scale baseline should fit: {ok:?}");
 
     let dense = datasets::ORKUT.emulate(0.001, 3);
-    let err = Baseline::new(BaselineConfig::new())
-        .predict(&dense, &cluster_for(0.001))
-        .unwrap_err();
+    let dense_cluster = cluster_for(0.001);
+    let err = Predictor::predict(
+        &Baseline::new(BaselineConfig::new()),
+        &PredictRequest::new(&dense, &dense_cluster),
+    )
+    .unwrap_err();
     assert!(
         matches!(
             err,
@@ -78,8 +87,10 @@ fn baseline_oom_crossover_follows_graph_size() {
 fn snaple_survives_where_baseline_dies() {
     let dense = datasets::ORKUT.emulate(0.001, 3);
     let cluster = ClusterSpec::type_ii(4).with_memory_scale(0.001);
-    let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)))
-        .predict(&dense, &cluster);
+    let snaple = Predictor::predict(
+        &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20))),
+        &PredictRequest::new(&dense, &cluster),
+    );
     assert!(
         snaple.is_ok(),
         "snaple should fit in the same budget: {:?}",
@@ -94,9 +105,11 @@ fn memory_errors_carry_actionable_detail() {
         memory_per_node: 50_000,
         ..ClusterSpec::type_i(2)
     };
-    let err = Baseline::new(BaselineConfig::new())
-        .predict(&graph, &starved)
-        .unwrap_err();
+    let err = Predictor::predict(
+        &Baseline::new(BaselineConfig::new()),
+        &PredictRequest::new(&graph, &starved),
+    )
+    .unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("exhausted memory"), "{msg}");
     assert!(msg.contains("capacity"), "{msg}");

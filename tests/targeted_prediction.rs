@@ -1,0 +1,195 @@
+//! Targeted (query-subset) prediction: the serving contract across every
+//! backend.
+//!
+//! The contract of [`PredictRequest::with_queries`]:
+//!
+//! 1. **Exactness** — every queried row is bit-identical to the same row
+//!    of an all-vertices run with the same configuration and seeds;
+//! 2. **Emptiness** — every non-queried row is empty;
+//! 3. **Economy** — a strict subset does strictly less accounted work,
+//!    and a full query set reproduces the all-vertices run byte for byte.
+
+use proptest::prelude::*;
+
+use snaple::baseline::{Baseline, BaselineConfig};
+use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple::core::{
+    PredictRequest, Prediction, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+};
+use snaple::gas::ClusterSpec;
+use snaple::graph::gen::datasets;
+use snaple::graph::{CsrGraph, GraphBuilder};
+
+fn graph_from(edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(1);
+    for (u, v) in edges {
+        b.add_edge(*u, *v);
+    }
+    b.build()
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..50, 0u32..50), 1..400)
+}
+
+/// All three backends with a fixed seed, boxed behind the unified trait.
+fn backends() -> Vec<(&'static str, Box<dyn Predictor>)> {
+    vec![
+        (
+            "snaple",
+            Box::new(Snaple::new(
+                SnapleConfig::new(ScoreSpec::LinearSum)
+                    .k(5)
+                    .klocal(Some(8))
+                    .seed(42),
+            )),
+        ),
+        (
+            "baseline",
+            Box::new(Baseline::new(BaselineConfig::new().k(5).seed(42))),
+        ),
+        (
+            "random-walk-ppr",
+            Box::new(RandomWalkPpr::new(
+                RandomWalkConfig::new().walks(15).depth(3).seed(42),
+            )),
+        ),
+    ]
+}
+
+fn assert_targeted_matches(
+    label: &str,
+    full: &Prediction,
+    targeted: &Prediction,
+    queries: &QuerySet,
+) {
+    assert_eq!(targeted.num_vertices(), full.num_vertices(), "{label}");
+    for (u, preds) in targeted.iter() {
+        if queries.contains(u) {
+            assert_eq!(
+                preds,
+                full.for_vertex(u),
+                "{label}: queried row {u} diverged"
+            );
+        } else {
+            assert!(preds.is_empty(), "{label}: non-queried row {u} not empty");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Property: for a random graph and a random query subset, targeted
+    /// prediction returns exactly the subset's rows of the all-vertices
+    /// run — for every backend behind the trait.
+    #[test]
+    fn targeted_rows_equal_full_run_rows(
+        edges in edges_strategy(),
+        subset_seed in 0u64..1_000,
+        subset_frac in 1usize..10,
+    ) {
+        let graph = graph_from(&edges);
+        let cluster = ClusterSpec::type_ii(2);
+        let count = (graph.num_vertices() * subset_frac / 10).max(1);
+        let queries = QuerySet::sample(graph.num_vertices(), count, subset_seed);
+        for (label, backend) in backends() {
+            let full = backend
+                .predict(&PredictRequest::new(&graph, &cluster))
+                .unwrap();
+            let targeted = backend
+                .predict(&PredictRequest::new(&graph, &cluster).with_queries(&queries))
+                .unwrap();
+            assert_targeted_matches(label, &full, &targeted, &queries);
+        }
+    }
+}
+
+#[test]
+fn full_query_set_is_bit_identical_including_accounting() {
+    let graph = datasets::GOWALLA.emulate(0.004, 7);
+    let cluster = ClusterSpec::type_ii(4);
+    let everyone = QuerySet::from_indices(0..graph.num_vertices() as u32);
+    for (label, backend) in backends() {
+        let full = backend
+            .predict(&PredictRequest::new(&graph, &cluster))
+            .unwrap();
+        let via_queries = backend
+            .predict(&PredictRequest::new(&graph, &cluster).with_queries(&everyone))
+            .unwrap();
+        for (u, preds) in full.iter() {
+            assert_eq!(preds, via_queries.for_vertex(u), "{label}: vertex {u}");
+        }
+        assert_eq!(
+            full.stats.total_work_ops(),
+            via_queries.stats.total_work_ops(),
+            "{label}: work accounting diverged"
+        );
+        assert_eq!(
+            full.stats.total_network_bytes(),
+            via_queries.stats.total_network_bytes(),
+            "{label}: network accounting diverged"
+        );
+        assert_eq!(
+            full.stats.peak_memory(),
+            via_queries.stats.peak_memory(),
+            "{label}: memory accounting diverged"
+        );
+    }
+}
+
+#[test]
+fn small_subsets_strictly_reduce_accounted_work() {
+    let graph = datasets::GOWALLA.emulate(0.008, 3);
+    let cluster = ClusterSpec::type_ii(4);
+    let one_percent = QuerySet::sample(graph.num_vertices(), graph.num_vertices() / 100, 9);
+    assert!(!one_percent.is_empty());
+    for (label, backend) in backends() {
+        let full = backend
+            .predict(&PredictRequest::new(&graph, &cluster))
+            .unwrap();
+        let targeted = backend
+            .predict(&PredictRequest::new(&graph, &cluster).with_queries(&one_percent))
+            .unwrap();
+        let (full_ops, small_ops) = (full.stats.total_work_ops(), targeted.stats.total_work_ops());
+        assert!(
+            small_ops < full_ops,
+            "{label}: subset work {small_ops} !< full work {full_ops}"
+        );
+        assert!(
+            targeted.simulated_seconds() < full.simulated_seconds(),
+            "{label}: subset time must drop"
+        );
+    }
+}
+
+#[test]
+fn empty_query_sets_are_valid_and_produce_nothing() {
+    let graph = datasets::GOWALLA.emulate(0.002, 3);
+    let cluster = ClusterSpec::type_ii(2);
+    let none = QuerySet::from_indices(std::iter::empty());
+    for (label, backend) in backends() {
+        let p = backend
+            .predict(&PredictRequest::new(&graph, &cluster).with_queries(&none))
+            .unwrap();
+        assert_eq!(p.total_predictions(), 0, "{label}");
+        assert_eq!(p.num_vertices(), graph.num_vertices(), "{label}");
+    }
+}
+
+#[test]
+fn out_of_range_queries_fail_uniformly() {
+    let graph = graph_from(&[(0, 1), (1, 2)]);
+    let cluster = ClusterSpec::type_i(1);
+    let bad = QuerySet::from_indices([0, 1_000]);
+    for (label, backend) in backends() {
+        let err = backend
+            .predict(&PredictRequest::new(&graph, &cluster).with_queries(&bad))
+            .unwrap_err();
+        assert!(
+            matches!(err, snaple::core::SnapleError::InvalidConfig(_)),
+            "{label}: {err}"
+        );
+    }
+}
