@@ -38,14 +38,19 @@
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 
+use std::time::Instant;
+
 use snaple_core::similarity::{Jaccard, Similarity};
 use snaple_core::topk::top_k_by_score;
-use snaple_core::{NeighborhoodView, PredictRequest, Prediction, Predictor, SnapleError};
+use snaple_core::{
+    ExecuteRequest, NeighborhoodView, Prediction, Predictor, PrepareRequest, PreparedPredictor,
+    SetupStats, SnapleError,
+};
 use snaple_gas::size::COLLECTION_OVERHEAD;
 use snaple_gas::{
-    ClusterSpec, Engine, GasStep, GatherCtx, PartitionStrategy, SizeEstimate, WorkTally,
+    Deployment, Engine, GasStep, GatherCtx, PartitionStrategy, SizeEstimate, WorkTally,
 };
-use snaple_graph::{CsrGraph, VertexId};
+use snaple_graph::VertexId;
 
 /// Configuration of a BASELINE run.
 #[derive(Clone, Debug)]
@@ -325,28 +330,20 @@ impl Baseline {
         &self.config
     }
 
-    /// Runs the three BASELINE steps on `graph` over `cluster`.
-    ///
-    /// Thin compatibility wrapper over the [`Predictor`] trait.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
-                this wrapper is equivalent to predict(&PredictRequest::new(graph, cluster))"
-    )]
-    pub fn predict(
-        &self,
-        graph: &CsrGraph,
-        cluster: &ClusterSpec,
-    ) -> Result<Prediction, SnapleError> {
-        Predictor::predict(self, &PredictRequest::new(graph, cluster))
+    fn validate_config(&self) -> Result<(), SnapleError> {
+        if self.config.k == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "k must be at least 1".to_owned(),
+            ));
+        }
+        Ok(())
     }
-}
 
-impl Predictor for Baseline {
-    /// Runs the three BASELINE steps and returns predictions plus engine
-    /// statistics.
+    /// Runs the three BASELINE steps on a prepared [`Deployment`],
+    /// answering one [`ExecuteRequest`] — the *execute* half of the
+    /// serving lifecycle, reusing the deployment's partition.
     ///
-    /// With [`PredictRequest::queries`], the steps execute under
+    /// With [`ExecuteRequest::queries`], the steps execute under
     /// shrinking active-vertex masks (neighborhoods two hops out,
     /// neighbor tables one hop out, scores for the queries alone), which
     /// also shrinks the replicated neighbor-of-neighbor tables — the
@@ -358,32 +355,27 @@ impl Predictor for Baseline {
     ///
     /// [`SnapleError::Engine`] on resource exhaustion — expected on large
     /// graphs, which is the paper's headline observation about this
-    /// approach — or invalid cluster shapes;
-    /// [`SnapleError::InvalidConfig`] if `k` is zero, a query id is out of
-    /// range, or attributes are attached (BASELINE is structural only).
-    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
-        req.validate()?;
-        if self.config.k == 0 {
-            return Err(SnapleError::InvalidConfig(
-                "k must be at least 1".to_owned(),
-            ));
-        }
+    /// approach; [`SnapleError::InvalidConfig`] if `k` is zero, a query
+    /// id is out of range, or attributes are attached (BASELINE is
+    /// structural only).
+    pub fn execute_on(
+        &self,
+        deployment: &Deployment<'_>,
+        req: &ExecuteRequest<'_>,
+    ) -> Result<Prediction, SnapleError> {
+        self.validate_config()?;
+        let graph = deployment.graph();
+        req.validate_for(graph)?;
         if req.attributes().is_some() {
             return Err(SnapleError::InvalidConfig(
                 "BASELINE scores structure only and accepts no content attributes".to_owned(),
             ));
         }
-        let graph = req.graph();
-        let mut engine = Engine::new(
-            graph,
-            req.cluster().clone(),
-            self.config.partition,
-            self.config.seed,
-        )?;
+        let mut engine = Engine::on(deployment).with_seed(req.seed().unwrap_or(self.config.seed));
         // Shrinking lookahead masks for targeted runs: scores need the
         // queries, neighbor tables their direct neighbors, neighborhoods
         // everything two hops out.
-        let score_mask = req.query_mask();
+        let score_mask = req.query_mask(graph);
         let propagate_mask = score_mask.as_ref().map(|m| m.expand_out(graph));
         let collect_mask = propagate_mask.as_ref().map(|m| m.expand_out(graph));
         let mut state = vec![BaselineVertex::default(); graph.num_vertices()];
@@ -400,12 +392,64 @@ impl Predictor for Baseline {
     }
 }
 
+/// A BASELINE predictor with its deployment already built.
+pub struct PreparedBaseline<'a> {
+    baseline: &'a Baseline,
+    deployment: Deployment<'a>,
+    setup: SetupStats,
+}
+
+impl PreparedPredictor for PreparedBaseline<'_> {
+    fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError> {
+        self.baseline.execute_on(&self.deployment, req)
+    }
+
+    fn setup(&self) -> &SetupStats {
+        &self.setup
+    }
+}
+
+impl Predictor for Baseline {
+    /// Builds the vertex-cut partition once; the returned
+    /// [`PreparedBaseline`] answers any number of [`ExecuteRequest`]s
+    /// against it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] if `k` is zero or the cluster shape
+    /// is unusable.
+    fn prepare<'a>(
+        &'a self,
+        req: &PrepareRequest<'a>,
+    ) -> Result<Box<dyn PreparedPredictor + 'a>, SnapleError> {
+        self.validate_config()?;
+        let started = Instant::now();
+        let deployment = Deployment::new(
+            req.graph(),
+            req.cluster().clone(),
+            self.config.partition,
+            self.config.seed,
+        )?;
+        let setup = SetupStats {
+            prepare_wall_seconds: started.elapsed().as_secs_f64(),
+            partition_build_seconds: deployment.partition_build_seconds(),
+            replication_factor: deployment.replication_factor(),
+        };
+        Ok(Box::new(PreparedBaseline {
+            baseline: self,
+            deployment,
+            setup,
+        }))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snaple_core::QuerySet;
-    use snaple_gas::EngineError;
+    use snaple_core::{PredictRequest, QuerySet};
+    use snaple_gas::{ClusterSpec, EngineError};
     use snaple_graph::gen::datasets;
+    use snaple_graph::CsrGraph;
 
     fn v(i: u32) -> VertexId {
         VertexId::new(i)
@@ -570,16 +614,27 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_wrapper_matches_the_trait_api() {
+    fn prepared_execution_matches_one_shot_predicts() {
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (1, 3), (2, 0)]);
         let cluster = ClusterSpec::type_ii(2);
         let baseline = Baseline::new(BaselineConfig::new().k(2));
-        let legacy = baseline.predict(&g, &cluster).unwrap();
-        let trait_based =
-            Predictor::predict(&baseline, &PredictRequest::new(&g, &cluster)).unwrap();
-        for (u, preds) in legacy.iter() {
-            assert_eq!(preds, trait_based.for_vertex(u));
+        let prepared = baseline
+            .prepare(&PrepareRequest::new(&g, &cluster))
+            .unwrap();
+        let one_shot = Predictor::predict(&baseline, &PredictRequest::new(&g, &cluster)).unwrap();
+        for _ in 0..2 {
+            let executed = prepared.execute(&ExecuteRequest::new()).unwrap();
+            for (u, preds) in executed.iter() {
+                assert_eq!(preds, one_shot.for_vertex(u));
+            }
+            assert_eq!(executed.stats.partition_build_seconds, 0.0);
         }
+        assert!(one_shot.stats.partition_build_seconds > 0.0);
+        // Structural-only: attributes are rejected at execute time too.
+        let attrs = vec![vec![1u32]; 4];
+        assert!(matches!(
+            prepared.execute(&ExecuteRequest::new().with_attributes(&attrs)),
+            Err(SnapleError::InvalidConfig(_))
+        ));
     }
 }

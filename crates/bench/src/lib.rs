@@ -112,6 +112,26 @@ fn usage_and_exit(experiment: &str, description: &str, error: &str) -> ! {
     exit(if error.is_empty() { 0 } else { 2 })
 }
 
+/// Appends one pre-rendered JSON line to the file named by the
+/// `BENCH_JSON` environment variable, if set — the convention the
+/// criterion stand-in and `snaple_core::ServerStats` also follow, shared
+/// here so bench binaries emit custom lines (totals, speedups) without
+/// re-implementing the plumbing.
+pub fn append_bench_json(line: &str) {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    use std::io::Write;
+    match fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("warning: cannot append to {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("warning: cannot open {path}: {e}"),
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn banner(experiment: &str, paper_ref: &str, args: &ExpArgs) {
     println!("=== {experiment} — reproduces {paper_ref} ===");

@@ -39,14 +39,18 @@
 //! ```
 
 use std::thread;
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use snaple_core::topk::top_k_by_score;
-use snaple_core::{PredictRequest, Prediction, Predictor, SnapleError};
+use snaple_core::{
+    ExecuteRequest, Prediction, Predictor, PrepareRequest, PreparedPredictor, SetupStats,
+    SnapleError,
+};
 use snaple_gas::stats::{NodeStats, RunStats, StepStats};
-use snaple_gas::{ClusterSpec, CostModel};
+use snaple_gas::CostModel;
 use snaple_graph::hash::hash2;
 use snaple_graph::{CsrGraph, VertexId};
 
@@ -146,38 +150,35 @@ impl RandomWalkPpr {
         &self.config
     }
 
-    /// Predicts `k` links per vertex on `machine`.
-    ///
-    /// Thin compatibility wrapper over the [`Predictor`] trait, keeping
-    /// the historical infallible signature (it performs no configuration
-    /// validation: zero walks or depth simply produce empty predictions).
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
-                the trait entry point also validates the configuration and \
-                supports query subsets"
-    )]
-    pub fn predict(&self, graph: &CsrGraph, machine: &ClusterSpec) -> Prediction {
-        self.walk(graph, machine, None)
+    fn validate_config(&self) -> Result<(), SnapleError> {
+        if self.config.k == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "k must be at least 1".to_owned(),
+            ));
+        }
+        if self.config.walks == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "walks must be at least 1".to_owned(),
+            ));
+        }
+        if self.config.depth == 0 {
+            return Err(SnapleError::InvalidConfig(
+                "depth must be at least 1 (d = 2 reaches direct neighbors)".to_owned(),
+            ));
+        }
+        Ok(())
     }
 
-    /// Runs the walks for `targets` (all vertices when `None`) and
-    /// assembles the shared result type.
+    /// Runs the walks for `targets` and assembles the shared result type.
     fn walk(
         &self,
         graph: &CsrGraph,
-        machine: &ClusterSpec,
-        targets: Option<&[VertexId]>,
+        cost: &CostModel,
+        storage_bytes: u64,
+        targets: &[VertexId],
+        seed: u64,
     ) -> Prediction {
         let n = graph.num_vertices();
-        let all: Vec<VertexId>;
-        let targets: &[VertexId] = match targets {
-            Some(t) => t,
-            None => {
-                all = graph.vertices().collect();
-                &all
-            }
-        };
         let workers = self
             .config
             .threads
@@ -204,11 +205,8 @@ impl RandomWalkPpr {
                             // Per-vertex RNG: results do not depend on
                             // how vertices are sharded across threads —
                             // or on which vertices are queried at all.
-                            let mut rng = StdRng::seed_from_u64(hash2(
-                                config.seed,
-                                u.as_u32() as u64,
-                                0xca55,
-                            ));
+                            let mut rng =
+                                StdRng::seed_from_u64(hash2(seed, u.as_u32() as u64, 0xca55));
                             visits.clear();
                             for _ in 0..config.walks {
                                 let mut cur = u;
@@ -250,7 +248,6 @@ impl RandomWalkPpr {
             total_hops += hops_done;
         }
 
-        let cost = CostModel::for_cluster(machine).with_op_cost(WALK_HOP_COST);
         let step = StepStats {
             name: "cassovary-random-walk-ppr".to_owned(),
             gather_calls: 0,
@@ -262,23 +259,69 @@ impl RandomWalkPpr {
             per_node: vec![NodeStats {
                 compute_ops: total_hops,
                 net_bytes: 0,
-                memory_peak: graph.storage_bytes(),
+                memory_peak: storage_bytes,
             }],
             simulated_seconds: cost.step_seconds(total_hops, 0),
         };
         let stats = RunStats {
             steps: vec![step],
             replication_factor: 1.0,
+            partition_build_seconds: 0.0,
         };
         Prediction::from_parts(predictions, stats)
     }
 }
 
+/// A random-walk predictor with its per-graph state precomputed: the
+/// hop-calibrated cost model, the graph's storage footprint, and the
+/// all-vertices target table.
+///
+/// Random walks need no partition, so `prepare` is cheap here — but going
+/// through the same lifecycle lets the serving layer treat every backend
+/// uniformly.
+pub struct PreparedWalk<'a> {
+    ppr: &'a RandomWalkPpr,
+    graph: &'a CsrGraph,
+    cost: CostModel,
+    storage_bytes: u64,
+    all_vertices: Vec<VertexId>,
+    setup: SetupStats,
+}
+
+impl PreparedPredictor for PreparedWalk<'_> {
+    fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError> {
+        req.validate_for(self.graph)?;
+        if req.attributes().is_some() {
+            return Err(SnapleError::InvalidConfig(
+                "random-walk PPR scores structure only and accepts no content attributes"
+                    .to_owned(),
+            ));
+        }
+        let targets: &[VertexId] = match req.queries() {
+            Some(q) => q.as_slice(),
+            None => &self.all_vertices,
+        };
+        Ok(self.ppr.walk(
+            self.graph,
+            &self.cost,
+            self.storage_bytes,
+            targets,
+            req.seed().unwrap_or(self.ppr.config.seed),
+        ))
+    }
+
+    fn setup(&self) -> &SetupStats {
+        &self.setup
+    }
+}
+
 impl Predictor for RandomWalkPpr {
-    /// Runs `w` random walks of depth `d` from every requested source and
-    /// predicts the `k` most-visited non-neighbors per source.
+    /// Precomputes the walk state (cost model, degree/storage tables,
+    /// target list); the returned [`PreparedWalk`] runs `w` random walks
+    /// of depth `d` from every requested source and predicts the `k`
+    /// most-visited non-neighbors per source.
     ///
-    /// With [`PredictRequest::queries`], only the queried vertices walk —
+    /// With [`ExecuteRequest::queries`], only the queried vertices walk —
     /// the hop budget (and therefore the simulated time) shrinks linearly
     /// with the query count, and per-source seeding keeps each queried row
     /// bit-identical to an all-vertices run.
@@ -286,43 +329,38 @@ impl Predictor for RandomWalkPpr {
     /// # Errors
     ///
     /// [`SnapleError::InvalidConfig`] if `k`, `walks` or `depth` is zero
-    /// (matching the GAS backends' validation), if a query id is out of
-    /// range, or if attributes are attached (walks score structure only).
-    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
-        req.validate()?;
-        if self.config.k == 0 {
-            return Err(SnapleError::InvalidConfig(
-                "k must be at least 1".to_owned(),
-            ));
-        }
-        if self.config.walks == 0 {
-            return Err(SnapleError::InvalidConfig(
-                "walks must be at least 1".to_owned(),
-            ));
-        }
-        if self.config.depth == 0 {
-            return Err(SnapleError::InvalidConfig(
-                "depth must be at least 1 (d = 2 reaches direct neighbors)".to_owned(),
-            ));
-        }
-        if req.attributes().is_some() {
-            return Err(SnapleError::InvalidConfig(
-                "random-walk PPR scores structure only and accepts no content attributes"
-                    .to_owned(),
-            ));
-        }
-        Ok(self.walk(
-            req.graph(),
-            req.cluster(),
-            req.queries().map(|q| q.as_slice()),
-        ))
+    /// (matching the GAS backends' validation).
+    fn prepare<'a>(
+        &'a self,
+        req: &PrepareRequest<'a>,
+    ) -> Result<Box<dyn PreparedPredictor + 'a>, SnapleError> {
+        self.validate_config()?;
+        let started = Instant::now();
+        let graph = req.graph();
+        let cost = CostModel::for_cluster(req.cluster()).with_op_cost(WALK_HOP_COST);
+        let storage_bytes = graph.storage_bytes();
+        let all_vertices: Vec<VertexId> = graph.vertices().collect();
+        let setup = SetupStats {
+            prepare_wall_seconds: started.elapsed().as_secs_f64(),
+            partition_build_seconds: 0.0,
+            replication_factor: 1.0,
+        };
+        Ok(Box::new(PreparedWalk {
+            ppr: self,
+            graph,
+            cost,
+            storage_bytes,
+            all_vertices,
+            setup,
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snaple_core::QuerySet;
+    use snaple_core::{PredictRequest, QuerySet};
+    use snaple_gas::ClusterSpec;
     use snaple_graph::gen::datasets;
 
     fn v(i: u32) -> VertexId {
@@ -451,18 +489,27 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_wrapper_matches_the_trait_api_and_stays_infallible() {
+    fn prepared_walks_match_one_shot_predicts_and_reject_bad_configs() {
         let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
         let machine = machine();
         let ppr = RandomWalkPpr::new(RandomWalkConfig::new().walks(30).depth(3));
-        let legacy = ppr.predict(&g, &machine);
-        let trait_based = Predictor::predict(&ppr, &PredictRequest::new(&g, &machine)).unwrap();
-        for (u, preds) in legacy.iter() {
-            assert_eq!(preds, trait_based.for_vertex(u));
+        let prepared = ppr.prepare(&PrepareRequest::new(&g, &machine)).unwrap();
+        let one_shot = Predictor::predict(&ppr, &PredictRequest::new(&g, &machine)).unwrap();
+        for _ in 0..2 {
+            let executed = prepared.execute(&ExecuteRequest::new()).unwrap();
+            for (u, preds) in executed.iter() {
+                assert_eq!(preds, one_shot.for_vertex(u));
+            }
         }
-        // The wrapper keeps the historical lenient behavior.
-        let silent = RandomWalkPpr::new(RandomWalkConfig::new().walks(0)).predict(&g, &machine);
-        assert_eq!(silent.total_predictions(), 0);
+        // Walks need no partition: setup costs are all-zero except the
+        // wall clock spent precomputing.
+        assert_eq!(prepared.setup().partition_build_seconds, 0.0);
+        assert_eq!(prepared.setup().replication_factor, 1.0);
+        // Invalid configurations are rejected at prepare time.
+        let bad = RandomWalkPpr::new(RandomWalkConfig::new().walks(0));
+        assert!(matches!(
+            bad.prepare(&PrepareRequest::new(&g, &machine)),
+            Err(SnapleError::InvalidConfig(_))
+        ));
     }
 }

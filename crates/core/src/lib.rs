@@ -91,6 +91,36 @@
 //! }
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
+//!
+//! # Serving a request *stream*
+//!
+//! One-shot `predict` rebuilds the O(edges) vertex-cut partition per
+//! call. For a stream of requests against the same graph, split the
+//! lifecycle: [`Predictor::prepare`] builds the heavy state once and
+//! returns a [`PreparedPredictor`] whose
+//! [`execute`](PreparedPredictor::execute) answers each request — or let
+//! a [`serve::Server`] do it for you, coalescing concurrent requests
+//! into shared masked supersteps and demultiplexing bit-identical
+//! per-request rows:
+//!
+//! ```
+//! use snaple_core::serve::Server;
+//! use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! let mut server = Server::new(&snaple, &graph, &cluster)?;
+//! let wave: Vec<QuerySet> = (0..4)
+//!     .map(|i| QuerySet::sample(graph.num_vertices(), 50, i))
+//!     .collect();
+//! let responses = server.serve_batch(&wave)?; // one shared superstep run
+//! assert_eq!(responses.len(), 4);
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
 
 pub mod aggregator;
 pub mod combinator;
@@ -98,6 +128,7 @@ pub mod config;
 pub mod error;
 pub mod predictor;
 pub mod predictor_api;
+pub mod serve;
 pub mod similarity;
 pub mod state;
 pub mod steps;
@@ -107,7 +138,11 @@ pub use aggregator::Aggregator;
 pub use combinator::Combinator;
 pub use config::{PathLength, ScoreComponents, ScoreSpec, SelectionPolicy, SnapleConfig};
 pub use error::SnapleError;
-pub use predictor::{Prediction, Snaple};
-pub use predictor_api::{PredictRequest, Predictor, QuerySet};
+pub use predictor::{Prediction, PreparedSnaple, Snaple};
+pub use predictor_api::{
+    ExecuteRequest, PredictRequest, Predictor, PrepareRequest, PreparedPredictor, QuerySet,
+    SetupStats,
+};
+pub use serve::{Server, ServerStats};
 pub use similarity::{NeighborhoodView, Similarity};
 pub use state::SnapleVertex;

@@ -1,11 +1,15 @@
 //! The public SNAPLE predictor.
 
-use snaple_gas::{ClusterSpec, Engine, RunStats};
+use std::time::Instant;
+
+use snaple_gas::{Deployment, Engine, RunStats};
 use snaple_graph::{CsrGraph, VertexId, VertexMask};
 
 use crate::config::{PathLength, ScoreComponents, SnapleConfig};
 use crate::error::SnapleError;
-use crate::predictor_api::{PredictRequest, Predictor};
+use crate::predictor_api::{
+    ExecuteRequest, Predictor, PrepareRequest, PreparedPredictor, SetupStats,
+};
 use crate::state::SnapleVertex;
 use crate::steps::{NeighborhoodStep, PromoteScoresStep, ScoreStep, SecondHop, SimilarityStep};
 
@@ -93,67 +97,8 @@ impl Snaple {
         &self.components
     }
 
-    /// Runs the paper's Algorithm 2 on `graph` over `cluster`.
-    ///
-    /// Thin compatibility wrapper over the [`Predictor`] trait.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
-                this wrapper is equivalent to predict(&PredictRequest::new(graph, cluster))"
-    )]
-    pub fn predict(
-        &self,
-        graph: &CsrGraph,
-        cluster: &ClusterSpec,
-    ) -> Result<Prediction, SnapleError> {
-        Predictor::predict(self, &PredictRequest::new(graph, cluster))
-    }
-
-    /// Runs with per-vertex content attached.
-    ///
-    /// Thin compatibility wrapper over the [`Predictor`] trait.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
-                this wrapper is equivalent to \
-                predict(&PredictRequest::new(graph, cluster).with_attributes(attributes))"
-    )]
-    pub fn predict_with_attributes(
-        &self,
-        graph: &CsrGraph,
-        cluster: &ClusterSpec,
-        attributes: &[Vec<u32>],
-    ) -> Result<Prediction, SnapleError> {
-        Predictor::predict(
-            self,
-            &PredictRequest::new(graph, cluster).with_attributes(attributes),
-        )
-    }
-}
-
-impl Predictor for Snaple {
-    /// Runs the three-step GAS program of the paper's Algorithm 2 and
-    /// returns the per-vertex predictions together with the engine's
-    /// execution statistics.
-    ///
-    /// With [`PredictRequest::queries`], the steps execute under
-    /// shrinking active-vertex masks — neighborhoods for everything
-    /// within the program's hop lookahead of a query, similarities for
-    /// queries and their direct neighbors, scores for the queries alone —
-    /// so small query sets do far less gather/scatter work. Queried rows
-    /// are bit-identical to an all-vertices run; all other rows are
-    /// empty. Per-vertex content arrives via
-    /// [`PredictRequest::attributes`] (paper §3.1's content extension).
-    ///
-    /// # Errors
-    ///
-    /// * [`SnapleError::InvalidConfig`] if `k` or `klocal` is zero, if
-    ///   attributes do not cover every vertex, or if a query id is out of
-    ///   range.
-    /// * [`SnapleError::Engine`] when the simulated cluster cannot execute
-    ///   the program (memory exhaustion, invalid node counts).
-    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
-        req.validate()?;
+    /// Rejects configurations no run could execute (zero `k`/`klocal`).
+    fn validate_config(&self) -> Result<(), SnapleError> {
         if self.config.k == 0 {
             return Err(SnapleError::InvalidConfig(
                 "k must be at least 1".to_owned(),
@@ -164,13 +109,44 @@ impl Predictor for Snaple {
                 "klocal must be at least 1 (use None to disable sampling)".to_owned(),
             ));
         }
-        let graph = req.graph();
-        let mut engine = Engine::new(
-            graph,
-            req.cluster().clone(),
-            self.config.partition,
-            self.config.seed,
-        )?;
+        Ok(())
+    }
+
+    /// Runs the three-step GAS program of the paper's Algorithm 2 on a
+    /// prepared [`Deployment`], answering one [`ExecuteRequest`].
+    ///
+    /// This is the *execute* half of the serving lifecycle — the engine
+    /// reuses the deployment's partition instead of re-hashing every edge,
+    /// so a stream of requests pays the O(edges) setup once. It is public
+    /// so that other predictors can multiplex several SNAPLE
+    /// configurations over one shared deployment (the supervised feature
+    /// panel does).
+    ///
+    /// With [`ExecuteRequest::queries`], the steps execute under shrinking
+    /// active-vertex masks — neighborhoods for everything within the
+    /// program's hop lookahead of a query, similarities for queries and
+    /// their direct neighbors, scores for the queries alone — so small
+    /// query sets do far less gather/scatter work. Queried rows are
+    /// bit-identical to an all-vertices run; all other rows are empty.
+    /// Per-vertex content arrives via [`ExecuteRequest::attributes`]
+    /// (paper §3.1's content extension).
+    ///
+    /// # Errors
+    ///
+    /// * [`SnapleError::InvalidConfig`] if `k` or `klocal` is zero, if
+    ///   attributes do not cover every vertex, or if a query id is out of
+    ///   range.
+    /// * [`SnapleError::Engine`] when the simulated cluster cannot execute
+    ///   the program (memory exhaustion).
+    pub fn execute_on(
+        &self,
+        deployment: &Deployment<'_>,
+        req: &ExecuteRequest<'_>,
+    ) -> Result<Prediction, SnapleError> {
+        self.validate_config()?;
+        let graph = deployment.graph();
+        req.validate_for(graph)?;
+        let mut engine = Engine::on(deployment).with_seed(req.seed().unwrap_or(self.config.seed));
         let mut state = vec![SnapleVertex::default(); graph.num_vertices()];
         if let Some(attrs) = req.attributes() {
             for (vertex, tags) in state.iter_mut().zip(attrs) {
@@ -181,7 +157,7 @@ impl Predictor for Snaple {
             }
         }
         let masks = req
-            .query_mask()
+            .query_mask(graph)
             .map(|q| StepMasks::build(graph, &q, self.config.path_length));
 
         engine.run_step_masked(
@@ -239,6 +215,66 @@ impl Predictor for Snaple {
     }
 }
 
+/// A SNAPLE predictor with its deployment (partition layout, presence
+/// masks, cost model) already built — returned by [`Snaple`]'s
+/// [`Predictor::prepare`].
+pub struct PreparedSnaple<'a> {
+    snaple: &'a Snaple,
+    deployment: Deployment<'a>,
+    setup: SetupStats,
+}
+
+impl<'a> PreparedSnaple<'a> {
+    /// The shared deployment this predictor executes on.
+    pub fn deployment(&self) -> &Deployment<'a> {
+        &self.deployment
+    }
+}
+
+impl PreparedPredictor for PreparedSnaple<'_> {
+    fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError> {
+        self.snaple.execute_on(&self.deployment, req)
+    }
+
+    fn setup(&self) -> &SetupStats {
+        &self.setup
+    }
+}
+
+impl Predictor for Snaple {
+    /// Builds the deployment (vertex-cut partition over the requested
+    /// cluster, cost model) once; the returned [`PreparedSnaple`] answers
+    /// any number of [`ExecuteRequest`]s against it.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] if `k` or `klocal` is zero or the
+    /// cluster shape is unusable.
+    fn prepare<'a>(
+        &'a self,
+        req: &PrepareRequest<'a>,
+    ) -> Result<Box<dyn PreparedPredictor + 'a>, SnapleError> {
+        self.validate_config()?;
+        let started = Instant::now();
+        let deployment = Deployment::new(
+            req.graph(),
+            req.cluster().clone(),
+            self.config.partition,
+            self.config.seed,
+        )?;
+        let setup = SetupStats {
+            prepare_wall_seconds: started.elapsed().as_secs_f64(),
+            partition_build_seconds: deployment.partition_build_seconds(),
+            replication_factor: deployment.replication_factor(),
+        };
+        Ok(Box::new(PreparedSnaple {
+            snaple: self,
+            deployment,
+            setup,
+        }))
+    }
+}
+
 /// The result of a SNAPLE run: per-vertex predicted edges plus execution
 /// statistics.
 #[derive(Clone, Debug)]
@@ -292,8 +328,8 @@ impl Prediction {
 mod tests {
     use super::*;
     use crate::config::{ScoreSpec, SelectionPolicy};
-    use crate::predictor_api::QuerySet;
-    use snaple_gas::EngineError;
+    use crate::predictor_api::{PredictRequest, QuerySet};
+    use snaple_gas::{ClusterSpec, EngineError};
     use snaple_graph::gen::datasets;
 
     fn v(i: u32) -> VertexId {
@@ -438,32 +474,39 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn legacy_wrappers_match_the_trait_api() {
+    fn prepared_execution_matches_one_shot_predicts() {
         let g = datasets::GOWALLA.emulate(0.004, 5);
         let cluster = ClusterSpec::type_ii(2);
         let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(10)));
-        let legacy = snaple.predict(&g, &cluster).unwrap();
-        let trait_based = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
-        for (u, preds) in legacy.iter() {
-            assert_eq!(preds, trait_based.for_vertex(u));
+        let prepared = snaple.prepare(&PrepareRequest::new(&g, &cluster)).unwrap();
+        assert!(prepared.setup().partition_build_seconds > 0.0);
+        assert!(prepared.setup().replication_factor >= 1.0);
+
+        // Execute-many against one deployment vs fresh one-shot predicts.
+        let full = prepared.execute(&ExecuteRequest::new()).unwrap();
+        let one_shot = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
+        for (u, preds) in full.iter() {
+            assert_eq!(preds, one_shot.for_vertex(u));
         }
+        // The prepared path amortizes the partition build; one-shot pays it.
+        assert_eq!(full.stats.partition_build_seconds, 0.0);
+        assert!(one_shot.stats.partition_build_seconds > 0.0);
 
         let attrs = vec![vec![1u32, 2]; g.num_vertices()];
-        let legacy = snaple
-            .predict_with_attributes(&g, &cluster, &attrs)
+        let with_attrs = prepared
+            .execute(&ExecuteRequest::new().with_attributes(&attrs))
             .unwrap();
-        let trait_based = Predictor::predict(
+        let one_shot_attrs = Predictor::predict(
             &snaple,
             &PredictRequest::new(&g, &cluster).with_attributes(&attrs),
         )
         .unwrap();
-        for (u, preds) in legacy.iter() {
-            assert_eq!(preds, trait_based.for_vertex(u));
+        for (u, preds) in with_attrs.iter() {
+            assert_eq!(preds, one_shot_attrs.for_vertex(u));
         }
         let short = vec![vec![1u32]; 2];
         assert!(matches!(
-            snaple.predict_with_attributes(&g, &cluster, &short),
+            prepared.execute(&ExecuteRequest::new().with_attributes(&short)),
             Err(SnapleError::InvalidConfig(_))
         ));
     }

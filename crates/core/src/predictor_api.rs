@@ -1,12 +1,55 @@
-//! The unified prediction API: [`Predictor`], [`PredictRequest`] and
-//! [`QuerySet`].
+//! The unified prediction API: [`Predictor`], [`PredictRequest`],
+//! [`QuerySet`], and the prepare/execute split
+//! ([`PrepareRequest`]/[`PreparedPredictor`]/[`ExecuteRequest`]).
 //!
 //! Every backend in the workspace — SNAPLE itself, the paper's BASELINE,
 //! the Cassovary-style random-walk comparator, and the supervised
-//! re-ranker — answers the same call:
+//! re-ranker — answers the same calls:
 //!
 //! ```text
+//! fn prepare(&self, req: &PrepareRequest<'_>) -> Result<Box<dyn PreparedPredictor>, SnapleError>
 //! fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError>
+//! ```
+//!
+//! # Prepare once, execute many
+//!
+//! A one-shot [`Predictor::predict`] rebuilds all heavy per-graph state —
+//! the O(edges) vertex-cut partition, the cost model, backend-specific
+//! precomputation — on every call. A serving deployment answering a stream
+//! of small query sets against the *same* graph and cluster should pay
+//! that setup once: [`Predictor::prepare`] builds a [`PreparedPredictor`]
+//! owning the immutable heavy state, and its
+//! [`execute`](PreparedPredictor::execute) answers any number of
+//! [`ExecuteRequest`]s (query subsets, optional attributes, optional seed
+//! override) against it. `predict` is a thin `prepare` + `execute`
+//! composition, so the two paths return bit-identical rows:
+//!
+//! ```
+//! use snaple_core::{
+//!     ExecuteRequest, PredictRequest, Predictor, PrepareRequest, QuerySet, ScoreSpec, Snaple,
+//!     SnapleConfig,
+//! };
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! // Pay the partition build once...
+//! let prepared = snaple.prepare(&PrepareRequest::new(&graph, &cluster))?;
+//! // ...then answer many requests against it.
+//! for seed in 0..3 {
+//!     let queries = QuerySet::sample(graph.num_vertices(), 50, seed);
+//!     let served = prepared.execute(&ExecuteRequest::new().with_queries(&queries))?;
+//!     let one_shot = snaple.predict(
+//!         &PredictRequest::new(&graph, &cluster).with_queries(&queries),
+//!     )?;
+//!     for q in queries.iter() {
+//!         assert_eq!(served.for_vertex(q), one_shot.for_vertex(q));
+//!     }
+//! }
+//! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 //!
 //! A [`PredictRequest`] bundles everything a prediction run needs: the
@@ -239,25 +282,218 @@ impl<'a> PredictRequest<'a> {
     }
 }
 
+/// The *prepare* half of a prediction lifecycle: the graph and the
+/// simulated cluster the heavy per-graph state should be built for.
+#[derive(Clone, Copy, Debug)]
+pub struct PrepareRequest<'a> {
+    graph: &'a CsrGraph,
+    cluster: &'a ClusterSpec,
+}
+
+impl<'a> PrepareRequest<'a> {
+    /// Creates a prepare request.
+    pub fn new(graph: &'a CsrGraph, cluster: &'a ClusterSpec) -> Self {
+        PrepareRequest { graph, cluster }
+    }
+
+    /// The graph to prepare for.
+    pub fn graph(&self) -> &'a CsrGraph {
+        self.graph
+    }
+
+    /// The simulated cluster to prepare for.
+    pub fn cluster(&self) -> &'a ClusterSpec {
+        self.cluster
+    }
+}
+
+/// The *execute* half of a prediction lifecycle: everything that may vary
+/// per request against a prepared graph/cluster — the query subset,
+/// optional per-vertex attributes, and an optional seed override for the
+/// randomized parts of a run (neighborhood truncation, `klocal` sampling,
+/// walk steps; the prepared partition layout is fixed and unaffected).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecuteRequest<'a> {
+    queries: Option<&'a QuerySet>,
+    attributes: Option<&'a [Vec<u32>]>,
+    seed: Option<u64>,
+}
+
+impl<'a> ExecuteRequest<'a> {
+    /// Creates an all-vertices request without attributes, running with
+    /// the predictor's configured seed.
+    pub fn new() -> Self {
+        ExecuteRequest::default()
+    }
+
+    /// Restricts execution to the sources in `queries`.
+    pub fn with_queries(mut self, queries: &'a QuerySet) -> Self {
+        self.queries = Some(queries);
+        self
+    }
+
+    /// Attaches per-vertex content attributes (see
+    /// [`PredictRequest::with_attributes`]).
+    pub fn with_attributes(mut self, attributes: &'a [Vec<u32>]) -> Self {
+        self.attributes = Some(attributes);
+        self
+    }
+
+    /// Overrides the seed of the run's randomized parts.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// The query subset, if any (`None` means all vertices).
+    pub fn queries(&self) -> Option<&'a QuerySet> {
+        self.queries
+    }
+
+    /// Per-vertex content attributes, if attached.
+    pub fn attributes(&self) -> Option<&'a [Vec<u32>]> {
+        self.attributes
+    }
+
+    /// The seed override, if any.
+    pub fn seed(&self) -> Option<u64> {
+        self.seed
+    }
+
+    /// Checks the request against the prepared graph: attributes must
+    /// cover every vertex and queried ids must exist.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] describing the mismatch.
+    pub fn validate_for(&self, graph: &CsrGraph) -> Result<(), SnapleError> {
+        if let Some(attrs) = self.attributes {
+            if attrs.len() != graph.num_vertices() {
+                return Err(SnapleError::InvalidConfig(format!(
+                    "attributes cover {} vertices but the graph has {}",
+                    attrs.len(),
+                    graph.num_vertices()
+                )));
+            }
+        }
+        if let Some(queries) = self.queries {
+            if let Some(max) = queries.max_id() {
+                if max.index() >= graph.num_vertices() {
+                    return Err(SnapleError::InvalidConfig(format!(
+                        "query vertex {} out of range: the graph has {} vertices",
+                        max,
+                        graph.num_vertices()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The active-vertex mask of the query subset over `graph` (`None`
+    /// for all-vertices requests).
+    pub fn query_mask(&self, graph: &CsrGraph) -> Option<VertexMask> {
+        self.queries.map(|q| q.to_mask(graph.num_vertices()))
+    }
+}
+
+/// One-time setup costs captured by [`Predictor::prepare`].
+#[derive(Clone, Debug, Default)]
+pub struct SetupStats {
+    /// Total host wall-clock seconds the `prepare` call took (partition
+    /// build plus backend-specific precomputation).
+    pub prepare_wall_seconds: f64,
+    /// Host wall-clock seconds of the vertex-cut partition build alone
+    /// (zero for backends that do not partition, e.g. random walks).
+    pub partition_build_seconds: f64,
+    /// Replication factor of the prepared partition (1.0 for
+    /// non-partitioning backends).
+    pub replication_factor: f64,
+}
+
+/// A predictor with its heavy per-graph state already built: the *execute
+/// many* half of the serving lifecycle.
+///
+/// Implementations own the immutable state `prepare` built — partition
+/// layout, replica/presence masks, cost model, degree tables, feature
+/// panel plans — and answer any number of [`ExecuteRequest`]s against it.
+/// `execute` must be deterministic: the same request always returns
+/// bit-identical rows, and those rows match a fresh one-shot
+/// [`Predictor::predict`] with the same graph, cluster, configuration and
+/// seed.
+pub trait PreparedPredictor {
+    /// Answers one request against the prepared state.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] for malformed requests (out-of-range
+    /// queries, short attribute tables, attributes on a structural-only
+    /// backend); [`SnapleError::Engine`] when the simulated cluster cannot
+    /// execute the run.
+    fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError>;
+
+    /// The setup costs paid at prepare time — what repeated `execute`
+    /// calls amortize.
+    fn setup(&self) -> &SetupStats;
+}
+
 /// The unified prediction interface every backend implements.
 ///
-/// Implementations must honor the whole request: run on
+/// Backends implement [`Predictor::prepare`]; the one-shot
+/// [`Predictor::predict`] is a provided `prepare` + `execute` composition,
+/// so implementations must honor the whole request there: run on
 /// [`PredictRequest::graph`] and [`PredictRequest::cluster`], respect
 /// [`PredictRequest::queries`] exactly (queried rows bit-identical to an
 /// all-vertices run, all other rows empty), and either consume or reject
 /// [`PredictRequest::attributes`].
 pub trait Predictor {
-    /// Runs one prediction request.
+    /// Builds the heavy per-graph state once, returning a
+    /// [`PreparedPredictor`] that answers many [`ExecuteRequest`]s.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] for unusable configurations or
+    /// cluster shapes.
+    fn prepare<'a>(
+        &'a self,
+        req: &PrepareRequest<'a>,
+    ) -> Result<Box<dyn PreparedPredictor + 'a>, SnapleError>;
+
+    /// Runs one prediction request: `prepare` + a single `execute`.
+    ///
+    /// The returned statistics include the partition build this one-shot
+    /// call paid for ([`snaple_gas::RunStats::partition_build_seconds`]);
+    /// a prepared predictor's `execute` reports zero there.
     ///
     /// # Errors
     ///
     /// [`SnapleError::InvalidConfig`] for unusable configurations or
     /// malformed requests; [`SnapleError::Engine`] when the simulated
     /// cluster cannot execute the run (e.g. memory exhaustion).
-    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError>;
+    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
+        req.validate()?;
+        let prepared = self.prepare(&PrepareRequest::new(req.graph(), req.cluster()))?;
+        let mut exec = ExecuteRequest::new();
+        if let Some(q) = req.queries() {
+            exec = exec.with_queries(q);
+        }
+        if let Some(a) = req.attributes() {
+            exec = exec.with_attributes(a);
+        }
+        let mut prediction = prepared.execute(&exec)?;
+        prediction.stats.partition_build_seconds += prepared.setup().partition_build_seconds;
+        Ok(prediction)
+    }
 }
 
 impl<P: Predictor + ?Sized> Predictor for &P {
+    fn prepare<'a>(
+        &'a self,
+        req: &PrepareRequest<'a>,
+    ) -> Result<Box<dyn PreparedPredictor + 'a>, SnapleError> {
+        (**self).prepare(req)
+    }
+
     fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
         (**self).predict(req)
     }

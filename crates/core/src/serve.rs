@@ -1,0 +1,405 @@
+//! The batching serve layer: answer a *stream* of query-set requests
+//! against one prepared predictor.
+//!
+//! A production "who to follow" deployment receives many small requests
+//! per second against the same graph. Two amortizations make that cheap
+//! here:
+//!
+//! 1. **Prepare once** — the [`Server`] holds a
+//!    [`PreparedPredictor`], so the O(edges) partition build and all
+//!    backend precomputation are paid a single time for the whole stream
+//!    (see [`Predictor::prepare`]).
+//! 2. **Coalesce requests** — [`Server::serve_batch`] unions the query
+//!    sets of concurrent requests into one active-vertex mask, runs the
+//!    masked supersteps once, and demultiplexes the rows back per
+//!    request. Because masked runs are *exact* (each queried row is
+//!    bit-identical to an all-vertices run), the demultiplexed rows are
+//!    bit-identical to executing every request individually — the batch
+//!    only shares the fixed per-superstep costs.
+//!
+//! ```
+//! use snaple_core::serve::Server;
+//! use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! let mut server = Server::new(&snaple, &graph, &cluster)?;
+//! // Four concurrent user requests, answered in one shared superstep run:
+//! let requests: Vec<QuerySet> = (0..4)
+//!     .map(|i| QuerySet::sample(graph.num_vertices(), 25, i))
+//!     .collect();
+//! let responses = server.serve_batch(&requests)?;
+//! assert_eq!(responses.len(), 4);
+//! println!("{}", server.stats().summary());
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
+
+use std::time::Instant;
+
+use snaple_gas::ClusterSpec;
+use snaple_graph::{CsrGraph, VertexId};
+
+use crate::error::SnapleError;
+use crate::predictor::Prediction;
+use crate::predictor_api::{
+    ExecuteRequest, Predictor, PrepareRequest, PreparedPredictor, QuerySet,
+};
+
+/// Aggregate statistics of a request stream served by a [`Server`].
+#[derive(Clone, Debug, Default)]
+pub struct ServerStats {
+    /// Requests answered.
+    pub requests: usize,
+    /// Shared superstep runs executed (one per served batch).
+    pub batches: usize,
+    /// Sum of per-request query counts, as received.
+    pub queries_received: usize,
+    /// Sum of the executed union-mask sizes — smaller than
+    /// `queries_received` whenever coalescing deduplicated overlapping
+    /// queries.
+    pub union_queries: usize,
+    /// Simulated cluster seconds across all shared runs.
+    pub simulated_seconds: f64,
+    /// Host wall-clock seconds spent serving (excludes setup).
+    pub serve_wall_seconds: f64,
+    /// Host wall-clock seconds the one-time `prepare` took.
+    pub setup_wall_seconds: f64,
+    /// Host wall-clock seconds of the one-time partition build within
+    /// setup.
+    pub partition_build_seconds: f64,
+    /// Replication factor of the prepared partition.
+    pub replication_factor: f64,
+}
+
+impl ServerStats {
+    /// Requests answered per host wall-clock second of serving.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.serve_wall_seconds > 0.0 {
+            self.requests as f64 / self.serve_wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean host latency per request in seconds (batch cost split evenly
+    /// across its requests).
+    pub fn mean_latency_seconds(&self) -> f64 {
+        if self.requests > 0 {
+            self.serve_wall_seconds / self.requests as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// How many received queries each executed union query stood for
+    /// (1.0 = no overlap between coalesced requests).
+    pub fn coalescing_factor(&self) -> f64 {
+        if self.union_queries > 0 {
+            self.queries_received as f64 / self.union_queries as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests in {} batches: {:.1} req/s, {:.2} ms mean latency, \
+             coalescing {:.2}x, setup {:.1} ms ({:.1} ms partition build), \
+             {:.2} simulated s",
+            self.requests,
+            self.batches,
+            self.throughput_rps(),
+            self.mean_latency_seconds() * 1e3,
+            self.coalescing_factor(),
+            self.setup_wall_seconds * 1e3,
+            self.partition_build_seconds * 1e3,
+            self.simulated_seconds,
+        )
+    }
+
+    /// Renders the stats as one JSON line for benchmark tracking.
+    pub fn to_bench_json(&self, name: &str) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"requests\":{},\"batches\":{},\
+             \"serve_wall_seconds\":{:.6},\"setup_wall_seconds\":{:.6},\
+             \"partition_build_seconds\":{:.6},\"throughput_rps\":{:.2},\
+             \"mean_latency_ms\":{:.4},\"coalescing\":{:.3},\
+             \"simulated_seconds\":{:.4},\"replication_factor\":{:.3}}}",
+            self.requests,
+            self.batches,
+            self.serve_wall_seconds,
+            self.setup_wall_seconds,
+            self.partition_build_seconds,
+            self.throughput_rps(),
+            self.mean_latency_seconds() * 1e3,
+            self.coalescing_factor(),
+            self.simulated_seconds,
+            self.replication_factor,
+        )
+    }
+
+    /// Appends [`ServerStats::to_bench_json`] to the file named by the
+    /// `BENCH_JSON` environment variable, if set (the same convention the
+    /// criterion harness uses).
+    pub fn write_bench_json(&self, name: &str) {
+        if let Ok(path) = std::env::var("BENCH_JSON") {
+            use std::io::Write;
+            if let Ok(mut f) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(f, "{}", self.to_bench_json(name));
+            }
+        }
+    }
+}
+
+/// Serves a stream of [`QuerySet`] requests against one prepared
+/// predictor, coalescing batches into shared masked supersteps.
+///
+/// See the [module docs](self) for the model and an example.
+pub struct Server<'a> {
+    prepared: Box<dyn PreparedPredictor + 'a>,
+    attributes: Option<&'a [Vec<u32>]>,
+    seed: Option<u64>,
+    stats: ServerStats,
+}
+
+impl<'a> Server<'a> {
+    /// Prepares `predictor` for `graph`/`cluster` and wraps it in a
+    /// server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from [`Predictor::prepare`].
+    pub fn new(
+        predictor: &'a dyn Predictor,
+        graph: &'a CsrGraph,
+        cluster: &'a ClusterSpec,
+    ) -> Result<Self, SnapleError> {
+        let started = Instant::now();
+        let prepared = predictor.prepare(&PrepareRequest::new(graph, cluster))?;
+        let setup_wall_seconds = started.elapsed().as_secs_f64();
+        let mut server = Server::from_prepared(prepared);
+        server.stats.setup_wall_seconds = setup_wall_seconds;
+        Ok(server)
+    }
+
+    /// Wraps an already-prepared predictor (e.g. one shared with other
+    /// consumers of the deployment).
+    pub fn from_prepared(prepared: Box<dyn PreparedPredictor + 'a>) -> Self {
+        let setup = prepared.setup();
+        let stats = ServerStats {
+            setup_wall_seconds: setup.prepare_wall_seconds,
+            partition_build_seconds: setup.partition_build_seconds,
+            replication_factor: setup.replication_factor,
+            ..ServerStats::default()
+        };
+        Server {
+            prepared,
+            attributes: None,
+            seed: None,
+            stats,
+        }
+    }
+
+    /// Attaches per-vertex content attributes applied to every request.
+    pub fn with_attributes(mut self, attributes: &'a [Vec<u32>]) -> Self {
+        self.attributes = Some(attributes);
+        self
+    }
+
+    /// Overrides the seed of every request's randomized parts.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Statistics of the stream served so far.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Answers one request (a batch of one).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying execute.
+    pub fn serve(&mut self, queries: &QuerySet) -> Result<Prediction, SnapleError> {
+        let mut responses = self.serve_batch(std::slice::from_ref(queries))?;
+        Ok(responses.pop().expect("one response per request"))
+    }
+
+    /// Answers a batch of concurrent requests through **one** shared
+    /// masked superstep run.
+    ///
+    /// The requests' query sets are unioned into a single mask, executed
+    /// once, and the resulting rows demultiplexed per request. Each
+    /// response is bit-identical to executing its request individually:
+    /// queried rows match, non-queried rows are empty. Every response
+    /// carries the statistics of the *shared* run (the batch's cost is
+    /// not attributed to individual requests).
+    ///
+    /// An empty batch returns no responses and executes nothing.
+    ///
+    /// Each response uses [`Prediction`]'s dense per-vertex row layout
+    /// (so it compares 1:1 with one-shot results) and owns a copy of the
+    /// shared run's statistics; for very large graphs with tiny requests
+    /// prefer reading rows out of a single [`Server::serve`] response per
+    /// wave instead of demultiplexing wide batches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying execute; on error
+    /// no request of the batch is counted as served.
+    pub fn serve_batch(&mut self, requests: &[QuerySet]) -> Result<Vec<Prediction>, SnapleError> {
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let started = Instant::now();
+        let union: QuerySet = requests.iter().flat_map(QuerySet::iter).collect();
+        let mut exec = ExecuteRequest::new().with_queries(&union);
+        if let Some(attrs) = self.attributes {
+            exec = exec.with_attributes(attrs);
+        }
+        if let Some(seed) = self.seed {
+            exec = exec.with_seed(seed);
+        }
+        let shared = self.prepared.execute(&exec)?;
+
+        let responses: Vec<Prediction> = requests
+            .iter()
+            .map(|request| {
+                let mut rows: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); shared.num_vertices()];
+                for q in request.iter() {
+                    rows[q.index()] = shared.for_vertex(q).to_vec();
+                }
+                Prediction::from_parts(rows, shared.stats.clone())
+            })
+            .collect();
+
+        self.stats.requests += requests.len();
+        self.stats.batches += 1;
+        self.stats.queries_received += requests.iter().map(QuerySet::len).sum::<usize>();
+        self.stats.union_queries += union.len();
+        self.stats.simulated_seconds += shared.simulated_seconds();
+        self.stats.serve_wall_seconds += started.elapsed().as_secs_f64();
+        Ok(responses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ScoreSpec, SnapleConfig};
+    use crate::predictor::Snaple;
+    use crate::predictor_api::PredictRequest;
+    use snaple_graph::gen::datasets;
+
+    fn setup() -> (CsrGraph, ClusterSpec, Snaple) {
+        let graph = datasets::GOWALLA.emulate(0.005, 3);
+        let cluster = ClusterSpec::type_ii(4);
+        let snaple = Snaple::new(
+            SnapleConfig::new(ScoreSpec::LinearSum)
+                .k(5)
+                .klocal(Some(10)),
+        );
+        (graph, cluster, snaple)
+    }
+
+    #[test]
+    fn batched_responses_are_bit_identical_to_individual_predicts() {
+        let (graph, cluster, snaple) = setup();
+        let requests: Vec<QuerySet> = (0..5)
+            .map(|i| QuerySet::sample(graph.num_vertices(), 40, i))
+            .collect();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let responses = server.serve_batch(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        for (request, response) in requests.iter().zip(&responses) {
+            let individual = Predictor::predict(
+                &snaple,
+                &PredictRequest::new(&graph, &cluster).with_queries(request),
+            )
+            .unwrap();
+            for (u, preds) in response.iter() {
+                if request.contains(u) {
+                    assert_eq!(preds, individual.for_vertex(u), "queried row {u}");
+                } else {
+                    assert!(preds.is_empty(), "non-queried row {u} must stay empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serve_and_serve_batch_agree() {
+        let (graph, cluster, snaple) = setup();
+        let q = QuerySet::sample(graph.num_vertices(), 30, 9);
+        let mut batched = Server::new(&snaple, &graph, &cluster).unwrap();
+        let from_batch = batched.serve_batch(std::slice::from_ref(&q)).unwrap();
+        let mut single = Server::new(&snaple, &graph, &cluster).unwrap();
+        let from_serve = single.serve(&q).unwrap();
+        for (u, preds) in from_serve.iter() {
+            assert_eq!(preds, from_batch[0].for_vertex(u));
+        }
+    }
+
+    #[test]
+    fn stats_track_the_stream_and_coalescing() {
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        assert!(server.stats().setup_wall_seconds > 0.0);
+        assert!(server.stats().partition_build_seconds > 0.0);
+        assert!(server.stats().replication_factor >= 1.0);
+        assert_eq!(server.stats().requests, 0);
+
+        // Two identical requests coalesce perfectly: the union is half
+        // the received query volume.
+        let q = QuerySet::sample(graph.num_vertices(), 50, 1);
+        server.serve_batch(&[q.clone(), q.clone()]).unwrap();
+        server.serve(&q).unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.queries_received, 150);
+        assert_eq!(stats.union_queries, 100);
+        assert!((stats.coalescing_factor() - 1.5).abs() < 1e-12);
+        assert!(stats.throughput_rps() > 0.0);
+        assert!(stats.mean_latency_seconds() > 0.0);
+        assert!(stats.simulated_seconds > 0.0);
+        let json = stats.to_bench_json("unit");
+        assert!(json.starts_with("{\"name\":\"unit\""), "{json}");
+        assert!(json.contains("\"requests\":3"), "{json}");
+        assert!(!stats.summary().is_empty());
+    }
+
+    #[test]
+    fn empty_batches_and_empty_query_sets_are_fine() {
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        assert!(server.serve_batch(&[]).unwrap().is_empty());
+        assert_eq!(server.stats().batches, 0);
+        let empty = QuerySet::from_indices([]);
+        let response = server.serve(&empty).unwrap();
+        assert_eq!(response.total_predictions(), 0);
+    }
+
+    #[test]
+    fn out_of_range_requests_fail_without_counting() {
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let bad = QuerySet::from_indices([graph.num_vertices() as u32 + 10]);
+        assert!(matches!(
+            server.serve(&bad),
+            Err(SnapleError::InvalidConfig(_))
+        ));
+        assert_eq!(server.stats().requests, 0);
+    }
+}

@@ -1,7 +1,7 @@
 //! SNAPLE's link prediction as a GAS program (paper Algorithm 2).
 //!
 //! The three steps share the [`SnapleVertex`] state and are usually driven
-//! by [`Snaple::predict`](crate::Snaple::predict); they are public so that
+//! by [`Snaple::execute_on`](crate::Snaple::execute_on); they are public so that
 //! applications can embed individual phases (e.g. reuse step 1+2 as a
 //! standalone neighbor-similarity pipeline).
 

@@ -49,6 +49,14 @@ pub struct Measurement {
     pub network_bytes: u64,
     /// Peak simulated per-node memory in bytes.
     pub peak_memory: u64,
+    /// Replication factor of the partition the run executed on (0 when
+    /// failed).
+    pub replication_factor: f64,
+    /// Host wall-clock seconds this run spent building its vertex-cut
+    /// partition — zero for runs executing on a prepared deployment,
+    /// which is how experiment tables surface the prepare-once
+    /// amortization win.
+    pub partition_seconds: f64,
     /// How the run ended.
     pub outcome: Outcome,
 }
@@ -69,6 +77,8 @@ impl Measurement {
                 wall_seconds: wall,
                 network_bytes: prediction.stats.total_network_bytes(),
                 peak_memory: prediction.stats.peak_memory(),
+                replication_factor: prediction.stats.replication_factor,
+                partition_seconds: prediction.stats.partition_build_seconds,
                 outcome: Outcome::Completed,
             },
             Err(SnapleError::Engine(e @ EngineError::ResourceExhausted { .. })) => Measurement {
@@ -78,6 +88,8 @@ impl Measurement {
                 wall_seconds: wall,
                 network_bytes: 0,
                 peak_memory: 0,
+                replication_factor: 0.0,
+                partition_seconds: 0.0,
                 outcome: Outcome::OutOfMemory {
                     detail: e.to_string(),
                 },
@@ -89,6 +101,8 @@ impl Measurement {
                 wall_seconds: wall,
                 network_bytes: 0,
                 peak_memory: 0,
+                replication_factor: 0.0,
+                partition_seconds: 0.0,
                 outcome: Outcome::Failed {
                     detail: e.to_string(),
                 },
@@ -190,6 +204,11 @@ mod tests {
         assert!(m.recall > 0.05, "recall {}", m.recall);
         assert!(m.simulated_seconds > 0.0);
         assert!(m.wall_seconds > 0.0);
+        assert!(m.replication_factor >= 1.0);
+        assert!(
+            m.partition_seconds > 0.0,
+            "one-shot runs pay the partition build"
+        );
     }
 
     #[test]

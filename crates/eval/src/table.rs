@@ -148,6 +148,12 @@ pub fn fmt_gain(g: f64) -> String {
     }
 }
 
+/// Formats seconds as milliseconds ("4.2"), for setup-cost columns where
+/// whole seconds would round everything to zero.
+pub fn fmt_millis(s: f64) -> String {
+    format!("{:.1}", s * 1e3)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,5 +198,6 @@ mod tests {
         assert_eq!(fmt_seconds(1.06), "1.1");
         assert_eq!(fmt_gain(2.31), "(2.3)");
         assert_eq!(fmt_gain(109.0), "(109)");
+        assert_eq!(fmt_millis(0.0042), "4.2");
     }
 }

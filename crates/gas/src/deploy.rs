@@ -1,0 +1,178 @@
+//! Prepared deployments: the shareable, immutable half of an engine.
+//!
+//! Building a vertex-cut partition is O(edges) — by far the most expensive
+//! part of setting up a GAS run. A [`Deployment`] bundles that partition
+//! with the cluster description and its calibrated [`CostModel`] so the
+//! whole package can be built **once** and then shared by any number of
+//! [`Engine`](crate::Engine)s (see [`Engine::on`](crate::Engine::on)):
+//!
+//! ```
+//! use snaple_gas::{ClusterSpec, Deployment, Engine, PartitionStrategy};
+//! use snaple_graph::CsrGraph;
+//!
+//! let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+//! let deployment = Deployment::new(&g, ClusterSpec::type_i(2),
+//!                                  PartitionStrategy::RandomVertexCut, 7)?;
+//! // Many engines, one partition: per-run accounting stays per-engine,
+//! // the O(edges) partition build is paid exactly once.
+//! let first = Engine::on(&deployment);
+//! let second = Engine::on(&deployment);
+//! assert_eq!(first.graph().num_edges(), second.graph().num_edges());
+//! # Ok::<(), snaple_gas::EngineError>(())
+//! ```
+//!
+//! This split is what turns a one-shot predictor into a *prepare once,
+//! execute many* server: the serving layers upstream
+//! (`snaple_core::Predictor::prepare`, `snaple_core::serve::Server`) hold a
+//! `Deployment` per graph/cluster pair and spin up a fresh engine per
+//! request stream step.
+
+use std::time::Instant;
+
+use snaple_graph::CsrGraph;
+
+use crate::cluster::ClusterSpec;
+use crate::cost::CostModel;
+use crate::error::EngineError;
+use crate::partition::{PartitionStrategy, PartitionedGraph};
+
+/// The immutable heavy state of a GAS run: graph, cluster, vertex-cut
+/// partition and cost model.
+///
+/// See the [module docs](self) for why this exists and how it is shared.
+#[derive(Clone, Debug)]
+pub struct Deployment<'g> {
+    graph: &'g CsrGraph,
+    cluster: ClusterSpec,
+    strategy: PartitionStrategy,
+    seed: u64,
+    part: PartitionedGraph,
+    cost: CostModel,
+    partition_build_seconds: f64,
+}
+
+impl<'g> Deployment<'g> {
+    /// Partitions `graph` over `cluster` and derives the cluster's cost
+    /// model, recording how long the partition build took on the host.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::InvalidConfig`] for unusable cluster shapes
+    /// (zero nodes, more than [`crate::partition::MAX_NODES`] nodes).
+    pub fn new(
+        graph: &'g CsrGraph,
+        cluster: ClusterSpec,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Result<Self, EngineError> {
+        let started = Instant::now();
+        let part = PartitionedGraph::build(graph, cluster.nodes, strategy, seed)?;
+        let partition_build_seconds = started.elapsed().as_secs_f64();
+        let cost = CostModel::for_cluster(&cluster);
+        Ok(Deployment {
+            graph,
+            cluster,
+            strategy,
+            seed,
+            part,
+            cost,
+            partition_build_seconds,
+        })
+    }
+
+    /// The graph this deployment partitions.
+    pub fn graph(&self) -> &'g CsrGraph {
+        self.graph
+    }
+
+    /// The simulated cluster.
+    pub fn cluster(&self) -> &ClusterSpec {
+        &self.cluster
+    }
+
+    /// The edge-placement strategy the partition was built with.
+    pub fn strategy(&self) -> PartitionStrategy {
+        self.strategy
+    }
+
+    /// The seed the partition was built with (also the default step seed of
+    /// engines running on this deployment).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The vertex-cut partition.
+    pub fn partitioned(&self) -> &PartitionedGraph {
+        &self.part
+    }
+
+    /// The cluster's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Host wall-clock seconds spent building the partition — the setup
+    /// cost that sharing a deployment amortizes away.
+    pub fn partition_build_seconds(&self) -> f64 {
+        self.partition_build_seconds
+    }
+
+    /// Replication factor of the partition.
+    pub fn replication_factor(&self) -> f64 {
+        self.part.replication_factor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn ring(n: u32) -> CsrGraph {
+        let edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        CsrGraph::from_edges(n as usize, &edges)
+    }
+
+    #[test]
+    fn deployment_captures_partition_and_timing() {
+        let g = ring(50);
+        let d =
+            Deployment::new(&g, ClusterSpec::type_i(4), PartitionStrategy::default(), 3).unwrap();
+        assert_eq!(d.partitioned().total_edges(), g.num_edges());
+        assert!(d.partition_build_seconds() >= 0.0);
+        assert!(d.replication_factor() >= 1.0);
+        assert_eq!(d.cluster().nodes, 4);
+        assert_eq!(d.seed(), 3);
+        assert_eq!(d.strategy(), PartitionStrategy::RandomVertexCut);
+    }
+
+    #[test]
+    fn deployment_rejects_invalid_clusters() {
+        let g = ring(10);
+        let starved = ClusterSpec {
+            nodes: 0,
+            ..ClusterSpec::type_i(1)
+        };
+        assert!(matches!(
+            Deployment::new(&g, starved, PartitionStrategy::default(), 0),
+            Err(EngineError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn deployment_partition_matches_a_direct_build() {
+        let g = ring(64);
+        let d = Deployment::new(
+            &g,
+            ClusterSpec::type_i(8),
+            PartitionStrategy::GreedyVertexCut,
+            9,
+        )
+        .unwrap();
+        let direct = PartitionedGraph::build(&g, 8, PartitionStrategy::GreedyVertexCut, 9).unwrap();
+        for n in 0..8 {
+            let node = NodeId::new(n);
+            assert_eq!(d.partitioned().node_edges(node), direct.node_edges(node));
+        }
+    }
+}

@@ -7,6 +7,7 @@ use snaple_graph::{CsrGraph, Direction, VertexId, VertexMask};
 
 use crate::cluster::{ClusterSpec, NodeId};
 use crate::cost::CostModel;
+use crate::deploy::Deployment;
 use crate::error::EngineError;
 use crate::partition::{PartitionStrategy, PartitionedGraph};
 use crate::program::{GasStep, GatherCtx, WorkTally};
@@ -16,66 +17,124 @@ use crate::stats::{NodeStats, RunStats, StepStats};
 /// Framing overhead charged per partial-gather message (vertex id + length).
 const MESSAGE_OVERHEAD: u64 = 8;
 
+/// The deployment an engine runs on: built for this engine alone, or
+/// borrowed from a prepared, shared [`Deployment`].
+#[derive(Debug)]
+enum DeploymentRef<'d> {
+    Owned(Deployment<'d>),
+    Shared(&'d Deployment<'d>),
+}
+
+impl<'d> DeploymentRef<'d> {
+    fn get(&self) -> &Deployment<'d> {
+        match self {
+            DeploymentRef::Owned(d) => d,
+            DeploymentRef::Shared(d) => d,
+        }
+    }
+}
+
 /// Executes GAS programs over a partitioned graph on a simulated cluster.
+///
+/// The immutable heavy state (partition, cost model) lives in a
+/// [`Deployment`]; per-run accounting ([`RunStats`], the step counter,
+/// injected failures) lives here. [`Engine::new`] builds a private
+/// deployment — the historical one-shot path — while [`Engine::on`] borrows
+/// a prepared one, so repeated runs over the same graph/cluster reuse the
+/// O(edges) partition instead of re-hashing every edge.
 ///
 /// See the [crate docs](crate) for the execution and accounting model and a
 /// complete example.
 #[derive(Debug)]
-pub struct Engine<'g> {
-    graph: &'g CsrGraph,
-    cluster: ClusterSpec,
-    part: PartitionedGraph,
-    cost: CostModel,
+pub struct Engine<'d> {
+    deployment: DeploymentRef<'d>,
+    cost_override: Option<CostModel>,
     run: RunStats,
     seed: u64,
     step_counter: usize,
     injected_failure: Option<(NodeId, usize)>,
 }
 
-impl<'g> Engine<'g> {
-    /// Partitions `graph` over `cluster` and prepares an engine.
+impl<'d> Engine<'d> {
+    /// Partitions `graph` over `cluster` and prepares an engine owning the
+    /// resulting deployment.
+    ///
+    /// The partition build time is recorded in the run's
+    /// [`RunStats::partition_build_seconds`]; engines created with
+    /// [`Engine::on`] report zero there because their deployment was
+    /// prepared ahead of time.
     ///
     /// # Errors
     ///
     /// Returns [`EngineError::InvalidConfig`] for unusable cluster shapes
     /// (zero nodes, more than [`crate::partition::MAX_NODES`] nodes).
     pub fn new(
-        graph: &'g CsrGraph,
+        graph: &'d CsrGraph,
         cluster: ClusterSpec,
         strategy: PartitionStrategy,
         seed: u64,
     ) -> Result<Self, EngineError> {
-        let part = PartitionedGraph::build(graph, cluster.nodes, strategy, seed)?;
-        let cost = CostModel::for_cluster(&cluster);
-        let replication_factor = part.replication_factor();
-        Ok(Engine {
-            graph,
-            cluster,
-            part,
-            cost,
+        let deployment = Deployment::new(graph, cluster, strategy, seed)?;
+        let partition_build_seconds = deployment.partition_build_seconds();
+        Ok(Engine::assemble(
+            DeploymentRef::Owned(deployment),
+            partition_build_seconds,
+        ))
+    }
+
+    /// Creates an engine running on a prepared, shared [`Deployment`] —
+    /// the *execute* half of prepare-once/execute-many serving.
+    ///
+    /// The engine inherits the deployment's seed for per-step randomness
+    /// (override with [`Engine::with_seed`]); its [`RunStats`] report a
+    /// partition build time of zero since setup was paid at prepare time.
+    pub fn on(deployment: &'d Deployment<'d>) -> Self {
+        Engine::assemble(DeploymentRef::Shared(deployment), 0.0)
+    }
+
+    fn assemble(deployment: DeploymentRef<'d>, partition_build_seconds: f64) -> Self {
+        let dep = deployment.get();
+        let replication_factor = dep.replication_factor();
+        let seed = dep.seed();
+        Engine {
+            deployment,
+            cost_override: None,
             run: RunStats {
                 steps: Vec::new(),
                 replication_factor,
+                partition_build_seconds,
             },
             seed,
             step_counter: 0,
             injected_failure: None,
-        })
+        }
+    }
+
+    /// Overrides the seed driving per-step randomness (partition placement
+    /// is fixed by the deployment and unaffected).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// The deployment this engine runs on.
+    pub fn deployment(&self) -> &Deployment<'d> {
+        self.deployment.get()
     }
 
     /// The graph this engine executes over.
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    pub fn graph(&self) -> &'d CsrGraph {
+        self.deployment.get().graph()
     }
 
     /// The simulated cluster.
     pub fn cluster(&self) -> &ClusterSpec {
-        &self.cluster
+        self.deployment.get().cluster()
     }
 
     /// The vertex-cut partition.
     pub fn partitioned(&self) -> &PartitionedGraph {
-        &self.part
+        self.deployment.get().partitioned()
     }
 
     /// Statistics accumulated so far.
@@ -93,9 +152,10 @@ impl<'g> Engine<'g> {
         self.run.simulated_seconds()
     }
 
-    /// Replaces the cost model (e.g. for sensitivity analyses).
+    /// Replaces the cost model for this engine's runs (e.g. for
+    /// sensitivity analyses); the shared deployment's model is untouched.
     pub fn set_cost_model(&mut self, cost: CostModel) {
-        self.cost = cost;
+        self.cost_override = Some(cost);
     }
 
     /// Arranges for `node` to fail when step number `at_step` (0-based,
@@ -148,19 +208,22 @@ impl<'g> Engine<'g> {
         state: &mut [S::Vertex],
         mask: Option<&VertexMask>,
     ) -> Result<&StepStats, EngineError> {
-        if state.len() != self.graph.num_vertices() {
+        let dep = self.deployment.get();
+        let graph = dep.graph();
+        let part = dep.partitioned();
+        if state.len() != graph.num_vertices() {
             return Err(EngineError::InvalidConfig(format!(
                 "state has {} entries but the graph has {} vertices",
                 state.len(),
-                self.graph.num_vertices()
+                graph.num_vertices()
             )));
         }
         if let Some(m) = mask {
-            if m.num_vertices() != self.graph.num_vertices() {
+            if m.num_vertices() != graph.num_vertices() {
                 return Err(EngineError::InvalidConfig(format!(
                     "mask ranges over {} vertices but the graph has {}",
                     m.num_vertices(),
-                    self.graph.num_vertices()
+                    graph.num_vertices()
                 )));
             }
         }
@@ -175,13 +238,13 @@ impl<'g> Engine<'g> {
             }
         }
 
-        let nodes = self.part.num_nodes();
-        let cap = self.cluster.memory_per_node;
+        let nodes = part.num_nodes();
+        let cap = dep.cluster().memory_per_node;
         let step_seed = hash2(self.seed, step_idx as u64, 0x57e9);
         let dir = step.gather_direction();
         // Read set of a masked step: active vertices plus the neighbors
         // their gathers read. Only this state needs replicas this step.
-        let read_mask: Option<VertexMask> = mask.map(|m| m.expand(self.graph, dir));
+        let read_mask: Option<VertexMask> = mask.map(|m| m.expand(graph, dir));
 
         // --- Broadcast phase: replicate vertex state to mirrors. ---------
         let state_bytes: Vec<u64> = state.iter().map(SizeEstimate::estimated_bytes).collect();
@@ -190,17 +253,17 @@ impl<'g> Engine<'g> {
         let mut broadcast_total = 0u64;
         for (n, base) in mem_base.iter_mut().enumerate() {
             // Static CSR share of this node: 8 bytes per stored edge.
-            *base = self.part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
+            *base = part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
         }
-        for v in self.graph.vertices() {
+        for v in graph.vertices() {
             if let Some(rm) = &read_mask {
                 if !rm.contains(v) {
                     continue;
                 }
             }
             let sb = state_bytes[v.index()];
-            let master = self.part.master(v).index();
-            let mut mask = self.part.presence_mask(v);
+            let master = part.master(v).index();
+            let mut mask = part.presence_mask(v);
             while mask != 0 {
                 let n = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
@@ -233,14 +296,17 @@ impl<'g> Engine<'g> {
             mem_peak: u64,
         }
 
-        let graph = self.graph;
-        let part = &self.part;
         let state_ro: &[S::Vertex] = state;
         let mem_base_ref = &mem_base;
 
+        // Spawn gather workers only for partitions that actually hold
+        // edges: on small or skewed graphs many simulated nodes are empty,
+        // and a scoped thread per empty node is pure overhead. Empty nodes
+        // contribute an empty tally directly.
         let gather_results: Vec<Result<NodeGather<S::Gather>, EngineError>> =
             thread::scope(|scope| {
                 let handles: Vec<_> = (0..nodes)
+                    .filter(|&n| !part.node_edges(NodeId::new(n as u16)).is_empty())
                     .map(|n| {
                         scope.spawn(move || {
                             let ctx = GatherCtx::new(graph, step_seed);
@@ -317,10 +383,25 @@ impl<'g> Engine<'g> {
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("gather worker panicked"))
-                    .collect()
+                let mut results: Vec<Result<NodeGather<S::Gather>, EngineError>> = (0..nodes)
+                    .filter(|&n| part.node_edges(NodeId::new(n as u16)).is_empty())
+                    .map(|n| {
+                        Ok(NodeGather {
+                            node: n,
+                            partials: Vec::new(),
+                            gather_calls: 0,
+                            sum_calls: 0,
+                            ops: 0,
+                            mem_peak: mem_base_ref[n],
+                        })
+                    })
+                    .collect();
+                results.extend(
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("gather worker panicked")),
+                );
+                results
             });
 
         let mut node_ops = vec![0u64; nodes];
@@ -331,7 +412,7 @@ impl<'g> Engine<'g> {
 
         // --- Merge partials at masters (deterministic node order). -------
         let mut acc: Vec<Option<(S::Gather, u64)>> =
-            (0..self.graph.num_vertices()).map(|_| None).collect();
+            (0..graph.num_vertices()).map(|_| None).collect();
         let mut master_extra = vec![0u64; nodes];
         let mut merge_tallies: Vec<WorkTally> = vec![WorkTally::new(); nodes];
         let mut ordered: Vec<NodeGather<S::Gather>> = Vec::with_capacity(nodes);
@@ -345,7 +426,7 @@ impl<'g> Engine<'g> {
             gather_calls += ng.gather_calls;
             sum_calls += ng.sum_calls;
             for (v, g, bytes) in ng.partials {
-                let master = self.part.master(v).index();
+                let master = part.master(v).index();
                 if master != ng.node {
                     let framed = bytes + MESSAGE_OVERHEAD;
                     net[ng.node] += framed;
@@ -382,16 +463,15 @@ impl<'g> Engine<'g> {
         // --- Apply phase at masters (parallel over vertex shards). --------
         let workers = thread::available_parallelism()
             .map_or(2, |p| p.get())
-            .min(self.graph.num_vertices().max(1));
-        let chunk = self.graph.num_vertices().div_ceil(workers).max(1);
-        let apply_calls = mask.map_or(self.graph.num_vertices(), VertexMask::len) as u64;
+            .min(graph.num_vertices().max(1));
+        let chunk = graph.num_vertices().div_ceil(workers).max(1);
+        let apply_calls = mask.map_or(graph.num_vertices(), VertexMask::len) as u64;
         let apply_node_ops: Vec<Vec<u64>> = thread::scope(|scope| {
             let handles: Vec<_> = state
                 .chunks_mut(chunk)
                 .zip(acc.chunks_mut(chunk))
                 .enumerate()
                 .map(|(ci, (state_chunk, acc_chunk))| {
-                    let part = &self.part;
                     scope.spawn(move || {
                         let ctx = GatherCtx::new(graph, step_seed);
                         let mut ops = vec![0u64; nodes];
@@ -445,9 +525,9 @@ impl<'g> Engine<'g> {
             per_node,
             simulated_seconds: 0.0,
         };
-        stats.simulated_seconds = self
-            .cost
-            .step_seconds(stats.max_node_ops(), stats.max_node_net_bytes());
+        let cost = self.cost_override.as_ref().unwrap_or_else(|| dep.cost());
+        stats.simulated_seconds =
+            cost.step_seconds(stats.max_node_ops(), stats.max_node_net_bytes());
         self.run.steps.push(stats);
         Ok(self.run.steps.last().expect("just pushed"))
     }
@@ -752,6 +832,98 @@ mod tests {
             engine.run_step_masked(&SumNeighbors, &mut state, Some(&mask)),
             Err(EngineError::InvalidConfig(_))
         ));
+    }
+
+    #[test]
+    fn shared_deployment_runs_match_owned_engines() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = gen::erdos_renyi(300, 2_500, &mut rng).into_symmetric_graph();
+        let init: Vec<u64> = (0..300).map(|i| i * 13 % 89).collect();
+
+        let mut owned_state = init.clone();
+        let mut owned = Engine::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        owned.run_step(&SumNeighbors, &mut owned_state).unwrap();
+        let owned_stats = owned.into_stats();
+        assert!(
+            owned_stats.partition_build_seconds > 0.0,
+            "one-shot engines pay the partition build"
+        );
+
+        let deployment = Deployment::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        for _ in 0..3 {
+            let mut state = init.clone();
+            let mut engine = Engine::on(&deployment);
+            engine.run_step(&SumNeighbors, &mut state).unwrap();
+            let stats = engine.into_stats();
+            assert_eq!(state, owned_state);
+            assert_eq!(stats.steps[0].work_ops, owned_stats.steps[0].work_ops);
+            assert_eq!(
+                stats.total_network_bytes(),
+                owned_stats.total_network_bytes()
+            );
+            assert_eq!(stats.peak_memory(), owned_stats.peak_memory());
+            assert_eq!(
+                stats.partition_build_seconds, 0.0,
+                "prepared deployments amortize the partition build"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_seed_override_changes_step_seeds_only() {
+        let g = ring(12);
+        let deployment = Deployment::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            5,
+        )
+        .unwrap();
+        // SumNeighbors is deterministic, so results must agree under any
+        // seed; the partition placement is untouched by construction.
+        let mut a = vec![1u64; 12];
+        Engine::on(&deployment)
+            .run_step(&SumNeighbors, &mut a)
+            .unwrap();
+        let mut b = vec![1u64; 12];
+        Engine::on(&deployment)
+            .with_seed(999)
+            .run_step(&SumNeighbors, &mut b)
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_partitions_still_account_their_static_memory() {
+        // 2 edges over 32 nodes: most partitions are empty, so the gather
+        // phase spawns at most 2 workers — and the empty nodes must still
+        // report their (zero-edge) base memory without skewing stats.
+        let g = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut engine = Engine::new(
+            &g,
+            ClusterSpec::type_i(32),
+            PartitionStrategy::RandomVertexCut,
+            2,
+        )
+        .unwrap();
+        let mut state = vec![1u64; 4];
+        let stats = engine.run_step(&SumNeighbors, &mut state).unwrap();
+        assert_eq!(stats.gather_calls, 2);
+        assert_eq!(stats.per_node.len(), 32);
+        // 0 and 2 take their successor's value; 1 and 3 have no out-edges.
+        assert_eq!(state, vec![1, 0, 1, 0]);
     }
 
     #[test]

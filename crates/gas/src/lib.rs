@@ -60,6 +60,7 @@
 
 pub mod cluster;
 pub mod cost;
+pub mod deploy;
 pub mod engine;
 pub mod error;
 pub mod partition;
@@ -70,6 +71,7 @@ pub mod stats;
 
 pub use cluster::{ClusterSpec, NodeId};
 pub use cost::CostModel;
+pub use deploy::Deployment;
 pub use engine::Engine;
 pub use error::EngineError;
 pub use partition::{PartitionStrategy, PartitionedGraph};

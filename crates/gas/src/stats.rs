@@ -73,6 +73,13 @@ pub struct RunStats {
     pub steps: Vec<StepStats>,
     /// Replication factor of the partition the run executed on.
     pub replication_factor: f64,
+    /// Host wall-clock seconds spent building the partition *for this
+    /// run*: the full O(edges) build for one-shot engines
+    /// ([`Engine::new`](crate::Engine::new)), zero for engines executing
+    /// on a prepared, shared [`Deployment`](crate::Deployment)
+    /// ([`Engine::on`](crate::Engine::on)) — which is how experiment
+    /// tables make the prepare-once amortization win visible.
+    pub partition_build_seconds: f64,
 }
 
 impl RunStats {
@@ -142,6 +149,7 @@ mod tests {
                 step(&[7], &[2], &[300], 0.5),
             ],
             replication_factor: 1.5,
+            partition_build_seconds: 0.0,
         };
         assert!((run.simulated_seconds() - 1.5).abs() < 1e-12);
         assert_eq!(run.peak_memory(), 300);

@@ -219,4 +219,67 @@ mod tests {
         }
         assert!(m.is_full());
     }
+
+    #[test]
+    fn expanding_an_empty_mask_stays_empty() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        for dir in [Direction::Out, Direction::In] {
+            let e = VertexMask::empty(4).expand(&g, dir);
+            assert!(e.is_empty());
+            assert_eq!(e.num_vertices(), 4);
+        }
+    }
+
+    #[test]
+    fn expanding_a_full_mask_stays_full() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        for dir in [Direction::Out, Direction::In] {
+            let f = VertexMask::full(5).expand(&g, dir);
+            assert!(f.is_full());
+            assert_eq!(f.len(), 5);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_expand_to_themselves() {
+        // 2 is fully isolated; 4 has only an in-edge.
+        let g = CsrGraph::from_edges(5, &[(0, 1), (3, 4)]);
+        let iso = VertexMask::from_vertices(5, [v(2)]);
+        assert_eq!(iso.expand_out(&g), iso);
+        assert_eq!(iso.expand(&g, Direction::In), iso);
+        // A sink vertex grows along In but not along Out.
+        let sink = VertexMask::from_vertices(5, [v(4)]);
+        assert_eq!(sink.expand_out(&g), sink);
+        assert_eq!(
+            sink.expand(&g, Direction::In).iter().collect::<Vec<_>>(),
+            vec![v(3), v(4)]
+        );
+    }
+
+    #[test]
+    fn in_and_out_expansion_differ_on_directed_graphs() {
+        // 0 → 1 → 2: from {1}, Out reaches 2, In reaches 0.
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let m = VertexMask::from_vertices(3, [v(1)]);
+        let out = m.expand(&g, Direction::Out);
+        let inward = m.expand(&g, Direction::In);
+        assert_eq!(out.iter().collect::<Vec<_>>(), vec![v(1), v(2)]);
+        assert_eq!(inward.iter().collect::<Vec<_>>(), vec![v(0), v(1)]);
+        assert_ne!(out, inward);
+    }
+
+    #[test]
+    fn expand_on_an_empty_graph_is_identity() {
+        let g = CsrGraph::from_edges(0, &[]);
+        let m = VertexMask::empty(0);
+        assert!(m.expand_out(&g).is_empty());
+        assert_eq!(m.expand_out(&g).num_vertices(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask does not match graph")]
+    fn expand_rejects_mismatched_sizes() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        VertexMask::empty(4).expand_out(&g);
+    }
 }

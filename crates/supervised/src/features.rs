@@ -2,8 +2,8 @@
 
 use std::collections::HashMap;
 
-use snaple_core::{PredictRequest, Predictor, QuerySet, Snaple, SnapleConfig, SnapleError};
-use snaple_gas::{ClusterSpec, RunStats};
+use snaple_core::{ExecuteRequest, QuerySet, Snaple, SnapleConfig, SnapleError};
+use snaple_gas::{ClusterSpec, Deployment, RunStats};
 use snaple_graph::{CsrGraph, VertexId};
 
 use crate::SupervisedConfig;
@@ -38,6 +38,42 @@ impl<'c> FeaturePanel<'c> {
         self.extract_for(graph, cluster, None)
     }
 
+    /// The SNAPLE configuration of panel column `col` — all columns share
+    /// one partition strategy and seed, which is what lets the whole
+    /// panel run on a single shared [`Deployment`].
+    fn column_config(&self, col: usize) -> SnapleConfig {
+        let cfg = self.config;
+        SnapleConfig::new(cfg.panel[col])
+            .k(cfg.pool)
+            .klocal(cfg.klocal)
+            .seed(cfg.seed)
+    }
+
+    /// Builds the deployment every panel column executes on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] for unusable cluster shapes.
+    pub fn deploy<'g>(
+        &self,
+        graph: &'g CsrGraph,
+        cluster: &ClusterSpec,
+    ) -> Result<Deployment<'g>, SnapleError> {
+        let cfg = self.config;
+        let base = SnapleConfig::new(
+            *cfg.panel
+                .first()
+                .ok_or_else(|| SnapleError::InvalidConfig("empty panel".into()))?,
+        )
+        .seed(cfg.seed);
+        Ok(Deployment::new(
+            graph,
+            cluster.clone(),
+            base.partition,
+            base.seed,
+        )?)
+    }
+
     /// Like [`FeaturePanel::extract`], optionally restricted to a query
     /// subset: every panel configuration runs targeted, so only the
     /// queried vertices get candidate rows — the serving path of the
@@ -52,7 +88,32 @@ impl<'c> FeaturePanel<'c> {
         cluster: &ClusterSpec,
         queries: Option<&QuerySet>,
     ) -> Result<CandidateTable, SnapleError> {
+        let deployment = self.deploy(graph, cluster)?;
+        let mut table = self.extract_on(&deployment, queries, None)?;
+        // This one-shot path paid for the partition build (once for the
+        // whole panel, not once per column).
+        table.stats.partition_build_seconds = deployment.partition_build_seconds();
+        Ok(table)
+    }
+
+    /// Runs the whole panel on a prepared, shared [`Deployment`] — the
+    /// serving path: one O(edges) partition build covers every feature
+    /// column of every request.
+    ///
+    /// `seed` overrides the randomized parts of each column's run (see
+    /// [`ExecuteRequest::with_seed`]); `None` keeps the panel seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying SNAPLE runs.
+    pub fn extract_on(
+        &self,
+        deployment: &Deployment<'_>,
+        queries: Option<&QuerySet>,
+        seed: Option<u64>,
+    ) -> Result<CandidateTable, SnapleError> {
         let cfg = self.config;
+        let graph = deployment.graph();
         let mut names: Vec<String> = cfg.panel.iter().map(|s| s.name().to_owned()).collect();
         if cfg.degree_features {
             names.push("log-out-degree(u)".into());
@@ -63,18 +124,16 @@ impl<'c> FeaturePanel<'c> {
         // candidate -> dense feature row, per vertex.
         let mut rows: Vec<HashMap<VertexId, Vec<f64>>> = vec![HashMap::new(); graph.num_vertices()];
         let mut stats = RunStats::default();
-        for (col, spec) in cfg.panel.iter().enumerate() {
-            let snaple = Snaple::new(
-                SnapleConfig::new(*spec)
-                    .k(cfg.pool)
-                    .klocal(cfg.klocal)
-                    .seed(cfg.seed),
-            );
-            let mut req = PredictRequest::new(graph, cluster);
+        for col in 0..cfg.panel.len() {
+            let snaple = Snaple::new(self.column_config(col));
+            let mut exec = ExecuteRequest::new();
             if let Some(q) = queries {
-                req = req.with_queries(q);
+                exec = exec.with_queries(q);
             }
-            let prediction = Predictor::predict(&snaple, &req)?;
+            if let Some(s) = seed {
+                exec = exec.with_seed(s);
+            }
+            let prediction = snaple.execute_on(deployment, &exec)?;
             stats.steps.extend(prediction.stats.steps.iter().cloned());
             stats.replication_factor = prediction.stats.replication_factor;
             for (u, preds) in prediction.iter() {

@@ -1,12 +1,12 @@
 #![warn(missing_docs)]
 
 //! Supervised link prediction on top of SNAPLE — the extension the paper
-//! names as future work (§7: *"One such path involve[s] the extension of
+//! names as future work (§7: *"One such path involve\[s\] the extension of
 //! SNAPLE to supervised link-prediction strategies, which may improve
 //! recall while taking advantage of distributed computing."*).
 //!
 //! The approach follows the classical supervised link-prediction recipe
-//! (Lichtenwalter et al., the paper's [22]) but keeps SNAPLE's distributed
+//! (Lichtenwalter et al., the paper's \[22\]) but keeps SNAPLE's distributed
 //! cost profile: all *features* are unsupervised SNAPLE scores, each
 //! computable with the same three-step GAS program, so the only additional
 //! work is a cheap logistic model over a handful of score columns.
@@ -44,8 +44,13 @@
 pub mod features;
 pub mod logistic;
 
-use snaple_core::{PredictRequest, Prediction, Predictor, ScoreSpec, SnapleError};
-use snaple_gas::ClusterSpec;
+use std::time::Instant;
+
+use snaple_core::{
+    ExecuteRequest, Prediction, Predictor, PrepareRequest, PreparedPredictor, ScoreSpec,
+    SetupStats, SnapleError,
+};
+use snaple_gas::{ClusterSpec, Deployment};
 use snaple_graph::CsrGraph;
 
 use crate::features::{CandidateTable, FeaturePanel};
@@ -210,23 +215,6 @@ impl TrainedModel {
             .zip(self.model.weights().iter().copied())
     }
 
-    /// Extracts the feature panel on `graph` and ranks each vertex's
-    /// candidate pool by the learned model.
-    ///
-    /// Thin compatibility wrapper over the [`Predictor`] trait.
-    #[deprecated(
-        since = "0.2.0",
-        note = "build a snaple_core::PredictRequest and call Predictor::predict; \
-                this wrapper is equivalent to predict(&PredictRequest::new(graph, cluster))"
-    )]
-    pub fn predict(
-        &self,
-        graph: &CsrGraph,
-        cluster: &ClusterSpec,
-    ) -> Result<Prediction, SnapleError> {
-        Predictor::predict(self, &PredictRequest::new(graph, cluster))
-    }
-
     /// The feature columns the model consumes, in weight order.
     pub fn feature_names(&self) -> &[String] {
         &self.feature_names
@@ -248,34 +236,73 @@ impl TrainedModel {
     }
 }
 
-impl Predictor for TrainedModel {
-    /// Extracts the feature panel (targeted when the request carries a
-    /// [`QuerySet`](snaple_core::QuerySet)) and ranks each requested
-    /// vertex's candidate pool by the learned model.
-    ///
-    /// # Errors
-    ///
-    /// Propagates [`SnapleError`] from the underlying SNAPLE runs;
-    /// [`SnapleError::InvalidConfig`] when attributes are attached (the
-    /// panel's configurations are structural).
-    fn predict(&self, req: &PredictRequest<'_>) -> Result<Prediction, SnapleError> {
-        req.validate()?;
+/// A trained supervised ranker with its feature-panel plan prepared: one
+/// shared [`Deployment`] serves every panel column of every request.
+pub struct PreparedModel<'a> {
+    model: &'a TrainedModel,
+    deployment: Deployment<'a>,
+    setup: SetupStats,
+}
+
+impl PreparedPredictor for PreparedModel<'_> {
+    fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError> {
+        let graph = self.deployment.graph();
+        req.validate_for(graph)?;
         if req.attributes().is_some() {
             return Err(SnapleError::InvalidConfig(
                 "the supervised panel scores structure only and accepts no content attributes"
                     .to_owned(),
             ));
         }
+        let panel = FeaturePanel::new(&self.model.config);
+        let table = panel.extract_on(&self.deployment, req.queries(), req.seed())?;
+        Ok(self.model.rank(graph, table))
+    }
+
+    fn setup(&self) -> &SetupStats {
+        &self.setup
+    }
+}
+
+impl Predictor for TrainedModel {
+    /// Prepares the feature-panel plan: one shared deployment (partition +
+    /// cost model) that every panel column of every subsequent
+    /// [`ExecuteRequest`] runs on — where the one-shot path used to
+    /// rebuild the partition once per column per call.
+    ///
+    /// The returned [`PreparedModel`] extracts the panel (targeted when
+    /// the request carries a [`QuerySet`](snaple_core::QuerySet)) and
+    /// ranks each requested vertex's candidate pool by the learned model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying SNAPLE runs;
+    /// [`SnapleError::InvalidConfig`] for empty panels or attached
+    /// attributes (the panel's configurations are structural).
+    fn prepare<'a>(
+        &'a self,
+        req: &PrepareRequest<'a>,
+    ) -> Result<Box<dyn PreparedPredictor + 'a>, SnapleError> {
+        let started = Instant::now();
         let panel = FeaturePanel::new(&self.config);
-        let table = panel.extract_for(req.graph(), req.cluster(), req.queries())?;
-        Ok(self.rank(req.graph(), table))
+        let deployment = panel.deploy(req.graph(), req.cluster())?;
+        let setup = SetupStats {
+            prepare_wall_seconds: started.elapsed().as_secs_f64(),
+            partition_build_seconds: deployment.partition_build_seconds(),
+            replication_factor: deployment.replication_factor(),
+        };
+        Ok(Box::new(PreparedModel {
+            model: self,
+            deployment,
+            setup,
+        }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use snaple_core::{Snaple, SnapleConfig};
+    use snaple_core::{PredictRequest, Snaple, SnapleConfig};
     use snaple_eval::{metrics, HoldOut};
     use snaple_graph::gen::datasets;
 

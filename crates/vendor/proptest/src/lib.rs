@@ -95,7 +95,7 @@ pub mod collection {
     use rand::rngs::StdRng;
     use rand::Rng;
 
-    /// Length specification for [`vec`]: a fixed size or a half-open range.
+    /// Length specification for [`fn@vec`]: a fixed size or a half-open range.
     #[derive(Clone, Debug)]
     pub struct SizeRange(std::ops::Range<usize>);
 

@@ -11,7 +11,9 @@
 //! ```
 
 use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple::core::serve::Server;
 use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+use snaple::eval::table::fmt_millis;
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -96,28 +98,49 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    // --- Serving mode: recommendations for the users who are online. -----
+    // --- Serving mode: a stream of requests from users coming online. ----
     //
     // A production Who-to-Follow deployment does not refresh every account
-    // on every request — it answers for the active users. Attaching a
-    // QuerySet restricts the run to those sources; the rows come back
-    // bit-identical to the batch run above, at a fraction of the work.
-    let active = QuerySet::sample(holdout.train.num_vertices(), 100, 7);
-    let served = Predictor::predict(
-        &snaple,
-        &PredictRequest::new(&holdout.train, &cluster).with_queries(&active),
-    )?;
-    for user in active.iter() {
-        assert_eq!(served.for_vertex(user), distributed.for_vertex(user));
+    // on every request — it answers for the users who are active, as they
+    // arrive. `Server` prepares the heavy state (the vertex-cut partition
+    // of the follower graph) once, then coalesces concurrent requests into
+    // shared masked superstep runs. Every served row is bit-identical to
+    // the batch run above.
+    let mut server = Server::new(&snaple, &holdout.train, &cluster)?;
+    let requests: Vec<QuerySet> = (0..30)
+        .map(|wave| QuerySet::sample(holdout.train.num_vertices(), 40, 7 + wave))
+        .collect();
+    for wave in requests.chunks(6) {
+        let responses = server.serve_batch(wave)?;
+        for (request, response) in wave.iter().zip(&responses) {
+            for user in request.iter() {
+                assert_eq!(response.for_vertex(user), distributed.for_vertex(user));
+            }
+        }
     }
+    let stats = server.stats();
     println!();
     println!(
-        "serving mode: {} active users answered with {:.1}% of the batch \
-         run's work ({} vs {} ops), identical rows",
-        active.len(),
-        100.0 * served.stats.total_work_ops() as f64 / distributed.stats.total_work_ops() as f64,
-        served.stats.total_work_ops(),
-        distributed.stats.total_work_ops(),
+        "serving mode: {} requests of 40 active users each, coalesced into \
+         {} shared runs — all rows identical to the batch run",
+        stats.requests, stats.batches
+    );
+    let mut costs = TextTable::new(vec!["cost", "ms", "paid"]);
+    costs.row(vec![
+        "partition build (setup)".into(),
+        fmt_millis(stats.partition_build_seconds),
+        "once per stream".into(),
+    ]);
+    costs.row(vec![
+        "mean serve latency".into(),
+        fmt_millis(stats.mean_latency_seconds()),
+        "per request".into(),
+    ]);
+    println!("{}", costs.render());
+    println!(
+        "  {:.0} requests/s served, coalescing factor {:.2}x",
+        stats.throughput_rps(),
+        stats.coalescing_factor()
     );
     Ok(())
 }

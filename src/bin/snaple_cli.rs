@@ -15,15 +15,20 @@
 //! snaple-cli predict --graph lj.snplg --queries 17,42,1001
 //! snaple-cli predict --graph lj.snplg --query-sample 1000
 //!
+//! # Serve a *stream* of requests: prepare once, coalesce batches
+//! snaple-cli serve --graph lj.snplg --requests stream.txt --batch 8
+//! snaple-cli serve --graph lj.snplg --request-count 100 --request-size 50
+//!
 //! # Evaluate prediction quality under the paper's hold-out protocol
 //! snaple-cli evaluate --graph lj.snplg --score counter --removals 1
 //! ```
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
+use snaple::core::serve::Server;
 use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut};
 use snaple::gas::ClusterSpec;
@@ -41,6 +46,7 @@ fn main() {
         "emulate" => cmd_emulate(&opts),
         "stats" => cmd_stats(&opts),
         "predict" => cmd_predict(&opts),
+        "serve" => cmd_serve(&opts),
         "evaluate" => cmd_evaluate(&opts),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
@@ -70,6 +76,10 @@ struct Options {
     symmetrize: bool,
     queries: Option<String>,
     query_sample: Option<usize>,
+    requests: Option<String>,
+    batch: usize,
+    request_count: Option<usize>,
+    request_size: usize,
 }
 
 impl Options {
@@ -85,6 +95,8 @@ impl Options {
             nodes: 4,
             machine: "type-ii".into(),
             removals: 1,
+            batch: 8,
+            request_size: 50,
             ..Options::default()
         };
         let mut it = args.iter();
@@ -126,6 +138,14 @@ impl Options {
                 "--queries" => o.queries = Some(value("--queries")),
                 "--query-sample" => {
                     o.query_sample = Some(parse_num(&value("--query-sample"), "--query-sample"))
+                }
+                "--requests" => o.requests = Some(value("--requests")),
+                "--batch" => o.batch = parse_num(&value("--batch"), "--batch"),
+                "--request-count" => {
+                    o.request_count = Some(parse_num(&value("--request-count"), "--request-count"))
+                }
+                "--request-size" => {
+                    o.request_size = parse_num(&value("--request-size"), "--request-size")
                 }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
@@ -208,6 +228,14 @@ commands:
             run SNAPLE and emit 'source target score' lines;
             --queries (comma-separated ids) or --query-sample (random
             subset of N sources) restrict the run to those users
+  serve     --graph FILE [prediction flags] [--batch N] [--out FILE]
+            (--requests FILE|- | --request-count N [--request-size M])
+            prepare once, then answer a stream of query-set requests,
+            coalescing up to --batch requests per shared superstep run;
+            --requests reads one request per line (comma-separated
+            vertex ids; '-' reads stdin), --request-count samples a
+            synthetic stream; emits 'request source target score' lines
+            and a throughput/latency summary
   evaluate  --graph FILE [--removals N] [prediction flags]
             [--queries IDS | --query-sample N]
             hold out edges, predict, and report recall/precision/MRR;
@@ -321,6 +349,94 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
         prediction.stats.total_network_bytes() as f64 / 1e6,
         prediction.stats.replication_factor,
     );
+    Ok(())
+}
+
+/// Parses a request stream: one request per line, comma-separated vertex
+/// ids; blank lines and `#` comments are skipped.
+fn parse_request_stream(reader: impl BufRead) -> Result<Vec<QuerySet>, String> {
+    let mut requests = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("request stream: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let ids: Result<Vec<u32>, _> = line.split(',').map(|s| s.trim().parse::<u32>()).collect();
+        let ids = ids.map_err(|_| {
+            format!(
+                "request stream line {}: expected comma-separated vertex ids, got {line:?}",
+                lineno + 1
+            )
+        })?;
+        requests.push(QuerySet::from_indices(ids));
+    }
+    Ok(requests)
+}
+
+fn cmd_serve(opts: &Options) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let cluster = opts.cluster()?;
+    let snaple = Snaple::new(opts.snaple_config()?);
+    let requests: Vec<QuerySet> = match (&opts.requests, opts.request_count) {
+        (Some(_), Some(_)) => {
+            return Err("--requests and --request-count are mutually exclusive".into())
+        }
+        (Some(path), None) if path == "-" => parse_request_stream(std::io::stdin().lock())?,
+        (Some(path), None) => {
+            let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_request_stream(BufReader::new(file))?
+        }
+        (None, Some(count)) => (0..count)
+            .map(|i| {
+                QuerySet::sample(
+                    graph.num_vertices(),
+                    opts.request_size,
+                    opts.seed.wrapping_add(i as u64),
+                )
+            })
+            .collect(),
+        (None, None) => return Err("missing --requests FILE or --request-count N".into()),
+    };
+    if opts.batch == 0 {
+        return Err("--batch must be at least 1".into());
+    }
+
+    let mut server = Server::new(&snaple, &graph, &cluster).map_err(|e| e.to_string())?;
+    let mut out: Box<dyn Write> = match &opts.out {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("{}: {e}", p.display()))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut request_idx = 0usize;
+    for chunk in requests.chunks(opts.batch) {
+        let responses = server.serve_batch(chunk).map_err(|e| e.to_string())?;
+        for (request, response) in chunk.iter().zip(&responses) {
+            for q in request.iter() {
+                for (z, score) in response.for_vertex(q) {
+                    writeln!(
+                        out,
+                        "{request_idx}\t{}\t{}\t{score}",
+                        q.as_u32(),
+                        z.as_u32()
+                    )
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            request_idx += 1;
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    let stats = server.stats();
+    eprintln!(
+        "served {} requests on {} ({} cores): {}",
+        requests.len(),
+        cluster.name,
+        cluster.total_cores(),
+        stats.summary()
+    );
+    stats.write_bench_json("snaple-cli-serve");
     Ok(())
 }
 

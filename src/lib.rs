@@ -73,6 +73,42 @@
 //! The same request type drives the BASELINE and random-walk backends, the
 //! supervised re-ranker, the [`eval`] runner, and the `snaple-cli predict
 //! --queries`/`--query-sample` flags.
+//!
+//! # Serving a request stream
+//!
+//! A stream of requests against the same graph should not rebuild the
+//! O(edges) partition per call. [`Predictor::prepare`] splits the
+//! lifecycle into *prepare once, execute many*, and
+//! [`Server`](core::serve::Server) layers request coalescing on top:
+//! concurrent query sets are unioned into one shared masked superstep
+//! run and demultiplexed into bit-identical per-request rows.
+//!
+//! [`Predictor::prepare`]: core::Predictor::prepare
+//!
+//! ```
+//! use snaple::core::serve::Server;
+//! use snaple::core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::gas::ClusterSpec;
+//! use snaple::graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! let mut server = Server::new(&snaple, &graph, &cluster)?;
+//! let wave: Vec<QuerySet> = (0..4)
+//!     .map(|i| QuerySet::sample(graph.num_vertices(), 50, i))
+//!     .collect();
+//! let responses = server.serve_batch(&wave)?;
+//! assert_eq!(responses.len(), 4);
+//! println!("{}", server.stats().summary());
+//! # Ok::<(), snaple::core::SnapleError>(())
+//! ```
+//!
+//! The CLI exposes the same layer as `snaple-cli serve --graph g.snplg
+//! --requests stream.txt --batch 8`, and
+//! `crates/bench/benches/serve.rs` tracks the end-to-end speedup over
+//! repeated one-shot `predict`s.
 
 pub use snaple_baseline as baseline;
 pub use snaple_cassovary as cassovary;

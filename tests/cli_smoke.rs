@@ -123,7 +123,83 @@ fn help_lists_all_commands() {
     let out = run(&["--help"]);
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stderr);
-    for cmd in ["emulate", "stats", "predict", "evaluate"] {
+    for cmd in ["emulate", "stats", "predict", "serve", "evaluate"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
+}
+
+#[test]
+fn serve_answers_request_streams_from_file_and_synthetic() {
+    let graph_path = tmp("serve.snplg");
+    let out = run(&[
+        "emulate",
+        "--dataset",
+        "gowalla",
+        "--scale",
+        "0.004",
+        "--seed",
+        "3",
+        "--out",
+        graph_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // A request stream file: three requests, comments and blanks skipped.
+    let stream_path = tmp("serve-requests.txt");
+    std::fs::write(&stream_path, "# online users\n0,1,2\n\n3, 4\n2,5\n").unwrap();
+    let out = run(&[
+        "serve",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--requests",
+        stream_path.to_str().unwrap(),
+        "--batch",
+        "2",
+        "--k",
+        "3",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for line in stdout.lines() {
+        assert_eq!(line.split('\t').count(), 4, "TSV rows: {line}");
+    }
+    // Rows are demultiplexed per request: indices stay in 0..3 (sources
+    // with no candidates legitimately produce no rows).
+    let request_ids: std::collections::HashSet<usize> = stdout
+        .lines()
+        .filter_map(|l| l.split('\t').next())
+        .map(|id| id.parse().unwrap())
+        .collect();
+    assert!(!request_ids.is_empty(), "{stdout}");
+    assert!(request_ids.iter().all(|&id| id < 3), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("served 3 requests"), "{stderr}");
+    assert!(stderr.contains("req/s"), "{stderr}");
+
+    // Synthetic streams work too, and conflicting flags are rejected.
+    let out = run(&[
+        "serve",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--request-count",
+        "4",
+        "--request-size",
+        "10",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let out = run(&["serve", "--graph", graph_path.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--requests"));
+
+    let _ = std::fs::remove_file(graph_path);
+    let _ = std::fs::remove_file(stream_path);
 }

@@ -1,0 +1,256 @@
+//! The prepare-once/execute-many contract and the batching serve layer,
+//! across every backend.
+//!
+//! The contract of [`Predictor::prepare`]:
+//!
+//! 1. **Determinism** — N sequential `execute` calls against one prepared
+//!    predictor, with the same seed, are bit-identical to N fresh
+//!    one-shot `predict` calls with the same configuration;
+//! 2. **Amortization** — only the one-shot path reports partition build
+//!    time in its [`RunStats`]; prepared executes report zero because the
+//!    setup was paid once at prepare time;
+//! 3. **Coalescing exactness** — a [`Server`] batch unions the requests'
+//!    query masks into one shared superstep run, and the demultiplexed
+//!    per-request rows are bit-identical to individually-executed
+//!    requests.
+//!
+//! [`RunStats`]: snaple::gas::RunStats
+
+use proptest::prelude::*;
+
+use snaple::baseline::{Baseline, BaselineConfig};
+use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple::core::serve::Server;
+use snaple::core::{
+    ExecuteRequest, PredictRequest, Predictor, PrepareRequest, QuerySet, ScoreSpec, Snaple,
+    SnapleConfig,
+};
+use snaple::gas::ClusterSpec;
+use snaple::graph::gen::datasets;
+use snaple::graph::{CsrGraph, GraphBuilder};
+
+fn graph_from(edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    b.reserve_vertices(1);
+    for (u, v) in edges {
+        b.add_edge(*u, *v);
+    }
+    b.build()
+}
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..40, 0u32..40), 1..300)
+}
+
+/// All three stateless backends with a fixed seed, behind the trait.
+fn backends() -> Vec<(&'static str, Box<dyn Predictor>)> {
+    vec![
+        (
+            "snaple",
+            Box::new(Snaple::new(
+                SnapleConfig::new(ScoreSpec::LinearSum)
+                    .k(5)
+                    .klocal(Some(8))
+                    .seed(42),
+            )),
+        ),
+        (
+            "baseline",
+            Box::new(Baseline::new(BaselineConfig::new().k(5).seed(42))),
+        ),
+        (
+            "random-walk-ppr",
+            Box::new(RandomWalkPpr::new(
+                RandomWalkConfig::new().walks(15).depth(3).seed(42),
+            )),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `prepare` once + `execute` K times (same seed) produces rows
+    /// bit-identical to K independent `predict` calls, for every backend,
+    /// on arbitrary graphs and query sets.
+    #[test]
+    fn prepare_execute_matches_fresh_predicts(
+        edges in edges_strategy(),
+        query_seed in 0u64..1_000,
+        query_count in 1usize..20,
+    ) {
+        let graph = graph_from(&edges);
+        let cluster = ClusterSpec::type_ii(2);
+        for (label, predictor) in backends() {
+            let prepared = predictor
+                .prepare(&PrepareRequest::new(&graph, &cluster))
+                .unwrap();
+            for k in 0..3u64 {
+                let queries = QuerySet::sample(
+                    graph.num_vertices(),
+                    query_count.min(graph.num_vertices()),
+                    query_seed + k,
+                );
+                let executed = prepared
+                    .execute(&ExecuteRequest::new().with_queries(&queries))
+                    .unwrap();
+                let fresh = predictor
+                    .predict(&PredictRequest::new(&graph, &cluster).with_queries(&queries))
+                    .unwrap();
+                prop_assert_eq!(executed.num_vertices(), fresh.num_vertices());
+                for (u, preds) in executed.iter() {
+                    prop_assert_eq!(
+                        preds,
+                        fresh.for_vertex(u),
+                        "{}: row {} diverged on execute #{}",
+                        label,
+                        u,
+                        k
+                    );
+                }
+            }
+        }
+    }
+
+    /// Server batches demultiplex to exactly the rows individual predicts
+    /// produce, on arbitrary graphs and request mixes.
+    #[test]
+    fn server_batches_match_individual_predicts(
+        edges in edges_strategy(),
+        request_seed in 0u64..1_000,
+    ) {
+        let graph = graph_from(&edges);
+        let cluster = ClusterSpec::type_ii(2);
+        let snaple = Snaple::new(
+            SnapleConfig::new(ScoreSpec::Counter).k(4).klocal(Some(6)).seed(7),
+        );
+        let requests: Vec<QuerySet> = (0..4)
+            .map(|i| {
+                QuerySet::sample(
+                    graph.num_vertices(),
+                    (graph.num_vertices() / 4).max(1),
+                    request_seed + i,
+                )
+            })
+            .collect();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let responses = server.serve_batch(&requests).unwrap();
+        for (request, response) in requests.iter().zip(&responses) {
+            let individual = snaple
+                .predict(&PredictRequest::new(&graph, &cluster).with_queries(request))
+                .unwrap();
+            for (u, preds) in response.iter() {
+                if request.contains(u) {
+                    prop_assert_eq!(preds, individual.for_vertex(u), "row {}", u);
+                } else {
+                    prop_assert!(preds.is_empty(), "non-queried row {} not empty", u);
+                }
+            }
+        }
+    }
+}
+
+/// Executes with an explicit seed override match fresh predicts whose
+/// configuration carries that seed — the "same seed" leg of the
+/// determinism contract on a realistic graph.
+#[test]
+fn seed_override_matches_reseeded_one_shot_runs() {
+    let graph = datasets::GOWALLA.emulate(0.004, 11);
+    let cluster = ClusterSpec::type_ii(4);
+    // Counter scores count paths exactly, so rows are bit-identical even
+    // across *different* partitions (the same guarantee the engine's
+    // cross-cluster tests rely on); float-summing scorers like linearSum
+    // are only bit-stable on an identical partition.
+    let base = SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(Some(10));
+    let snaple = Snaple::new(base.clone().seed(1));
+    let prepared = snaple
+        .prepare(&PrepareRequest::new(&graph, &cluster))
+        .unwrap();
+    let queries = QuerySet::sample(graph.num_vertices(), 60, 5);
+    for seed in [2u64, 3, 99] {
+        let executed = prepared
+            .execute(&ExecuteRequest::new().with_queries(&queries).with_seed(seed))
+            .unwrap();
+        // A fresh predictor configured with that seed partitions
+        // differently (it hashes edge placement with the config seed),
+        // but the prediction itself must match.
+        let fresh = Snaple::new(base.clone().seed(seed))
+            .predict(&PredictRequest::new(&graph, &cluster).with_queries(&queries))
+            .unwrap();
+        for q in queries.iter() {
+            assert_eq!(executed.for_vertex(q), fresh.for_vertex(q), "row {q}");
+        }
+    }
+}
+
+/// The supervised re-ranker also serves: its prepared form shares one
+/// deployment across the whole feature panel and matches one-shot rows.
+#[test]
+fn supervised_prepared_execution_matches_one_shot() {
+    use snaple::supervised::{SupervisedConfig, SupervisedSnaple};
+    let graph = datasets::GOWALLA.emulate(0.004, 3);
+    let cluster = ClusterSpec::type_ii(2);
+    let model = SupervisedSnaple::new(SupervisedConfig::new().k(3).seed(3))
+        .train(&graph, &cluster)
+        .unwrap();
+    let prepared = model
+        .prepare(&PrepareRequest::new(&graph, &cluster))
+        .unwrap();
+    assert!(prepared.setup().partition_build_seconds > 0.0);
+    let queries = QuerySet::sample(graph.num_vertices(), 30, 9);
+    let executed = prepared
+        .execute(&ExecuteRequest::new().with_queries(&queries))
+        .unwrap();
+    let one_shot = model
+        .predict(&PredictRequest::new(&graph, &cluster).with_queries(&queries))
+        .unwrap();
+    for (u, preds) in executed.iter() {
+        assert_eq!(preds, one_shot.for_vertex(u), "row {u}");
+    }
+    // The panel's one-shot path builds its shared partition once; the
+    // prepared path amortizes even that away.
+    assert!(one_shot.stats.partition_build_seconds > 0.0);
+    assert_eq!(executed.stats.partition_build_seconds, 0.0);
+}
+
+/// A served stream through one `Server` does strictly less host work
+/// than repeated one-shot predicts — the amortization the serve layer
+/// exists for, measured by the partition builds it skips.
+#[test]
+fn served_streams_amortize_partition_builds() {
+    let graph = datasets::GOWALLA.emulate(0.005, 7);
+    let cluster = ClusterSpec::type_ii(4);
+    let snaple = Snaple::new(
+        SnapleConfig::new(ScoreSpec::LinearSum)
+            .k(5)
+            .klocal(Some(10)),
+    );
+    let requests: Vec<QuerySet> = (0..12)
+        .map(|i| QuerySet::sample(graph.num_vertices(), 20, i))
+        .collect();
+
+    let mut one_shot_partition_seconds = 0.0;
+    for q in &requests {
+        let p = snaple
+            .predict(&PredictRequest::new(&graph, &cluster).with_queries(q))
+            .unwrap();
+        assert!(p.stats.partition_build_seconds > 0.0);
+        one_shot_partition_seconds += p.stats.partition_build_seconds;
+    }
+
+    let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+    for chunk in requests.chunks(4) {
+        server.serve_batch(chunk).unwrap();
+    }
+    let stats = server.stats();
+    assert_eq!(stats.requests, 12);
+    assert_eq!(stats.batches, 3);
+    assert!(
+        stats.partition_build_seconds < one_shot_partition_seconds,
+        "served stream must pay less partition-build time than {} one-shots \
+         ({} vs {})",
+        requests.len(),
+        stats.partition_build_seconds,
+        one_shot_partition_seconds
+    );
+}
