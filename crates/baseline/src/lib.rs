@@ -404,6 +404,13 @@ impl PreparedPredictor for PreparedBaseline<'_> {
         self.baseline.execute_on(&self.deployment, req)
     }
 
+    fn apply_delta(
+        &mut self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<snaple_gas::DeltaStats, SnapleError> {
+        Ok(self.deployment.apply_delta(delta)?)
+    }
+
     fn setup(&self) -> &SetupStats {
         &self.setup
     }

@@ -1,0 +1,151 @@
+//! Streaming-update microbenchmarks: incremental `Deployment::apply_delta`
+//! vs a full re-prepare, across delta sizes.
+//!
+//! `apply-delta/churn-X` measures one *steady-state* incremental cycle: a
+//! churn delta applied, then its inverse (re-inserting what was removed,
+//! retracting what was added), so the deployment returns to its starting
+//! state without any untimed cloning inside the loop — one iteration is
+//! therefore **two** applies. `full-reprepare/churn-X` measures what a
+//! delta-less system pays instead: rebuilding the mutated graph from its
+//! edge list plus a cold partition build. The phase benchmarks
+//! (`resolve`, `compact`, `partition-build`, `graph-rebuild`) decompose
+//! the two paths.
+//!
+//! Env knobs: `STREAMING_BENCH_SCALE` multiplies the default graph scale
+//! (CI smoke runs use a small value).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use snaple_bench::churn_delta;
+use snaple_gas::{ClusterSpec, Deployment, PartitionStrategy, PartitionedGraph};
+use snaple_graph::gen::datasets;
+use snaple_graph::{CsrGraph, GraphBuilder, GraphDelta};
+
+const SEED: u64 = 42;
+
+fn scale() -> f64 {
+    let base = 0.02;
+    std::env::var("STREAMING_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map_or(base, |s| base * s)
+}
+
+/// The delta that undoes `delta` against `base` (so apply/undo cycles
+/// keep the deployment in a steady state).
+fn inverse_delta(base: &CsrGraph, delta: &GraphDelta) -> GraphDelta {
+    let overlay = delta.resolve(base);
+    let mut inverse = GraphDelta::new();
+    for (u, v, _) in overlay.inserted_edges() {
+        inverse.remove(u.as_u32(), v.as_u32());
+    }
+    for (u, v) in overlay.removed_edges() {
+        inverse.insert(u.as_u32(), v.as_u32());
+    }
+    inverse
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let graph = datasets::GOWALLA.emulate(scale(), SEED);
+    let cluster = ClusterSpec::type_ii(4);
+    println!(
+        "streaming bench graph: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let mut group = c.benchmark_group("streaming");
+    group.sample_size(15);
+    for churn in [0.001, 0.01] {
+        let delta = churn_delta(&graph, churn, SEED);
+        let inverse = inverse_delta(&graph, &delta);
+
+        // Steady-state incremental cycle: one iteration = 2 applies.
+        let mut deployment = Deployment::new(
+            &graph,
+            cluster.clone(),
+            PartitionStrategy::RandomVertexCut,
+            SEED,
+        )
+        .expect("deployment");
+        group.bench_with_input(
+            BenchmarkId::new("apply-delta-x2", format!("churn-{churn}")),
+            &churn,
+            |b, _| {
+                b.iter(|| {
+                    deployment.apply_delta(&delta).expect("apply");
+                    deployment.apply_delta(&inverse).expect("undo");
+                })
+            },
+        );
+
+        // What the delta-less path pays per update batch.
+        let mutated = graph.compact(&delta);
+        let mutated_edges: Vec<(u32, u32)> = mutated
+            .edges()
+            .map(|(u, v)| (u.as_u32(), v.as_u32()))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("full-reprepare", format!("churn-{churn}")),
+            &churn,
+            |b, _| {
+                b.iter(|| {
+                    let mut builder = GraphBuilder::with_capacity(mutated_edges.len());
+                    builder.reserve_vertices(graph.num_vertices());
+                    for &(u, v) in &mutated_edges {
+                        builder.add_edge(u, v);
+                    }
+                    let rebuilt = builder.build();
+                    let deployment = Deployment::new(
+                        &rebuilt,
+                        cluster.clone(),
+                        PartitionStrategy::RandomVertexCut,
+                        SEED,
+                    )
+                    .expect("rebuild");
+                    deployment.replication_factor()
+                })
+            },
+        );
+
+        // Phase decomposition of the incremental path...
+        group.bench_with_input(
+            BenchmarkId::new("phase-resolve", format!("churn-{churn}")),
+            &churn,
+            |b, _| b.iter(|| delta.resolve(&graph)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("phase-compact", format!("churn-{churn}")),
+            &churn,
+            |b, _| b.iter(|| graph.compact(&delta)),
+        );
+        // ...and of the cold path.
+        group.bench_with_input(
+            BenchmarkId::new("phase-partition-build", format!("churn-{churn}")),
+            &churn,
+            |b, _| {
+                b.iter(|| {
+                    PartitionedGraph::build(&mutated, 4, PartitionStrategy::RandomVertexCut, SEED)
+                        .expect("partition")
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("phase-graph-rebuild", format!("churn-{churn}")),
+            &churn,
+            |b, _| {
+                b.iter(|| {
+                    let mut builder = GraphBuilder::with_capacity(mutated_edges.len());
+                    builder.reserve_vertices(graph.num_vertices());
+                    for &(u, v) in &mutated_edges {
+                        builder.add_edge(u, v);
+                    }
+                    builder.build()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_streaming);
+criterion_main!(benches);

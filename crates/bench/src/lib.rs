@@ -22,6 +22,8 @@ use std::process::exit;
 
 use snaple_eval::{EvalDataset, TextTable};
 use snaple_gas::ClusterSpec;
+use snaple_graph::hash::hash2;
+use snaple_graph::{CsrGraph, GraphDelta, VertexId};
 
 /// Common command-line arguments of every experiment binary.
 #[derive(Clone, Debug)]
@@ -165,4 +167,43 @@ pub fn scaled_cluster(base: ClusterSpec, ds: &EvalDataset) -> ClusterSpec {
 pub fn emit(args: &ExpArgs, name: &str, table: &TextTable) {
     println!("{}", table.render());
     args.persist(name, table);
+}
+
+/// Deterministic churn batch for the streaming experiments: removes
+/// `churn/2 · |E|` hash-ranked existing edges and inserts the same
+/// number of hash-probed non-edges. Shared by `exp_streaming` and the
+/// criterion streaming bench so both measure the identical workload.
+pub fn churn_delta(graph: &CsrGraph, churn: f64, seed: u64) -> GraphDelta {
+    let half = ((graph.num_edges() as f64 * churn / 2.0).round() as usize).max(1);
+    let n = graph.num_vertices() as u64;
+    let mut delta = GraphDelta::new();
+    // Remove: hash-rank all edges, retract the lowest-ranked `half`.
+    let mut ranked: Vec<(u64, u32, u32)> = graph
+        .edges()
+        .map(|(u, v)| {
+            (
+                hash2(seed, u.as_u32() as u64, v.as_u32() as u64),
+                u.as_u32(),
+                v.as_u32(),
+            )
+        })
+        .collect();
+    ranked.sort_unstable();
+    for &(_, u, v) in ranked.iter().take(half) {
+        delta.remove(u, v);
+    }
+    // Insert: probe hash-generated pairs until `half` non-edges found.
+    let mut inserted = 0usize;
+    let mut probe = 0u64;
+    while inserted < half {
+        let u = (hash2(seed ^ 0xadd, probe, 1) % n) as u32;
+        let v = (hash2(seed ^ 0xadd, probe, 2) % n) as u32;
+        probe += 1;
+        if u == v || graph.has_edge(VertexId::new(u), VertexId::new(v)) {
+            continue;
+        }
+        delta.insert(u, v);
+        inserted += 1;
+    }
+    delta
 }

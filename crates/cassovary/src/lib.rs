@@ -266,7 +266,7 @@ impl RandomWalkPpr {
         let stats = RunStats {
             steps: vec![step],
             replication_factor: 1.0,
-            partition_build_seconds: 0.0,
+            ..RunStats::default()
         };
         Prediction::from_parts(predictions, stats)
     }
@@ -278,19 +278,22 @@ impl RandomWalkPpr {
 ///
 /// Random walks need no partition, so `prepare` is cheap here — but going
 /// through the same lifecycle lets the serving layer treat every backend
-/// uniformly.
+/// uniformly. The graph starts as a borrow and becomes owned once a
+/// delta is applied (see [`PreparedPredictor::apply_delta`]), so a served
+/// stream can keep mutating it in place.
 pub struct PreparedWalk<'a> {
     ppr: &'a RandomWalkPpr,
-    graph: &'a CsrGraph,
+    graph: std::borrow::Cow<'a, CsrGraph>,
     cost: CostModel,
     storage_bytes: u64,
     all_vertices: Vec<VertexId>,
+    delta_apply_seconds: f64,
     setup: SetupStats,
 }
 
 impl PreparedPredictor for PreparedWalk<'_> {
     fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError> {
-        req.validate_for(self.graph)?;
+        req.validate_for(&self.graph)?;
         if req.attributes().is_some() {
             return Err(SnapleError::InvalidConfig(
                 "random-walk PPR scores structure only and accepts no content attributes"
@@ -301,13 +304,46 @@ impl PreparedPredictor for PreparedWalk<'_> {
             Some(q) => q.as_slice(),
             None => &self.all_vertices,
         };
-        Ok(self.ppr.walk(
-            self.graph,
+        let mut prediction = self.ppr.walk(
+            &self.graph,
             &self.cost,
             self.storage_bytes,
             targets,
             req.seed().unwrap_or(self.ppr.config.seed),
-        ))
+        );
+        prediction.stats.delta_apply_seconds = self.delta_apply_seconds;
+        Ok(prediction)
+    }
+
+    /// Folds the delta into the owned graph and refreshes the per-graph
+    /// tables (storage footprint, target list). Partition-free: the
+    /// touched-partition count is always zero.
+    fn apply_delta(
+        &mut self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<snaple_gas::DeltaStats, SnapleError> {
+        let started = Instant::now();
+        let overlay = delta.resolve(&self.graph);
+        let grown_vertices = overlay.num_vertices() - self.graph.num_vertices();
+        let stats = snaple_gas::DeltaStats {
+            inserted_edges: overlay.num_inserted(),
+            removed_edges: overlay.num_removed(),
+            grown_vertices,
+            touched_partitions: 0,
+            apply_wall_seconds: 0.0,
+        };
+        if !overlay.is_noop() {
+            let mutated = self.graph.compact_overlay(&overlay);
+            self.storage_bytes = mutated.storage_bytes();
+            self.all_vertices = mutated.vertices().collect();
+            self.graph = std::borrow::Cow::Owned(mutated);
+        }
+        let apply_wall_seconds = started.elapsed().as_secs_f64();
+        self.delta_apply_seconds += apply_wall_seconds;
+        Ok(snaple_gas::DeltaStats {
+            apply_wall_seconds,
+            ..stats
+        })
     }
 
     fn setup(&self) -> &SetupStats {
@@ -347,10 +383,11 @@ impl Predictor for RandomWalkPpr {
         };
         Ok(Box::new(PreparedWalk {
             ppr: self,
-            graph,
+            graph: std::borrow::Cow::Borrowed(graph),
             cost,
             storage_bytes,
             all_vertices,
+            delta_apply_seconds: 0.0,
             setup,
         }))
     }

@@ -145,4 +145,6 @@ pub use predictor_api::{
 };
 pub use serve::{Server, ServerStats};
 pub use similarity::{NeighborhoodView, Similarity};
+pub use snaple_gas::DeltaStats;
+pub use snaple_graph::GraphDelta;
 pub use state::SnapleVertex;

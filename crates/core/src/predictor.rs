@@ -236,6 +236,13 @@ impl PreparedPredictor for PreparedSnaple<'_> {
         self.snaple.execute_on(&self.deployment, req)
     }
 
+    fn apply_delta(
+        &mut self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<snaple_gas::DeltaStats, SnapleError> {
+        Ok(self.deployment.apply_delta(delta)?)
+    }
+
     fn setup(&self) -> &SetupStats {
         &self.setup
     }

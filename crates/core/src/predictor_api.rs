@@ -93,9 +93,9 @@
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 
-use snaple_gas::ClusterSpec;
+use snaple_gas::{ClusterSpec, DeltaStats};
 use snaple_graph::hash::hash2;
-use snaple_graph::{CsrGraph, VertexId, VertexMask};
+use snaple_graph::{CsrGraph, GraphDelta, VertexId, VertexMask};
 
 use crate::error::SnapleError;
 use crate::predictor::Prediction;
@@ -431,6 +431,24 @@ pub trait PreparedPredictor {
     /// backend); [`SnapleError::Engine`] when the simulated cluster cannot
     /// execute the run.
     fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError>;
+
+    /// Ingests a batch of edge insertions/removals *without* rebuilding
+    /// the heavy prepared state from scratch — the streaming half of the
+    /// serving lifecycle (`prepare → execute → apply_delta → execute`).
+    ///
+    /// The contract mirrors the determinism guarantee of
+    /// [`execute`](PreparedPredictor::execute): after an applied delta,
+    /// every subsequent request returns rows bit-identical to a cold
+    /// [`Predictor::prepare`] on the mutated graph. Partition-backed
+    /// implementations re-route only the touched vertex-cut partitions
+    /// (see [`snaple_gas::Deployment::apply_delta`]); partition-free
+    /// backends just refresh their per-graph tables.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError::Engine`] from the underlying deployment
+    /// refresh.
+    fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError>;
 
     /// The setup costs paid at prepare time — what repeated `execute`
     /// calls amortize.

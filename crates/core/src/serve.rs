@@ -17,6 +17,13 @@
 //!    bit-identical to executing every request individually — the batch
 //!    only shares the fixed per-superstep costs.
 //!
+//! The served graph does not have to stay frozen: update batches
+//! ([`Server::apply_update`]) interleave with prediction batches, folding
+//! edge insertions/removals into the prepared deployment in place — a
+//! per-delta cost proportional to the delta, not to the graph — while
+//! every subsequent prediction stays bit-identical to a cold rebuild on
+//! the mutated graph.
+//!
 //! ```
 //! use snaple_core::serve::Server;
 //! use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
@@ -40,8 +47,8 @@
 
 use std::time::Instant;
 
-use snaple_gas::ClusterSpec;
-use snaple_graph::{CsrGraph, VertexId};
+use snaple_gas::{ClusterSpec, DeltaStats};
+use snaple_graph::{CsrGraph, GraphDelta, VertexId};
 
 use crate::error::SnapleError;
 use crate::predictor::Prediction;
@@ -73,6 +80,18 @@ pub struct ServerStats {
     pub partition_build_seconds: f64,
     /// Replication factor of the prepared partition.
     pub replication_factor: f64,
+    /// Graph-update (delta) requests applied to the stream's deployment.
+    pub updates: usize,
+    /// Edge insertions applied across all updates.
+    pub edges_inserted: usize,
+    /// Edge removals applied across all updates.
+    pub edges_removed: usize,
+    /// Host wall-clock seconds spent applying deltas in place — the cost
+    /// the incremental path pays *instead of* a full re-prepare per
+    /// update.
+    pub delta_apply_seconds: f64,
+    /// Cumulative count of vertex-cut partitions the updates touched.
+    pub delta_touched_partitions: usize,
 }
 
 impl ServerStats {
@@ -107,10 +126,22 @@ impl ServerStats {
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
+        let updates = if self.updates > 0 {
+            format!(
+                ", {} updates (+{} -{} edges, {:.1} ms delta apply, {} partitions touched)",
+                self.updates,
+                self.edges_inserted,
+                self.edges_removed,
+                self.delta_apply_seconds * 1e3,
+                self.delta_touched_partitions,
+            )
+        } else {
+            String::new()
+        };
         format!(
             "{} requests in {} batches: {:.1} req/s, {:.2} ms mean latency, \
              coalescing {:.2}x, setup {:.1} ms ({:.1} ms partition build), \
-             {:.2} simulated s",
+             {:.2} simulated s{updates}",
             self.requests,
             self.batches,
             self.throughput_rps(),
@@ -129,7 +160,9 @@ impl ServerStats {
              \"serve_wall_seconds\":{:.6},\"setup_wall_seconds\":{:.6},\
              \"partition_build_seconds\":{:.6},\"throughput_rps\":{:.2},\
              \"mean_latency_ms\":{:.4},\"coalescing\":{:.3},\
-             \"simulated_seconds\":{:.4},\"replication_factor\":{:.3}}}",
+             \"simulated_seconds\":{:.4},\"replication_factor\":{:.3},\
+             \"updates\":{},\"edges_inserted\":{},\"edges_removed\":{},\
+             \"delta_apply_seconds\":{:.6},\"delta_touched_partitions\":{}}}",
             self.requests,
             self.batches,
             self.serve_wall_seconds,
@@ -140,6 +173,11 @@ impl ServerStats {
             self.coalescing_factor(),
             self.simulated_seconds,
             self.replication_factor,
+            self.updates,
+            self.edges_inserted,
+            self.edges_removed,
+            self.delta_apply_seconds,
+            self.delta_touched_partitions,
         )
     }
 
@@ -224,6 +262,30 @@ impl<'a> Server<'a> {
     /// Statistics of the stream served so far.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// Applies a graph-update batch to the prepared deployment *in
+    /// place*, between prediction batches — the streaming-ingestion half
+    /// of the serve loop.
+    ///
+    /// The underlying [`PreparedPredictor::apply_delta`] re-routes only
+    /// the vertex-cut partitions the delta touches, so an update costs
+    /// O(delta), not the O(edges) of a fresh prepare. Prediction batches
+    /// served after the update return rows bit-identical to a cold
+    /// rebuild on the mutated graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapleError`] from the underlying apply; on error the
+    /// update is not counted.
+    pub fn apply_update(&mut self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError> {
+        let applied = self.prepared.apply_delta(delta)?;
+        self.stats.updates += 1;
+        self.stats.edges_inserted += applied.inserted_edges;
+        self.stats.edges_removed += applied.removed_edges;
+        self.stats.delta_apply_seconds += applied.apply_wall_seconds;
+        self.stats.delta_touched_partitions += applied.touched_partitions;
+        Ok(applied)
     }
 
     /// Answers one request (a batch of one).
@@ -381,6 +443,63 @@ mod tests {
     }
 
     #[test]
+    fn zero_request_streams_emit_finite_stats() {
+        // A server that never served: every accessor must stay finite
+        // (no 0/0 NaN) and the BENCH_JSON line must carry no NaN/inf.
+        let stats = ServerStats::default();
+        assert_eq!(stats.throughput_rps(), 0.0);
+        assert_eq!(stats.mean_latency_seconds(), 0.0);
+        assert_eq!(stats.coalescing_factor(), 1.0);
+        let json = stats.to_bench_json("empty-stream");
+        assert!(!json.contains("NaN") && !json.contains("nan"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
+        assert!(!stats.summary().contains("NaN"), "{}", stats.summary());
+
+        let (graph, cluster, snaple) = setup();
+        let server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let json = server.stats().to_bench_json("prepared-only");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn batches_with_empty_union_masks_are_served_cleanly() {
+        // Every request in the batch is empty: the union mask has no
+        // active vertex, nothing is predicted, and the stats stay
+        // finite (coalescing_factor guards its 0/0 case).
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let empties = vec![QuerySet::from_indices([]), QuerySet::from_indices([])];
+        let responses = server.serve_batch(&empties).unwrap();
+        assert_eq!(responses.len(), 2);
+        assert!(responses.iter().all(|r| r.total_predictions() == 0));
+        let stats = server.stats();
+        assert_eq!(stats.requests, 2);
+        assert_eq!(stats.union_queries, 0);
+        assert_eq!(stats.coalescing_factor(), 1.0, "0/0 must not be NaN");
+        assert!(stats.throughput_rps().is_finite());
+        let json = stats.to_bench_json("empty-union");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+    }
+
+    #[test]
+    fn zero_wall_second_accessors_do_not_divide_by_zero() {
+        let stats = ServerStats {
+            requests: 5,
+            batches: 1,
+            queries_received: 50,
+            union_queries: 0,
+            serve_wall_seconds: 0.0,
+            ..ServerStats::default()
+        };
+        assert_eq!(stats.throughput_rps(), 0.0, "0-second stream is 0 rps");
+        assert_eq!(stats.mean_latency_seconds(), 0.0);
+        assert_eq!(stats.coalescing_factor(), 1.0);
+        let json = stats.to_bench_json("zero-wall");
+        assert!(!json.contains("NaN") && !json.contains("inf"), "{json}");
+        assert!(json.contains("\"throughput_rps\":0.00"), "{json}");
+    }
+
+    #[test]
     fn empty_batches_and_empty_query_sets_are_fine() {
         let (graph, cluster, snaple) = setup();
         let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
@@ -389,6 +508,61 @@ mod tests {
         let empty = QuerySet::from_indices([]);
         let response = server.serve(&empty).unwrap();
         assert_eq!(response.total_predictions(), 0);
+    }
+
+    #[test]
+    fn updates_interleave_with_predictions_and_match_cold_rebuilds() {
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let q = QuerySet::sample(graph.num_vertices(), 40, 2);
+        server.serve(&q).unwrap();
+
+        // Update batch: retract the first few edges, add a few new ones.
+        let mut delta = GraphDelta::new();
+        for (u, v) in graph.edges().take(4) {
+            delta.remove(u.as_u32(), v.as_u32());
+        }
+        let n = graph.num_vertices() as u32;
+        delta.insert(0, n - 1).insert(1, n - 2).insert(n - 1, 0);
+        let applied = server.apply_update(&delta).unwrap();
+        assert_eq!(applied.removed_edges, 4);
+        assert!(applied.inserted_edges >= 2, "{applied:?}");
+
+        // Post-update predictions must be bit-identical to a cold
+        // prepare on the mutated graph.
+        let mutated = graph.compact(&delta);
+        let mut cold = Server::new(&snaple, &mutated, &cluster).unwrap();
+        let after = server.serve(&q).unwrap();
+        let expected = cold.serve(&q).unwrap();
+        for (u, preds) in after.iter() {
+            assert_eq!(preds, expected.for_vertex(u), "row {u}");
+        }
+
+        let stats = server.stats();
+        assert_eq!(stats.updates, 1);
+        assert_eq!(stats.edges_removed, 4);
+        assert_eq!(stats.edges_inserted, applied.inserted_edges);
+        assert!(stats.delta_apply_seconds > 0.0);
+        assert!(stats.delta_touched_partitions >= 1);
+        assert!(stats.summary().contains("1 updates"), "{}", stats.summary());
+        let json = stats.to_bench_json("upd");
+        assert!(json.contains("\"updates\":1"), "{json}");
+        // Per-run stats surface the deployment's cumulative delta costs.
+        assert!(after.stats.delta_apply_seconds > 0.0);
+        assert_eq!(expected.stats.delta_apply_seconds, 0.0);
+    }
+
+    #[test]
+    fn streams_without_updates_report_zero_update_stats() {
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        server
+            .serve(&QuerySet::sample(graph.num_vertices(), 10, 0))
+            .unwrap();
+        let stats = server.stats();
+        assert_eq!(stats.updates, 0);
+        assert_eq!(stats.delta_apply_seconds, 0.0);
+        assert!(!stats.summary().contains("updates"), "{}", stats.summary());
     }
 
     #[test]

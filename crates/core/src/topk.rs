@@ -43,16 +43,19 @@ pub fn bottom_k_by_score(mut items: Vec<(VertexId, f32)>, k: usize) -> Vec<(Vert
     items
 }
 
+// `f32::total_cmp` rather than `partial_cmp(..).unwrap_or(Equal)`: the
+// latter makes the comparator non-transitive whenever a NaN appears
+// (NaN == everything, while the non-NaN scores still order), which
+// violates `select_nth_unstable_by`'s total-order contract and can
+// silently select a wrong top-k set. Under `total_cmp`, NaN orders
+// greater than +inf (and -NaN less than -inf), so selection stays a
+// total order — deterministic even on poisoned scores.
 fn cmp_desc(a: (VertexId, f32), b: (VertexId, f32)) -> std::cmp::Ordering {
-    b.1.partial_cmp(&a.1)
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then_with(|| a.0.cmp(&b.0))
+    b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0))
 }
 
 fn cmp_asc(a: (VertexId, f32), b: (VertexId, f32)) -> std::cmp::Ordering {
-    a.1.partial_cmp(&b.1)
-        .unwrap_or(std::cmp::Ordering::Equal)
-        .then_with(|| a.0.cmp(&b.0))
+    a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0))
 }
 
 #[cfg(test)]
@@ -85,6 +88,55 @@ mod tests {
         assert_eq!(top, vec![(v(2), 0.5), (v(5), 0.5)]);
         let bot = bottom_k_by_score(xs, 2);
         assert_eq!(bot, vec![(v(2), 0.5), (v(5), 0.5)]);
+    }
+
+    #[test]
+    fn nan_scores_do_not_corrupt_selection() {
+        // Regression: with `partial_cmp(..).unwrap_or(Equal)` the
+        // comparator is non-transitive in the presence of NaN (NaN ties
+        // with everything while real scores still order), so
+        // `select_nth_unstable_by` could return a wrong top-k set. Under
+        // `total_cmp`, NaN ranks above +inf in descending order and the
+        // real scores keep their exact relative order.
+        let nan = f32::NAN;
+        let xs = vec![
+            (v(0), 0.3),
+            (v(1), nan),
+            (v(2), 0.9),
+            (v(3), 0.1),
+            (v(4), 0.5),
+        ];
+        let top = top_k_by_score(xs.clone(), 3);
+        // NaN sorts greatest, then the real maxima in order.
+        assert_eq!(top[0].0, v(1));
+        assert!(top[0].1.is_nan());
+        assert_eq!(top[1], (v(2), 0.9));
+        assert_eq!(top[2], (v(4), 0.5));
+
+        let bottom = bottom_k_by_score(xs, 3);
+        assert_eq!(
+            bottom,
+            vec![(v(3), 0.1), (v(0), 0.3), (v(4), 0.5)],
+            "ascending selection must keep NaN out of the bottom"
+        );
+
+        // Many NaNs: selection must stay deterministic and ordered,
+        // whatever permutation the scores arrive in.
+        let mixed: Vec<(VertexId, f32)> = (0..20)
+            .map(|i| (v(i), if i % 3 == 0 { nan } else { i as f32 }))
+            .collect();
+        let mut reversed = mixed.clone();
+        reversed.reverse();
+        let a = top_k_by_score(mixed, 7);
+        let b = top_k_by_score(reversed, 7);
+        assert_eq!(a.len(), 7);
+        for ((ia, sa), (ib, sb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib);
+            assert!(sa == sb || (sa.is_nan() && sb.is_nan()));
+        }
+        // NaNs first (they sort greatest), ids ascending among them.
+        assert!(a[0].1.is_nan());
+        assert_eq!(a[0].0, v(0));
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Prepared deployments: the shareable, immutable half of an engine.
+//! Prepared deployments: the shareable half of an engine, now refreshable
+//! in place.
 //!
 //! Building a vertex-cut partition is O(edges) — by far the most expensive
 //! part of setting up a GAS run. A [`Deployment`] bundles that partition
@@ -21,34 +22,94 @@
 //! # Ok::<(), snaple_gas::EngineError>(())
 //! ```
 //!
+//! # The delta lifecycle: prepare → execute → `apply_delta` → execute
+//!
+//! A serving deployment over a *growing* graph must not repartition
+//! O(edges) state whenever a follow edge arrives.
+//! [`Deployment::apply_delta`] ingests a
+//! [`snaple_graph::GraphDelta`] incrementally: the mutated
+//! graph is folded in with a linear
+//! [`CsrGraph::compact`](snaple_graph::CsrGraph::compact) merge, removed
+//! edges are dropped from — and inserted edges routed onto — only the
+//! partitions that actually hold them, and the per-partition cost-model
+//! entries (static CSR bytes per node) are rebuilt for the touched
+//! partitions alone. Engines created after the apply observe the mutated
+//! graph; program results are bit-identical to a cold rebuild on that
+//! graph, because GAS program output never depends on edge placement
+//! (the engine's cross-cluster determinism guarantee).
+//!
+//! ```
+//! use snaple_gas::{ClusterSpec, Deployment, PartitionStrategy};
+//! use snaple_graph::{CsrGraph, GraphDelta};
+//!
+//! let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+//! let mut deployment = Deployment::new(&g, ClusterSpec::type_i(2),
+//!                                      PartitionStrategy::RandomVertexCut, 7)?;
+//! let mut delta = GraphDelta::new();
+//! delta.insert(0, 2).remove(1, 2);
+//! let applied = deployment.apply_delta(&delta)?;
+//! assert_eq!(applied.inserted_edges, 1);
+//! assert_eq!(applied.removed_edges, 1);
+//! assert_eq!(deployment.graph().num_edges(), 3);
+//! # Ok::<(), snaple_gas::EngineError>(())
+//! ```
+//!
 //! This split is what turns a one-shot predictor into a *prepare once,
 //! execute many* server: the serving layers upstream
 //! (`snaple_core::Predictor::prepare`, `snaple_core::serve::Server`) hold a
-//! `Deployment` per graph/cluster pair and spin up a fresh engine per
-//! request stream step.
+//! `Deployment` per graph/cluster pair, spin up a fresh engine per request
+//! stream step, and refresh the deployment in place when update batches
+//! interleave with prediction batches.
 
+use std::borrow::Cow;
 use std::time::Instant;
 
-use snaple_graph::CsrGraph;
+use snaple_graph::{CsrGraph, GraphDelta};
 
-use crate::cluster::ClusterSpec;
+use crate::cluster::{ClusterSpec, NodeId};
 use crate::cost::CostModel;
 use crate::error::EngineError;
 use crate::partition::{PartitionStrategy, PartitionedGraph};
 
-/// The immutable heavy state of a GAS run: graph, cluster, vertex-cut
-/// partition and cost model.
+/// What one [`Deployment::apply_delta`] call did, and what it cost.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaStats {
+    /// Effective edge insertions applied (no-ops already dropped).
+    pub inserted_edges: usize,
+    /// Effective edge removals applied.
+    pub removed_edges: usize,
+    /// Vertices the graph grew by (insertions referencing new ids).
+    pub grown_vertices: usize,
+    /// Distinct partitions whose edge lists (and cached cost-model
+    /// entries) were touched — the incremental win: a small delta touches
+    /// a handful of partitions, a full rebuild touches all of them.
+    pub touched_partitions: usize,
+    /// Host wall-clock seconds the whole apply took (compact + re-route).
+    pub apply_wall_seconds: f64,
+}
+
+/// The immutable-between-updates heavy state of a GAS run: graph, cluster,
+/// vertex-cut partition and cost model.
 ///
-/// See the [module docs](self) for why this exists and how it is shared.
+/// See the [module docs](self) for why this exists, how it is shared, and
+/// how [`Deployment::apply_delta`] refreshes it in place.
 #[derive(Clone, Debug)]
 pub struct Deployment<'g> {
-    graph: &'g CsrGraph,
+    /// Borrowed until the first applied delta, owned afterwards.
+    graph: Cow<'g, CsrGraph>,
     cluster: ClusterSpec,
     strategy: PartitionStrategy,
     seed: u64,
     part: PartitionedGraph,
     cost: CostModel,
+    /// Per-node static CSR share in bytes (8 per stored edge) — the
+    /// partition-local cost-model entry engines charge as each node's
+    /// memory base. Rebuilt only for touched partitions on delta applies.
+    node_static_bytes: Vec<u64>,
     partition_build_seconds: f64,
+    deltas_applied: usize,
+    delta_apply_seconds: f64,
+    delta_touched_partitions: usize,
 }
 
 impl<'g> Deployment<'g> {
@@ -69,20 +130,132 @@ impl<'g> Deployment<'g> {
         let part = PartitionedGraph::build(graph, cluster.nodes, strategy, seed)?;
         let partition_build_seconds = started.elapsed().as_secs_f64();
         let cost = CostModel::for_cluster(&cluster);
+        let node_static_bytes = (0..part.num_nodes())
+            .map(|n| part.node_edges(NodeId::new(n as u16)).len() as u64 * 8)
+            .collect();
         Ok(Deployment {
-            graph,
+            graph: Cow::Borrowed(graph),
             cluster,
             strategy,
             seed,
             part,
             cost,
+            node_static_bytes,
             partition_build_seconds,
+            deltas_applied: 0,
+            delta_apply_seconds: 0.0,
+            delta_touched_partitions: 0,
         })
     }
 
-    /// The graph this deployment partitions.
-    pub fn graph(&self) -> &'g CsrGraph {
-        self.graph
+    /// Ingests a batch of edge insertions/removals *incrementally*: the
+    /// graph is compacted with a linear merge, and only the vertex-cut
+    /// partitions holding a removed edge or receiving an inserted one are
+    /// re-routed — partitions the delta does not touch keep their edge
+    /// lists and cached cost entries byte-for-byte.
+    ///
+    /// Engines created on this deployment after the call run on the
+    /// mutated graph; their results are bit-identical to a cold
+    /// [`Deployment::new`] on that graph. The cumulative apply time and
+    /// touched-partition count are surfaced in every subsequent run's
+    /// [`RunStats`](crate::RunStats).
+    ///
+    /// A delta whose every operation is a no-op against the current graph
+    /// (inserting present edges, removing absent ones) returns zeroed
+    /// counts without rebuilding anything.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice — the signature reserves the
+    /// error channel for future cluster-capacity validation, matching
+    /// [`Deployment::new`].
+    pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaStats, EngineError> {
+        let started = Instant::now();
+        let overlay = delta.resolve(&self.graph);
+        if overlay.is_noop() {
+            let stats = DeltaStats {
+                apply_wall_seconds: started.elapsed().as_secs_f64(),
+                ..DeltaStats::default()
+            };
+            self.deltas_applied += 1;
+            self.delta_apply_seconds += stats.apply_wall_seconds;
+            return Ok(stats);
+        }
+        let grown_vertices = overlay.num_vertices() - self.graph.num_vertices();
+        self.part.ensure_vertices(overlay.num_vertices(), self.seed);
+
+        // Route the whole batch first, then splice each touched node's
+        // edge list in one merge pass — O(delta + touched lists), instead
+        // of one O(list) shift per edge.
+        let nodes = self.part.num_nodes();
+        let mut removed_by_node: Vec<Vec<_>> = vec![Vec::new(); nodes];
+        for (u, v) in overlay.removed_edges() {
+            if let Some(node) = self.part.locate_edge(u, v, self.strategy, self.seed) {
+                removed_by_node[node.index()].push((u, v));
+            }
+        }
+        // Greedy placement consults live state: loads net of the edges
+        // queued for removal, and presence bits updated as each insert
+        // lands — so a batch routes exactly like a sequence of per-edge
+        // `insert_edge` calls preceded by the removals.
+        let mut added_by_node: Vec<Vec<_>> = vec![Vec::new(); nodes];
+        let mut loads: Vec<u64> = (0..nodes)
+            .map(|n| {
+                (self.part.node_edges(NodeId::new(n as u16)).len() - removed_by_node[n].len())
+                    as u64
+            })
+            .collect();
+        for (u, v, _) in overlay.inserted_edges() {
+            let node = self.part.placement(u, v, self.strategy, self.seed, &loads);
+            loads[node] += 1;
+            added_by_node[node].push((u, v));
+            self.part.mark_present(u, NodeId::new(node as u16));
+            self.part.mark_present(v, NodeId::new(node as u16));
+        }
+        let mut touched = 0u64; // bitmask over MAX_NODES ≤ 64 partitions
+        for n in 0..nodes {
+            if removed_by_node[n].is_empty() && added_by_node[n].is_empty() {
+                continue;
+            }
+            touched |= 1 << n;
+            // `removed_edges`/`inserted_edges` iterate in (src, dst)
+            // order, so the per-node groups arrive sorted — but the
+            // added groups are not guaranteed disjoint-sorted against
+            // interleaving, so sort defensively (cheap: per-node slices).
+            removed_by_node[n].sort_unstable();
+            added_by_node[n].sort_unstable();
+        }
+
+        let new_graph = self.graph.compact_overlay(&overlay);
+        self.part.splice_nodes(&removed_by_node, &added_by_node);
+        // Refresh the touched partitions' cached cost-model entries;
+        // untouched entries are already exact.
+        let mut mask = touched;
+        while mask != 0 {
+            let n = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            self.node_static_bytes[n] =
+                self.part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
+        }
+        self.graph = Cow::Owned(new_graph);
+
+        let stats = DeltaStats {
+            inserted_edges: overlay.num_inserted(),
+            removed_edges: overlay.num_removed(),
+            grown_vertices,
+            touched_partitions: touched.count_ones() as usize,
+            apply_wall_seconds: started.elapsed().as_secs_f64(),
+        };
+        self.deltas_applied += 1;
+        self.delta_apply_seconds += stats.apply_wall_seconds;
+        self.delta_touched_partitions += stats.touched_partitions;
+        Ok(stats)
+    }
+
+    /// The graph this deployment partitions — the *current* graph,
+    /// reflecting every applied delta.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
     }
 
     /// The simulated cluster.
@@ -111,13 +284,39 @@ impl<'g> Deployment<'g> {
         &self.cost
     }
 
+    /// Per-node static CSR bytes — the partition-local cost entries,
+    /// maintained incrementally across delta applies.
+    pub fn node_static_bytes(&self) -> &[u64] {
+        &self.node_static_bytes
+    }
+
     /// Host wall-clock seconds spent building the partition — the setup
     /// cost that sharing a deployment amortizes away.
     pub fn partition_build_seconds(&self) -> f64 {
         self.partition_build_seconds
     }
 
+    /// Number of [`Deployment::apply_delta`] calls absorbed so far.
+    pub fn deltas_applied(&self) -> usize {
+        self.deltas_applied
+    }
+
+    /// Cumulative host wall-clock seconds spent applying deltas.
+    pub fn delta_apply_seconds(&self) -> f64 {
+        self.delta_apply_seconds
+    }
+
+    /// Cumulative count of partitions touched by applied deltas.
+    pub fn delta_touched_partitions(&self) -> usize {
+        self.delta_touched_partitions
+    }
+
     /// Replication factor of the partition.
+    ///
+    /// After removals this is an upper bound: replicas stranded on
+    /// partitions that lost their last edge are not reclaimed until a
+    /// full rebuild (see
+    /// [`PartitionedGraph::remove_edge`]).
     pub fn replication_factor(&self) -> f64 {
         self.part.replication_factor()
     }
@@ -144,6 +343,8 @@ mod tests {
         assert_eq!(d.cluster().nodes, 4);
         assert_eq!(d.seed(), 3);
         assert_eq!(d.strategy(), PartitionStrategy::RandomVertexCut);
+        assert_eq!(d.deltas_applied(), 0);
+        assert_eq!(d.delta_apply_seconds(), 0.0);
     }
 
     #[test]
@@ -173,6 +374,169 @@ mod tests {
         for n in 0..8 {
             let node = NodeId::new(n);
             assert_eq!(d.partitioned().node_edges(node), direct.node_edges(node));
+        }
+    }
+
+    #[test]
+    fn apply_delta_mutates_graph_and_partition_consistently() {
+        let g = ring(40);
+        let mut d = Deployment::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            7,
+        )
+        .unwrap();
+        let mut delta = GraphDelta::new();
+        delta
+            .insert(0, 20)
+            .insert(5, 30)
+            .remove(0, 1)
+            .remove(10, 11);
+        let stats = d.apply_delta(&delta).unwrap();
+        assert_eq!(stats.inserted_edges, 2);
+        assert_eq!(stats.removed_edges, 2);
+        assert_eq!(stats.grown_vertices, 0);
+        assert!(stats.touched_partitions >= 1 && stats.touched_partitions <= 4);
+        assert!(stats.apply_wall_seconds >= 0.0);
+
+        // Graph and partition agree on the mutated edge set.
+        assert_eq!(d.graph().num_edges(), 40);
+        assert_eq!(d.partitioned().total_edges(), 40);
+        use snaple_graph::VertexId;
+        assert!(d.graph().has_edge(VertexId::new(0), VertexId::new(20)));
+        assert!(!d.graph().has_edge(VertexId::new(0), VertexId::new(1)));
+        let mut collected: Vec<(u32, u32)> = (0..4)
+            .flat_map(|n| {
+                d.partitioned()
+                    .node_edges(NodeId::new(n))
+                    .iter()
+                    .map(|&(u, v)| (u.as_u32(), v.as_u32()))
+            })
+            .collect();
+        collected.sort_unstable();
+        let expected: Vec<(u32, u32)> = d
+            .graph()
+            .edges()
+            .map(|(u, v)| (u.as_u32(), v.as_u32()))
+            .collect();
+        assert_eq!(collected, expected);
+
+        // Cumulative accounting carried by the deployment.
+        assert_eq!(d.deltas_applied(), 1);
+        assert!(d.delta_apply_seconds() > 0.0);
+        assert_eq!(d.delta_touched_partitions(), stats.touched_partitions);
+    }
+
+    #[test]
+    fn greedy_batched_routing_matches_per_edge_mutations() {
+        // The batched routing must see live greedy state: loads net of
+        // pending removals, presence updated insert-by-insert. Compare
+        // against a literal sequence of remove_edge/insert_edge calls.
+        let g = ring(60);
+        let strategy = PartitionStrategy::GreedyVertexCut;
+        let mut deployment = Deployment::new(&g, ClusterSpec::type_i(6), strategy, 11).unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove(0, 1).remove(10, 11).remove(20, 21);
+        // Inserts sharing endpoints: the second placement must observe
+        // the replica the first created.
+        delta
+            .insert(7, 30)
+            .insert(7, 31)
+            .insert(7, 32)
+            .insert(30, 7);
+        let overlay = delta.resolve(&g);
+
+        let mut manual = PartitionedGraph::build(&g, 6, strategy, 11).unwrap();
+        for (u, v) in overlay.removed_edges() {
+            manual.remove_edge(u, v).unwrap();
+        }
+        for (u, v, _) in overlay.inserted_edges() {
+            manual.insert_edge(u, v, strategy, 11);
+        }
+
+        deployment.apply_delta(&delta).unwrap();
+        for n in 0..6 {
+            let node = NodeId::new(n);
+            assert_eq!(
+                deployment.partitioned().node_edges(node),
+                manual.node_edges(node),
+                "greedy batch diverged from per-edge path on node {n}"
+            );
+        }
+        for v in g.vertices() {
+            assert_eq!(
+                deployment.partitioned().presence_mask(v),
+                manual.presence_mask(v),
+                "presence of {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_delta_grows_the_vertex_range() {
+        let g = ring(10);
+        let mut d = Deployment::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
+        let mut delta = GraphDelta::new();
+        delta.insert(3, 14).insert(12, 0);
+        let stats = d.apply_delta(&delta).unwrap();
+        assert_eq!(stats.grown_vertices, 5);
+        assert_eq!(d.graph().num_vertices(), 15);
+        use snaple_graph::VertexId;
+        // New vertices got masters and are present where their edges live.
+        let p = d.partitioned();
+        for v in [12u32, 14] {
+            assert!(p.is_present(VertexId::new(v), p.master(VertexId::new(v))));
+        }
+    }
+
+    #[test]
+    fn noop_deltas_change_nothing_but_are_counted() {
+        let g = ring(10);
+        let mut d = Deployment::new(
+            &g,
+            ClusterSpec::type_i(2),
+            PartitionStrategy::RandomVertexCut,
+            1,
+        )
+        .unwrap();
+        let before: Vec<u64> = d.node_static_bytes().to_vec();
+        let mut delta = GraphDelta::new();
+        delta.insert(0, 1).remove(5, 7); // present insert, absent removal
+        let stats = d.apply_delta(&delta).unwrap();
+        assert_eq!(stats.inserted_edges, 0);
+        assert_eq!(stats.removed_edges, 0);
+        assert_eq!(stats.touched_partitions, 0);
+        assert_eq!(d.node_static_bytes(), &before[..]);
+        assert_eq!(d.graph().num_edges(), 10);
+        assert_eq!(d.deltas_applied(), 1);
+    }
+
+    #[test]
+    fn static_byte_cache_tracks_touched_partitions_exactly() {
+        let g = ring(60);
+        let mut d = Deployment::new(
+            &g,
+            ClusterSpec::type_i(8),
+            PartitionStrategy::RandomVertexCut,
+            4,
+        )
+        .unwrap();
+        let mut delta = GraphDelta::new();
+        delta.insert(0, 30).remove(20, 21);
+        d.apply_delta(&delta).unwrap();
+        for n in 0..8 {
+            assert_eq!(
+                d.node_static_bytes()[n],
+                d.partitioned().node_edges(NodeId::new(n as u16)).len() as u64 * 8,
+                "node {n} cache diverged"
+            );
         }
     }
 }

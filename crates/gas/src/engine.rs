@@ -21,7 +21,9 @@ const MESSAGE_OVERHEAD: u64 = 8;
 /// borrowed from a prepared, shared [`Deployment`].
 #[derive(Debug)]
 enum DeploymentRef<'d> {
-    Owned(Deployment<'d>),
+    /// Boxed: a deployment is several hundred bytes and the shared
+    /// variant is one pointer.
+    Owned(Box<Deployment<'d>>),
     Shared(&'d Deployment<'d>),
 }
 
@@ -77,7 +79,7 @@ impl<'d> Engine<'d> {
         let deployment = Deployment::new(graph, cluster, strategy, seed)?;
         let partition_build_seconds = deployment.partition_build_seconds();
         Ok(Engine::assemble(
-            DeploymentRef::Owned(deployment),
+            DeploymentRef::Owned(Box::new(deployment)),
             partition_build_seconds,
         ))
     }
@@ -96,6 +98,8 @@ impl<'d> Engine<'d> {
         let dep = deployment.get();
         let replication_factor = dep.replication_factor();
         let seed = dep.seed();
+        let delta_apply_seconds = dep.delta_apply_seconds();
+        let delta_touched_partitions = dep.delta_touched_partitions();
         Engine {
             deployment,
             cost_override: None,
@@ -103,6 +107,8 @@ impl<'d> Engine<'d> {
                 steps: Vec::new(),
                 replication_factor,
                 partition_build_seconds,
+                delta_apply_seconds,
+                delta_touched_partitions,
             },
             seed,
             step_counter: 0,
@@ -122,8 +128,9 @@ impl<'d> Engine<'d> {
         self.deployment.get()
     }
 
-    /// The graph this engine executes over.
-    pub fn graph(&self) -> &'d CsrGraph {
+    /// The graph this engine executes over — the deployment's *current*
+    /// graph, reflecting any deltas applied before this engine was made.
+    pub fn graph(&self) -> &CsrGraph {
         self.deployment.get().graph()
     }
 
@@ -251,10 +258,10 @@ impl<'d> Engine<'d> {
         let mut mem_base = vec![0u64; nodes];
         let mut net = vec![0u64; nodes];
         let mut broadcast_total = 0u64;
-        for (n, base) in mem_base.iter_mut().enumerate() {
-            // Static CSR share of this node: 8 bytes per stored edge.
-            *base = part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
-        }
+        // Static CSR share of each node (8 bytes per stored edge), read
+        // from the deployment's per-partition cache — maintained
+        // incrementally across delta applies instead of recounted here.
+        mem_base.copy_from_slice(dep.node_static_bytes());
         for v in graph.vertices() {
             if let Some(rm) = &read_mask {
                 if !rm.contains(v) {
@@ -879,6 +886,70 @@ mod tests {
                 "prepared deployments amortize the partition build"
             );
         }
+    }
+
+    #[test]
+    fn delta_applied_deployments_match_cold_rebuilds_bit_for_bit() {
+        use snaple_graph::GraphDelta;
+        let mut rng = StdRng::seed_from_u64(31);
+        let g = gen::erdos_renyi(200, 1_600, &mut rng).into_symmetric_graph();
+        let mut deployment = Deployment::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        let mut delta = GraphDelta::new();
+        let mut removed = 0;
+        for (u, v) in g.edges().take(30) {
+            delta.remove(u.as_u32(), v.as_u32());
+            removed += 1;
+        }
+        // Insert non-edges only: a pair absent from the base graph cannot
+        // collide with the (existing) removed edges under last-wins dedup.
+        let mut inserted = 0;
+        'insert: for u in 0..200u32 {
+            for v in (u + 1)..200 {
+                if !g.has_edge(VertexId::new(u), VertexId::new(v)) {
+                    delta.insert(u, v);
+                    inserted += 1;
+                    if inserted == 3 {
+                        break 'insert;
+                    }
+                }
+            }
+        }
+        delta.insert(205, 3); // grows the vertex range
+        let stats = deployment.apply_delta(&delta).unwrap();
+        assert_eq!(stats.removed_edges, removed);
+        assert_eq!(stats.inserted_edges, 4);
+
+        let mutated = deployment.graph().clone();
+        let mut incremental_state = vec![1u64; mutated.num_vertices()];
+        let mut engine = Engine::on(&deployment);
+        engine
+            .run_step(&SumNeighbors, &mut incremental_state)
+            .unwrap();
+        let run = engine.into_stats();
+        assert_eq!(run.delta_apply_seconds, deployment.delta_apply_seconds());
+        assert_eq!(
+            run.delta_touched_partitions,
+            deployment.delta_touched_partitions()
+        );
+        assert!(run.delta_apply_seconds > 0.0);
+
+        let mut cold_state = vec![1u64; mutated.num_vertices()];
+        let mut cold = Engine::new(
+            &mutated,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            9,
+        )
+        .unwrap();
+        cold.run_step(&SumNeighbors, &mut cold_state).unwrap();
+        assert_eq!(incremental_state, cold_state);
+        assert_eq!(cold.stats().delta_apply_seconds, 0.0);
     }
 
     #[test]

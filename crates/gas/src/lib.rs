@@ -27,6 +27,16 @@
 //!   tallies into simulated wall-clock seconds for a given
 //!   [`ClusterSpec`] (the paper's type-I and type-II machines ship as
 //!   presets).
+//! * Deployments are **refreshable in place**: the serving lifecycle is
+//!   *prepare → execute → [`Deployment::apply_delta`] → execute*. A
+//!   [`GraphDelta`](snaple_graph::GraphDelta) of edge insertions and
+//!   removals folds into the prepared state incrementally — the graph
+//!   via a linear [`CsrGraph::compact`](snaple_graph::CsrGraph::compact)
+//!   merge, the vertex-cut partition by re-routing only the partitions
+//!   the delta touches — and engines created afterwards run on the
+//!   mutated graph with results bit-identical to a cold rebuild on it.
+//!   [`RunStats`] carry the deployment's cumulative delta-apply time and
+//!   touched-partition count; see [`deploy`] for the full lifecycle.
 //!
 //! # Example
 //!
@@ -71,7 +81,7 @@ pub mod stats;
 
 pub use cluster::{ClusterSpec, NodeId};
 pub use cost::CostModel;
-pub use deploy::Deployment;
+pub use deploy::{DeltaStats, Deployment};
 pub use engine::Engine;
 pub use error::EngineError;
 pub use partition::{PartitionStrategy, PartitionedGraph};

@@ -182,6 +182,150 @@ impl PartitionedGraph {
     pub fn total_edges(&self) -> usize {
         self.node_edges.iter().map(Vec::len).sum()
     }
+
+    /// Grows the partition's vertex range to `n`, assigning masters to the
+    /// new vertices with the same salted hash a cold build uses (so a
+    /// grown partition and a cold build on the grown graph agree on
+    /// master placement).
+    ///
+    /// `seed` must be the seed the partition was built with.
+    pub fn ensure_vertices(&mut self, n: usize, seed: u64) {
+        for u in self.master.len() as u32..n as u32 {
+            let node =
+                NodeId::new((hash1(seed ^ MASTER_SALT, u as u64) % self.num_nodes as u64) as u16);
+            self.master.push(node);
+            self.presence.push(1u64 << node.index());
+        }
+    }
+
+    /// Routes a new edge onto a node with the partition's placement
+    /// `strategy` (the same formula a cold build applies, so hash-based
+    /// strategies place incrementally-added edges exactly where a rebuild
+    /// would) and inserts it into that node's sorted edge list. Returns
+    /// the chosen node.
+    ///
+    /// `seed` must be the seed the partition was built with. The edge's
+    /// endpoints must already be covered by the vertex range (see
+    /// [`PartitionedGraph::ensure_vertices`]); inserting a duplicate edge
+    /// is the caller's bug and leaves the list with two copies.
+    pub fn insert_edge(
+        &mut self,
+        u: VertexId,
+        v: VertexId,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> NodeId {
+        let loads: Vec<u64> = self.node_edges.iter().map(|e| e.len() as u64).collect();
+        let node = self.placement(u, v, strategy, seed, &loads);
+        let list = &mut self.node_edges[node];
+        let pos = list.partition_point(|&e| e < (u, v));
+        list.insert(pos, (u, v));
+        self.presence[u.index()] |= 1 << node;
+        self.presence[v.index()] |= 1 << node;
+        NodeId::new(node as u16)
+    }
+
+    /// The node `strategy` routes edge `(u, v)` onto, given the current
+    /// per-node `loads` (only consulted by the greedy heuristic). Pure:
+    /// nothing is inserted.
+    pub(crate) fn placement(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        strategy: PartitionStrategy,
+        seed: u64,
+        loads: &[u64],
+    ) -> usize {
+        match strategy {
+            PartitionStrategy::RandomVertexCut => {
+                (hash2(seed, u.as_u32() as u64, v.as_u32() as u64) % self.num_nodes as u64) as usize
+            }
+            PartitionStrategy::SourceHash1D => {
+                (hash1(seed, u.as_u32() as u64) % self.num_nodes as u64) as usize
+            }
+            PartitionStrategy::GreedyVertexCut => greedy_pick(
+                self.presence[u.index()],
+                self.presence[v.index()],
+                loads,
+                hash2(seed, u.as_u32() as u64, v.as_u32() as u64),
+            ),
+        }
+    }
+
+    /// Finds the node holding edge `(u, v)` without removing it.
+    ///
+    /// Hash-placed strategies compute the node directly (their placement
+    /// is a pure function of the edge); the greedy strategy — whose
+    /// placement depends on build history — falls back to scanning the
+    /// per-node sorted lists.
+    pub fn locate_edge(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Option<NodeId> {
+        if !matches!(strategy, PartitionStrategy::GreedyVertexCut) {
+            let node = self.placement(u, v, strategy, seed, &[]);
+            return self.node_edges[node]
+                .binary_search(&(u, v))
+                .ok()
+                .map(|_| NodeId::new(node as u16));
+        }
+        for (n, list) in self.node_edges.iter().enumerate() {
+            if list.binary_search(&(u, v)).is_ok() {
+                return Some(NodeId::new(n as u16));
+            }
+        }
+        None
+    }
+
+    /// Records that a replica of `v` lives on `node` (used when batching
+    /// edge insertions outside [`PartitionedGraph::insert_edge`]).
+    pub(crate) fn mark_present(&mut self, v: VertexId, node: NodeId) {
+        self.presence[v.index()] |= 1 << node.index();
+    }
+
+    /// Splices every touched node's edge list — each list is rebuilt by
+    /// copying the unchanged runs between its (sorted) `removed` and
+    /// `added` entries, so the cost is O(list bytes) memcpy plus
+    /// O(delta log list) search work; untouched nodes are skipped
+    /// entirely.
+    pub(crate) fn splice_nodes(
+        &mut self,
+        removed_by_node: &[Vec<(VertexId, VertexId)>],
+        added_by_node: &[Vec<(VertexId, VertexId)>],
+    ) {
+        for ((list, removed), added) in self
+            .node_edges
+            .iter_mut()
+            .zip(removed_by_node)
+            .zip(added_by_node)
+        {
+            if removed.is_empty() && added.is_empty() {
+                continue;
+            }
+            splice_list(list, removed, added);
+        }
+    }
+
+    /// Removes edge `(u, v)` from whichever node holds it, returning that
+    /// node, or `None` when no node does.
+    ///
+    /// Replica presence is left untouched: a vertex may keep a (now
+    /// edge-less) replica on the node, so the replication factor becomes
+    /// an upper bound until the next full rebuild. Program results are
+    /// unaffected — gathers iterate edge lists, not presence — only the
+    /// simulated memory/broadcast accounting is slightly pessimistic.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Option<NodeId> {
+        for (n, list) in self.node_edges.iter_mut().enumerate() {
+            if let Ok(pos) = list.binary_search(&(u, v)) {
+                list.remove(pos);
+                return Some(NodeId::new(n as u16));
+            }
+        }
+        None
+    }
 }
 
 /// PowerGraph greedy heuristic: prefer nodes already hosting both endpoints,
@@ -214,6 +358,55 @@ fn greedy_pick(mask_u: u64, mask_v: u64, loads: &[u64], tiebreak: u64) -> usize 
         }
     }
     best
+}
+
+/// One sorted splice: `removed` dropped from and `added` woven into the
+/// sorted `list`.
+///
+/// Instead of a per-element merge, the (few) change points are located
+/// with binary searches and the unchanged runs between them are copied
+/// as whole slices — the splice is memcpy-bound, O(list) bytes moved
+/// with O(delta log list) search work.
+fn splice_list(
+    list: &mut Vec<(VertexId, VertexId)>,
+    removed: &[(VertexId, VertexId)],
+    added: &[(VertexId, VertexId)],
+) {
+    let old = std::mem::take(list);
+    // Change events in `old`-index order: a removal skips the element at
+    // its index, an insertion emits before it. Same-index events stay in
+    // value order because `removed`/`added` are sorted and the sort is
+    // stable on the index.
+    enum Change {
+        Skip,
+        Emit((VertexId, VertexId)),
+    }
+    let mut events: Vec<(usize, Change)> = Vec::with_capacity(removed.len() + added.len());
+    // Emits are pushed before skips so that at equal indices the stable
+    // sort keeps the insertion (whose value is smaller than the removed
+    // element at that index) ahead of the skip.
+    for &a in added {
+        events.push((old.partition_point(|&e| e < a), Change::Emit(a)));
+    }
+    for &r in removed {
+        if let Ok(i) = old.binary_search(&r) {
+            events.push((i, Change::Skip));
+        }
+    }
+    events.sort_by_key(|&(i, _)| i);
+
+    let mut merged = Vec::with_capacity(old.len() + added.len() - removed.len().min(old.len()));
+    let mut pos = 0usize;
+    for (idx, change) in events {
+        merged.extend_from_slice(&old[pos..idx]);
+        pos = idx;
+        match change {
+            Change::Skip => pos += 1,
+            Change::Emit(a) => merged.push(a),
+        }
+    }
+    merged.extend_from_slice(&old[pos..]);
+    *list = merged;
 }
 
 /// Salt separating master assignment from edge placement hashing.
@@ -342,6 +535,135 @@ mod tests {
         let b = PartitionedGraph::build(&g, 8, PartitionStrategy::GreedyVertexCut, 7).unwrap();
         for n in 0..8 {
             assert_eq!(a.node_edges(NodeId::new(n)), b.node_edges(NodeId::new(n)));
+        }
+    }
+
+    #[test]
+    fn hash_strategies_place_incremental_edges_like_a_cold_build() {
+        // Build a graph missing a few edges, insert them incrementally,
+        // and compare against a cold partition of the complete graph:
+        // hash-placed strategies must land every edge on the same node.
+        let complete = test_graph();
+        let all: Vec<(u32, u32)> = complete
+            .edges()
+            .map(|(u, v)| (u.as_u32(), v.as_u32()))
+            .collect();
+        let (held_out, kept) = all.split_at(10);
+        let base = CsrGraph::from_edges(complete.num_vertices(), kept);
+        for strategy in [
+            PartitionStrategy::RandomVertexCut,
+            PartitionStrategy::SourceHash1D,
+        ] {
+            let mut incremental = PartitionedGraph::build(&base, 8, strategy, 42).unwrap();
+            for &(u, v) in held_out {
+                incremental.insert_edge(VertexId::new(u), VertexId::new(v), strategy, 42);
+            }
+            let cold = PartitionedGraph::build(&complete, 8, strategy, 42).unwrap();
+            for n in 0..8 {
+                let node = NodeId::new(n);
+                assert_eq!(
+                    incremental.node_edges(node),
+                    cold.node_edges(node),
+                    "{strategy:?} node {n}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_inserts_keep_lists_sorted_and_presence_consistent() {
+        let g = test_graph();
+        let mut p = PartitionedGraph::build(&g, 6, PartitionStrategy::GreedyVertexCut, 5).unwrap();
+        let before = p.total_edges();
+        let node = p.insert_edge(
+            VertexId::new(0),
+            VertexId::new(199),
+            PartitionStrategy::GreedyVertexCut,
+            5,
+        );
+        assert_eq!(p.total_edges(), before + 1);
+        assert!(p.is_present(VertexId::new(0), node));
+        assert!(p.is_present(VertexId::new(199), node));
+        for n in 0..6 {
+            let edges = p.node_edges(NodeId::new(n));
+            assert!(edges.windows(2).all(|w| w[0] < w[1]), "node {n} unsorted");
+        }
+    }
+
+    #[test]
+    fn batched_splices_match_per_edge_mutations() {
+        let g = test_graph();
+        let strategy = PartitionStrategy::RandomVertexCut;
+        let mut batched = PartitionedGraph::build(&g, 8, strategy, 3).unwrap();
+        let mut one_by_one = batched.clone();
+
+        let removals: Vec<(VertexId, VertexId)> = g.edges().step_by(7).collect();
+        let additions: Vec<(VertexId, VertexId)> = (0..12u32)
+            .map(|i| (VertexId::new(i), VertexId::new(199 - i)))
+            .filter(|&(u, v)| !g.has_edge(u, v))
+            .collect();
+
+        let mut removed_by_node = vec![Vec::new(); 8];
+        for &(u, v) in &removals {
+            let node = batched.locate_edge(u, v, strategy, 3).unwrap();
+            removed_by_node[node.index()].push((u, v));
+        }
+        let mut added_by_node = vec![Vec::new(); 8];
+        for &(u, v) in &additions {
+            let node = batched.placement(u, v, strategy, 3, &[]);
+            added_by_node[node].push((u, v));
+        }
+        for n in 0..8 {
+            removed_by_node[n].sort_unstable();
+            added_by_node[n].sort_unstable();
+        }
+        batched.splice_nodes(&removed_by_node, &added_by_node);
+
+        for &(u, v) in &removals {
+            one_by_one.remove_edge(u, v).unwrap();
+        }
+        for &(u, v) in &additions {
+            one_by_one.insert_edge(u, v, strategy, 3);
+        }
+        for n in 0..8 {
+            assert_eq!(
+                batched.node_edges(NodeId::new(n)),
+                one_by_one.node_edges(NodeId::new(n)),
+                "node {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn remove_edge_finds_and_drops_exactly_one_copy() {
+        let g = test_graph();
+        let mut p = PartitionedGraph::build(&g, 8, PartitionStrategy::RandomVertexCut, 3).unwrap();
+        let (u, v) = g.edges().next().unwrap();
+        let before = p.total_edges();
+        let node = p.remove_edge(u, v).expect("edge must be found");
+        assert_eq!(p.total_edges(), before - 1);
+        assert!(!p.node_edges(node).contains(&(u, v)));
+        // Absent edges are reported as such.
+        assert_eq!(p.remove_edge(u, v), None);
+    }
+
+    #[test]
+    fn ensure_vertices_matches_cold_master_assignment() {
+        let g = test_graph();
+        let mut small =
+            PartitionedGraph::build(&g, 8, PartitionStrategy::RandomVertexCut, 7).unwrap();
+        small.ensure_vertices(g.num_vertices() + 30, 7);
+        let bigger_edges: Vec<(u32, u32)> =
+            g.edges().map(|(u, v)| (u.as_u32(), v.as_u32())).collect();
+        let big_graph = CsrGraph::from_edges(g.num_vertices() + 30, &bigger_edges);
+        let cold =
+            PartitionedGraph::build(&big_graph, 8, PartitionStrategy::RandomVertexCut, 7).unwrap();
+        for u in 0..(g.num_vertices() + 30) as u32 {
+            assert_eq!(
+                small.master(VertexId::new(u)),
+                cold.master(VertexId::new(u)),
+                "vertex {u}"
+            );
         }
     }
 

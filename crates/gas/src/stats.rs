@@ -80,6 +80,15 @@ pub struct RunStats {
     /// ([`Engine::on`](crate::Engine::on)) — which is how experiment
     /// tables make the prepare-once amortization win visible.
     pub partition_build_seconds: f64,
+    /// Cumulative host wall-clock seconds the run's deployment spent
+    /// absorbing graph deltas
+    /// ([`Deployment::apply_delta`](crate::Deployment::apply_delta)) —
+    /// zero for one-shot engines and for deployments never updated.
+    pub delta_apply_seconds: f64,
+    /// Cumulative count of vertex-cut partitions touched by the
+    /// deployment's applied deltas: the incremental-repair footprint that
+    /// a full repartition would have inflated to every-partition.
+    pub delta_touched_partitions: usize,
 }
 
 impl RunStats {
@@ -149,7 +158,7 @@ mod tests {
                 step(&[7], &[2], &[300], 0.5),
             ],
             replication_factor: 1.5,
-            partition_build_seconds: 0.0,
+            ..Default::default()
         };
         assert!((run.simulated_seconds() - 1.5).abs() < 1e-12);
         assert_eq!(run.peak_memory(), 300);

@@ -56,12 +56,40 @@ impl CsrGraph {
         out_targets: Vec<VertexId>,
         out_weights: Option<Vec<f32>>,
     ) -> Self {
+        let (in_offsets, in_sources) = build_reverse(num_vertices, &out_offsets, &out_targets);
+        CsrGraph::from_parts_with_reverse(
+            num_vertices,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+        )
+    }
+
+    /// [`CsrGraph::from_parts`] with the reverse adjacency already built —
+    /// used by the delta compactor, which patches the in-adjacency with a
+    /// linear merge instead of re-scattering every edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset arrays are inconsistent with the target arrays.
+    pub(crate) fn from_parts_with_reverse(
+        num_vertices: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        out_weights: Option<Vec<f32>>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<VertexId>,
+    ) -> Self {
         assert_eq!(out_offsets.len(), num_vertices + 1);
         assert_eq!(*out_offsets.last().unwrap(), out_targets.len());
         if let Some(w) = &out_weights {
             assert_eq!(w.len(), out_targets.len());
         }
-        let (in_offsets, in_sources) = build_reverse(num_vertices, &out_offsets, &out_targets);
+        assert_eq!(in_offsets.len(), num_vertices + 1);
+        assert_eq!(*in_offsets.last().unwrap(), in_sources.len());
+        assert_eq!(in_sources.len(), out_targets.len());
         CsrGraph {
             num_vertices,
             out_offsets,
@@ -200,6 +228,21 @@ impl CsrGraph {
     #[inline]
     pub fn edge_index(&self, u: VertexId, i: usize) -> usize {
         self.out_offsets[u.index()] + i
+    }
+
+    /// Raw out-CSR arrays `(offsets, targets, weights)` — for the delta
+    /// compactor's bulk range copies.
+    pub(crate) fn out_csr(&self) -> (&[usize], &[VertexId], Option<&[f32]>) {
+        (
+            &self.out_offsets,
+            &self.out_targets,
+            self.out_weights.as_deref(),
+        )
+    }
+
+    /// Raw in-CSR arrays `(offsets, sources)`.
+    pub(crate) fn in_csr(&self) -> (&[usize], &[VertexId]) {
+        (&self.in_offsets, &self.in_sources)
     }
 
     /// Total bytes of the CSR arrays (used for memory accounting).

@@ -72,6 +72,14 @@ pub fn read_edge_list<R: Read>(reader: R, symmetrize: bool) -> Result<CsrGraph, 
                 builder.add_edge(u, v);
             }
         }
+        if let Some(extra) = it.next() {
+            // A line like `0 1 0.5 junk` is corrupt input, not a comment
+            // — accepting it silently hides truncated/merged records.
+            return Err(GraphError::Parse {
+                line: lineno + 1,
+                message: format!("trailing field {extra:?} after edge data"),
+            });
+        }
     }
     Ok(builder.build())
 }
@@ -165,13 +173,29 @@ pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
         return Err(GraphError::Corrupt("bad magic".into()));
     }
     let flags = buf.get_u8();
+    if flags & !FLAG_WEIGHTED != 0 {
+        return Err(GraphError::Corrupt(format!("unknown flag bits {flags:#x}")));
+    }
     let weighted = flags & FLAG_WEIGHTED != 0;
-    let n = buf.get_u64_le() as usize;
-    let m = buf.get_u64_le() as usize;
+    let raw_n = buf.get_u64_le();
+    let raw_m = buf.get_u64_le();
+    // Vertex ids are u32: a count beyond u32::MAX + 1 cannot index and
+    // would only arise from corruption; rejecting it here keeps the
+    // allocation sizing below meaningful.
+    if raw_n > u32::MAX as u64 + 1 {
+        return Err(GraphError::Corrupt(format!(
+            "vertex count {raw_n} exceeds the u32 id space"
+        )));
+    }
+    let n = raw_n as usize;
+    let m = raw_m as usize;
 
-    // Wide arithmetic: corrupt headers may carry counts that would
-    // overflow a usize multiplication (caught by the fuzz property test).
-    let need = (n as u128 + 1) * 8 + (m as u128) * 4 + if weighted { m as u128 * 4 } else { 0 };
+    // Validate the declared counts against the bytes actually present
+    // BEFORE any allocation is sized from them: a truncated or corrupt
+    // header must produce `GraphError::Corrupt`, not an OOM or panic.
+    // Wide arithmetic so hostile counts cannot overflow the check itself.
+    let need =
+        (n as u128 + 1) * 8 + (raw_m as u128) * 4 + if weighted { raw_m as u128 * 4 } else { 0 };
     if (buf.remaining() as u128) < need {
         return Err(GraphError::Corrupt(format!(
             "body too short: need {need} bytes, have {}",
@@ -252,6 +276,17 @@ mod tests {
     }
 
     #[test]
+    fn text_rejects_trailing_fields() {
+        // Regression: `0 1 0.5 junk` used to parse silently, dropping
+        // the extra field — a merged or truncated record must error.
+        let err = read_edge_list("0 1 0.5 junk\n".as_bytes(), false).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 1, .. }), "{err}");
+        assert!(err.to_string().contains("trailing field"), "{err}");
+        let err = read_edge_list("0 1\n2 3 1.0 4 5\n".as_bytes(), false).unwrap_err();
+        assert!(matches!(err, GraphError::Parse { line: 2, .. }), "{err}");
+    }
+
+    #[test]
     fn text_parses_weights() {
         let g = read_edge_list("0 1 0.5\n".as_bytes(), false).unwrap();
         assert!(g.is_weighted());
@@ -302,6 +337,57 @@ mod tests {
             let err = read_binary(&out[..cut]).unwrap_err();
             assert!(matches!(err, GraphError::Corrupt(_)), "cut at {cut}");
         }
+    }
+
+    /// Hand-crafts a `SNPLG1` header with arbitrary counts and a short
+    /// body.
+    fn forged_header(flags: u8, n: u64, m: u64, body_bytes: usize) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.put_slice(MAGIC);
+        out.put_u8(flags);
+        out.put_u64_le(n);
+        out.put_u64_le(m);
+        out.extend(std::iter::repeat_n(0u8, body_bytes));
+        out
+    }
+
+    #[test]
+    fn binary_rejects_counts_larger_than_the_body() {
+        // Counts drive allocations: a corrupt header declaring billions
+        // of vertices/edges over a tiny body must fail cleanly *before*
+        // any allocation is sized from it.
+        for (n, m) in [
+            (1u64 << 32, 0u64),     // vertex count beyond u32 ids
+            (u64::MAX, u64::MAX),   // would overflow naive size math
+            (10, u64::MAX / 4),     // edge bytes overflow
+            (1_000_000, 1_000_000), // plausible counts, missing body
+        ] {
+            let err = read_binary(&forged_header(0, n, m, 64)[..]).unwrap_err();
+            assert!(matches!(err, GraphError::Corrupt(_)), "n={n} m={m}: {err}");
+        }
+    }
+
+    #[test]
+    fn binary_rejects_unknown_flags() {
+        let err = read_binary(&forged_header(0xfe, 1, 0, 64)[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "{err}");
+        assert!(err.to_string().contains("flag"), "{err}");
+    }
+
+    #[test]
+    fn binary_rejects_non_monotonic_offsets() {
+        let mut out = Vec::new();
+        out.put_slice(MAGIC);
+        out.put_u8(0);
+        out.put_u64_le(2); // 2 vertices
+        out.put_u64_le(2); // 2 edges
+        out.put_u64_le(0);
+        out.put_u64_le(9); // offset beyond the edge count...
+        out.put_u64_le(2);
+        out.put_u32_le(0);
+        out.put_u32_le(1);
+        let err = read_binary(&out[..]).unwrap_err();
+        assert!(matches!(err, GraphError::Corrupt(_)), "{err}");
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! * [`GraphBuilder`] — the mutable construction side: collect edges, then
 //!   [`GraphBuilder::build`] a [`CsrGraph`] (deduplicated, sorted, optionally
 //!   symmetrized).
+//! * [`delta`] — streaming mutation: batched edge insertions/removals
+//!   ([`GraphDelta`]) with an overlay adjacency that composes with the
+//!   immutable CSR, folded back into CSR form by [`CsrGraph::compact`].
 //! * [`io`] — text edge-list (SNAP style) and a compact binary codec.
 //! * [`stats`] — degree histograms/CDFs, clustering, reciprocity; used to
 //!   regenerate the paper's Figure 6a–c.
@@ -40,6 +43,7 @@
 pub mod algo;
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod gen;
 pub mod hash;
@@ -51,6 +55,7 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, Direction};
+pub use delta::{DeltaOverlay, GraphDelta};
 pub use error::GraphError;
 pub use id::VertexId;
 pub use mask::VertexMask;

@@ -259,6 +259,16 @@ impl PreparedPredictor for PreparedModel<'_> {
         Ok(self.model.rank(graph, table))
     }
 
+    /// Refreshes the **single shared deployment** once per delta — every
+    /// feature column of every subsequent request runs on the mutated
+    /// graph without any per-column repartitioning.
+    fn apply_delta(
+        &mut self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<snaple_gas::DeltaStats, SnapleError> {
+        Ok(self.deployment.apply_delta(delta)?)
+    }
+
     fn setup(&self) -> &SetupStats {
         &self.setup
     }

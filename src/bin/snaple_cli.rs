@@ -19,6 +19,10 @@
 //! snaple-cli serve --graph lj.snplg --requests stream.txt --batch 8
 //! snaple-cli serve --graph lj.snplg --request-count 100 --request-size 50
 //!
+//! # Serve a *mixed* stream: predictions interleaved with edge updates
+//! # (add/remove lines mutate the served graph in place)
+//! snaple-cli serve --graph lj.snplg --updates mixed.txt --batch 8
+//!
 //! # Evaluate prediction quality under the paper's hold-out protocol
 //! snaple-cli evaluate --graph lj.snplg --score counter --removals 1
 //! ```
@@ -29,7 +33,9 @@ use std::path::{Path, PathBuf};
 use std::process::exit;
 
 use snaple::core::serve::Server;
-use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{
+    GraphDelta, PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+};
 use snaple::eval::{metrics, HoldOut};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -77,6 +83,7 @@ struct Options {
     queries: Option<String>,
     query_sample: Option<usize>,
     requests: Option<String>,
+    updates: Option<String>,
     batch: usize,
     request_count: Option<usize>,
     request_size: usize,
@@ -140,6 +147,7 @@ impl Options {
                     o.query_sample = Some(parse_num(&value("--query-sample"), "--query-sample"))
                 }
                 "--requests" => o.requests = Some(value("--requests")),
+                "--updates" => o.updates = Some(value("--updates")),
                 "--batch" => o.batch = parse_num(&value("--batch"), "--batch"),
                 "--request-count" => {
                     o.request_count = Some(parse_num(&value("--request-count"), "--request-count"))
@@ -229,13 +237,20 @@ commands:
             --queries (comma-separated ids) or --query-sample (random
             subset of N sources) restrict the run to those users
   serve     --graph FILE [prediction flags] [--batch N] [--out FILE]
-            (--requests FILE|- | --request-count N [--request-size M])
+            (--requests FILE|- | --updates FILE|- |
+             --request-count N [--request-size M])
             prepare once, then answer a stream of query-set requests,
             coalescing up to --batch requests per shared superstep run;
             --requests reads one request per line (comma-separated
             vertex ids; '-' reads stdin), --request-count samples a
             synthetic stream; emits 'request source target score' lines
-            and a throughput/latency summary
+            and a throughput/latency summary.
+            --updates reads a *mixed* predict/update stream instead:
+            'predict IDS' (or a bare id list) requests predictions,
+            'add U V [W]' / 'remove U V' mutate the served graph in
+            place (consecutive mutations coalesce into one delta batch;
+            predictions after an update reflect the mutated graph,
+            bit-identical to a cold restart on it)
   evaluate  --graph FILE [--removals N] [prediction flags]
             [--queries IDS | --query-sample N]
             hold out edges, predict, and report recall/precision/MRR;
@@ -374,29 +389,131 @@ fn parse_request_stream(reader: impl BufRead) -> Result<Vec<QuerySet>, String> {
     Ok(requests)
 }
 
+/// One event of a mixed predict/update stream.
+enum ServeEvent {
+    Predict(QuerySet),
+    /// A contiguous run of `add`/`remove` lines, merged into one delta.
+    Update(GraphDelta),
+}
+
+/// Parses a mixed predict/update stream: `predict IDS` (or a bare
+/// comma-separated id list), `add U V [W]`, `remove U V`; blank lines and
+/// `#` comments are skipped. Consecutive add/remove lines coalesce into
+/// one update batch.
+fn parse_update_stream(reader: impl BufRead) -> Result<Vec<ServeEvent>, String> {
+    let mut events: Vec<ServeEvent> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("update stream: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |what: &str| format!("update stream line {}: {what}, got {line:?}", lineno + 1);
+        let mut fields = line.split_whitespace();
+        let keyword = fields.next().expect("non-empty line");
+        let parse_id = |s: Option<&str>, what: &str| -> Result<u32, String> {
+            s.and_then(|x| x.parse().ok()).ok_or_else(|| err(what))
+        };
+        match keyword {
+            "add" | "remove" => {
+                let u = parse_id(fields.next(), "expected 'add U V [W]' / 'remove U V'")?;
+                let v = parse_id(fields.next(), "expected 'add U V [W]' / 'remove U V'")?;
+                let weight: Option<f32> = match (keyword, fields.next()) {
+                    ("add", Some(w)) => Some(w.parse().map_err(|_| err("invalid weight"))?),
+                    ("add", None) => None,
+                    ("remove", Some(_)) => return Err(err("'remove' takes exactly two ids")),
+                    _ => None,
+                };
+                if fields.next().is_some() {
+                    return Err(err("trailing fields"));
+                }
+                let delta = match events.last_mut() {
+                    Some(ServeEvent::Update(delta)) => delta,
+                    _ => {
+                        events.push(ServeEvent::Update(GraphDelta::new()));
+                        match events.last_mut() {
+                            Some(ServeEvent::Update(delta)) => delta,
+                            _ => unreachable!("just pushed"),
+                        }
+                    }
+                };
+                match (keyword, weight) {
+                    ("add", Some(w)) => {
+                        delta.insert_weighted(u, v, w);
+                    }
+                    ("add", None) => {
+                        delta.insert(u, v);
+                    }
+                    _ => {
+                        delta.remove(u, v);
+                    }
+                }
+            }
+            _ => {
+                let ids_str = match keyword {
+                    "predict" => {
+                        let ids = fields
+                            .next()
+                            .ok_or_else(|| err("'predict' needs comma-separated vertex ids"))?;
+                        if fields.next().is_some() {
+                            // `predict 5 7` would otherwise serve vertex 5
+                            // and silently drop the rest.
+                            return Err(err(
+                                "'predict' ids must be comma-separated without spaces",
+                            ));
+                        }
+                        ids
+                    }
+                    _ => line, // bare id list, same format as --requests
+                };
+                let ids: Result<Vec<u32>, _> = ids_str
+                    .split(',')
+                    .map(|s| s.trim().parse::<u32>())
+                    .collect();
+                let ids = ids.map_err(|_| err("expected comma-separated vertex ids"))?;
+                events.push(ServeEvent::Predict(QuerySet::from_indices(ids)));
+            }
+        }
+    }
+    Ok(events)
+}
+
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     let graph = load_graph(opts)?;
     let cluster = opts.cluster()?;
     let snaple = Snaple::new(opts.snaple_config()?);
-    let requests: Vec<QuerySet> = match (&opts.requests, opts.request_count) {
-        (Some(_), Some(_)) => {
-            return Err("--requests and --request-count are mutually exclusive".into())
+    let events: Vec<ServeEvent> = match (&opts.requests, &opts.updates, opts.request_count) {
+        (Some(_), Some(_), _) | (_, Some(_), Some(_)) | (Some(_), _, Some(_)) => {
+            return Err("--requests, --updates and --request-count are mutually exclusive".into())
         }
-        (Some(path), None) if path == "-" => parse_request_stream(std::io::stdin().lock())?,
-        (Some(path), None) => {
+        (Some(path), None, None) if path == "-" => parse_request_stream(std::io::stdin().lock())?
+            .into_iter()
+            .map(ServeEvent::Predict)
+            .collect(),
+        (Some(path), None, None) => {
             let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
             parse_request_stream(BufReader::new(file))?
+                .into_iter()
+                .map(ServeEvent::Predict)
+                .collect()
         }
-        (None, Some(count)) => (0..count)
+        (None, Some(path), None) if path == "-" => parse_update_stream(std::io::stdin().lock())?,
+        (None, Some(path), None) => {
+            let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+            parse_update_stream(BufReader::new(file))?
+        }
+        (None, None, Some(count)) => (0..count)
             .map(|i| {
-                QuerySet::sample(
+                ServeEvent::Predict(QuerySet::sample(
                     graph.num_vertices(),
                     opts.request_size,
                     opts.seed.wrapping_add(i as u64),
-                )
+                ))
             })
             .collect(),
-        (None, None) => return Err("missing --requests FILE or --request-count N".into()),
+        (None, None, None) => {
+            return Err("missing --requests FILE, --updates FILE or --request-count N".into())
+        }
     };
     if opts.batch == 0 {
         return Err("--batch must be at least 1".into());
@@ -410,28 +527,66 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         None => Box::new(std::io::stdout().lock()),
     };
     let mut request_idx = 0usize;
-    for chunk in requests.chunks(opts.batch) {
-        let responses = server.serve_batch(chunk).map_err(|e| e.to_string())?;
-        for (request, response) in chunk.iter().zip(&responses) {
-            for q in request.iter() {
-                for (z, score) in response.for_vertex(q) {
-                    writeln!(
-                        out,
-                        "{request_idx}\t{}\t{}\t{score}",
-                        q.as_u32(),
-                        z.as_u32()
-                    )
-                    .map_err(|e| e.to_string())?;
+    let mut requests_served = 0usize;
+    let mut pending: Vec<QuerySet> = Vec::new();
+    let flush = |server: &mut Server<'_>,
+                 pending: &mut Vec<QuerySet>,
+                 out: &mut dyn Write,
+                 request_idx: &mut usize|
+     -> Result<(), String> {
+        for chunk in pending.chunks(opts.batch) {
+            let responses = server.serve_batch(chunk).map_err(|e| e.to_string())?;
+            for (request, response) in chunk.iter().zip(&responses) {
+                for q in request.iter() {
+                    for (z, score) in response.for_vertex(q) {
+                        writeln!(
+                            out,
+                            "{}\t{}\t{}\t{score}",
+                            *request_idx,
+                            q.as_u32(),
+                            z.as_u32()
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+                *request_idx += 1;
+            }
+        }
+        pending.clear();
+        Ok(())
+    };
+    for event in events {
+        match event {
+            ServeEvent::Predict(q) => {
+                requests_served += 1;
+                pending.push(q);
+                if pending.len() >= opts.batch {
+                    flush(&mut server, &mut pending, &mut *out, &mut request_idx)?;
                 }
             }
-            request_idx += 1;
+            ServeEvent::Update(delta) => {
+                // Updates are serialization points: everything queued
+                // before the update sees the old graph, everything after
+                // sees the new one.
+                flush(&mut server, &mut pending, &mut *out, &mut request_idx)?;
+                let applied = server.apply_update(&delta).map_err(|e| e.to_string())?;
+                eprintln!(
+                    "applied update: +{} -{} edges (+{} vertices), \
+                     {} partitions touched, {:.2} ms",
+                    applied.inserted_edges,
+                    applied.removed_edges,
+                    applied.grown_vertices,
+                    applied.touched_partitions,
+                    applied.apply_wall_seconds * 1e3,
+                );
+            }
         }
     }
+    flush(&mut server, &mut pending, &mut *out, &mut request_idx)?;
     out.flush().map_err(|e| e.to_string())?;
     let stats = server.stats();
     eprintln!(
-        "served {} requests on {} ({} cores): {}",
-        requests.len(),
+        "served {requests_served} requests on {} ({} cores): {}",
         cluster.name,
         cluster.total_cores(),
         stats.summary()

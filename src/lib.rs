@@ -109,6 +109,47 @@
 //! --requests stream.txt --batch 8`, and
 //! `crates/bench/benches/serve.rs` tracks the end-to-end speedup over
 //! repeated one-shot `predict`s.
+//!
+//! # Streaming graph updates
+//!
+//! The served graph does not stay frozen: the full serving lifecycle is
+//! *prepare → execute → apply_delta → execute*. Batch edge insertions
+//! and removals into a [`GraphDelta`](graph::GraphDelta) and apply it to
+//! a running server (or any prepared predictor) **in place** — the
+//! deployment folds the delta in incrementally (linear
+//! [`CsrGraph::compact`](graph::CsrGraph::compact) merge, only the
+//! touched vertex-cut partitions re-routed) instead of paying a full
+//! O(edges) re-prepare, and every later prediction is bit-identical to
+//! a cold restart on the mutated graph:
+//!
+//! ```
+//! use snaple::core::serve::Server;
+//! use snaple::core::{GraphDelta, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::gas::ClusterSpec;
+//! use snaple::graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!
+//! let mut server = Server::new(&snaple, &graph, &cluster)?;
+//! let active = QuerySet::sample(graph.num_vertices(), 50, 7);
+//! let before = server.serve(&active)?;                     // execute
+//!
+//! let mut delta = GraphDelta::new();                       // new follow edges arrive
+//! delta.insert(0, 1234).insert(17, 99).remove(4, 2);
+//! let applied = server.apply_update(&delta)?;              // apply_delta, in place
+//! assert!(applied.touched_partitions <= cluster.nodes);
+//!
+//! let after = server.serve(&active)?;                      // execute on the new graph
+//! # let _ = (before, after);
+//! # Ok::<(), snaple::core::SnapleError>(())
+//! ```
+//!
+//! The CLI serves mixed streams via `snaple-cli serve --updates
+//! mixed.txt` (`predict IDS` / `add U V` / `remove U V` lines), and
+//! `exp_streaming` + `crates/bench/benches/streaming.rs` track the
+//! incremental-apply vs full-re-prepare speedup across churn levels.
 
 pub use snaple_baseline as baseline;
 pub use snaple_cassovary as cassovary;
