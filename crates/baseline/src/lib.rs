@@ -584,12 +584,12 @@ mod tests {
 
     #[test]
     fn uses_far_more_memory_and_traffic_than_snaple() {
-        use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+        use snaple_core::{NamedScore, Snaple, SnapleConfig};
         let g = datasets::GOWALLA.emulate(0.004, 3);
         let cluster = ClusterSpec::type_ii(4);
         let base = run(BaselineConfig::new(), &g, &cluster);
         let snaple = Predictor::predict(
-            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20))),
+            &Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20))),
             &PredictRequest::new(&g, &cluster),
         )
         .unwrap();

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use snaple_core::{PredictRequest, Predictor, ScoreSpec, SelectionPolicy, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, PredictRequest, Predictor, SelectionPolicy, Snaple, SnapleConfig};
 use snaple_gas::{ClusterSpec, PartitionStrategy, PartitionedGraph};
 use snaple_graph::gen::datasets;
 
@@ -36,7 +36,7 @@ fn bench_selection_policies(c: &mut Criterion) {
             |bench, &p| {
                 bench.iter(|| {
                     let snaple = Snaple::new(
-                        SnapleConfig::new(ScoreSpec::LinearSum)
+                        SnapleConfig::new(NamedScore::LinearSum)
                             .klocal(Some(10))
                             .selection(p),
                     );

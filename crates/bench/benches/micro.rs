@@ -8,7 +8,7 @@ use rand::{Rng, SeedableRng};
 use snaple_core::similarity::{intersection_size, Jaccard, Similarity};
 use snaple_core::topk::top_k_by_score;
 use snaple_core::{
-    NeighborhoodView, PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+    NamedScore, NeighborhoodView, PredictRequest, Predictor, QuerySet, Snaple, SnapleConfig,
 };
 use snaple_gas::ClusterSpec;
 use snaple_graph::gen::datasets;
@@ -69,7 +69,7 @@ fn bench_end_to_end(c: &mut Criterion) {
             |bench, &kl| {
                 bench.iter(|| {
                     let snaple =
-                        Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(kl)));
+                        Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(kl)));
                     let req = PredictRequest::new(&graph, &cluster);
                     black_box(Predictor::predict(&snaple, &req).unwrap())
                 });
@@ -87,7 +87,7 @@ fn bench_targeted(c: &mut Criterion) {
     group.sample_size(10);
     let graph = datasets::GOWALLA.emulate(0.01, 7);
     let cluster = ClusterSpec::type_ii(4);
-    let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+    let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
     let one_percent = QuerySet::sample(graph.num_vertices(), graph.num_vertices() / 100, 7);
 
     group.bench_with_input(

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use snaple_bench::append_bench_json;
 use snaple_core::serve::Server;
-use snaple_core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, PredictRequest, Predictor, QuerySet, Snaple, SnapleConfig};
 use snaple_gas::ClusterSpec;
 use snaple_graph::gen::datasets;
 
@@ -40,7 +40,7 @@ fn main() {
     let graph = datasets::GOWALLA.emulate(0.01, 7);
     let cluster = ClusterSpec::type_ii(4);
     let snaple = Snaple::new(
-        SnapleConfig::new(ScoreSpec::LinearSum)
+        SnapleConfig::new(NamedScore::LinearSum)
             .k(5)
             .klocal(Some(20)),
     );

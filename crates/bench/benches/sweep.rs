@@ -1,0 +1,83 @@
+//! Criterion bench: fused N-spec [`ScorePlan`] sweeps vs N independent
+//! standalone runs on shared prepared deployments.
+//!
+//! Knobs (environment):
+//! * `SWEEP_BENCH_SCALE` — gowalla emulation scale (default 0.01).
+//!
+//! With `BENCH_JSON=...` set, per-benchmark medians land in the usual
+//! JSON line format for tracking.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use snaple_core::{ExecuteRequest, Predictor, PrepareRequest, ScorePlan};
+use snaple_gas::ClusterSpec;
+use snaple_graph::gen::datasets;
+
+fn scale() -> f64 {
+    std::env::var("SWEEP_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+fn bench_fused_vs_independent(c: &mut Criterion) {
+    let graph = datasets::GOWALLA.emulate(scale(), 7);
+    let cluster = ClusterSpec::type_ii(4);
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+
+    for &n in &[1usize, 2, 4, 8] {
+        let table3 = [
+            "linearSum",
+            "counter",
+            "PPR",
+            "euclSum",
+            "geomSum",
+            "linearMean",
+            "euclMean",
+            "geomMean",
+        ];
+        let plan = ScorePlan::parse(&table3[..n].join(", ")).expect("plan parses");
+        let prepared = plan
+            .prepare_plan(&PrepareRequest::new(&graph, &cluster))
+            .expect("prepare plan");
+
+        // One fused sweep computing all n columns.
+        group.bench_with_input(BenchmarkId::new("fused-plan", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(
+                    prepared
+                        .execute_matrix(&ExecuteRequest::new())
+                        .expect("fused execute"),
+                )
+            });
+        });
+
+        // The naive path: n standalone runs (each on its own prepared
+        // deployment, so both sides amortize the partition build).
+        let snaples: Vec<_> = (0..n).map(|col| plan.column_snaple(col)).collect();
+        let prepared_solos: Vec<_> = snaples
+            .iter()
+            .map(|snaple| {
+                snaple
+                    .prepare(&PrepareRequest::new(&graph, &cluster))
+                    .expect("prepare standalone")
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("independent-runs", n), &n, |bench, _| {
+            bench.iter(|| {
+                for prepared in &prepared_solos {
+                    black_box(
+                        prepared
+                            .execute(&ExecuteRequest::new())
+                            .expect("standalone execute"),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fused_vs_independent);
+criterion_main!(benches);

@@ -5,7 +5,7 @@
 //! synthetic datasets carry).
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::{HoldOut, Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -33,7 +33,7 @@ fn main() {
         let runner = Runner::new(&holdout);
         let cluster = scaled_cluster(ClusterSpec::type_ii(4), &ds);
         for &alpha in alphas {
-            let config = SnapleConfig::new(ScoreSpec::LinearSum)
+            let config = SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(20))
                 .alpha(alpha)
                 .seed(args.seed);
@@ -73,7 +73,7 @@ fn main() {
         let counter = runner.run(
             "counter",
             &Snaple::new(
-                SnapleConfig::new(ScoreSpec::Counter)
+                SnapleConfig::new(NamedScore::Counter)
                     .klocal(Some(20))
                     .seed(args.seed),
             ),
@@ -82,7 +82,7 @@ fn main() {
         let linear = runner.run(
             "linearSum",
             &Snaple::new(
-                SnapleConfig::new(ScoreSpec::LinearSum)
+                SnapleConfig::new(NamedScore::LinearSum)
                     .klocal(Some(20))
                     .seed(args.seed),
             ),

@@ -6,7 +6,7 @@
 //! missing links, so recall decreases roughly proportionally.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -23,10 +23,10 @@ fn main() {
     } else {
         &[1, 2, 3, 4, 5]
     };
-    let scores: Vec<ScoreSpec> = if args.quick {
-        vec![ScoreSpec::LinearSum, ScoreSpec::Counter]
+    let scores: Vec<NamedScore> = if args.quick {
+        vec![NamedScore::LinearSum, NamedScore::Counter]
     } else {
-        ScoreSpec::sum_family().to_vec()
+        NamedScore::sum_family().to_vec()
     };
 
     let mut table = TextTable::new(vec!["dataset", "score", "removed/vertex", "recall"]);

@@ -6,7 +6,7 @@
 //! points".
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::table::fmt_seconds;
 use snaple_eval::{Outcome, Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -45,7 +45,7 @@ fn main() {
         for base in deployments {
             let cluster = scaled_cluster(base.clone(), &ds);
             for &klocal in klocals {
-                let config = SnapleConfig::new(ScoreSpec::LinearSum)
+                let config = SnapleConfig::new(NamedScore::LinearSum)
                     .klocal(Some(klocal))
                     .seed(args.seed);
                 let m = runner.run("linearSum", &Snaple::new(config), &runner.request(&cluster));

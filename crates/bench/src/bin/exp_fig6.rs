@@ -9,7 +9,7 @@
 //! stops improving.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
 use snaple_graph::stats::degree_coverage;
@@ -68,7 +68,7 @@ fn main() {
         let cluster = scaled_cluster(ClusterSpec::type_ii(8), &ds);
         let mut base_recall = None;
         for thr in THRESHOLDS {
-            let config = SnapleConfig::new(ScoreSpec::LinearSum)
+            let config = SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(klocal))
                 .thr_gamma(Some(thr))
                 .seed(args.seed);

@@ -7,7 +7,7 @@
 //! `klocal = 5`), and the three converge as `klocal` grows.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, SelectionPolicy, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, SelectionPolicy, Snaple, SnapleConfig};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -23,7 +23,7 @@ fn main() {
     } else {
         &[5, 10, 20, 40, 80]
     };
-    let scores = [ScoreSpec::Counter, ScoreSpec::LinearSum, ScoreSpec::Ppr];
+    let scores = [NamedScore::Counter, NamedScore::LinearSum, NamedScore::Ppr];
 
     let ds = dataset(&args, "livejournal");
     let (_graph, holdout) = ds.load_with_holdout(args.seed, 1);

@@ -8,7 +8,7 @@
 //! the y-axis recall.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::table::fmt_seconds;
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -48,10 +48,10 @@ fn main() {
         // twitter-scale runs inside the scaled memory budget.
         let cluster = scaled_cluster(ClusterSpec::type_ii(8), &ds);
 
-        let families: [(&str, Vec<ScoreSpec>); 3] = [
-            ("Sum", ScoreSpec::sum_family().to_vec()),
-            ("Mean", ScoreSpec::mean_family().to_vec()),
-            ("Geom", ScoreSpec::geom_family().to_vec()),
+        let families: [(&str, Vec<NamedScore>); 3] = [
+            ("Sum", NamedScore::sum_family().to_vec()),
+            ("Mean", NamedScore::mean_family().to_vec()),
+            ("Geom", NamedScore::geom_family().to_vec()),
         ];
         for (family, scores) in families {
             for score in scores {

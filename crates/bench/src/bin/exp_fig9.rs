@@ -7,7 +7,7 @@
 //! truncation — equivalent to the paper's per-`k` runs.
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::{metrics, Runner, TextTable};
 use snaple_gas::ClusterSpec;
 
@@ -18,10 +18,10 @@ fn main() {
     banner("exp-fig9", "paper Figure 9 (§5.8)", &args);
 
     let klocal = if args.quick { 20 } else { 80 };
-    let scores: Vec<ScoreSpec> = if args.quick {
-        vec![ScoreSpec::LinearSum, ScoreSpec::Counter]
+    let scores: Vec<NamedScore> = if args.quick {
+        vec![NamedScore::LinearSum, NamedScore::Counter]
     } else {
-        ScoreSpec::sum_family().to_vec()
+        NamedScore::sum_family().to_vec()
     };
 
     let mut table = TextTable::new(vec!["dataset", "score", "k=5", "k=10", "k=15", "k=20"]);

@@ -11,7 +11,7 @@
 
 use snaple_bench::{append_bench_json, banner, dataset, emit, ExpArgs};
 use snaple_core::serve::Server;
-use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, QuerySet, Snaple, SnapleConfig};
 use snaple_eval::table::{fmt_millis, fmt_recall, fmt_seconds};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -38,7 +38,7 @@ fn main() {
         .map(|i| QuerySet::sample(graph.num_vertices(), per_request, args.seed + i as u64))
         .collect();
     let snaple = Snaple::new(
-        SnapleConfig::new(ScoreSpec::LinearSum)
+        SnapleConfig::new(NamedScore::LinearSum)
             .klocal(Some(20))
             .seed(args.seed),
     );

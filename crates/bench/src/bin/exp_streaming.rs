@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use snaple_bench::{append_bench_json, banner, churn_delta, emit, ExpArgs};
 use snaple_core::{
-    ExecuteRequest, Predictor, PrepareRequest, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+    ExecuteRequest, NamedScore, Predictor, PrepareRequest, QuerySet, Snaple, SnapleConfig,
 };
 use snaple_eval::table::fmt_millis;
 use snaple_eval::TextTable;
@@ -72,7 +72,7 @@ fn main() {
     let graph = datasets::GOWALLA.emulate(scale, args.seed);
     let cluster = ClusterSpec::type_ii(4);
     let snaple = Snaple::new(
-        SnapleConfig::new(ScoreSpec::LinearSum)
+        SnapleConfig::new(NamedScore::LinearSum)
             .k(5)
             .klocal(Some(20))
             .seed(args.seed),

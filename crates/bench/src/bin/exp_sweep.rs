@@ -1,0 +1,188 @@
+//! `exp-sweep` — fused multi-score plans vs independent per-config runs.
+//!
+//! The paper's evaluation sweeps many scoring configurations over the
+//! same graph (Table 3's eleven rows, the figures' parameter grids); the
+//! supervised extension extracts several score columns per candidate.
+//! This experiment measures what the [`ScorePlan`] redesign buys: an
+//! N-spec plan compiled to **one** fused superstep sweep versus the
+//! naive N independent SNAPLE runs.
+//!
+//! Three checks per configuration grid:
+//!
+//! 1. **equivalence** — every fused column must be bit-identical to the
+//!    standalone run of its spec (the experiment exits non-zero on any
+//!    divergence, which the CI `sweep-smoke` step relies on);
+//! 2. **gather ops** — the fused sweep must perform **< 60%** of the
+//!    independent runs' combined gather calls (the acceptance bar; a
+//!    2-hop plan lands near `1/N`), also enforced by exit code;
+//! 3. **wall time** — fused vs independent execution time on shared
+//!    prepared deployments, i.e. pure sweep cost with the partition
+//!    build already amortized on both sides.
+//!
+//! Per-plan gather-op counts, wall times and speedups land in
+//! `BENCH_JSON` when set.
+
+use std::process::exit;
+use std::time::Instant;
+
+use snaple_bench::{append_bench_json, banner, emit, ExpArgs};
+use snaple_core::{ExecuteRequest, Predictor, PrepareRequest, ScorePlan};
+use snaple_eval::table::fmt_millis;
+use snaple_eval::TextTable;
+use snaple_gas::ClusterSpec;
+use snaple_graph::gen::datasets;
+
+fn main() {
+    let args = ExpArgs::parse(
+        "exp-sweep",
+        "fused N-spec score plans vs N independent per-configuration runs",
+    );
+    banner(
+        "exp-sweep",
+        "the ScorePlan fusion (multi-score sweeps share one traversal)",
+        &args,
+    );
+
+    let scale = if args.quick { 0.004 } else { 0.02 } * args.scale;
+    let graph = datasets::GOWALLA.emulate(scale, args.seed);
+    let cluster = ClusterSpec::type_ii(4);
+    println!(
+        "gowalla@{scale:.3}: {} vertices, {} edges, {} cluster\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        cluster.name
+    );
+
+    // The supervised panel (N=4), a Table 3 slice (N=8 full runs only),
+    // and a kernel-diverse plan exercising blends and custom aggregators.
+    let mut plans: Vec<(&str, String)> = vec![
+        ("panel-n4", "linearSum, counter, PPR, euclSum".to_owned()),
+        (
+            "kernels-n4",
+            "jaccard@agg=max, cosine*0.7+common, invdeg@comb=sum, dice@k3".to_owned(),
+        ),
+    ];
+    if !args.quick {
+        plans.push((
+            "table3-n8",
+            "linearSum, euclSum, geomSum, PPR, counter, linearMean, euclMean, geomMean".to_owned(),
+        ));
+    }
+
+    let mut table = TextTable::new(vec![
+        "plan",
+        "cols",
+        "fused gathers",
+        "indep gathers",
+        "ratio",
+        "fused wall",
+        "indep wall",
+        "speedup",
+        "rows",
+    ]);
+    let mut failed = false;
+    let reps = if args.quick { 2 } else { 3 };
+
+    for (name, scores) in &plans {
+        let plan = ScorePlan::parse(scores).expect("plan parses");
+        let n = plan.num_columns();
+        let prepared = plan
+            .prepare_plan(&PrepareRequest::new(&graph, &cluster))
+            .expect("prepare plan");
+
+        // --- Fused: one sweep, all columns (best of reps). --------------
+        let mut fused_wall = f64::MAX;
+        let mut matrix = None;
+        for _ in 0..reps {
+            let started = Instant::now();
+            let m = prepared
+                .execute_matrix(&ExecuteRequest::new())
+                .expect("fused execute");
+            fused_wall = fused_wall.min(started.elapsed().as_secs_f64());
+            matrix = Some(m);
+        }
+        let matrix = matrix.expect("at least one rep");
+        let fused_gathers: u64 = matrix.stats.steps.iter().map(|s| s.gather_calls).sum();
+
+        // --- Independent: one standalone run per column, each on its own
+        // prepared deployment (sweep cost only, partition amortized). ----
+        let mut independent_gathers = 0u64;
+        let mut independent_wall = 0f64;
+        let mut rows_checked = 0usize;
+        for col in 0..n {
+            let standalone = plan.column_snaple(col);
+            let solo_prepared = standalone
+                .prepare(&PrepareRequest::new(&graph, &cluster))
+                .expect("prepare standalone");
+            let mut solo_wall = f64::MAX;
+            let mut solo = None;
+            for _ in 0..reps {
+                let started = Instant::now();
+                let p = solo_prepared
+                    .execute(&ExecuteRequest::new())
+                    .expect("standalone execute");
+                solo_wall = solo_wall.min(started.elapsed().as_secs_f64());
+                solo = Some(p);
+            }
+            let solo = solo.expect("at least one rep");
+            independent_wall += solo_wall;
+            independent_gathers += solo.stats.steps.iter().map(|s| s.gather_calls).sum::<u64>();
+            for (u, fused_rows) in matrix.column_rows(col) {
+                if fused_rows != solo.for_vertex(u) {
+                    eprintln!(
+                        "DIVERGENCE in plan {name}: column {col} ({}) row {u} \
+                         differs from its standalone run",
+                        matrix.labels()[col]
+                    );
+                    failed = true;
+                }
+                rows_checked += 1;
+            }
+        }
+
+        let ratio = fused_gathers as f64 / independent_gathers.max(1) as f64;
+        if ratio >= 0.6 {
+            eprintln!(
+                "FUSION REGRESSION in plan {name}: fused sweep performs {:.1}% of the \
+                 independent gather ops (acceptance bar: < 60%)",
+                ratio * 100.0
+            );
+            failed = true;
+        }
+        let speedup = independent_wall / fused_wall.max(1e-12);
+        table.row(vec![
+            (*name).to_owned(),
+            n.to_string(),
+            fused_gathers.to_string(),
+            independent_gathers.to_string(),
+            format!("{:.1}%", ratio * 100.0),
+            fmt_millis(fused_wall),
+            fmt_millis(independent_wall),
+            format!("{speedup:.1}x"),
+            format!("{rows_checked} identical"),
+        ]);
+        append_bench_json(&format!(
+            "{{\"name\":\"sweep/fused-vs-independent/{name}\",\
+             \"columns\":{n},\
+             \"fused_gather_calls\":{fused_gathers},\
+             \"independent_gather_calls\":{independent_gathers},\
+             \"gather_ratio\":{ratio:.4},\
+             \"fused_wall_seconds\":{fused_wall:.6},\
+             \"independent_wall_seconds\":{independent_wall:.6},\
+             \"speedup\":{speedup:.3},\
+             \"fused_work_ops\":{},\
+             \"rows_checked\":{rows_checked}}}",
+            matrix.stats.total_work_ops(),
+        ));
+    }
+
+    emit(&args, "sweep", &table);
+    if failed {
+        eprintln!("FAILED: fused plans diverged from standalone runs or missed the fusion bar");
+        exit(1);
+    }
+    println!(
+        "equivalence: every fused column bit-identical to its standalone run; \
+         all plans under the 60% gather bar"
+    );
+}

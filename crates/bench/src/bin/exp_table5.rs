@@ -8,7 +8,7 @@
 
 use snaple_baseline::{Baseline, BaselineConfig};
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::table::{fmt_gain, fmt_recall, fmt_seconds};
 use snaple_eval::{Outcome, Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -25,7 +25,7 @@ fn main() {
     // paper's point is precisely that the direct implementation does not
     // scale).
     let table5_scale = if args.quick { 0.15 } else { 0.4 };
-    let scores = [ScoreSpec::LinearSum, ScoreSpec::Counter, ScoreSpec::Ppr];
+    let scores = [NamedScore::LinearSum, NamedScore::Counter, NamedScore::Ppr];
     let corners: [(Option<usize>, Option<usize>); 4] = [
         (None, None),
         (Some(20), None),

@@ -9,7 +9,7 @@
 
 use snaple_bench::{banner, dataset, emit, scaled_cluster, ExpArgs};
 use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
-use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, Snaple, SnapleConfig};
 use snaple_eval::table::{fmt_recall, fmt_seconds};
 use snaple_eval::{Runner, TextTable};
 use snaple_gas::ClusterSpec;
@@ -59,7 +59,7 @@ fn main() {
         let snaple = runner.run(
             "linearSum klocal=20",
             &Snaple::new(
-                SnapleConfig::new(ScoreSpec::LinearSum)
+                SnapleConfig::new(NamedScore::LinearSum)
                     .klocal(Some(20))
                     .seed(args.seed),
             ),
@@ -89,7 +89,7 @@ fn main() {
     let distributed = runner.run(
         "linearSum klocal=5 @256 cores",
         &Snaple::new(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(5))
                 .seed(args.seed),
         ),

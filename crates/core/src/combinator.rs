@@ -32,13 +32,28 @@ impl Linear {
     ///
     /// # Panics
     ///
-    /// Panics if `alpha` is not in `[0, 1]`.
+    /// Panics if `alpha` is non-finite (NaN, ±∞) or not in `[0, 1]`; use
+    /// [`Linear::try_new`] for a fallible variant.
     pub fn new(alpha: f32) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&alpha),
-            "alpha must be in [0, 1], got {alpha}"
-        );
-        Linear { alpha }
+        Linear::try_new(alpha).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects non-finite `alpha` and values
+    /// outside `[0, 1]` instead of panicking. A NaN `alpha` would
+    /// silently poison every combined path score downstream, so it is
+    /// caught here at construction.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending `alpha`.
+    pub fn try_new(alpha: f32) -> Result<Self, String> {
+        if !alpha.is_finite() {
+            return Err(format!("alpha must be finite, got {alpha}"));
+        }
+        if !(0.0..=1.0).contains(&alpha) {
+            return Err(format!("alpha must be in [0, 1], got {alpha}"));
+        }
+        Ok(Linear { alpha })
     }
 }
 
@@ -152,6 +167,25 @@ mod tests {
     #[should_panic(expected = "alpha must be in")]
     fn linear_rejects_bad_alpha() {
         let _ = Linear::new(1.5);
+    }
+
+    #[test]
+    fn linear_rejects_non_finite_alpha_at_construction() {
+        // A NaN alpha would make every combined score NaN without any
+        // error surfacing until top-k selection; validate up front.
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = Linear::try_new(bad).unwrap_err();
+            assert!(err.contains("finite"), "{err}");
+        }
+        assert!(Linear::try_new(1.5).unwrap_err().contains("[0, 1]"));
+        assert!(Linear::try_new(-0.1).is_err());
+        assert_eq!(Linear::try_new(0.25).unwrap().alpha, 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be finite")]
+    fn linear_new_panics_on_nan() {
+        let _ = Linear::new(f32::NAN);
     }
 
     proptest! {

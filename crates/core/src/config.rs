@@ -12,13 +12,13 @@ use crate::similarity::{self, Similarity};
 /// The named scoring configurations of the paper's Table 3.
 ///
 /// Each value is a (similarity, combinator `⊗`, aggregator `⊕`) triple;
-/// [`ScoreSpec::resolve`] instantiates the components. The `Sum` family
+/// [`NamedScore::resolve`] instantiates the components. The `Sum` family
 /// additionally contains the two gray rows of the table: a personalized
 /// PageRank-like score (`Ppr`) and the plain 2-hop path counter
 /// (`Counter`).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 #[allow(missing_docs)] // the variants are the paper's Table 3 row names
-pub enum ScoreSpec {
+pub enum NamedScore {
     LinearSum,
     EuclSum,
     GeomSum,
@@ -32,83 +32,85 @@ pub enum ScoreSpec {
     GeomGeom,
 }
 
-impl ScoreSpec {
+impl NamedScore {
     /// All eleven rows of Table 3, in table order.
-    pub fn all() -> [ScoreSpec; 11] {
+    pub fn all() -> [NamedScore; 11] {
         [
-            ScoreSpec::LinearSum,
-            ScoreSpec::EuclSum,
-            ScoreSpec::GeomSum,
-            ScoreSpec::Ppr,
-            ScoreSpec::Counter,
-            ScoreSpec::LinearMean,
-            ScoreSpec::EuclMean,
-            ScoreSpec::GeomMean,
-            ScoreSpec::LinearGeom,
-            ScoreSpec::EuclGeom,
-            ScoreSpec::GeomGeom,
+            NamedScore::LinearSum,
+            NamedScore::EuclSum,
+            NamedScore::GeomSum,
+            NamedScore::Ppr,
+            NamedScore::Counter,
+            NamedScore::LinearMean,
+            NamedScore::EuclMean,
+            NamedScore::GeomMean,
+            NamedScore::LinearGeom,
+            NamedScore::EuclGeom,
+            NamedScore::GeomGeom,
         ]
     }
 
     /// The five `Sum`-aggregated configurations (paper Fig. 8a, 9, 10).
-    pub fn sum_family() -> [ScoreSpec; 5] {
+    pub fn sum_family() -> [NamedScore; 5] {
         [
-            ScoreSpec::Counter,
-            ScoreSpec::EuclSum,
-            ScoreSpec::GeomSum,
-            ScoreSpec::LinearSum,
-            ScoreSpec::Ppr,
+            NamedScore::Counter,
+            NamedScore::EuclSum,
+            NamedScore::GeomSum,
+            NamedScore::LinearSum,
+            NamedScore::Ppr,
         ]
     }
 
     /// The three `Mean`-aggregated configurations (paper Fig. 8b).
-    pub fn mean_family() -> [ScoreSpec; 3] {
+    pub fn mean_family() -> [NamedScore; 3] {
         [
-            ScoreSpec::EuclMean,
-            ScoreSpec::GeomMean,
-            ScoreSpec::LinearMean,
+            NamedScore::EuclMean,
+            NamedScore::GeomMean,
+            NamedScore::LinearMean,
         ]
     }
 
     /// The three `Geom`-aggregated configurations (paper Fig. 8c).
-    pub fn geom_family() -> [ScoreSpec; 3] {
+    pub fn geom_family() -> [NamedScore; 3] {
         [
-            ScoreSpec::EuclGeom,
-            ScoreSpec::GeomGeom,
-            ScoreSpec::LinearGeom,
+            NamedScore::EuclGeom,
+            NamedScore::GeomGeom,
+            NamedScore::LinearGeom,
         ]
     }
 
     /// The paper's name for this configuration ("linearSum", ...).
     pub fn name(self) -> &'static str {
         match self {
-            ScoreSpec::LinearSum => "linearSum",
-            ScoreSpec::EuclSum => "euclSum",
-            ScoreSpec::GeomSum => "geomSum",
-            ScoreSpec::Ppr => "PPR",
-            ScoreSpec::Counter => "counter",
-            ScoreSpec::LinearMean => "linearMean",
-            ScoreSpec::EuclMean => "euclMean",
-            ScoreSpec::GeomMean => "geomMean",
-            ScoreSpec::LinearGeom => "linearGeom",
-            ScoreSpec::EuclGeom => "euclGeom",
-            ScoreSpec::GeomGeom => "geomGeom",
+            NamedScore::LinearSum => "linearSum",
+            NamedScore::EuclSum => "euclSum",
+            NamedScore::GeomSum => "geomSum",
+            NamedScore::Ppr => "PPR",
+            NamedScore::Counter => "counter",
+            NamedScore::LinearMean => "linearMean",
+            NamedScore::EuclMean => "euclMean",
+            NamedScore::GeomMean => "geomMean",
+            NamedScore::LinearGeom => "linearGeom",
+            NamedScore::EuclGeom => "euclGeom",
+            NamedScore::GeomGeom => "geomGeom",
         }
     }
 
     /// Parses a paper name back into a spec.
-    pub fn parse(name: &str) -> Option<ScoreSpec> {
-        ScoreSpec::all().into_iter().find(|s| s.name() == name)
+    pub fn parse(name: &str) -> Option<NamedScore> {
+        NamedScore::all().into_iter().find(|s| s.name() == name)
     }
 
     /// Instantiates the similarity/combinator/aggregator triple, using
     /// `alpha` for linear combinators.
     pub fn resolve(self, alpha: f32) -> ScoreComponents {
-        use ScoreSpec::*;
+        use NamedScore::*;
         let similarity: Arc<dyn Similarity> = match self {
             Ppr => Arc::new(similarity::InverseDegree),
             Counter => Arc::new(similarity::Unit),
-            _ => Arc::new(similarity::Jaccard),
+            // The shared instance, so scoring and selection hold the
+            // same Arc and execution computes Jaccard once per edge.
+            _ => similarity::shared_jaccard(),
         };
         let combinator: Arc<dyn Combinator> = match self {
             LinearSum | LinearMean | LinearGeom => Arc::new(combinator::Linear::new(alpha)),
@@ -129,14 +131,14 @@ impl ScoreSpec {
             // `f(Γ̂(u), Γ̂(z))`, so neighbor sampling always ranks by
             // Jaccard even when the scoring similarity is degenerate
             // (counter's constant, PPR's inverse degree).
-            selection_similarity: Arc::new(similarity::Jaccard),
+            selection_similarity: similarity::shared_jaccard(),
             combinator,
             aggregator,
         }
     }
 }
 
-impl fmt::Display for ScoreSpec {
+impl fmt::Display for NamedScore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
     }
@@ -144,7 +146,7 @@ impl fmt::Display for ScoreSpec {
 
 /// A fully instantiated scoring configuration.
 ///
-/// Usually produced by [`ScoreSpec::resolve`]; build one by hand to plug
+/// Usually produced by [`NamedScore::resolve`]; build one by hand to plug
 /// custom metrics into the framework.
 #[derive(Clone)]
 pub struct ScoreComponents {
@@ -162,10 +164,25 @@ pub struct ScoreComponents {
 }
 
 impl ScoreComponents {
-    /// Whether scoring and selection use the same similarity (lets step 2
-    /// compute it once).
+    /// Whether scoring and selection hold the *same* similarity instance
+    /// (lets execution compute it once per edge).
+    ///
+    /// Sharing is detected by `Arc` identity, never by the kernel's
+    /// self-reported name — a custom kernel whose `name()` collides with
+    /// the selection similarity's must still be evaluated, or its column
+    /// would silently score with the wrong function. Components built by
+    /// [`NamedScore::resolve`] and the [spec parser](crate::spec) route
+    /// their Jaccard uses through [`similarity::shared_jaccard`], so the
+    /// common all-Jaccard case keeps the single-evaluation fast path;
+    /// hand-built components get it by cloning one `Arc` into both
+    /// fields.
     pub fn shares_selection_similarity(&self) -> bool {
-        self.similarity.name() == self.selection_similarity.name()
+        // Compare data pointers (not `Arc::ptr_eq` on the fat pointer,
+        // whose vtable component makes dyn comparisons ambiguous).
+        std::ptr::eq(
+            Arc::as_ptr(&self.similarity) as *const u8,
+            Arc::as_ptr(&self.selection_similarity) as *const u8,
+        )
     }
 }
 
@@ -242,8 +259,8 @@ impl SelectionPolicy {
 /// sampling.
 ///
 /// ```
-/// use snaple_core::{ScoreSpec, SnapleConfig};
-/// let c = SnapleConfig::new(ScoreSpec::LinearSum)
+/// use snaple_core::{NamedScore, SnapleConfig};
+/// let c = SnapleConfig::new(NamedScore::LinearSum)
 ///     .k(10)
 ///     .klocal(None) // no sampling
 ///     .thr_gamma(Some(80));
@@ -259,7 +276,7 @@ pub struct SnapleConfig {
     /// Truncation threshold `thrΓ`; `None` disables truncation (`∞`).
     pub thr_gamma: Option<usize>,
     /// Scoring configuration (Table 3 row).
-    pub score: ScoreSpec,
+    pub score: NamedScore,
     /// Linear-combinator weight `α`.
     pub alpha: f32,
     /// Neighbor-sampling policy for step 2.
@@ -275,7 +292,7 @@ pub struct SnapleConfig {
 
 impl SnapleConfig {
     /// Creates a configuration with the paper's default parameters.
-    pub fn new(score: ScoreSpec) -> Self {
+    pub fn new(score: NamedScore) -> Self {
         SnapleConfig {
             k: 5,
             klocal: Some(20),
@@ -344,8 +361,8 @@ mod tests {
 
     #[test]
     fn table_three_is_complete() {
-        assert_eq!(ScoreSpec::all().len(), 11);
-        let names: Vec<_> = ScoreSpec::all().iter().map(|s| s.name()).collect();
+        assert_eq!(NamedScore::all().len(), 11);
+        let names: Vec<_> = NamedScore::all().iter().map(|s| s.name()).collect();
         assert!(names.contains(&"linearSum"));
         assert!(names.contains(&"PPR"));
         assert!(names.contains(&"counter"));
@@ -354,48 +371,48 @@ mod tests {
 
     #[test]
     fn families_partition_the_table() {
-        let mut all: Vec<ScoreSpec> = Vec::new();
-        all.extend(ScoreSpec::sum_family());
-        all.extend(ScoreSpec::mean_family());
-        all.extend(ScoreSpec::geom_family());
+        let mut all: Vec<NamedScore> = Vec::new();
+        all.extend(NamedScore::sum_family());
+        all.extend(NamedScore::mean_family());
+        all.extend(NamedScore::geom_family());
         all.sort_by_key(|s| s.name());
-        let mut expected = ScoreSpec::all().to_vec();
+        let mut expected = NamedScore::all().to_vec();
         expected.sort_by_key(|s| s.name());
         assert_eq!(all, expected);
     }
 
     #[test]
     fn parse_round_trips() {
-        for s in ScoreSpec::all() {
-            assert_eq!(ScoreSpec::parse(s.name()), Some(s));
+        for s in NamedScore::all() {
+            assert_eq!(NamedScore::parse(s.name()), Some(s));
         }
-        assert_eq!(ScoreSpec::parse("bogus"), None);
+        assert_eq!(NamedScore::parse("bogus"), None);
     }
 
     #[test]
     fn resolve_matches_table_three_rows() {
-        let c = ScoreSpec::LinearSum.resolve(0.9);
+        let c = NamedScore::LinearSum.resolve(0.9);
         assert_eq!(c.similarity.name(), "jaccard");
         assert_eq!(c.combinator.name(), "linear");
         assert_eq!(c.aggregator.name(), "Sum");
 
-        let ppr = ScoreSpec::Ppr.resolve(0.9);
+        let ppr = NamedScore::Ppr.resolve(0.9);
         assert_eq!(ppr.similarity.name(), "inverse-degree");
         assert_eq!(ppr.combinator.name(), "sum");
         assert_eq!(ppr.aggregator.name(), "Sum");
 
-        let counter = ScoreSpec::Counter.resolve(0.9);
+        let counter = NamedScore::Counter.resolve(0.9);
         assert_eq!(counter.similarity.name(), "unit");
         assert_eq!(counter.combinator.name(), "count");
 
-        let gg = ScoreSpec::GeomGeom.resolve(0.9);
+        let gg = NamedScore::GeomGeom.resolve(0.9);
         assert_eq!(gg.combinator.name(), "geom");
         assert_eq!(gg.aggregator.name(), "Geom");
     }
 
     #[test]
     fn config_defaults_follow_the_paper() {
-        let c = SnapleConfig::new(ScoreSpec::LinearSum);
+        let c = SnapleConfig::new(NamedScore::LinearSum);
         assert_eq!(c.k, 5);
         assert_eq!(c.klocal, Some(20));
         assert_eq!(c.thr_gamma, Some(200));
@@ -405,7 +422,7 @@ mod tests {
 
     #[test]
     fn builder_methods_chain() {
-        let c = SnapleConfig::new(ScoreSpec::Counter)
+        let c = SnapleConfig::new(NamedScore::Counter)
             .k(7)
             .klocal(Some(40))
             .thr_gamma(None)
@@ -421,7 +438,7 @@ mod tests {
 
     #[test]
     fn components_debug_is_informative() {
-        let c = ScoreSpec::EuclMean.resolve(0.9);
+        let c = NamedScore::EuclMean.resolve(0.9);
         let s = format!("{c:?}");
         assert!(s.contains("eucl") && s.contains("Mean") && s.contains("jaccard"));
     }

@@ -22,8 +22,42 @@
 //!    normalization `⊕post`.
 //!
 //! The eleven named combinations of the paper's Table 3 are available as
-//! [`ScoreSpec`] values; arbitrary user-supplied components can be used via
+//! [`NamedScore`] values; arbitrary user-supplied components can be used via
 //! [`ScoreComponents`].
+//!
+//! # Declarative score plans
+//!
+//! The scoring surface is *declarative*: a [`ScoreSpec`] describes one
+//! score column — similarity kernel(s), combinator, aggregator, `k`,
+//! weight — and parses from compact strings (`"jaccard@k16"`,
+//! `"cosine*0.7+common"`, any Table 3 name; the full grammar is in the
+//! [`spec`] module docs). A [`ScorePlan`] holds N specs and **compiles
+//! them to one fused sweep**: the neighborhood and similarity phases run
+//! once, every kernel reads the same [`NeighborhoodView`], and each
+//! sampled 2-hop path is walked a single time for all columns. Each
+//! column of the resulting [`ScoreMatrix`] is bit-identical to running
+//! that spec alone — at roughly one traversal's gather cost instead of N:
+//!
+//! ```
+//! use snaple_core::{ExecuteRequest, PrepareRequest, ScorePlan};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//!
+//! // Four scoring configurations, one graph traversal:
+//! let plan = ScorePlan::parse("linearSum, counter, PPR, jaccard@agg=max")?;
+//! let prepared = plan.prepare_plan(&PrepareRequest::new(&graph, &cluster))?;
+//! let matrix = prepared.execute_matrix(&ExecuteRequest::new())?;
+//! assert_eq!(matrix.num_columns(), 4);
+//! println!("gathers for all 4 columns: {}", matrix.stats.steps[0].gather_calls);
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
+//!
+//! [`Snaple`] is the 1-spec special case: its `execute` path compiles the
+//! configuration into a single-column plan and runs the same fused
+//! engine.
 //!
 //! # The GAS program
 //!
@@ -47,13 +81,13 @@
 //! the run to a subset of source vertices.
 //!
 //! ```
-//! use snaple_core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_core::{PredictRequest, Predictor, NamedScore, Snaple, SnapleConfig};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let config = SnapleConfig::new(ScoreSpec::LinearSum)
+//! let config = SnapleConfig::new(NamedScore::LinearSum)
 //!     .k(5)
 //!     .klocal(Some(20))
 //!     .thr_gamma(Some(200));
@@ -72,13 +106,13 @@
 //! queried rows:
 //!
 //! ```
-//! use snaple_core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_core::{PredictRequest, Predictor, QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! // The 500 "currently active" users.
 //! let active = QuerySet::sample(graph.num_vertices(), 500, 7);
@@ -105,13 +139,13 @@
 //!
 //! ```
 //! use snaple_core::serve::Server;
-//! use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_core::{QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! let mut server = Server::new(&snaple, &graph, &cluster)?;
 //! let wave: Vec<QuerySet> = (0..4)
@@ -126,18 +160,21 @@ pub mod aggregator;
 pub mod combinator;
 pub mod config;
 pub mod error;
+pub mod plan;
 pub mod predictor;
 pub mod predictor_api;
 pub mod serve;
 pub mod similarity;
+pub mod spec;
 pub mod state;
 pub mod steps;
 pub mod topk;
 
 pub use aggregator::Aggregator;
 pub use combinator::Combinator;
-pub use config::{PathLength, ScoreComponents, ScoreSpec, SelectionPolicy, SnapleConfig};
+pub use config::{NamedScore, PathLength, ScoreComponents, SelectionPolicy, SnapleConfig};
 pub use error::SnapleError;
+pub use plan::{PlanConfig, PreparedPlan, ScoreMatrix, ScorePlan};
 pub use predictor::{Prediction, PreparedSnaple, Snaple};
 pub use predictor_api::{
     ExecuteRequest, PredictRequest, Predictor, PrepareRequest, PreparedPredictor, QuerySet,
@@ -147,4 +184,5 @@ pub use serve::{Server, ServerStats};
 pub use similarity::{NeighborhoodView, Similarity};
 pub use snaple_gas::DeltaStats;
 pub use snaple_graph::GraphDelta;
+pub use spec::{Registry, ScoreSpec};
 pub use state::SnapleVertex;

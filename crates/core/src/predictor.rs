@@ -18,24 +18,28 @@ use crate::steps::{NeighborhoodStep, PromoteScoresStep, ScoreStep, SecondHop, Si
 /// Masks shrink as information flows toward the queries: the first step
 /// must materialize neighborhoods for every vertex within lookahead of a
 /// query, the last step only scores the queries themselves.
-struct StepMasks {
+pub(crate) struct StepMasks {
     /// [`NeighborhoodStep`] — queries plus every vertex within the
     /// program's full hop lookahead.
-    neighborhood: VertexMask,
+    pub(crate) neighborhood: VertexMask,
     /// [`SimilarityStep`] — queries plus the vertices whose similarity
     /// tables later steps read.
-    similarity: VertexMask,
+    pub(crate) similarity: VertexMask,
     /// The 3-hop extension's extra score + promote pass (`None` for
     /// standard 2-hop runs) — queries plus their direct out-neighbors.
-    promote: Option<VertexMask>,
+    pub(crate) promote: Option<VertexMask>,
     /// The final [`ScoreStep`] — exactly the queries.
-    score: VertexMask,
+    pub(crate) score: VertexMask,
 }
 
 impl StepMasks {
     /// Builds the mask chain for `queries` by expanding one out-hop per
     /// step of lookahead.
-    fn build(graph: &CsrGraph, queries: &VertexMask, path_length: PathLength) -> StepMasks {
+    pub(crate) fn build(
+        graph: &CsrGraph,
+        queries: &VertexMask,
+        path_length: PathLength,
+    ) -> StepMasks {
         let score = queries.clone();
         match path_length {
             PathLength::Two => {
@@ -74,7 +78,7 @@ pub struct Snaple {
 
 impl Snaple {
     /// Creates a predictor from a configuration, resolving the named
-    /// [`ScoreSpec`](crate::ScoreSpec) into concrete components.
+    /// [`NamedScore`](crate::NamedScore) into concrete components.
     pub fn new(config: SnapleConfig) -> Self {
         let components = config.score.resolve(config.alpha);
         Snaple { config, components }
@@ -112,15 +116,20 @@ impl Snaple {
         Ok(())
     }
 
-    /// Runs the three-step GAS program of the paper's Algorithm 2 on a
-    /// prepared [`Deployment`], answering one [`ExecuteRequest`].
+    /// Runs the paper's Algorithm 2 on a prepared [`Deployment`],
+    /// answering one [`ExecuteRequest`].
     ///
     /// This is the *execute* half of the serving lifecycle — the engine
     /// reuses the deployment's partition instead of re-hashing every edge,
-    /// so a stream of requests pays the O(edges) setup once. It is public
-    /// so that other predictors can multiplex several SNAPLE
-    /// configurations over one shared deployment (the supervised feature
-    /// panel does).
+    /// so a stream of requests pays the O(edges) setup once.
+    ///
+    /// Since the [`ScorePlan`](crate::ScorePlan) redesign, `Snaple` *is*
+    /// the 1-spec special case of a plan: this method compiles the
+    /// configuration into a single-column plan and runs the fused sweep
+    /// ([`ScorePlan::execute_on`](crate::ScorePlan::execute_on)). To
+    /// evaluate several configurations, put them in one plan — N columns
+    /// cost roughly one sweep, not N
+    /// (see the [plan module docs](crate::plan)).
     ///
     /// With [`ExecuteRequest::queries`], the steps execute under shrinking
     /// active-vertex masks — neighborhoods for everything within the
@@ -139,6 +148,28 @@ impl Snaple {
     /// * [`SnapleError::Engine`] when the simulated cluster cannot execute
     ///   the program (memory exhaustion).
     pub fn execute_on(
+        &self,
+        deployment: &Deployment<'_>,
+        req: &ExecuteRequest<'_>,
+    ) -> Result<Prediction, SnapleError> {
+        self.validate_config()?;
+        let plan = crate::plan::ScorePlan::from_snaple(self)?;
+        Ok(plan.execute_on(deployment, req)?.into_column(0))
+    }
+
+    /// The pre-[`ScorePlan`](crate::ScorePlan) reference implementation:
+    /// drives the classic single-score [`steps`](crate::steps) directly
+    /// instead of compiling to a fused plan.
+    ///
+    /// Kept public as the independent oracle the fused engine is
+    /// differential-tested against (every plan column must be
+    /// bit-identical to this path); applications should prefer
+    /// [`Snaple::execute_on`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Snaple::execute_on`].
+    pub fn execute_unfused_on(
         &self,
         deployment: &Deployment<'_>,
         req: &ExecuteRequest<'_>,
@@ -334,7 +365,7 @@ impl Prediction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{ScoreSpec, SelectionPolicy};
+    use crate::config::{NamedScore, SelectionPolicy};
     use crate::predictor_api::{PredictRequest, QuerySet};
     use snaple_gas::{ClusterSpec, EngineError};
     use snaple_graph::gen::datasets;
@@ -359,7 +390,7 @@ mod tests {
     fn counter_scores_count_paths() {
         let g = path_count_graph();
         let p = predict(
-            SnapleConfig::new(ScoreSpec::Counter)
+            SnapleConfig::new(NamedScore::Counter)
                 .k(5)
                 .klocal(None)
                 .thr_gamma(None),
@@ -375,7 +406,7 @@ mod tests {
     fn predictions_never_include_self_or_existing_neighbors() {
         let g = datasets::GOWALLA.emulate(0.005, 3);
         let p = predict(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .k(5)
                 .klocal(Some(10)),
             &g,
@@ -395,7 +426,7 @@ mod tests {
     fn at_most_k_predictions_per_vertex() {
         let g = datasets::GOWALLA.emulate(0.005, 3);
         for k in [1, 3, 5] {
-            let p = predict(SnapleConfig::new(ScoreSpec::LinearSum).k(k), &g);
+            let p = predict(SnapleConfig::new(NamedScore::LinearSum).k(k), &g);
             assert!(p.iter().all(|(_, preds)| preds.len() <= k));
             assert!(p.total_predictions() > 0);
         }
@@ -404,7 +435,7 @@ mod tests {
     #[test]
     fn results_match_across_cluster_sizes_exactly_for_counter() {
         let g = datasets::GOWALLA.emulate(0.004, 5);
-        let config = SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(Some(10));
+        let config = SnapleConfig::new(NamedScore::Counter).k(5).klocal(Some(10));
         let machine = ClusterSpec::single_machine(20, 128 << 30);
         let single = Predictor::predict(
             &Snaple::new(config.clone()),
@@ -423,13 +454,13 @@ mod tests {
     fn klocal_none_explores_more_candidates_than_small_klocal() {
         let g = datasets::POKEC.emulate(0.002, 9);
         let full = predict(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(None)
                 .thr_gamma(None),
             &g,
         );
         let sampled = predict(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(2))
                 .thr_gamma(None),
             &g,
@@ -449,13 +480,13 @@ mod tests {
         let g = path_count_graph();
         let one = ClusterSpec::type_i(1);
         let err = Predictor::predict(
-            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).k(0)),
+            &Snaple::new(SnapleConfig::new(NamedScore::LinearSum).k(0)),
             &PredictRequest::new(&g, &one),
         )
         .unwrap_err();
         assert!(matches!(err, SnapleError::InvalidConfig(_)));
         let err = Predictor::predict(
-            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(0))),
+            &Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(0))),
             &PredictRequest::new(&g, &one),
         )
         .unwrap_err();
@@ -470,7 +501,7 @@ mod tests {
             ..ClusterSpec::type_i(2)
         };
         let err = Predictor::predict(
-            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum)),
+            &Snaple::new(SnapleConfig::new(NamedScore::LinearSum)),
             &PredictRequest::new(&g, &starved),
         )
         .unwrap_err();
@@ -484,7 +515,7 @@ mod tests {
     fn prepared_execution_matches_one_shot_predicts() {
         let g = datasets::GOWALLA.emulate(0.004, 5);
         let cluster = ClusterSpec::type_ii(2);
-        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(10)));
+        let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(10)));
         let prepared = snaple.prepare(&PrepareRequest::new(&g, &cluster)).unwrap();
         assert!(prepared.setup().partition_build_seconds > 0.0);
         assert!(prepared.setup().replication_factor >= 1.0);
@@ -523,7 +554,7 @@ mod tests {
         let g = datasets::GOWALLA.emulate(0.005, 3);
         let cluster = ClusterSpec::type_ii(4);
         let snaple = Snaple::new(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .k(5)
                 .klocal(Some(10)),
         );
@@ -556,7 +587,7 @@ mod tests {
         let g = datasets::POKEC.emulate(0.002, 9);
         let cluster = ClusterSpec::type_ii(2);
         let snaple = Snaple::new(
-            SnapleConfig::new(ScoreSpec::Counter)
+            SnapleConfig::new(NamedScore::Counter)
                 .klocal(Some(10))
                 .path_length(PathLength::Three),
         );
@@ -577,7 +608,7 @@ mod tests {
     fn full_query_set_reproduces_the_all_vertices_run_bit_for_bit() {
         let g = datasets::GOWALLA.emulate(0.004, 7);
         let cluster = ClusterSpec::type_ii(4);
-        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(10)));
+        let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(10)));
         let full = Predictor::predict(&snaple, &PredictRequest::new(&g, &cluster)).unwrap();
         let everyone = QuerySet::from_indices(0..g.num_vertices() as u32);
         let via_queries = Predictor::predict(
@@ -605,7 +636,7 @@ mod tests {
         let cluster = ClusterSpec::type_i(1);
         let bad = QuerySet::from_indices([0, 9]);
         let err = Predictor::predict(
-            &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum)),
+            &Snaple::new(SnapleConfig::new(NamedScore::LinearSum)),
             &PredictRequest::new(&g, &cluster).with_queries(&bad),
         )
         .unwrap_err();
@@ -615,7 +646,9 @@ mod tests {
     #[test]
     fn selection_policies_produce_different_samples() {
         let g = datasets::LIVEJOURNAL.emulate(0.0005, 11);
-        let base = SnapleConfig::new(ScoreSpec::LinearSum).k(5).klocal(Some(3));
+        let base = SnapleConfig::new(NamedScore::LinearSum)
+            .k(5)
+            .klocal(Some(3));
         let max = predict(base.clone().selection(SelectionPolicy::Max), &g);
         let min = predict(base.clone().selection(SelectionPolicy::Min), &g);
         let differing = max
@@ -629,7 +662,7 @@ mod tests {
     #[test]
     fn stats_expose_three_steps() {
         let g = path_count_graph();
-        let p = predict(SnapleConfig::new(ScoreSpec::LinearSum), &g);
+        let p = predict(SnapleConfig::new(NamedScore::LinearSum), &g);
         assert_eq!(p.stats.steps.len(), 3);
         assert!(p.simulated_seconds() > 0.0);
         assert_eq!(p.num_vertices(), 5);
@@ -641,13 +674,13 @@ mod tests {
         // Chain with side links: 0 -> 1 -> 2 -> 3; 3 is 3 hops from 0.
         let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (1, 0), (2, 1)]);
         let two = predict(
-            SnapleConfig::new(ScoreSpec::Counter)
+            SnapleConfig::new(NamedScore::Counter)
                 .klocal(None)
                 .thr_gamma(None),
             &g,
         );
         let three = predict(
-            SnapleConfig::new(ScoreSpec::Counter)
+            SnapleConfig::new(NamedScore::Counter)
                 .klocal(None)
                 .thr_gamma(None)
                 .path_length(PathLength::Three),

@@ -26,7 +26,7 @@
 //!
 //! ```
 //! use snaple_core::{
-//!     ExecuteRequest, PredictRequest, Predictor, PrepareRequest, QuerySet, ScoreSpec, Snaple,
+//!     ExecuteRequest, PredictRequest, Predictor, PrepareRequest, QuerySet, NamedScore, Snaple,
 //!     SnapleConfig,
 //! };
 //! use snaple_gas::ClusterSpec;
@@ -34,7 +34,7 @@
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! // Pay the partition build once...
 //! let prepared = snaple.prepare(&PrepareRequest::new(&graph, &cluster))?;
@@ -69,7 +69,7 @@
 //! # Example
 //!
 //! ```
-//! use snaple_core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_core::{PredictRequest, Predictor, QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::gen::datasets;
 //!
@@ -77,7 +77,7 @@
 //! let cluster = ClusterSpec::type_ii(4);
 //! // Any backend behind the one interface:
 //! let snaple: &dyn Predictor =
-//!     &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//!     &Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! // All-vertices (batch) prediction:
 //! let all = snaple.predict(&PredictRequest::new(&graph, &cluster))?;

@@ -26,13 +26,13 @@
 //!
 //! ```
 //! use snaple_core::serve::Server;
-//! use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple_core::{QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple_gas::ClusterSpec;
 //! use snaple_graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! let mut server = Server::new(&snaple, &graph, &cluster)?;
 //! // Four concurrent user requests, answered in one shared superstep run:
@@ -359,7 +359,7 @@ impl<'a> Server<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{ScoreSpec, SnapleConfig};
+    use crate::config::{NamedScore, SnapleConfig};
     use crate::predictor::Snaple;
     use crate::predictor_api::PredictRequest;
     use snaple_graph::gen::datasets;
@@ -368,7 +368,7 @@ mod tests {
         let graph = datasets::GOWALLA.emulate(0.005, 3);
         let cluster = ClusterSpec::type_ii(4);
         let snaple = Snaple::new(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .k(5)
                 .klocal(Some(10)),
         );

@@ -8,6 +8,7 @@
 //! framework (see DESIGN.md §8).
 
 use std::fmt::Debug;
+use std::sync::Arc;
 
 use snaple_graph::VertexId;
 
@@ -64,7 +65,21 @@ fn tag_intersection(a: &[u32], b: &[u32]) -> usize {
 }
 
 /// Size of the intersection of two sorted vertex lists (linear merge).
+///
+/// Both inputs **must** be sorted ascending: the two-pointer merge below
+/// silently undercounts on unsorted input (it never looks backwards).
+/// Debug builds assert the precondition; every adjacency surface in the
+/// workspace (CSR rows, `Γ̂` tables, `sims` tables) maintains it by
+/// construction.
 pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
+    debug_assert!(
+        a.windows(2).all(|w| w[0] <= w[1]),
+        "intersection_size: first input is not sorted"
+    );
+    debug_assert!(
+        b.windows(2).all(|w| w[0] <= w[1]),
+        "intersection_size: second input is not sorted"
+    );
     let (mut i, mut j, mut n) = (0, 0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -98,6 +113,21 @@ pub trait Similarity: Send + Sync + Debug {
 /// default raw similarity.
 #[derive(Copy, Clone, Debug, Default)]
 pub struct Jaccard;
+
+/// The process-wide shared [`Jaccard`] instance.
+///
+/// Components that use Jaccard both for scoring and for eq. 11's
+/// neighbor-selection ranking should hold *clones of the same `Arc`*:
+/// [`crate::ScoreComponents::shares_selection_similarity`] detects
+/// sharing by `Arc` identity (never by the kernel's self-reported name,
+/// which a custom kernel could collide with), and execution then
+/// computes the value once per edge instead of twice. Every named
+/// configuration and every parsed spec resolves its Jaccard uses through
+/// this instance.
+pub fn shared_jaccard() -> Arc<dyn Similarity> {
+    static SHARED: std::sync::OnceLock<Arc<dyn Similarity>> = std::sync::OnceLock::new();
+    SHARED.get_or_init(|| Arc::new(Jaccard)).clone()
+}
 
 impl Similarity for Jaccard {
     fn name(&self) -> &str {
@@ -221,13 +251,30 @@ impl ContentBlend {
     ///
     /// # Panics
     ///
-    /// Panics if `topology_weight` is outside `[0, 1]`.
+    /// Panics if `topology_weight` is non-finite (NaN, ±∞) or outside
+    /// `[0, 1]`; use [`ContentBlend::try_new`] for a fallible variant.
     pub fn new(topology_weight: f32) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&topology_weight),
-            "topology_weight must be in [0, 1], got {topology_weight}"
-        );
-        ContentBlend { topology_weight }
+        ContentBlend::try_new(topology_weight).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: rejects non-finite weights and weights
+    /// outside `[0, 1]` instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the offending weight.
+    pub fn try_new(topology_weight: f32) -> Result<Self, String> {
+        if !topology_weight.is_finite() {
+            return Err(format!(
+                "topology_weight must be finite, got {topology_weight}"
+            ));
+        }
+        if !(0.0..=1.0).contains(&topology_weight) {
+            return Err(format!(
+                "topology_weight must be in [0, 1], got {topology_weight}"
+            ));
+        }
+        Ok(ContentBlend { topology_weight })
     }
 }
 
@@ -246,6 +293,62 @@ impl Similarity for ContentBlend {
             inter as f32 / union as f32
         };
         self.topology_weight * topo + (1.0 - self.topology_weight) * content
+    }
+}
+
+/// A weighted sum of several kernels `Σ wᵢ·simᵢ(u, v)` — the blend form
+/// of the [spec grammar](crate::spec) (`cosine*0.7+common`).
+///
+/// Weights must be finite and positive; a part with weight `1.0` renders
+/// without its `*` factor in the blend's name.
+#[derive(Clone, Debug)]
+pub struct WeightedBlend {
+    name: String,
+    parts: Vec<(Arc<dyn Similarity>, f32)>,
+}
+
+impl WeightedBlend {
+    /// Creates a blend from `(kernel, weight)` parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty part list or a non-finite/non-positive weight;
+    /// the [spec parser](crate::spec::ScoreSpec::parse) validates both
+    /// before constructing one.
+    pub fn new(parts: Vec<(Arc<dyn Similarity>, f32)>) -> Self {
+        assert!(!parts.is_empty(), "a kernel blend needs at least one part");
+        for (kernel, weight) in &parts {
+            assert!(
+                weight.is_finite() && *weight > 0.0,
+                "blend weight of {} must be finite and positive, got {weight}",
+                kernel.name()
+            );
+        }
+        let name = parts
+            .iter()
+            .map(|(kernel, weight)| {
+                if *weight == 1.0 {
+                    kernel.name().to_owned()
+                } else {
+                    format!("{}*{weight}", kernel.name())
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("+");
+        WeightedBlend { name, parts }
+    }
+}
+
+impl Similarity for WeightedBlend {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32 {
+        self.parts
+            .iter()
+            .map(|(kernel, weight)| weight * kernel.score(u, v))
+            .sum()
     }
 }
 
@@ -371,6 +474,51 @@ mod tests {
     #[should_panic(expected = "topology_weight")]
     fn content_blend_rejects_bad_weight() {
         let _ = ContentBlend::new(1.5);
+    }
+
+    #[test]
+    fn content_blend_rejects_non_finite_weights_at_construction() {
+        for bad in [f32::NAN, f32::INFINITY, f32::NEG_INFINITY] {
+            let err = ContentBlend::try_new(bad).unwrap_err();
+            assert!(err.contains("finite"), "{err}");
+        }
+        assert!(ContentBlend::try_new(1.01).unwrap_err().contains("[0, 1]"));
+        assert!(ContentBlend::try_new(-0.5).is_err());
+        assert_eq!(ContentBlend::try_new(0.5).unwrap().topology_weight, 0.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "not sorted")]
+    fn intersection_size_asserts_sorted_inputs() {
+        // The two-pointer merge silently undercounts on unsorted input
+        // (e.g. [3, 1] ∩ [1, 3] would report 1); debug builds catch the
+        // contract violation instead.
+        let a = ids(&[3, 1]);
+        let b = ids(&[1, 3]);
+        let _ = intersection_size(&a, &b);
+    }
+
+    #[test]
+    fn weighted_blend_sums_weighted_kernels() {
+        use std::sync::Arc;
+        let a = ids(&[1, 2, 3]);
+        let b = ids(&[2, 3, 4]);
+        let blend = WeightedBlend::new(vec![
+            (Arc::new(Jaccard) as Arc<dyn Similarity>, 0.5),
+            (Arc::new(CommonNeighbors) as Arc<dyn Similarity>, 1.0),
+        ]);
+        assert_eq!(blend.name(), "jaccard*0.5+common-neighbors");
+        let want =
+            0.5 * Jaccard.score(view(&a), view(&b)) + CommonNeighbors.score(view(&a), view(&b));
+        assert!((blend.score(view(&a), view(&b)) - want).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn weighted_blend_rejects_bad_weights() {
+        use std::sync::Arc;
+        let _ = WeightedBlend::new(vec![(Arc::new(Jaccard) as Arc<dyn Similarity>, f32::NAN)]);
     }
 
     #[test]

@@ -1,0 +1,892 @@
+//! Declarative score specifications — the column type of a
+//! [`ScorePlan`](crate::ScorePlan).
+//!
+//! A [`ScoreSpec`] describes one prediction score: a similarity kernel (or
+//! a weighted blend of kernels), a path combinator `⊗`, an aggregator `⊕`,
+//! and the per-column parameters (`k`, column weight, linear-combinator
+//! `α`). Specs are built programmatically ([`ScoreSpec::named`],
+//! [`ScoreSpec::from_components`]) or parsed from compact strings designed
+//! for CLI flags and config files.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! plan   := spec { ',' spec }
+//! spec   := blend { '@' param }
+//! blend  := term { '+' term }
+//! term   := kernel [ '*' WEIGHT ]
+//! kernel := similarity name | Table-3 configuration name
+//! param  := 'k' INT              per-column predictions (default 5)
+//!         | 'w' FLOAT            column weight (default 1)
+//!         | 'alpha' FLOAT        linear-combinator weight α (default 0.9)
+//!         | 'comb=' NAME         combinator: linear eucl geom sum count
+//!         | 'agg=' NAME          aggregator: sum mean geom max harmonic
+//!         | 'klocal' (INT|'inf') plan-scoped sampling parameter
+//!         | 'thr' (INT|'inf')    plan-scoped truncation threshold `thrΓ`
+//!         | 'depth' ('2'|'3')    plan-scoped scored path length
+//!         | 'sel' NAME           plan-scoped sampling policy: max min rnd
+//! ```
+//!
+//! Examples:
+//!
+//! * `jaccard@k16` — Jaccard similarity, default linear/Sum scoring,
+//!   16 predictions per vertex.
+//! * `cosine*0.7+common@depth2` — a weighted kernel blend
+//!   `0.7·cosine + 1·common-neighbors` scored over 2-hop paths.
+//! * `linearSum@alpha0.8`, `counter`, `PPR` — the paper's Table 3 rows
+//!   (see [`NamedScore`]) with optional parameter overrides.
+//! * `invdeg@comb=sum@agg=mean@w0.5` — a fully spelled-out column.
+//!
+//! `klocal`/`thr`/`depth`/`sel` configure the *shared sweep* a plan runs,
+//! so every spec of a plan must agree on them (the plan constructor
+//! reports conflicts); `k`, `w`, `alpha`, `comb`, `agg` and the kernel
+//! blend are free per column.
+//!
+//! Kernel, combinator and aggregator names resolve through a
+//! [`Registry`]; [`Registry::builtin`] covers everything shipped in
+//! [`similarity`], [`combinator`] and [`aggregator`], and applications can
+//! [`register`](Registry::register_kernel) their own kernels and parse
+//! with [`ScoreSpec::parse_with`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
+use std::sync::Arc;
+
+use crate::aggregator::{self, Aggregator};
+use crate::combinator::{self, Combinator};
+use crate::config::{NamedScore, PathLength, ScoreComponents, SelectionPolicy};
+use crate::error::SnapleError;
+use crate::similarity::{self, Similarity};
+
+/// Resolves kernel/combinator/aggregator names for the spec parser.
+///
+/// [`Registry::builtin`] knows every component shipped with the crate;
+/// custom components slot in via the `register_*` methods:
+///
+/// ```
+/// use std::sync::Arc;
+/// use snaple_core::similarity::Dice;
+/// use snaple_core::spec::{Registry, ScoreSpec};
+///
+/// let mut registry = Registry::builtin();
+/// registry.register_kernel("my-dice", || Arc::new(Dice));
+/// let spec = ScoreSpec::parse_with(&registry, "my-dice@k3")?;
+/// assert_eq!(spec.components().similarity.name(), "dice");
+/// # Ok::<(), snaple_core::SnapleError>(())
+/// ```
+pub struct Registry {
+    kernels: BTreeMap<&'static str, KernelFactory>,
+    combinators: BTreeMap<&'static str, CombinatorFactory>,
+    aggregators: BTreeMap<&'static str, AggregatorFactory>,
+}
+
+type KernelFactory = Box<dyn Fn() -> Arc<dyn Similarity> + Send + Sync>;
+type CombinatorFactory = Box<dyn Fn(f32) -> Arc<dyn Combinator> + Send + Sync>;
+type AggregatorFactory = Box<dyn Fn() -> Arc<dyn Aggregator> + Send + Sync>;
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Registry")
+            .field("kernels", &self.kernel_names())
+            .field("combinators", &self.combinator_names())
+            .field("aggregators", &self.aggregator_names())
+            .finish()
+    }
+}
+
+impl Registry {
+    /// An empty registry (no names resolve).
+    pub fn empty() -> Self {
+        Registry {
+            kernels: BTreeMap::new(),
+            combinators: BTreeMap::new(),
+            aggregators: BTreeMap::new(),
+        }
+    }
+
+    /// The registry of everything shipped with the crate.
+    pub fn builtin() -> Self {
+        let mut r = Registry::empty();
+        // The shared instance: a parsed `jaccard` column then holds the
+        // same Arc as the selection similarity, and execution computes
+        // it once per edge (see ScoreComponents::shares_selection_similarity).
+        r.register_kernel("jaccard", similarity::shared_jaccard);
+        r.register_kernel("common", || Arc::new(similarity::CommonNeighbors));
+        r.register_kernel("cosine", || Arc::new(similarity::Cosine));
+        r.register_kernel("dice", || Arc::new(similarity::Dice));
+        r.register_kernel("overlap", || Arc::new(similarity::Overlap));
+        r.register_kernel("invdeg", || Arc::new(similarity::InverseDegree));
+        r.register_kernel("unit", || Arc::new(similarity::Unit));
+        r.register_combinator("linear", |alpha| Arc::new(combinator::Linear::new(alpha)));
+        r.register_combinator("eucl", |_| Arc::new(combinator::Euclidean));
+        r.register_combinator("geom", |_| Arc::new(combinator::Geometric));
+        r.register_combinator("sum", |_| Arc::new(combinator::Arithmetic));
+        r.register_combinator("count", |_| Arc::new(combinator::Count));
+        r.register_aggregator("sum", || Arc::new(aggregator::Sum));
+        r.register_aggregator("mean", || Arc::new(aggregator::Mean));
+        r.register_aggregator("geom", || Arc::new(aggregator::GeometricMean));
+        r.register_aggregator("max", || Arc::new(aggregator::Max));
+        r.register_aggregator("harmonic", || Arc::new(aggregator::Harmonic));
+        r
+    }
+
+    /// Registers a similarity kernel under `name`.
+    pub fn register_kernel(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn() -> Arc<dyn Similarity> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.kernels.insert(name, Box::new(factory));
+        self
+    }
+
+    /// Registers a combinator under `name`; the factory receives the
+    /// spec's `α` (only [`combinator::Linear`] uses it among the
+    /// built-ins).
+    pub fn register_combinator(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn(f32) -> Arc<dyn Combinator> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.combinators.insert(name, Box::new(factory));
+        self
+    }
+
+    /// Registers an aggregator under `name` (matched case-insensitively).
+    pub fn register_aggregator(
+        &mut self,
+        name: &'static str,
+        factory: impl Fn() -> Arc<dyn Aggregator> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.aggregators.insert(name, Box::new(factory));
+        self
+    }
+
+    /// Registered kernel names, sorted.
+    pub fn kernel_names(&self) -> Vec<&'static str> {
+        self.kernels.keys().copied().collect()
+    }
+
+    /// Registered combinator names, sorted.
+    pub fn combinator_names(&self) -> Vec<&'static str> {
+        self.combinators.keys().copied().collect()
+    }
+
+    /// Registered aggregator names, sorted.
+    pub fn aggregator_names(&self) -> Vec<&'static str> {
+        self.aggregators.keys().copied().collect()
+    }
+
+    fn kernel(&self, name: &str) -> Option<Arc<dyn Similarity>> {
+        self.kernels.get(name).map(|f| f())
+    }
+
+    fn combinator(&self, name: &str, alpha: f32) -> Option<Arc<dyn Combinator>> {
+        self.combinators.get(name).map(|f| f(alpha))
+    }
+
+    fn aggregator(&self, name: &str) -> Option<Arc<dyn Aggregator>> {
+        // Case-insensitive on both sides: the builtin keys are lowercase
+        // but users may register display-cased names like "Max".
+        self.aggregators
+            .iter()
+            .find(|(key, _)| key.eq_ignore_ascii_case(name))
+            .map(|(_, f)| f())
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+/// Plan-scoped parameters a spec string may request (`@klocal…`,
+/// `@thr…`, `@depth…`, `@sel…`).
+///
+/// These configure the shared sweep, so a [`ScorePlan`](crate::ScorePlan)
+/// requires all of its specs to agree on them; unset fields inherit the
+/// plan's [`PlanConfig`](crate::PlanConfig).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SharedParams {
+    /// Requested sampling parameter `klocal` (`Some(None)` = `inf`).
+    pub klocal: Option<Option<usize>>,
+    /// Requested truncation threshold `thrΓ` (`Some(None)` = `inf`).
+    pub thr_gamma: Option<Option<usize>>,
+    /// Requested scored path length.
+    pub depth: Option<PathLength>,
+    /// Requested neighbor-sampling policy.
+    pub selection: Option<SelectionPolicy>,
+}
+
+/// One declarative score column: similarity kernel(s), combinator,
+/// aggregator, and per-column parameters.
+///
+/// See the [module docs](self) for the string grammar. Specs are
+/// serializable: [`fmt::Display`] renders the canonical spec string and
+/// [`FromStr`]/[`ScoreSpec::parse`] read it back.
+#[derive(Clone, Debug)]
+pub struct ScoreSpec {
+    label: String,
+    components: ScoreComponents,
+    k: Option<usize>,
+    weight: f32,
+    alpha: f32,
+    shared: SharedParams,
+    /// Non-default params rendered back by `Display` (canonical order).
+    suffix: String,
+}
+
+impl ScoreSpec {
+    /// A spec for one of the paper's Table 3 configurations with its
+    /// default parameters (`α = 0.9`, plan-default `k`, weight 1).
+    pub fn named(score: NamedScore) -> Self {
+        let alpha = 0.9;
+        ScoreSpec {
+            label: score.name().to_owned(),
+            components: score.resolve(alpha),
+            k: None,
+            weight: 1.0,
+            alpha,
+            shared: SharedParams::default(),
+            suffix: String::new(),
+        }
+    }
+
+    /// A spec from fully custom [`ScoreComponents`].
+    ///
+    /// The resulting spec displays as `label` but is not re-parseable
+    /// (custom components have no string form).
+    pub fn from_components(label: impl Into<String>, components: ScoreComponents) -> Self {
+        ScoreSpec {
+            label: label.into(),
+            components,
+            k: None,
+            weight: 1.0,
+            alpha: 0.9,
+            shared: SharedParams::default(),
+            suffix: String::new(),
+        }
+    }
+
+    /// Parses a spec string against the [built-in registry]
+    /// (Registry::builtin).
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] describing the first offending
+    /// token and the valid alternatives.
+    pub fn parse(s: &str) -> Result<Self, SnapleError> {
+        ScoreSpec::parse_with(&Registry::builtin(), s)
+    }
+
+    /// Parses a spec string, resolving names through `registry`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] describing the first offending
+    /// token and the valid alternatives.
+    pub fn parse_with(registry: &Registry, s: &str) -> Result<Self, SnapleError> {
+        parse_spec(registry, s)
+    }
+
+    /// Sets the per-column number of predictions (`@kN`).
+    pub fn k(mut self, k: usize) -> Self {
+        self.k = Some(k);
+        self
+    }
+
+    /// Sets the column weight (`@wF`) used by
+    /// [`ScoreMatrix::combined`](crate::ScoreMatrix::combined).
+    pub fn weight(mut self, weight: f32) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// The canonical kernel/configuration label (without parameters).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The resolved scoring components.
+    pub fn components(&self) -> &ScoreComponents {
+        &self.components
+    }
+
+    /// Per-column `k`, if the spec pinned one (`None` inherits the plan
+    /// default).
+    pub fn k_override(&self) -> Option<usize> {
+        self.k
+    }
+
+    /// Column weight for weighted combination across a plan's columns.
+    pub fn column_weight(&self) -> f32 {
+        self.weight
+    }
+
+    /// Linear-combinator weight `α` the spec was resolved with.
+    pub fn alpha(&self) -> f32 {
+        self.alpha
+    }
+
+    /// Plan-scoped parameters this spec requests.
+    pub fn shared_params(&self) -> &SharedParams {
+        &self.shared
+    }
+
+    /// Rejects non-finite or non-positive weights and zero `k`.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] naming the offending parameter.
+    pub fn validate(&self) -> Result<(), SnapleError> {
+        if !self.weight.is_finite() || self.weight <= 0.0 {
+            return Err(SnapleError::InvalidConfig(format!(
+                "spec {:?}: column weight must be finite and positive, got {}",
+                self.label, self.weight
+            )));
+        }
+        if self.k == Some(0) {
+            return Err(SnapleError::InvalidConfig(format!(
+                "spec {:?}: k must be at least 1",
+                self.label
+            )));
+        }
+        if self.shared.klocal == Some(Some(0)) {
+            return Err(SnapleError::InvalidConfig(format!(
+                "spec {:?}: klocal must be at least 1 (use 'inf' to disable sampling)",
+                self.label
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ScoreSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.label, self.suffix)
+    }
+}
+
+impl FromStr for ScoreSpec {
+    type Err = SnapleError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ScoreSpec::parse(s)
+    }
+}
+
+fn bad(msg: impl Into<String>) -> SnapleError {
+    SnapleError::InvalidConfig(msg.into())
+}
+
+/// Parameter keywords, longest-match-first so `klocal8` is not read as
+/// `k` with value `local8`.
+const PARAM_KEYWORDS: [&str; 9] = [
+    "klocal", "alpha", "depth", "comb", "agg", "thr", "sel", "k", "w",
+];
+
+/// Splits `token` into its known keyword prefix and the remainder
+/// (`("", token)` when no keyword matches).
+fn split_keyword(token: &str) -> (&str, &str) {
+    for keyword in PARAM_KEYWORDS {
+        if let Some(rest) = token.strip_prefix(keyword) {
+            return (keyword, rest);
+        }
+    }
+    ("", token)
+}
+
+fn parse_spec(registry: &Registry, s: &str) -> Result<ScoreSpec, SnapleError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(bad("empty score spec"));
+    }
+    let mut sections = s.split('@').map(str::trim);
+    let blend = sections.next().expect("split yields at least one section");
+    if blend.is_empty() {
+        return Err(bad(format!("spec {s:?}: missing kernel before '@'")));
+    }
+
+    // --- Params first: α feeds the combinator factory. -----------------
+    let mut k: Option<usize> = None;
+    let mut weight: Option<f32> = None;
+    let mut alpha: Option<f32> = None;
+    let mut comb_name: Option<String> = None;
+    let mut agg_name: Option<String> = None;
+    let mut shared = SharedParams::default();
+    for token in sections {
+        let (keyword, rest) = split_keyword(token);
+        let parse_inf_or = |what: &str, rest: &str| -> Result<Option<usize>, SnapleError> {
+            if rest == "inf" {
+                return Ok(None);
+            }
+            rest.parse::<usize>().map(Some).map_err(|_| {
+                bad(format!(
+                    "spec {s:?}: {what} expects an integer or 'inf', got {rest:?}"
+                ))
+            })
+        };
+        match keyword {
+            "k" => {
+                k = Some(rest.parse().map_err(|_| {
+                    bad(format!("spec {s:?}: 'k' expects an integer, got {rest:?}"))
+                })?)
+            }
+            "w" => {
+                weight =
+                    Some(rest.parse().map_err(|_| {
+                        bad(format!("spec {s:?}: 'w' expects a number, got {rest:?}"))
+                    })?)
+            }
+            "alpha" => {
+                let a: f32 = rest.parse().map_err(|_| {
+                    bad(format!(
+                        "spec {s:?}: 'alpha' expects a number, got {rest:?}"
+                    ))
+                })?;
+                if !(a.is_finite() && (0.0..=1.0).contains(&a)) {
+                    return Err(bad(format!(
+                        "spec {s:?}: 'alpha' must be a finite number in [0, 1], got {a}"
+                    )));
+                }
+                alpha = Some(a);
+            }
+            "klocal" => shared.klocal = Some(parse_inf_or("'klocal'", rest)?),
+            "thr" => shared.thr_gamma = Some(parse_inf_or("'thr'", rest)?),
+            "depth" => {
+                shared.depth = Some(match rest {
+                    "2" => PathLength::Two,
+                    "3" => PathLength::Three,
+                    other => {
+                        return Err(bad(format!(
+                            "spec {s:?}: 'depth' must be 2 or 3, got {other:?}"
+                        )))
+                    }
+                })
+            }
+            "sel" => {
+                shared.selection = Some(match rest {
+                    "max" => SelectionPolicy::Max,
+                    "min" => SelectionPolicy::Min,
+                    "rnd" => SelectionPolicy::Random,
+                    other => {
+                        return Err(bad(format!(
+                            "spec {s:?}: 'sel' must be max, min or rnd, got {other:?}"
+                        )))
+                    }
+                })
+            }
+            "comb" => {
+                let Some(name) = rest.strip_prefix('=') else {
+                    return Err(bad(format!(
+                        "spec {s:?}: combinators are selected with 'comb=NAME'"
+                    )));
+                };
+                comb_name = Some(name.to_owned());
+            }
+            "agg" => {
+                let Some(name) = rest.strip_prefix('=') else {
+                    return Err(bad(format!(
+                        "spec {s:?}: aggregators are selected with 'agg=NAME'"
+                    )));
+                };
+                agg_name = Some(name.to_owned());
+            }
+            _ => {
+                return Err(bad(format!(
+                    "spec {s:?}: unknown parameter {token:?} \
+                     (expected k, w, alpha, comb=, agg=, klocal, thr, depth or sel)"
+                )))
+            }
+        }
+    }
+    let alpha_value = alpha.unwrap_or(0.9);
+
+    // --- The kernel blend. ----------------------------------------------
+    let terms: Vec<&str> = blend.split('+').map(str::trim).collect();
+    let named = if terms.len() == 1 && !terms[0].contains('*') {
+        NamedScore::parse(terms[0])
+    } else {
+        None
+    };
+    let components = if let Some(score) = named {
+        if comb_name.is_some() || agg_name.is_some() {
+            return Err(bad(format!(
+                "spec {s:?}: {} already fixes its combinator and aggregator; \
+                 use a bare kernel (e.g. 'jaccard') with comb=/agg= instead",
+                score.name()
+            )));
+        }
+        score.resolve(alpha_value)
+    } else {
+        let mut parts: Vec<(Arc<dyn Similarity>, f32)> = Vec::with_capacity(terms.len());
+        for term in &terms {
+            let (name, term_weight) = match term.split_once('*') {
+                None => (*term, 1.0f32),
+                Some((name, w)) => {
+                    let w: f32 = w.trim().parse().map_err(|_| {
+                        bad(format!(
+                            "spec {s:?}: kernel weight in {term:?} must be a number"
+                        ))
+                    })?;
+                    if !w.is_finite() || w <= 0.0 {
+                        return Err(bad(format!(
+                            "spec {s:?}: kernel weight in {term:?} must be finite and positive"
+                        )));
+                    }
+                    (name.trim(), w)
+                }
+            };
+            let kernel = registry.kernel(name).ok_or_else(|| {
+                bad(format!(
+                    "spec {s:?}: unknown kernel {name:?} (known kernels: {}; \
+                     named configurations: {})",
+                    registry.kernel_names().join(", "),
+                    NamedScore::all().map(|n| n.name()).join(", ")
+                ))
+            })?;
+            parts.push((kernel, term_weight));
+        }
+        let similarity: Arc<dyn Similarity> = if parts.len() == 1 && parts[0].1 == 1.0 {
+            parts.into_iter().next().expect("one part").0
+        } else {
+            Arc::new(similarity::WeightedBlend::new(parts))
+        };
+        let comb = comb_name.as_deref().unwrap_or("linear");
+        let combinator = registry.combinator(comb, alpha_value).ok_or_else(|| {
+            bad(format!(
+                "spec {s:?}: unknown combinator {comb:?} (known: {})",
+                registry.combinator_names().join(", ")
+            ))
+        })?;
+        let agg = agg_name.as_deref().unwrap_or("sum");
+        let aggregator = registry.aggregator(agg).ok_or_else(|| {
+            bad(format!(
+                "spec {s:?}: unknown aggregator {agg:?} (known: {})",
+                registry.aggregator_names().join(", ")
+            ))
+        })?;
+        ScoreComponents {
+            name: blend.to_owned(),
+            similarity,
+            // Eq. 11 ranks sampled neighbors by the set similarity `f`;
+            // Jaccard everywhere, matching the named configurations.
+            selection_similarity: similarity::shared_jaccard(),
+            combinator,
+            aggregator,
+        }
+    };
+
+    // --- Canonical suffix for Display round-trips. ----------------------
+    let mut suffix = String::new();
+    if let Some(k) = k {
+        suffix.push_str(&format!("@k{k}"));
+    }
+    if let Some(w) = weight {
+        suffix.push_str(&format!("@w{w}"));
+    }
+    if let Some(a) = alpha {
+        suffix.push_str(&format!("@alpha{a}"));
+    }
+    if let Some(c) = &comb_name {
+        suffix.push_str(&format!("@comb={c}"));
+    }
+    if let Some(a) = &agg_name {
+        suffix.push_str(&format!("@agg={a}"));
+    }
+    match shared.klocal {
+        Some(None) => suffix.push_str("@klocalinf"),
+        Some(Some(v)) => suffix.push_str(&format!("@klocal{v}")),
+        None => {}
+    }
+    match shared.thr_gamma {
+        Some(None) => suffix.push_str("@thrinf"),
+        Some(Some(v)) => suffix.push_str(&format!("@thr{v}")),
+        None => {}
+    }
+    if let Some(d) = shared.depth {
+        suffix.push_str(&format!(
+            "@depth{}",
+            match d {
+                PathLength::Two => 2,
+                PathLength::Three => 3,
+            }
+        ));
+    }
+    if let Some(sel) = shared.selection {
+        suffix.push_str(&format!("@sel{}", sel.name()));
+    }
+
+    let spec = ScoreSpec {
+        label: blend
+            .split('+')
+            .map(str::trim)
+            .collect::<Vec<_>>()
+            .join("+"),
+        components,
+        k,
+        weight: weight.unwrap_or(1.0),
+        alpha: alpha_value,
+        shared,
+        suffix,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_kernel_defaults_to_linear_sum_scoring() {
+        let s = ScoreSpec::parse("jaccard").unwrap();
+        assert_eq!(s.label(), "jaccard");
+        assert_eq!(s.components().similarity.name(), "jaccard");
+        assert_eq!(s.components().combinator.name(), "linear");
+        assert_eq!(s.components().aggregator.name(), "Sum");
+        assert_eq!(s.k_override(), None);
+        assert_eq!(s.column_weight(), 1.0);
+    }
+
+    #[test]
+    fn issue_examples_parse() {
+        let s = ScoreSpec::parse("jaccard@k16").unwrap();
+        assert_eq!(s.k_override(), Some(16));
+
+        let s = ScoreSpec::parse("cosine*0.7+common@depth2").unwrap();
+        assert_eq!(
+            s.components().similarity.name(),
+            "cosine*0.7+common-neighbors"
+        );
+        assert_eq!(s.label(), "cosine*0.7+common");
+        assert_eq!(s.shared_params().depth, Some(PathLength::Two));
+    }
+
+    #[test]
+    fn named_configurations_resolve_like_the_table() {
+        for named in NamedScore::all() {
+            let spec = ScoreSpec::parse(named.name()).unwrap();
+            let reference = named.resolve(0.9);
+            assert_eq!(
+                spec.components().similarity.name(),
+                reference.similarity.name()
+            );
+            assert_eq!(
+                spec.components().combinator.name(),
+                reference.combinator.name()
+            );
+            assert_eq!(
+                spec.components().aggregator.name(),
+                reference.aggregator.name()
+            );
+        }
+    }
+
+    #[test]
+    fn alpha_feeds_the_linear_combinator() {
+        let s = ScoreSpec::parse("linearSum@alpha0.5").unwrap();
+        assert_eq!(s.alpha(), 0.5);
+        assert!((s.components().combinator.combine(1.0, 0.0) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn explicit_combinator_and_aggregator() {
+        let s = ScoreSpec::parse("invdeg@comb=sum@agg=mean@w0.5@k3").unwrap();
+        assert_eq!(s.components().similarity.name(), "inverse-degree");
+        assert_eq!(s.components().combinator.name(), "sum");
+        assert_eq!(s.components().aggregator.name(), "Mean");
+        assert_eq!(s.column_weight(), 0.5);
+        assert_eq!(s.k_override(), Some(3));
+    }
+
+    #[test]
+    fn shared_params_parse() {
+        let s = ScoreSpec::parse("jaccard@klocal8@thr100@depth3@selrnd").unwrap();
+        let shared = s.shared_params();
+        assert_eq!(shared.klocal, Some(Some(8)));
+        assert_eq!(shared.thr_gamma, Some(Some(100)));
+        assert_eq!(shared.depth, Some(PathLength::Three));
+        assert_eq!(shared.selection, Some(SelectionPolicy::Random));
+        let s = ScoreSpec::parse("jaccard@klocalinf@thrinf").unwrap();
+        assert_eq!(s.shared_params().klocal, Some(None));
+        assert_eq!(s.shared_params().thr_gamma, Some(None));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for text in [
+            "jaccard@k16",
+            "cosine*0.7+common@depth2",
+            "linearSum@alpha0.5",
+            "invdeg@comb=sum@agg=mean@w0.5@k3",
+            "jaccard@klocal8@thr100@selmin",
+            "counter",
+        ] {
+            let spec = ScoreSpec::parse(text).unwrap();
+            let rendered = spec.to_string();
+            let reparsed = ScoreSpec::parse(&rendered).unwrap();
+            assert_eq!(reparsed.to_string(), rendered, "{text}");
+            assert_eq!(
+                reparsed.components().similarity.name(),
+                spec.components().similarity.name()
+            );
+            assert_eq!(reparsed.k_override(), spec.k_override());
+            assert_eq!(reparsed.shared_params(), spec.shared_params());
+        }
+    }
+
+    #[test]
+    fn parse_errors_name_the_problem_and_alternatives() {
+        let err = ScoreSpec::parse("jacard").unwrap_err().to_string();
+        assert!(err.contains("unknown kernel"), "{err}");
+        assert!(err.contains("jaccard"), "must list alternatives: {err}");
+
+        let err = ScoreSpec::parse("jaccard@bogus7").unwrap_err().to_string();
+        assert!(err.contains("unknown parameter"), "{err}");
+
+        let err = ScoreSpec::parse("jaccard@kx").unwrap_err().to_string();
+        assert!(err.contains("'k' expects an integer"), "{err}");
+
+        let err = ScoreSpec::parse("jaccard@comb=bogus")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown combinator"), "{err}");
+        assert!(err.contains("linear"), "{err}");
+
+        let err = ScoreSpec::parse("jaccard@agg=bogus")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown aggregator"), "{err}");
+
+        let err = ScoreSpec::parse("").unwrap_err().to_string();
+        assert!(err.contains("empty"), "{err}");
+
+        let err = ScoreSpec::parse("linearSum@comb=geom")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("already fixes"), "{err}");
+
+        let err = ScoreSpec::parse("jaccard@depth4").unwrap_err().to_string();
+        assert!(err.contains("'depth' must be 2 or 3"), "{err}");
+
+        let err = ScoreSpec::parse("jaccard@alphaNaN")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("alpha"), "{err}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected_at_construction() {
+        assert!(ScoreSpec::parse("jaccard@k0").is_err());
+        assert!(ScoreSpec::parse("jaccard@klocal0").is_err());
+        assert!(ScoreSpec::parse("jaccard@w0").is_err());
+        assert!(ScoreSpec::parse("jaccard@w-1").is_err());
+        assert!(ScoreSpec::parse("jaccard@winf").is_err());
+        assert!(ScoreSpec::parse("jaccard@alpha2").is_err());
+        assert!(ScoreSpec::parse("cosine*0+common").is_err());
+        assert!(ScoreSpec::parse("cosine*nan+common").is_err());
+    }
+
+    #[test]
+    fn blend_weights_shape_the_kernel() {
+        use crate::similarity::NeighborhoodView;
+        use snaple_graph::VertexId;
+        let spec = ScoreSpec::parse("cosine*0.7+common").unwrap();
+        let a: Vec<VertexId> = [1, 2, 3].map(VertexId::new).to_vec();
+        let b: Vec<VertexId> = [2, 3, 4].map(VertexId::new).to_vec();
+        let (va, vb) = (NeighborhoodView::new(&a, 3), NeighborhoodView::new(&b, 3));
+        let got = spec.components().similarity.score(va, vb);
+        let want =
+            0.7 * similarity::Cosine.score(va, vb) + similarity::CommonNeighbors.score(va, vb);
+        assert!((got - want).abs() < 1e-6);
+    }
+
+    #[test]
+    fn custom_registry_kernels_resolve() {
+        let mut registry = Registry::builtin();
+        registry.register_kernel("always-two", || {
+            #[derive(Debug)]
+            struct Two;
+            impl Similarity for Two {
+                fn name(&self) -> &str {
+                    "always-two"
+                }
+                fn score(
+                    &self,
+                    _u: crate::similarity::NeighborhoodView<'_>,
+                    _v: crate::similarity::NeighborhoodView<'_>,
+                ) -> f32 {
+                    2.0
+                }
+            }
+            Arc::new(Two)
+        });
+        let spec = ScoreSpec::parse_with(&registry, "always-two@agg=max").unwrap();
+        assert_eq!(spec.components().similarity.name(), "always-two");
+        assert!(ScoreSpec::parse("always-two").is_err(), "not in builtin");
+    }
+
+    #[test]
+    fn from_str_matches_parse() {
+        let a: ScoreSpec = "jaccard@k7".parse().unwrap();
+        assert_eq!(a.k_override(), Some(7));
+    }
+
+    #[test]
+    fn builtin_jaccard_shares_the_selection_instance() {
+        // The parsed `jaccard` kernel IS the shared selection-similarity
+        // Arc, so execution computes it once per edge.
+        let spec = ScoreSpec::parse("jaccard").unwrap();
+        assert!(spec.components().shares_selection_similarity());
+        // A different kernel never shares.
+        let spec = ScoreSpec::parse("cosine").unwrap();
+        assert!(!spec.components().shares_selection_similarity());
+    }
+
+    #[test]
+    fn name_colliding_custom_kernels_do_not_share_the_selection_instance() {
+        // Regression: sharing is detected by Arc identity, so a custom
+        // kernel whose name() collides with "jaccard" must NOT be
+        // silently replaced by the selection similarity's value.
+        let mut registry = Registry::builtin();
+        registry.register_kernel("fakejac", || {
+            #[derive(Debug)]
+            struct FakeJaccard;
+            impl Similarity for FakeJaccard {
+                fn name(&self) -> &str {
+                    "jaccard" // colliding self-reported name
+                }
+                fn score(
+                    &self,
+                    _u: crate::similarity::NeighborhoodView<'_>,
+                    _v: crate::similarity::NeighborhoodView<'_>,
+                ) -> f32 {
+                    42.0
+                }
+            }
+            Arc::new(FakeJaccard)
+        });
+        let spec = ScoreSpec::parse_with(&registry, "fakejac").unwrap();
+        assert_eq!(spec.components().similarity.name(), "jaccard");
+        assert!(
+            !spec.components().shares_selection_similarity(),
+            "a colliding name must not alias the selection similarity"
+        );
+    }
+
+    #[test]
+    fn aggregator_registration_is_case_insensitive_both_ways() {
+        let mut registry = Registry::builtin();
+        registry.register_aggregator("MyMax", || Arc::new(aggregator::Max));
+        for query in ["MyMax", "mymax", "MYMAX"] {
+            let spec = ScoreSpec::parse_with(&registry, &format!("jaccard@agg={query}")).unwrap();
+            assert_eq!(spec.components().aggregator.name(), "Max", "{query}");
+        }
+        // Builtins resolve under display casing too.
+        let spec = ScoreSpec::parse("jaccard@agg=Harmonic").unwrap();
+        assert_eq!(spec.components().aggregator.name(), "Harmonic");
+    }
+}

@@ -373,7 +373,7 @@ fn merge_triples(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::ScoreSpec;
+    use crate::config::NamedScore;
 
     fn v(i: u32) -> VertexId {
         VertexId::new(i)
@@ -381,7 +381,7 @@ mod tests {
 
     #[test]
     fn merge_triples_folds_duplicates_and_stays_sorted() {
-        let c = ScoreSpec::Counter.resolve(0.9);
+        let c = NamedScore::Counter.resolve(0.9);
         let a = vec![(v(1), 1.0, 1), (v(3), 1.0, 2)];
         let b = vec![(v(2), 1.0, 1), (v(3), 1.0, 1)];
         let m = merge_triples(&c, a, b);
@@ -390,7 +390,7 @@ mod tests {
 
     #[test]
     fn merge_triples_handles_empty_sides() {
-        let c = ScoreSpec::LinearSum.resolve(0.9);
+        let c = NamedScore::LinearSum.resolve(0.9);
         let a = vec![(v(1), 0.5, 1)];
         assert_eq!(merge_triples(&c, a.clone(), vec![]), a);
         assert_eq!(merge_triples(&c, vec![], a.clone()), a);
@@ -398,7 +398,7 @@ mod tests {
 
     #[test]
     fn merge_triples_is_commutative() {
-        let c = ScoreSpec::LinearSum.resolve(0.9);
+        let c = NamedScore::LinearSum.resolve(0.9);
         let a = vec![(v(1), 0.25, 1), (v(4), 0.5, 2)];
         let b = vec![(v(1), 0.125, 3), (v(9), 0.75, 1)];
         assert_eq!(

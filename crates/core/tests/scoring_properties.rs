@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use snaple_core::aggregator::{Aggregator, GeometricMean, Mean, Sum};
 use snaple_core::combinator::{Combinator, Count, Linear};
 use snaple_core::similarity::{Jaccard, Similarity};
-use snaple_core::{NeighborhoodView, PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+use snaple_core::{NamedScore, NeighborhoodView, PredictRequest, Predictor, Snaple, SnapleConfig};
 use snaple_gas::ClusterSpec;
 use snaple_graph::{CsrGraph, GraphBuilder, VertexId};
 
@@ -67,10 +67,10 @@ proptest! {
     /// aggregator family.
     #[test]
     fn gas_program_matches_brute_force(edges in edges_strategy(), spec_idx in 0usize..3) {
-        let (spec, agg): (ScoreSpec, &dyn Aggregator) = match spec_idx {
-            0 => (ScoreSpec::LinearSum, &Sum),
-            1 => (ScoreSpec::LinearMean, &Mean),
-            _ => (ScoreSpec::LinearGeom, &GeometricMean),
+        let (spec, agg): (NamedScore, &dyn Aggregator) = match spec_idx {
+            0 => (NamedScore::LinearSum, &Sum),
+            1 => (NamedScore::LinearMean, &Mean),
+            _ => (NamedScore::LinearGeom, &GeometricMean),
         };
         let graph = graph_from(&edges);
         let config = SnapleConfig::new(spec)
@@ -108,7 +108,7 @@ proptest! {
     #[test]
     fn counter_equals_path_counts(edges in edges_strategy()) {
         let graph = graph_from(&edges);
-        let config = SnapleConfig::new(ScoreSpec::Counter)
+        let config = SnapleConfig::new(NamedScore::Counter)
             .k(graph.num_vertices())
             .klocal(None)
             .thr_gamma(None);
@@ -135,7 +135,7 @@ proptest! {
         thr in 1usize..10,
     ) {
         let graph = graph_from(&edges);
-        let config = SnapleConfig::new(ScoreSpec::LinearSum)
+        let config = SnapleConfig::new(NamedScore::LinearSum)
             .k(k)
             .klocal(Some(klocal))
             .thr_gamma(Some(thr));

@@ -122,7 +122,7 @@ impl Measurement {
 /// request over the training graph with [`Runner::request`]:
 ///
 /// ```
-/// use snaple_core::{ScoreSpec, Snaple, SnapleConfig};
+/// use snaple_core::{NamedScore, Snaple, SnapleConfig};
 /// use snaple_eval::{EvalDataset, Runner};
 /// use snaple_gas::ClusterSpec;
 ///
@@ -132,7 +132,7 @@ impl Measurement {
 ///     .load_with_holdout(7, 1);
 /// let runner = Runner::new(&holdout);
 /// let cluster = ClusterSpec::type_ii(4);
-/// let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+/// let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 /// let m = runner.run("linearSum", &snaple, &runner.request(&cluster));
 /// assert!(m.outcome.is_completed());
 /// ```
@@ -184,7 +184,7 @@ mod tests {
     use crate::datasets::EvalDataset;
     use snaple_baseline::{Baseline, BaselineConfig};
     use snaple_cassovary::{RandomWalkConfig, RandomWalkPpr};
-    use snaple_core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+    use snaple_core::{NamedScore, QuerySet, Snaple, SnapleConfig};
 
     fn split() -> (CsrGraph, HoldOut) {
         EvalDataset::by_name("gowalla")
@@ -198,7 +198,7 @@ mod tests {
         let (_graph, holdout) = split();
         let runner = Runner::new(&holdout);
         let cluster = ClusterSpec::type_ii(4);
-        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+        let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
         let m = runner.run("linearSum", &snaple, &runner.request(&cluster));
         assert!(m.outcome.is_completed());
         assert!(m.recall > 0.05, "recall {}", m.recall);
@@ -269,7 +269,7 @@ mod tests {
         let runner = Runner::new(&holdout);
         let cluster = ClusterSpec::type_ii(4);
         let queries = QuerySet::sample(runner.train_graph().num_vertices(), 100, 3);
-        let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+        let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
         let baseline = Baseline::new(BaselineConfig::new());
         let ppr = RandomWalkPpr::new(RandomWalkConfig::new().walks(20).depth(3));
         let backends: [(&str, &dyn Predictor); 3] =

@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use snaple_core::{ExecuteRequest, QuerySet, Snaple, SnapleConfig, SnapleError};
+use snaple_core::{ExecuteRequest, PlanConfig, QuerySet, ScorePlan, ScoreSpec, SnapleError};
 use snaple_gas::{ClusterSpec, Deployment, RunStats};
 use snaple_graph::{CsrGraph, VertexId};
 
@@ -38,15 +38,31 @@ impl<'c> FeaturePanel<'c> {
         self.extract_for(graph, cluster, None)
     }
 
-    /// The SNAPLE configuration of panel column `col` — all columns share
-    /// one partition strategy and seed, which is what lets the whole
-    /// panel run on a single shared [`Deployment`].
-    fn column_config(&self, col: usize) -> SnapleConfig {
+    /// The fused [`ScorePlan`] evaluating every panel column in **one**
+    /// masked sweep — all columns share one partition strategy, seed and
+    /// sampling configuration, which is what lets the whole panel ride a
+    /// single traversal of a single shared [`Deployment`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::InvalidConfig`] for empty panels.
+    pub fn plan(&self) -> Result<ScorePlan, SnapleError> {
         let cfg = self.config;
-        SnapleConfig::new(cfg.panel[col])
-            .k(cfg.pool)
-            .klocal(cfg.klocal)
-            .seed(cfg.seed)
+        if cfg.panel.is_empty() {
+            return Err(SnapleError::InvalidConfig("empty panel".into()));
+        }
+        let specs: Vec<ScoreSpec> = cfg
+            .panel
+            .iter()
+            .map(|&named| ScoreSpec::named(named))
+            .collect();
+        ScorePlan::with_config(
+            specs,
+            PlanConfig::default()
+                .k(cfg.pool)
+                .klocal(cfg.klocal)
+                .seed(cfg.seed),
+        )
     }
 
     /// Builds the deployment every panel column executes on.
@@ -59,18 +75,13 @@ impl<'c> FeaturePanel<'c> {
         graph: &'g CsrGraph,
         cluster: &ClusterSpec,
     ) -> Result<Deployment<'g>, SnapleError> {
-        let cfg = self.config;
-        let base = SnapleConfig::new(
-            *cfg.panel
-                .first()
-                .ok_or_else(|| SnapleError::InvalidConfig("empty panel".into()))?,
-        )
-        .seed(cfg.seed);
+        let plan = self.plan()?;
+        let config = plan.config();
         Ok(Deployment::new(
             graph,
             cluster.clone(),
-            base.partition,
-            base.seed,
+            config.partition,
+            config.seed,
         )?)
     }
 
@@ -98,14 +109,17 @@ impl<'c> FeaturePanel<'c> {
 
     /// Runs the whole panel on a prepared, shared [`Deployment`] — the
     /// serving path: one O(edges) partition build covers every feature
-    /// column of every request.
+    /// column of every request, and since the [`ScorePlan`] redesign one
+    /// **fused sweep** computes all score columns at once instead of one
+    /// deployment run per column (the columns are bit-identical to the
+    /// per-column runs the panel used to pay for).
     ///
-    /// `seed` overrides the randomized parts of each column's run (see
+    /// `seed` overrides the randomized parts of the fused run (see
     /// [`ExecuteRequest::with_seed`]); `None` keeps the panel seed.
     ///
     /// # Errors
     ///
-    /// Propagates [`SnapleError`] from the underlying SNAPLE runs.
+    /// Propagates [`SnapleError`] from the underlying fused run.
     pub fn extract_on(
         &self,
         deployment: &Deployment<'_>,
@@ -123,20 +137,17 @@ impl<'c> FeaturePanel<'c> {
 
         // candidate -> dense feature row, per vertex.
         let mut rows: Vec<HashMap<VertexId, Vec<f64>>> = vec![HashMap::new(); graph.num_vertices()];
-        let mut stats = RunStats::default();
+        let plan = self.plan()?;
+        let mut exec = ExecuteRequest::new();
+        if let Some(q) = queries {
+            exec = exec.with_queries(q);
+        }
+        if let Some(s) = seed {
+            exec = exec.with_seed(s);
+        }
+        let matrix = plan.execute_on(deployment, &exec)?;
         for col in 0..cfg.panel.len() {
-            let snaple = Snaple::new(self.column_config(col));
-            let mut exec = ExecuteRequest::new();
-            if let Some(q) = queries {
-                exec = exec.with_queries(q);
-            }
-            if let Some(s) = seed {
-                exec = exec.with_seed(s);
-            }
-            let prediction = snaple.execute_on(deployment, &exec)?;
-            stats.steps.extend(prediction.stats.steps.iter().cloned());
-            stats.replication_factor = prediction.stats.replication_factor;
-            for (u, preds) in prediction.iter() {
+            for (u, preds) in matrix.column_rows(col) {
                 for &(z, score) in preds {
                     rows[u.index()]
                         .entry(z)
@@ -144,6 +155,7 @@ impl<'c> FeaturePanel<'c> {
                 }
             }
         }
+        let stats = matrix.stats;
         if cfg.degree_features {
             for (ui, candidates) in rows.iter_mut().enumerate() {
                 let u = VertexId::new(ui as u32);
@@ -241,7 +253,7 @@ mod tests {
     fn candidate_union_is_at_least_each_column() {
         let graph = datasets::GOWALLA.emulate(0.002, 9);
         let one = SupervisedConfig::new()
-            .panel(vec![snaple_core::ScoreSpec::Counter])
+            .panel(vec![snaple_core::NamedScore::Counter])
             .seed(9);
         let narrow = FeaturePanel::new(&one)
             .extract(&graph, &ClusterSpec::type_ii(2))

@@ -47,7 +47,7 @@ pub mod logistic;
 use std::time::Instant;
 
 use snaple_core::{
-    ExecuteRequest, Prediction, Predictor, PrepareRequest, PreparedPredictor, ScoreSpec,
+    ExecuteRequest, NamedScore, Prediction, Predictor, PrepareRequest, PreparedPredictor,
     SetupStats, SnapleError,
 };
 use snaple_gas::{ClusterSpec, Deployment};
@@ -61,7 +61,7 @@ use crate::logistic::LogisticRegression;
 pub struct SupervisedConfig {
     /// The unsupervised scoring configurations whose scores become feature
     /// columns.
-    pub panel: Vec<ScoreSpec>,
+    pub panel: Vec<NamedScore>,
     /// Include log-degree features of both endpoints.
     pub degree_features: bool,
     /// Final predictions per vertex.
@@ -88,10 +88,10 @@ impl SupervisedConfig {
     pub fn new() -> Self {
         SupervisedConfig {
             panel: vec![
-                ScoreSpec::LinearSum,
-                ScoreSpec::Counter,
-                ScoreSpec::Ppr,
-                ScoreSpec::EuclSum,
+                NamedScore::LinearSum,
+                NamedScore::Counter,
+                NamedScore::Ppr,
+                NamedScore::EuclSum,
             ],
             degree_features: true,
             k: 5,
@@ -106,7 +106,7 @@ impl SupervisedConfig {
     }
 
     /// Sets the scoring panel.
-    pub fn panel(mut self, panel: Vec<ScoreSpec>) -> Self {
+    pub fn panel(mut self, panel: Vec<NamedScore>) -> Self {
         self.panel = panel;
         self
     }
@@ -359,7 +359,7 @@ mod tests {
         let supervised_recall = metrics::recall(&supervised, &eval);
 
         let mut best_single: f64 = 0.0;
-        for spec in [ScoreSpec::LinearSum, ScoreSpec::Counter, ScoreSpec::Ppr] {
+        for spec in [NamedScore::LinearSum, NamedScore::Counter, NamedScore::Ppr] {
             let p = Predictor::predict(
                 &Snaple::new(SnapleConfig::new(spec).klocal(Some(20))),
                 &PredictRequest::new(&eval.train, &cl),

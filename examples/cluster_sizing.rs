@@ -9,7 +9,7 @@
 //! cargo run --release --example cluster_sizing
 //! ```
 
-use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{NamedScore, PredictRequest, Predictor, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::{ClusterSpec, PartitionStrategy};
 use snaple::graph::gen::datasets;
@@ -41,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ] {
             let cluster = ClusterSpec::type_i(nodes);
             let snaple = Snaple::new(
-                SnapleConfig::new(ScoreSpec::LinearSum)
+                SnapleConfig::new(NamedScore::LinearSum)
                     .klocal(Some(20))
                     .partition(strategy),
             );

@@ -8,7 +8,7 @@
 //! cargo run --release --example supervised_reranking
 //! ```
 
-use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{NamedScore, PredictRequest, Predictor, Snaple, SnapleConfig};
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -30,10 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The unsupervised panel members, individually.
     for spec in [
-        ScoreSpec::LinearSum,
-        ScoreSpec::Counter,
-        ScoreSpec::Ppr,
-        ScoreSpec::EuclSum,
+        NamedScore::LinearSum,
+        NamedScore::Counter,
+        NamedScore::Ppr,
+        NamedScore::EuclSum,
     ] {
         let p = Predictor::predict(
             &Snaple::new(SnapleConfig::new(spec).klocal(Some(20))),

@@ -12,7 +12,7 @@
 
 use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
 use snaple::core::serve::Server;
-use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{NamedScore, PredictRequest, Predictor, QuerySet, Snaple, SnapleConfig};
 use snaple::eval::table::fmt_millis;
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
 
     // Contender 2: SNAPLE on the same single machine.
-    let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+    let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
     let single = Predictor::predict(&snaple, &PredictRequest::new(&holdout.train, &machine))?;
     table.row(vec![
         "SNAPLE linearSum (klocal=20)".into(),

@@ -34,9 +34,10 @@ use std::process::exit;
 
 use snaple::core::serve::Server;
 use snaple::core::{
-    GraphDelta, PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+    ExecuteRequest, GraphDelta, NamedScore, PlanConfig, PredictRequest, Predictor, PrepareRequest,
+    QuerySet, Registry, ScorePlan, Snaple, SnapleConfig,
 };
-use snaple::eval::{metrics, HoldOut};
+use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
 use snaple::graph::stats::GraphSummary;
@@ -54,6 +55,7 @@ fn main() {
         "predict" => cmd_predict(&opts),
         "serve" => cmd_serve(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "sweep" => cmd_sweep(&opts),
         "--help" | "-h" | "help" => usage(""),
         other => usage(&format!("unknown command {other:?}")),
     };
@@ -75,11 +77,13 @@ struct Options {
     k: usize,
     klocal: Option<usize>,
     thr_gamma: Option<usize>,
-    alpha: f32,
+    alpha: Option<f32>,
     nodes: usize,
     machine: String,
     removals: usize,
     symmetrize: bool,
+    scores: Option<String>,
+    compare: bool,
     queries: Option<String>,
     query_sample: Option<usize>,
     requests: Option<String>,
@@ -98,7 +102,6 @@ impl Options {
             k: 5,
             klocal: Some(20),
             thr_gamma: Some(200),
-            alpha: 0.9,
             nodes: 4,
             machine: "type-ii".into(),
             removals: 1,
@@ -137,11 +140,13 @@ impl Options {
                         Some(parse_num(&v, "--thr-gamma"))
                     };
                 }
-                "--alpha" => o.alpha = parse_num(&value("--alpha"), "--alpha"),
+                "--alpha" => o.alpha = Some(parse_num(&value("--alpha"), "--alpha")),
                 "--nodes" => o.nodes = parse_num(&value("--nodes"), "--nodes"),
                 "--machine" => o.machine = value("--machine"),
                 "--removals" => o.removals = parse_num(&value("--removals"), "--removals"),
                 "--symmetrize" => o.symmetrize = true,
+                "--scores" => o.scores = Some(value("--scores")),
+                "--compare" => o.compare = true,
                 "--queries" => o.queries = Some(value("--queries")),
                 "--query-sample" => {
                     o.query_sample = Some(parse_num(&value("--query-sample"), "--query-sample"))
@@ -174,19 +179,41 @@ impl Options {
     }
 
     fn snaple_config(&self) -> Result<SnapleConfig, String> {
-        let score = ScoreSpec::parse(&self.score).ok_or_else(|| {
+        let score = NamedScore::parse(&self.score).ok_or_else(|| {
             format!(
                 "unknown score {:?}; available: {}",
                 self.score,
-                ScoreSpec::all().map(|s| s.name()).join(", ")
+                NamedScore::all().map(|s| s.name()).join(", ")
             )
         })?;
         Ok(SnapleConfig::new(score)
             .k(self.k)
             .klocal(self.klocal)
             .thr_gamma(self.thr_gamma)
-            .alpha(self.alpha)
+            .alpha(self.alpha.unwrap_or(0.9))
             .seed(self.seed))
+    }
+
+    /// Builds the score plan of `--scores`, seeding the plan-level
+    /// defaults from the shared prediction flags (`--k`, `--klocal`,
+    /// `--thr-gamma`, `--seed`); per-spec `@` parameters win over the
+    /// flags, and conflicting plan-scoped parameters are rejected with
+    /// the parser's error.
+    fn score_plan(&self) -> Result<ScorePlan, String> {
+        let scores = self.scores.as_deref().ok_or("missing --scores")?;
+        if let Some(alpha) = self.alpha {
+            return Err(format!(
+                "--alpha does not apply to --scores plans ({alpha} would be \
+                 silently ignored); pin it per spec instead, e.g. \
+                 'linearSum@alpha{alpha}'"
+            ));
+        }
+        let config = PlanConfig::default()
+            .k(self.k)
+            .klocal(self.klocal)
+            .thr_gamma(self.thr_gamma)
+            .seed(self.seed);
+        ScorePlan::parse_with(&Registry::builtin(), scores, config).map_err(|e| e.to_string())
     }
 
     /// Resolves `--queries`/`--query-sample` into a query set.
@@ -229,13 +256,17 @@ commands:
             orkut, livejournal, twitter-rv) and write it out
   stats     --graph FILE
             print structural statistics of a graph
-  predict   --graph FILE [--score S] [--k N] [--klocal N|inf]
-            [--thr-gamma N|inf] [--alpha F] [--nodes N]
+  predict   --graph FILE [--score S | --scores PLAN] [--k N]
+            [--klocal N|inf] [--thr-gamma N|inf] [--alpha F] [--nodes N]
             [--machine type-i|type-ii|single] [--out FILE]
             [--queries IDS | --query-sample N]
             run SNAPLE and emit 'source target score' lines;
             --queries (comma-separated ids) or --query-sample (random
-            subset of N sources) restrict the run to those users
+            subset of N sources) restrict the run to those users.
+            --scores takes a comma-separated score plan (e.g.
+            'linearSum, jaccard@k16, cosine*0.7+common') evaluated in
+            ONE fused sweep, emitting 'label source target score' lines
+            — see the snaple_core::spec docs for the grammar
   serve     --graph FILE [prediction flags] [--batch N] [--out FILE]
             (--requests FILE|- | --updates FILE|- |
              --request-count N [--request-size M])
@@ -256,6 +287,16 @@ commands:
             hold out edges, predict, and report recall/precision/MRR;
             with a query subset, metrics range over the queried
             sources only
+  sweep     --graph FILE --scores PLAN [--removals N] [--compare]
+            [cluster flags]
+            evaluate every column of a score plan under the hold-out
+            protocol in ONE fused sweep: prints a config x metric table
+            (recall/precision/MRR + per-column work); --compare also
+            runs each column standalone (N extra traversals) to print
+            the fused-vs-independent gather-op comparison
+
+serve accepts --scores too: the served rows are then the plan's
+weighted combined ranking (one fused sweep per coalesced batch).
 
 graph files: '.snplg' binary (from emulate/--out) or text edge lists
 (one 'src dst [weight]' per line; add --symmetrize for undirected input)."
@@ -327,8 +368,60 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// The multi-score predict path: one fused sweep, one output line per
+/// `column label / source / target / score`.
+fn cmd_predict_plan(opts: &Options, graph: &CsrGraph) -> Result<(), String> {
+    let cluster = opts.cluster()?;
+    let plan = opts.score_plan()?;
+    let queries = opts.query_set(graph)?;
+    let prepared = plan
+        .prepare_plan(&PrepareRequest::new(graph, &cluster))
+        .map_err(|e| e.to_string())?;
+    let mut exec = ExecuteRequest::new();
+    if let Some(q) = &queries {
+        exec = exec.with_queries(q);
+    }
+    let matrix = prepared.execute_matrix(&exec).map_err(|e| e.to_string())?;
+
+    let mut out: Box<dyn Write> = match &opts.out {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("{}: {e}", p.display()))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut total = 0usize;
+    for col in 0..matrix.num_columns() {
+        let label = &matrix.labels()[col];
+        for (u, preds) in matrix.column_rows(col) {
+            for (z, score) in preds {
+                writeln!(out, "{label}\t{}\t{}\t{score}", u.as_u32(), z.as_u32())
+                    .map_err(|e| e.to_string())?;
+                total += 1;
+            }
+        }
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    let attribution: Vec<String> = matrix
+        .column_attribution()
+        .map(|(label, ops)| format!("{label} {ops}"))
+        .collect();
+    eprintln!(
+        "predicted {total} edges across {} score columns in ONE fused sweep \
+         ({:.2} simulated seconds on {}); total work {} ops, per-column extra [{}]",
+        matrix.num_columns(),
+        matrix.stats.simulated_seconds(),
+        cluster.name,
+        matrix.stats.total_work_ops(),
+        attribution.join(", "),
+    );
+    Ok(())
+}
+
 fn cmd_predict(opts: &Options) -> Result<(), String> {
     let graph = load_graph(opts)?;
+    if opts.scores.is_some() {
+        return cmd_predict_plan(opts, &graph);
+    }
     let cluster = opts.cluster()?;
     let snaple = Snaple::new(opts.snaple_config()?);
     let queries = opts.query_set(&graph)?;
@@ -481,7 +574,18 @@ fn parse_update_stream(reader: impl BufRead) -> Result<Vec<ServeEvent>, String> 
 fn cmd_serve(opts: &Options) -> Result<(), String> {
     let graph = load_graph(opts)?;
     let cluster = opts.cluster()?;
-    let snaple = Snaple::new(opts.snaple_config()?);
+    // With --scores the served predictor is a fused multi-score plan:
+    // every request's rows are the plan's weighted combined ranking,
+    // computed from one sweep per coalesced batch.
+    let plan;
+    let snaple;
+    let predictor: &dyn Predictor = if opts.scores.is_some() {
+        plan = opts.score_plan()?;
+        &plan
+    } else {
+        snaple = Snaple::new(opts.snaple_config()?);
+        &snaple
+    };
     let events: Vec<ServeEvent> = match (&opts.requests, &opts.updates, opts.request_count) {
         (Some(_), Some(_), _) | (_, Some(_), Some(_)) | (Some(_), _, Some(_)) => {
             return Err("--requests, --updates and --request-count are mutually exclusive".into())
@@ -519,7 +623,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         return Err("--batch must be at least 1".into());
     }
 
-    let mut server = Server::new(&snaple, &graph, &cluster).map_err(|e| e.to_string())?;
+    let mut server = Server::new(predictor, &graph, &cluster).map_err(|e| e.to_string())?;
     let mut out: Box<dyn Write> = match &opts.out {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).map_err(|e| format!("{}: {e}", p.display()))?,
@@ -592,6 +696,72 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         stats.summary()
     );
     stats.write_bench_json("snaple-cli-serve");
+    Ok(())
+}
+
+/// `sweep` — evaluate a whole score plan under the hold-out protocol in
+/// **one** fused sweep, emitting a configuration × metric table. With
+/// `--compare`, additionally runs every column standalone (N extra full
+/// traversals!) to print the fused-vs-independent gather-op comparison.
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let cluster = opts.cluster()?;
+    let plan = opts.score_plan()?;
+    let holdout = HoldOut::remove_edges(&graph, opts.removals.max(1), opts.seed);
+
+    let prepared = plan
+        .prepare_plan(&PrepareRequest::new(&holdout.train, &cluster))
+        .map_err(|e| e.to_string())?;
+    let matrix = prepared
+        .execute_matrix(&ExecuteRequest::new())
+        .map_err(|e| e.to_string())?;
+    let fused_gathers: u64 = matrix.stats.steps.iter().map(|s| s.gather_calls).sum();
+
+    let mut header = vec!["score", "k", "recall", "precision", "mrr", "column ops"];
+    if opts.compare {
+        header.push("indep. gathers");
+    }
+    let mut table = TextTable::new(header);
+    let mut independent_gathers = 0u64;
+    for col in 0..plan.num_columns() {
+        let column = matrix.column(col);
+        let mut row = vec![
+            matrix.labels()[col].clone(),
+            plan.column_k(col).to_string(),
+            format!("{:.4}", metrics::recall(&column, &holdout)),
+            format!("{:.4}", metrics::precision(&column, &holdout)),
+            format!("{:.4}", metrics::mean_reciprocal_rank(&column, &holdout)),
+            matrix.column_work_ops(col).to_string(),
+        ];
+        if opts.compare {
+            // The naive path this plan replaces: one full run per config.
+            let standalone = plan.column_snaple(col);
+            let solo =
+                Predictor::predict(&standalone, &PredictRequest::new(&holdout.train, &cluster))
+                    .map_err(|e| e.to_string())?;
+            let solo_gathers: u64 = solo.stats.steps.iter().map(|s| s.gather_calls).sum();
+            independent_gathers += solo_gathers;
+            row.push(solo_gathers.to_string());
+        }
+        table.row(row);
+    }
+    println!("{}", table.render());
+    if opts.compare {
+        let ratio = fused_gathers as f64 / independent_gathers.max(1) as f64;
+        println!(
+            "fused sweep: {fused_gathers} gather calls for {} columns vs \
+             {independent_gathers} independent ({:.1}% — one traversal instead of {})",
+            plan.num_columns(),
+            ratio * 100.0,
+            plan.num_columns(),
+        );
+    } else {
+        println!(
+            "fused sweep: {fused_gathers} gather calls for all {} columns \
+             (--compare re-runs each column standalone for the ratio)",
+            plan.num_columns(),
+        );
+    }
     Ok(())
 }
 

@@ -27,7 +27,7 @@
 //! [`PredictRequest`]: core::PredictRequest
 //!
 //! ```
-//! use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::core::{PredictRequest, Predictor, NamedScore, Snaple, SnapleConfig};
 //! use snaple::gas::ClusterSpec;
 //! use snaple::graph::gen::datasets;
 //!
@@ -36,7 +36,7 @@
 //! // ...a 4-node cluster of the paper's type-II machines...
 //! let cluster = ClusterSpec::type_ii(4);
 //! // ...and the paper's best-recall configuration.
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //! let prediction = Predictor::predict(&snaple, &PredictRequest::new(&graph, &cluster))?;
 //! println!(
 //!     "predicted {} edges in {:.1} simulated seconds",
@@ -55,13 +55,13 @@
 //! queried vertices, a fraction of the work:
 //!
 //! ```
-//! use snaple::core::{PredictRequest, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::core::{PredictRequest, Predictor, QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple::gas::ClusterSpec;
 //! use snaple::graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! let active_users = QuerySet::sample(graph.num_vertices(), 200, 7);
 //! let req = PredictRequest::new(&graph, &cluster).with_queries(&active_users);
@@ -73,6 +73,42 @@
 //! The same request type drives the BASELINE and random-walk backends, the
 //! supervised re-ranker, the [`eval`] runner, and the `snaple-cli predict
 //! --queries`/`--query-sample` flags.
+//!
+//! # Many scores, one sweep
+//!
+//! SNAPLE is a scoring *framework*, and real workloads evaluate many
+//! scoring configurations over the same graph — parameter sweeps,
+//! feature panels, ensembles. A [`ScorePlan`](core::ScorePlan) declares
+//! N score columns (parsed from compact [spec strings](core::spec) like
+//! `"jaccard@k16"` or `"cosine*0.7+common"`) and compiles them into
+//! **one fused superstep sweep**: neighborhoods are gathered once, every
+//! kernel reads the same neighborhood views, every sampled 2-hop path is
+//! walked once. Each column is bit-identical to running its spec alone,
+//! at roughly one traversal's cost instead of N:
+//!
+//! ```
+//! use snaple::core::{ExecuteRequest, PrepareRequest, ScorePlan};
+//! use snaple::gas::ClusterSpec;
+//! use snaple::graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.01, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//!
+//! let plan = ScorePlan::parse("linearSum, counter, PPR, jaccard@agg=max")?;
+//! let prepared = plan.prepare_plan(&PrepareRequest::new(&graph, &cluster))?;
+//! let matrix = prepared.execute_matrix(&ExecuteRequest::new())?;
+//! for (label, extra_ops) in matrix.column_attribution() {
+//!     println!("{label}: {extra_ops} column-specific ops");
+//! }
+//! # Ok::<(), snaple::core::SnapleError>(())
+//! ```
+//!
+//! [`Snaple`](core::Snaple) itself executes as the 1-spec special case,
+//! the supervised feature panel extracts all of its columns from one
+//! fused sweep, and the CLI exposes plans via `snaple-cli predict/serve
+//! --scores` and the `snaple-cli sweep` config × metric table;
+//! `exp_sweep` + `crates/bench/benches/sweep.rs` track the
+//! fused-vs-independent gather-op ratio and wall-time speedup.
 //!
 //! # Serving a request stream
 //!
@@ -87,13 +123,13 @@
 //!
 //! ```
 //! use snaple::core::serve::Server;
-//! use snaple::core::{QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::core::{QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple::gas::ClusterSpec;
 //! use snaple::graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! let mut server = Server::new(&snaple, &graph, &cluster)?;
 //! let wave: Vec<QuerySet> = (0..4)
@@ -124,13 +160,13 @@
 //!
 //! ```
 //! use snaple::core::serve::Server;
-//! use snaple::core::{GraphDelta, QuerySet, ScoreSpec, Snaple, SnapleConfig};
+//! use snaple::core::{GraphDelta, QuerySet, NamedScore, Snaple, SnapleConfig};
 //! use snaple::gas::ClusterSpec;
 //! use snaple::graph::gen::datasets;
 //!
 //! let graph = datasets::GOWALLA.emulate(0.01, 42);
 //! let cluster = ClusterSpec::type_ii(4);
-//! let snaple = Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20)));
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
 //!
 //! let mut server = Server::new(&snaple, &graph, &cluster)?;
 //! let active = QuerySet::sample(graph.num_vertices(), 50, 7);

@@ -8,7 +8,7 @@
 
 use proptest::prelude::*;
 
-use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{NamedScore, PredictRequest, Predictor, Snaple, SnapleConfig};
 use snaple::gas::{ClusterSpec, PartitionStrategy};
 use snaple::graph::gen::{self, CommunityParams};
 use snaple::graph::CsrGraph;
@@ -40,7 +40,7 @@ proptest! {
         nodes in 2usize..24,
     ) {
         let graph = random_graph(400, 4, seed);
-        let config = SnapleConfig::new(ScoreSpec::Counter)
+        let config = SnapleConfig::new(NamedScore::Counter)
             .klocal(Some(8))
             .thr_gamma(Some(50))
             .seed(seed);
@@ -75,7 +75,7 @@ proptest! {
         seed in 0u64..1_000,
     ) {
         let graph = random_graph(300, 4, seed);
-        let config = SnapleConfig::new(ScoreSpec::LinearSum)
+        let config = SnapleConfig::new(NamedScore::LinearSum)
             .klocal(Some(8))
             .seed(seed);
         let machine = ClusterSpec::single_machine(8, 32 << 30);
@@ -119,7 +119,7 @@ proptest! {
     #[test]
     fn replication_factor_grows_with_cluster_size(seed in 0u64..1_000) {
         let graph = random_graph(300, 4, seed);
-        let config = SnapleConfig::new(ScoreSpec::Counter).seed(seed);
+        let config = SnapleConfig::new(NamedScore::Counter).seed(seed);
         let two = ClusterSpec::type_i(2);
         let few = Predictor::predict(
             &Snaple::new(config.clone()),

@@ -3,7 +3,7 @@
 
 use snaple::baseline::{Baseline, BaselineConfig};
 use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
-use snaple::core::{PathLength, PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig};
+use snaple::core::{NamedScore, PathLength, PredictRequest, Predictor, Snaple, SnapleConfig};
 use snaple::eval::{EvalDataset, Runner};
 use snaple::gas::ClusterSpec;
 
@@ -24,7 +24,7 @@ fn snaple_beats_random_walks_on_community_graphs() {
     let snaple = runner.run(
         "linearSum",
         &Snaple::new(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(20))
                 .seed(77),
         ),
@@ -50,7 +50,7 @@ fn all_table3_configurations_run_end_to_end() {
     let (_g, holdout) = gowalla_runner_parts();
     let runner = Runner::new(&holdout);
     let cluster = ClusterSpec::type_ii(2);
-    for spec in ScoreSpec::all() {
+    for spec in NamedScore::all() {
         let m = runner.run(
             spec.name(),
             &Snaple::new(SnapleConfig::new(spec).klocal(Some(10)).seed(3)),
@@ -74,13 +74,17 @@ fn sampling_reduces_work_without_destroying_recall() {
     let cluster = ClusterSpec::type_ii(4);
     let full = runner.run(
         "full",
-        &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(None).seed(5)),
+        &Snaple::new(
+            SnapleConfig::new(NamedScore::LinearSum)
+                .klocal(None)
+                .seed(5),
+        ),
         &runner.request(&cluster),
     );
     let sampled = runner.run(
         "k20",
         &Snaple::new(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(20))
                 .seed(5),
         ),
@@ -110,7 +114,7 @@ fn baseline_and_snaple_agree_on_feasible_inputs() {
     let snaple = runner.run(
         "counter",
         &Snaple::new(
-            SnapleConfig::new(ScoreSpec::Counter)
+            SnapleConfig::new(NamedScore::Counter)
                 .klocal(None)
                 .thr_gamma(None)
                 .seed(9),
@@ -139,7 +143,7 @@ fn three_hop_extension_runs_on_real_workloads() {
     let three = runner.run(
         "linearSum-3hop",
         &Snaple::new(
-            SnapleConfig::new(ScoreSpec::LinearSum)
+            SnapleConfig::new(NamedScore::LinearSum)
                 .klocal(Some(10))
                 .path_length(PathLength::Three)
                 .seed(5),
@@ -160,7 +164,7 @@ fn io_round_trip_preserves_predictions() {
     let reloaded = io::read_binary(&buf[..]).unwrap();
 
     let cluster = ClusterSpec::type_ii(2);
-    let config = SnapleConfig::new(ScoreSpec::Counter)
+    let config = SnapleConfig::new(NamedScore::Counter)
         .klocal(Some(10))
         .seed(1);
     let a = Predictor::predict(
@@ -213,7 +217,7 @@ fn content_based_scoring_works_end_to_end() {
         combinator: std::sync::Arc::new(combinator::Linear::new(0.5)),
         aggregator: std::sync::Arc::new(aggregator::Sum),
     };
-    let config = SnapleConfig::new(ScoreSpec::LinearSum)
+    let config = SnapleConfig::new(NamedScore::LinearSum)
         .klocal(Some(10))
         .seed(9);
 
@@ -256,7 +260,7 @@ fn attribute_length_mismatch_is_rejected() {
     let cluster = ClusterSpec::type_i(1);
     let attrs = [vec![1]];
     let err = Predictor::predict(
-        &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum)),
+        &Snaple::new(SnapleConfig::new(NamedScore::LinearSum)),
         &PredictRequest::new(&g, &cluster).with_attributes(&attrs),
     )
     .unwrap_err();

@@ -1,7 +1,7 @@
 //! Failure injection and memory-exhaustion behavior across the stack.
 
 use snaple::baseline::{Baseline, BaselineConfig};
-use snaple::core::{PredictRequest, Predictor, ScoreSpec, Snaple, SnapleConfig, SnapleError};
+use snaple::core::{NamedScore, PredictRequest, Predictor, Snaple, SnapleConfig, SnapleError};
 use snaple::gas::{ClusterSpec, Engine, EngineError, NodeId, PartitionStrategy};
 use snaple::graph::gen::datasets;
 
@@ -32,7 +32,7 @@ fn node_failures_surface_through_the_predictor_stack() {
         )
         .expect("step 1 precedes the failure");
 
-    let components = ScoreSpec::LinearSum.resolve(0.9);
+    let components = NamedScore::LinearSum.resolve(0.9);
     let err = engine
         .run_step(
             &SimilarityStep {
@@ -88,7 +88,7 @@ fn snaple_survives_where_baseline_dies() {
     let dense = datasets::ORKUT.emulate(0.001, 3);
     let cluster = ClusterSpec::type_ii(4).with_memory_scale(0.001);
     let snaple = Predictor::predict(
-        &Snaple::new(SnapleConfig::new(ScoreSpec::LinearSum).klocal(Some(20))),
+        &Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20))),
         &PredictRequest::new(&dense, &cluster),
     );
     assert!(

@@ -22,7 +22,7 @@ use snaple::baseline::{Baseline, BaselineConfig};
 use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
 use snaple::core::serve::Server;
 use snaple::core::{
-    ExecuteRequest, PredictRequest, Predictor, PrepareRequest, QuerySet, ScoreSpec, Snaple,
+    ExecuteRequest, NamedScore, PredictRequest, Predictor, PrepareRequest, QuerySet, Snaple,
     SnapleConfig,
 };
 use snaple::gas::ClusterSpec;
@@ -48,7 +48,7 @@ fn backends() -> Vec<(&'static str, Box<dyn Predictor>)> {
         (
             "snaple",
             Box::new(Snaple::new(
-                SnapleConfig::new(ScoreSpec::LinearSum)
+                SnapleConfig::new(NamedScore::LinearSum)
                     .k(5)
                     .klocal(Some(8))
                     .seed(42),
@@ -122,7 +122,7 @@ proptest! {
         let graph = graph_from(&edges);
         let cluster = ClusterSpec::type_ii(2);
         let snaple = Snaple::new(
-            SnapleConfig::new(ScoreSpec::Counter).k(4).klocal(Some(6)).seed(7),
+            SnapleConfig::new(NamedScore::Counter).k(4).klocal(Some(6)).seed(7),
         );
         let requests: Vec<QuerySet> = (0..4)
             .map(|i| {
@@ -161,7 +161,7 @@ fn seed_override_matches_reseeded_one_shot_runs() {
     // across *different* partitions (the same guarantee the engine's
     // cross-cluster tests rely on); float-summing scorers like linearSum
     // are only bit-stable on an identical partition.
-    let base = SnapleConfig::new(ScoreSpec::Counter).k(5).klocal(Some(10));
+    let base = SnapleConfig::new(NamedScore::Counter).k(5).klocal(Some(10));
     let snaple = Snaple::new(base.clone().seed(1));
     let prepared = snaple
         .prepare(&PrepareRequest::new(&graph, &cluster))
@@ -221,7 +221,7 @@ fn served_streams_amortize_partition_builds() {
     let graph = datasets::GOWALLA.emulate(0.005, 7);
     let cluster = ClusterSpec::type_ii(4);
     let snaple = Snaple::new(
-        SnapleConfig::new(ScoreSpec::LinearSum)
+        SnapleConfig::new(NamedScore::LinearSum)
             .k(5)
             .klocal(Some(10)),
     );

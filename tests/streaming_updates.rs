@@ -17,7 +17,7 @@ use snaple::baseline::{Baseline, BaselineConfig};
 use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
 use snaple::core::serve::Server;
 use snaple::core::{
-    ExecuteRequest, Predictor, PrepareRequest, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+    ExecuteRequest, NamedScore, Predictor, PrepareRequest, QuerySet, Snaple, SnapleConfig,
 };
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -61,7 +61,7 @@ fn backends() -> Vec<(&'static str, Box<dyn Predictor>)> {
         (
             "snaple",
             Box::new(Snaple::new(
-                SnapleConfig::new(ScoreSpec::LinearSum)
+                SnapleConfig::new(NamedScore::LinearSum)
                     .k(5)
                     .klocal(Some(8))
                     .seed(42),
@@ -137,7 +137,7 @@ proptest! {
         let cluster = ClusterSpec::type_ii(2);
         let (delta_a, delta_b) = (build_delta(&ops_a), build_delta(&ops_b));
         let snaple = Snaple::new(
-            SnapleConfig::new(ScoreSpec::Counter).k(4).klocal(Some(6)).seed(7),
+            SnapleConfig::new(NamedScore::Counter).k(4).klocal(Some(6)).seed(7),
         );
         let mut prepared = snaple
             .prepare(&PrepareRequest::new(&graph, &cluster))
@@ -235,7 +235,7 @@ fn served_streams_stay_exact_across_updates() {
     let graph = datasets::GOWALLA.emulate(0.004, 5);
     let cluster = ClusterSpec::type_ii(4);
     let snaple = Snaple::new(
-        SnapleConfig::new(ScoreSpec::LinearSum)
+        SnapleConfig::new(NamedScore::LinearSum)
             .k(5)
             .klocal(Some(10)),
     );

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use snaple::baseline::{Baseline, BaselineConfig};
 use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
 use snaple::core::{
-    PredictRequest, Prediction, Predictor, QuerySet, ScoreSpec, Snaple, SnapleConfig,
+    NamedScore, PredictRequest, Prediction, Predictor, QuerySet, Snaple, SnapleConfig,
 };
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
@@ -39,7 +39,7 @@ fn backends() -> Vec<(&'static str, Box<dyn Predictor>)> {
         (
             "snaple",
             Box::new(Snaple::new(
-                SnapleConfig::new(ScoreSpec::LinearSum)
+                SnapleConfig::new(NamedScore::LinearSum)
                     .k(5)
                     .klocal(Some(8))
                     .seed(42),
