@@ -393,8 +393,12 @@ impl Baseline {
 }
 
 /// A BASELINE predictor with its deployment already built.
+///
+/// Owns its configuration, so epoch forks
+/// ([`PreparedPredictor::fork_with_delta`]) detach into fully owned
+/// snapshots.
 pub struct PreparedBaseline<'a> {
-    baseline: &'a Baseline,
+    baseline: Baseline,
     deployment: Deployment<'a>,
     setup: SetupStats,
 }
@@ -409,6 +413,20 @@ impl PreparedPredictor for PreparedBaseline<'_> {
         delta: &snaple_graph::GraphDelta,
     ) -> Result<snaple_gas::DeltaStats, SnapleError> {
         Ok(self.deployment.apply_delta(delta)?)
+    }
+
+    fn fork_with_delta(
+        &self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<(Box<dyn PreparedPredictor>, snaple_gas::DeltaStats), SnapleError> {
+        let mut deployment = self.deployment.detach();
+        let applied = deployment.apply_delta(delta)?;
+        let fork = PreparedBaseline {
+            baseline: self.baseline.clone(),
+            deployment,
+            setup: self.setup.clone(),
+        };
+        Ok((Box::new(fork), applied))
     }
 
     fn setup(&self) -> &SetupStats {
@@ -443,7 +461,7 @@ impl Predictor for Baseline {
             replication_factor: deployment.replication_factor(),
         };
         Ok(Box::new(PreparedBaseline {
-            baseline: self,
+            baseline: self.clone(),
             deployment,
             setup,
         }))

@@ -282,7 +282,7 @@ impl RandomWalkPpr {
 /// delta is applied (see [`PreparedPredictor::apply_delta`]), so a served
 /// stream can keep mutating it in place.
 pub struct PreparedWalk<'a> {
-    ppr: &'a RandomWalkPpr,
+    ppr: RandomWalkPpr,
     graph: std::borrow::Cow<'a, CsrGraph>,
     cost: CostModel,
     storage_bytes: u64,
@@ -346,6 +346,26 @@ impl PreparedPredictor for PreparedWalk<'_> {
         })
     }
 
+    /// Detaches a fully owned copy of the walk state and folds the delta
+    /// into it, leaving `self` untouched — the epoch-snapshot path of
+    /// concurrent serving.
+    fn fork_with_delta(
+        &self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<(Box<dyn PreparedPredictor>, snaple_gas::DeltaStats), SnapleError> {
+        let mut fork = PreparedWalk {
+            ppr: self.ppr.clone(),
+            graph: std::borrow::Cow::Owned(self.graph.clone().into_owned()),
+            cost: self.cost.clone(),
+            storage_bytes: self.storage_bytes,
+            all_vertices: self.all_vertices.clone(),
+            delta_apply_seconds: self.delta_apply_seconds,
+            setup: self.setup.clone(),
+        };
+        let applied = fork.apply_delta(delta)?;
+        Ok((Box::new(fork), applied))
+    }
+
     fn setup(&self) -> &SetupStats {
         &self.setup
     }
@@ -382,7 +402,7 @@ impl Predictor for RandomWalkPpr {
             replication_factor: 1.0,
         };
         Ok(Box::new(PreparedWalk {
-            ppr: self,
+            ppr: self.clone(),
             graph: std::borrow::Cow::Borrowed(graph),
             cost,
             storage_bytes,

@@ -13,6 +13,16 @@ pub enum SnapleError {
     Engine(EngineError),
     /// The prediction configuration is unusable.
     InvalidConfig(String),
+    /// A [`ConcurrentServer`](crate::concurrent::ConcurrentServer)'s
+    /// bounded submission queue is full — backpressure instead of
+    /// unbounded memory growth. Retry, block with
+    /// [`ServeHandle::submit`](crate::concurrent::ServeHandle::submit), or
+    /// raise
+    /// [`ConcurrentOptions::queue_capacity`](crate::concurrent::ConcurrentOptions::queue_capacity).
+    QueueFull {
+        /// The queue's configured capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for SnapleError {
@@ -20,6 +30,11 @@ impl fmt::Display for SnapleError {
         match self {
             SnapleError::Engine(e) => write!(f, "engine error: {e}"),
             SnapleError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SnapleError::QueueFull { capacity } => write!(
+                f,
+                "submission queue full ({capacity} requests pending); retry, \
+                 block via submit(), or raise the queue capacity"
+            ),
         }
     }
 }
@@ -28,7 +43,7 @@ impl StdError for SnapleError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             SnapleError::Engine(e) => Some(e),
-            SnapleError::InvalidConfig(_) => None,
+            SnapleError::InvalidConfig(_) | SnapleError::QueueFull { .. } => None,
         }
     }
 }

@@ -155,9 +155,40 @@
 //! assert_eq!(responses.len(), 4);
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
+//!
+//! # Serving concurrently
+//!
+//! For a multi-threaded request load, the [`concurrent`] module runs the
+//! same serve loop as a worker pool over one `Arc`-shared snapshot:
+//! bounded-queue backpressure ([`SnapleError::QueueFull`]), per-request
+//! p50/p95/p99 latency tracking, and **epoch-swapped** updates
+//! ([`PreparedPredictor::fork_with_delta`]) that never stall reads —
+//! with every response bit-identical to the sequential [`serve::Server`]
+//! for the same seed:
+//!
+//! ```
+//! use snaple_core::concurrent::{ConcurrentOptions, ConcurrentServer};
+//! use snaple_core::{QuerySet, NamedScore, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.005, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
+//!
+//! let outcome = ConcurrentServer::run(
+//!     &snaple, &graph, &cluster,
+//!     ConcurrentOptions::default().workers(2),
+//!     |handle| handle.serve(&QuerySet::sample(graph.num_vertices(), 50, 7)),
+//! )?;
+//! let _prediction = outcome.value?;
+//! println!("{}", outcome.stats.summary()); // includes p50/p95/p99
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
 
 pub mod aggregator;
 pub mod combinator;
+pub mod concurrent;
 pub mod config;
 pub mod error;
 pub mod plan;
@@ -172,6 +203,9 @@ pub mod topk;
 
 pub use aggregator::Aggregator;
 pub use combinator::Combinator;
+pub use concurrent::{
+    ConcurrentOptions, ConcurrentOutcome, ConcurrentServer, PendingPrediction, ServeHandle,
+};
 pub use config::{NamedScore, PathLength, ScoreComponents, SelectionPolicy, SnapleConfig};
 pub use error::SnapleError;
 pub use plan::{PlanConfig, PreparedPlan, ScoreMatrix, ScorePlan};
@@ -180,7 +214,7 @@ pub use predictor_api::{
     ExecuteRequest, PredictRequest, Predictor, PrepareRequest, PreparedPredictor, QuerySet,
     SetupStats,
 };
-pub use serve::{Server, ServerStats};
+pub use serve::{LatencyHistogram, Server, ServerStats};
 pub use similarity::{NeighborhoodView, Similarity};
 pub use snaple_gas::DeltaStats;
 pub use snaple_graph::GraphDelta;

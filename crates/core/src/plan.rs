@@ -394,7 +394,7 @@ impl ScorePlan {
     ///
     /// [`SnapleError::Engine`] for unusable cluster shapes.
     pub fn prepare_plan<'a>(
-        &'a self,
+        &self,
         req: &PrepareRequest<'a>,
     ) -> Result<PreparedPlan<'a>, SnapleError> {
         let started = Instant::now();
@@ -410,7 +410,7 @@ impl ScorePlan {
             replication_factor: deployment.replication_factor(),
         };
         Ok(PreparedPlan {
-            plan: self,
+            plan: self.clone(),
             deployment,
             setup,
         })
@@ -530,8 +530,12 @@ impl ScorePlan {
 /// plan serving. [`PreparedPlan::execute_matrix`] returns full
 /// [`ScoreMatrix`] results; the [`PreparedPredictor`] impl answers with
 /// the plan's [combined](ScoreMatrix::combined) ranking.
+///
+/// Owns its plan (specs are `Arc`-shared, so the clone is cheap), which
+/// lets [`PreparedPredictor::fork_with_delta`] detach fully owned epoch
+/// snapshots for concurrent serving.
 pub struct PreparedPlan<'a> {
-    plan: &'a ScorePlan,
+    plan: ScorePlan,
     deployment: Deployment<'a>,
     setup: SetupStats,
 }
@@ -581,6 +585,20 @@ impl PreparedPredictor for PreparedPlan<'_> {
         delta: &snaple_graph::GraphDelta,
     ) -> Result<snaple_gas::DeltaStats, SnapleError> {
         PreparedPlan::apply_delta(self, delta)
+    }
+
+    fn fork_with_delta(
+        &self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<(Box<dyn PreparedPredictor>, snaple_gas::DeltaStats), SnapleError> {
+        let mut deployment = self.deployment.detach();
+        let applied = deployment.apply_delta(delta)?;
+        let fork = PreparedPlan {
+            plan: self.plan.clone(),
+            deployment,
+            setup: self.setup.clone(),
+        };
+        Ok((Box::new(fork), applied))
     }
 
     fn setup(&self) -> &SetupStats {

@@ -249,8 +249,13 @@ impl Snaple {
 /// A SNAPLE predictor with its deployment (partition layout, presence
 /// masks, cost model) already built — returned by [`Snaple`]'s
 /// [`Predictor::prepare`].
+///
+/// Owns its configuration (a cheap clone — scoring components are
+/// `Arc`-shared), so epoch forks
+/// ([`PreparedPredictor::fork_with_delta`]) detach into fully owned
+/// snapshots.
 pub struct PreparedSnaple<'a> {
-    snaple: &'a Snaple,
+    snaple: Snaple,
     deployment: Deployment<'a>,
     setup: SetupStats,
 }
@@ -272,6 +277,20 @@ impl PreparedPredictor for PreparedSnaple<'_> {
         delta: &snaple_graph::GraphDelta,
     ) -> Result<snaple_gas::DeltaStats, SnapleError> {
         Ok(self.deployment.apply_delta(delta)?)
+    }
+
+    fn fork_with_delta(
+        &self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<(Box<dyn PreparedPredictor>, snaple_gas::DeltaStats), SnapleError> {
+        let mut deployment = self.deployment.detach();
+        let applied = deployment.apply_delta(delta)?;
+        let fork = PreparedSnaple {
+            snaple: self.snaple.clone(),
+            deployment,
+            setup: self.setup.clone(),
+        };
+        Ok((Box::new(fork), applied))
     }
 
     fn setup(&self) -> &SetupStats {
@@ -306,7 +325,7 @@ impl Predictor for Snaple {
             replication_factor: deployment.replication_factor(),
         };
         Ok(Box::new(PreparedSnaple {
-            snaple: self,
+            snaple: self.clone(),
             deployment,
             setup,
         }))

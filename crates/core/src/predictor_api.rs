@@ -421,7 +421,26 @@ pub struct SetupStats {
 /// bit-identical rows, and those rows match a fresh one-shot
 /// [`Predictor::predict`] with the same graph, cluster, configuration and
 /// seed.
-pub trait PreparedPredictor {
+///
+/// # Sharing contract
+///
+/// `execute` takes `&self` and every per-run mutable state (engine
+/// accounting, vertex state vectors, RNG-free hash seeds) must be truly
+/// per-call, so one prepared predictor can serve **concurrent** callers:
+/// the trait requires `Send + Sync`, and
+/// [`ConcurrentServer`](crate::concurrent::ConcurrentServer) shares one
+/// snapshot across its whole worker pool behind an `Arc`. Mutation goes
+/// through two distinct paths:
+///
+/// * [`apply_delta`](PreparedPredictor::apply_delta) (`&mut self`) —
+///   refreshes this predictor **in place**; cheapest, but requires
+///   exclusive access (the sequential [`Server`](crate::serve::Server)
+///   uses it).
+/// * [`fork_with_delta`](PreparedPredictor::fork_with_delta) (`&self`) —
+///   builds the post-delta snapshot **off to the side** and leaves `self`
+///   untouched, so in-flight readers finish on the old state; the
+///   concurrent server publishes the fork as a new epoch.
+pub trait PreparedPredictor: Send + Sync {
     /// Answers one request against the prepared state.
     ///
     /// # Errors
@@ -449,6 +468,31 @@ pub trait PreparedPredictor {
     /// Propagates [`SnapleError::Engine`] from the underlying deployment
     /// refresh.
     fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError>;
+
+    /// Builds the post-delta snapshot **off to the side**: a fully owned
+    /// (`'static`) copy of the prepared state with `delta` applied, while
+    /// `self` stays untouched and keeps answering requests.
+    ///
+    /// This is the write path of epoch-based concurrent serving
+    /// ([`ConcurrentServer`](crate::concurrent::ConcurrentServer)): the
+    /// fork is built while readers execute on the current snapshot, then
+    /// atomically published; in-flight reads finish on the old epoch and
+    /// never block on the update. The copy is memcpy-bound (graph arrays,
+    /// partition edge lists — see
+    /// [`snaple_gas::Deployment::detach`]); the delta application on the
+    /// fork is the same incremental routine as
+    /// [`apply_delta`](PreparedPredictor::apply_delta), so the fork's
+    /// subsequent results are bit-identical to a cold
+    /// [`Predictor::prepare`] on the mutated graph.
+    ///
+    /// # Errors
+    ///
+    /// As [`apply_delta`](PreparedPredictor::apply_delta); on error no
+    /// snapshot is produced and `self` is unchanged.
+    fn fork_with_delta(
+        &self,
+        delta: &GraphDelta,
+    ) -> Result<(Box<dyn PreparedPredictor>, DeltaStats), SnapleError>;
 
     /// The setup costs paid at prepare time — what repeated `execute`
     /// calls amortize.

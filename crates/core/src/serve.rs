@@ -1,5 +1,5 @@
-//! The batching serve layer: answer a *stream* of query-set requests
-//! against one prepared predictor.
+//! The serve layer: answer a *stream* of query-set requests against one
+//! prepared predictor.
 //!
 //! A production "who to follow" deployment receives many small requests
 //! per second against the same graph. Two amortizations make that cheap
@@ -23,6 +23,27 @@
 //! per-delta cost proportional to the delta, not to the graph — while
 //! every subsequent prediction stays bit-identical to a cold rebuild on
 //! the mutated graph.
+//!
+//! # Sequential vs concurrent serving
+//!
+//! This module's [`Server`] is **sequential**: one caller thread drives
+//! batches and updates in program order through `&mut self`, and an
+//! update blocks the stream while it applies in place. That is the right
+//! tool for replaying a recorded stream, for benchmarks that want
+//! deterministic batch boundaries, and for single-tenant embedding. For
+//! a *multi-threaded* request load — many callers, updates that must not
+//! stall reads — use
+//! [`ConcurrentServer`](crate::concurrent::ConcurrentServer): a pool of
+//! workers executes against one `Arc`-shared snapshot, a bounded queue
+//! applies backpressure, and updates publish epoch forks instead of
+//! mutating in place (see the [concurrent module
+//! docs](crate::concurrent)). Both layers produce bit-identical rows for
+//! the same requests and seed.
+//!
+//! Either way, [`ServerStats`] tracks the stream: throughput, coalescing,
+//! per-request latency percentiles from a fixed-bucket
+//! [`LatencyHistogram`] (no per-request allocation), and cumulative
+//! update costs — all exportable as one `BENCH_JSON` line.
 //!
 //! ```
 //! use snaple_core::serve::Server;
@@ -56,8 +77,107 @@ use crate::predictor_api::{
     ExecuteRequest, Predictor, PrepareRequest, PreparedPredictor, QuerySet,
 };
 
-/// Aggregate statistics of a request stream served by a [`Server`].
-#[derive(Clone, Debug, Default)]
+/// Number of power-of-two latency buckets: bucket `i` covers
+/// `[2^i, 2^{i+1})` microseconds, so 40 buckets span 1 µs to ~18 minutes.
+const LATENCY_BUCKETS: usize = 40;
+
+/// A fixed-bucket latency histogram: power-of-two microsecond buckets,
+/// recorded with **no per-request allocation** (one array increment), so
+/// the serving hot path can track per-request latency percentiles at any
+/// request rate.
+///
+/// Percentiles are bucket-resolution approximations: the reported value
+/// is the geometric midpoint of the bucket containing the requested
+/// quantile (within ~±41% of the true value — plenty for p50/p95/p99
+/// dashboards distinguishing microseconds from milliseconds from
+/// seconds).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKETS],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            counts: [0; LATENCY_BUCKETS],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation (clamped into the bucket range; negative
+    /// and sub-microsecond values land in the first bucket).
+    pub fn record(&mut self, seconds: f64) {
+        let micros = (seconds * 1e6).max(0.0) as u64;
+        let idx = (63 - micros.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Folds another histogram into this one (used to aggregate per-worker
+    /// recordings).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// The latency in seconds at quantile `q` (`0.0..=1.0`); `0.0` while
+    /// the histogram is empty — the accessor never divides by zero, so an
+    /// update-only or unserved stream emits finite numbers.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                // Geometric midpoint of [2^i, 2^{i+1}) µs, in seconds.
+                return 2f64.powi(i as i32) * std::f64::consts::SQRT_2 / 1e6;
+            }
+        }
+        unreachable!("total > 0 implies a bucket holds the rank")
+    }
+
+    /// Median request latency in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile request latency in seconds.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile request latency in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Aggregate statistics of a request stream served by a [`Server`] or a
+/// [`ConcurrentServer`](crate::concurrent::ConcurrentServer).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct ServerStats {
     /// Requests answered.
     pub requests: usize,
@@ -92,6 +212,12 @@ pub struct ServerStats {
     pub delta_apply_seconds: f64,
     /// Cumulative count of vertex-cut partitions the updates touched.
     pub delta_touched_partitions: usize,
+    /// Per-request latency histogram (submission-to-response for the
+    /// concurrent server, batch wall time for the sequential one).
+    pub latency: LatencyHistogram,
+    /// Worker threads that served the stream (`0` for the sequential
+    /// in-thread [`Server`]).
+    pub workers: usize,
 }
 
 impl ServerStats {
@@ -116,6 +242,13 @@ impl ServerStats {
 
     /// How many received queries each executed union query stood for
     /// (1.0 = no overlap between coalesced requests).
+    ///
+    /// Guarded against the zero-denominator stream shapes BENCH_JSON must
+    /// never see as `NaN`/`inf`: update-only streams and all-empty
+    /// batches execute zero union queries and report `1.0` (no
+    /// coalescing), mirroring [`ServerStats::throughput_rps`] and
+    /// [`ServerStats::mean_latency_seconds`] reporting `0.0` on their
+    /// zero denominators.
     pub fn coalescing_factor(&self) -> f64 {
         if self.union_queries > 0 {
             self.queries_received as f64 / self.union_queries as f64
@@ -138,14 +271,23 @@ impl ServerStats {
         } else {
             String::new()
         };
+        let workers = if self.workers > 0 {
+            format!(" on {} workers", self.workers)
+        } else {
+            String::new()
+        };
         format!(
-            "{} requests in {} batches: {:.1} req/s, {:.2} ms mean latency, \
+            "{} requests in {} batches{workers}: {:.1} req/s, {:.2} ms mean latency \
+             (p50/p95/p99 {:.2}/{:.2}/{:.2} ms), \
              coalescing {:.2}x, setup {:.1} ms ({:.1} ms partition build), \
              {:.2} simulated s{updates}",
             self.requests,
             self.batches,
             self.throughput_rps(),
             self.mean_latency_seconds() * 1e3,
+            self.latency.p50() * 1e3,
+            self.latency.p95() * 1e3,
+            self.latency.p99() * 1e3,
             self.coalescing_factor(),
             self.setup_wall_seconds * 1e3,
             self.partition_build_seconds * 1e3,
@@ -156,20 +298,26 @@ impl ServerStats {
     /// Renders the stats as one JSON line for benchmark tracking.
     pub fn to_bench_json(&self, name: &str) -> String {
         format!(
-            "{{\"name\":\"{name}\",\"requests\":{},\"batches\":{},\
+            "{{\"name\":\"{name}\",\"requests\":{},\"batches\":{},\"workers\":{},\
              \"serve_wall_seconds\":{:.6},\"setup_wall_seconds\":{:.6},\
              \"partition_build_seconds\":{:.6},\"throughput_rps\":{:.2},\
-             \"mean_latency_ms\":{:.4},\"coalescing\":{:.3},\
+             \"mean_latency_ms\":{:.4},\"latency_p50_ms\":{:.4},\
+             \"latency_p95_ms\":{:.4},\"latency_p99_ms\":{:.4},\
+             \"coalescing\":{:.3},\
              \"simulated_seconds\":{:.4},\"replication_factor\":{:.3},\
              \"updates\":{},\"edges_inserted\":{},\"edges_removed\":{},\
              \"delta_apply_seconds\":{:.6},\"delta_touched_partitions\":{}}}",
             self.requests,
             self.batches,
+            self.workers,
             self.serve_wall_seconds,
             self.setup_wall_seconds,
             self.partition_build_seconds,
             self.throughput_rps(),
             self.mean_latency_seconds() * 1e3,
+            self.latency.p50() * 1e3,
+            self.latency.p95() * 1e3,
+            self.latency.p99() * 1e3,
             self.coalescing_factor(),
             self.simulated_seconds,
             self.replication_factor,
@@ -334,26 +482,43 @@ impl<'a> Server<'a> {
             exec = exec.with_seed(seed);
         }
         let shared = self.prepared.execute(&exec)?;
+        let responses = demultiplex(&shared, requests);
 
-        let responses: Vec<Prediction> = requests
-            .iter()
-            .map(|request| {
-                let mut rows: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); shared.num_vertices()];
-                for q in request.iter() {
-                    rows[q.index()] = shared.for_vertex(q).to_vec();
-                }
-                Prediction::from_parts(rows, shared.stats.clone())
-            })
-            .collect();
-
+        // Stats are recorded only after a successful run: a failing batch
+        // returned above and left every counter (and the latency
+        // histogram) untouched, so BENCH_JSON never counts work that
+        // produced no responses.
+        let elapsed = started.elapsed().as_secs_f64();
         self.stats.requests += requests.len();
         self.stats.batches += 1;
         self.stats.queries_received += requests.iter().map(QuerySet::len).sum::<usize>();
         self.stats.union_queries += union.len();
         self.stats.simulated_seconds += shared.simulated_seconds();
-        self.stats.serve_wall_seconds += started.elapsed().as_secs_f64();
+        self.stats.serve_wall_seconds += elapsed;
+        for _ in requests {
+            // Every request of the batch waited for the whole shared run.
+            self.stats.latency.record(elapsed);
+        }
         Ok(responses)
     }
+}
+
+/// Demultiplexes one shared coalesced run back into per-request
+/// [`Prediction`]s: each response carries exactly its request's rows (all
+/// other rows empty) plus a copy of the shared run's statistics. Shared
+/// by the sequential [`Server`] and the concurrent worker pool so both
+/// layers return byte-identical responses for the same batch.
+pub(crate) fn demultiplex(shared: &Prediction, requests: &[QuerySet]) -> Vec<Prediction> {
+    requests
+        .iter()
+        .map(|request| {
+            let mut rows: Vec<Vec<(VertexId, f32)>> = vec![Vec::new(); shared.num_vertices()];
+            for q in request.iter() {
+                rows[q.index()] = shared.for_vertex(q).to_vec();
+            }
+            Prediction::from_parts(rows, shared.stats.clone())
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -575,5 +740,122 @@ mod tests {
             Err(SnapleError::InvalidConfig(_))
         ));
         assert_eq!(server.stats().requests, 0);
+    }
+
+    #[test]
+    fn failing_batches_leave_stats_entirely_untouched() {
+        // Regression: stats must be recorded only after a successful run.
+        // A mid-stream failing batch — after real traffic — must leave
+        // every field (requests, batches, wall time, latency histogram)
+        // exactly as it was, not count work that produced no responses.
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let good = QuerySet::sample(graph.num_vertices(), 30, 4);
+        server.serve_batch(&[good.clone(), good.clone()]).unwrap();
+        let before = server.stats().clone();
+        assert_eq!(before.requests, 2);
+
+        let bad = QuerySet::from_indices([graph.num_vertices() as u32 + 1]);
+        // A batch mixing good and bad requests fails as a whole...
+        assert!(server.serve_batch(&[good.clone(), bad]).is_err());
+        // ...and no field moved — not even wall seconds or the histogram.
+        assert_eq!(server.stats(), &before);
+
+        // The stream keeps working afterwards.
+        server.serve(&good).unwrap();
+        assert_eq!(server.stats().requests, 3);
+    }
+
+    #[test]
+    fn update_only_streams_emit_finite_stats() {
+        // Regression for the zero-denominator class: a stream containing
+        // only update requests executes zero queries and zero batches, so
+        // coalescing_factor (received/union), throughput_rps and
+        // mean_latency_seconds all sit on 0/0 holes. BENCH_JSON must see
+        // finite numbers, not inf/NaN.
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        let n = graph.num_vertices() as u32;
+        let mut delta = GraphDelta::new();
+        delta.insert(0, n - 1);
+        server.apply_update(&delta).unwrap();
+        let mut delta = GraphDelta::new();
+        delta.remove(0, n - 1);
+        server.apply_update(&delta).unwrap();
+
+        let stats = server.stats();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.union_queries, 0);
+        assert_eq!(stats.updates, 2);
+        assert_eq!(stats.coalescing_factor(), 1.0, "0/0 must not be NaN");
+        assert_eq!(stats.throughput_rps(), 0.0);
+        assert_eq!(stats.mean_latency_seconds(), 0.0);
+        assert_eq!(stats.latency.p50(), 0.0, "empty histogram percentiles");
+        assert_eq!(stats.latency.p99(), 0.0);
+        let json = stats.to_bench_json("update-only");
+        assert!(!json.contains("NaN") && !json.contains("nan"), "{json}");
+        assert!(!json.contains("inf"), "{json}");
+        let summary = stats.summary();
+        assert!(
+            !summary.contains("NaN") && !summary.contains("inf"),
+            "{summary}"
+        );
+        assert!(summary.contains("2 updates"), "{summary}");
+    }
+
+    #[test]
+    fn latency_histogram_records_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0.0);
+        for _ in 0..98 {
+            h.record(1e-3); // ~1 ms
+        }
+        h.record(1.0); // one 1 s outlier
+        h.record(2.0); // one 2 s outlier
+        assert_eq!(h.count(), 100);
+        // p50 stays in the millisecond bucket (within the 2x bucket
+        // resolution), p99 reaches the outliers.
+        assert!(h.p50() > 0.4e-3 && h.p50() < 2.1e-3, "{}", h.p50());
+        assert!(h.p95() < 2.1e-3, "{}", h.p95());
+        assert!(h.p99() > 0.5, "{}", h.p99());
+        assert!(h.p50() <= h.p95() && h.p95() <= h.p99());
+
+        // Extremes clamp instead of panicking.
+        h.record(0.0);
+        h.record(-1.0);
+        h.record(1e9);
+        assert_eq!(h.count(), 103);
+        assert!(h.quantile(1.0).is_finite());
+
+        // Merging accumulates counts bucket-by-bucket.
+        let mut other = LatencyHistogram::new();
+        other.record(1e-3);
+        other.merge(&h);
+        assert_eq!(other.count(), 104);
+    }
+
+    #[test]
+    fn serving_records_latency_percentiles() {
+        let (graph, cluster, snaple) = setup();
+        let mut server = Server::new(&snaple, &graph, &cluster).unwrap();
+        for seed in 0..5 {
+            server
+                .serve(&QuerySet::sample(graph.num_vertices(), 20, seed))
+                .unwrap();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.latency.count(), 5, "one recording per request");
+        assert!(stats.latency.p50() > 0.0);
+        assert!(stats.latency.p50() <= stats.latency.p99());
+        let json = stats.to_bench_json("latency");
+        assert!(json.contains("\"latency_p50_ms\":"), "{json}");
+        assert!(json.contains("\"latency_p99_ms\":"), "{json}");
+        assert!(json.contains("\"workers\":0"), "{json}");
+        assert!(
+            stats.summary().contains("p50/p95/p99"),
+            "{}",
+            stats.summary()
+        );
     }
 }

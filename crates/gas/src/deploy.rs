@@ -252,6 +252,32 @@ impl<'g> Deployment<'g> {
         Ok(stats)
     }
 
+    /// Clones the deployment into a fully owned (`'static`) snapshot,
+    /// detaching it from the borrowed base graph.
+    ///
+    /// This is the building block of *epoch-based* serving
+    /// (`snaple_core::concurrent`): a concurrent server forks the current
+    /// deployment off to the side, applies a delta to the fork, and
+    /// atomically publishes it — readers keep executing on the old epoch
+    /// and never observe a half-applied update. The copy is memcpy-bound
+    /// (graph CSR arrays, partition edge lists); the subsequent
+    /// [`Deployment::apply_delta`] on the fork is still incremental.
+    pub fn detach(&self) -> Deployment<'static> {
+        Deployment {
+            graph: Cow::Owned(self.graph.clone().into_owned()),
+            cluster: self.cluster.clone(),
+            strategy: self.strategy,
+            seed: self.seed,
+            part: self.part.clone(),
+            cost: self.cost.clone(),
+            node_static_bytes: self.node_static_bytes.clone(),
+            partition_build_seconds: self.partition_build_seconds,
+            deltas_applied: self.deltas_applied,
+            delta_apply_seconds: self.delta_apply_seconds,
+            delta_touched_partitions: self.delta_touched_partitions,
+        }
+    }
+
     /// The graph this deployment partitions — the *current* graph,
     /// reflecting every applied delta.
     pub fn graph(&self) -> &CsrGraph {
@@ -516,6 +542,46 @@ mod tests {
         assert_eq!(d.node_static_bytes(), &before[..]);
         assert_eq!(d.graph().num_edges(), 10);
         assert_eq!(d.deltas_applied(), 1);
+    }
+
+    #[test]
+    fn detached_forks_apply_deltas_without_touching_the_original() {
+        let g = ring(40);
+        let original = Deployment::new(
+            &g,
+            ClusterSpec::type_i(4),
+            PartitionStrategy::RandomVertexCut,
+            7,
+        )
+        .unwrap();
+        let mut fork: Deployment<'static> = original.detach();
+        // The fork is byte-identical to its source...
+        assert_eq!(fork.graph().num_edges(), original.graph().num_edges());
+        for n in 0..4 {
+            let node = NodeId::new(n);
+            assert_eq!(
+                fork.partitioned().node_edges(node),
+                original.partitioned().node_edges(node)
+            );
+        }
+        assert_eq!(fork.node_static_bytes(), original.node_static_bytes());
+        // ...and mutating it leaves the original untouched.
+        let mut delta = GraphDelta::new();
+        delta.insert(0, 20).remove(0, 1);
+        fork.apply_delta(&delta).unwrap();
+        use snaple_graph::VertexId;
+        assert!(fork.graph().has_edge(VertexId::new(0), VertexId::new(20)));
+        assert!(!original
+            .graph()
+            .has_edge(VertexId::new(0), VertexId::new(20)));
+        assert!(original
+            .graph()
+            .has_edge(VertexId::new(0), VertexId::new(1)));
+        assert_eq!(original.deltas_applied(), 0);
+        assert_eq!(fork.deltas_applied(), 1);
+        // A fork of a fork keeps working (owned graphs detach too).
+        let refork = fork.detach();
+        assert_eq!(refork.graph().num_edges(), fork.graph().num_edges());
     }
 
     #[test]

@@ -17,6 +17,13 @@ use crate::stats::{NodeStats, RunStats, StepStats};
 /// Framing overhead charged per partial-gather message (vertex id + length).
 const MESSAGE_OVERHEAD: u64 = 8;
 
+/// The host's available hardware parallelism, with a conservative
+/// fallback of 2 when the platform cannot report it — the one worker-count
+/// policy shared by the engine's phase pools and the serving layers above.
+pub fn host_parallelism() -> usize {
+    thread::available_parallelism().map_or(2, |p| p.get())
+}
+
 /// The deployment an engine runs on: built for this engine alone, or
 /// borrowed from a prepared, shared [`Deployment`].
 #[derive(Debug)]
@@ -55,6 +62,7 @@ pub struct Engine<'d> {
     seed: u64,
     step_counter: usize,
     injected_failure: Option<(NodeId, usize)>,
+    gather_workers: Option<usize>,
 }
 
 impl<'d> Engine<'d> {
@@ -113,6 +121,7 @@ impl<'d> Engine<'d> {
             seed,
             step_counter: 0,
             injected_failure: None,
+            gather_workers: None,
         }
     }
 
@@ -120,6 +129,20 @@ impl<'d> Engine<'d> {
     /// is fixed by the deployment and unaffected).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Caps the number of OS threads the gather phase uses (default: the
+    /// host's `available_parallelism`).
+    ///
+    /// Simulated partitions are *chunked* across the workers, so any cap
+    /// produces bit-identical results and byte-identical cost accounting —
+    /// the per-partition tallies are computed the same way no matter which
+    /// host thread runs them. Exposed for tests and benchmarks that pin
+    /// host parallelism; a 64-partition cluster no longer spawns 64
+    /// threads on a 4-core host either way.
+    pub fn with_gather_workers(mut self, workers: usize) -> Self {
+        self.gather_workers = Some(workers.max(1));
         self
     }
 
@@ -306,109 +329,117 @@ impl<'d> Engine<'d> {
         let state_ro: &[S::Vertex] = state;
         let mem_base_ref = &mem_base;
 
-        // Spawn gather workers only for partitions that actually hold
-        // edges: on small or skewed graphs many simulated nodes are empty,
-        // and a scoped thread per empty node is pure overhead. Empty nodes
-        // contribute an empty tally directly.
-        let gather_results: Vec<Result<NodeGather<S::Gather>, EngineError>> =
-            thread::scope(|scope| {
-                let handles: Vec<_> = (0..nodes)
-                    .filter(|&n| !part.node_edges(NodeId::new(n as u16)).is_empty())
-                    .map(|n| {
-                        scope.spawn(move || {
-                            let ctx = GatherCtx::new(graph, step_seed);
-                            let node = NodeId::new(n as u16);
-                            let mut edges: Vec<(VertexId, VertexId)> =
-                                part.node_edges(node).to_vec();
-                            if dir == Direction::In {
-                                edges.sort_unstable_by_key(|&(s, d)| (d, s));
-                            }
-                            let mut tally = WorkTally::new();
-                            let mut partials: Vec<(VertexId, S::Gather, u64)> = Vec::new();
-                            let mut gather_calls = 0u64;
-                            let mut sum_calls = 0u64;
-                            let mut mem = mem_base_ref[n];
-                            let mut mem_peak = mem;
-                            let mut cur: Option<(VertexId, S::Gather, u64)> = None;
-                            for &(src, dst) in &edges {
-                                let (gatherer, neighbor) = match dir {
-                                    Direction::Out => (src, dst),
-                                    Direction::In => (dst, src),
-                                };
-                                if let Some(m) = mask {
-                                    if !m.contains(gatherer) {
-                                        continue;
-                                    }
-                                }
-                                if let Some((g, _, _)) = &cur {
-                                    if *g != gatherer {
-                                        partials.push(cur.take().unwrap());
-                                    }
-                                }
-                                gather_calls += 1;
-                                tally.add(1);
-                                let item = step.gather(
-                                    &ctx,
-                                    gatherer,
-                                    &state_ro[gatherer.index()],
-                                    neighbor,
-                                    &state_ro[neighbor.index()],
-                                    &mut tally,
-                                );
-                                let Some(item) = item else { continue };
-                                let bytes = item.estimated_bytes();
-                                mem += bytes;
-                                mem_peak = mem_peak.max(mem);
-                                if mem > cap {
-                                    return Err(EngineError::ResourceExhausted {
-                                        node,
-                                        required: mem,
-                                        capacity: cap,
-                                        step: step.name().to_owned(),
-                                    });
-                                }
-                                cur = Some(match cur.take() {
-                                    None => (gatherer, item, bytes),
-                                    Some((g, acc, b)) => {
-                                        sum_calls += 1;
-                                        tally.add(1);
-                                        (g, step.sum(acc, item, &mut tally), b + bytes)
-                                    }
-                                });
-                            }
-                            if let Some(last) = cur.take() {
-                                partials.push(last);
-                            }
-                            Ok(NodeGather {
-                                node: n,
-                                partials,
-                                gather_calls,
-                                sum_calls,
-                                ops: tally.ops(),
-                                mem_peak,
-                            })
-                        })
-                    })
-                    .collect();
-                let mut results: Vec<Result<NodeGather<S::Gather>, EngineError>> = (0..nodes)
-                    .filter(|&n| part.node_edges(NodeId::new(n as u16)).is_empty())
-                    .map(|n| {
-                        Ok(NodeGather {
-                            node: n,
-                            partials: Vec::new(),
-                            gather_calls: 0,
-                            sum_calls: 0,
-                            ops: 0,
-                            mem_peak: mem_base_ref[n],
-                        })
-                    })
-                    .collect();
-                results.extend(
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("gather worker panicked")),
+        // The whole gather work of one simulated partition, runnable on
+        // any host thread: the per-partition tallies depend only on the
+        // partition's edge list, so the chunking below cannot change the
+        // accounting.
+        let gather_node = |n: usize| -> Result<NodeGather<S::Gather>, EngineError> {
+            let ctx = GatherCtx::new(graph, step_seed);
+            let node = NodeId::new(n as u16);
+            let mut edges: Vec<(VertexId, VertexId)> = part.node_edges(node).to_vec();
+            if dir == Direction::In {
+                edges.sort_unstable_by_key(|&(s, d)| (d, s));
+            }
+            let mut tally = WorkTally::new();
+            let mut partials: Vec<(VertexId, S::Gather, u64)> = Vec::new();
+            let mut gather_calls = 0u64;
+            let mut sum_calls = 0u64;
+            let mut mem = mem_base_ref[n];
+            let mut mem_peak = mem;
+            let mut cur: Option<(VertexId, S::Gather, u64)> = None;
+            for &(src, dst) in &edges {
+                let (gatherer, neighbor) = match dir {
+                    Direction::Out => (src, dst),
+                    Direction::In => (dst, src),
+                };
+                if let Some(m) = mask {
+                    if !m.contains(gatherer) {
+                        continue;
+                    }
+                }
+                if let Some((g, _, _)) = &cur {
+                    if *g != gatherer {
+                        partials.push(cur.take().unwrap());
+                    }
+                }
+                gather_calls += 1;
+                tally.add(1);
+                let item = step.gather(
+                    &ctx,
+                    gatherer,
+                    &state_ro[gatherer.index()],
+                    neighbor,
+                    &state_ro[neighbor.index()],
+                    &mut tally,
                 );
-                results
+                let Some(item) = item else { continue };
+                let bytes = item.estimated_bytes();
+                mem += bytes;
+                mem_peak = mem_peak.max(mem);
+                if mem > cap {
+                    return Err(EngineError::ResourceExhausted {
+                        node,
+                        required: mem,
+                        capacity: cap,
+                        step: step.name().to_owned(),
+                    });
+                }
+                cur = Some(match cur.take() {
+                    None => (gatherer, item, bytes),
+                    Some((g, acc, b)) => {
+                        sum_calls += 1;
+                        tally.add(1);
+                        (g, step.sum(acc, item, &mut tally), b + bytes)
+                    }
+                });
+            }
+            if let Some(last) = cur.take() {
+                partials.push(last);
+            }
+            Ok(NodeGather {
+                node: n,
+                partials,
+                gather_calls,
+                sum_calls,
+                ops: tally.ops(),
+                mem_peak,
+            })
+        };
+
+        // Gather only over partitions that actually hold edges: on small
+        // or skewed graphs many simulated nodes are empty, and gathering
+        // an empty edge list is pure overhead. Empty nodes contribute an
+        // empty tally directly.
+        let nonempty: Vec<usize> = (0..nodes)
+            .filter(|&n| !part.node_edges(NodeId::new(n as u16)).is_empty())
+            .collect();
+        // Cap host threads at the hardware parallelism and chunk the
+        // partitions across them: a 64-partition cluster on a 4-core host
+        // gets 4 workers with 16 partitions each, not 64 oversubscribed
+        // threads. Each worker stops at its chunk's first error, so the
+        // surfaced error is the lowest-numbered failing partition's —
+        // exactly what the thread-per-partition layout reported.
+        let gather_worker_cap = self.gather_workers.unwrap_or_else(host_parallelism);
+        let gather_workers = gather_worker_cap.min(nonempty.len()).max(1);
+        let chunk_len = nonempty.len().div_ceil(gather_workers).max(1);
+        let gather_results: Vec<Result<Vec<NodeGather<S::Gather>>, EngineError>> =
+            thread::scope(|scope| {
+                let gather_node = &gather_node;
+                let handles: Vec<_> = nonempty
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            chunk
+                                .iter()
+                                .map(|&n| gather_node(n))
+                                .collect::<Result<Vec<_>, _>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("gather worker panicked"))
+                    .collect()
             });
 
         let mut node_ops = vec![0u64; nodes];
@@ -422,9 +453,19 @@ impl<'d> Engine<'d> {
             (0..graph.num_vertices()).map(|_| None).collect();
         let mut master_extra = vec![0u64; nodes];
         let mut merge_tallies: Vec<WorkTally> = vec![WorkTally::new(); nodes];
-        let mut ordered: Vec<NodeGather<S::Gather>> = Vec::with_capacity(nodes);
+        let mut ordered: Vec<NodeGather<S::Gather>> = (0..nodes)
+            .filter(|&n| part.node_edges(NodeId::new(n as u16)).is_empty())
+            .map(|n| NodeGather {
+                node: n,
+                partials: Vec::new(),
+                gather_calls: 0,
+                sum_calls: 0,
+                ops: 0,
+                mem_peak: mem_base[n],
+            })
+            .collect();
         for r in gather_results {
-            ordered.push(r?);
+            ordered.extend(r?);
         }
         ordered.sort_by_key(|g| g.node);
         for ng in ordered {
@@ -468,9 +509,7 @@ impl<'d> Engine<'d> {
         }
 
         // --- Apply phase at masters (parallel over vertex shards). --------
-        let workers = thread::available_parallelism()
-            .map_or(2, |p| p.get())
-            .min(graph.num_vertices().max(1));
+        let workers = host_parallelism().min(graph.num_vertices().max(1));
         let chunk = graph.num_vertices().div_ceil(workers).max(1);
         let apply_calls = mask.map_or(graph.num_vertices(), VertexMask::len) as u64;
         let apply_node_ops: Vec<Vec<u64>> = thread::scope(|scope| {
@@ -995,6 +1034,77 @@ mod tests {
         assert_eq!(stats.per_node.len(), 32);
         // 0 and 2 take their successor's value; 1 and 3 have no out-edges.
         assert_eq!(state, vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn gather_worker_cap_keeps_results_and_cost_accounting_byte_identical() {
+        // Regression for the oversubscription fix: a 64-partition cluster
+        // used to spawn one thread per non-empty partition. Partitions are
+        // now chunked over a capped worker pool — and because each
+        // partition's tallies are computed identically no matter which
+        // host thread runs them, every cap must produce bit-identical
+        // state and byte-identical simulated-cost accounting.
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = gen::erdos_renyi(400, 6_000, &mut rng).into_symmetric_graph();
+        let deployment = Deployment::new(
+            &g,
+            ClusterSpec::type_i(64),
+            PartitionStrategy::RandomVertexCut,
+            5,
+        )
+        .unwrap();
+        let init: Vec<u64> = (0..400).map(|i| i * 7 % 53).collect();
+
+        let mut reference_state = init.clone();
+        let mut reference = Engine::on(&deployment);
+        reference
+            .run_step(&SumNeighbors, &mut reference_state)
+            .unwrap();
+        let reference_stats = reference.into_stats();
+
+        for workers in [1, 3, 8, 200] {
+            let mut state = init.clone();
+            let mut engine = Engine::on(&deployment).with_gather_workers(workers);
+            engine.run_step(&SumNeighbors, &mut state).unwrap();
+            let stats = engine.into_stats();
+            assert_eq!(state, reference_state, "{workers} workers diverged");
+            let (s, r) = (&stats.steps[0], &reference_stats.steps[0]);
+            assert_eq!(s.gather_calls, r.gather_calls, "{workers} workers");
+            assert_eq!(s.sum_calls, r.sum_calls, "{workers} workers");
+            assert_eq!(s.apply_calls, r.apply_calls, "{workers} workers");
+            assert_eq!(s.work_ops, r.work_ops, "{workers} workers");
+            assert_eq!(s.broadcast_bytes, r.broadcast_bytes, "{workers} workers");
+            assert_eq!(s.partial_bytes, r.partial_bytes, "{workers} workers");
+            assert_eq!(s.per_node.len(), r.per_node.len());
+            for (n, (sn, rn)) in s.per_node.iter().zip(&r.per_node).enumerate() {
+                assert_eq!(sn.compute_ops, rn.compute_ops, "node {n}");
+                assert_eq!(sn.net_bytes, rn.net_bytes, "node {n}");
+                assert_eq!(sn.memory_peak, rn.memory_peak, "node {n}");
+            }
+            assert_eq!(s.simulated_seconds, r.simulated_seconds);
+        }
+    }
+
+    #[test]
+    fn gather_worker_cap_surfaces_the_lowest_failing_partition() {
+        // Memory exhaustion must name the same node regardless of the cap.
+        let g = ring(200);
+        let cluster = ClusterSpec {
+            memory_per_node: 64,
+            ..ClusterSpec::type_i(16)
+        };
+        let deployment =
+            Deployment::new(&g, cluster, PartitionStrategy::RandomVertexCut, 1).unwrap();
+        let mut errors = Vec::new();
+        for workers in [1, 4, 64] {
+            let mut state = vec![1u64; 200];
+            let err = Engine::on(&deployment)
+                .with_gather_workers(workers)
+                .run_step(&SumNeighbors, &mut state)
+                .unwrap_err();
+            errors.push(err);
+        }
+        assert!(errors.windows(2).all(|w| w[0] == w[1]), "{errors:?}");
     }
 
     #[test]

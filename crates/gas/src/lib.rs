@@ -82,7 +82,7 @@ pub mod stats;
 pub use cluster::{ClusterSpec, NodeId};
 pub use cost::CostModel;
 pub use deploy::{DeltaStats, Deployment};
-pub use engine::Engine;
+pub use engine::{host_parallelism, Engine};
 pub use error::EngineError;
 pub use partition::{PartitionStrategy, PartitionedGraph};
 pub use program::{GasStep, GatherCtx, WorkTally};

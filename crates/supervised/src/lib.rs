@@ -238,8 +238,12 @@ impl TrainedModel {
 
 /// A trained supervised ranker with its feature-panel plan prepared: one
 /// shared [`Deployment`] serves every panel column of every request.
+///
+/// Owns a copy of the trained model (weights and panel config), so epoch
+/// forks ([`PreparedPredictor::fork_with_delta`]) detach into fully owned
+/// snapshots.
 pub struct PreparedModel<'a> {
-    model: &'a TrainedModel,
+    model: TrainedModel,
     deployment: Deployment<'a>,
     setup: SetupStats,
 }
@@ -267,6 +271,20 @@ impl PreparedPredictor for PreparedModel<'_> {
         delta: &snaple_graph::GraphDelta,
     ) -> Result<snaple_gas::DeltaStats, SnapleError> {
         Ok(self.deployment.apply_delta(delta)?)
+    }
+
+    fn fork_with_delta(
+        &self,
+        delta: &snaple_graph::GraphDelta,
+    ) -> Result<(Box<dyn PreparedPredictor>, snaple_gas::DeltaStats), SnapleError> {
+        let mut deployment = self.deployment.detach();
+        let applied = deployment.apply_delta(delta)?;
+        let fork = PreparedModel {
+            model: self.model.clone(),
+            deployment,
+            setup: self.setup.clone(),
+        };
+        Ok((Box::new(fork), applied))
     }
 
     fn setup(&self) -> &SetupStats {
@@ -302,7 +320,7 @@ impl Predictor for TrainedModel {
             replication_factor: deployment.replication_factor(),
         };
         Ok(Box::new(PreparedModel {
-            model: self,
+            model: self.clone(),
             deployment,
             setup,
         }))

@@ -32,6 +32,7 @@ use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
+use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer, PendingPrediction};
 use snaple::core::serve::Server;
 use snaple::core::{
     ExecuteRequest, GraphDelta, NamedScore, PlanConfig, PredictRequest, Predictor, PrepareRequest,
@@ -91,6 +92,7 @@ struct Options {
     batch: usize,
     request_count: Option<usize>,
     request_size: usize,
+    workers: usize,
 }
 
 impl Options {
@@ -160,6 +162,7 @@ impl Options {
                 "--request-size" => {
                     o.request_size = parse_num(&value("--request-size"), "--request-size")
                 }
+                "--workers" => o.workers = parse_num(&value("--workers"), "--workers"),
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -216,7 +219,10 @@ impl Options {
         ScorePlan::parse_with(&Registry::builtin(), scores, config).map_err(|e| e.to_string())
     }
 
-    /// Resolves `--queries`/`--query-sample` into a query set.
+    /// Resolves `--queries`/`--query-sample` into a query set, validating
+    /// every explicit id against the loaded graph *before* any heavy work
+    /// starts — an out-of-range id gets a proper error naming it instead
+    /// of surfacing from deep inside mask construction.
     fn query_set(&self, graph: &CsrGraph) -> Result<Option<QuerySet>, String> {
         match (&self.queries, self.query_sample) {
             (Some(_), Some(_)) => Err("--queries and --query-sample are mutually exclusive".into()),
@@ -226,6 +232,14 @@ impl Options {
                 let ids = ids.map_err(|_| {
                     format!("--queries expects comma-separated vertex ids, got {list:?}")
                 })?;
+                let num_vertices = graph.num_vertices();
+                if let Some(&bad) = ids.iter().find(|&&id| id as usize >= num_vertices) {
+                    return Err(format!(
+                        "--queries: vertex id {bad} is out of range — the graph has \
+                         {num_vertices} vertices (valid ids are 0..={})",
+                        num_vertices.saturating_sub(1)
+                    ));
+                }
                 Ok(Some(QuerySet::from_indices(ids)))
             }
             (None, Some(count)) => Ok(Some(QuerySet::sample(
@@ -267,7 +281,8 @@ commands:
             'linearSum, jaccard@k16, cosine*0.7+common') evaluated in
             ONE fused sweep, emitting 'label source target score' lines
             — see the snaple_core::spec docs for the grammar
-  serve     --graph FILE [prediction flags] [--batch N] [--out FILE]
+  serve     --graph FILE [prediction flags] [--batch N] [--workers N]
+            [--out FILE]
             (--requests FILE|- | --updates FILE|- |
              --request-count N [--request-size M])
             prepare once, then answer a stream of query-set requests,
@@ -275,13 +290,17 @@ commands:
             --requests reads one request per line (comma-separated
             vertex ids; '-' reads stdin), --request-count samples a
             synthetic stream; emits 'request source target score' lines
-            and a throughput/latency summary.
+            and a throughput/latency summary (p50/p95/p99).
             --updates reads a *mixed* predict/update stream instead:
             'predict IDS' (or a bare id list) requests predictions,
-            'add U V [W]' / 'remove U V' mutate the served graph in
-            place (consecutive mutations coalesce into one delta batch;
+            'add U V [W]' / 'remove U V' mutate the served graph
+            (consecutive mutations coalesce into one delta batch;
             predictions after an update reflect the mutated graph,
-            bit-identical to a cold restart on it)
+            bit-identical to a cold restart on it).
+            --workers N serves through the concurrent runtime instead:
+            a pool of N threads executes against one shared snapshot
+            and updates swap in post-delta epochs without stalling
+            reads — rows stay bit-identical to the sequential server
   evaluate  --graph FILE [--removals N] [prediction flags]
             [--queries IDS | --query-sample N]
             hold out edges, predict, and report recall/precision/MRR;
@@ -622,6 +641,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     if opts.batch == 0 {
         return Err("--batch must be at least 1".into());
     }
+    if opts.workers > 0 {
+        return cmd_serve_concurrent(opts, &graph, &cluster, predictor, events);
+    }
 
     let mut server = Server::new(predictor, &graph, &cluster).map_err(|e| e.to_string())?;
     let mut out: Box<dyn Write> = match &opts.out {
@@ -696,6 +718,129 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         stats.summary()
     );
     stats.write_bench_json("snaple-cli-serve");
+    Ok(())
+}
+
+/// The `--workers N` serve path: the same event stream through the
+/// [`ConcurrentServer`] worker pool. Predictions are submitted without
+/// waiting (workers coalesce up to `--batch` queued requests per run);
+/// updates drain the queue first — so the output ordering matches the
+/// sequential server — and then swap in the post-delta epoch.
+fn cmd_serve_concurrent(
+    opts: &Options,
+    graph: &CsrGraph,
+    cluster: &ClusterSpec,
+    predictor: &dyn Predictor,
+    events: Vec<ServeEvent>,
+) -> Result<(), String> {
+    let mut out: Box<dyn Write> = match &opts.out {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("{}: {e}", p.display()))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let options = ConcurrentOptions::default()
+        .workers(opts.workers)
+        .batch(opts.batch);
+    /// Writes one redeemed response as TSV rows.
+    fn write_response(
+        out: &mut dyn Write,
+        request_idx: usize,
+        request: &QuerySet,
+        result: Result<snaple::core::Prediction, snaple::core::SnapleError>,
+    ) -> Result<(), String> {
+        let response = result.map_err(|e| e.to_string())?;
+        for q in request.iter() {
+            for (z, score) in response.for_vertex(q) {
+                writeln!(
+                    out,
+                    "{request_idx}\t{}\t{}\t{score}",
+                    q.as_u32(),
+                    z.as_u32()
+                )
+                .map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    }
+
+    let outcome = ConcurrentServer::run(predictor, graph, cluster, options, |handle| {
+        // Responses are redeemed and written incrementally, in submission
+        // order, so memory holds only the outstanding window (bounded by
+        // the submission queue) plus head-of-line completions — never the
+        // whole stream's predictions at once.
+        let mut pending: std::collections::VecDeque<(QuerySet, PendingPrediction)> =
+            std::collections::VecDeque::new();
+        let mut request_idx = 0usize;
+        let mut served = 0usize;
+        let mut drain_pending =
+            |pending: &mut std::collections::VecDeque<(QuerySet, PendingPrediction)>,
+             request_idx: &mut usize,
+             all: bool|
+             -> Result<(), String> {
+                while let Some((request, ticket)) = pending.pop_front() {
+                    if all {
+                        write_response(&mut *out, *request_idx, &request, ticket.wait())?;
+                    } else {
+                        match ticket.try_wait() {
+                            Ok(result) => {
+                                write_response(&mut *out, *request_idx, &request, result)?;
+                            }
+                            Err(ticket) => {
+                                pending.push_front((request, ticket));
+                                break;
+                            }
+                        }
+                    }
+                    *request_idx += 1;
+                }
+                Ok(())
+            };
+        for event in events {
+            match event {
+                ServeEvent::Predict(q) => {
+                    let ticket = handle.submit(&q).map_err(|e| e.to_string())?;
+                    pending.push_back((q, ticket));
+                    served += 1;
+                    // Opportunistically flush responses that are already
+                    // done (in order) while the stream keeps flowing.
+                    drain_pending(&mut pending, &mut request_idx, false)?;
+                }
+                ServeEvent::Update(delta) => {
+                    // Keep the sequential server's ordering contract:
+                    // everything submitted before the update completes on
+                    // the old epoch, everything after sees the new one.
+                    handle.drain();
+                    drain_pending(&mut pending, &mut request_idx, true)?;
+                    let applied = handle.apply_update(&delta).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "applied update (epoch {}): +{} -{} edges (+{} vertices), \
+                         {} partitions touched, {:.2} ms",
+                        handle.epoch(),
+                        applied.inserted_edges,
+                        applied.removed_edges,
+                        applied.grown_vertices,
+                        applied.touched_partitions,
+                        applied.apply_wall_seconds * 1e3,
+                    );
+                }
+            }
+        }
+        drain_pending(&mut pending, &mut request_idx, true)?;
+        Ok::<usize, String>(served)
+    })
+    .map_err(|e| e.to_string())?;
+    let requests_served = outcome.value?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "served {requests_served} requests on {} ({} cores): {}",
+        cluster.name,
+        cluster.total_cores(),
+        outcome.stats.summary()
+    );
+    outcome
+        .stats
+        .write_bench_json("snaple-cli-serve-concurrent");
     Ok(())
 }
 
@@ -797,4 +942,75 @@ fn cmd_evaluate(opts: &Options) -> Result<(), String> {
     );
     println!("sim. time       {:.2}s", prediction.simulated_seconds());
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph10() -> CsrGraph {
+        CsrGraph::from_edges(10, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    fn opts_with_queries(list: &str) -> Options {
+        Options {
+            queries: Some(list.to_owned()),
+            ..Options::default()
+        }
+    }
+
+    #[test]
+    fn in_range_queries_resolve() {
+        let q = opts_with_queries("0, 3,9")
+            .query_set(&graph10())
+            .unwrap()
+            .unwrap();
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn out_of_range_query_ids_error_up_front_naming_the_id() {
+        // Regression: ids >= num_vertices used to travel all the way into
+        // the predictor before being rejected; they must fail during flag
+        // resolution with a message naming the offending id.
+        let err = opts_with_queries("3,10,4")
+            .query_set(&graph10())
+            .unwrap_err();
+        assert!(err.contains("vertex id 10"), "{err}");
+        assert!(err.contains("10 vertices"), "{err}");
+        assert!(err.contains("0..=9"), "{err}");
+
+        // The first offending id is named, even when several are bad.
+        let err = opts_with_queries("99,10")
+            .query_set(&graph10())
+            .unwrap_err();
+        assert!(err.contains("vertex id 99"), "{err}");
+
+        // Boundary: the largest valid id passes, one past it fails.
+        assert!(opts_with_queries("9").query_set(&graph10()).is_ok());
+        assert!(opts_with_queries("10").query_set(&graph10()).is_err());
+    }
+
+    #[test]
+    fn malformed_and_conflicting_query_flags_error() {
+        let err = opts_with_queries("1,x").query_set(&graph10()).unwrap_err();
+        assert!(err.contains("comma-separated"), "{err}");
+        let both = Options {
+            queries: Some("1".into()),
+            query_sample: Some(3),
+            ..Options::default()
+        };
+        assert!(both.query_set(&graph10()).is_err());
+    }
+
+    #[test]
+    fn query_sample_is_always_in_range() {
+        let opts = Options {
+            query_sample: Some(50),
+            ..Options::default()
+        };
+        let q = opts.query_set(&graph10()).unwrap().unwrap();
+        assert_eq!(q.len(), 10, "oversampling clamps to the vertex count");
+        assert!(q.iter().all(|v| v.index() < 10));
+    }
 }

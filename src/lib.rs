@@ -146,6 +146,47 @@
 //! `crates/bench/benches/serve.rs` tracks the end-to-end speedup over
 //! repeated one-shot `predict`s.
 //!
+//! # Concurrent serving
+//!
+//! The sequential `Server` runs everything on the caller's thread. For a
+//! multi-threaded request load,
+//! [`ConcurrentServer`](core::concurrent::ConcurrentServer) owns a pool
+//! of workers executing against one `Arc`-shared prepared snapshot
+//! (every [`PreparedPredictor::execute`](core::PreparedPredictor::execute)
+//! is `&self` with truly per-call run state), applies backpressure
+//! through a bounded submission queue, and swaps in post-delta **epochs**
+//! so updates never stall reads. Responses stay bit-identical to the
+//! sequential server for the same seed:
+//!
+//! ```
+//! use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer};
+//! use snaple::core::{QuerySet, NamedScore, Snaple, SnapleConfig};
+//! use snaple::gas::ClusterSpec;
+//! use snaple::graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.005, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
+//!
+//! let outcome = ConcurrentServer::run(
+//!     &snaple, &graph, &cluster,
+//!     ConcurrentOptions::default().workers(4).batch(8),
+//!     |handle| {
+//!         let q = QuerySet::sample(graph.num_vertices(), 50, 7);
+//!         handle.serve(&q) // round trip through the worker pool
+//!     },
+//! )?;
+//! let _prediction = outcome.value?;
+//! // p50/p95/p99 latency percentiles ride along in the stats.
+//! println!("{}", outcome.stats.summary());
+//! # Ok::<(), snaple::core::SnapleError>(())
+//! ```
+//!
+//! `snaple-cli serve --workers N` serves any request/update stream
+//! through the pool, and `exp_concurrent` tracks throughput vs workers
+//! and read latency during epoch swaps (exit-code enforced >= the
+//! sequential server).
+//!
 //! # Streaming graph updates
 //!
 //! The served graph does not stay frozen: the full serving lifecycle is
@@ -186,6 +227,13 @@
 //! mixed.txt` (`predict IDS` / `add U V` / `remove U V` lines), and
 //! `exp_streaming` + `crates/bench/benches/streaming.rs` track the
 //! incremental-apply vs full-re-prepare speedup across churn levels.
+//!
+//! Under the concurrent runtime the same deltas go through
+//! [`ServeHandle::apply_update`](core::concurrent::ServeHandle::apply_update)
+//! instead: the post-delta snapshot is forked off to the side
+//! ([`PreparedPredictor::fork_with_delta`](core::PreparedPredictor::fork_with_delta))
+//! and atomically published as a new epoch, so in-flight reads finish on
+//! the old graph and no response ever mixes the two.
 
 pub use snaple_baseline as baseline;
 pub use snaple_cassovary as cassovary;

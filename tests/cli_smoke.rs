@@ -203,3 +203,95 @@ fn serve_answers_request_streams_from_file_and_synthetic() {
     let _ = std::fs::remove_file(graph_path);
     let _ = std::fs::remove_file(stream_path);
 }
+
+#[test]
+fn serve_with_workers_matches_the_sequential_server() {
+    let graph_path = tmp("serve-workers.snplg");
+    let out = run(&[
+        "emulate",
+        "--dataset",
+        "gowalla",
+        "--scale",
+        "0.004",
+        "--seed",
+        "3",
+        "--out",
+        graph_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // A mixed predict/update stream, served sequentially and through the
+    // worker pool: the emitted TSV rows must be identical.
+    let stream_path = tmp("serve-workers-updates.txt");
+    std::fs::write(
+        &stream_path,
+        "predict 0,1,2\nadd 0 40\nremove 1 2\npredict 0,1,2\n3,4,5\n",
+    )
+    .unwrap();
+    let base_args = [
+        "serve",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--updates",
+        stream_path.to_str().unwrap(),
+        "--k",
+        "3",
+        "--batch",
+        "2",
+    ];
+    let sequential = run(&base_args);
+    assert!(
+        sequential.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sequential.stderr)
+    );
+    let concurrent = run(&[&base_args[..], &["--workers", "3"]].concat());
+    assert!(
+        concurrent.status.success(),
+        "{}",
+        String::from_utf8_lossy(&concurrent.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&sequential.stdout),
+        String::from_utf8_lossy(&concurrent.stdout),
+        "worker-pool rows must be bit-identical to the sequential server"
+    );
+    let stderr = String::from_utf8_lossy(&concurrent.stderr);
+    assert!(stderr.contains("3 workers"), "{stderr}");
+    assert!(stderr.contains("p50/p95/p99"), "{stderr}");
+    assert!(stderr.contains("epoch 1"), "{stderr}");
+
+    let _ = std::fs::remove_file(graph_path);
+    let _ = std::fs::remove_file(stream_path);
+}
+
+#[test]
+fn out_of_range_queries_error_up_front_with_the_offending_id() {
+    let graph_path = tmp("bad-queries.snplg");
+    let out = run(&[
+        "emulate",
+        "--dataset",
+        "gowalla",
+        "--scale",
+        "0.004",
+        "--seed",
+        "3",
+        "--out",
+        graph_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    let out = run(&[
+        "predict",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--queries",
+        "0,999999",
+    ]);
+    assert!(!out.status.success(), "out-of-range ids must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("vertex id 999999"), "{stderr}");
+    assert!(stderr.contains("out of range"), "{stderr}");
+
+    let _ = std::fs::remove_file(graph_path);
+}

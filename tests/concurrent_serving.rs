@@ -1,0 +1,392 @@
+//! The concurrent-serving contract.
+//!
+//! What the [`ConcurrentServer`] runtime guarantees, and what this suite
+//! proves:
+//!
+//! 1. **Equivalence** — for the same requests and seed, responses are
+//!    bit-identical to the sequential [`Server`], across backends
+//!    (SNAPLE, multi-score plans) and across an epoch swap (post-swap
+//!    reads equal a cold rebuild on the mutated graph). Checked for
+//!    every seed of a deterministic sweep, the property-test style of
+//!    the neighboring suites.
+//! 2. **No torn reads** — while N threads hammer `serve` and a delta
+//!    stream applies concurrently, every response matches either the
+//!    pre-delta oracle or the post-delta oracle in full; no response
+//!    ever mixes rows from two epochs.
+//! 3. **Backpressure** — the bounded submission queue rejects
+//!    `try_submit` with [`SnapleError::QueueFull`] when full; every
+//!    *accepted* request is still answered.
+//! 4. **Graceful drain** — `drain()` returns only when every accepted
+//!    request has a buffered response.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer, PendingPrediction};
+use snaple::core::serve::Server;
+use snaple::core::{
+    NamedScore, PredictRequest, Prediction, Predictor, QuerySet, ScorePlan, Snaple, SnapleConfig,
+    SnapleError,
+};
+use snaple::gas::ClusterSpec;
+use snaple::graph::gen::datasets;
+use snaple::graph::{CsrGraph, GraphDelta};
+
+fn snaple_predictor() -> Snaple {
+    Snaple::new(
+        SnapleConfig::new(NamedScore::LinearSum)
+            .k(5)
+            .klocal(Some(10)),
+    )
+}
+
+fn setup() -> (CsrGraph, ClusterSpec) {
+    (datasets::GOWALLA.emulate(0.005, 3), ClusterSpec::type_ii(4))
+}
+
+/// A delta touching both directions: retract a few existing edges, add a
+/// few fresh ones.
+fn churn(graph: &CsrGraph) -> GraphDelta {
+    let mut delta = GraphDelta::new();
+    for (u, v) in graph.edges().take(5) {
+        delta.remove(u.as_u32(), v.as_u32());
+    }
+    let n = graph.num_vertices() as u32;
+    delta.insert(0, n - 1).insert(1, n - 2).insert(n - 1, 0);
+    delta
+}
+
+fn rows_equal(request: &QuerySet, a: &Prediction, b: &Prediction) -> bool {
+    request.iter().all(|q| a.for_vertex(q) == b.for_vertex(q))
+}
+
+#[test]
+fn concurrent_responses_are_bit_identical_to_the_sequential_server() {
+    // The acceptance property, swept over seeds: every response out of
+    // the worker pool equals the sequential Server's response for the
+    // same request — for single-job batches AND coalesced batches.
+    let (graph, cluster) = setup();
+    let snaple = snaple_predictor();
+    let requests: Vec<QuerySet> = (0..10)
+        .map(|seed| QuerySet::sample(graph.num_vertices(), 30 + seed as usize, seed))
+        .collect();
+
+    let mut sequential = Server::new(&snaple, &graph, &cluster).unwrap();
+    let expected: Vec<Prediction> = requests
+        .iter()
+        .map(|q| sequential.serve(q).unwrap())
+        .collect();
+
+    for (workers, batch) in [(1, 1), (4, 1), (2, 8)] {
+        let outcome = ConcurrentServer::run(
+            &snaple,
+            &graph,
+            &cluster,
+            ConcurrentOptions::default().workers(workers).batch(batch),
+            |handle| {
+                let pending: Vec<PendingPrediction> =
+                    requests.iter().map(|q| handle.submit(q).unwrap()).collect();
+                pending
+                    .into_iter()
+                    .map(|p| p.wait().unwrap())
+                    .collect::<Vec<_>>()
+            },
+        )
+        .unwrap();
+        for ((request, concurrent), sequential) in
+            requests.iter().zip(&outcome.value).zip(&expected)
+        {
+            for q in request.iter() {
+                assert_eq!(
+                    concurrent.for_vertex(q),
+                    sequential.for_vertex(q),
+                    "workers={workers} batch={batch} row {q} diverged"
+                );
+            }
+        }
+        assert_eq!(outcome.stats.requests, requests.len());
+        assert_eq!(outcome.stats.workers, workers);
+        assert_eq!(outcome.stats.latency.count(), requests.len() as u64);
+    }
+}
+
+#[test]
+fn score_plans_serve_concurrently_too() {
+    // The plan path (combined multi-score ranking) through the pool.
+    let (graph, cluster) = setup();
+    let plan = ScorePlan::parse("linearSum, counter@k3").unwrap();
+    let q = QuerySet::sample(graph.num_vertices(), 40, 7);
+    let mut sequential = Server::new(&plan, &graph, &cluster).unwrap();
+    let expected = sequential.serve(&q).unwrap();
+    let outcome = ConcurrentServer::run(
+        &plan,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(3),
+        |handle| handle.serve(&q).unwrap(),
+    )
+    .unwrap();
+    assert!(rows_equal(&q, &outcome.value, &expected));
+}
+
+#[test]
+fn post_swap_reads_match_a_cold_rebuild() {
+    // The epoch-swap half of the acceptance property: after
+    // apply_update, responses are bit-identical to a server prepared
+    // cold on the compacted graph — and the update stats are counted.
+    let (graph, cluster) = setup();
+    let snaple = snaple_predictor();
+    let delta = churn(&graph);
+    let mutated = graph.compact(&delta);
+    let mut cold = Server::new(&snaple, &mutated, &cluster).unwrap();
+
+    let queries: Vec<QuerySet> = (0..6)
+        .map(|seed| QuerySet::sample(graph.num_vertices(), 25, seed))
+        .collect();
+    let outcome = ConcurrentServer::run(
+        &snaple,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(2),
+        |handle| {
+            assert_eq!(handle.epoch(), 0);
+            let applied = handle.apply_update(&delta).unwrap();
+            assert_eq!(applied.removed_edges, 5);
+            assert_eq!(handle.epoch(), 1);
+            queries
+                .iter()
+                .map(|q| handle.serve(q).unwrap())
+                .collect::<Vec<_>>()
+        },
+    )
+    .unwrap();
+    for (q, served) in queries.iter().zip(&outcome.value) {
+        let expected = cold.serve(q).unwrap();
+        for v in q.iter() {
+            assert_eq!(served.for_vertex(v), expected.for_vertex(v), "row {v}");
+        }
+    }
+    assert_eq!(outcome.stats.updates, 1);
+    assert_eq!(outcome.stats.edges_removed, 5);
+    assert!(outcome.stats.delta_apply_seconds > 0.0);
+}
+
+#[test]
+fn stacked_epoch_swaps_compose() {
+    // Two successive updates: the second fork must start from the first's
+    // epoch, ending bit-identical to a cold rebuild on both deltas.
+    let (graph, cluster) = setup();
+    let snaple = snaple_predictor();
+    let first = churn(&graph);
+    let after_first = graph.compact(&first);
+    let mut second = GraphDelta::new();
+    let n = graph.num_vertices() as u32;
+    second.insert(2, n - 3).remove(0, n - 1);
+    let after_second = after_first.compact(&second);
+
+    let q = QuerySet::sample(graph.num_vertices(), 35, 11);
+    let outcome = ConcurrentServer::run(
+        &snaple,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(2),
+        |handle| {
+            handle.apply_update(&first).unwrap();
+            handle.apply_update(&second).unwrap();
+            assert_eq!(handle.epoch(), 2);
+            handle.serve(&q).unwrap()
+        },
+    )
+    .unwrap();
+    let mut cold = Server::new(&snaple, &after_second, &cluster).unwrap();
+    let expected = cold.serve(&q).unwrap();
+    assert!(rows_equal(&q, &outcome.value, &expected));
+    assert_eq!(outcome.stats.updates, 2);
+}
+
+#[test]
+fn hammered_reads_during_updates_are_never_torn() {
+    // N threads hammer serve() while the main thread applies a delta
+    // stream. Every response must equal the oracle of SOME epoch — the
+    // pre-delta rows, the post-first rows, or the post-second rows —
+    // entirely; a mix of epochs inside one response is a torn read.
+    let (graph, cluster) = setup();
+    let snaple = snaple_predictor();
+    let n = graph.num_vertices() as u32;
+    // Query the vertices the deltas touch (so epochs actually produce
+    // different rows) plus a hash sample.
+    let q: QuerySet = QuerySet::sample(graph.num_vertices(), 25, 17)
+        .iter()
+        .chain(QuerySet::from_indices([0, 1, 2, 3, n - 1, n - 2, n - 3, n - 4]).iter())
+        .collect();
+
+    let first = churn(&graph);
+    let after_first = graph.compact(&first);
+    let mut second = GraphDelta::new();
+    second.insert(3, n - 4).remove(1, n - 2);
+    let after_second = after_first.compact(&second);
+
+    let oracle = |g: &CsrGraph| -> Prediction {
+        Predictor::predict(&snaple, &PredictRequest::new(g, &cluster).with_queries(&q)).unwrap()
+    };
+    let oracles = [oracle(&graph), oracle(&after_first), oracle(&after_second)];
+
+    let served = AtomicUsize::new(0);
+    let outcome = ConcurrentServer::run(
+        &snaple,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(4),
+        |handle| {
+            std::thread::scope(|scope| {
+                for _ in 0..4 {
+                    let served = &served;
+                    let q = &q;
+                    let oracles = &oracles;
+                    scope.spawn(move || {
+                        for _ in 0..8 {
+                            let response = handle.serve(q).unwrap();
+                            // Torn-read check: the response must equal
+                            // SOME epoch's oracle in full.
+                            assert!(
+                                oracles.iter().any(|o| rows_equal(q, &response, o)),
+                                "torn read: response matches no epoch oracle"
+                            );
+                            served.fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                }
+                // Interleave the updates with the read storm.
+                handle.apply_update(&first).unwrap();
+                handle.apply_update(&second).unwrap();
+            });
+            // The storm is over and both epochs are published: a final
+            // read must deterministically see the last epoch.
+            assert_eq!(handle.epoch(), 2);
+            handle.serve(&q).unwrap()
+        },
+    )
+    .unwrap();
+    assert_eq!(served.load(Ordering::Relaxed), 32);
+    assert!(
+        rows_equal(&q, &outcome.value, &oracles[2]),
+        "post-storm read does not match the final epoch"
+    );
+    assert_eq!(outcome.stats.requests, 33);
+    assert_eq!(outcome.stats.updates, 2);
+}
+
+#[test]
+fn bounded_queue_applies_backpressure_but_answers_every_accepted_request() {
+    let (graph, cluster) = setup();
+    let snaple = snaple_predictor();
+    let outcome = ConcurrentServer::run(
+        &snaple,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(1).queue_capacity(1),
+        |handle| {
+            let mut accepted: Vec<(u64, PendingPrediction)> = Vec::new();
+            let mut rejections = 0usize;
+            let mut seed = 0u64;
+            // Submit until the 1-slot queue has pushed back a few times
+            // (the single worker cannot drain faster than we submit).
+            while rejections < 3 && seed < 10_000 {
+                let q = QuerySet::sample(graph.num_vertices(), 25, seed);
+                match handle.try_submit(&q) {
+                    Ok(ticket) => accepted.push((seed, ticket)),
+                    Err(SnapleError::QueueFull { capacity }) => {
+                        assert_eq!(capacity, 1);
+                        rejections += 1;
+                    }
+                    Err(other) => panic!("unexpected error: {other}"),
+                }
+                seed += 1;
+            }
+            assert!(
+                rejections >= 3,
+                "queue never filled after {seed} submissions"
+            );
+            assert!(!accepted.is_empty());
+            // A blocking submit succeeds even under pressure...
+            let q = QuerySet::sample(graph.num_vertices(), 25, 99_999);
+            let blocking = handle.submit(&q).unwrap();
+            // ...and every accepted request is answered.
+            let count = accepted.len();
+            for (_seed, ticket) in accepted {
+                let response = ticket.wait().unwrap();
+                assert_eq!(response.num_vertices(), graph.num_vertices());
+            }
+            blocking.wait().unwrap();
+            count
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.stats.requests, outcome.value + 1);
+}
+
+#[test]
+fn drain_completes_all_accepted_requests() {
+    let (graph, cluster) = setup();
+    let snaple = snaple_predictor();
+    ConcurrentServer::run(
+        &snaple,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(2).batch(4),
+        |handle| {
+            let pending: Vec<PendingPrediction> = (0..10)
+                .map(|seed| {
+                    handle
+                        .submit(&QuerySet::sample(graph.num_vertices(), 20, seed))
+                        .unwrap()
+                })
+                .collect();
+            handle.drain();
+            assert_eq!(handle.queue_len(), 0, "drain left jobs queued");
+            // After drain, every response is already buffered: try_wait
+            // must succeed immediately for all tickets.
+            for ticket in pending {
+                match ticket.try_wait() {
+                    Ok(result) => {
+                        result.unwrap();
+                    }
+                    Err(_) => panic!("drain returned with a request still unanswered"),
+                }
+            }
+        },
+    )
+    .unwrap();
+}
+
+#[test]
+fn random_walk_backend_serves_concurrently() {
+    // The partition-free backend shares snapshots and forks epochs too.
+    use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
+    let graph = datasets::GOWALLA.emulate(0.003, 5);
+    let cluster = ClusterSpec::single_machine(20, 128 << 30);
+    let walk = RandomWalkPpr::new(RandomWalkConfig::new().walks(10).depth(3).k(5));
+    let q = QuerySet::sample(graph.num_vertices(), 20, 3);
+    let delta = churn(&graph);
+    let mutated = graph.compact(&delta);
+
+    let mut cold_pre = Server::new(&walk, &graph, &cluster).unwrap();
+    let expected_pre = cold_pre.serve(&q).unwrap();
+    let mut cold_post = Server::new(&walk, &mutated, &cluster).unwrap();
+    let expected_post = cold_post.serve(&q).unwrap();
+
+    let outcome = ConcurrentServer::run(
+        &walk,
+        &graph,
+        &cluster,
+        ConcurrentOptions::default().workers(2),
+        |handle| {
+            let pre = handle.serve(&q).unwrap();
+            handle.apply_update(&delta).unwrap();
+            let post = handle.serve(&q).unwrap();
+            (pre, post)
+        },
+    )
+    .unwrap();
+    assert!(rows_equal(&q, &outcome.value.0, &expected_pre));
+    assert!(rows_equal(&q, &outcome.value.1, &expected_post));
+}
