@@ -43,6 +43,26 @@ fn bench_similarity(c: &mut Criterion) {
     group.finish();
 }
 
+/// The galloping dispatch of [`intersection_size`]: a short probe list
+/// against an ever-longer sorted neighborhood. Past the dispatch ratio
+/// (16×) the galloping path's O(|short|·log|long|) should pull away from
+/// the linear merge's O(|short| + |long|); below it the linear merge
+/// must stay untouched.
+fn bench_intersection_skew(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection-skew");
+    let mut rng = StdRng::seed_from_u64(3);
+    let short = sorted_ids(16, 4_000_000, &mut rng);
+    for &long_len in &[128usize, 2_048, 32_768, 524_288] {
+        let long = sorted_ids(long_len, 4_000_000, &mut rng);
+        group.bench_with_input(
+            BenchmarkId::new("short16", long.len()),
+            &long_len,
+            |bench, _| bench.iter(|| black_box(intersection_size(&short, &long))),
+        );
+    }
+    group.finish();
+}
+
 fn bench_topk(c: &mut Criterion) {
     let mut group = c.benchmark_group("topk");
     let mut rng = StdRng::seed_from_u64(2);
@@ -116,6 +136,7 @@ fn bench_targeted(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_similarity,
+    bench_intersection_skew,
     bench_topk,
     bench_end_to_end,
     bench_targeted

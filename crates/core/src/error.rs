@@ -23,6 +23,17 @@ pub enum SnapleError {
         /// The queue's configured capacity.
         capacity: usize,
     },
+    /// A shard of a [`ShardRouter`](crate::shard::ShardRouter) deployment
+    /// failed — its process died, its pipe broke, or it answered with a
+    /// malformed or corrupt wire frame. In-flight requests routed to the
+    /// shard fail with this error; the router itself stays up and
+    /// `drain()` still completes.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// What broke: the wire/transport error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for SnapleError {
@@ -35,6 +46,9 @@ impl fmt::Display for SnapleError {
                 "submission queue full ({capacity} requests pending); retry, \
                  block via submit(), or raise the queue capacity"
             ),
+            SnapleError::ShardFailed { shard, message } => {
+                write!(f, "shard {shard} failed: {message}")
+            }
         }
     }
 }
@@ -43,7 +57,9 @@ impl StdError for SnapleError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             SnapleError::Engine(e) => Some(e),
-            SnapleError::InvalidConfig(_) | SnapleError::QueueFull { .. } => None,
+            SnapleError::InvalidConfig(_)
+            | SnapleError::QueueFull { .. }
+            | SnapleError::ShardFailed { .. } => None,
         }
     }
 }

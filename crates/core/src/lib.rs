@@ -185,6 +185,42 @@
 //! println!("{}", outcome.stats.summary()); // includes p50/p95/p99
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
+//!
+//! # Serving across shards
+//!
+//! One process eventually runs out of cores and memory headroom. The
+//! [`shard`] module splits the serving runtime into `N` independent
+//! shards — each an isolated runtime owning the vertices whose master
+//! partition falls in its block — fronted by a [`ShardRouter`] that
+//! scatters each request to the owning shards and gathers the disjoint
+//! row sets back together. Shards are plain threads by default
+//! ([`ShardTransport::Threads`]) or `snaple-shardd` child processes
+//! ([`ShardTransport::Processes`]); both speak the same checksummed
+//! binary wire protocol, and both serve rows **bit-identical** to a
+//! single-process [`ConcurrentServer`] — including across
+//! [`GraphDelta`] updates, which broadcast to every shard as local
+//! epoch swaps. A shard that dies mid-flight surfaces as
+//! [`SnapleError::ShardFailed`] on the affected requests; the router
+//! keeps serving the surviving shards. See the [`shard`] module docs
+//! for the topology, the wire framing, and the thread/process
+//! trade-off:
+//!
+//! ```no_run
+//! use snaple_core::shard::{ShardOptions, ShardRouter, ShardSpec, ShardTransport};
+//! use snaple_core::{QuerySet, NamedScore, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let graph = datasets::GOWALLA.emulate(0.005, 42);
+//! let spec = ShardSpec::Single(SnapleConfig::new(NamedScore::LinearSum));
+//! let outcome = ShardRouter::run(
+//!     &spec, &graph, &ClusterSpec::type_ii(8),
+//!     ShardOptions::new().shards(4).transport(ShardTransport::Threads),
+//!     |handle| handle.serve(&QuerySet::sample(graph.num_vertices(), 50, 7)),
+//! )?;
+//! let _prediction = outcome.value?;
+//! # Ok::<(), snaple_core::SnapleError>(())
+//! ```
 
 pub mod aggregator;
 pub mod combinator;
@@ -195,6 +231,7 @@ pub mod plan;
 pub mod predictor;
 pub mod predictor_api;
 pub mod serve;
+pub mod shard;
 pub mod similarity;
 pub mod spec;
 pub mod state;
@@ -215,6 +252,9 @@ pub use predictor_api::{
     SetupStats,
 };
 pub use serve::{LatencyHistogram, Server, ServerStats};
+pub use shard::{
+    RouterHandle, ShardOptions, ShardOutcome, ShardRouter, ShardSpec, ShardTransport, WireError,
+};
 pub use similarity::{NeighborhoodView, Similarity};
 pub use snaple_gas::DeltaStats;
 pub use snaple_graph::GraphDelta;

@@ -132,12 +132,37 @@ impl LatencyHistogram {
     }
 
     /// Folds another histogram into this one (used to aggregate per-worker
-    /// recordings).
+    /// and per-shard recordings).
+    ///
+    /// Buckets are positional and every histogram uses the same
+    /// power-of-two-microsecond bucket boundaries, so merging is exact:
+    /// `count()` adds up and every quantile of the merge equals the
+    /// quantile of the pooled observations (at bucket resolution).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
             *a += b;
         }
         self.total += other.total;
+    }
+
+    /// The raw per-bucket counts (bucket `i` covers `[2^i, 2^{i+1})`
+    /// microseconds) — the serializable wire form of the histogram.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds a histogram from serialized [`bucket_counts`]
+    /// (extra trailing buckets are dropped, missing ones are zero), the
+    /// inverse of [`bucket_counts`] used by the shard wire codec.
+    ///
+    /// [`bucket_counts`]: LatencyHistogram::bucket_counts
+    pub fn from_bucket_counts(counts: &[u64]) -> Self {
+        let mut h = LatencyHistogram::new();
+        for (dst, &src) in h.counts.iter_mut().zip(counts) {
+            *dst = src;
+            h.total += src;
+        }
+        h
     }
 
     /// The latency in seconds at quantile `q` (`0.0..=1.0`); `0.0` while
@@ -238,6 +263,42 @@ impl ServerStats {
         } else {
             0.0
         }
+    }
+
+    /// Folds the statistics of a runtime that ran **in parallel** with
+    /// this one — a shard of a
+    /// [`ShardRouter`](crate::shard::ShardRouter) deployment — into this
+    /// aggregate.
+    ///
+    /// Throughput counters (requests, batches, queries, updates, edge
+    /// counts, worker threads) add up; wall-clock and simulated durations
+    /// take the **maximum** because concurrent runtimes overlap in time —
+    /// summing them would double-count the wall. Deployment-shape gauges
+    /// (replication factor, partitions touched by deltas) also take the
+    /// maximum: each shard holds a full snapshot, so the per-shard values
+    /// describe the same deployment. Latency histograms merge exactly
+    /// ([`LatencyHistogram::merge`]).
+    pub fn merge_parallel(&mut self, other: &ServerStats) {
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.queries_received += other.queries_received;
+        self.union_queries += other.union_queries;
+        self.simulated_seconds = self.simulated_seconds.max(other.simulated_seconds);
+        self.serve_wall_seconds = self.serve_wall_seconds.max(other.serve_wall_seconds);
+        self.setup_wall_seconds = self.setup_wall_seconds.max(other.setup_wall_seconds);
+        self.partition_build_seconds = self
+            .partition_build_seconds
+            .max(other.partition_build_seconds);
+        self.replication_factor = self.replication_factor.max(other.replication_factor);
+        self.updates += other.updates;
+        self.edges_inserted += other.edges_inserted;
+        self.edges_removed += other.edges_removed;
+        self.delta_apply_seconds = self.delta_apply_seconds.max(other.delta_apply_seconds);
+        self.delta_touched_partitions = self
+            .delta_touched_partitions
+            .max(other.delta_touched_partitions);
+        self.latency.merge(&other.latency);
+        self.workers += other.workers;
     }
 
     /// How many received queries each executed union query stood for
@@ -538,6 +599,133 @@ mod tests {
                 .klocal(Some(10)),
         );
         (graph, cluster, snaple)
+    }
+
+    #[test]
+    fn histogram_merge_aligns_buckets_positionally() {
+        // Observations that land in three distinct power-of-two buckets:
+        // 3 µs → bucket 1, 100 µs → bucket 6, 5 ms → bucket 12.
+        let mut a = LatencyHistogram::new();
+        a.record(3e-6);
+        a.record(100e-6);
+        let mut b = LatencyHistogram::new();
+        b.record(3e-6);
+        b.record(5e-3);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 4);
+        // The merge is positional: bucket-by-bucket sums, identical to
+        // recording the pooled observations directly.
+        let mut pooled = LatencyHistogram::new();
+        for s in [3e-6, 100e-6, 3e-6, 5e-3] {
+            pooled.record(s);
+        }
+        assert_eq!(merged.bucket_counts(), pooled.bucket_counts());
+        assert_eq!(merged, pooled);
+    }
+
+    #[test]
+    fn histogram_quantiles_after_merge_match_pooled_recording() {
+        // 90 fast observations in one histogram, 10 slow in another: the
+        // merged p50 must sit in the fast bucket and p99 in the slow one,
+        // exactly as if a single histogram had seen all 100.
+        let mut fast = LatencyHistogram::new();
+        for _ in 0..90 {
+            fast.record(10e-6);
+        }
+        let mut slow = LatencyHistogram::new();
+        for _ in 0..10 {
+            slow.record(50e-3);
+        }
+        let mut merged = fast.clone();
+        merged.merge(&slow);
+        let mut pooled = LatencyHistogram::new();
+        for _ in 0..90 {
+            pooled.record(10e-6);
+        }
+        for _ in 0..10 {
+            pooled.record(50e-3);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), pooled.quantile(q), "q={q}");
+        }
+        assert!(merged.p50() < 1e-3, "p50 must stay in the fast bucket");
+        assert!(merged.p99() > 1e-2, "p99 must reach the slow bucket");
+        // Merging an empty histogram is the identity.
+        let before = merged.clone();
+        merged.merge(&LatencyHistogram::new());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn histogram_bucket_counts_round_trip() {
+        let mut h = LatencyHistogram::new();
+        for s in [1e-6, 3e-6, 1e-4, 2e-2, 7.0] {
+            h.record(s);
+        }
+        let rebuilt = LatencyHistogram::from_bucket_counts(h.bucket_counts());
+        assert_eq!(rebuilt, h);
+        assert_eq!(rebuilt.count(), 5);
+        assert_eq!(LatencyHistogram::from_bucket_counts(&[]).count(), 0);
+    }
+
+    #[test]
+    fn server_stats_parallel_merge_sums_counters_and_maxes_walls() {
+        let mut a = ServerStats {
+            requests: 10,
+            batches: 4,
+            queries_received: 100,
+            union_queries: 90,
+            simulated_seconds: 2.0,
+            serve_wall_seconds: 1.0,
+            setup_wall_seconds: 0.5,
+            partition_build_seconds: 0.4,
+            replication_factor: 1.5,
+            updates: 2,
+            edges_inserted: 20,
+            edges_removed: 5,
+            delta_apply_seconds: 0.1,
+            delta_touched_partitions: 3,
+            workers: 1,
+            ..ServerStats::default()
+        };
+        a.latency.record(10e-6);
+        let mut b = ServerStats {
+            requests: 6,
+            batches: 6,
+            queries_received: 60,
+            union_queries: 60,
+            simulated_seconds: 3.0,
+            serve_wall_seconds: 0.8,
+            setup_wall_seconds: 0.7,
+            partition_build_seconds: 0.2,
+            replication_factor: 1.2,
+            updates: 2,
+            edges_inserted: 7,
+            edges_removed: 1,
+            delta_apply_seconds: 0.3,
+            delta_touched_partitions: 8,
+            workers: 1,
+            ..ServerStats::default()
+        };
+        b.latency.record(50e-3);
+        a.merge_parallel(&b);
+        assert_eq!(a.requests, 16);
+        assert_eq!(a.batches, 10);
+        assert_eq!(a.queries_received, 160);
+        assert_eq!(a.union_queries, 150);
+        assert_eq!(a.simulated_seconds, 3.0); // parallel: critical path
+        assert_eq!(a.serve_wall_seconds, 1.0);
+        assert_eq!(a.setup_wall_seconds, 0.7);
+        assert_eq!(a.partition_build_seconds, 0.4);
+        assert_eq!(a.replication_factor, 1.5);
+        assert_eq!(a.updates, 4);
+        assert_eq!(a.edges_inserted, 27);
+        assert_eq!(a.edges_removed, 6);
+        assert_eq!(a.delta_apply_seconds, 0.3);
+        assert_eq!(a.delta_touched_partitions, 8);
+        assert_eq!(a.workers, 2);
+        assert_eq!(a.latency.count(), 2);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! The OS-process shard transport: each shard is a child process
+//! speaking the wire protocol over its stdin/stdout pipes.
+//!
+//! The child side is [`child_main`] — a thin wrapper that runs
+//! [`super::runtime::serve_connection`] over the process's standard
+//! streams; the `snaple-shardd` binary is nothing but a call to it. The
+//! parent side is [`spawn_shard`], which locates the daemon binary
+//! ([`shardd_path`]), spawns it with piped streams, and hands the pipes
+//! to the router's writer/reader machinery.
+//!
+//! A dead child is detected exactly like a corrupt stream: the parent's
+//! reader hits EOF or a broken pipe mid-protocol, and the router turns
+//! that into [`crate::SnapleError::ShardFailed`] for every in-flight
+//! request routed to that shard.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+use super::runtime::serve_connection;
+
+/// Environment variable overriding where the `snaple-shardd` binary is
+/// found, checked before the `current_exe`-sibling heuristics.
+pub const SHARDD_ENV: &str = "SNAPLE_SHARDD";
+
+/// The shard daemon's binary name.
+pub const SHARDD_BIN: &str = "snaple-shardd";
+
+/// Runs the shard daemon over this process's stdin/stdout, returning the
+/// process exit code: `0` after a clean shutdown or peer close, `1` on a
+/// wire/transport error (which is also printed to stderr).
+///
+/// This is the entire body of the `snaple-shardd` binary.
+pub fn child_main() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match serve_connection(stdin.lock(), stdout.lock()) {
+        Ok(()) => 0,
+        Err(e) => {
+            let _ = writeln!(std::io::stderr(), "snaple-shardd: {e}");
+            1
+        }
+    }
+}
+
+/// Locates the `snaple-shardd` binary: the [`SHARDD_ENV`] environment
+/// variable wins; otherwise the binary is looked up next to the current
+/// executable, then in its parent directory (covering test binaries,
+/// which live one level down in `target/<profile>/deps/`).
+///
+/// # Errors
+///
+/// A human-readable message when no candidate exists on disk.
+pub fn shardd_path() -> Result<PathBuf, String> {
+    if let Ok(path) = std::env::var(SHARDD_ENV) {
+        let path = PathBuf::from(path);
+        if path.is_file() {
+            return Ok(path);
+        }
+        return Err(format!(
+            "{SHARDD_ENV} points to {}, which does not exist",
+            path.display()
+        ));
+    }
+    let exe =
+        std::env::current_exe().map_err(|e| format!("cannot locate current executable: {e}"))?;
+    let mut candidates = Vec::new();
+    if let Some(dir) = exe.parent() {
+        candidates.push(dir.join(SHARDD_BIN));
+        if let Some(parent) = dir.parent() {
+            candidates.push(parent.join(SHARDD_BIN));
+        }
+    }
+    for c in &candidates {
+        if c.is_file() {
+            return Ok(c.clone());
+        }
+    }
+    Err(format!(
+        "cannot find the {SHARDD_BIN} binary (searched {}); build it with \
+         `cargo build --bin {SHARDD_BIN}` or set {SHARDD_ENV}",
+        candidates
+            .iter()
+            .map(|c| c.display().to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ))
+}
+
+/// Spawns one shard daemon with piped stdin/stdout (stderr is inherited,
+/// so shard-side diagnostics reach the parent's terminal).
+///
+/// # Errors
+///
+/// A message when the spawn fails or a pipe is missing.
+pub fn spawn_shard(shardd: &Path) -> Result<(Child, ChildStdin, ChildStdout), String> {
+    let mut child = Command::new(shardd)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", shardd.display()))?;
+    let stdin = child
+        .stdin
+        .take()
+        .ok_or_else(|| "shard child has no stdin pipe".to_string())?;
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| "shard child has no stdout pipe".to_string())?;
+    Ok((child, stdin, stdout))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shardd_path_respects_missing_env_gracefully() {
+        // Whatever the environment, the resolver must return a typed
+        // result, never panic. (The binary itself may or may not be
+        // built when unit tests run.)
+        let _ = shardd_path();
+    }
+}

@@ -1,0 +1,906 @@
+//! The scatter-gather router: one serving front end over N shard
+//! runtimes.
+//!
+//! [`ShardRouter::run`] mirrors the scoped-run shape of
+//! [`ConcurrentServer::run`](crate::concurrent::ConcurrentServer::run):
+//! it stands the shard fleet up, hands the body a [`RouterHandle`], and
+//! tears the fleet down when the body returns, yielding the merged
+//! statistics. Requests **scatter**: each queried vertex is routed to
+//! the one shard owning its master partition
+//! ([`ShardAssignment::shard_of_vertex`]), so sub-queries are disjoint
+//! and the gathered rows union into exactly the rows a single-process
+//! server would produce. Updates **broadcast**: every shard applies the
+//! same delta as a shard-local epoch fork, keeping all snapshots
+//! identical.
+//!
+//! Shard death is a first-class outcome, not a hang: a broken pipe,
+//! EOF, or corrupt reply marks the shard dead, fails every in-flight
+//! request routed to it with [`SnapleError::ShardFailed`], rejects
+//! future requests touching it with the same error, and leaves
+//! [`RouterHandle::drain`] able to complete.
+
+use std::collections::HashMap;
+use std::io::{BufReader, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use snaple_gas::{ClusterSpec, DeltaStats, RunStats, ShardAssignment};
+use snaple_graph::{CsrGraph, GraphDelta, VertexId};
+
+use crate::error::SnapleError;
+use crate::predictor::Prediction;
+use crate::predictor_api::QuerySet;
+use crate::serve::ServerStats;
+
+use super::process;
+use super::runtime::{serve_connection, ChannelReader, ChannelWriter};
+use super::wire::{Reply, Request, ShardSpec, WireRow};
+
+/// How shard runtimes are hosted.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub enum ShardTransport {
+    /// Each shard is a thread in this process; frames travel over
+    /// channels. No extra processes, no serialization savings — the
+    /// frames are byte-for-byte the same as the process transport's.
+    #[default]
+    Threads,
+    /// Each shard is a `snaple-shardd` child process; frames travel over
+    /// stdin/stdout pipes. Full OS-level isolation: a crashing shard
+    /// cannot take the router down.
+    Processes,
+}
+
+/// Configuration of a [`ShardRouter`] deployment.
+#[derive(Clone, Debug, Default)]
+pub struct ShardOptions {
+    shards: usize,
+    transport: ShardTransport,
+    seed: Option<u64>,
+    shardd: Option<std::path::PathBuf>,
+}
+
+impl ShardOptions {
+    /// Default options: 1 shard, thread transport.
+    pub fn new() -> Self {
+        ShardOptions {
+            shards: 1,
+            ..ShardOptions::default()
+        }
+    }
+
+    /// Sets the number of shards. Validated against the cluster's
+    /// partition count by [`ShardRouter::run`]: zero shards or more
+    /// shards than partitions are rejected.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Selects the transport hosting the shard runtimes.
+    pub fn transport(mut self, transport: ShardTransport) -> Self {
+        self.transport = transport;
+        self
+    }
+
+    /// Overrides the seed of every request's randomized parts, matching
+    /// [`ConcurrentOptions::seed`](crate::concurrent::ConcurrentOptions::seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Overrides where the `snaple-shardd` binary is found (process
+    /// transport only); defaults to [`process::shardd_path`] resolution.
+    pub fn shardd_binary(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.shardd = Some(path.into());
+        self
+    }
+}
+
+/// What one [`ShardRouter::run`] produced: the body's return value plus
+/// the fleet's merged statistics.
+#[derive(Debug)]
+pub struct ShardOutcome<R> {
+    /// The body's return value.
+    pub value: R,
+    /// Merged statistics: router-level request/update counts, per-shard
+    /// latency histograms folded with
+    /// [`LatencyHistogram::merge`](crate::serve::LatencyHistogram::merge),
+    /// wall-clock maxima across the concurrently-serving shards.
+    pub stats: ServerStats,
+}
+
+// ---------------------------------------------------------------------------
+// Internal shared state.
+// ---------------------------------------------------------------------------
+
+/// One in-flight scattered request: filled in by reader threads as the
+/// involved shards answer.
+struct Slot {
+    state: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+struct SlotState {
+    /// Shard indices that have not answered yet.
+    waiting: Vec<usize>,
+    rows: Vec<WireRow>,
+    run_stats: Vec<RunStats>,
+    delta_stats: Vec<DeltaStats>,
+    num_vertices: u64,
+    error: Option<SnapleError>,
+    done: bool,
+}
+
+/// One shard's router-side connection: the frame writer (and, for the
+/// process transport, the child's handle for kill/reap).
+struct ShardConn {
+    writer: Mutex<Option<Box<dyn Write + Send>>>,
+    child: Mutex<Option<std::process::Child>>,
+}
+
+#[derive(Default)]
+struct Gauges {
+    outstanding: usize,
+    requests: usize,
+    queries_received: usize,
+    updates: usize,
+    edges_inserted: usize,
+    edges_removed: usize,
+}
+
+struct RouterShared {
+    conns: Vec<ShardConn>,
+    assignment: ShardAssignment,
+    /// The spec's partition seed — what master placement (and therefore
+    /// vertex→shard ownership) is derived from.
+    ownership_seed: u64,
+    next_id: AtomicU64,
+    epoch: AtomicU64,
+    pending: Mutex<HashMap<u64, Arc<Slot>>>,
+    gauges: Mutex<Gauges>,
+    idle_cv: Condvar,
+    /// Per-shard death notice; `Some` permanently fails routing there.
+    dead: Mutex<Vec<Option<String>>>,
+    /// Per-shard prepare outcome (`Ok(num_vertices)` or the error text).
+    ready: Mutex<Vec<Option<Result<u64, String>>>>,
+    ready_cv: Condvar,
+    /// Per-shard final statistics, delivered on shutdown.
+    final_stats: Mutex<Vec<Option<ServerStats>>>,
+    /// Current vertex count of the served epoch (grows with deltas).
+    num_vertices: Mutex<u64>,
+}
+
+impl RouterShared {
+    fn shard_of(&self, vertex: u32) -> usize {
+        self.assignment.shard_of_vertex(self.ownership_seed, vertex)
+    }
+
+    /// Marks shard `i` dead: future routes there fail fast, every
+    /// pending request waiting on it fails now, and anyone blocked on
+    /// readiness or drain is woken. Idempotent.
+    fn mark_dead(&self, i: usize, message: &str) {
+        {
+            let mut dead = self.dead.lock().expect("dead lock");
+            if dead[i].is_some() {
+                return;
+            }
+            dead[i] = Some(message.to_string());
+        }
+        // Unblock a prepare waiting on this shard.
+        {
+            let mut ready = self.ready.lock().expect("ready lock");
+            if ready[i].is_none() {
+                ready[i] = Some(Err(message.to_string()));
+            }
+            self.ready_cv.notify_all();
+        }
+        // Close our writer so nothing else is sent there.
+        *self.conns[i].writer.lock().expect("writer lock") = None;
+        // Fail every slot waiting on this shard.
+        let failed: Vec<Arc<Slot>> = {
+            let mut pending = self.pending.lock().expect("pending lock");
+            let ids: Vec<u64> = pending
+                .iter()
+                .filter(|(_, slot)| slot.state.lock().expect("slot lock").waiting.contains(&i))
+                .map(|(&id, _)| id)
+                .collect();
+            ids.iter().filter_map(|id| pending.remove(id)).collect()
+        };
+        let n_failed = failed.len();
+        for slot in failed {
+            let mut state = slot.state.lock().expect("slot lock");
+            state.error = Some(SnapleError::ShardFailed {
+                shard: i,
+                message: message.to_string(),
+            });
+            state.done = true;
+            slot.cv.notify_all();
+        }
+        if n_failed > 0 {
+            let mut gauges = self.gauges.lock().expect("gauges lock");
+            gauges.outstanding -= n_failed.min(gauges.outstanding);
+            self.idle_cv.notify_all();
+        }
+    }
+
+    /// Records shard `i`'s answer for `request_id`; completes the slot
+    /// when it was the last shard owing a reply.
+    fn complete(
+        &self,
+        i: usize,
+        request_id: u64,
+        fill: impl FnOnce(&mut SlotState),
+        error: Option<SnapleError>,
+    ) {
+        let slot = {
+            let pending = self.pending.lock().expect("pending lock");
+            match pending.get(&request_id) {
+                Some(slot) => Arc::clone(slot),
+                None => return, // already failed via mark_dead
+            }
+        };
+        let finished = {
+            let mut state = slot.state.lock().expect("slot lock");
+            state.waiting.retain(|&s| s != i);
+            if let Some(e) = error {
+                state.error = Some(e);
+                state.done = true;
+            } else {
+                fill(&mut state);
+                if state.waiting.is_empty() {
+                    state.done = true;
+                }
+            }
+            if state.done {
+                slot.cv.notify_all();
+            }
+            state.done
+        };
+        if finished {
+            self.pending
+                .lock()
+                .expect("pending lock")
+                .remove(&request_id);
+            let mut gauges = self.gauges.lock().expect("gauges lock");
+            gauges.outstanding = gauges.outstanding.saturating_sub(1);
+            self.idle_cv.notify_all();
+        }
+    }
+
+    fn send_to(&self, i: usize, frame: &[u8]) -> Result<(), SnapleError> {
+        let mut writer = self.conns[i].writer.lock().expect("writer lock");
+        match writer.as_mut() {
+            Some(w) => {
+                if let Err(e) = w.write_all(frame).and_then(|()| w.flush()) {
+                    drop(writer);
+                    self.mark_dead(i, &format!("write failed: {e}"));
+                    return Err(self.dead_error(i));
+                }
+                Ok(())
+            }
+            None => {
+                // The stream was closed (shard killed or shut down)
+                // before the reader noticed — mark it dead now so no
+                // slot is left waiting on a shard nothing will answer
+                // for. Idempotent when the reader got there first.
+                drop(writer);
+                self.mark_dead(i, "shard connection closed");
+                Err(self.dead_error(i))
+            }
+        }
+    }
+
+    fn dead_error(&self, i: usize) -> SnapleError {
+        let dead = self.dead.lock().expect("dead lock");
+        SnapleError::ShardFailed {
+            shard: i,
+            message: dead[i]
+                .clone()
+                .unwrap_or_else(|| "shard unavailable".to_string()),
+        }
+    }
+}
+
+/// The reader loop: one thread per shard, decoding replies and routing
+/// them into the pending map. Exits on EOF; any transport or protocol
+/// error marks the shard dead.
+fn reader_loop<R: Read>(shared: &RouterShared, i: usize, mut stream: R) {
+    let mut payload = Vec::new();
+    loop {
+        let tag = match super::wire::read_frame(&mut stream, &mut payload) {
+            Ok(tag) => tag,
+            Err(super::wire::WireError::Closed) => {
+                // Clean close: only a failure if something still waits.
+                shared.mark_dead(i, "shard connection closed");
+                return;
+            }
+            Err(e) => {
+                shared.mark_dead(i, &e.to_string());
+                return;
+            }
+        };
+        let reply = match Reply::decode(tag, &payload) {
+            Ok(reply) => reply,
+            Err(e) => {
+                shared.mark_dead(i, &format!("corrupt reply: {e}"));
+                return;
+            }
+        };
+        match reply {
+            Reply::Ready { num_vertices } => {
+                {
+                    let mut nv = shared.num_vertices.lock().expect("nv lock");
+                    *nv = (*nv).max(num_vertices);
+                }
+                let mut ready = shared.ready.lock().expect("ready lock");
+                ready[i] = Some(Ok(num_vertices));
+                shared.ready_cv.notify_all();
+            }
+            Reply::Rows {
+                request_id,
+                num_vertices,
+                rows,
+                stats,
+            } => {
+                shared.complete(
+                    i,
+                    request_id,
+                    |state| {
+                        state.rows.extend(rows);
+                        state.run_stats.push(stats);
+                        state.num_vertices = state.num_vertices.max(num_vertices);
+                    },
+                    None,
+                );
+            }
+            Reply::DeltaOk {
+                request_id,
+                num_vertices,
+                stats,
+            } => {
+                {
+                    let mut nv = shared.num_vertices.lock().expect("nv lock");
+                    *nv = (*nv).max(num_vertices);
+                }
+                shared.complete(
+                    i,
+                    request_id,
+                    |state| {
+                        state.delta_stats.push(stats);
+                        state.num_vertices = state.num_vertices.max(num_vertices);
+                    },
+                    None,
+                );
+            }
+            Reply::Err {
+                request_id,
+                message,
+            } => {
+                if request_id == 0 {
+                    // Prepare-time failure.
+                    let mut ready = shared.ready.lock().expect("ready lock");
+                    if ready[i].is_none() {
+                        ready[i] = Some(Err(message));
+                    }
+                    shared.ready_cv.notify_all();
+                } else {
+                    shared.complete(
+                        i,
+                        request_id,
+                        |_| {},
+                        Some(SnapleError::InvalidConfig(message)),
+                    );
+                }
+            }
+            Reply::Stats { stats } => {
+                shared.final_stats.lock().expect("stats lock")[i] = Some(*stats);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle and pending result.
+// ---------------------------------------------------------------------------
+
+/// The scatter-gather front end the [`ShardRouter::run`] body serves
+/// through. Cheap to share across threads (`&self` methods only).
+pub struct RouterHandle<'r> {
+    shared: &'r RouterShared,
+}
+
+/// A submitted, not yet gathered, prediction — the shard-router analogue
+/// of [`PendingPrediction`](crate::concurrent::PendingPrediction).
+pub struct PendingRows {
+    inner: PendingInner,
+}
+
+enum PendingInner {
+    /// No shard was involved (empty query set): answer immediately.
+    Empty {
+        num_vertices: u64,
+    },
+    Waiting {
+        slot: Arc<Slot>,
+    },
+}
+
+impl PendingRows {
+    /// Blocks until every involved shard answered, then merges the
+    /// gathered rows into one full-width [`Prediction`] whose
+    /// statistics are the shards' [`RunStats`] folded with
+    /// [`RunStats::merge_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::ShardFailed`] if an involved shard died;
+    /// [`SnapleError::InvalidConfig`] if a shard rejected its
+    /// sub-request (the original error's text, flattened).
+    pub fn wait(self) -> Result<Prediction, SnapleError> {
+        let slot = match self.inner {
+            PendingInner::Empty { num_vertices } => {
+                let rows = vec![Vec::new(); num_vertices as usize];
+                return Ok(Prediction::from_parts(rows, RunStats::default()));
+            }
+            PendingInner::Waiting { slot } => slot,
+        };
+        let state = {
+            let guard = slot.state.lock().expect("slot lock");
+            let mut guard = slot.cv.wait_while(guard, |s| !s.done).expect("slot wait");
+            std::mem::replace(
+                &mut *guard,
+                SlotState {
+                    waiting: Vec::new(),
+                    rows: Vec::new(),
+                    run_stats: Vec::new(),
+                    delta_stats: Vec::new(),
+                    num_vertices: 0,
+                    error: None,
+                    done: true,
+                },
+            )
+        };
+        if let Some(e) = state.error {
+            return Err(e);
+        }
+        let mut rows = vec![Vec::new(); state.num_vertices as usize];
+        for (vertex, preds) in state.rows {
+            let preds: Vec<(VertexId, f32)> = preds
+                .into_iter()
+                .map(|(v, s)| (VertexId::new(v), s))
+                .collect();
+            if let Some(row) = rows.get_mut(vertex as usize) {
+                *row = preds;
+            }
+        }
+        let stats = RunStats::merged_parallel(state.run_stats.iter()).unwrap_or_default();
+        Ok(Prediction::from_parts(rows, stats))
+    }
+}
+
+impl RouterHandle<'_> {
+    /// Scatters one query set across the owning shards and returns the
+    /// pending gather; does not block on execution, so submissions
+    /// pipeline across shards.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::ShardFailed`] immediately if a shard the request
+    /// routes to is already dead.
+    pub fn submit(&self, queries: &QuerySet) -> Result<PendingRows, SnapleError> {
+        let shards = self.shared.conns.len();
+        let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for q in queries.iter() {
+            buckets[self.shared.shard_of(q.as_u32())].push(q.as_u32());
+        }
+        let involved: Vec<usize> = (0..shards).filter(|&i| !buckets[i].is_empty()).collect();
+        {
+            let mut gauges = self.shared.gauges.lock().expect("gauges lock");
+            gauges.requests += 1;
+            gauges.queries_received += queries.len();
+        }
+        if involved.is_empty() {
+            let num_vertices = *self.shared.num_vertices.lock().expect("nv lock");
+            return Ok(PendingRows {
+                inner: PendingInner::Empty { num_vertices },
+            });
+        }
+        // Fail fast when a target shard is known dead.
+        {
+            let dead = self.shared.dead.lock().expect("dead lock");
+            for &i in &involved {
+                if dead[i].is_some() {
+                    return Err(SnapleError::ShardFailed {
+                        shard: i,
+                        message: dead[i].clone().unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        let request_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        // Encode everything before registering the slot, so an encoding
+        // failure cannot leave a pending entry behind (which would stall
+        // `drain` forever).
+        let mut frames = Vec::with_capacity(involved.len());
+        for &i in &involved {
+            let frame = Request::Predict {
+                request_id,
+                queries: std::mem::take(&mut buckets[i]),
+            }
+            .encode()
+            .map_err(|e| SnapleError::InvalidConfig(format!("encoding sub-request: {e}")))?;
+            frames.push((i, frame));
+        }
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState {
+                waiting: involved,
+                rows: Vec::new(),
+                run_stats: Vec::new(),
+                delta_stats: Vec::new(),
+                num_vertices: 0,
+                error: None,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            self.shared
+                .pending
+                .lock()
+                .expect("pending lock")
+                .insert(request_id, Arc::clone(&slot));
+            self.shared.gauges.lock().expect("gauges lock").outstanding += 1;
+        }
+        for (i, frame) in &frames {
+            // A failed send marks the shard dead, which fails this very
+            // slot — wait() will surface the ShardFailed error.
+            let _ = self.shared.send_to(*i, frame);
+        }
+        Ok(PendingRows {
+            inner: PendingInner::Waiting { slot },
+        })
+    }
+
+    /// Scatters, gathers, and merges one request: `submit(...).wait()`.
+    ///
+    /// # Errors
+    ///
+    /// As [`RouterHandle::submit`] and [`PendingRows::wait`].
+    pub fn serve(&self, queries: &QuerySet) -> Result<Prediction, SnapleError> {
+        self.submit(queries)?.wait()
+    }
+
+    /// Broadcasts a graph delta to every shard and waits until all of
+    /// them published the post-delta epoch, so subsequent requests on
+    /// this handle see the update on every shard.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::ShardFailed`] if any shard is dead or dies during
+    /// the update; [`SnapleError::InvalidConfig`] if a shard rejects the
+    /// delta.
+    pub fn apply_update(&self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError> {
+        let shards = self.shared.conns.len();
+        let involved: Vec<usize> = (0..shards).collect();
+        {
+            let dead = self.shared.dead.lock().expect("dead lock");
+            for &i in &involved {
+                if dead[i].is_some() {
+                    return Err(SnapleError::ShardFailed {
+                        shard: i,
+                        message: dead[i].clone().unwrap_or_default(),
+                    });
+                }
+            }
+        }
+        let ops: Vec<(u32, u32, f32, bool)> = delta.ops().collect();
+        let request_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let frame = Request::Delta { request_id, ops }
+            .encode()
+            .map_err(|e| SnapleError::InvalidConfig(format!("encoding delta: {e}")))?;
+        let slot = Arc::new(Slot {
+            state: Mutex::new(SlotState {
+                waiting: involved.clone(),
+                rows: Vec::new(),
+                run_stats: Vec::new(),
+                delta_stats: Vec::new(),
+                num_vertices: 0,
+                error: None,
+                done: false,
+            }),
+            cv: Condvar::new(),
+        });
+        {
+            self.shared
+                .pending
+                .lock()
+                .expect("pending lock")
+                .insert(request_id, Arc::clone(&slot));
+            self.shared.gauges.lock().expect("gauges lock").outstanding += 1;
+        }
+        for &i in &involved {
+            let _ = self.shared.send_to(i, &frame);
+        }
+        let (error, all) = {
+            let guard = slot.state.lock().expect("slot lock");
+            let mut guard = slot.cv.wait_while(guard, |s| !s.done).expect("slot wait");
+            (guard.error.take(), std::mem::take(&mut guard.delta_stats))
+        };
+        if let Some(e) = error {
+            return Err(e);
+        }
+        // Every shard applied the same delta to an identical snapshot:
+        // effect counters agree, wall times overlap — report the
+        // logical counts once and the slowest shard's wall.
+        let mut merged = all.first().cloned().unwrap_or_default();
+        for s in &all[1..] {
+            merged.touched_partitions = merged.touched_partitions.max(s.touched_partitions);
+            merged.apply_wall_seconds = merged.apply_wall_seconds.max(s.apply_wall_seconds);
+        }
+        {
+            let mut gauges = self.shared.gauges.lock().expect("gauges lock");
+            gauges.updates += 1;
+            gauges.edges_inserted += merged.inserted_edges;
+            gauges.edges_removed += merged.removed_edges;
+        }
+        self.shared.epoch.fetch_add(1, Ordering::Release);
+        Ok(merged)
+    }
+
+    /// The number of delta epochs published so far (0 = the initial
+    /// prepared snapshot).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::Acquire)
+    }
+
+    /// Blocks until no scattered request is outstanding — including when
+    /// shards died: their in-flight requests fail, they never linger.
+    pub fn drain(&self) {
+        let gauges = self.shared.gauges.lock().expect("gauges lock");
+        let _unused = self
+            .shared
+            .idle_cv
+            .wait_while(gauges, |g| g.outstanding > 0)
+            .expect("drain wait");
+    }
+
+    /// Fault-injection hook: hard-kills shard `i` — SIGKILL to the child
+    /// process (process transport) plus closing the router's command
+    /// stream — *without* telling the router's bookkeeping. The router
+    /// must **detect** the death through its reader (EOF / broken
+    /// pipe), fail anything pending on the shard with
+    /// [`SnapleError::ShardFailed`], and keep [`RouterHandle::drain`]
+    /// able to complete; tests assert exactly that.
+    pub fn kill_shard(&self, i: usize) {
+        if let Some(child) = self.shared.conns[i]
+            .child
+            .lock()
+            .expect("child lock")
+            .as_mut()
+        {
+            let _ = child.kill();
+        }
+        *self.shared.conns[i].writer.lock().expect("writer lock") = None;
+    }
+
+    /// Which shard owns `vertex` — the scatter routing function, exposed
+    /// for tests and diagnostics.
+    pub fn shard_of(&self, vertex: u32) -> usize {
+        self.shared.shard_of(vertex)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The router runner.
+// ---------------------------------------------------------------------------
+
+/// The shard-per-process (or per-thread) serving deployment;
+/// [`ShardRouter::run`] is the entry point.
+pub struct ShardRouter;
+
+impl ShardRouter {
+    /// Stands up `options.shards()` shard runtimes, prepares each on its
+    /// own copy of `graph`, runs `body` against the scatter-gather
+    /// [`RouterHandle`], then shuts the fleet down and returns the
+    /// merged statistics.
+    ///
+    /// Rows served through the handle are **bit-identical** to a
+    /// single-process [`ConcurrentServer`](crate::concurrent::ConcurrentServer)
+    /// serving the same spec, graph, and seed: sub-queries run as masked
+    /// runs (exact by construction) and partition disjointly across
+    /// shards.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::Engine`] for unusable shard counts (zero, or more
+    /// shards than the cluster has partitions);
+    /// [`SnapleError::InvalidConfig`] if the graph cannot be serialized
+    /// or a shard rejects the spec; [`SnapleError::ShardFailed`] if a
+    /// shard dies during preparation.
+    pub fn run<R>(
+        spec: &ShardSpec,
+        graph: &CsrGraph,
+        cluster: &ClusterSpec,
+        options: ShardOptions,
+        body: impl FnOnce(&RouterHandle<'_>) -> R,
+    ) -> Result<ShardOutcome<R>, SnapleError> {
+        let assignment = ShardAssignment::new(cluster.nodes, options.shards)?;
+        let shards = options.shards;
+        let setup_started = Instant::now();
+        let mut blob = Vec::new();
+        snaple_graph::io::write_binary(graph, &mut blob)
+            .map_err(|e| SnapleError::InvalidConfig(format!("serializing shard graph: {e}")))?;
+
+        // Stand up the transports.
+        let mut conns = Vec::with_capacity(shards);
+        let mut reply_streams: Vec<Box<dyn Read + Send>> = Vec::with_capacity(shards);
+        let mut shard_threads = Vec::new();
+        match options.transport {
+            ShardTransport::Threads => {
+                for _ in 0..shards {
+                    let (cmd_tx, cmd_rx) = mpsc::channel::<Vec<u8>>();
+                    let (reply_tx, reply_rx) = mpsc::channel::<Vec<u8>>();
+                    shard_threads.push(std::thread::spawn(move || {
+                        // A transport error is already surfaced router-side
+                        // as a dead shard; nothing to do with it here.
+                        let _ = serve_connection(
+                            ChannelReader::new(cmd_rx),
+                            ChannelWriter::new(reply_tx),
+                        );
+                    }));
+                    conns.push(ShardConn {
+                        writer: Mutex::new(Some(
+                            Box::new(ChannelWriter::new(cmd_tx)) as Box<dyn Write + Send>
+                        )),
+                        child: Mutex::new(None),
+                    });
+                    reply_streams.push(Box::new(ChannelReader::new(reply_rx)));
+                }
+            }
+            ShardTransport::Processes => {
+                let shardd = match &options.shardd {
+                    Some(path) => path.clone(),
+                    None => process::shardd_path().map_err(SnapleError::InvalidConfig)?,
+                };
+                for i in 0..shards {
+                    let (child, stdin, stdout) =
+                        process::spawn_shard(&shardd).map_err(|e| SnapleError::ShardFailed {
+                            shard: i,
+                            message: e,
+                        })?;
+                    conns.push(ShardConn {
+                        writer: Mutex::new(Some(Box::new(stdin) as Box<dyn Write + Send>)),
+                        child: Mutex::new(Some(child)),
+                    });
+                    reply_streams.push(Box::new(BufReader::new(stdout)));
+                }
+            }
+        }
+
+        let shared = RouterShared {
+            conns,
+            assignment,
+            ownership_seed: spec.seed(),
+            next_id: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
+            pending: Mutex::new(HashMap::new()),
+            gauges: Mutex::new(Gauges::default()),
+            idle_cv: Condvar::new(),
+            dead: Mutex::new(vec![None; shards]),
+            ready: Mutex::new(vec![None; shards]),
+            ready_cv: Condvar::new(),
+            final_stats: Mutex::new(vec![None; shards]),
+            num_vertices: Mutex::new(graph.num_vertices() as u64),
+        };
+
+        let run_result = std::thread::scope(|scope| {
+            for (i, stream) in reply_streams.into_iter().enumerate() {
+                let shared = &shared;
+                scope.spawn(move || reader_loop(shared, i, stream));
+            }
+            // Whatever happens below — including panics in `body` — the
+            // guard closes every command stream on the way out, which
+            // lets shards and reader threads exit and the scope join.
+            let _close = CloseConnsGuard { shared: &shared };
+
+            // Scatter the Prepare frames.
+            for i in 0..shards {
+                let frame = Request::Prepare(Box::new(super::wire::PrepareShard {
+                    shard: i as u32,
+                    num_shards: shards as u32,
+                    seed_override: options.seed,
+                    spec: spec.clone(),
+                    cluster: cluster.clone(),
+                    graph_blob: blob.clone(),
+                }))
+                .encode()
+                .map_err(|e| SnapleError::InvalidConfig(format!("encoding shard prepare: {e}")))?;
+                let _ = shared.send_to(i, &frame);
+            }
+            // Gather readiness.
+            {
+                let ready = shared.ready.lock().expect("ready lock");
+                let ready = shared
+                    .ready_cv
+                    .wait_while(ready, |r| r.iter().any(Option::is_none))
+                    .expect("ready wait");
+                for (i, r) in ready.iter().enumerate() {
+                    if let Some(Err(message)) = r {
+                        return Err(SnapleError::ShardFailed {
+                            shard: i,
+                            message: message.clone(),
+                        });
+                    }
+                }
+            }
+            let setup_wall_seconds = setup_started.elapsed().as_secs_f64();
+
+            let serve_started = Instant::now();
+            let handle = RouterHandle { shared: &shared };
+            let value = body(&handle);
+            handle.drain();
+            // Orderly shutdown: ask each live shard for its stats...
+            let shutdown = Request::Shutdown.encode().expect("shutdown frame encodes");
+            for i in 0..shards {
+                let _ = shared.send_to(i, &shutdown);
+            }
+            // ...then close the command streams (via the guard on scope
+            // exit); readers drain the Stats replies and exit on EOF.
+            Ok((value, setup_wall_seconds, serve_started))
+        });
+        let (value, setup_wall_seconds, serve_started) = run_result?;
+        let serve_wall_seconds = serve_started.elapsed().as_secs_f64();
+
+        // Reap process-transport children.
+        for conn in &shared.conns {
+            if let Some(mut child) = conn.child.lock().expect("child lock").take() {
+                let _ = child.wait();
+            }
+        }
+        for t in shard_threads {
+            let _ = t.join();
+        }
+
+        // Merge the fleet's statistics.
+        let mut stats = ServerStats::default();
+        for shard_stats in shared
+            .final_stats
+            .lock()
+            .expect("stats lock")
+            .iter()
+            .flatten()
+        {
+            stats.merge_parallel(shard_stats);
+        }
+        let gauges = shared.gauges.into_inner().expect("gauges lock");
+        stats.requests = gauges.requests;
+        stats.batches = gauges.requests;
+        stats.queries_received = gauges.queries_received;
+        stats.updates = gauges.updates;
+        stats.edges_inserted = gauges.edges_inserted;
+        stats.edges_removed = gauges.edges_removed;
+        stats.setup_wall_seconds = setup_wall_seconds;
+        stats.serve_wall_seconds = serve_wall_seconds;
+        stats.workers = shards;
+        Ok(ShardOutcome { value, stats })
+    }
+}
+
+/// Closes every shard command stream when dropped, so shards see EOF,
+/// exit, and let the reader threads (and the thread scope) finish — the
+/// teardown path shared by normal returns, setup errors, and body
+/// panics.
+struct CloseConnsGuard<'r> {
+    shared: &'r RouterShared,
+}
+
+impl Drop for CloseConnsGuard<'_> {
+    fn drop(&mut self) {
+        for conn in &self.shared.conns {
+            *conn.writer.lock().expect("writer lock") = None;
+        }
+    }
+}

@@ -76,15 +76,17 @@ pub mod error;
 pub mod partition;
 pub mod program;
 pub mod programs;
+pub mod shard;
 pub mod size;
 pub mod stats;
 
 pub use cluster::{ClusterSpec, NodeId};
 pub use cost::CostModel;
 pub use deploy::{DeltaStats, Deployment};
-pub use engine::{host_parallelism, Engine};
+pub use engine::{host_parallelism, Engine, GatherCodec, ShardSyncStats, U64Codec};
 pub use error::EngineError;
-pub use partition::{PartitionStrategy, PartitionedGraph};
+pub use partition::{master_node, PartitionStrategy, PartitionedGraph};
 pub use program::{GasStep, GatherCtx, WorkTally};
+pub use shard::ShardAssignment;
 pub use size::SizeEstimate;
-pub use stats::{RunStats, StepStats};
+pub use stats::{NodeStats, RunStats, StepStats};

@@ -89,7 +89,7 @@ impl PartitionedGraph {
         }
         let n = graph.num_vertices();
         let master: Vec<NodeId> = (0..n as u32)
-            .map(|u| NodeId::new((hash1(seed ^ MASTER_SALT, u as u64) % num_nodes as u64) as u16))
+            .map(|u| master_node(seed, num_nodes, u))
             .collect();
         let mut presence: Vec<u64> = (0..n).map(|u| 1u64 << master[u].index()).collect();
         let mut node_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); num_nodes];
@@ -191,8 +191,7 @@ impl PartitionedGraph {
     /// `seed` must be the seed the partition was built with.
     pub fn ensure_vertices(&mut self, n: usize, seed: u64) {
         for u in self.master.len() as u32..n as u32 {
-            let node =
-                NodeId::new((hash1(seed ^ MASTER_SALT, u as u64) % self.num_nodes as u64) as u16);
+            let node = master_node(seed, self.num_nodes, u);
             self.master.push(node);
             self.presence.push(1u64 << node.index());
         }
@@ -411,6 +410,18 @@ fn splice_list(
 
 /// Salt separating master assignment from edge placement hashing.
 const MASTER_SALT: u64 = 0xAB5E;
+
+/// The node holding the master replica of `vertex` in any partition built
+/// over `num_nodes` nodes with `seed` — the pure placement function both
+/// [`PartitionedGraph::build`] and [`PartitionedGraph::ensure_vertices`]
+/// apply.
+///
+/// Exposed so layers that route work by master ownership (the shard
+/// router) can compute placement without holding a partition — including
+/// for vertices a future delta will introduce.
+pub fn master_node(seed: u64, num_nodes: usize, vertex: u32) -> NodeId {
+    NodeId::new((hash1(seed ^ MASTER_SALT, vertex as u64) % num_nodes as u64) as u16)
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,186 @@
+//! Partition→shard assignment for sharded deployments.
+//!
+//! A *shard* is an isolated runtime (a thread group or an OS process)
+//! owning a contiguous block of the deployment's vertex-cut partitions.
+//! Vertex ownership follows master placement: a vertex belongs to the
+//! shard that owns the partition holding its master replica, so the
+//! assignment composes with [`master_node`]
+//! into a pure `vertex → shard` routing function — computable without a
+//! partition in hand, stable under delta-driven vertex growth (grown
+//! vertices are master-placed by the same salted hash), and therefore
+//! usable by a router process that never builds the graph itself.
+
+use crate::error::EngineError;
+use crate::partition::master_node;
+use crate::NodeId;
+
+/// Maps a deployment's vertex-cut partitions onto `num_shards` shards as
+/// contiguous, near-equal blocks (sizes differ by at most one).
+///
+/// ```
+/// use snaple_gas::ShardAssignment;
+/// let a = ShardAssignment::new(10, 4).unwrap();
+/// assert_eq!(a.partitions_of(0), 0..3); // first blocks take the remainder
+/// assert_eq!(a.partitions_of(3), 8..10);
+/// assert_eq!(a.shard_of_partition(7), 2);
+/// ```
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ShardAssignment {
+    num_partitions: usize,
+    num_shards: usize,
+}
+
+impl ShardAssignment {
+    /// Creates an assignment of `num_partitions` partitions to
+    /// `num_shards` shards.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when either count is zero or there
+    /// are more shards than partitions (a shard owning no partitions
+    /// would own no vertices and serve nothing).
+    pub fn new(num_partitions: usize, num_shards: usize) -> Result<Self, EngineError> {
+        if num_partitions == 0 {
+            return Err(EngineError::InvalidConfig(
+                "shard assignment needs at least one partition".to_owned(),
+            ));
+        }
+        if num_shards == 0 {
+            return Err(EngineError::InvalidConfig(
+                "shard count must be at least 1".to_owned(),
+            ));
+        }
+        if num_shards > num_partitions {
+            return Err(EngineError::InvalidConfig(format!(
+                "shard count {num_shards} exceeds the partition count {num_partitions}; \
+                 every shard must own at least one partition"
+            )));
+        }
+        Ok(ShardAssignment {
+            num_partitions,
+            num_shards,
+        })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Number of partitions distributed across the shards.
+    pub fn num_partitions(&self) -> usize {
+        self.num_partitions
+    }
+
+    /// The contiguous partition block owned by `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn partitions_of(&self, shard: usize) -> std::ops::Range<usize> {
+        assert!(shard < self.num_shards, "shard {shard} out of range");
+        let base = self.num_partitions / self.num_shards;
+        let rem = self.num_partitions % self.num_shards;
+        let start = shard * base + shard.min(rem);
+        let len = base + usize::from(shard < rem);
+        start..start + len
+    }
+
+    /// The shard owning partition `partition`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partition` is out of range.
+    pub fn shard_of_partition(&self, partition: usize) -> usize {
+        assert!(
+            partition < self.num_partitions,
+            "partition {partition} out of range"
+        );
+        let base = self.num_partitions / self.num_shards;
+        let rem = self.num_partitions % self.num_shards;
+        let big = rem * (base + 1); // partitions covered by the larger blocks
+        if partition < big {
+            partition / (base + 1)
+        } else {
+            rem + (partition - big) / base
+        }
+    }
+
+    /// The shard owning `vertex`: the shard of the partition holding the
+    /// vertex's master replica under a partition built with `seed` over
+    /// this assignment's partition count.
+    pub fn shard_of_vertex(&self, seed: u64, vertex: u32) -> usize {
+        self.shard_of_partition(master_node(seed, self.num_partitions, vertex).index())
+    }
+
+    /// The shard owning `node`'s partition (convenience over
+    /// [`ShardAssignment::shard_of_partition`]).
+    pub fn shard_of_node(&self, node: NodeId) -> usize {
+        self.shard_of_partition(node.index())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_contiguous_and_cover_every_partition() {
+        for parts in 1..=20usize {
+            for shards in 1..=parts {
+                let a = ShardAssignment::new(parts, shards).unwrap();
+                let mut covered = Vec::new();
+                for s in 0..shards {
+                    let r = a.partitions_of(s);
+                    assert!(!r.is_empty(), "{parts}p/{shards}s shard {s} empty");
+                    for p in r {
+                        assert_eq!(a.shard_of_partition(p), s, "{parts}p/{shards}s");
+                        covered.push(p);
+                    }
+                }
+                assert_eq!(covered, (0..parts).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        let a = ShardAssignment::new(13, 5).unwrap();
+        let sizes: Vec<usize> = (0..5).map(|s| a.partitions_of(s).len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 13);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3), "{sizes:?}");
+    }
+
+    #[test]
+    fn vertex_ownership_follows_master_placement() {
+        let a = ShardAssignment::new(8, 3).unwrap();
+        for v in 0..500u32 {
+            let owner = a.shard_of_vertex(42, v);
+            let master = master_node(42, 8, v);
+            assert_eq!(owner, a.shard_of_node(master), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn one_shard_owns_everything() {
+        let a = ShardAssignment::new(6, 1).unwrap();
+        assert_eq!(a.partitions_of(0), 0..6);
+        for v in 0..100 {
+            assert_eq!(a.shard_of_vertex(7, v), 0);
+        }
+    }
+
+    #[test]
+    fn invalid_shapes_are_rejected() {
+        assert!(matches!(
+            ShardAssignment::new(0, 1),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardAssignment::new(4, 0),
+            Err(EngineError::InvalidConfig(_))
+        ));
+        let err = ShardAssignment::new(4, 5).unwrap_err();
+        assert!(err.to_string().contains("exceeds the partition count"));
+    }
+}

@@ -97,6 +97,14 @@ impl GraphDelta {
         self.ops.is_empty()
     }
 
+    /// Iterates the queued operations as `(u, v, weight, is_insert)` in
+    /// arrival order — the exact sequence a serializer must preserve for
+    /// a decoded delta to resolve identically (last-wins dedup is order
+    /// sensitive). Removals carry weight `0.0`.
+    pub fn ops(&self) -> impl Iterator<Item = (u32, u32, f32, bool)> + '_ {
+        self.ops.iter().copied()
+    }
+
     /// Resolves the batch against `base` into its effective overlay:
     /// deduplicated (last operation per pair wins), self-loop-free, with
     /// no-op insertions (edge already present) and no-op removals (edge
@@ -652,6 +660,25 @@ mod tests {
         let g2 = g.compact(&d);
         assert!(!g2.is_weighted());
         assert_eq!(g2.edge_weight(v(1), v(2)), Some(1.0));
+    }
+
+    #[test]
+    fn ops_iterator_round_trips_a_delta() {
+        let mut d = GraphDelta::new();
+        d.insert(0, 1).insert_weighted(2, 3, 0.5).remove(0, 1);
+        let mut copy = GraphDelta::new();
+        for (u, v, w, is_insert) in d.ops() {
+            if is_insert {
+                copy.insert_weighted(u, v, w);
+            } else {
+                copy.remove(u, v);
+            }
+        }
+        assert_eq!(copy.len(), d.len());
+        assert_eq!(d.ops().collect::<Vec<_>>(), copy.ops().collect::<Vec<_>>());
+        // Arrival order is preserved: the remove still cancels the insert.
+        let g = CsrGraph::from_edges(4, &[]);
+        assert_eq!(copy.resolve(&g).num_inserted(), 1);
     }
 
     #[test]

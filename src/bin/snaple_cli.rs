@@ -34,6 +34,7 @@ use std::process::exit;
 
 use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer, PendingPrediction};
 use snaple::core::serve::Server;
+use snaple::core::shard::{ShardOptions, ShardRouter, ShardSpec, ShardTransport};
 use snaple::core::{
     ExecuteRequest, GraphDelta, NamedScore, PlanConfig, PredictRequest, Predictor, PrepareRequest,
     QuerySet, Registry, ScorePlan, Snaple, SnapleConfig,
@@ -93,6 +94,8 @@ struct Options {
     request_count: Option<usize>,
     request_size: usize,
     workers: usize,
+    shards: Option<usize>,
+    shard_procs: bool,
 }
 
 impl Options {
@@ -163,6 +166,8 @@ impl Options {
                     o.request_size = parse_num(&value("--request-size"), "--request-size")
                 }
                 "--workers" => o.workers = parse_num(&value("--workers"), "--workers"),
+                "--shards" => o.shards = Some(parse_num(&value("--shards"), "--shards")),
+                "--shard-procs" => o.shard_procs = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -282,7 +287,7 @@ commands:
             ONE fused sweep, emitting 'label source target score' lines
             — see the snaple_core::spec docs for the grammar
   serve     --graph FILE [prediction flags] [--batch N] [--workers N]
-            [--out FILE]
+            [--shards N [--shard-procs]] [--out FILE]
             (--requests FILE|- | --updates FILE|- |
              --request-count N [--request-size M])
             prepare once, then answer a stream of query-set requests,
@@ -301,6 +306,15 @@ commands:
             a pool of N threads executes against one shared snapshot
             and updates swap in post-delta epochs without stalling
             reads — rows stay bit-identical to the sequential server
+            --shards N serves through the scatter-gather shard router:
+            N isolated shard runtimes each own the vertices whose
+            master partition falls in their block (N must be 1..=the
+            cluster's --nodes); requests scatter to the owning shards,
+            updates broadcast to all of them, and rows stay
+            bit-identical to the single-process paths. --shard-procs
+            hosts each shard in a snaple-shardd child process speaking
+            the checksummed wire protocol over pipes (default:
+            in-process threads exchanging the same frames)
   evaluate  --graph FILE [--removals N] [prediction flags]
             [--queries IDS | --query-sample N]
             hold out edges, predict, and report recall/precision/MRR;
@@ -591,6 +605,30 @@ fn parse_update_stream(reader: impl BufRead) -> Result<Vec<ServeEvent>, String> 
 }
 
 fn cmd_serve(opts: &Options) -> Result<(), String> {
+    // Shard-count validation up front, before the graph is even loaded:
+    // a bad deployment shape deserves an immediate, specific answer.
+    if let Some(shards) = opts.shards {
+        if shards == 0 {
+            return Err("--shards must be at least 1 (every shard owns \
+                        at least one partition)"
+                .into());
+        }
+        if shards > opts.nodes {
+            return Err(format!(
+                "--shards {shards} exceeds --nodes {}; every shard must own \
+                 at least one of the cluster's partitions — lower --shards \
+                 or raise --nodes",
+                opts.nodes
+            ));
+        }
+        if opts.workers > 0 {
+            return Err("--shards and --workers are mutually exclusive \
+                        serving runtimes; pick one"
+                .into());
+        }
+    } else if opts.shard_procs {
+        return Err("--shard-procs needs --shards N".into());
+    }
     let graph = load_graph(opts)?;
     let cluster = opts.cluster()?;
     // With --scores the served predictor is a fused multi-score plan:
@@ -640,6 +678,9 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     };
     if opts.batch == 0 {
         return Err("--batch must be at least 1".into());
+    }
+    if opts.shards.is_some() {
+        return cmd_serve_sharded(opts, &graph, &cluster, events);
     }
     if opts.workers > 0 {
         return cmd_serve_concurrent(opts, &graph, &cluster, predictor, events);
@@ -841,6 +882,130 @@ fn cmd_serve_concurrent(
     outcome
         .stats
         .write_bench_json("snaple-cli-serve-concurrent");
+    Ok(())
+}
+
+/// The `--shards N` serve path: the same event stream through the
+/// scatter-gather [`ShardRouter`]. Each prediction is scattered to the
+/// shards owning its queried vertices and submitted without waiting;
+/// updates drain the in-flight window first — preserving the sequential
+/// server's output ordering — and then broadcast the delta to every
+/// shard as a local epoch swap. Rows (and therefore the TSV output) are
+/// bit-identical to the sequential and `--workers` paths.
+fn cmd_serve_sharded(
+    opts: &Options,
+    graph: &CsrGraph,
+    cluster: &ClusterSpec,
+    events: Vec<ServeEvent>,
+) -> Result<(), String> {
+    let spec = if opts.scores.is_some() {
+        // Validate the plan locally first (nice errors, --alpha check),
+        // then ship the raw spec strings: shards re-parse them.
+        opts.score_plan()?;
+        ShardSpec::Plan {
+            specs: opts
+                .scores
+                .as_deref()
+                .unwrap_or_default()
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .collect(),
+            config: PlanConfig::default()
+                .k(opts.k)
+                .klocal(opts.klocal)
+                .thr_gamma(opts.thr_gamma)
+                .seed(opts.seed),
+        }
+    } else {
+        ShardSpec::Single(opts.snaple_config()?)
+    };
+    let mut out: Box<dyn Write> = match &opts.out {
+        Some(p) => Box::new(BufWriter::new(
+            File::create(p).map_err(|e| format!("{}: {e}", p.display()))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let transport = if opts.shard_procs {
+        ShardTransport::Processes
+    } else {
+        ShardTransport::Threads
+    };
+    let options = ShardOptions::new()
+        .shards(opts.shards.unwrap_or(1))
+        .transport(transport);
+
+    let outcome = ShardRouter::run(&spec, graph, cluster, options, |handle| {
+        let mut window: Vec<(QuerySet, snaple::core::shard::PendingRows)> = Vec::new();
+        let mut request_idx = 0usize;
+        let mut served = 0usize;
+        let mut flush = |window: &mut Vec<(QuerySet, snaple::core::shard::PendingRows)>,
+                         request_idx: &mut usize|
+         -> Result<(), String> {
+            for (request, pending) in window.drain(..) {
+                let response = pending.wait().map_err(|e| e.to_string())?;
+                for q in request.iter() {
+                    for (z, score) in response.for_vertex(q) {
+                        writeln!(
+                            out,
+                            "{request_idx}\t{}\t{}\t{score}",
+                            q.as_u32(),
+                            z.as_u32()
+                        )
+                        .map_err(|e| e.to_string())?;
+                    }
+                }
+                *request_idx += 1;
+            }
+            Ok(())
+        };
+        for event in events {
+            match event {
+                ServeEvent::Predict(q) => {
+                    let pending = handle.submit(&q).map_err(|e| e.to_string())?;
+                    window.push((q, pending));
+                    served += 1;
+                    if window.len() >= opts.batch {
+                        flush(&mut window, &mut request_idx)?;
+                    }
+                }
+                ServeEvent::Update(delta) => {
+                    // Serialization point, as on every other path: the
+                    // in-flight window completes on the old epoch before
+                    // any shard swaps to the new one.
+                    flush(&mut window, &mut request_idx)?;
+                    let applied = handle.apply_update(&delta).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "applied update (epoch {}): +{} -{} edges, \
+                         {} partitions touched, {:.2} ms",
+                        handle.epoch(),
+                        applied.inserted_edges,
+                        applied.removed_edges,
+                        applied.touched_partitions,
+                        applied.apply_wall_seconds * 1e3,
+                    );
+                }
+            }
+        }
+        flush(&mut window, &mut request_idx)?;
+        handle.drain();
+        Ok::<usize, String>(served)
+    })
+    .map_err(|e| e.to_string())?;
+    let requests_served = outcome.value?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "served {requests_served} requests over {} {} shard(s) on {} ({} cores): {}",
+        opts.shards.unwrap_or(1),
+        if opts.shard_procs {
+            "process"
+        } else {
+            "thread"
+        },
+        cluster.name,
+        cluster.total_cores(),
+        outcome.stats.summary()
+    );
+    outcome.stats.write_bench_json("snaple-cli-serve-sharded");
     Ok(())
 }
 

@@ -1,0 +1,10 @@
+//! `snaple-shardd` — one serving shard over stdin/stdout.
+//!
+//! Spawned by the shard router in `--shard-procs` mode (or by
+//! `ShardTransport::Processes` programmatically); speaks the length-
+//! prefixed, checksummed wire protocol of `snaple_core::shard::wire`.
+//! Not intended for interactive use.
+
+fn main() {
+    std::process::exit(snaple_core::shard::process::child_main());
+}

@@ -295,3 +295,146 @@ fn out_of_range_queries_error_up_front_with_the_offending_id() {
 
     let _ = std::fs::remove_file(graph_path);
 }
+
+#[test]
+fn serve_with_shards_matches_the_sequential_server_on_both_transports() {
+    let graph_path = tmp("serve-shards.snplg");
+    let out = run(&[
+        "emulate",
+        "--dataset",
+        "gowalla",
+        "--scale",
+        "0.004",
+        "--seed",
+        "3",
+        "--out",
+        graph_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // The same mixed predict/update stream through the sequential
+    // server, the thread-shard router, and the process-shard router:
+    // the TSV output must be byte-identical all three ways.
+    let stream_path = tmp("serve-shards-updates.txt");
+    std::fs::write(
+        &stream_path,
+        "predict 0,1,2\nadd 0 40\nremove 1 2\npredict 0,1,2\n3,4,5\n",
+    )
+    .unwrap();
+    let base_args = [
+        "serve",
+        "--graph",
+        graph_path.to_str().unwrap(),
+        "--updates",
+        stream_path.to_str().unwrap(),
+        "--k",
+        "3",
+        "--batch",
+        "2",
+    ];
+    let sequential = run(&base_args);
+    assert!(
+        sequential.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sequential.stderr)
+    );
+
+    let threads = run(&[&base_args[..], &["--shards", "3"]].concat());
+    assert!(
+        threads.status.success(),
+        "{}",
+        String::from_utf8_lossy(&threads.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&sequential.stdout),
+        String::from_utf8_lossy(&threads.stdout),
+        "thread-shard rows must be byte-identical to the sequential server"
+    );
+    let stderr = String::from_utf8_lossy(&threads.stderr);
+    assert!(stderr.contains("3 thread shard(s)"), "{stderr}");
+    assert!(stderr.contains("epoch 1"), "{stderr}");
+
+    let procs = cli()
+        .args([&base_args[..], &["--shards", "2", "--shard-procs"]].concat())
+        .env("SNAPLE_SHARDD", env!("CARGO_BIN_EXE_snaple-shardd"))
+        .output()
+        .expect("binary runs");
+    assert!(
+        procs.status.success(),
+        "{}",
+        String::from_utf8_lossy(&procs.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&sequential.stdout),
+        String::from_utf8_lossy(&procs.stdout),
+        "process-shard rows must be byte-identical to the sequential server"
+    );
+    assert!(
+        String::from_utf8_lossy(&procs.stderr).contains("2 process shard(s)"),
+        "{}",
+        String::from_utf8_lossy(&procs.stderr)
+    );
+
+    let _ = std::fs::remove_file(graph_path);
+    let _ = std::fs::remove_file(stream_path);
+}
+
+#[test]
+fn unusable_shard_flags_are_rejected_with_specific_messages() {
+    // Validation fires before the graph is even loaded, so no fixture
+    // file is needed — the flag errors must name the offending value.
+    let zero = run(&[
+        "serve",
+        "--graph",
+        "missing.snplg",
+        "--request-count",
+        "1",
+        "--shards",
+        "0",
+    ]);
+    assert!(!zero.status.success());
+    let stderr = String::from_utf8_lossy(&zero.stderr);
+    assert!(stderr.contains("--shards must be at least 1"), "{stderr}");
+
+    let too_many = run(&[
+        "serve",
+        "--graph",
+        "missing.snplg",
+        "--request-count",
+        "1",
+        "--nodes",
+        "4",
+        "--shards",
+        "9",
+    ]);
+    assert!(!too_many.status.success());
+    let stderr = String::from_utf8_lossy(&too_many.stderr);
+    assert!(stderr.contains("--shards 9 exceeds --nodes 4"), "{stderr}");
+
+    let orphan = run(&[
+        "serve",
+        "--graph",
+        "missing.snplg",
+        "--request-count",
+        "1",
+        "--shard-procs",
+    ]);
+    assert!(!orphan.status.success());
+    let stderr = String::from_utf8_lossy(&orphan.stderr);
+    assert!(stderr.contains("--shard-procs needs --shards"), "{stderr}");
+
+    let both = run(&[
+        "serve",
+        "--graph",
+        "missing.snplg",
+        "--request-count",
+        "1",
+        "--shards",
+        "2",
+        "--workers",
+        "2",
+    ]);
+    assert!(!both.status.success());
+    let stderr = String::from_utf8_lossy(&both.stderr);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+}
