@@ -5,14 +5,14 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use snaple_core::similarity::{intersection_size, Jaccard, Similarity};
+use snaple_core::similarity::{intersection_size, intersection_size_scalar, Jaccard, Similarity};
 use snaple_core::topk::top_k_by_score;
 use snaple_core::{
     NamedScore, NeighborhoodView, PredictRequest, Predictor, QuerySet, Snaple, SnapleConfig,
 };
 use snaple_gas::ClusterSpec;
 use snaple_graph::gen::datasets;
-use snaple_graph::VertexId;
+use snaple_graph::{CsrGraph, Relabeling, VertexId};
 
 fn sorted_ids(n: usize, max: u32, rng: &mut StdRng) -> Vec<VertexId> {
     let mut v: Vec<VertexId> = (0..n)
@@ -60,6 +60,98 @@ fn bench_intersection_skew(c: &mut Criterion) {
             |bench, _| bench.iter(|| black_box(intersection_size(&short, &long))),
         );
     }
+    // Equal-length lists never gallop: here the dispatch takes the
+    // block-compare path (under `--features simd`) and the interesting
+    // comparison is dispatch vs the always-merge scalar entry point.
+    for &len in &[64usize, 256, 1_024, 4_096] {
+        let a = sorted_ids(len * 2, 4_000_000, &mut rng);
+        let b = sorted_ids(len * 2, 4_000_000, &mut rng);
+        group.bench_with_input(BenchmarkId::new("equal-dispatch", len), &len, |bench, _| {
+            bench.iter(|| black_box(intersection_size(&a, &b)))
+        });
+        group.bench_with_input(BenchmarkId::new("equal-scalar", len), &len, |bench, _| {
+            bench.iter(|| black_box(intersection_size_scalar(&a, &b)))
+        });
+    }
+    group.finish();
+}
+
+/// Stripe-vs-per-pair kernel scoring: one gatherer's neighborhood against
+/// a contiguous run of 64 neighbor views, the exact shape
+/// `PlanSimilarityStep::gather_run` hands to [`Similarity::score_stripe`].
+/// Both sides go through `&dyn Similarity`, so the delta is the batched
+/// entry point itself (one virtual dispatch per stripe, `Γ̂(u)` hot).
+fn bench_stripe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel-stripe");
+    let mut rng = StdRng::seed_from_u64(5);
+    let u_list = sorted_ids(160, 1_000_000, &mut rng);
+    let neighbor_lists: Vec<Vec<VertexId>> = (0..64)
+        .map(|_| sorted_ids(160, 1_000_000, &mut rng))
+        .collect();
+    let views: Vec<NeighborhoodView<'_>> = neighbor_lists
+        .iter()
+        .map(|l| NeighborhoodView::new(l, l.len()))
+        .collect();
+    let u_view = NeighborhoodView::new(&u_list, u_list.len());
+    let kernel: &dyn Similarity = &Jaccard;
+    let mut out = vec![0f32; views.len()];
+    group.bench_with_input(
+        BenchmarkId::new("jaccard64", "per-pair"),
+        &(),
+        |bench, ()| {
+            bench.iter(|| {
+                for (v, slot) in views.iter().zip(out.iter_mut()) {
+                    *slot = kernel.score(u_view, *v);
+                }
+                black_box(&mut out);
+            });
+        },
+    );
+    group.bench_with_input(BenchmarkId::new("jaccard64", "stripe"), &(), |bench, ()| {
+        bench.iter(|| {
+            kernel.score_stripe(u_view, &views, &mut out);
+            black_box(&mut out);
+        });
+    });
+    group.finish();
+}
+
+/// Cache locality of degree-ordered relabeling: the same
+/// common-neighbor gather sweep over the original vs the hub-first
+/// relabeled Orkut emulation, plus the one-off cost of building and
+/// applying the relabeling itself.
+fn bench_relabel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("relabel");
+    group.sample_size(10);
+    let graph = datasets::ORKUT.emulate(0.001, 7);
+    let relabeled = Relabeling::degree_order(&graph).apply(&graph);
+
+    fn gather_sweep(g: &CsrGraph) -> u64 {
+        let mut total = 0u64;
+        for u in g.vertices() {
+            let gu = g.out_neighbors(u);
+            for &v in gu {
+                total += intersection_size(gu, g.out_neighbors(v)) as u64;
+            }
+        }
+        total
+    }
+
+    group.bench_with_input(
+        BenchmarkId::new("gather-sweep", "original"),
+        &(),
+        |bench, ()| bench.iter(|| black_box(gather_sweep(&graph))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("gather-sweep", "degree-relabeled"),
+        &(),
+        |bench, ()| bench.iter(|| black_box(gather_sweep(&relabeled))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("build-and-apply", "degree-order"),
+        &(),
+        |bench, ()| bench.iter(|| black_box(Relabeling::degree_order(&graph).apply(&graph))),
+    );
     group.finish();
 }
 
@@ -137,6 +229,8 @@ criterion_group!(
     benches,
     bench_similarity,
     bench_intersection_skew,
+    bench_stripe,
+    bench_relabel,
     bench_topk,
     bench_end_to_end,
     bench_targeted

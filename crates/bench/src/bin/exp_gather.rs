@@ -1,0 +1,199 @@
+//! `exp-gather` — the gather hot path, scalar vs vectorized.
+//!
+//! SNAPLE's fused sweep spends its time intersecting sorted adjacency
+//! lists. This experiment isolates that hot path as a gather micro over
+//! an emulated Orkut graph (the densest of the paper's Table 4 datasets,
+//! mean degree ≈ 145): every vertex scores its whole out-neighbor
+//! run, exactly the stripe shape `PlanSimilarityStep::gather_run` hands
+//! to the kernels. Two implementations race:
+//!
+//! 1. **scalar baseline** — per-pair scoring over
+//!    [`intersection_size_scalar`] (the linear merge, no galloping, no
+//!    block path);
+//! 2. **striped** — [`Similarity::score_stripe`] over the dispatching
+//!    [`intersection_size`](snaple_core::similarity::intersection_size)
+//!    (galloping for skewed pairs, the block-compare path under
+//!    `--features simd`), on a hub-first degree-relabeled graph
+//!    ([`Relabeling::degree_order`]) so hot rows share cache lines.
+//!
+//! Both paths fold every score's bit pattern into an order-insensitive
+//! checksum; Jaccard and common-neighbor counts are isomorphism
+//! invariants, so the checksums must match bitwise even across the
+//! relabeling — the experiment exits non-zero on any mismatch, and (on
+//! `--features simd` builds) on a striped/scalar speedup below the
+//! enforced floor: 2.0x full, 1.3x for `--quick` smoke runs on small
+//! graphs. Results land in `BENCH_JSON` (the CI `gather-smoke` step
+//! publishes them as `BENCH_gather.json`).
+
+use std::process::exit;
+use std::time::Instant;
+
+use snaple_bench::{append_bench_json, banner, emit, ExpArgs};
+use snaple_core::similarity::{
+    intersection_size_scalar, CommonNeighbors, Jaccard, NeighborhoodView, Similarity,
+};
+use snaple_eval::TextTable;
+use snaple_graph::gen::datasets;
+use snaple_graph::{CsrGraph, Relabeling};
+
+/// Mirrors [`Jaccard::score`]'s arithmetic exactly (same f32 expression,
+/// only the intersection routine differs) so the checksums can be
+/// compared bitwise.
+fn jaccard_from(inter: usize, du: usize, dv: usize) -> f32 {
+    let union = du + dv - inter;
+    if union == 0 {
+        0.0
+    } else {
+        inter as f32 / union as f32
+    }
+}
+
+/// Mirrors [`CommonNeighbors::score`].
+fn common_from(inter: usize, _du: usize, _dv: usize) -> f32 {
+    inter as f32
+}
+
+/// Scalar baseline: per-pair linear-merge intersections, no batching.
+/// Returns (checksum, pairs, seconds).
+fn scalar_sweep(graph: &CsrGraph, formula: fn(usize, usize, usize) -> f32) -> (u64, u64, f64) {
+    let started = Instant::now();
+    let mut checksum = 0u64;
+    let mut pairs = 0u64;
+    for u in graph.vertices() {
+        let gu = graph.out_neighbors(u);
+        for &v in gu {
+            let gv = graph.out_neighbors(v);
+            let inter = intersection_size_scalar(gu, gv);
+            checksum = checksum.wrapping_add(formula(inter, gu.len(), gv.len()).to_bits() as u64);
+            pairs += 1;
+        }
+    }
+    (checksum, pairs, started.elapsed().as_secs_f64())
+}
+
+/// Striped path: whole neighbor runs through [`Similarity::score_stripe`]
+/// (which dispatches through the galloping/block intersection).
+fn stripe_sweep(graph: &CsrGraph, kernel: &dyn Similarity) -> (u64, u64, f64) {
+    let started = Instant::now();
+    let mut checksum = 0u64;
+    let mut pairs = 0u64;
+    let mut views: Vec<NeighborhoodView<'_>> = Vec::new();
+    let mut out: Vec<f32> = Vec::new();
+    for u in graph.vertices() {
+        let gu = graph.out_neighbors(u);
+        if gu.is_empty() {
+            continue;
+        }
+        views.clear();
+        views.extend(
+            gu.iter()
+                .map(|&v| NeighborhoodView::new(graph.out_neighbors(v), graph.out_degree(v))),
+        );
+        out.clear();
+        out.resize(views.len(), 0.0);
+        kernel.score_stripe(NeighborhoodView::new(gu, gu.len()), &views, &mut out);
+        for &s in &out {
+            checksum = checksum.wrapping_add(s.to_bits() as u64);
+        }
+        pairs += views.len() as u64;
+    }
+    (checksum, pairs, started.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args = ExpArgs::parse(
+        "exp-gather",
+        "scalar vs vectorized/striped set-intersection gather micro",
+    );
+    banner(
+        "exp-gather",
+        "the gather hot path behind Table 5's compute column",
+        &args,
+    );
+
+    let scale = if args.quick { 0.001 } else { 0.004 } * args.scale;
+    let graph = datasets::ORKUT.emulate(scale, args.seed);
+    let relabeling = Relabeling::degree_order(&graph);
+    let relabeled = relabeling.apply(&graph);
+    println!(
+        "orkut@{scale:.4}: {} vertices, {} edges (simd feature: {})\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        cfg!(feature = "simd"),
+    );
+
+    type ScalarFormula = fn(usize, usize, usize) -> f32;
+    let kernels: &[(&str, &dyn Similarity, ScalarFormula)] = &[
+        ("jaccard", &Jaccard, jaccard_from),
+        ("common-neighbors", &CommonNeighbors, common_from),
+    ];
+    // The floor is only meaningful for the vectorized build: without the
+    // `simd` feature the dispatch falls back to the same merge the scalar
+    // baseline runs (galloping rarely triggers on Orkut's even degrees),
+    // so enforcing would only measure stripe bookkeeping overhead. The CI
+    // gather-smoke step builds with `--features simd`.
+    let floor = if !cfg!(feature = "simd") {
+        0.0
+    } else if args.quick {
+        1.3
+    } else {
+        2.0
+    };
+    let reps = if args.quick { 2 } else { 3 };
+
+    let mut table = TextTable::new(vec![
+        "kernel", "pairs", "scalar", "striped", "speedup", "checksum",
+    ]);
+    let mut failed = false;
+    for &(name, kernel, formula) in kernels {
+        let mut scalar_seconds = f64::MAX;
+        let mut stripe_seconds = f64::MAX;
+        let (mut scalar_sum, mut scalar_pairs) = (0u64, 0u64);
+        let (mut stripe_sum, mut stripe_pairs) = (0u64, 0u64);
+        for _ in 0..reps {
+            let (sum, pairs, secs) = scalar_sweep(&graph, formula);
+            (scalar_sum, scalar_pairs) = (sum, pairs);
+            scalar_seconds = scalar_seconds.min(secs);
+            let (sum, pairs, secs) = stripe_sweep(&relabeled, kernel);
+            (stripe_sum, stripe_pairs) = (sum, pairs);
+            stripe_seconds = stripe_seconds.min(secs);
+        }
+        if (scalar_sum, scalar_pairs) != (stripe_sum, stripe_pairs) {
+            eprintln!(
+                "DIVERGENCE: {name} scalar checksum {scalar_sum:#x} over {scalar_pairs} pairs, \
+                 striped {stripe_sum:#x} over {stripe_pairs} pairs"
+            );
+            failed = true;
+        }
+        let speedup = scalar_seconds / stripe_seconds.max(1e-12);
+        if speedup < floor {
+            eprintln!("BELOW FLOOR: {name} striped speedup {speedup:.2}x < required {floor:.1}x");
+            failed = true;
+        }
+        table.row(vec![
+            name.to_string(),
+            scalar_pairs.to_string(),
+            format!("{:.1}ms", scalar_seconds * 1e3),
+            format!("{:.1}ms", stripe_seconds * 1e3),
+            format!("{speedup:.2}x"),
+            format!("{scalar_sum:#018x}"),
+        ]);
+        append_bench_json(&format!(
+            "{{\"name\":\"gather/{name}\",\
+             \"pairs\":{scalar_pairs},\
+             \"scalar_seconds\":{scalar_seconds:.6},\
+             \"striped_seconds\":{stripe_seconds:.6},\
+             \"speedup\":{speedup:.3},\
+             \"floor\":{floor},\
+             \"simd_feature\":{}}}",
+            cfg!(feature = "simd"),
+        ));
+    }
+
+    emit(&args, "gather", &table);
+    if failed {
+        eprintln!("FAILED: checksum divergence or speedup below the enforced floor");
+        exit(1);
+    }
+    println!("equivalence: all kernel checksums bitwise identical across paths");
+}

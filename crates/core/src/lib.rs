@@ -221,6 +221,44 @@
 //! let _prediction = outcome.value?;
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
+//!
+//! # Performance notes
+//!
+//! The gather hot path — sorted-set intersection over adjacency lists —
+//! is tiered, and every tier is **bit-identical** (the bit-identity
+//! suites hold all of them to the same results):
+//!
+//! * [`similarity::intersection_size`] dispatches per pair: when one
+//!   list is more than 16× longer than the other it gallops
+//!   (`O(short · log long)`), when both lists have at least 16 entries
+//!   *and* the crate is built with the **`simd` cargo feature** it takes
+//!   a block-compare path (8-wide branch-free equality blocks that LLVM
+//!   auto-vectorizes), and otherwise it falls back to the linear merge
+//!   that [`similarity::intersection_size_scalar`] always runs.
+//! * [`Similarity::score_stripe`] is the batched kernel entry point: the
+//!   fused sweep hands each kernel a whole contiguous *stripe* of
+//!   neighbor views (one virtual dispatch per gather run instead of per
+//!   pair, `Γ̂(u)` hot in cache across the stripe). The default
+//!   implementation loops [`Similarity::score`], so custom kernels keep
+//!   working unchanged; overrides must stay bit-identical to the
+//!   per-pair path.
+//! * Custom [`snaple_gas::GasStep`]s can likewise override
+//!   `gather_run` to consume whole neighbor runs; overrides must
+//!   replicate the per-edge accounting protocol documented there or the
+//!   byte-exact cluster statistics drift.
+//! * Degree-ordered vertex relabeling (`snaple_graph::Relabeling`) is an
+//!   opt-in preprocessing pass that packs hub rows first for cache
+//!   locality; predictions map back through the inverse permutation
+//!   (`tests/relabeling.rs` pins down which configurations round-trip
+//!   bit-identically).
+//!
+//! The `exp-gather` bench binary races the scalar baseline against the
+//! striped/vectorized path on an emulated Orkut graph and writes
+//! `BENCH_gather.json` (one JSON line per kernel with
+//! `scalar_seconds`, `striped_seconds`, and `speedup`); CI enforces the
+//! speedup floor on every push. Criterion micros live in
+//! `crates/bench/benches/micro.rs` (`intersection-skew`,
+//! `kernel-stripe`, `relabel` groups).
 
 pub mod aggregator;
 pub mod combinator;

@@ -51,7 +51,8 @@ use std::time::Instant;
 
 use snaple_gas::size::COLLECTION_OVERHEAD;
 use snaple_gas::{
-    Deployment, Engine, GasStep, GatherCtx, PartitionStrategy, RunStats, SizeEstimate, WorkTally,
+    Deployment, Engine, GasStep, GatherCtx, GatherOverflow, NeighborStates, PartitionStrategy,
+    RunBudget, RunStats, ScratchArena, SizeEstimate, WorkTally,
 };
 use snaple_graph::hash::{edge_unit, hash2};
 use snaple_graph::VertexId;
@@ -823,6 +824,51 @@ impl GasStep for PlanNeighborhoodStep {
         a
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn gather_run(
+        &self,
+        ctx: &GatherCtx<'_>,
+        u: VertexId,
+        _u_data: &PlanVertex,
+        neighbors: &[VertexId],
+        _states: &NeighborStates<'_, PlanVertex>,
+        budget: &mut RunBudget<'_>,
+        _scratch: &mut ScratchArena,
+        work: &mut WorkTally,
+    ) -> Result<Option<(Vec<VertexId>, u64)>, GatherOverflow> {
+        // The per-pair path charges one single-neighbor `Vec` per kept
+        // edge; the batched path charges the same bytes but collects the
+        // kept neighbors into one buffer instead of folding N allocations.
+        let pair_bytes = COLLECTION_OVERHEAD + 4;
+        let keep_probability = self.thr_gamma.and_then(|thr| {
+            let degree = ctx.out_degree(u);
+            (degree > thr).then(|| thr as f64 / degree as f64)
+        });
+        let mut kept: Vec<VertexId> = Vec::new();
+        let mut bytes = 0u64;
+        for &v in neighbors {
+            budget.count_gather();
+            work.add(1);
+            if let Some(p) = keep_probability {
+                if edge_unit(ctx.seed(), u.as_u32(), v.as_u32()) > p {
+                    continue;
+                }
+            }
+            budget.charge(pair_bytes)?;
+            if !kept.is_empty() {
+                budget.count_sum();
+                work.add(2);
+            }
+            kept.push(v);
+            bytes += pair_bytes;
+        }
+        Ok(if kept.is_empty() {
+            None
+        } else {
+            Some((kept, bytes))
+        })
+    }
+
     fn apply(
         &self,
         ctx: &GatherCtx<'_>,
@@ -848,6 +894,15 @@ struct SimGather {
     ids: Vec<VertexId>,
     sels: Vec<f32>,
     vals: Vec<f32>,
+}
+
+impl SimGather {
+    /// Accounted bytes of a single-pair accumulator with `ncols` columns —
+    /// kept in sync with the [`SizeEstimate`] impl below so the batched
+    /// gather charges exactly what the per-pair path charges per edge.
+    fn pair_bytes(ncols: usize) -> u64 {
+        3 * COLLECTION_OVERHEAD + 4 + 4 + ncols as u64 * 4
+    }
 }
 
 impl SizeEstimate for SimGather {
@@ -930,6 +985,96 @@ impl GasStep for PlanSimilarityStep<'_> {
         a.sels.extend(b.sels);
         a.vals.extend(b.vals);
         a
+    }
+
+    /// Batched stripe execution of the fused similarity step: build every
+    /// pair's [`NeighborhoodView`] once for the whole run, feed each
+    /// kernel a contiguous stripe of views via
+    /// [`Similarity::score_stripe`](crate::similarity::Similarity::score_stripe),
+    /// and assemble one accumulator per run instead of folding N
+    /// single-pair allocations. Scores, accounting, and memory charges are
+    /// bit-identical to the per-pair [`gather`](GasStep::gather) path.
+    #[allow(clippy::too_many_arguments)]
+    fn gather_run(
+        &self,
+        _ctx: &GatherCtx<'_>,
+        _u: VertexId,
+        u_data: &PlanVertex,
+        neighbors: &[VertexId],
+        states: &NeighborStates<'_, PlanVertex>,
+        budget: &mut RunBudget<'_>,
+        scratch: &mut ScratchArena,
+        work: &mut WorkTally,
+    ) -> Result<Option<(SimGather, u64)>, GatherOverflow> {
+        let n = neighbors.len();
+        if n == 0 {
+            return Ok(None);
+        }
+        let ncols = self.columns.len();
+        let pair_bytes = SimGather::pair_bytes(ncols);
+        let u_view =
+            NeighborhoodView::with_tags(&u_data.gamma, u_data.out_degree as usize, &u_data.tags);
+        let views: Vec<NeighborhoodView<'_>> = neighbors
+            .iter()
+            .map(|&v| {
+                let vd = states.get(v);
+                NeighborhoodView::with_tags(&vd.gamma, vd.out_degree as usize, &vd.tags)
+            })
+            .collect();
+        // Replay the per-pair accounting protocol in edge order: one
+        // engine op plus one selection merge per pair, one byte charge per
+        // pair, and the engine+program fold ops for every pair after the
+        // first — so a memory overflow fires at the same pair with the
+        // same required bytes.
+        let mut total_merge = 0u64;
+        for (i, view) in views.iter().enumerate() {
+            budget.count_gather();
+            work.add(1);
+            let merge_cost = (u_data.gamma.len() + view.neighbors.len()) as u64;
+            total_merge += merge_cost;
+            work.add(merge_cost);
+            budget.charge(pair_bytes)?;
+            if i > 0 {
+                budget.count_sum();
+                work.add(2);
+            }
+        }
+        let selection = &self.columns[0].components().selection_similarity;
+        let selection_ptr = std::sync::Arc::as_ptr(selection) as *const u8;
+        let mut sels = vec![0f32; n];
+        selection.score_stripe(u_view, &views, &mut sels);
+        let mut vals = vec![0f32; n * ncols];
+        let mut col_stripe = scratch.lease_f32(n);
+        for (col, spec) in self.columns.iter().enumerate() {
+            let components = spec.components();
+            let is_selection = std::ptr::eq(
+                std::sync::Arc::as_ptr(&components.similarity) as *const u8,
+                selection_ptr,
+            );
+            if is_selection {
+                for (slot, &s) in vals.iter_mut().skip(col).step_by(ncols).zip(&sels) {
+                    *slot = s;
+                }
+            } else {
+                work.add(total_merge);
+                self.col_ops[col].fetch_add(total_merge, Ordering::Relaxed);
+                components
+                    .similarity
+                    .score_stripe(u_view, &views, &mut col_stripe);
+                for (slot, &s) in vals.iter_mut().skip(col).step_by(ncols).zip(&col_stripe) {
+                    *slot = s;
+                }
+            }
+        }
+        scratch.release_f32(col_stripe);
+        Ok(Some((
+            SimGather {
+                ids: neighbors.to_vec(),
+                sels,
+                vals,
+            },
+            pair_bytes * n as u64,
+        )))
     }
 
     fn apply(

@@ -75,22 +75,45 @@ fn tag_intersection(a: &[u32], b: &[u32]) -> usize {
 /// round power of two keeps the check cheap.
 const GALLOP_RATIO: usize = 16;
 
+/// Minimum length of the *short* side for the block-compare path (cargo
+/// feature `simd`) to engage on near-equal shapes.
+///
+/// Below this the merge's startup-free scan wins; at 16+ elements both
+/// sides supply at least two full [`BLOCK`]-element blocks, so the
+/// vectorized all-pairs compares amortize. Length-skewed shapes never get
+/// here — the `GALLOP_RATIO` check above dispatches them first.
+#[cfg_attr(not(feature = "simd"), allow(dead_code))]
+const BLOCK_MIN_LEN: usize = 16;
+
+/// Elements compared per block by [`block_intersection`] — eight `u32`
+/// lanes, one AVX2 register or two SSE2/NEON registers.
+const BLOCK: usize = 8;
+
 /// Size of the intersection of two sorted vertex lists.
 ///
-/// Near-equal lengths take a linear two-pointer merge; when one list is
-/// more than `GALLOP_RATIO`× longer, each element of the short list is
-/// located in the long one by *galloping* (exponential probe + binary
-/// search over the remaining suffix), dropping the cost from
-/// `O(|a| + |b|)` to `O(|short| · log |long|)`. The skewed shape is the
-/// common one on social graphs: a hub's thousands-long adjacency meets an
-/// ordinary vertex's handful of neighbors. Both paths count identically —
-/// the `micro` bench and the unit suite here check bit-identity and the
-/// speedup.
+/// Three strategies, dispatched by shape:
 ///
-/// Both inputs **must** be sorted ascending: both strategies silently
-/// undercount on unsorted input (they never look backwards). Debug builds
-/// assert the precondition; every adjacency surface in the workspace (CSR
-/// rows, `Γ̂` tables, `sims` tables) maintains it by construction.
+/// * **galloping** when one list is more than `GALLOP_RATIO`× longer:
+///   each element of the short list is located in the long one by
+///   exponential probe + binary search, `O(|short| · log |long|)` — the
+///   hub-meets-leaf shape that dominates social graphs;
+/// * **block compare** (cargo feature `simd`) for near-equal lengths of at
+///   least `BLOCK_MIN_LEN`: fixed 8-element blocks of both lists are
+///   compared all-pairs with branch-free equality masks the compiler
+///   auto-vectorizes to SIMD lanes, advancing whichever block exhausts
+///   first;
+/// * **linear two-pointer merge** otherwise, and always when the `simd`
+///   feature is off.
+///
+/// All paths count identically — [`intersection_size_scalar`] is the
+/// reference oracle, and the unit + property suites here check
+/// bit-identity of every path against it.
+///
+/// Both inputs **must** be sorted ascending and duplicate-free: the fast
+/// paths silently miscount otherwise (they never look backwards, and the
+/// block path counts all-pairs matches). Debug builds assert sortedness;
+/// every adjacency surface in the workspace (CSR rows, `Γ̂` tables, `sims`
+/// tables) is sorted *and* deduplicated by construction.
 pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
     debug_assert!(
         a.windows(2).all(|w| w[0] <= w[1]),
@@ -104,6 +127,25 @@ pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
     if long.len() > short.len().saturating_mul(GALLOP_RATIO) {
         return gallop_intersection(short, long);
     }
+    #[cfg(feature = "simd")]
+    if short.len() >= BLOCK_MIN_LEN {
+        return block_intersection(a, b);
+    }
+    merge_intersection(a, b)
+}
+
+/// The reference linear two-pointer merge — the scalar baseline every
+/// fast path (galloping, block compare) must match bit for bit.
+///
+/// Public so benches and experiments (`exp_gather`, `micro`) can measure
+/// the dispatching [`intersection_size`] against an honest scalar
+/// baseline; inputs must be sorted ascending like every other path.
+pub fn intersection_size_scalar(a: &[VertexId], b: &[VertexId]) -> usize {
+    merge_intersection(a, b)
+}
+
+#[inline]
+fn merge_intersection(a: &[VertexId], b: &[VertexId]) -> usize {
     let (mut i, mut j, mut n) = (0, 0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -117,6 +159,63 @@ pub fn intersection_size(a: &[VertexId], b: &[VertexId]) -> usize {
         }
     }
     n
+}
+
+/// Intersection count by fixed-size block compares: walk both lists one
+/// `BLOCK`-element block at a time, count equal pairs across the two
+/// current blocks with branch-free all-pairs equality (64 compares that
+/// LLVM lowers to 8 splat-and-compare SIMD ops), and advance whichever
+/// block's maximum is not ahead. The sub-`BLOCK` tails fall back to the
+/// scalar merge.
+///
+/// Requires duplicate-free sorted input (all-pairs counting would multiply
+/// duplicated values); correctness of the tail hand-off relies on it too —
+/// any element beyond a consumed block is strictly greater than the
+/// consumed block's maximum, so no cross-block match is ever missed.
+///
+/// Compiled unconditionally so the test suite property-checks it under
+/// both feature configurations; only *dispatched* under feature `simd`.
+#[cfg_attr(not(feature = "simd"), allow(dead_code))]
+fn block_intersection(a: &[VertexId], b: &[VertexId]) -> usize {
+    debug_assert!(
+        a.windows(2).all(|w| w[0] < w[1]) && b.windows(2).all(|w| w[0] < w[1]),
+        "block_intersection: inputs must be strictly increasing (sorted, deduplicated)"
+    );
+    let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+    while i + BLOCK <= a.len() && j + BLOCK <= b.len() {
+        let block_a: &[VertexId; BLOCK] = a[i..i + BLOCK].try_into().expect("exact block");
+        let block_b: &[VertexId; BLOCK] = b[j..j + BLOCK].try_into().expect("exact block");
+        n += block_match_count(block_a, block_b);
+        let a_max = block_a[BLOCK - 1];
+        let b_max = block_b[BLOCK - 1];
+        // On ties advance both: every match involving either block is
+        // already counted, and nothing later can equal a consumed value.
+        if a_max <= b_max {
+            i += BLOCK;
+        }
+        if b_max <= a_max {
+            j += BLOCK;
+        }
+    }
+    n + merge_intersection(&a[i..], &b[j..])
+}
+
+/// Matches between two blocks, as branch-free equality masks: for each
+/// element of `a` OR together its compares against all of `b` (at most one
+/// can hit on duplicate-free input). The fixed trip counts and the absence
+/// of data-dependent branches are what let the auto-vectorizer turn this
+/// into packed 8-lane compares.
+#[inline]
+fn block_match_count(a: &[VertexId; BLOCK], b: &[VertexId; BLOCK]) -> usize {
+    let mut hits = 0u32;
+    for &x in a {
+        let mut hit = 0u32;
+        for &y in b {
+            hit |= u32::from(x == y);
+        }
+        hits += hit;
+    }
+    hits as usize
 }
 
 /// Intersection count by galloping: for each element of `short`, probe
@@ -164,6 +263,33 @@ pub trait Similarity: Send + Sync + Debug {
 
     /// Computes `sim(u, v) >= 0`.
     fn score(&self, u: NeighborhoodView<'_>, v: NeighborhoodView<'_>) -> f32;
+
+    /// Scores one vertex against a contiguous *stripe* of neighbors,
+    /// writing `score(u, vs[i])` into `out[i]` — the batched entry point
+    /// the fused sweep drives so kernels see whole neighbor runs at once
+    /// (one virtual dispatch per stripe instead of per pair, and `Γ̂(u)`
+    /// stays hot in cache across the stripe).
+    ///
+    /// The default implementation loops [`Similarity::score`], so custom
+    /// kernels keep working unchanged. Overrides **must** produce
+    /// bit-identical values to the per-pair path — every bit-identity
+    /// suite in the workspace (fused-vs-standalone plans, shard serving,
+    /// concurrent serving) holds implementations to that contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `vs`.
+    fn score_stripe(&self, u: NeighborhoodView<'_>, vs: &[NeighborhoodView<'_>], out: &mut [f32]) {
+        assert!(
+            out.len() >= vs.len(),
+            "score_stripe: output stripe holds {} slots for {} neighbors",
+            out.len(),
+            vs.len()
+        );
+        for (v, slot) in vs.iter().zip(out.iter_mut()) {
+            *slot = self.score(u, *v);
+        }
+    }
 }
 
 /// Jaccard's coefficient `|Γ̂(u) ∩ Γ̂(v)| / |Γ̂(u) ∪ Γ̂(v)|` — the paper's
@@ -517,6 +643,152 @@ mod tests {
             let expect = linear_intersection(&short, &long);
             assert_eq!(gallop_intersection(&short, &long), expect, "trial {trial}");
             assert_eq!(intersection_size(&short, &long), expect, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn block_path_matches_linear_merge() {
+        let strided = |n: u32, stride: u32, offset: u32| -> Vec<VertexId> {
+            (0..n).map(|v| VertexId::new(v * stride + offset)).collect()
+        };
+        let cases: Vec<(Vec<VertexId>, Vec<VertexId>)> = vec![
+            (vec![], vec![]),                          // both empty
+            (strided(40, 2, 0), vec![]),               // one empty
+            (strided(40, 2, 0), strided(40, 2, 1)),    // fully disjoint, interleaved
+            (strided(40, 1, 0), strided(40, 1, 100)),  // disjoint, no overlap in range
+            (strided(40, 3, 0), strided(40, 3, 0)),    // full overlap
+            (strided(64, 2, 0), strided(64, 3, 0)),    // partial, equal lengths
+            (strided(64, 2, 0), strided(17, 5, 3)),    // partial, unequal lengths
+            (strided(7, 1, 0), strided(7, 1, 3)),      // shorter than one block
+            (strided(8, 1, 0), strided(8, 1, 4)),      // exactly one block
+            (strided(9, 1, 0), strided(23, 1, 5)),     // block + tail on both sides
+            (strided(100, 7, 0), strided(100, 11, 0)), // sparse hits (multiples of 77)
+            (strided(33, 1, 0), strided(200, 13, 20)), // skewed but under gallop ratio? no: direct call
+        ];
+        for (a, b) in &cases {
+            let expect = linear_intersection(a, b);
+            assert_eq!(block_intersection(a, b), expect, "a={a:?} b={b:?}");
+            assert_eq!(block_intersection(b, a), expect, "swapped a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn dispatch_boundaries_agree_with_linear_merge() {
+        // Length pairs straddling both dispatch thresholds: the 16×
+        // galloping ratio (long > short·16) and the SIMD block minimum
+        // (short ≥ 16). Every combination must count identically no
+        // matter which strategy the public dispatch picks, under either
+        // feature configuration.
+        let shorts = [0usize, 1, 2, 15, 16, 17];
+        let longs = [0usize, 1, 15, 16, 17, 239, 240, 241, 255, 256, 257, 512];
+        for &sl in &shorts {
+            for &ll in &longs {
+                // Interleave multiples of 2 and 3 so hits exist (multiples
+                // of 6) without being total.
+                let short: Vec<VertexId> = (0..sl as u32).map(|v| VertexId::new(v * 2)).collect();
+                let long: Vec<VertexId> = (0..ll as u32).map(|v| VertexId::new(v * 3)).collect();
+                let expect = linear_intersection(&short, &long);
+                assert_eq!(
+                    intersection_size(&short, &long),
+                    expect,
+                    "short={sl} long={ll}"
+                );
+                assert_eq!(
+                    intersection_size(&long, &short),
+                    expect,
+                    "swapped short={sl} long={ll}"
+                );
+                assert_eq!(
+                    intersection_size_scalar(&short, &long),
+                    expect,
+                    "scalar short={sl} long={ll}"
+                );
+            }
+        }
+        // Exactly at the galloping boundary: long == short·16 merges,
+        // long == short·16 + 1 gallops; both must agree with the oracle.
+        for extra in [0usize, 1] {
+            let short: Vec<VertexId> = (0..16u32).map(|v| VertexId::new(v * 33)).collect();
+            let long: Vec<VertexId> = (0..(16 * 16 + extra) as u32).map(VertexId::new).collect();
+            let expect = linear_intersection(&short, &long);
+            assert_eq!(intersection_size(&short, &long), expect, "extra={extra}");
+            assert_eq!(gallop_intersection(&short, &long), expect, "extra={extra}");
+            assert_eq!(block_intersection(&short, &long), expect, "extra={extra}");
+        }
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(256))]
+
+        /// All three strategies — linear merge, galloping, block compare —
+        /// and the public dispatch count identically on arbitrary sorted
+        /// duplicate-free lists, regardless of which path the dispatch
+        /// would pick for the shape.
+        #[test]
+        fn all_intersection_paths_are_bit_identical(
+            mut a in proptest::collection::vec(0u32..600, 0..80),
+            mut b in proptest::collection::vec(0u32..600, 0..400),
+        ) {
+            a.sort_unstable();
+            a.dedup();
+            b.sort_unstable();
+            b.dedup();
+            let a = ids(&a);
+            let b = ids(&b);
+            let expect = linear_intersection(&a, &b);
+            proptest::prop_assert_eq!(intersection_size(&a, &b), expect);
+            proptest::prop_assert_eq!(intersection_size(&b, &a), expect);
+            proptest::prop_assert_eq!(intersection_size_scalar(&a, &b), expect);
+            let (short, long) = if a.len() <= b.len() { (&a, &b) } else { (&b, &a) };
+            proptest::prop_assert_eq!(gallop_intersection(short, long), expect);
+            proptest::prop_assert_eq!(block_intersection(&a, &b), expect);
+            proptest::prop_assert_eq!(block_intersection(&b, &a), expect);
+        }
+
+        /// The batched stripe entry point is bit-identical to per-pair
+        /// scoring for every kernel, via the default implementation.
+        #[test]
+        fn score_stripe_matches_per_pair_scores(
+            mut base in proptest::collection::vec(0u32..200, 1..40),
+            stripe_seeds in proptest::collection::vec(0u32..97, 1..12),
+        ) {
+            base.sort_unstable();
+            base.dedup();
+            let u_list = ids(&base);
+            let u = view(&u_list);
+            let neighbor_lists: Vec<Vec<VertexId>> = stripe_seeds
+                .iter()
+                .map(|&s| {
+                    let mut l: Vec<u32> = (0..(s % 19)).map(|i| (s + i * 7) % 200).collect();
+                    l.sort_unstable();
+                    l.dedup();
+                    ids(&l)
+                })
+                .collect();
+            let views: Vec<NeighborhoodView<'_>> =
+                neighbor_lists.iter().map(|l| view(l)).collect();
+            for kernel in [
+                &Jaccard as &dyn Similarity,
+                &CommonNeighbors,
+                &Cosine,
+                &Dice,
+                &Overlap,
+                &InverseDegree,
+                &Unit,
+            ] {
+                let mut out = vec![0f32; views.len()];
+                kernel.score_stripe(u, &views, &mut out);
+                for (i, v) in views.iter().enumerate() {
+                    let pair = kernel.score(u, *v);
+                    proptest::prop_assert_eq!(
+                        pair.to_bits(),
+                        out[i].to_bits(),
+                        "{} diverged at stripe slot {}",
+                        kernel.name(),
+                        i
+                    );
+                }
+            }
         }
     }
 

@@ -10,7 +10,8 @@ use crate::cost::CostModel;
 use crate::deploy::Deployment;
 use crate::error::EngineError;
 use crate::partition::{PartitionStrategy, PartitionedGraph};
-use crate::program::{GasStep, GatherCtx, WorkTally};
+use crate::program::{GasStep, GatherCtx, NeighborStates, RunBudget, WorkTally};
+use crate::scratch::WorkerScratch;
 use crate::shard::ShardAssignment;
 use crate::size::SizeEstimate;
 use crate::stats::{NodeStats, RunStats, StepStats};
@@ -119,6 +120,10 @@ pub struct Engine<'d> {
     step_counter: usize,
     injected_failure: Option<(NodeId, usize)>,
     gather_workers: Option<usize>,
+    /// One scratch slot per gather worker, kept across supersteps so the
+    /// hot path reuses its edge/run/stripe buffers instead of
+    /// re-allocating them per partition.
+    worker_scratch: Vec<WorkerScratch>,
 }
 
 impl<'d> Engine<'d> {
@@ -178,6 +183,7 @@ impl<'d> Engine<'d> {
             step_counter: 0,
             injected_failure: None,
             gather_workers: None,
+            worker_scratch: Vec::new(),
         }
     }
 
@@ -438,79 +444,98 @@ impl<'d> Engine<'d> {
         // The whole gather work of one simulated partition, runnable on
         // any host thread: the per-partition tallies depend only on the
         // partition's edge list, so the chunking below cannot change the
-        // accounting.
-        let gather_node = |n: usize| -> Result<NodeGather<S::Gather>, EngineError> {
-            let ctx = GatherCtx::new(graph, step_seed);
-            let node = NodeId::new(n as u16);
-            let mut edges: Vec<(VertexId, VertexId)> = part.node_edges(node).to_vec();
-            if dir == Direction::In {
-                edges.sort_unstable_by_key(|&(s, d)| (d, s));
-            }
-            let mut tally = WorkTally::new();
-            let mut partials: Vec<(VertexId, S::Gather, u64)> = Vec::new();
-            let mut gather_calls = 0u64;
-            let mut sum_calls = 0u64;
-            let mut mem = mem_base_ref[n];
-            let mut mem_peak = mem;
-            let mut cur: Option<(VertexId, S::Gather, u64)> = None;
-            for &(src, dst) in &edges {
-                let (gatherer, neighbor) = match dir {
-                    Direction::Out => (src, dst),
-                    Direction::In => (dst, src),
+        // accounting. Edges are walked as *runs* — maximal stretches of
+        // active same-gatherer edges (inactive edges never break a run,
+        // exactly as the historical per-edge loop's flush behaved) — and
+        // each run is handed to the program's `gather_run` in one call.
+        let gather_node =
+            |n: usize, ws: &mut WorkerScratch| -> Result<NodeGather<S::Gather>, EngineError> {
+                let ctx = GatherCtx::new(graph, step_seed);
+                let node = NodeId::new(n as u16);
+                let stored = part.node_edges(node);
+                let edges: &[(VertexId, VertexId)] = if dir == Direction::In {
+                    ws.edges.clear();
+                    ws.edges.extend_from_slice(stored);
+                    ws.edges.sort_unstable_by_key(|&(s, d)| (d, s));
+                    &ws.edges
+                } else {
+                    stored
                 };
-                if let Some(m) = mask {
-                    if !m.contains(gatherer) {
-                        continue;
+                let orient = |e: (VertexId, VertexId)| match dir {
+                    Direction::Out => (e.0, e.1),
+                    Direction::In => (e.1, e.0),
+                };
+                let states = NeighborStates::new(state_ro);
+                let mut tally = WorkTally::new();
+                let mut partials: Vec<(VertexId, S::Gather, u64)> = Vec::new();
+                let mut gather_calls = 0u64;
+                let mut sum_calls = 0u64;
+                let mut mem = mem_base_ref[n];
+                let mut mem_peak = mem;
+                let mut i = 0usize;
+                while i < edges.len() {
+                    let (gatherer, neighbor) = orient(edges[i]);
+                    if let Some(m) = mask {
+                        if !m.contains(gatherer) {
+                            i += 1;
+                            continue;
+                        }
                     }
-                }
-                if let Some((g, _, _)) = &cur {
-                    if *g != gatherer {
-                        partials.push(cur.take().unwrap());
+                    ws.neighbors.clear();
+                    ws.neighbors.push(neighbor);
+                    let mut j = i + 1;
+                    while j < edges.len() {
+                        let (g, nb) = orient(edges[j]);
+                        if let Some(m) = mask {
+                            if !m.contains(g) {
+                                j += 1;
+                                continue;
+                            }
+                        }
+                        if g != gatherer {
+                            break;
+                        }
+                        ws.neighbors.push(nb);
+                        j += 1;
                     }
-                }
-                gather_calls += 1;
-                tally.add(1);
-                let item = step.gather(
-                    &ctx,
-                    gatherer,
-                    &state_ro[gatherer.index()],
-                    neighbor,
-                    &state_ro[neighbor.index()],
-                    &mut tally,
-                );
-                let Some(item) = item else { continue };
-                let bytes = item.estimated_bytes();
-                mem += bytes;
-                mem_peak = mem_peak.max(mem);
-                if mem > cap {
-                    return Err(EngineError::ResourceExhausted {
-                        node,
-                        required: mem,
-                        capacity: cap,
-                        step: step.name().to_owned(),
-                    });
-                }
-                cur = Some(match cur.take() {
-                    None => (gatherer, item, bytes),
-                    Some((g, acc, b)) => {
-                        sum_calls += 1;
-                        tally.add(1);
-                        (g, step.sum(acc, item, &mut tally), b + bytes)
+                    let mut budget = RunBudget::new(
+                        &mut gather_calls,
+                        &mut sum_calls,
+                        &mut mem,
+                        &mut mem_peak,
+                        cap,
+                    );
+                    let run = step
+                        .gather_run(
+                            &ctx,
+                            gatherer,
+                            &state_ro[gatherer.index()],
+                            &ws.neighbors,
+                            &states,
+                            &mut budget,
+                            &mut ws.arena,
+                            &mut tally,
+                        )
+                        .map_err(|overflow| EngineError::ResourceExhausted {
+                            node,
+                            required: overflow.required,
+                            capacity: cap,
+                            step: step.name().to_owned(),
+                        })?;
+                    if let Some((g, bytes)) = run {
+                        partials.push((gatherer, g, bytes));
                     }
-                });
-            }
-            if let Some(last) = cur.take() {
-                partials.push(last);
-            }
-            Ok(NodeGather {
-                node: n,
-                partials,
-                gather_calls,
-                sum_calls,
-                ops: tally.ops(),
-                mem_peak,
-            })
-        };
+                    i = j;
+                }
+                Ok(NodeGather {
+                    node: n,
+                    partials,
+                    gather_calls,
+                    sum_calls,
+                    ops: tally.ops(),
+                    mem_peak,
+                })
+            };
 
         // Gather only over partitions that actually hold edges: on small
         // or skewed graphs many simulated nodes are empty, and gathering
@@ -528,16 +553,23 @@ impl<'d> Engine<'d> {
         let gather_worker_cap = self.gather_workers.unwrap_or_else(host_parallelism);
         let gather_workers = gather_worker_cap.min(nonempty.len()).max(1);
         let chunk_len = nonempty.len().div_ceil(gather_workers).max(1);
+        // Each worker borrows one persistent scratch slot; slots outlive
+        // the step, so buffers grown on superstep k are reused on k+1.
+        let scratch_pool = &mut self.worker_scratch;
+        if scratch_pool.len() < gather_workers {
+            scratch_pool.resize_with(gather_workers, WorkerScratch::default);
+        }
         let gather_results: Vec<Result<Vec<NodeGather<S::Gather>>, EngineError>> =
             thread::scope(|scope| {
                 let gather_node = &gather_node;
                 let handles: Vec<_> = nonempty
                     .chunks(chunk_len)
-                    .map(|chunk| {
+                    .zip(scratch_pool.iter_mut())
+                    .map(|(chunk, ws)| {
                         scope.spawn(move || {
                             chunk
                                 .iter()
-                                .map(|&n| gather_node(n))
+                                .map(|&n| gather_node(n, ws))
                                 .collect::<Result<Vec<_>, _>>()
                         })
                     })
@@ -1389,6 +1421,140 @@ mod tests {
             ),
             Err(EngineError::InvalidConfig(_))
         ));
+    }
+
+    /// [`SumNeighbors`] with a hand-batched `gather_run` that replays the
+    /// budget protocol, exercising the override contract end to end.
+    struct BatchedSumNeighbors;
+    impl GasStep for BatchedSumNeighbors {
+        type Vertex = u64;
+        type Gather = u64;
+        fn name(&self) -> &str {
+            "sum-neighbors"
+        }
+        fn gather(
+            &self,
+            _: &GatherCtx<'_>,
+            _u: VertexId,
+            _ud: &u64,
+            _v: VertexId,
+            vd: &u64,
+            _w: &mut WorkTally,
+        ) -> Option<u64> {
+            Some(*vd)
+        }
+        fn sum(&self, a: u64, b: u64, _w: &mut WorkTally) -> u64 {
+            a + b
+        }
+        #[allow(clippy::too_many_arguments)]
+        fn gather_run(
+            &self,
+            _ctx: &GatherCtx<'_>,
+            _u: VertexId,
+            _u_data: &u64,
+            neighbors: &[VertexId],
+            states: &crate::program::NeighborStates<'_, u64>,
+            budget: &mut crate::program::RunBudget<'_>,
+            _scratch: &mut crate::scratch::ScratchArena,
+            work: &mut WorkTally,
+        ) -> Result<Option<(u64, u64)>, crate::program::GatherOverflow> {
+            let mut acc = 0u64;
+            let mut bytes = 0u64;
+            for (i, &v) in neighbors.iter().enumerate() {
+                budget.count_gather();
+                work.add(1);
+                let item = *states.get(v);
+                let b = item.estimated_bytes();
+                budget.charge(b)?;
+                if i > 0 {
+                    budget.count_sum();
+                    work.add(1);
+                }
+                acc += item;
+                bytes += b;
+            }
+            if neighbors.is_empty() {
+                Ok(None)
+            } else {
+                Ok(Some((acc, bytes)))
+            }
+        }
+        fn apply(
+            &self,
+            _: &GatherCtx<'_>,
+            _u: VertexId,
+            data: &mut u64,
+            acc: Option<u64>,
+            _w: &mut WorkTally,
+        ) {
+            *data = acc.unwrap_or(0);
+        }
+    }
+
+    #[test]
+    fn batched_gather_run_override_is_byte_identical_to_default() {
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = gen::erdos_renyi(350, 4_000, &mut rng).into_symmetric_graph();
+        let deployment = Deployment::new(
+            &g,
+            ClusterSpec::type_i(8),
+            PartitionStrategy::RandomVertexCut,
+            7,
+        )
+        .unwrap();
+        let init: Vec<u64> = (0..350).map(|i| i * 19 % 61).collect();
+        let mask = VertexMask::from_vertices(350, (0..200).map(|i| VertexId::new(i * 7 % 350)));
+
+        for m in [None, Some(&mask)] {
+            let mut reference_state = init.clone();
+            let mut reference = Engine::on(&deployment);
+            reference
+                .run_step_masked(&SumNeighbors, &mut reference_state, m)
+                .unwrap();
+            let reference_stats = reference.into_stats();
+
+            let mut state = init.clone();
+            let mut engine = Engine::on(&deployment);
+            engine
+                .run_step_masked(&BatchedSumNeighbors, &mut state, m)
+                .unwrap();
+            let stats = engine.into_stats();
+            let masked = m.is_some();
+            assert_eq!(state, reference_state, "masked={masked}");
+            let (s, r) = (&stats.steps[0], &reference_stats.steps[0]);
+            assert_eq!(s.gather_calls, r.gather_calls, "masked={masked}");
+            assert_eq!(s.sum_calls, r.sum_calls, "masked={masked}");
+            assert_eq!(s.apply_calls, r.apply_calls, "masked={masked}");
+            assert_eq!(s.work_ops, r.work_ops, "masked={masked}");
+            assert_eq!(s.broadcast_bytes, r.broadcast_bytes, "masked={masked}");
+            assert_eq!(s.partial_bytes, r.partial_bytes, "masked={masked}");
+            for (n, (sn, rn)) in s.per_node.iter().zip(&r.per_node).enumerate() {
+                assert_eq!(sn.compute_ops, rn.compute_ops, "node {n}");
+                assert_eq!(sn.net_bytes, rn.net_bytes, "node {n}");
+                assert_eq!(sn.memory_peak, rn.memory_peak, "node {n}");
+            }
+            assert_eq!(s.simulated_seconds, r.simulated_seconds);
+        }
+    }
+
+    #[test]
+    fn batched_override_surfaces_the_same_memory_exhaustion() {
+        let g = ring(200);
+        let cluster = ClusterSpec {
+            memory_per_node: 64,
+            ..ClusterSpec::type_i(8)
+        };
+        let deployment =
+            Deployment::new(&g, cluster, PartitionStrategy::RandomVertexCut, 1).unwrap();
+        let mut a = vec![1u64; 200];
+        let default_err = Engine::on(&deployment)
+            .run_step(&SumNeighbors, &mut a)
+            .unwrap_err();
+        let mut b = vec![1u64; 200];
+        let batched_err = Engine::on(&deployment)
+            .run_step(&BatchedSumNeighbors, &mut b)
+            .unwrap_err();
+        assert_eq!(default_err, batched_err);
     }
 
     #[test]

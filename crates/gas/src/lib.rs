@@ -76,6 +76,7 @@ pub mod error;
 pub mod partition;
 pub mod program;
 pub mod programs;
+pub mod scratch;
 pub mod shard;
 pub mod size;
 pub mod stats;
@@ -86,7 +87,8 @@ pub use deploy::{DeltaStats, Deployment};
 pub use engine::{host_parallelism, Engine, GatherCodec, ShardSyncStats, U64Codec};
 pub use error::EngineError;
 pub use partition::{master_node, PartitionStrategy, PartitionedGraph};
-pub use program::{GasStep, GatherCtx, WorkTally};
+pub use program::{GasStep, GatherCtx, GatherOverflow, NeighborStates, RunBudget, WorkTally};
+pub use scratch::ScratchArena;
 pub use shard::ShardAssignment;
 pub use size::SizeEstimate;
 pub use stats::{NodeStats, RunStats, StepStats};

@@ -2,6 +2,7 @@
 
 use snaple_graph::{CsrGraph, Direction, VertexId};
 
+use crate::scratch::ScratchArena;
 use crate::size::SizeEstimate;
 
 /// Work counter threaded through a GAS step.
@@ -91,6 +92,104 @@ impl<'a> GatherCtx<'a> {
     }
 }
 
+/// A simulated node ran out of memory while accumulating gather partials.
+///
+/// Produced by [`RunBudget::charge`]; batched [`GasStep::gather_run`]
+/// implementations propagate it with `?` and the engine converts it into
+/// [`EngineError::ResourceExhausted`](crate::EngineError::ResourceExhausted)
+/// naming the failing partition.
+#[derive(Debug)]
+pub struct GatherOverflow {
+    pub(crate) required: u64,
+}
+
+/// Accounting ledger of one gather run, threaded through
+/// [`GasStep::gather_run`].
+///
+/// The budget mirrors the engine's historical per-edge protocol: one
+/// [`count_gather`](RunBudget::count_gather) per gathered edge, one
+/// [`charge`](RunBudget::charge) per accumulator contribution (checked
+/// against the simulated node's memory capacity), and one
+/// [`count_sum`](RunBudget::count_sum) per fold. A batched implementation
+/// that replays these calls in edge order produces byte-identical run
+/// statistics to the default per-edge path.
+#[derive(Debug)]
+pub struct RunBudget<'a> {
+    gather_calls: &'a mut u64,
+    sum_calls: &'a mut u64,
+    mem: &'a mut u64,
+    mem_peak: &'a mut u64,
+    cap: u64,
+}
+
+impl<'a> RunBudget<'a> {
+    pub(crate) fn new(
+        gather_calls: &'a mut u64,
+        sum_calls: &'a mut u64,
+        mem: &'a mut u64,
+        mem_peak: &'a mut u64,
+        cap: u64,
+    ) -> Self {
+        RunBudget {
+            gather_calls,
+            sum_calls,
+            mem,
+            mem_peak,
+            cap,
+        }
+    }
+
+    /// Records one gather invocation (the engine's implicit op per edge).
+    #[inline]
+    pub fn count_gather(&mut self) {
+        *self.gather_calls += 1;
+    }
+
+    /// Records one sum fold (the engine's implicit op per fold).
+    #[inline]
+    pub fn count_sum(&mut self) {
+        *self.sum_calls += 1;
+    }
+
+    /// Charges `bytes` of accumulator memory against the node's capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GatherOverflow`] when the node's cumulative gather memory
+    /// exceeds its capacity — propagate it, do not swallow it.
+    #[inline]
+    pub fn charge(&mut self, bytes: u64) -> Result<(), GatherOverflow> {
+        *self.mem += bytes;
+        *self.mem_peak = (*self.mem_peak).max(*self.mem);
+        if *self.mem > self.cap {
+            Err(GatherOverflow {
+                required: *self.mem,
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+/// Read access to the vertex states a gather run may consult, indexed by
+/// neighbor id. Wraps the full state slice without exposing mutation.
+#[derive(Debug)]
+pub struct NeighborStates<'a, V> {
+    states: &'a [V],
+}
+
+impl<'a, V> NeighborStates<'a, V> {
+    pub(crate) fn new(states: &'a [V]) -> Self {
+        NeighborStates { states }
+    }
+
+    /// The program state of vertex `v`.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> &'a V {
+        &self.states[v.index()]
+    }
+}
+
 /// One gather-apply superstep of a GAS program.
 ///
 /// A multi-step program (like SNAPLE's Algorithm 2) is expressed as a
@@ -146,6 +245,60 @@ pub trait GasStep: Sync {
 
     /// Folds two accumulators. Must be commutative and associative.
     fn sum(&self, a: Self::Gather, b: Self::Gather, work: &mut WorkTally) -> Self::Gather;
+
+    /// Gathers one *run* — a maximal stretch of same-vertex edges on one
+    /// simulated node — in a single call, returning the folded accumulator
+    /// and its accounted byte size (`None` if every edge contributed
+    /// nothing).
+    ///
+    /// The default implementation replays the engine's per-edge protocol —
+    /// [`gather`](GasStep::gather) / [`SizeEstimate`] charge /
+    /// [`sum`](GasStep::sum) per neighbor — and is byte-identical to the
+    /// historical edge loop. Batched programs override it to consume the
+    /// whole neighbor stripe at once (vectorized kernels, pooled buffers
+    /// from `scratch`), and **must replicate the same accounting**: per
+    /// neighbor one [`RunBudget::count_gather`] plus `work.add(1)`, one
+    /// [`RunBudget::charge`] per contribution, and per fold one
+    /// [`RunBudget::count_sum`] plus `work.add(1)` on top of whatever
+    /// `sum` itself would tally — otherwise run statistics (and the
+    /// simulated cost model built on them) diverge from the per-edge path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GatherOverflow`] from [`RunBudget::charge`] when the
+    /// simulated node exceeds its memory capacity.
+    #[allow(unused_variables, clippy::too_many_arguments)]
+    fn gather_run(
+        &self,
+        ctx: &GatherCtx<'_>,
+        u: VertexId,
+        u_data: &Self::Vertex,
+        neighbors: &[VertexId],
+        states: &NeighborStates<'_, Self::Vertex>,
+        budget: &mut RunBudget<'_>,
+        scratch: &mut ScratchArena,
+        work: &mut WorkTally,
+    ) -> Result<Option<(Self::Gather, u64)>, GatherOverflow> {
+        let mut cur: Option<(Self::Gather, u64)> = None;
+        for &v in neighbors {
+            budget.count_gather();
+            work.add(1);
+            let Some(item) = self.gather(ctx, u, u_data, v, states.get(v), work) else {
+                continue;
+            };
+            let bytes = item.estimated_bytes();
+            budget.charge(bytes)?;
+            cur = Some(match cur.take() {
+                None => (item, bytes),
+                Some((acc, b)) => {
+                    budget.count_sum();
+                    work.add(1);
+                    (self.sum(acc, item, work), b + bytes)
+                }
+            });
+        }
+        Ok(cur)
+    }
 
     /// Consumes the merged accumulator and updates the vertex state.
     fn apply(

@@ -1,0 +1,86 @@
+//! Reusable scratch storage for the gather phase.
+//!
+//! Every gather worker owns one `WorkerScratch` that persists across
+//! partitions *and* supersteps, so the hot path stops re-allocating its
+//! edge-sort and run buffers per partition. The [`ScratchArena`] inside it
+//! is handed to [`GasStep::gather_run`](crate::GasStep::gather_run) so
+//! batched programs can lease temporary buffers (kernel stripes, staging
+//! tables) that would otherwise be rebuilt per vertex run.
+
+use snaple_graph::VertexId;
+
+/// A pool of reusable scratch buffers for batched gather programs.
+///
+/// Buffers leased from the arena live only for the duration of one
+/// [`GasStep::gather_run`](crate::GasStep::gather_run) call and must be
+/// [released](ScratchArena::release_f32) before returning so the next run
+/// (and the next superstep) reuses the allocation. Leased buffers carry no
+/// data between runs: a lease always returns a zero-filled buffer of the
+/// requested length, so pooling cannot change program output.
+#[derive(Debug, Default)]
+pub struct ScratchArena {
+    f32_bufs: Vec<Vec<f32>>,
+}
+
+impl ScratchArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a zero-filled `f32` buffer of exactly `len` elements,
+    /// reusing a previously released allocation when one is available.
+    pub fn lease_f32(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.f32_bufs.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a leased buffer to the pool for reuse by later runs.
+    pub fn release_f32(&mut self, buf: Vec<f32>) {
+        self.f32_bufs.push(buf);
+    }
+}
+
+/// Per-worker scratch state of the engine's gather phase: the in-direction
+/// edge sort buffer, the current run's neighbor list, and the program-facing
+/// arena. One instance per host worker, reused across supersteps.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerScratch {
+    /// Sorted copy of a partition's edges (in-direction steps only).
+    pub(crate) edges: Vec<(VertexId, VertexId)>,
+    /// Neighbors of the gather run currently being assembled.
+    pub(crate) neighbors: Vec<VertexId>,
+    /// Buffer pool handed to `gather_run`.
+    pub(crate) arena: ScratchArena,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leases_are_zeroed_and_recycled() {
+        let mut arena = ScratchArena::new();
+        let mut buf = arena.lease_f32(4);
+        assert_eq!(buf, vec![0.0; 4]);
+        buf[2] = 7.5;
+        let ptr = buf.as_ptr();
+        arena.release_f32(buf);
+        let again = arena.lease_f32(3);
+        assert_eq!(again, vec![0.0; 3], "recycled buffers must come back clean");
+        assert_eq!(again.as_ptr(), ptr, "the allocation itself is reused");
+        arena.release_f32(again);
+    }
+
+    #[test]
+    fn growing_leases_reuse_the_backing_allocation() {
+        let mut arena = ScratchArena::new();
+        let buf = arena.lease_f32(2);
+        arena.release_f32(buf);
+        let bigger = arena.lease_f32(100);
+        assert_eq!(bigger.len(), 100);
+        assert!(bigger.iter().all(|&x| x == 0.0));
+    }
+}

@@ -50,6 +50,7 @@ pub mod hash;
 pub mod id;
 pub mod io;
 pub mod mask;
+pub mod relabel;
 pub mod sample;
 pub mod stats;
 
@@ -59,3 +60,4 @@ pub use delta::{DeltaOverlay, GraphDelta};
 pub use error::GraphError;
 pub use id::VertexId;
 pub use mask::VertexMask;
+pub use relabel::Relabeling;

@@ -1,0 +1,263 @@
+//! Degree-ordered relabeling round-trips: predictions computed on a
+//! relabeled graph, mapped back through the inverse permutation, must
+//! match predictions on the original graph.
+//!
+//! What "match" means follows the same taxonomy as
+//! `tests/distribution_invariance.rs`:
+//!
+//! * **Bit-identity under any permutation** holds for configurations whose
+//!   arithmetic is label-free: integer-valued scoring (counter) and
+//!   per-candidate set arithmetic (the baseline's plain Jaccard), run
+//!   without label-keyed sampling (`thrΓ`/`klocal` hash vertex ids) and
+//!   without top-k truncation (score ties at the cut are broken by id).
+//! * **Tolerance** (1e-3, the repo's float precedent) for float-summed
+//!   configurations: partition edge order is label-keyed, so f32 folds
+//!   reassociate under relabeling.
+//! * **Identity-permutation strictness** for every backend, including the
+//!   hash-seeded random walk (its rng is seeded per vertex *label*, so
+//!   non-identity permutations legitimately change its samples) and the
+//!   supervised re-ranker: the full relabel wrapper — `apply` plus row
+//!   mapping — must be exactly transparent when the permutation is trivial.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use snaple::baseline::{Baseline, BaselineConfig};
+use snaple::cassovary::{RandomWalkConfig, RandomWalkPpr};
+use snaple::core::{NamedScore, PredictRequest, Prediction, Predictor, Snaple, SnapleConfig};
+use snaple::gas::ClusterSpec;
+use snaple::graph::gen::{self, datasets, CommunityParams};
+use snaple::graph::relabel::Relabeling;
+use snaple::graph::{CsrGraph, VertexId};
+
+fn random_graph(n: usize, m_per_vertex: usize, seed: u64) -> CsrGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen::community_graph(
+        n,
+        CommunityParams {
+            m: m_per_vertex,
+            p_triad: 0.4,
+            p_community: 0.7,
+            mean_community_size: 15,
+        },
+        &mut rng,
+    )
+    .into_symmetric_graph()
+}
+
+/// Row of `relabeled_pred` for old vertex `u`, translated back to old ids
+/// and sorted by candidate id (row order may legitimately differ when
+/// scores tie, so comparisons are order-insensitive).
+fn mapped_back(relabeled_pred: &Prediction, r: &Relabeling, u: VertexId) -> Vec<(VertexId, f32)> {
+    let mut row: Vec<(VertexId, f32)> = relabeled_pred
+        .for_vertex(r.to_new(u))
+        .iter()
+        .map(|&(z, s)| (r.to_old(z), s))
+        .collect();
+    row.sort_by_key(|&(z, _)| z);
+    row
+}
+
+fn sorted_by_id(row: &[(VertexId, f32)]) -> Vec<(VertexId, f32)> {
+    let mut row = row.to_vec();
+    row.sort_by_key(|&(z, _)| z);
+    row
+}
+
+/// The label-free exact backends: integer scoring and per-candidate set
+/// arithmetic, no sampling, k large enough that no row is truncated.
+fn exact_backends() -> Vec<(&'static str, Box<dyn Predictor>)> {
+    vec![
+        (
+            "snaple-counter",
+            Box::new(Snaple::new(
+                SnapleConfig::new(NamedScore::Counter)
+                    .k(1_000)
+                    .klocal(None)
+                    .thr_gamma(None)
+                    .seed(7),
+            )),
+        ),
+        (
+            "baseline",
+            Box::new(Baseline::new(BaselineConfig::new().k(1_000).seed(7))),
+        ),
+    ]
+}
+
+fn assert_rows_bit_identical(
+    label: &str,
+    graph: &CsrGraph,
+    r: &Relabeling,
+    original: &Prediction,
+    relabeled: &Prediction,
+) {
+    for u in graph.vertices() {
+        let expect = sorted_by_id(original.for_vertex(u));
+        let got = mapped_back(relabeled, r, u);
+        assert_eq!(expect.len(), got.len(), "{label}: vertex {u:?} row length");
+        for (i, ((ze, se), (zg, sg))) in expect.iter().zip(&got).enumerate() {
+            assert_eq!(ze, zg, "{label}: vertex {u:?} candidate #{i}");
+            assert_eq!(
+                se.to_bits(),
+                sg.to_bits(),
+                "{label}: vertex {u:?} score for {ze:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_backends_are_bit_identical_under_degree_relabeling() {
+    let graph = random_graph(180, 3, 11);
+    let cluster = ClusterSpec::type_ii(2);
+    let r = Relabeling::degree_order(&graph);
+    let relabeled_graph = r.apply(&graph);
+    for (label, predictor) in exact_backends() {
+        let original = predictor
+            .predict(&PredictRequest::new(&graph, &cluster))
+            .unwrap();
+        let relabeled = predictor
+            .predict(&PredictRequest::new(&relabeled_graph, &cluster))
+            .unwrap();
+        assert_rows_bit_identical(label, &graph, &r, &original, &relabeled);
+    }
+}
+
+#[test]
+fn float_configs_agree_within_tolerance_under_degree_relabeling() {
+    let graph = random_graph(150, 3, 23);
+    let cluster = ClusterSpec::type_ii(2);
+    let r = Relabeling::degree_order(&graph);
+    let relabeled_graph = r.apply(&graph);
+    // No sampling and no truncation: the candidate sets are label-free,
+    // only the f32 fold order moves — the repo's 1e-3 float precedent.
+    let predictor = Snaple::new(
+        SnapleConfig::new(NamedScore::LinearSum)
+            .k(1_000)
+            .klocal(None)
+            .thr_gamma(None)
+            .seed(7),
+    );
+    let original = predictor
+        .predict(&PredictRequest::new(&graph, &cluster))
+        .unwrap();
+    let relabeled = predictor
+        .predict(&PredictRequest::new(&relabeled_graph, &cluster))
+        .unwrap();
+    for u in graph.vertices() {
+        let expect = sorted_by_id(original.for_vertex(u));
+        let got = mapped_back(&relabeled, &r, u);
+        assert_eq!(expect.len(), got.len(), "vertex {u:?} row length");
+        for ((ze, se), (zg, sg)) in expect.iter().zip(&got) {
+            assert_eq!(ze, zg, "vertex {u:?} candidate set");
+            assert!(
+                (se - sg).abs() < 1e-3,
+                "vertex {u:?} candidate {ze:?}: {se} vs {sg}"
+            );
+        }
+    }
+}
+
+/// The full wrapper — [`Relabeling::apply`] plus row mapping — must be
+/// exactly transparent under the identity permutation for **all four
+/// backends**, including the hash-seeded ones whose randomness is keyed
+/// to vertex labels.
+#[test]
+fn all_backends_round_trip_under_identity_relabeling() {
+    use snaple::supervised::{SupervisedConfig, SupervisedSnaple};
+    let graph = datasets::GOWALLA.emulate(0.004, 3);
+    let cluster = ClusterSpec::type_ii(2);
+    let r = Relabeling::identity(graph.num_vertices());
+    let relabeled_graph = r.apply(&graph);
+
+    let mut backends: Vec<(&'static str, Box<dyn Predictor>)> = vec![
+        (
+            "snaple",
+            Box::new(Snaple::new(
+                SnapleConfig::new(NamedScore::LinearSum)
+                    .k(5)
+                    .klocal(Some(8))
+                    .seed(42),
+            )),
+        ),
+        (
+            "baseline",
+            Box::new(Baseline::new(BaselineConfig::new().k(5).seed(42))),
+        ),
+        (
+            "random-walk-ppr",
+            Box::new(RandomWalkPpr::new(
+                RandomWalkConfig::new().walks(15).depth(3).seed(42),
+            )),
+        ),
+    ];
+    let supervised = SupervisedSnaple::new(SupervisedConfig::new().k(3).seed(3))
+        .train(&graph, &cluster)
+        .unwrap();
+    backends.push(("supervised", Box::new(supervised)));
+
+    for (label, predictor) in backends {
+        let original = predictor
+            .predict(&PredictRequest::new(&graph, &cluster))
+            .unwrap();
+        let relabeled = predictor
+            .predict(&PredictRequest::new(&relabeled_graph, &cluster))
+            .unwrap();
+        for (u, expect) in original.iter() {
+            let got = mapped_back(&relabeled, &r, u);
+            assert_eq!(
+                sorted_by_id(expect),
+                got,
+                "{label}: vertex {u:?} diverged under the identity relabeling"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Bit-identity for the exact backends holds under *arbitrary*
+    /// permutations, not just the degree ordering.
+    #[test]
+    fn exact_backends_are_bit_identical_under_random_permutations(
+        graph_seed in 0u64..1_000,
+        perm_seed in 0u64..1_000,
+    ) {
+        let graph = random_graph(120, 3, graph_seed);
+        let cluster = ClusterSpec::type_ii(2);
+        let mut order: Vec<VertexId> = graph.vertices().collect();
+        let mut rng = StdRng::seed_from_u64(perm_seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let r = Relabeling::from_order(order);
+        let relabeled_graph = r.apply(&graph);
+        for (label, predictor) in exact_backends() {
+            let original = predictor
+                .predict(&PredictRequest::new(&graph, &cluster))
+                .unwrap();
+            let relabeled = predictor
+                .predict(&PredictRequest::new(&relabeled_graph, &cluster))
+                .unwrap();
+            for u in graph.vertices() {
+                let expect = sorted_by_id(original.for_vertex(u));
+                let got = mapped_back(&relabeled, &r, u);
+                prop_assert_eq!(
+                    expect.len(), got.len(),
+                    "{}: vertex {:?} row length", label, u
+                );
+                for ((ze, se), (zg, sg)) in expect.iter().zip(&got) {
+                    prop_assert_eq!(ze, zg, "{}: vertex {:?}", label, u);
+                    prop_assert_eq!(
+                        se.to_bits(), sg.to_bits(),
+                        "{}: vertex {:?} score for {:?}", label, u, ze
+                    );
+                }
+            }
+        }
+    }
+}
