@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! **BASELINE** — the paper's direct GAS implementation of 2-hop
 //! link prediction (§5.3).

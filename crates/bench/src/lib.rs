@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Shared plumbing for the experiment binaries (`exp-table4` …
 //! `exp-table6`) that regenerate the paper's tables and figures.

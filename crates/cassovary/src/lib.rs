@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Single-machine random-walk link prediction — the reproduction's stand-in
 //! for **Cassovary**, Twitter's multithreaded in-memory graph library

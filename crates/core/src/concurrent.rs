@@ -341,14 +341,14 @@ impl ServeHandle<'_, '_> {
 
     fn enqueue(&self, queries: &QuerySet, block: bool) -> Result<PendingPrediction, SnapleError> {
         let (tx, rx) = mpsc::channel();
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let mut q = crate::sync::lock(&self.shared.queue);
         while q.jobs.len() >= self.shared.capacity {
             if !block {
                 return Err(SnapleError::QueueFull {
                     capacity: self.shared.capacity,
                 });
             }
-            q = self.shared.space_cv.wait(q).expect("queue poisoned");
+            q = crate::sync::wait(&self.shared.space_cv, q);
         }
         q.jobs.push_back(Job {
             queries: queries.clone(),
@@ -387,22 +387,18 @@ impl ServeHandle<'_, '_> {
     /// Propagates [`SnapleError`] from the fork; on error no swap happens
     /// and the current epoch keeps serving.
     pub fn apply_update(&self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError> {
-        let _updates_serialized = self
-            .shared
-            .update_lock
-            .lock()
-            .expect("update lock poisoned");
-        let current = Arc::clone(&self.shared.snapshot.read().expect("snapshot poisoned"));
+        let _updates_serialized = crate::sync::lock(&self.shared.update_lock);
+        let current = Arc::clone(&crate::sync::read(&self.shared.snapshot));
         // The expensive part happens here, outside every lock readers use.
         let (forked, applied) = current.prepared.fork_with_delta(delta)?;
         {
-            let mut slot = self.shared.snapshot.write().expect("snapshot poisoned");
+            let mut slot = crate::sync::write(&self.shared.snapshot);
             *slot = Arc::new(Snapshot {
                 prepared: forked,
                 epoch: current.epoch + 1,
             });
         }
-        let mut g = self.shared.gauges.lock().expect("gauges poisoned");
+        let mut g = crate::sync::lock(&self.shared.gauges);
         g.updates += 1;
         g.edges_inserted += applied.inserted_edges;
         g.edges_removed += applied.removed_edges;
@@ -413,25 +409,21 @@ impl ServeHandle<'_, '_> {
 
     /// The current epoch number: 0 at start, +1 per applied update.
     pub fn epoch(&self) -> u64 {
-        self.shared
-            .snapshot
-            .read()
-            .expect("snapshot poisoned")
-            .epoch
+        crate::sync::read(&self.shared.snapshot).epoch
     }
 
     /// Number of requests currently waiting in the submission queue.
     pub fn queue_len(&self) -> usize {
-        self.shared.queue.lock().expect("queue poisoned").jobs.len()
+        crate::sync::lock(&self.shared.queue).jobs.len()
     }
 
     /// Blocks until every accepted request has been answered (queue empty
     /// and no batch in flight) — the graceful quiesce point before an
     /// ordered update or shutdown.
     pub fn drain(&self) {
-        let mut q = self.shared.queue.lock().expect("queue poisoned");
+        let mut q = crate::sync::lock(&self.shared.queue);
         while !q.jobs.is_empty() || q.in_flight > 0 {
-            q = self.shared.idle_cv.wait(q).expect("queue poisoned");
+            q = crate::sync::wait(&self.shared.idle_cv, q);
         }
     }
 }
@@ -508,7 +500,7 @@ impl ConcurrentServer {
             body(ServeHandle { shared: &shared })
         });
         let serve_wall_seconds = serve_started.elapsed().as_secs_f64();
-        let gauges = shared.gauges.into_inner().expect("gauges poisoned");
+        let gauges = crate::sync::into_inner(shared.gauges);
         let stats = ServerStats {
             requests: gauges.requests,
             batches: gauges.batches,
@@ -578,7 +570,7 @@ impl Drop for InFlightGuard<'_, '_> {
 fn worker_loop(shared: &Shared<'_>) {
     loop {
         let jobs: Vec<Job> = {
-            let mut q = shared.queue.lock().expect("queue poisoned");
+            let mut q = crate::sync::lock(&shared.queue);
             loop {
                 if !q.jobs.is_empty() {
                     break;
@@ -586,7 +578,7 @@ fn worker_loop(shared: &Shared<'_>) {
                 if !q.open {
                     return;
                 }
-                q = shared.jobs_cv.wait(q).expect("queue poisoned");
+                q = crate::sync::wait(&shared.jobs_cv, q);
             }
             let n = q.jobs.len().min(shared.batch);
             let jobs: Vec<Job> = q.jobs.drain(..n).collect();
@@ -604,7 +596,7 @@ fn worker_loop(shared: &Shared<'_>) {
         // Pin this batch to the current epoch: the Arc clone is the only
         // synchronization the read path needs, and it keeps the snapshot
         // alive even if an update swaps the epoch mid-run.
-        let snapshot = Arc::clone(&shared.snapshot.read().expect("snapshot poisoned"));
+        let snapshot = Arc::clone(&crate::sync::read(&shared.snapshot));
         let started = Instant::now();
         let requests: Vec<QuerySet> = jobs.iter().map(|j| j.queries.clone()).collect();
         let result = execute_coalesced(
@@ -617,7 +609,7 @@ fn worker_loop(shared: &Shared<'_>) {
         match result {
             Ok((responses, union_len, simulated_seconds)) => {
                 let elapsed = started.elapsed().as_secs_f64();
-                let mut g = shared.gauges.lock().expect("gauges poisoned");
+                let mut g = crate::sync::lock(&shared.gauges);
                 g.requests += requests.len();
                 g.batches += 1;
                 g.queries_received += requests.iter().map(QuerySet::len).sum::<usize>();

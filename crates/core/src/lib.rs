@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! **SNAPLE** — scalable link prediction for gather-apply-scatter engines.
 //!
@@ -274,6 +275,7 @@ pub mod similarity;
 pub mod spec;
 pub mod state;
 pub mod steps;
+pub(crate) mod sync;
 pub mod topk;
 
 pub use aggregator::Aggregator;

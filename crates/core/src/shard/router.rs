@@ -183,35 +183,39 @@ impl RouterShared {
     /// readiness or drain is woken. Idempotent.
     fn mark_dead(&self, i: usize, message: &str) {
         {
-            let mut dead = self.dead.lock().expect("dead lock");
-            if dead[i].is_some() {
-                return;
+            let mut dead = crate::sync::lock(&self.dead);
+            match dead.get_mut(i) {
+                Some(slot) if slot.is_none() => *slot = Some(message.to_string()),
+                _ => return, // already dead, or not a shard we know
             }
-            dead[i] = Some(message.to_string());
         }
         // Unblock a prepare waiting on this shard.
         {
-            let mut ready = self.ready.lock().expect("ready lock");
-            if ready[i].is_none() {
-                ready[i] = Some(Err(message.to_string()));
+            let mut ready = crate::sync::lock(&self.ready);
+            if let Some(slot) = ready.get_mut(i) {
+                if slot.is_none() {
+                    *slot = Some(Err(message.to_string()));
+                }
             }
             self.ready_cv.notify_all();
         }
         // Close our writer so nothing else is sent there.
-        *self.conns[i].writer.lock().expect("writer lock") = None;
+        if let Some(conn) = self.conns.get(i) {
+            *crate::sync::lock(&conn.writer) = None;
+        }
         // Fail every slot waiting on this shard.
         let failed: Vec<Arc<Slot>> = {
-            let mut pending = self.pending.lock().expect("pending lock");
+            let mut pending = crate::sync::lock(&self.pending);
             let ids: Vec<u64> = pending
                 .iter()
-                .filter(|(_, slot)| slot.state.lock().expect("slot lock").waiting.contains(&i))
+                .filter(|(_, slot)| crate::sync::lock(&slot.state).waiting.contains(&i))
                 .map(|(&id, _)| id)
                 .collect();
             ids.iter().filter_map(|id| pending.remove(id)).collect()
         };
         let n_failed = failed.len();
         for slot in failed {
-            let mut state = slot.state.lock().expect("slot lock");
+            let mut state = crate::sync::lock(&slot.state);
             state.error = Some(SnapleError::ShardFailed {
                 shard: i,
                 message: message.to_string(),
@@ -220,7 +224,7 @@ impl RouterShared {
             slot.cv.notify_all();
         }
         if n_failed > 0 {
-            let mut gauges = self.gauges.lock().expect("gauges lock");
+            let mut gauges = crate::sync::lock(&self.gauges);
             gauges.outstanding -= n_failed.min(gauges.outstanding);
             self.idle_cv.notify_all();
         }
@@ -236,14 +240,14 @@ impl RouterShared {
         error: Option<SnapleError>,
     ) {
         let slot = {
-            let pending = self.pending.lock().expect("pending lock");
+            let pending = crate::sync::lock(&self.pending);
             match pending.get(&request_id) {
                 Some(slot) => Arc::clone(slot),
                 None => return, // already failed via mark_dead
             }
         };
         let finished = {
-            let mut state = slot.state.lock().expect("slot lock");
+            let mut state = crate::sync::lock(&slot.state);
             state.waiting.retain(|&s| s != i);
             if let Some(e) = error {
                 state.error = Some(e);
@@ -260,18 +264,16 @@ impl RouterShared {
             state.done
         };
         if finished {
-            self.pending
-                .lock()
-                .expect("pending lock")
-                .remove(&request_id);
-            let mut gauges = self.gauges.lock().expect("gauges lock");
+            crate::sync::lock(&self.pending).remove(&request_id);
+            let mut gauges = crate::sync::lock(&self.gauges);
             gauges.outstanding = gauges.outstanding.saturating_sub(1);
             self.idle_cv.notify_all();
         }
     }
 
     fn send_to(&self, i: usize, frame: &[u8]) -> Result<(), SnapleError> {
-        let mut writer = self.conns[i].writer.lock().expect("writer lock");
+        let conn = self.conns.get(i).ok_or_else(|| self.dead_error(i))?;
+        let mut writer = crate::sync::lock(&conn.writer);
         match writer.as_mut() {
             Some(w) => {
                 if let Err(e) = w.write_all(frame).and_then(|()| w.flush()) {
@@ -294,11 +296,12 @@ impl RouterShared {
     }
 
     fn dead_error(&self, i: usize) -> SnapleError {
-        let dead = self.dead.lock().expect("dead lock");
+        let dead = crate::sync::lock(&self.dead);
         SnapleError::ShardFailed {
             shard: i,
-            message: dead[i]
-                .clone()
+            message: dead
+                .get(i)
+                .and_then(Option::clone)
                 .unwrap_or_else(|| "shard unavailable".to_string()),
         }
     }
@@ -332,11 +335,13 @@ fn reader_loop<R: Read>(shared: &RouterShared, i: usize, mut stream: R) {
         match reply {
             Reply::Ready { num_vertices } => {
                 {
-                    let mut nv = shared.num_vertices.lock().expect("nv lock");
+                    let mut nv = crate::sync::lock(&shared.num_vertices);
                     *nv = (*nv).max(num_vertices);
                 }
-                let mut ready = shared.ready.lock().expect("ready lock");
-                ready[i] = Some(Ok(num_vertices));
+                let mut ready = crate::sync::lock(&shared.ready);
+                if let Some(slot) = ready.get_mut(i) {
+                    *slot = Some(Ok(num_vertices));
+                }
                 shared.ready_cv.notify_all();
             }
             Reply::Rows {
@@ -362,7 +367,7 @@ fn reader_loop<R: Read>(shared: &RouterShared, i: usize, mut stream: R) {
                 stats,
             } => {
                 {
-                    let mut nv = shared.num_vertices.lock().expect("nv lock");
+                    let mut nv = crate::sync::lock(&shared.num_vertices);
                     *nv = (*nv).max(num_vertices);
                 }
                 shared.complete(
@@ -381,9 +386,11 @@ fn reader_loop<R: Read>(shared: &RouterShared, i: usize, mut stream: R) {
             } => {
                 if request_id == 0 {
                     // Prepare-time failure.
-                    let mut ready = shared.ready.lock().expect("ready lock");
-                    if ready[i].is_none() {
-                        ready[i] = Some(Err(message));
+                    let mut ready = crate::sync::lock(&shared.ready);
+                    if let Some(slot) = ready.get_mut(i) {
+                        if slot.is_none() {
+                            *slot = Some(Err(message));
+                        }
                     }
                     shared.ready_cv.notify_all();
                 } else {
@@ -396,7 +403,9 @@ fn reader_loop<R: Read>(shared: &RouterShared, i: usize, mut stream: R) {
                 }
             }
             Reply::Stats { stats } => {
-                shared.final_stats.lock().expect("stats lock")[i] = Some(*stats);
+                if let Some(slot) = crate::sync::lock(&shared.final_stats).get_mut(i) {
+                    *slot = Some(*stats);
+                }
             }
         }
     }
@@ -448,8 +457,8 @@ impl PendingRows {
             PendingInner::Waiting { slot } => slot,
         };
         let state = {
-            let guard = slot.state.lock().expect("slot lock");
-            let mut guard = slot.cv.wait_while(guard, |s| !s.done).expect("slot wait");
+            let guard = crate::sync::lock(&slot.state);
+            let mut guard = crate::sync::wait_while(&slot.cv, guard, |s| !s.done);
             std::mem::replace(
                 &mut *guard,
                 SlotState {
@@ -482,6 +491,20 @@ impl PendingRows {
 }
 
 impl RouterHandle<'_> {
+    /// Fail-fast check: the first already-dead shard among `involved`,
+    /// as a typed [`SnapleError::ShardFailed`].
+    fn first_dead_error(&self, involved: &[usize]) -> Option<SnapleError> {
+        let dead = crate::sync::lock(&self.shared.dead);
+        involved
+            .iter()
+            .find_map(|&i| {
+                dead.get(i)
+                    .and_then(Option::clone)
+                    .map(|message| (i, message))
+            })
+            .map(|(shard, message)| SnapleError::ShardFailed { shard, message })
+    }
+
     /// Scatters one query set across the owning shards and returns the
     /// pending gather; does not block on execution, so submissions
     /// pipeline across shards.
@@ -494,31 +517,26 @@ impl RouterHandle<'_> {
         let shards = self.shared.conns.len();
         let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); shards];
         for q in queries.iter() {
+            // snaple-lint: allow(index) — shard_of is `hash % shards` and buckets has len shards
             buckets[self.shared.shard_of(q.as_u32())].push(q.as_u32());
         }
-        let involved: Vec<usize> = (0..shards).filter(|&i| !buckets[i].is_empty()).collect();
+        let involved: Vec<usize> = (0..shards)
+            .filter(|&i| buckets.get(i).is_some_and(|b| !b.is_empty()))
+            .collect();
         {
-            let mut gauges = self.shared.gauges.lock().expect("gauges lock");
+            let mut gauges = crate::sync::lock(&self.shared.gauges);
             gauges.requests += 1;
             gauges.queries_received += queries.len();
         }
         if involved.is_empty() {
-            let num_vertices = *self.shared.num_vertices.lock().expect("nv lock");
+            let num_vertices = *crate::sync::lock(&self.shared.num_vertices);
             return Ok(PendingRows {
                 inner: PendingInner::Empty { num_vertices },
             });
         }
         // Fail fast when a target shard is known dead.
-        {
-            let dead = self.shared.dead.lock().expect("dead lock");
-            for &i in &involved {
-                if dead[i].is_some() {
-                    return Err(SnapleError::ShardFailed {
-                        shard: i,
-                        message: dead[i].clone().unwrap_or_default(),
-                    });
-                }
-            }
+        if let Some(e) = self.first_dead_error(&involved) {
+            return Err(e);
         }
         let request_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         // Encode everything before registering the slot, so an encoding
@@ -528,6 +546,7 @@ impl RouterHandle<'_> {
         for &i in &involved {
             let frame = Request::Predict {
                 request_id,
+                // snaple-lint: allow(index) — `involved` holds indexes into buckets by construction
                 queries: std::mem::take(&mut buckets[i]),
             }
             .encode()
@@ -547,12 +566,8 @@ impl RouterHandle<'_> {
             cv: Condvar::new(),
         });
         {
-            self.shared
-                .pending
-                .lock()
-                .expect("pending lock")
-                .insert(request_id, Arc::clone(&slot));
-            self.shared.gauges.lock().expect("gauges lock").outstanding += 1;
+            crate::sync::lock(&self.shared.pending).insert(request_id, Arc::clone(&slot));
+            crate::sync::lock(&self.shared.gauges).outstanding += 1;
         }
         for (i, frame) in &frames {
             // A failed send marks the shard dead, which fails this very
@@ -585,16 +600,8 @@ impl RouterHandle<'_> {
     pub fn apply_update(&self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError> {
         let shards = self.shared.conns.len();
         let involved: Vec<usize> = (0..shards).collect();
-        {
-            let dead = self.shared.dead.lock().expect("dead lock");
-            for &i in &involved {
-                if dead[i].is_some() {
-                    return Err(SnapleError::ShardFailed {
-                        shard: i,
-                        message: dead[i].clone().unwrap_or_default(),
-                    });
-                }
-            }
+        if let Some(e) = self.first_dead_error(&involved) {
+            return Err(e);
         }
         let ops: Vec<(u32, u32, f32, bool)> = delta.ops().collect();
         let request_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
@@ -614,19 +621,15 @@ impl RouterHandle<'_> {
             cv: Condvar::new(),
         });
         {
-            self.shared
-                .pending
-                .lock()
-                .expect("pending lock")
-                .insert(request_id, Arc::clone(&slot));
-            self.shared.gauges.lock().expect("gauges lock").outstanding += 1;
+            crate::sync::lock(&self.shared.pending).insert(request_id, Arc::clone(&slot));
+            crate::sync::lock(&self.shared.gauges).outstanding += 1;
         }
         for &i in &involved {
             let _ = self.shared.send_to(i, &frame);
         }
         let (error, all) = {
-            let guard = slot.state.lock().expect("slot lock");
-            let mut guard = slot.cv.wait_while(guard, |s| !s.done).expect("slot wait");
+            let guard = crate::sync::lock(&slot.state);
+            let mut guard = crate::sync::wait_while(&slot.cv, guard, |s| !s.done);
             (guard.error.take(), std::mem::take(&mut guard.delta_stats))
         };
         if let Some(e) = error {
@@ -636,12 +639,12 @@ impl RouterHandle<'_> {
         // effect counters agree, wall times overlap — report the
         // logical counts once and the slowest shard's wall.
         let mut merged = all.first().cloned().unwrap_or_default();
-        for s in &all[1..] {
+        for s in all.iter().skip(1) {
             merged.touched_partitions = merged.touched_partitions.max(s.touched_partitions);
             merged.apply_wall_seconds = merged.apply_wall_seconds.max(s.apply_wall_seconds);
         }
         {
-            let mut gauges = self.shared.gauges.lock().expect("gauges lock");
+            let mut gauges = crate::sync::lock(&self.shared.gauges);
             gauges.updates += 1;
             gauges.edges_inserted += merged.inserted_edges;
             gauges.edges_removed += merged.removed_edges;
@@ -659,12 +662,8 @@ impl RouterHandle<'_> {
     /// Blocks until no scattered request is outstanding — including when
     /// shards died: their in-flight requests fail, they never linger.
     pub fn drain(&self) {
-        let gauges = self.shared.gauges.lock().expect("gauges lock");
-        let _unused = self
-            .shared
-            .idle_cv
-            .wait_while(gauges, |g| g.outstanding > 0)
-            .expect("drain wait");
+        let gauges = crate::sync::lock(&self.shared.gauges);
+        let _unused = crate::sync::wait_while(&self.shared.idle_cv, gauges, |g| g.outstanding > 0);
     }
 
     /// Fault-injection hook: hard-kills shard `i` — SIGKILL to the child
@@ -675,15 +674,13 @@ impl RouterHandle<'_> {
     /// [`SnapleError::ShardFailed`], and keep [`RouterHandle::drain`]
     /// able to complete; tests assert exactly that.
     pub fn kill_shard(&self, i: usize) {
-        if let Some(child) = self.shared.conns[i]
-            .child
-            .lock()
-            .expect("child lock")
-            .as_mut()
-        {
+        let Some(conn) = self.shared.conns.get(i) else {
+            return;
+        };
+        if let Some(child) = crate::sync::lock(&conn.child).as_mut() {
             let _ = child.kill();
         }
-        *self.shared.conns[i].writer.lock().expect("writer lock") = None;
+        *crate::sync::lock(&conn.writer) = None;
     }
 
     /// Which shard owns `vertex` — the scatter routing function, exposed
@@ -822,11 +819,10 @@ impl ShardRouter {
             }
             // Gather readiness.
             {
-                let ready = shared.ready.lock().expect("ready lock");
-                let ready = shared
-                    .ready_cv
-                    .wait_while(ready, |r| r.iter().any(Option::is_none))
-                    .expect("ready wait");
+                let ready = crate::sync::lock(&shared.ready);
+                let ready = crate::sync::wait_while(&shared.ready_cv, ready, |r| {
+                    r.iter().any(Option::is_none)
+                });
                 for (i, r) in ready.iter().enumerate() {
                     if let Some(Err(message)) = r {
                         return Err(SnapleError::ShardFailed {
@@ -843,7 +839,9 @@ impl ShardRouter {
             let value = body(&handle);
             handle.drain();
             // Orderly shutdown: ask each live shard for its stats...
-            let shutdown = Request::Shutdown.encode().expect("shutdown frame encodes");
+            let shutdown = Request::Shutdown
+                .encode()
+                .map_err(|e| SnapleError::InvalidConfig(format!("encoding shutdown: {e}")))?;
             for i in 0..shards {
                 let _ = shared.send_to(i, &shutdown);
             }
@@ -856,7 +854,7 @@ impl ShardRouter {
 
         // Reap process-transport children.
         for conn in &shared.conns {
-            if let Some(mut child) = conn.child.lock().expect("child lock").take() {
+            if let Some(mut child) = crate::sync::lock(&conn.child).take() {
                 let _ = child.wait();
             }
         }
@@ -866,16 +864,10 @@ impl ShardRouter {
 
         // Merge the fleet's statistics.
         let mut stats = ServerStats::default();
-        for shard_stats in shared
-            .final_stats
-            .lock()
-            .expect("stats lock")
-            .iter()
-            .flatten()
-        {
+        for shard_stats in crate::sync::lock(&shared.final_stats).iter().flatten() {
             stats.merge_parallel(shard_stats);
         }
-        let gauges = shared.gauges.into_inner().expect("gauges lock");
+        let gauges = crate::sync::into_inner(shared.gauges);
         stats.requests = gauges.requests;
         stats.batches = gauges.requests;
         stats.queries_received = gauges.queries_received;
@@ -900,7 +892,7 @@ struct CloseConnsGuard<'r> {
 impl Drop for CloseConnsGuard<'_> {
     fn drop(&mut self) {
         for conn in &self.shared.conns {
-            *conn.writer.lock().expect("writer lock") = None;
+            *crate::sync::lock(&conn.writer) = None;
         }
     }
 }

@@ -276,6 +276,7 @@ impl Read for ChannelReader {
             }
         }
         let n = out.len().min(self.buf.len() - self.pos);
+        // snaple-lint: allow(index) — n = min(out.len(), buf.len() - pos), so both ranges are in bounds
         out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
         self.pos += n;
         Ok(n)

@@ -153,7 +153,7 @@ const fn build_crc_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = c;
+        table[i] = c; // snaple-lint: allow(index) — const-eval loop, i < 256 = table.len()
         i += 1;
     }
     table
@@ -164,6 +164,7 @@ const fn build_crc_table() -> [u32; 256] {
 pub fn crc32(seed: u32, data: &[u8]) -> u32 {
     let mut c = !seed;
     for &b in data {
+        // snaple-lint: allow(index) — the index is masked to 8 bits; CRC_TABLE has 256 entries
         c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     !c
@@ -191,7 +192,7 @@ pub fn encode_frame(tag: u8, payload: &[u8]) -> Result<Vec<u8>, WireError> {
     frame.push(tag);
     frame.extend_from_slice(&len.to_le_bytes());
     frame.extend_from_slice(payload);
-    let crc = crc32(0, &frame[2..]);
+    let crc = crc32(0, &frame[2..]); // snaple-lint: allow(index) — frame starts with the 2-byte magic pushed above
     frame.extend_from_slice(&crc.to_le_bytes());
     Ok(frame)
 }
@@ -220,6 +221,7 @@ pub fn read_frame<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<u8, WireE
     let mut magic = [0u8; 2];
     let mut got = 0;
     while got < 2 {
+        // snaple-lint: allow(index) — loop guard keeps got < 2 = magic.len()
         match r.read(&mut magic[got..]) {
             Ok(0) => {
                 return Err(if got == 0 {
@@ -238,8 +240,8 @@ pub fn read_frame<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<u8, WireE
     }
     let mut head = [0u8; 5];
     r.read_exact(&mut head)?;
-    let tag = head[0];
-    let len = u32::from_le_bytes([head[1], head[2], head[3], head[4]]);
+    let [tag, l0, l1, l2, l3] = head;
+    let len = u32::from_le_bytes([l0, l1, l2, l3]);
     if len > MAX_FRAME_LEN {
         return Err(WireError::FrameTooLarge { len: len as u64 });
     }
@@ -250,7 +252,9 @@ pub fn read_frame<R: Read>(r: &mut R, payload: &mut Vec<u8>) -> Result<u8, WireE
     let mut chunk = [0u8; READ_CHUNK];
     while remaining > 0 {
         let take = remaining.min(READ_CHUNK);
+        // snaple-lint: allow(index) — take = min(remaining, READ_CHUNK) never exceeds chunk.len()
         r.read_exact(&mut chunk[..take])?;
+        // snaple-lint: allow(index) — same bound as the read_exact above
         payload.extend_from_slice(&chunk[..take]);
         remaining -= take;
     }

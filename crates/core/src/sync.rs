@@ -1,0 +1,92 @@
+//! Poison-recovering lock helpers for the serving hot paths.
+//!
+//! The concurrent server and the shard router are panic-free zones
+//! (see `snaple-lint`): a poisoned `Mutex`/`RwLock` must not cascade
+//! into a second panic that hangs a client or kills a shard. Every
+//! guarded section in those modules writes plain-old-data (counters,
+//! `Option` swaps, queue push/pop), so the state behind a poisoned
+//! lock is still coherent — recovering the guard via
+//! [`PoisonError::into_inner`] is safe and is the idiom the close/
+//! in-flight guards in `concurrent.rs` already established. These
+//! helpers centralize it so call sites stay one line.
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+};
+
+/// Locks `m`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering the guard on poison.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering the guard on poison.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Consumes `m`, recovering the value on poison.
+pub(crate) fn into_inner<T>(m: Mutex<T>) -> T {
+    m.into_inner().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait`, recovering the guard on poison.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_while`, recovering the guard on poison.
+pub(crate) fn wait_while<'a, T, F>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    condition: F,
+) -> MutexGuard<'a, T>
+where
+    F: FnMut(&mut T) -> bool,
+{
+    cv.wait_while(guard, condition)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().expect("first lock");
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(*lock(&m), 7);
+    }
+
+    #[test]
+    fn rwlock_helpers_recover_from_poison() {
+        let l = Arc::new(RwLock::new(3u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().expect("first write");
+            panic!("poison it");
+        })
+        .join();
+        assert_eq!(*read(&l), 3);
+        *write(&l) = 4;
+        assert_eq!(*read(&l), 4);
+    }
+
+    #[test]
+    fn into_inner_recovers_from_poison() {
+        let m = Mutex::new(5u32);
+        assert_eq!(into_inner(m), 5);
+    }
+}

@@ -55,10 +55,12 @@ struct NoCodec;
 
 impl<G> GatherCodec<G> for NoCodec {
     fn encode(&self, _: &G, _: &mut Vec<u8>) {
+        // snaple-lint: allow(panic) — NoCodec is only installed on the unsharded path, which never encodes
         unreachable!("unsharded steps never serialize partials")
     }
 
     fn decode(&self, _: &mut &[u8]) -> Option<G> {
+        // snaple-lint: allow(panic) — NoCodec is only installed on the unsharded path, which never decodes
         unreachable!("unsharded steps never deserialize partials")
     }
 }
@@ -301,7 +303,10 @@ impl<'d> Engine<'d> {
         mask: Option<&VertexMask>,
     ) -> Result<&StepStats, EngineError> {
         self.run_step_inner::<S, NoCodec>(step, state, mask, None)?;
-        Ok(self.run.steps.last().expect("just pushed"))
+        self.run
+            .steps
+            .last()
+            .ok_or_else(|| EngineError::InvalidConfig("step record missing after run".to_string()))
     }
 
     /// Runs one masked GAS superstep split at the shard boundary: the
@@ -332,7 +337,10 @@ impl<'d> Engine<'d> {
         codec: &C,
     ) -> Result<(&StepStats, ShardSyncStats), EngineError> {
         let sync = self.run_step_inner(step, state, mask, Some((assignment, codec)))?;
-        Ok((self.run.steps.last().expect("just pushed"), sync))
+        let stats = self.run.steps.last().ok_or_else(|| {
+            EngineError::InvalidConfig("step record missing after run".to_string())
+        })?;
+        Ok((stats, sync))
     }
 
     fn run_step_inner<S: GasStep, C: GatherCodec<S::Gather>>(
@@ -403,15 +411,19 @@ impl<'d> Engine<'d> {
                     continue;
                 }
             }
+            // snaple-lint: allow(index) — state_bytes has one entry per graph vertex (validated above)
             let sb = state_bytes[v.index()];
             let master = part.master(v).index();
             let mut mask = part.presence_mask(v);
             while mask != 0 {
                 let n = mask.trailing_zeros() as usize;
                 mask &= mask - 1;
+                // snaple-lint: allow(index) — n is a presence-mask bit and master a partition id, both < nodes
                 mem_base[n] += sb;
                 if n != master {
+                    // snaple-lint: allow(index) — same bound as mem_base above
                     net[n] += sb;
+                    // snaple-lint: allow(index) — same bound as mem_base above
                     net[master] += sb;
                     broadcast_total += sb;
                 }
@@ -470,10 +482,12 @@ impl<'d> Engine<'d> {
                 let mut partials: Vec<(VertexId, S::Gather, u64)> = Vec::new();
                 let mut gather_calls = 0u64;
                 let mut sum_calls = 0u64;
+                // snaple-lint: allow(index) — n comes from 0..nodes and mem_base has len nodes
                 let mut mem = mem_base_ref[n];
                 let mut mem_peak = mem;
                 let mut i = 0usize;
                 while i < edges.len() {
+                    // snaple-lint: allow(index) — loop guard keeps i < edges.len()
                     let (gatherer, neighbor) = orient(edges[i]);
                     if let Some(m) = mask {
                         if !m.contains(gatherer) {
@@ -485,6 +499,7 @@ impl<'d> Engine<'d> {
                     ws.neighbors.push(neighbor);
                     let mut j = i + 1;
                     while j < edges.len() {
+                        // snaple-lint: allow(index) — loop guard keeps j < edges.len()
                         let (g, nb) = orient(edges[j]);
                         if let Some(m) = mask {
                             if !m.contains(g) {
@@ -509,6 +524,7 @@ impl<'d> Engine<'d> {
                         .gather_run(
                             &ctx,
                             gatherer,
+                            // snaple-lint: allow(index) — gatherer is a partition-edge endpoint < num_vertices = state len
                             &state_ro[gatherer.index()],
                             &ws.neighbors,
                             &states,
@@ -576,7 +592,7 @@ impl<'d> Engine<'d> {
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("gather worker panicked"))
+                    .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                     .collect()
             });
 
@@ -599,6 +615,7 @@ impl<'d> Engine<'d> {
                 gather_calls: 0,
                 sum_calls: 0,
                 ops: 0,
+                // snaple-lint: allow(index) — n comes from 0..nodes and mem_base has len nodes
                 mem_peak: mem_base[n],
             })
             .collect();
@@ -622,8 +639,7 @@ impl<'d> Engine<'d> {
             for shard in 0..assignment.num_shards() {
                 let range = assignment.partitions_of(shard);
                 let mut msg: Vec<u8> = Vec::new();
-                while pending.peek().is_some_and(|g| range.contains(&g.node)) {
-                    let ng = pending.next().expect("peeked");
+                while let Some(ng) = pending.next_if(|g| range.contains(&g.node)) {
                     msg.extend_from_slice(&(ng.node as u32).to_le_bytes());
                     msg.extend_from_slice(&ng.gather_calls.to_le_bytes());
                     msg.extend_from_slice(&ng.sum_calls.to_le_bytes());
@@ -642,7 +658,7 @@ impl<'d> Engine<'d> {
                 let malformed = || {
                     EngineError::InvalidConfig(format!("shard {shard} sync message is malformed"))
                 };
-                let mut input = &msg[..];
+                let mut input = msg.as_slice();
                 let read_u32 = |input: &mut &[u8]| -> Result<u32, EngineError> {
                     let (head, rest) = input.split_first_chunk::<4>().ok_or_else(malformed)?;
                     *input = rest;
@@ -655,6 +671,11 @@ impl<'d> Engine<'d> {
                 };
                 while !input.is_empty() {
                     let node = read_u32(&mut input)? as usize;
+                    if node >= nodes {
+                        return Err(EngineError::InvalidConfig(format!(
+                            "shard {shard} sync message names partition {node}, but the cluster has {nodes}"
+                        )));
+                    }
                     let gather_calls = read_u64(&mut input)?;
                     let sum_calls = read_u64(&mut input)?;
                     let ops = read_u64(&mut input)?;
@@ -663,6 +684,13 @@ impl<'d> Engine<'d> {
                     let mut partials = Vec::with_capacity(count.min(1 << 20) as usize);
                     for _ in 0..count {
                         let v = VertexId::new(read_u32(&mut input)?);
+                        if v.index() >= graph.num_vertices() {
+                            return Err(EngineError::InvalidConfig(format!(
+                                "shard {shard} sync message names vertex {}, but the graph has {} vertices",
+                                v.index(),
+                                graph.num_vertices()
+                            )));
+                        }
                         let bytes = read_u64(&mut input)?;
                         let g = codec.decode(&mut input).ok_or_else(malformed)?;
                         partials.push((v, g, bytes));
@@ -680,8 +708,14 @@ impl<'d> Engine<'d> {
             ordered = decoded;
         }
 
+        // In-memory gathers produce `node` from 0..nodes and `v` from the
+        // partition's edge lists; on the sharded path both are re-decoded
+        // from the sync message and bounds-checked at decode time above —
+        // so every index below is validated on every path.
         for ng in ordered {
+            // snaple-lint: allow(index) — ng.node < nodes: by construction in-memory, checked at decode when sharded
             node_ops[ng.node] += ng.ops;
+            // snaple-lint: allow(index) — same bound as node_ops above
             mem_peaks[ng.node] = mem_peaks[ng.node].max(ng.mem_peak);
             gather_calls += ng.gather_calls;
             sum_calls += ng.sum_calls;
@@ -689,16 +723,21 @@ impl<'d> Engine<'d> {
                 let master = part.master(v).index();
                 if master != ng.node {
                     let framed = bytes + MESSAGE_OVERHEAD;
+                    // snaple-lint: allow(index) — ng.node and master are partition ids < nodes
                     net[ng.node] += framed;
+                    // snaple-lint: allow(index) — same bound as above
                     net[master] += framed;
                     partial_total += framed;
+                    // snaple-lint: allow(index) — same bound as above
                     master_extra[master] += bytes;
                 }
+                // snaple-lint: allow(index) — v < num_vertices: edge endpoint in-memory, checked at decode when sharded
                 let slot = &mut acc[v.index()];
                 *slot = Some(match slot.take() {
                     None => (g, bytes),
                     Some((prev, pb)) => {
                         sum_calls += 1;
+                        // snaple-lint: allow(index) — master is a partition id < nodes
                         let t = &mut merge_tallies[master];
                         t.add(1);
                         (step.sum(prev, g, t), pb + bytes)
@@ -707,8 +746,11 @@ impl<'d> Engine<'d> {
             }
         }
         for n in 0..nodes {
+            // snaple-lint: allow(index) — every per-node vec here has len nodes and n < nodes
             node_ops[n] += merge_tallies[n].ops();
+            // snaple-lint: allow(index) — same bound as above
             let with_partials = mem_base[n] + master_extra[n];
+            // snaple-lint: allow(index) — same bound as above
             mem_peaks[n] = mem_peaks[n].max(with_partials);
             if with_partials > cap {
                 return Err(EngineError::ResourceExhausted {
@@ -747,6 +789,7 @@ impl<'d> Engine<'d> {
                             let before = tally.ops();
                             tally.add(1);
                             step.apply(&ctx, u, data, a.take().map(|(g, _)| g), &mut tally);
+                            // snaple-lint: allow(index) — master partition ids are < nodes and ops has len nodes
                             ops[part.master(u).index()] += tally.ops() - before;
                         }
                         ops
@@ -755,21 +798,24 @@ impl<'d> Engine<'d> {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("apply worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
         for per_worker in apply_node_ops {
-            for (n, o) in per_worker.into_iter().enumerate() {
-                node_ops[n] += o;
+            for (total, o) in node_ops.iter_mut().zip(per_worker) {
+                *total += o;
             }
         }
 
         // --- Assemble step statistics. ------------------------------------
-        let per_node: Vec<NodeStats> = (0..nodes)
-            .map(|n| NodeStats {
-                compute_ops: node_ops[n],
-                net_bytes: net[n],
-                memory_peak: mem_peaks[n],
+        let per_node: Vec<NodeStats> = node_ops
+            .iter()
+            .zip(&net)
+            .zip(&mem_peaks)
+            .map(|((&compute_ops, &net_bytes), &memory_peak)| NodeStats {
+                compute_ops,
+                net_bytes,
+                memory_peak,
             })
             .collect();
         let mut stats = StepStats {

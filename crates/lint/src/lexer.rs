@@ -1,0 +1,590 @@
+//! A masking lexer for Rust sources.
+//!
+//! The rule engine works on **masked** text: a copy of the source in
+//! which the *contents* of every comment, string literal (plain, raw,
+//! byte, byte-raw), and character literal are replaced by spaces, while
+//! newlines and all real code bytes stay in place. Token positions in
+//! the masked text therefore equal positions in the original file, and a
+//! forbidden pattern quoted inside a string or comment can never fire.
+//!
+//! On top of the mask, [`scan`] computes per line:
+//!
+//! * the comment text (for suppression parsing),
+//! * whether the line sits inside a `#[cfg(test)]` item or a
+//!   `mod tests { .. }` block (rules skip those regions),
+//! * the innermost enclosing function name (wire-safety rules only apply
+//!   inside decode-path functions).
+//!
+//! The lexer handles nested block comments (`/* /* */ */`), raw strings
+//! with arbitrary hash counts (`r#"..."#`), byte and byte-raw strings,
+//! escapes inside strings and char literals, and distinguishes lifetimes
+//! (`'a`) from character literals (`'a'`).
+
+/// One analyzed source line.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// The line with comment/string/char-literal contents blanked.
+    pub code: String,
+    /// The raw source line, untouched.
+    pub raw: String,
+    /// Concatenated text of the line's comments (without `//` markers).
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item or a
+    /// `mod tests { .. }` block.
+    pub is_test: bool,
+    /// The innermost function whose body contains the start of the line.
+    pub fn_name: Option<String>,
+}
+
+/// A whole file, masked and annotated; produced by [`scan`].
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Per-line annotations, in file order (line numbers are index + 1).
+    pub lines: Vec<LineInfo>,
+}
+
+/// Masks `source` and annotates every line. Never fails: unterminated
+/// literals or comments simply mask through the end of the file, which
+/// is also how rustc treats them before reporting its own error.
+pub fn scan(source: &str) -> FileScan {
+    let masked = mask(source);
+    let mut lines: Vec<LineInfo> = Vec::new();
+    for (raw, m) in source.lines().zip(masked.code.lines()) {
+        lines.push(LineInfo {
+            code: m.to_string(),
+            raw: raw.to_string(),
+            comment: String::new(),
+            is_test: false,
+            fn_name: None,
+        });
+    }
+    // `lines()` drops a trailing newline-less fragment consistently for
+    // both strings, so the zip cannot misalign.
+    for (line_idx, text) in masked.comments {
+        if let Some(info) = lines.get_mut(line_idx) {
+            if !info.comment.is_empty() {
+                info.comment.push(' ');
+            }
+            info.comment.push_str(&text);
+        }
+    }
+    mark_test_regions(&masked.code, &mut lines);
+    mark_fn_names(&masked.code, &mut lines);
+    FileScan { lines }
+}
+
+struct Masked {
+    /// Same length as the input, with non-code bytes blanked.
+    code: String,
+    /// `(zero-based line, comment text)` for every comment encountered.
+    comments: Vec<(usize, String)>,
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Blanks comments, strings, and char literals, preserving newlines and
+/// byte positions (multi-byte chars are replaced by one space each, so
+/// columns shift only on non-ASCII code, which the rules never match on).
+fn mask(source: &str) -> Masked {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut comments: Vec<(usize, String)> = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Pushes `c` to the masked output, tracking line numbers.
+    macro_rules! emit {
+        ($c:expr) => {{
+            let c: char = $c;
+            if c == '\n' {
+                line += 1;
+            }
+            out.push(c);
+        }};
+    }
+    // Blanks `c` in the masked output (newlines still pass through).
+    macro_rules! blank {
+        ($c:expr) => {{
+            let c: char = $c;
+            if c == '\n' {
+                line += 1;
+                out.push('\n');
+            } else {
+                out.push(' ');
+            }
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+
+        // Line comment.
+        if c == '/' && next == Some('/') {
+            let start_line = line;
+            let mut text = String::new();
+            while i < chars.len() && chars[i] != '\n' {
+                if i >= 2 || chars[i] != '/' {
+                    // skip the leading "//" markers below instead
+                }
+                text.push(chars[i]);
+                blank!(chars[i]);
+                i += 1;
+            }
+            let trimmed = text.trim_start_matches('/').trim().to_string();
+            comments.push((start_line, trimmed));
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && next == Some('*') {
+            let start_line = line;
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < chars.len() {
+                let c = chars[i];
+                let n = chars.get(i + 1).copied();
+                if c == '/' && n == Some('*') {
+                    depth += 1;
+                    blank!(c);
+                    blank!('*');
+                    i += 2;
+                    continue;
+                }
+                if c == '*' && n == Some('/') {
+                    depth -= 1;
+                    blank!(c);
+                    blank!('/');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                    continue;
+                }
+                text.push(c);
+                blank!(c);
+                i += 1;
+            }
+            comments.push((start_line, text.trim().to_string()));
+            continue;
+        }
+        // Raw / byte / byte-raw strings: r"..", r#".."#, b"..", br#".."#.
+        let prev_is_ident = i > 0 && is_ident(chars[i - 1]);
+        if !prev_is_ident && (c == 'r' || c == 'b') {
+            let mut j = i;
+            let mut saw_r = false;
+            if chars.get(j) == Some(&'b') {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                saw_r = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while saw_r && chars.get(j) == Some(&'#') {
+                hashes += 1;
+                j += 1;
+            }
+            if (saw_r || (c == 'b' && j == i + 1)) && chars.get(j) == Some(&'"') {
+                // Blank the prefix and opening quote.
+                while i <= j {
+                    blank!(chars[i]);
+                    i += 1;
+                }
+                if saw_r {
+                    // Raw string: ends at `"` followed by `hashes` hashes.
+                    while i < chars.len() {
+                        if chars[i] == '"' {
+                            let mut k = 0;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                for _ in 0..=hashes {
+                                    blank!(chars[i]);
+                                    i += 1;
+                                }
+                                break;
+                            }
+                        }
+                        blank!(chars[i]);
+                        i += 1;
+                    }
+                } else {
+                    // Plain byte string with escapes.
+                    mask_quoted(&chars, &mut i, '"', |c| blank_char(c, &mut out, &mut line));
+                }
+                continue;
+            }
+        }
+        // Plain string.
+        if c == '"' {
+            blank!(c);
+            i += 1;
+            mask_quoted(&chars, &mut i, '"', |c| blank_char(c, &mut out, &mut line));
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let n1 = chars.get(i + 1).copied();
+            let n2 = chars.get(i + 2).copied();
+            let is_char_lit = match n1 {
+                Some('\\') => true,
+                Some(x) if x != '\'' => n2 == Some('\''),
+                _ => false,
+            };
+            if is_char_lit {
+                blank!(c);
+                i += 1;
+                mask_quoted(&chars, &mut i, '\'', |c| blank_char(c, &mut out, &mut line));
+                continue;
+            }
+            // Lifetime: keep the tick, continue as code.
+            emit!(c);
+            i += 1;
+            continue;
+        }
+        emit!(c);
+        i += 1;
+    }
+    Masked {
+        code: out,
+        comments,
+    }
+}
+
+fn blank_char(c: char, out: &mut String, line: &mut usize) {
+    if c == '\n' {
+        *line += 1;
+        out.push('\n');
+    } else {
+        out.push(' ');
+    }
+}
+
+/// Blanks a quoted literal's body (escapes honored) through its closing
+/// quote; `i` starts just past the opening quote.
+fn mask_quoted(chars: &[char], i: &mut usize, quote: char, mut blank: impl FnMut(char)) {
+    while *i < chars.len() {
+        let c = chars[*i];
+        if c == '\\' {
+            blank(c);
+            *i += 1;
+            if *i < chars.len() {
+                blank(chars[*i]);
+                *i += 1;
+            }
+            continue;
+        }
+        blank(c);
+        *i += 1;
+        if c == quote {
+            return;
+        }
+    }
+}
+
+/// Byte offset of the start of each line in `masked`.
+fn line_starts(masked: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in masked.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+fn line_of(starts: &[usize], offset: usize) -> usize {
+    match starts.binary_search(&offset) {
+        Ok(l) => l,
+        Err(l) => l.saturating_sub(1),
+    }
+}
+
+/// Marks every line inside a `#[cfg(test)]`-attributed item or a
+/// `mod tests { .. }` block as test code.
+fn mark_test_regions(masked: &str, lines: &mut [LineInfo]) {
+    let bytes = masked.as_bytes();
+    let starts = line_starts(masked);
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if bytes[i] == b'#' && matches!(bytes.get(i + 1), Some(b'[')) {
+            let (attr, end) = read_attr(masked, i);
+            let normalized: String = attr.chars().filter(|c| !c.is_whitespace()).collect();
+            if normalized.contains("cfg(test)") || normalized.contains("cfg(test,") {
+                let region_end = item_end(masked, end);
+                let from = line_of(&starts, i);
+                let to = line_of(&starts, region_end.saturating_sub(1));
+                for l in lines.iter_mut().take(to + 1).skip(from) {
+                    l.is_test = true;
+                }
+                i = region_end;
+                continue;
+            }
+            i = end;
+            continue;
+        }
+        // `mod tests {`, as a standalone safety net when unattributed.
+        if masked[i..].starts_with("mod")
+            && (i == 0 || !is_ident_byte(bytes[i.saturating_sub(1)]))
+            && masked[i + 3..].trim_start().starts_with("tests")
+        {
+            let after_kw = skip_ws(masked, i + 3);
+            let after_name = after_kw + "tests".len();
+            if masked[after_kw..].starts_with("tests")
+                && !is_ident_byte(*bytes.get(after_name).unwrap_or(&b' '))
+                && masked[after_name..].trim_start().starts_with('{')
+            {
+                let region_end = item_end(masked, after_name);
+                let from = line_of(&starts, i);
+                let to = line_of(&starts, region_end.saturating_sub(1));
+                for l in lines.iter_mut().take(to + 1).skip(from) {
+                    l.is_test = true;
+                }
+                i = region_end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+fn skip_ws(s: &str, mut i: usize) -> usize {
+    let b = s.as_bytes();
+    while i < b.len() && (b[i] as char).is_whitespace() {
+        i += 1;
+    }
+    i
+}
+
+/// Reads an attribute starting at `#`, returning its text (between the
+/// brackets) and the offset just past the closing `]`.
+fn read_attr(masked: &str, start: usize) -> (String, usize) {
+    let b = masked.as_bytes();
+    let mut i = start + 2; // past "#["
+    let mut depth = 1usize;
+    let from = i;
+    while i < b.len() && depth > 0 {
+        match b[i] {
+            b'[' => depth += 1,
+            b']' => depth -= 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    (masked[from..i.saturating_sub(1)].to_string(), i)
+}
+
+/// Finds the end of the item starting after `from`: skips further
+/// attributes, then runs to the matching `}` of the item's first brace
+/// (or the first `;` if none opens before it).
+fn item_end(masked: &str, from: usize) -> usize {
+    let b = masked.as_bytes();
+    let mut i = skip_ws(masked, from);
+    // Skip stacked attributes.
+    while i < b.len() && b[i] == b'#' && matches!(b.get(i + 1), Some(b'[')) {
+        let (_, end) = read_attr(masked, i);
+        i = skip_ws(masked, end);
+    }
+    while i < b.len() {
+        match b[i] {
+            b';' => return i + 1,
+            b'{' => {
+                let mut depth = 0usize;
+                while i < b.len() {
+                    match b[i] {
+                        b'{' => depth += 1,
+                        b'}' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                return i + 1;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                return b.len();
+            }
+            _ => i += 1,
+        }
+    }
+    b.len()
+}
+
+/// Annotates each line with the innermost enclosing function name.
+fn mark_fn_names(masked: &str, lines: &mut [LineInfo]) {
+    let starts = line_starts(masked);
+    let bytes = masked.as_bytes();
+    // Stack of scopes opened by `{`; Some(name) when the brace opened a
+    // function body.
+    let mut stack: Vec<Option<String>> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        if i >= *starts.get(line + 1).unwrap_or(&usize::MAX) {
+            line += 1;
+            continue;
+        }
+        let c = bytes[i];
+        if c == b'f'
+            && masked[i..].starts_with("fn")
+            && (i == 0 || !is_ident_byte(bytes[i - 1]))
+            && !is_ident_byte(*bytes.get(i + 2).unwrap_or(&b' '))
+        {
+            let name_start = skip_ws(masked, i + 2);
+            let mut j = name_start;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            if j > name_start {
+                pending_fn = Some(masked[name_start..j].to_string());
+            }
+            i = j;
+            continue;
+        }
+        match c {
+            b'{' => {
+                stack.push(pending_fn.take());
+            }
+            b'}' => {
+                stack.pop();
+            }
+            b';' => {
+                // A `;` before any `{` ends a declaration: `fn f();`.
+                pending_fn = None;
+            }
+            _ => {}
+        }
+        i += 1;
+        // Record the innermost fn for the line each time we advance onto
+        // a new line boundary is handled below by a final pass.
+    }
+    // Second, simpler pass: recompute per line by replaying the scan and
+    // sampling the stack at each line start.
+    let mut stack: Vec<Option<String>> = Vec::new();
+    let mut pending_fn: Option<String> = None;
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let sample =
+        |stack: &[Option<String>]| -> Option<String> { stack.iter().rev().find_map(|s| s.clone()) };
+    if let Some(l) = lines.get_mut(0) {
+        l.fn_name = None;
+    }
+    while i < bytes.len() {
+        if bytes[i] == b'\n' {
+            line += 1;
+            if let Some(l) = lines.get_mut(line) {
+                l.fn_name = sample(&stack);
+            }
+            i += 1;
+            continue;
+        }
+        let c = bytes[i];
+        if c == b'f'
+            && masked[i..].starts_with("fn")
+            && (i == 0 || !is_ident_byte(bytes[i - 1]))
+            && !is_ident_byte(*bytes.get(i + 2).unwrap_or(&b' '))
+        {
+            let name_start = skip_ws(masked, i + 2);
+            let mut j = name_start;
+            while j < bytes.len() && is_ident_byte(bytes[j]) {
+                j += 1;
+            }
+            if j > name_start {
+                pending_fn = Some(masked[name_start..j].to_string());
+            }
+            // Newlines inside the skipped span must still advance lines.
+            for &b in bytes.iter().take(j).skip(i) {
+                if b == b'\n' {
+                    line += 1;
+                    if let Some(l) = lines.get_mut(line) {
+                        l.fn_name = sample(&stack);
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
+        match c {
+            b'{' => stack.push(pending_fn.take()),
+            b'}' => {
+                stack.pop();
+            }
+            b';' => pending_fn = None,
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_line_and_nested_block_comments() {
+        let s = "let a = 1; // unwrap() here\n/* outer /* inner unwrap() */ done */ let b = 2;\n";
+        let scan = scan(s);
+        assert!(!scan.lines[0].code.contains("unwrap"));
+        assert!(scan.lines[0].comment.contains("unwrap()"));
+        assert!(!scan.lines[1].code.contains("unwrap"));
+        assert!(scan.lines[1].code.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn masks_raw_and_byte_strings() {
+        let s = "let a = r#\"unwrap() \"quoted\" \"#; let b = b\"panic!\"; let c = br##\"x\"##;\n";
+        let scan = scan(s);
+        assert!(!scan.lines[0].code.contains("unwrap"));
+        assert!(!scan.lines[0].code.contains("panic"));
+        assert!(scan.lines[0].code.contains("let a ="));
+        assert!(scan.lines[0].code.contains("let b ="));
+        assert!(scan.lines[0].code.contains("let c ="));
+    }
+
+    #[test]
+    fn distinguishes_lifetimes_from_char_literals() {
+        let s = "fn f<'a>(x: &'a str) { let q = '\"'; let n = '\\n'; let u = x; }\n";
+        let scan = scan(s);
+        // The double-quote char literal must not open a string.
+        assert!(scan.lines[0].code.contains("let u = x;"));
+        assert!(scan.lines[0].code.contains("&'a str"));
+    }
+
+    #[test]
+    fn marks_cfg_test_regions() {
+        let s = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn live2() {}\n";
+        let scan = scan(s);
+        assert!(!scan.lines[0].is_test);
+        assert!(scan.lines[1].is_test);
+        assert!(scan.lines[2].is_test);
+        assert!(scan.lines[3].is_test);
+        assert!(scan.lines[4].is_test);
+        assert!(!scan.lines[5].is_test);
+    }
+
+    #[test]
+    fn marks_unattributed_mod_tests() {
+        let s = "fn live() {}\nmod tests {\n    fn t() {}\n}\n";
+        let scan = scan(s);
+        assert!(!scan.lines[0].is_test);
+        assert!(scan.lines[1].is_test);
+        assert!(scan.lines[2].is_test);
+    }
+
+    #[test]
+    fn tracks_enclosing_fn_names() {
+        let s = "fn outer() {\n    let x = 1;\n}\nfn get_len() {\n    let y = 2;\n}\n";
+        let scan = scan(s);
+        assert_eq!(scan.lines[1].fn_name.as_deref(), Some("outer"));
+        assert_eq!(scan.lines[4].fn_name.as_deref(), Some("get_len"));
+    }
+}

@@ -1,0 +1,89 @@
+//! `snaple-lint` CLI: scans the workspace, prints `file:line:rule`
+//! diagnostics, writes `LINT_REPORT.json`, and exits non-zero on any
+//! unsuppressed violation. See the library docs for the rule
+//! catalogue.
+
+use snaple_lint::{analyze_workspace, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+snaple-lint — repo-specific static analysis for the SNAPLE workspace
+
+USAGE:
+    snaple-lint [--root <dir>] [--check] [--fix-report] [--report <path>]
+
+OPTIONS:
+    --root <dir>     Workspace root to scan (default: current directory)
+    --check          CI mode: same diagnostics, exit 1 on violations
+                     (the default behavior; the flag documents intent)
+    --fix-report     Also print violations grouped by rule and crate
+    --report <path>  Where to write LINT_REPORT.json
+                     (default: <root>/LINT_REPORT.json)
+    -h, --help       Show this help
+
+EXIT CODES:
+    0  clean (no unsuppressed violations)
+    1  violations found (or malformed suppressions)
+    2  usage or I/O error";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut report_path: Option<PathBuf> = None;
+    let mut fix_report = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root requires a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = Some(PathBuf::from(v)),
+                None => return usage_error("--report requires a value"),
+            },
+            "--check" => {} // default behavior; accepted for CI clarity
+            "--fix-report" => fix_report = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let analysis = match analyze_workspace(&root) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("snaple-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    print!("{}", report::human(&analysis));
+    if fix_report {
+        print!("{}", report::fix_report(&analysis));
+    }
+
+    let report_path = report_path.unwrap_or_else(|| root.join("LINT_REPORT.json"));
+    if let Err(e) = std::fs::write(&report_path, report::json(&analysis)) {
+        eprintln!(
+            "snaple-lint: failed to write {}: {e}",
+            report_path.display()
+        );
+        return ExitCode::from(2);
+    }
+    println!("snaple-lint: report written to {}", report_path.display());
+
+    if analysis.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("snaple-lint: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}

@@ -1,0 +1,150 @@
+//! Diagnostic rendering: human `file:line:rule` lines, the
+//! machine-readable `LINT_REPORT.json`, and the `--fix-report`
+//! rule-by-crate summary.
+
+use crate::rules::{crate_of, Analysis};
+use std::collections::BTreeMap;
+
+/// Human diagnostics: one `file:line: [rule] message` block per
+/// violation, followed by a one-line summary.
+pub fn human(analysis: &Analysis) -> String {
+    let mut out = String::new();
+    for v in &analysis.violations {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n    {}\n",
+            v.file, v.line, v.rule, v.message, v.snippet
+        ));
+    }
+    out.push_str(&format!(
+        "snaple-lint: {} violation(s), {} suppressed, {} file(s) scanned\n",
+        analysis.violations.len(),
+        analysis.suppressed,
+        analysis.files_scanned
+    ));
+    out
+}
+
+/// `LINT_REPORT.json`: `{"violations": [..], "suppressed": n,
+/// "files_scanned": n, "clean": bool}`. Hand-rolled (std-only tree, no
+/// serde) with full string escaping.
+pub fn json(analysis: &Analysis) -> String {
+    let mut out = String::from("{\n  \"violations\": [");
+    for (i, v) in analysis.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {}}}",
+            escape(&v.file),
+            v.line,
+            escape(v.rule.id()),
+            escape(&v.message),
+            escape(&v.snippet)
+        ));
+    }
+    if !analysis.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str(&format!(
+        "],\n  \"suppressed\": {},\n  \"files_scanned\": {},\n  \"clean\": {}\n}}\n",
+        analysis.suppressed,
+        analysis.files_scanned,
+        analysis.violations.is_empty()
+    ));
+    out
+}
+
+/// `--fix-report`: violations grouped by rule, then by crate, with
+/// counts — the lint-debt ledger future PRs can paste into CHANGES.md.
+pub fn fix_report(analysis: &Analysis) -> String {
+    let mut by_rule: BTreeMap<&str, BTreeMap<&str, usize>> = BTreeMap::new();
+    for v in &analysis.violations {
+        *by_rule
+            .entry(v.rule.id())
+            .or_default()
+            .entry(crate_of(&v.file))
+            .or_default() += 1;
+    }
+    let mut out = String::from("snaple-lint fix report (violations by rule and crate)\n");
+    if by_rule.is_empty() {
+        out.push_str("  no violations — workspace is lint-clean\n");
+    }
+    for (rule, crates) in &by_rule {
+        let total: usize = crates.values().sum();
+        out.push_str(&format!("  {rule}: {total}\n"));
+        for (krate, n) in crates {
+            out.push_str(&format!("    {krate}: {n}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "  total: {} violation(s), {} suppressed\n",
+        analysis.violations.len(),
+        analysis.suppressed
+    ));
+    out
+}
+
+/// JSON string escaping for the hand-rolled emitter.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Rule, Violation};
+
+    fn sample() -> Analysis {
+        Analysis {
+            violations: vec![Violation {
+                file: "crates/core/src/concurrent.rs".to_string(),
+                line: 7,
+                rule: Rule::Panic,
+                message: "say \"no\"".to_string(),
+                snippet: "x.unwrap()".to_string(),
+            }],
+            suppressed: 2,
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn human_contains_location_and_summary() {
+        let h = human(&sample());
+        assert!(h.contains("crates/core/src/concurrent.rs:7: [panic]"));
+        assert!(h.contains("1 violation(s), 2 suppressed, 3 file(s) scanned"));
+    }
+
+    #[test]
+    fn json_escapes_and_reports_clean_flag() {
+        let j = json(&sample());
+        assert!(j.contains("\\\"no\\\""));
+        assert!(j.contains("\"clean\": false"));
+        let empty = Analysis {
+            files_scanned: 1,
+            ..Analysis::default()
+        };
+        assert!(json(&empty).contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn fix_report_groups_by_rule_and_crate() {
+        let f = fix_report(&sample());
+        assert!(f.contains("panic: 1"));
+        assert!(f.contains("core: 1"));
+    }
+}

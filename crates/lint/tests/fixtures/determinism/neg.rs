@@ -1,0 +1,7 @@
+//! Negative: seeded RNG construction and monotonic timing.
+fn seeded(seed: u64) -> u64 {
+    let started = std::time::Instant::now();
+    let rng = SmallRng::seed_from_u64(seed);
+    let _ = (started.elapsed(), rng);
+    seed
+}

@@ -1,0 +1,7 @@
+//! Positive: ambient entropy and wall-clock reads.
+fn now_seed() -> u64 {
+    let t = std::time::SystemTime::now();
+    let r = thread_rng().next_u64();
+    let _ = t;
+    r
+}

@@ -1,0 +1,4 @@
+//! Negative: total_cmp is the NaN-safe ordering.
+fn rank(scores: &mut Vec<(u32, f32)>) {
+    scores.sort_by(|a, b| a.1.total_cmp(&b.1));
+}

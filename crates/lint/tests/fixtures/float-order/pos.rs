@@ -1,0 +1,4 @@
+//! Positive: NaN-unsafe float ordering outside topk.rs.
+fn rank(scores: &mut Vec<(u32, f32)>) {
+    scores.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+}

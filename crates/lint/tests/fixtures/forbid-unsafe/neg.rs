@@ -1,0 +1,5 @@
+//! Negative: `unsafe_code` as an identifier fragment and quoted text.
+#![forbid(unsafe_code)]
+fn describe() -> &'static str {
+    "this string mentions unsafe but is masked"
+}

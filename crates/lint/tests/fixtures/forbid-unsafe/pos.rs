@@ -1,0 +1,4 @@
+//! Positive: an unsafe block in first-party code.
+fn peek(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,11 @@
+//! Negative: attributes, macros, array types, slice patterns, .get().
+#[derive(Clone)]
+struct W([u8; 4]);
+fn pick(buf: &[u8]) -> Option<u8> {
+    let v = vec![1u8, 2];
+    let arr: [u8; 2] = [3, 4];
+    if let [first, ..] = buf {
+        return Some(*first);
+    }
+    buf.get(0).copied().or_else(|| v.first().copied()).or(Some(arr.len() as u8))
+}

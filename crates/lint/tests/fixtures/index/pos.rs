@@ -1,0 +1,7 @@
+//! Positive: postfix indexing shapes — ident, call result, range slice.
+fn pick(buf: &[u8], rows: &[Vec<u8>], i: usize) -> u8 {
+    let a = buf[i];
+    let b = rows[i][0];
+    let tail = &buf[1..];
+    a + b + tail[0]
+}

@@ -1,0 +1,7 @@
+//! Negative: typed-error propagation and non-panicking combinators.
+fn reply(x: Option<u32>) -> Result<u32, String> {
+    let a = x.ok_or_else(|| "missing".to_string())?;
+    let b = x.unwrap_or_default();
+    let c = x.unwrap_or_else(|| 7);
+    Ok(a + b + c)
+}

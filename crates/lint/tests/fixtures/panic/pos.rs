@@ -1,0 +1,9 @@
+//! Positive: every panic-family pattern, live code in a panic-free zone.
+fn reply(x: Option<u32>) -> u32 {
+    let a = x.unwrap();
+    let b = x.expect("present");
+    if a + b == 0 {
+        panic!("zero");
+    }
+    unreachable!("never")
+}

@@ -1,0 +1,4 @@
+//! Negative: data-returning library code; formatted strings are fine.
+fn describe(x: u32) -> String {
+    format!("x = {x}")
+}

@@ -1,0 +1,8 @@
+//! Positive: console output and stub macros in library code.
+fn debug_dump(x: u32) {
+    println!("x = {x}");
+    dbg!(x);
+    if x == 0 {
+        todo!()
+    }
+}

@@ -1,0 +1,5 @@
+//! Negative: other feature gates are unrestricted.
+#[cfg(feature = "mmap")]
+fn mapped_path() {}
+#[cfg(test)]
+fn test_helper() {}

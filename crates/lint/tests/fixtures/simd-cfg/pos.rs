@@ -1,0 +1,3 @@
+//! Positive: a simd feature gate outside similarity.rs/bench.
+#[cfg(feature = "simd")]
+fn fast_path() {}

@@ -1,0 +1,7 @@
+//! A justified suppression silences the hit (same-line and next-line).
+fn reply(buf: &[u8], i: usize) -> u8 {
+    let a = buf[i]; // snaple-lint: allow(index) — caller clamps i to buf.len() - 1
+    // snaple-lint: allow(index, panic) — fixture: demonstrates multi-rule next-line form
+    let b = buf[i];
+    a + b
+}

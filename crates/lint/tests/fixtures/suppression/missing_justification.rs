@@ -1,0 +1,4 @@
+//! A suppression without a justification is rejected AND the hit stands.
+fn reply(buf: &[u8], i: usize) -> u8 {
+    buf[i] // snaple-lint: allow(index)
+}

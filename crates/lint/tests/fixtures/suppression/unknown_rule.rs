@@ -1,0 +1,4 @@
+//! A suppression naming an unknown rule is rejected.
+fn reply(x: Option<u32>) -> u32 {
+    x.unwrap() // snaple-lint: allow(no-such-rule) — tries to silence with a typo
+}

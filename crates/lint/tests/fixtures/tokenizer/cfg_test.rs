@@ -1,0 +1,12 @@
+//! Tokenizer case: cfg(test) items and mod tests blocks are exempt.
+fn live(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    fn t(buf: &[u8]) -> u8 {
+        let v: Option<u8> = buf.first().copied();
+        v.unwrap() + buf[0]
+    }
+}

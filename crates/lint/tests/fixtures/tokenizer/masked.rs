@@ -1,0 +1,12 @@
+//! Tokenizer cases: forbidden patterns inside raw strings, nested block
+//! comments, and plain strings must NOT fire.
+fn masked() -> (&'static str, &'static str, &'static str) {
+    let raw = r#"x.unwrap() inside a raw "quoted" string"#;
+    /* outer comment
+       /* nested: buf[i].expect("boom") panic!() */
+       still outer: thread_rng()
+    */
+    let plain = "println!(\"not real\") and partial_cmp";
+    let byte = br##"SystemTime::now() in a byte-raw string"##;
+    (raw, plain, core::str::from_utf8(byte).unwrap_or(""))
+}

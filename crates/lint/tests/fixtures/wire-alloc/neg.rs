@@ -1,0 +1,11 @@
+//! Negative: literal capacity and a get_count-validated binding.
+fn decode_rows(payload: &[u8]) -> Result<Vec<u8>, String> {
+    let mut head = Vec::with_capacity(16);
+    let n = get_count(payload, 8)?;
+    let body: Vec<u8> = Vec::with_capacity(n);
+    head.extend(body);
+    Ok(head)
+}
+fn get_count(_p: &[u8], _w: usize) -> Result<usize, String> {
+    Ok(0)
+}

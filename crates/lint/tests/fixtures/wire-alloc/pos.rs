@@ -1,0 +1,5 @@
+//! Positive: with_capacity fed by an unvalidated decoded field.
+fn decode_rows(payload: &[u8]) -> Vec<u8> {
+    let n = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    Vec::with_capacity(n)
+}

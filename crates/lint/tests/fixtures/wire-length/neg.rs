@@ -1,0 +1,14 @@
+//! Negative: the widening and the allocation are decoupled through the
+//! validating helper, and encode paths are out of scope.
+fn decode_rows(payload: &[u8]) -> Result<Vec<u8>, String> {
+    let n = get_count(payload, 1)?;
+    let mut out = Vec::with_capacity(n);
+    out.extend_from_slice(payload);
+    Ok(out)
+}
+fn encode_rows(len: u32) -> usize {
+    len as usize
+}
+fn get_count(_p: &[u8], _w: usize) -> Result<usize, String> {
+    Ok(0)
+}

@@ -1,0 +1,7 @@
+//! Positive: wire-controlled u32 widened straight into an allocation.
+fn decode_rows(payload: &[u8], raw: u32) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.reserve(raw as usize);
+    let _ = payload;
+    out
+}

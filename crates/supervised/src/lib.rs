@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 //! Supervised link prediction on top of SNAPLE — the extension the paper
 //! names as future work (§7: *"One such path involve\[s\] the extension of
