@@ -1,0 +1,260 @@
+//! `exp-durable` — the price and the payoff of restartable serving.
+//!
+//! The durable serving extension (`snaple-store`) puts an fsync'd
+//! commitlog append in front of every `apply_update` and a compacted
+//! snapshot every K updates. This experiment measures both sides of the
+//! bargain:
+//!
+//! 1. **logging overhead** — the same update stream through an
+//!    ephemeral [`Server`], a `--fsync batch` durable server and a
+//!    `--fsync always` durable server; reported as absolute per-delta
+//!    time and as a multiple of the ephemeral path;
+//! 2. **recovery time vs log length** — reopen a data dir whose
+//!    commitlog holds N un-snapshotted frames and time
+//!    snapshot-load + replay, for growing N;
+//! 3. **bit-identity** — served rows after every durable run and after
+//!    every recovery must equal the ephemeral oracle's; the experiment
+//!    exits non-zero on any divergence, which is what the CI
+//!    `durability-smoke` step asserts.
+//!
+//! [`Server`]: snaple_core::serve::Server
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use snaple_bench::{append_bench_json, banner, churn_delta, emit, ExpArgs};
+use snaple_core::serve::Server;
+use snaple_core::{NamedScore, QuerySet, Snaple, SnapleConfig};
+use snaple_eval::table::fmt_millis;
+use snaple_eval::TextTable;
+use snaple_gas::ClusterSpec;
+use snaple_graph::gen::datasets;
+use snaple_graph::{io, CsrGraph, GraphDelta};
+use snaple_store::{Durability, DurabilityOptions, FsyncPolicy};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snaple-exp-durable-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn graph_bytes(g: &CsrGraph) -> Vec<u8> {
+    let mut out = Vec::new();
+    io::write_binary(g, &mut out).expect("in-memory serialize");
+    out
+}
+
+/// One run of the update stream + final serve through a [`Server`],
+/// optionally durable. Returns (total apply seconds, served rows).
+fn run_stream(
+    server: &mut Server<'_>,
+    deltas: &[GraphDelta],
+    queries: &QuerySet,
+) -> (f64, snaple_core::Prediction) {
+    let started = Instant::now();
+    for delta in deltas {
+        server.apply_update(delta).expect("apply_update");
+    }
+    let apply_seconds = started.elapsed().as_secs_f64();
+    let rows = server.serve(queries).expect("serve");
+    (apply_seconds, rows)
+}
+
+fn main() {
+    let args = ExpArgs::parse(
+        "exp-durable",
+        "commitlog overhead and recovery latency of restartable serving",
+    );
+    banner(
+        "exp-durable",
+        "the durable serving extension (snaple-store commitlog + snapshots)",
+        &args,
+    );
+
+    let scale = if args.quick { 0.004 } else { 0.05 } * args.scale;
+    let graph = datasets::GOWALLA.emulate(scale, args.seed);
+    let cluster = ClusterSpec::type_ii(4);
+    let snaple = Snaple::new(
+        SnapleConfig::new(NamedScore::LinearSum)
+            .k(5)
+            .klocal(Some(20))
+            .seed(args.seed),
+    );
+    println!(
+        "gowalla@{scale:.3}: {} vertices, {} edges, {} cluster\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        cluster.name
+    );
+
+    let n_deltas = if args.quick { 16 } else { 64 };
+    let deltas: Vec<GraphDelta> = (0..n_deltas)
+        .map(|i| churn_delta(&graph, 0.002, args.seed ^ (0x0d + i as u64)))
+        .collect();
+    let queries = QuerySet::sample(graph.num_vertices(), (graph.num_vertices() / 20).max(1), 11);
+    let mut any_divergence = false;
+
+    // ---- Part 1: apply_update overhead, ephemeral vs durable. ----------
+    let mut table = TextTable::new(vec![
+        "mode",
+        "deltas",
+        "apply total",
+        "per delta",
+        "overhead",
+        "fsyncs",
+        "snapshots",
+        "rows",
+    ]);
+
+    let mut ephemeral = Server::new(&snaple, &graph, &cluster).expect("ephemeral prepare");
+    let (ephemeral_seconds, oracle_rows) = run_stream(&mut ephemeral, &deltas, &queries);
+    table.row(vec![
+        "ephemeral".into(),
+        n_deltas.to_string(),
+        fmt_millis(ephemeral_seconds),
+        fmt_millis(ephemeral_seconds / n_deltas as f64),
+        "1.0x".into(),
+        "0".into(),
+        "0".into(),
+        "oracle".into(),
+    ]);
+
+    for (mode, policy) in [
+        ("durable/batch", FsyncPolicy::Batch),
+        ("durable/always", FsyncPolicy::Always),
+    ] {
+        let dir = scratch(mode.rsplit('/').next().unwrap_or("mode"));
+        let opts = DurabilityOptions::default()
+            .fsync(policy)
+            .snapshot_every(n_deltas / 4)
+            .retain(2);
+        let (durable, recovered, _) =
+            Durability::open(&dir, &graph, b"exp-durable", opts).expect("fresh open");
+        assert!(recovered.is_none(), "scratch dir must start empty");
+        let mut server = Server::new(&snaple, &graph, &cluster).expect("durable prepare");
+        server.attach_durability(durable);
+        let (durable_seconds, rows) = run_stream(&mut server, &deltas, &queries);
+        server.sync_durability().expect("final sync");
+        let stats = server
+            .stats()
+            .durability
+            .clone()
+            .expect("durable server stats");
+
+        let mut rows_checked = 0usize;
+        for q in queries.iter() {
+            if rows.for_vertex(q) != oracle_rows.for_vertex(q) {
+                eprintln!("DIVERGENCE [{mode}]: row {q} differs from the ephemeral oracle");
+                any_divergence = true;
+            }
+            rows_checked += 1;
+        }
+        let overhead = durable_seconds / ephemeral_seconds.max(1e-12);
+        table.row(vec![
+            mode.into(),
+            n_deltas.to_string(),
+            fmt_millis(durable_seconds),
+            fmt_millis(durable_seconds / n_deltas as f64),
+            format!("{overhead:.2}x"),
+            stats.fsyncs.to_string(),
+            stats.snapshots_written.to_string(),
+            format!("{rows_checked} identical"),
+        ]);
+        append_bench_json(&format!(
+            "{{\"name\":\"durable/apply-overhead/{mode}\",\
+             \"deltas\":{n_deltas},\
+             \"ephemeral_seconds\":{ephemeral_seconds:.6},\
+             \"durable_seconds\":{durable_seconds:.6},\
+             \"overhead\":{overhead:.3},\
+             \"fsyncs\":{},\
+             \"snapshots\":{},\
+             \"logged_bytes\":{}}}",
+            stats.fsyncs, stats.snapshots_written, stats.logged_bytes
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+    emit(&args, "durable-overhead", &table);
+
+    // ---- Part 2: recovery time vs log length. --------------------------
+    // Snapshot cadence is pushed past the stream length so the whole log
+    // replays: this times the worst case (pure replay); a snapshot only
+    // ever shortens it.
+    let mut table = TextTable::new(vec![
+        "log frames",
+        "log bytes",
+        "open+replay",
+        "per frame",
+        "state",
+    ]);
+    let lengths: &[usize] = if args.quick { &[4, 16] } else { &[8, 32, 128] };
+    for &n in lengths {
+        let dir = scratch(&format!("recover-{n}"));
+        let opts = DurabilityOptions::default()
+            .fsync(FsyncPolicy::Batch)
+            .snapshot_every(n * 2)
+            .retain(2);
+        let stream: Vec<GraphDelta> = (0..n)
+            .map(|i| churn_delta(&graph, 0.002, args.seed ^ (0xbeef + i as u64)))
+            .collect();
+        {
+            let (mut durable, _, _) =
+                Durability::open(&dir, &graph, b"exp-durable", opts.clone()).expect("fresh open");
+            for delta in &stream {
+                durable.record(delta).expect("record");
+            }
+            durable.sync().expect("sync");
+        } // drop = the crash: no clean shutdown handshake
+        let log_bytes = fs::metadata(dir.join(snaple_store::log::LOG_FILE))
+            .expect("log metadata")
+            .len();
+
+        let started = Instant::now();
+        let (_durable, recovered, report) =
+            Durability::open(&dir, &graph, b"exp-durable", opts).expect("recovery open");
+        let state = recovered.expect("prior state");
+        let mut effective = state.graph;
+        for delta in &state.replay {
+            effective = effective.compact(delta);
+        }
+        let recover_seconds = started.elapsed().as_secs_f64();
+
+        let mut oracle = graph.clone();
+        for delta in &stream {
+            oracle = oracle.compact(delta);
+        }
+        let identical = graph_bytes(&effective) == graph_bytes(&oracle);
+        if !identical {
+            eprintln!("DIVERGENCE: {n}-frame recovery is not bit-identical to the oracle graph");
+            any_divergence = true;
+        }
+        table.row(vec![
+            format!("{} replayed", report.frames_replayed),
+            log_bytes.to_string(),
+            fmt_millis(recover_seconds),
+            fmt_millis(recover_seconds / n as f64),
+            if identical {
+                "bit-identical".into()
+            } else {
+                "DIVERGED".into()
+            },
+        ]);
+        append_bench_json(&format!(
+            "{{\"name\":\"durable/recovery/frames-{n}\",\
+             \"frames_replayed\":{},\
+             \"log_bytes\":{log_bytes},\
+             \"recover_seconds\":{recover_seconds:.6},\
+             \"bit_identical\":{identical}}}",
+            report.frames_replayed
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+    emit(&args, "durable-recovery", &table);
+
+    if any_divergence {
+        eprintln!("FAILED: a durable or recovered state diverged from the ephemeral oracle");
+        exit(1);
+    }
+    println!("equivalence: all durable runs and recoveries bit-identical to the ephemeral oracle");
+}

@@ -98,6 +98,7 @@ use std::time::Instant;
 
 use snaple_gas::{ClusterSpec, DeltaStats};
 use snaple_graph::{CsrGraph, GraphDelta};
+use snaple_store::Durability;
 
 use crate::error::SnapleError;
 use crate::predictor::Prediction;
@@ -230,6 +231,10 @@ struct Shared<'g> {
     /// Serializes updaters so concurrent `apply_update` calls compose
     /// (each fork starts from the previously published epoch).
     update_lock: Mutex<()>,
+    /// The durability store, when the run persists into a data dir. Only
+    /// ever locked while `update_lock` is held, so the commitlog append
+    /// is the serialization point before each epoch swap.
+    durability: Option<Mutex<Durability>>,
     gauges: Mutex<Gauges>,
     capacity: usize,
     batch: usize,
@@ -249,6 +254,11 @@ pub struct ConcurrentOutcome<R> {
     /// [`ServerStats::throughput_rps`] reflects end-to-end stream
     /// throughput rather than summed per-worker busy time.
     pub stats: ServerStats,
+    /// The durability store handed to
+    /// [`ConcurrentServer::run_prepared_durable`], returned to the caller
+    /// after a final commitlog sync — reuse it to keep persisting, or
+    /// drop it to release the data dir. `None` for ephemeral runs.
+    pub durability: Option<Durability>,
 }
 
 /// A ticket for one accepted request; redeem with
@@ -382,15 +392,32 @@ impl ServeHandle<'_, '_> {
     /// Concurrent updaters are serialized so every delta lands (each fork
     /// starts from the previously published epoch).
     ///
+    /// In a [`ConcurrentServer::run_prepared_durable`] run the delta is
+    /// appended to the commitlog between the fork and the swap — the
+    /// write-ahead serialization point: an epoch is never observable
+    /// before its delta is on disk, and a logging failure rejects the
+    /// update while the current epoch keeps serving.
+    ///
     /// # Errors
     ///
-    /// Propagates [`SnapleError`] from the fork; on error no swap happens
-    /// and the current epoch keeps serving.
+    /// Propagates [`SnapleError`] from the fork, or
+    /// [`SnapleError::Durability`] when the commitlog append fails; on
+    /// error no swap happens and the current epoch keeps serving.
     pub fn apply_update(&self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError> {
         let _updates_serialized = crate::sync::lock(&self.shared.update_lock);
         let current = Arc::clone(&crate::sync::read(&self.shared.snapshot));
         // The expensive part happens here, outside every lock readers use.
         let (forked, applied) = current.prepared.fork_with_delta(delta)?;
+        // Write-ahead: log before the swap (under the update lock, so log
+        // order matches epoch order). On failure the forked snapshot is
+        // dropped and readers never see the unlogged epoch.
+        if let Some(durable) = &self.shared.durability {
+            crate::sync::lock(durable)
+                .record(delta)
+                .map_err(|e| SnapleError::Durability {
+                    message: e.to_string(),
+                })?;
+        }
         {
             let mut slot = crate::sync::write(&self.shared.snapshot);
             *slot = Arc::new(Snapshot {
@@ -467,6 +494,54 @@ impl ConcurrentServer {
         options: ConcurrentOptions<'g>,
         body: impl FnOnce(ServeHandle<'_, 'g>) -> R,
     ) -> ConcurrentOutcome<R> {
+        ConcurrentServer::run_inner(prepared, options, None, body).0
+    }
+
+    /// Runs the pool with a [`Durability`] store attached: every
+    /// [`ServeHandle::apply_update`] appends its delta to the commitlog
+    /// *before* the epoch swap becomes observable (write-ahead), and the
+    /// store checkpoints compacted snapshots at its configured cadence.
+    ///
+    /// Replay deltas recovered by [`Durability::open`] must be folded
+    /// into `prepared` (via
+    /// [`PreparedPredictor::apply_delta`]) *before* calling this, so they
+    /// are not re-logged — see the [serve module
+    /// docs](crate::serve#restartable-serving) for the protocol.
+    ///
+    /// The store comes back in [`ConcurrentOutcome::durability`] after a
+    /// final commitlog flush, so a caller can keep persisting across
+    /// runs.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapleError::Durability`] when the *final* commitlog flush
+    /// fails — the data dir still recovers to the last synced frame.
+    /// Errors inside the stream surface per request or per
+    /// `apply_update`, not here.
+    pub fn run_prepared_durable<'g, R>(
+        prepared: Box<dyn PreparedPredictor + 'g>,
+        options: ConcurrentOptions<'g>,
+        durability: Durability,
+        body: impl FnOnce(ServeHandle<'_, 'g>) -> R,
+    ) -> Result<ConcurrentOutcome<R>, SnapleError> {
+        let (outcome, sync_err) =
+            ConcurrentServer::run_inner(prepared, options, Some(durability), body);
+        match sync_err {
+            Some(e) => Err(e),
+            None => Ok(outcome),
+        }
+    }
+
+    /// The shared pool loop behind [`ConcurrentServer::run_prepared`] and
+    /// [`ConcurrentServer::run_prepared_durable`]. Returns the outcome
+    /// plus the final durability flush's error, if any (always `None`
+    /// without a store).
+    fn run_inner<'g, R>(
+        prepared: Box<dyn PreparedPredictor + 'g>,
+        options: ConcurrentOptions<'g>,
+        durability: Option<Durability>,
+        body: impl FnOnce(ServeHandle<'_, 'g>) -> R,
+    ) -> (ConcurrentOutcome<R>, Option<SnapleError>) {
         let setup = prepared.setup().clone();
         let shared = Shared {
             queue: Mutex::new(QueueState {
@@ -479,6 +554,7 @@ impl ConcurrentServer {
             idle_cv: Condvar::new(),
             snapshot: RwLock::new(Arc::new(Snapshot { prepared, epoch: 0 })),
             update_lock: Mutex::new(()),
+            durability: durability.map(Mutex::new),
             gauges: Mutex::new(Gauges::default()),
             capacity: options.queue_capacity,
             batch: options.batch,
@@ -500,7 +576,19 @@ impl ConcurrentServer {
             body(ServeHandle { shared: &shared })
         });
         let serve_wall_seconds = serve_started.elapsed().as_secs_f64();
+        // The pool is joined: take the store back, flush the commitlog
+        // tail, and fold its counters into the stream stats.
+        let durability = shared.durability.map(crate::sync::into_inner);
         let gauges = crate::sync::into_inner(shared.gauges);
+        let (durability, sync_err) = match durability {
+            Some(mut durable) => {
+                let err = durable.sync().err().map(|e| SnapleError::Durability {
+                    message: e.to_string(),
+                });
+                (Some(durable), err)
+            }
+            None => (None, None),
+        };
         let stats = ServerStats {
             requests: gauges.requests,
             batches: gauges.batches,
@@ -518,8 +606,16 @@ impl ConcurrentServer {
             delta_touched_partitions: gauges.delta_touched_partitions,
             latency: gauges.latency,
             workers: options.workers,
+            durability: durability.as_ref().map(|d| d.stats().clone()),
         };
-        ConcurrentOutcome { value, stats }
+        (
+            ConcurrentOutcome {
+                value,
+                stats,
+                durability,
+            },
+            sync_err,
+        )
     }
 }
 
@@ -822,6 +918,46 @@ mod tests {
                 ()
             },
         );
+    }
+
+    #[test]
+    fn durable_run_logs_updates_and_returns_the_store() {
+        let (graph, cluster, snaple) = setup();
+        let dir = std::env::temp_dir().join(format!("snaple-conc-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = snaple_store::DurabilityOptions::default();
+        let (durable, recovered, _report) =
+            Durability::open(&dir, &graph, b"cfg", opts.clone()).unwrap();
+        assert!(recovered.is_none(), "fresh dir recovers nothing");
+        let prepared = snaple
+            .prepare(&PrepareRequest::new(&graph, &cluster))
+            .unwrap();
+        let outcome = ConcurrentServer::run_prepared_durable(
+            prepared,
+            ConcurrentOptions::default().workers(1),
+            durable,
+            |handle| {
+                let mut delta = GraphDelta::new();
+                delta.insert(1, 2);
+                handle.apply_update(&delta).unwrap();
+                assert_eq!(handle.epoch(), 1);
+                handle
+                    .serve(&QuerySet::sample(graph.num_vertices(), 10, 0))
+                    .unwrap();
+            },
+        )
+        .unwrap();
+        let folded = outcome.stats.durability.as_ref().unwrap();
+        assert_eq!(folded.logged_deltas, 1);
+        let durable = outcome.durability.unwrap();
+        assert_eq!(durable.next_seq(), 1);
+        drop(durable);
+        // Reopen: the epoch swap's delta replays.
+        let (_d2, recovered, report) = Durability::open(&dir, &graph, b"cfg", opts).unwrap();
+        let recovered = recovered.unwrap();
+        assert_eq!(recovered.replay.len(), 1);
+        assert!(!report.repaired(), "{}", report.summary());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

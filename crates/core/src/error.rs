@@ -34,6 +34,14 @@ pub enum SnapleError {
         /// What broke: the wire/transport error message.
         message: String,
     },
+    /// The durability layer failed to persist an update: the commitlog
+    /// append or a snapshot checkpoint hit an I/O failure *before* the
+    /// delta was applied — the serving state is unchanged and the
+    /// update must be considered rejected (write-ahead semantics).
+    Durability {
+        /// The underlying `snaple_store::StoreError` message.
+        message: String,
+    },
 }
 
 impl fmt::Display for SnapleError {
@@ -49,6 +57,9 @@ impl fmt::Display for SnapleError {
             SnapleError::ShardFailed { shard, message } => {
                 write!(f, "shard {shard} failed: {message}")
             }
+            SnapleError::Durability { message } => {
+                write!(f, "durability error (update not applied): {message}")
+            }
         }
     }
 }
@@ -59,7 +70,8 @@ impl StdError for SnapleError {
             SnapleError::Engine(e) => Some(e),
             SnapleError::InvalidConfig(_)
             | SnapleError::QueueFull { .. }
-            | SnapleError::ShardFailed { .. } => None,
+            | SnapleError::ShardFailed { .. }
+            | SnapleError::Durability { .. } => None,
         }
     }
 }

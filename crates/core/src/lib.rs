@@ -187,6 +187,55 @@
 //! # Ok::<(), snaple_core::SnapleError>(())
 //! ```
 //!
+//! # Restartable serving
+//!
+//! Both serve layers persist through the [`store`] crate
+//! (re-exported here): open a [`store::Durability`] on a data dir and
+//! attach it ([`serve::Server::attach_durability`] /
+//! [`concurrent::ConcurrentServer::run_prepared_durable`]). Every
+//! update then appends to an fsync'd, checksummed commitlog *before*
+//! it applies, and every K updates the store checkpoints a compacted
+//! snapshot. After a crash, [`store::Durability::open`] recovers the
+//! newest valid snapshot plus the log tail — bit-identical to the
+//! never-crashed server, with torn tail frames and corrupt snapshots
+//! repaired (never a panic) and reported in a
+//! [`store::RecoveryReport`]:
+//!
+//! ```
+//! use snaple_core::serve::Server;
+//! use snaple_core::store::{Durability, DurabilityOptions};
+//! use snaple_core::{NamedScore, Snaple, SnapleConfig};
+//! use snaple_gas::ClusterSpec;
+//! use snaple_graph::gen::datasets;
+//!
+//! let dir = std::env::temp_dir().join(format!("snaple-doc-{}", std::process::id()));
+//! let graph = datasets::GOWALLA.emulate(0.005, 42);
+//! let cluster = ClusterSpec::type_ii(4);
+//! let snaple = Snaple::new(SnapleConfig::new(NamedScore::LinearSum).klocal(Some(20)));
+//!
+//! // Open (or recover) the data dir, prepare on the recovered graph,
+//! // replay the unsnapshotted log tail, then attach.
+//! let (durable, recovered, report) =
+//!     Durability::open(&dir, &graph, b"", DurabilityOptions::default())?;
+//! let (graph, replay) = match recovered {
+//!     Some(state) => (state.graph, state.replay),
+//!     None => (graph.clone(), Vec::new()),
+//! };
+//! let mut server = Server::new(&snaple, &graph, &cluster)?;
+//! for delta in &replay {
+//!     server.apply_update(delta)?; // before attach: not re-logged
+//! }
+//! server.attach_durability(durable);
+//! assert!(!report.repaired());
+//! # std::fs::remove_dir_all(&dir).ok();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The `snaple-cli serve --data-dir DIR` flag wires this up end to end;
+//! `--fsync always|batch`, `--snapshot-every K`, and `--retain N` tune
+//! the store. See the [`serve` module docs](serve#restartable-serving)
+//! for the full protocol.
+//!
 //! # Serving across shards
 //!
 //! One process eventually runs out of cores and memory headroom. The
@@ -298,5 +347,6 @@ pub use shard::{
 pub use similarity::{NeighborhoodView, Similarity};
 pub use snaple_gas::DeltaStats;
 pub use snaple_graph::GraphDelta;
+pub use snaple_store as store;
 pub use spec::{Registry, ScoreSpec};
 pub use state::SnapleVertex;

@@ -45,6 +45,35 @@
 //! [`LatencyHistogram`] (no per-request allocation), and cumulative
 //! update costs — all exportable as one `BENCH_JSON` line.
 //!
+//! # Restartable serving
+//!
+//! Attach a [`snaple_store::Durability`] store
+//! ([`Server::attach_durability`]) and the server becomes restartable:
+//! every [`Server::apply_update`] appends the delta to an fsync'd,
+//! checksummed commitlog *before* applying it (write-ahead — a logging
+//! failure rejects the update and leaves serving state unchanged), and
+//! every K logged deltas the store checkpoints a compacted snapshot of
+//! the graph. After a crash, [`snaple_store::Durability::open`] recovers
+//! the newest valid snapshot (falling back to older ones past checksum
+//! failures) plus the commitlog tail, handing back replay deltas that
+//! reproduce the pre-crash graph **bit-identically**. The recovery
+//! protocol:
+//!
+//! 1. `Durability::open(dir, base, config, opts)` → recovered graph +
+//!    replay deltas + a [`snaple_store::RecoveryReport`].
+//! 2. Prepare the predictor on the *recovered* graph, wrap it in a
+//!    `Server`, and apply the replay deltas through
+//!    [`Server::apply_update`] — **before** attaching, so they are not
+//!    re-logged.
+//! 3. [`Server::attach_durability`] — subsequent updates persist.
+//!
+//! With no store attached the durability path is a `None` check — the
+//! ephemeral serve loop is unchanged. The concurrent layer persists the
+//! same way via
+//! [`ConcurrentServer::run_prepared_durable`](crate::concurrent::ConcurrentServer::run_prepared_durable),
+//! where the commitlog append is the serialization point before each
+//! epoch swap.
+//!
 //! ```
 //! use snaple_core::serve::Server;
 //! use snaple_core::{QuerySet, NamedScore, Snaple, SnapleConfig};
@@ -70,6 +99,7 @@ use std::time::Instant;
 
 use snaple_gas::{ClusterSpec, DeltaStats};
 use snaple_graph::{CsrGraph, GraphDelta, VertexId};
+use snaple_store::{Durability, DurabilityStats};
 
 use crate::error::SnapleError;
 use crate::predictor::Prediction;
@@ -243,6 +273,11 @@ pub struct ServerStats {
     /// Worker threads that served the stream (`0` for the sequential
     /// in-thread [`Server`]).
     pub workers: usize,
+    /// Durability counters and the recovery report, when the server
+    /// persists into a data dir (`None` = ephemeral serving, zero
+    /// overhead). Not carried over the shard wire — shards never own a
+    /// data dir.
+    pub durability: Option<DurabilityStats>,
 }
 
 impl ServerStats {
@@ -299,6 +334,22 @@ impl ServerStats {
             .max(other.delta_touched_partitions);
         self.latency.merge(&other.latency);
         self.workers += other.workers;
+        match (&mut self.durability, &other.durability) {
+            (Some(mine), Some(theirs)) => {
+                mine.logged_deltas += theirs.logged_deltas;
+                mine.logged_bytes += theirs.logged_bytes;
+                mine.fsyncs += theirs.fsyncs;
+                mine.snapshots_written += theirs.snapshots_written;
+                mine.log_wall_seconds = mine.log_wall_seconds.max(theirs.log_wall_seconds);
+                mine.snapshot_wall_seconds =
+                    mine.snapshot_wall_seconds.max(theirs.snapshot_wall_seconds);
+                if mine.recovery.is_none() {
+                    mine.recovery = theirs.recovery.clone();
+                }
+            }
+            (None, Some(theirs)) => self.durability = Some(theirs.clone()),
+            _ => {}
+        }
     }
 
     /// How many received queries each executed union query stood for
@@ -337,11 +388,18 @@ impl ServerStats {
         } else {
             String::new()
         };
+        let durability = match &self.durability {
+            Some(d) => format!(
+                ", durable ({} logged deltas, {} fsyncs, {} snapshots)",
+                d.logged_deltas, d.fsyncs, d.snapshots_written,
+            ),
+            None => String::new(),
+        };
         format!(
             "{} requests in {} batches{workers}: {:.1} req/s, {:.2} ms mean latency \
              (p50/p95/p99 {:.2}/{:.2}/{:.2} ms), \
              coalescing {:.2}x, setup {:.1} ms ({:.1} ms partition build), \
-             {:.2} simulated s{updates}",
+             {:.2} simulated s{updates}{durability}",
             self.requests,
             self.batches,
             self.throughput_rps(),
@@ -416,6 +474,7 @@ pub struct Server<'a> {
     attributes: Option<&'a [Vec<u32>]>,
     seed: Option<u64>,
     stats: ServerStats,
+    durability: Option<Durability>,
 }
 
 impl<'a> Server<'a> {
@@ -453,7 +512,41 @@ impl<'a> Server<'a> {
             attributes: None,
             seed: None,
             stats,
+            durability: None,
         }
+    }
+
+    /// Attaches an opened [`Durability`] store: every subsequent
+    /// [`Server::apply_update`] is persisted (commitlog append, then
+    /// apply — write-ahead) and checkpointed at the store's cadence.
+    ///
+    /// Replay deltas recovered at open time must be applied *before*
+    /// attaching, so they are not re-logged — see the
+    /// [module docs](self#restartable-serving).
+    pub fn attach_durability(&mut self, durability: Durability) {
+        self.stats.durability = Some(durability.stats().clone());
+        self.durability = Some(durability);
+    }
+
+    /// The attached durability store, if any.
+    pub fn durability(&self) -> Option<&Durability> {
+        self.durability.as_ref()
+    }
+
+    /// Forces an fsync of the commitlog (a no-op when ephemeral or when
+    /// the fsync policy is `always`).
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the flush failure as [`SnapleError::Durability`].
+    pub fn sync_durability(&mut self) -> Result<(), SnapleError> {
+        if let Some(durable) = self.durability.as_mut() {
+            durable.sync().map_err(|e| SnapleError::Durability {
+                message: e.to_string(),
+            })?;
+            self.stats.durability = Some(durable.stats().clone());
+        }
+        Ok(())
     }
 
     /// Attaches per-vertex content attributes applied to every request.
@@ -483,17 +576,30 @@ impl<'a> Server<'a> {
     /// served after the update return rows bit-identical to a cold
     /// rebuild on the mutated graph.
     ///
+    /// When a [`Durability`] store is attached, the delta is appended to
+    /// the commitlog *before* it is applied (write-ahead): a logging
+    /// failure rejects the update with [`SnapleError::Durability`] and
+    /// leaves the serving state unchanged.
+    ///
     /// # Errors
     ///
     /// Propagates [`SnapleError`] from the underlying apply; on error the
     /// update is not counted.
     pub fn apply_update(&mut self, delta: &GraphDelta) -> Result<DeltaStats, SnapleError> {
+        if let Some(durable) = self.durability.as_mut() {
+            durable.record(delta).map_err(|e| SnapleError::Durability {
+                message: e.to_string(),
+            })?;
+        }
         let applied = self.prepared.apply_delta(delta)?;
         self.stats.updates += 1;
         self.stats.edges_inserted += applied.inserted_edges;
         self.stats.edges_removed += applied.removed_edges;
         self.stats.delta_apply_seconds += applied.apply_wall_seconds;
         self.stats.delta_touched_partitions += applied.touched_partitions;
+        if let Some(durable) = self.durability.as_ref() {
+            self.stats.durability = Some(durable.stats().clone());
+        }
         Ok(applied)
     }
 

@@ -134,41 +134,16 @@ impl From<std::io::Error> for WireError {
 }
 
 // ---------------------------------------------------------------------------
-// CRC-32 (IEEE), table-driven.
+// CRC-32 (IEEE) — the shared implementation in `snaple_graph::codec`,
+// re-exported so wire users keep one import path.
 // ---------------------------------------------------------------------------
-
-const CRC_TABLE: [u32; 256] = build_crc_table();
-
-const fn build_crc_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            bit += 1;
-        }
-        table[i] = c; // snaple-lint: allow(index) — const-eval loop, i < 256 = table.len()
-        i += 1;
-    }
-    table
-}
 
 /// CRC-32 (IEEE 802.3 / zlib) of `data`, resumable via `seed` (pass the
 /// previous return value to continue over a split buffer; start at 0).
-pub fn crc32(seed: u32, data: &[u8]) -> u32 {
-    let mut c = !seed;
-    for &b in data {
-        // snaple-lint: allow(index) — the index is masked to 8 bits; CRC_TABLE has 256 entries
-        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+///
+/// This is [`snaple_graph::codec::crc32`] — the same checksum guards the
+/// shard frames and the durability commitlog frames.
+pub use snaple_graph::codec::crc32;
 
 // ---------------------------------------------------------------------------
 // Framing.
@@ -758,13 +733,9 @@ impl Request {
             }
             Request::Delta { request_id, ops } => {
                 put_u64(&mut payload, *request_id);
-                put_u32(&mut payload, ops.len() as u32);
-                for &(u, v, w, insert) in ops {
-                    put_u32(&mut payload, u);
-                    put_u32(&mut payload, v);
-                    put_f32(&mut payload, w);
-                    put_u8(&mut payload, insert as u8);
-                }
+                // The shared delta codec: identical bytes to the
+                // durability commitlog's frames.
+                snaple_graph::codec::encode_ops(&mut payload, ops);
                 TAG_DELTA
             }
             Request::Shutdown => TAG_SHUTDOWN,
@@ -819,19 +790,8 @@ impl Request {
             }
             TAG_DELTA => {
                 let request_id = get_u64(input, "delta id")?;
-                let n = get_count(input, 13, "delta op count")?;
-                let mut ops = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let u = get_u32(input, "delta u")?;
-                    let v = get_u32(input, "delta v")?;
-                    let w = get_f32(input, "delta w")?;
-                    let insert = match get_u8(input, "delta kind")? {
-                        0 => false,
-                        1 => true,
-                        _ => return Err(short("delta kind")),
-                    };
-                    ops.push((u, v, w, insert));
-                }
+                let ops = snaple_graph::codec::decode_ops(input)
+                    .map_err(|e| WireError::Malformed(e.what()))?;
                 Request::Delta { request_id, ops }
             }
             TAG_SHUTDOWN => Request::Shutdown,
@@ -1185,6 +1145,35 @@ mod tests {
             round_trip_request(&Request::Shutdown),
             Request::Shutdown
         ));
+    }
+
+    #[test]
+    fn delta_frame_golden_bytes() {
+        // Pins the shard wire format byte-for-byte across the shared
+        // delta-codec refactor: a `Request::Delta` frame must serialize
+        // to exactly these bytes, forever. Any codec change that shifts
+        // them is a protocol break.
+        let req = Request::Delta {
+            request_id: 0x0102_0304_0506_0708,
+            ops: vec![(1, 2, 1.5, true), (3, 4, 0.0, false)],
+        };
+        let frame = req.encode().unwrap();
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            b'S', b'L',                                     // magic
+            3,                                              // TAG_DELTA
+            38, 0, 0, 0,                                    // payload len
+            0x08, 0x07, 0x06, 0x05, 0x04, 0x03, 0x02, 0x01, // request_id LE
+            2, 0, 0, 0,                                     // op count
+            1, 0, 0, 0,   2, 0, 0, 0,                       // u, v
+            0x00, 0x00, 0xC0, 0x3F,                         // 1.5f32.to_bits()
+            1,                                              // insert
+            3, 0, 0, 0,   4, 0, 0, 0,                       // u, v
+            0, 0, 0, 0,                                     // 0.0
+            0,                                              // remove
+            0x21, 0x48, 0x04, 0xB3,                         // crc32 LE
+        ];
+        assert_eq!(frame, expected);
     }
 
     #[test]

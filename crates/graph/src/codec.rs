@@ -1,0 +1,371 @@
+//! The shared [`GraphDelta`] wire codec and CRC-32 checksum.
+//!
+//! Two independent byte streams carry graph deltas: the shard wire
+//! protocol (`snaple-core`'s `shard::wire`, router → shard `Delta`
+//! frames) and the durability commitlog (`snaple-store`, one fsync'd
+//! frame per applied update). Both speak **one encoding**, defined here,
+//! so a delta logged to disk is byte-identical to the same delta sent to
+//! a shard — and a single fuzz/round-trip suite covers both.
+//!
+//! # Operation layout
+//!
+//! A delta is its operation sequence in arrival order (last-wins dedup
+//! is order sensitive, see [`GraphDelta::ops`]):
+//!
+//! ```text
+//! ┌────────────┬───────────────────────────────────────────┐
+//! │ count: u32 │ count × (u: u32, v: u32, w: f32, kind: u8)│
+//! │ LE         │ 13 bytes each, LE, w as to_bits, kind 0/1 │
+//! └────────────┴───────────────────────────────────────────┘
+//! ```
+//!
+//! Weights travel as raw `f32` bits (`to_bits`/`from_bits`), so a delta
+//! that crosses the wire or survives a restart resolves bit-identically
+//! to one that never left the process. `kind` is strictly `0` (remove)
+//! or `1` (insert); anything else is a decode error. The decoder guards
+//! the count against the remaining input *before* allocating, so a lying
+//! or corrupted count cannot drive an over-allocation, and it never
+//! panics — every malformed input maps to a typed [`CodecError`].
+
+use std::error::Error as StdError;
+use std::fmt;
+
+use crate::GraphDelta;
+
+/// Serialized size of one delta operation: `u32 + u32 + f32 + u8`.
+pub const OP_BYTES: usize = 13;
+
+/// A typed decode failure naming the field that was malformed or
+/// missing. The codec never panics: truncated input, a lying count and
+/// an out-of-range `kind` byte all map here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodecError(&'static str);
+
+impl CodecError {
+    /// The static description of the field that failed to decode
+    /// (e.g. `"delta op count"`, `"delta kind"`).
+    pub fn what(&self) -> &'static str {
+        self.0
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed delta payload: {}", self.0)
+    }
+}
+
+impl StdError for CodecError {}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), table-driven — shared by the shard frames and the
+// commitlog frames.
+// ---------------------------------------------------------------------------
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c; // snaple-lint: allow(index) — const-eval loop, i < 256 = table.len()
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3 / zlib) of `data`, resumable via `seed` (pass the
+/// previous return value to continue over a split buffer; start at 0).
+pub fn crc32(seed: u32, data: &[u8]) -> u32 {
+    let mut c = !seed;
+    for &b in data {
+        // snaple-lint: allow(index) — the index is masked to 8 bits; CRC_TABLE has 256 entries
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    !c
+}
+
+// ---------------------------------------------------------------------------
+// Encoding.
+// ---------------------------------------------------------------------------
+
+/// Appends the encoded operation sequence (count prefix + [`OP_BYTES`]
+/// per op) to `out`.
+pub fn encode_ops(out: &mut Vec<u8>, ops: &[(u32, u32, f32, bool)]) {
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for &(u, v, w, insert) in ops {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+        out.push(insert as u8);
+    }
+}
+
+/// Appends `delta`'s encoded operation sequence to `out` — identical
+/// bytes to [`encode_ops`] over [`GraphDelta::ops`].
+pub fn encode_delta(out: &mut Vec<u8>, delta: &GraphDelta) {
+    out.extend_from_slice(&(delta.len() as u32).to_le_bytes());
+    for (u, v, w, insert) in delta.ops() {
+        out.extend_from_slice(&u.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+        out.extend_from_slice(&w.to_bits().to_le_bytes());
+        out.push(insert as u8);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding.
+// ---------------------------------------------------------------------------
+
+fn get_u8(input: &mut &[u8], what: &'static str) -> Result<u8, CodecError> {
+    let (&b, rest) = input.split_first().ok_or(CodecError(what))?;
+    *input = rest;
+    Ok(b)
+}
+
+fn get_u32(input: &mut &[u8], what: &'static str) -> Result<u32, CodecError> {
+    let (head, rest) = input.split_first_chunk::<4>().ok_or(CodecError(what))?;
+    *input = rest;
+    Ok(u32::from_le_bytes(*head))
+}
+
+fn get_f32(input: &mut &[u8], what: &'static str) -> Result<f32, CodecError> {
+    Ok(f32::from_bits(get_u32(input, what)?))
+}
+
+/// Reads the operation count and guards it against the remaining input:
+/// each op needs [`OP_BYTES`], so a lying count is rejected before any
+/// allocation.
+fn get_count(input: &mut &[u8], what: &'static str) -> Result<usize, CodecError> {
+    let n = get_u32(input, what)? as usize;
+    if n.saturating_mul(OP_BYTES) > input.len() {
+        return Err(CodecError(what));
+    }
+    Ok(n)
+}
+
+/// Decodes an operation sequence, advancing `input` past it. Trailing
+/// bytes after the sequence are left in `input` (callers embedding the
+/// sequence mid-payload keep decoding; whole-payload callers check
+/// emptiness themselves).
+///
+/// # Errors
+///
+/// [`CodecError`] on truncated input, an over-long count, or a `kind`
+/// byte outside `{0, 1}`.
+pub fn decode_ops(input: &mut &[u8]) -> Result<Vec<(u32, u32, f32, bool)>, CodecError> {
+    let n = get_count(input, "delta op count")?;
+    let mut ops = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = get_u32(input, "delta u")?;
+        let v = get_u32(input, "delta v")?;
+        let w = get_f32(input, "delta w")?;
+        let insert = match get_u8(input, "delta kind")? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError("delta kind")),
+        };
+        ops.push((u, v, w, insert));
+    }
+    Ok(ops)
+}
+
+/// Decodes an operation sequence into a [`GraphDelta`], advancing
+/// `input` past it. Resolution semantics are preserved exactly: the
+/// rebuilt delta holds the same operations in the same arrival order.
+///
+/// # Errors
+///
+/// Same as [`decode_ops`].
+pub fn decode_delta(input: &mut &[u8]) -> Result<GraphDelta, CodecError> {
+    let n = get_count(input, "delta op count")?;
+    let mut delta = GraphDelta::with_capacity(n);
+    for _ in 0..n {
+        let u = get_u32(input, "delta u")?;
+        let v = get_u32(input, "delta v")?;
+        let w = get_f32(input, "delta w")?;
+        match get_u8(input, "delta kind")? {
+            0 => delta.remove(u, v),
+            1 => delta.insert_weighted(u, v, w),
+            _ => return Err(CodecError("delta kind")),
+        };
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_check_vector() {
+        // The standard CRC-32 (IEEE) check value.
+        assert_eq!(crc32(0, b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_resumes_across_splits() {
+        let whole = crc32(0, b"123456789");
+        let split = crc32(crc32(0, b"1234"), b"56789");
+        assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn golden_op_bytes() {
+        // Pins the exact serialized layout: count prefix then 13 bytes
+        // per op, all LE, weight as raw f32 bits, kind 0/1.
+        let mut out = Vec::new();
+        encode_ops(&mut out, &[(1, 2, 1.5, true), (3, 4, 0.0, false)]);
+        #[rustfmt::skip]
+        let expected: Vec<u8> = vec![
+            2, 0, 0, 0,                   // count
+            1, 0, 0, 0,   2, 0, 0, 0,     // u, v
+            0x00, 0x00, 0xC0, 0x3F,       // 1.5f32.to_bits()
+            1,                            // insert
+            3, 0, 0, 0,   4, 0, 0, 0,     // u, v
+            0, 0, 0, 0,                   // 0.0
+            0,                            // remove
+        ];
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn ops_and_delta_encodings_agree() {
+        let mut delta = GraphDelta::new();
+        delta
+            .insert(7, 9)
+            .insert_weighted(1, 2, 0.25)
+            .remove(7, 9)
+            .insert(0, 3);
+        let ops: Vec<_> = delta.ops().collect();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_ops(&mut a, &ops);
+        encode_delta(&mut b, &delta);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trips_preserve_arrival_order() {
+        let mut delta = GraphDelta::new();
+        delta
+            .insert(5, 6)
+            .remove(5, 6)
+            .insert_weighted(6, 5, -2.5)
+            .insert(5, 6);
+        let mut bytes = Vec::new();
+        encode_delta(&mut bytes, &delta);
+
+        let mut input = bytes.as_slice();
+        let decoded = decode_delta(&mut input).expect("decode");
+        assert!(input.is_empty());
+        assert_eq!(
+            decoded.ops().collect::<Vec<_>>(),
+            delta.ops().collect::<Vec<_>>()
+        );
+
+        let mut input = bytes.as_slice();
+        let ops = decode_ops(&mut input).expect("decode ops");
+        assert!(input.is_empty());
+        assert_eq!(ops, delta.ops().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nan_weights_round_trip_bit_exact() {
+        let weird = f32::from_bits(0x7FC0_1234); // a payload-carrying NaN
+        let ops = vec![(1u32, 2u32, weird, true)];
+        let mut bytes = Vec::new();
+        encode_ops(&mut bytes, &ops);
+        let decoded = decode_ops(&mut bytes.as_slice()).expect("decode");
+        assert_eq!(decoded[0].2.to_bits(), weird.to_bits());
+    }
+
+    #[test]
+    fn truncated_inputs_are_typed_errors() {
+        let mut bytes = Vec::new();
+        encode_ops(&mut bytes, &[(1, 2, 1.0, true), (3, 4, 1.0, true)]);
+        for cut in 0..bytes.len() {
+            let mut input = &bytes[..cut];
+            let err = decode_ops(&mut input).expect_err("truncation must fail");
+            assert!(!err.what().is_empty());
+        }
+    }
+
+    #[test]
+    fn lying_count_is_rejected_before_allocation() {
+        // Count claims u32::MAX ops with no bytes behind it.
+        let bytes = u32::MAX.to_le_bytes();
+        let err = decode_ops(&mut bytes.as_slice()).expect_err("must fail");
+        assert_eq!(err.what(), "delta op count");
+    }
+
+    #[test]
+    fn bad_kind_byte_is_rejected() {
+        let mut bytes = Vec::new();
+        encode_ops(&mut bytes, &[(1, 2, 1.0, true)]);
+        *bytes.last_mut().expect("non-empty") = 2;
+        let err = decode_ops(&mut bytes.as_slice()).expect_err("must fail");
+        assert_eq!(err.what(), "delta kind");
+    }
+
+    #[test]
+    fn fuzz_decode_never_panics_and_round_trips_survivors() {
+        // Deterministic structured fuzz: hash-derived byte soup plus
+        // mutated valid encodings. Every outcome must be a clean decode
+        // or a typed error — and whatever decodes must re-encode to the
+        // bytes consumed.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for round in 0..500 {
+            let len = (next() % 64) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| (next() & 0xFF) as u8).collect();
+            if round % 3 == 0 {
+                // Seed with a valid encoding, then flip one byte.
+                bytes.clear();
+                encode_ops(
+                    &mut bytes,
+                    &[
+                        (
+                            (next() & 0xFFFF) as u32,
+                            (next() & 0xFFFF) as u32,
+                            1.0,
+                            true,
+                        ),
+                        (
+                            (next() & 0xFFFF) as u32,
+                            (next() & 0xFFFF) as u32,
+                            0.0,
+                            false,
+                        ),
+                    ],
+                );
+                let pos = (next() as usize) % bytes.len();
+                if let Some(b) = bytes.get_mut(pos) {
+                    *b ^= 1 << (next() % 8);
+                }
+            }
+            let mut input = bytes.as_slice();
+            if let Ok(ops) = decode_ops(&mut input) {
+                let consumed = bytes.len() - input.len();
+                let mut re = Vec::new();
+                encode_ops(&mut re, &ops);
+                assert_eq!(re.as_slice(), &bytes[..consumed]);
+            }
+        }
+    }
+}

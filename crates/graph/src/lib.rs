@@ -16,6 +16,9 @@
 //!   ([`GraphDelta`]) with an overlay adjacency that composes with the
 //!   immutable CSR, folded back into CSR form by [`CsrGraph::compact`].
 //! * [`io`] — text edge-list (SNAP style) and a compact binary codec.
+//! * [`codec`] — the shared [`GraphDelta`] wire encoding (+ CRC-32),
+//!   spoken identically by the shard protocol and the durability
+//!   commitlog in the upper layers.
 //! * [`stats`] — degree histograms/CDFs, clustering, reciprocity; used to
 //!   regenerate the paper's Figure 6a–c.
 //! * [`gen`] — seeded synthetic generators (Erdős–Rényi, Barabási–Albert,
@@ -43,6 +46,7 @@
 
 pub mod algo;
 pub mod builder;
+pub mod codec;
 pub mod csr;
 pub mod delta;
 pub mod error;

@@ -121,16 +121,28 @@ pub struct Analysis {
 
 /// Files whose non-test code must be panic-free (rules `panic` +
 /// `index`). Paths are workspace-relative with forward slashes.
-pub const PANIC_FREE_ZONE: [&str; 5] = [
+pub const PANIC_FREE_ZONE: [&str; 9] = [
     "crates/core/src/shard/wire.rs",
     "crates/core/src/shard/runtime.rs",
     "crates/core/src/shard/router.rs",
     "crates/core/src/concurrent.rs",
     "crates/gas/src/engine.rs",
+    "crates/graph/src/codec.rs",
+    "crates/store/src/log.rs",
+    "crates/store/src/snapshot.rs",
+    "crates/store/src/recover.rs",
 ];
 
-/// Files whose decode-path functions get the wire-safety rules.
-pub const WIRE_ZONE: [&str; 1] = ["crates/core/src/shard/wire.rs"];
+/// Files whose decode-path functions get the wire-safety rules: the
+/// shard protocol plus everything that decodes bytes that may have been
+/// corrupted at rest (the shared delta codec, the commitlog scanner,
+/// the snapshot loader).
+pub const WIRE_ZONE: [&str; 4] = [
+    "crates/core/src/shard/wire.rs",
+    "crates/graph/src/codec.rs",
+    "crates/store/src/log.rs",
+    "crates/store/src/snapshot.rs",
+];
 
 /// The one file allowed to order floats with `partial_cmp` (it owns
 /// the NaN-aware comparator).

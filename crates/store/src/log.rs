@@ -1,0 +1,549 @@
+//! The append-only delta commitlog.
+//!
+//! One frame per applied [`GraphDelta`], in the shard wire protocol's
+//! framing style and with the shared [`snaple_graph::codec`] delta
+//! encoding, so a logged delta is byte-identical to one sent to a
+//! shard:
+//!
+//! ```text
+//! ┌──────┬─────┬──────────┬──────────┬────────────────┬───────────┐
+//! │ "SL" │ 'd' │ len: u32 │ seq: u64 │ delta ops      │ crc32: u32│
+//! │ 2 B  │ 1 B │ LE       │ LE       │ (shared codec) │ LE        │
+//! └──────┴─────┴──────────┴──────────┴────────────────┴───────────┘
+//! ```
+//!
+//! The CRC-32 covers tag, length, and payload. `seq` is the frame's
+//! monotonically increasing sequence number; snapshots record the first
+//! seq they do *not* cover, so recovery replays exactly the frames a
+//! snapshot misses.
+//!
+//! # Crash safety
+//!
+//! A crash mid-append leaves a torn tail: a partial frame, or a full
+//! frame whose checksum does not match. [`Commitlog::open`] scans the
+//! file frame by frame, stops at the first invalid byte, truncates the
+//! file back to the last good frame boundary, and reports the typed
+//! error plus the byte count dropped in a [`TornTail`] — it never
+//! panics, and the next append continues from the clean boundary.
+//!
+//! Durability of an append is governed by [`FsyncPolicy`]: `Always`
+//! fsyncs every frame (a crash loses at most the in-flight frame),
+//! `Batch` fsyncs every [`BATCH_SYNC_EVERY`] frames and at every
+//! snapshot (bounded loss window, much cheaper).
+
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use snaple_graph::codec::{self, crc32};
+use snaple_graph::GraphDelta;
+
+use crate::StoreError;
+
+/// The commitlog's file name inside a data dir.
+pub const LOG_FILE: &str = "commitlog.bin";
+
+/// The two magic bytes opening every frame (shared with the shard wire
+/// protocol).
+pub const MAGIC: [u8; 2] = *b"SL";
+
+/// The delta frame tag. Outside the shard protocol's request/reply tag
+/// ranges so a log frame misrouted onto the wire (or vice versa) is an
+/// immediate `UnknownTag`, not a confused decode.
+pub const TAG_DELTA_FRAME: u8 = b'd';
+
+/// Upper bound on a frame's payload length (1 GiB), rejected before any
+/// allocation — a corrupted length prefix is harmless.
+pub const MAX_FRAME_LEN: u32 = 1 << 30;
+
+/// Under [`FsyncPolicy::Batch`], fsync after this many appends.
+pub const BATCH_SYNC_EVERY: usize = 32;
+
+/// When the log must hit the disk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// fsync every appended frame: a crash loses at most the frame
+    /// being written.
+    Always,
+    /// fsync every [`BATCH_SYNC_EVERY`] frames and at every snapshot:
+    /// a crash can lose the unsynced window, recovery still restores a
+    /// consistent prefix.
+    Batch,
+}
+
+impl FsyncPolicy {
+    /// Parses the `--fsync` CLI value (`"always"` or `"batch"`).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "batch" => Some(FsyncPolicy::Batch),
+            _ => None,
+        }
+    }
+}
+
+/// What a crash left behind at the end of the log: the typed error the
+/// first invalid frame produced and how many bytes were truncated away.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Bytes dropped from the end of the file.
+    pub dropped_bytes: u64,
+    /// Why the tail failed to decode.
+    pub error: StoreError,
+}
+
+/// The result of opening a commitlog: the writable log positioned after
+/// the last good frame, every good frame's `(seq, delta)`, and the torn
+/// tail (if any) that was truncated away.
+#[derive(Debug)]
+pub struct LogOpen {
+    /// The log, ready to append.
+    pub log: Commitlog,
+    /// All valid frames, in file (= seq) order.
+    pub frames: Vec<(u64, GraphDelta)>,
+    /// Present when a torn/corrupt tail was detected and truncated.
+    pub tail: Option<TornTail>,
+}
+
+/// The append-only, checksummed delta log. See the [module docs](self).
+#[derive(Debug)]
+pub struct Commitlog {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    len_bytes: u64,
+    policy: FsyncPolicy,
+    unsynced: usize,
+    appended: u64,
+    fsyncs: u64,
+}
+
+/// One parsed frame boundary: `(offset, total_len, seq, delta)`.
+type ParsedFrame = (u64, u64, u64, GraphDelta);
+
+/// Scans `bytes` frame by frame. Returns the good frames and, when the
+/// scan stopped before the end, the typed error that stopped it. The
+/// good prefix ends at the last returned frame's `offset + total_len`.
+fn scan_frames(bytes: &[u8]) -> (Vec<ParsedFrame>, Option<StoreError>) {
+    let mut frames = Vec::new();
+    let mut offset = 0usize;
+    let mut expected_seq: Option<u64> = None;
+    loop {
+        let rest = match bytes.get(offset..) {
+            Some(r) if !r.is_empty() => r,
+            _ => return (frames, None), // clean end on a frame boundary
+        };
+        // Header: magic (2) + tag (1) + len (4).
+        let Some(head) = rest.get(..7) else {
+            return (
+                frames,
+                Some(StoreError::Corrupt("truncated frame header".into())),
+            );
+        };
+        let Some((magic, tag_len)) = head.split_first_chunk::<2>() else {
+            return (
+                frames,
+                Some(StoreError::Corrupt("truncated frame header".into())),
+            );
+        };
+        if *magic != MAGIC {
+            return (frames, Some(StoreError::Corrupt("bad frame magic".into())));
+        }
+        let (Some(&tag), Some(len_bytes)) = (tag_len.first(), tag_len.get(1..5)) else {
+            return (
+                frames,
+                Some(StoreError::Corrupt("truncated frame header".into())),
+            );
+        };
+        if tag != TAG_DELTA_FRAME {
+            return (
+                frames,
+                Some(StoreError::Corrupt("unknown frame tag".into())),
+            );
+        }
+        let mut len4 = [0u8; 4];
+        len4.copy_from_slice(len_bytes);
+        let len = u32::from_le_bytes(len4);
+        if len > MAX_FRAME_LEN {
+            return (
+                frames,
+                Some(StoreError::Corrupt("frame length exceeds cap".into())),
+            );
+        }
+        let total = 7usize.saturating_add(len as usize).saturating_add(4);
+        let Some(frame) = rest.get(..total) else {
+            return (frames, Some(StoreError::Corrupt("truncated frame".into())));
+        };
+        let (payload, crc_bytes) = (
+            frame.get(7..7 + len as usize),
+            frame.get(7 + len as usize..total),
+        );
+        let (Some(payload), Some(crc_bytes)) = (payload, crc_bytes) else {
+            return (frames, Some(StoreError::Corrupt("truncated frame".into())));
+        };
+        let mut crc4 = [0u8; 4];
+        crc4.copy_from_slice(crc_bytes);
+        let expected = u32::from_le_bytes(crc4);
+        let computed = match frame.get(2..7 + len as usize) {
+            Some(checksummed) => crc32(0, checksummed),
+            None => return (frames, Some(StoreError::Corrupt("truncated frame".into()))),
+        };
+        if expected != computed {
+            return (
+                frames,
+                Some(StoreError::Corrupt("frame checksum mismatch".into())),
+            );
+        }
+        // Payload: seq u64 + shared delta codec.
+        let (Some(seq8), Some(mut ops)) = (payload.get(..8), payload.get(8..)) else {
+            return (
+                frames,
+                Some(StoreError::Corrupt("frame payload too short".into())),
+            );
+        };
+        let mut seq_bytes = [0u8; 8];
+        seq_bytes.copy_from_slice(seq8);
+        let seq = u64::from_le_bytes(seq_bytes);
+        let delta = match codec::decode_delta(&mut ops) {
+            Ok(d) if ops.is_empty() => d,
+            Ok(_) => {
+                return (
+                    frames,
+                    Some(StoreError::Corrupt("trailing frame payload bytes".into())),
+                )
+            }
+            Err(e) => return (frames, Some(StoreError::Corrupt(e.to_string()))),
+        };
+        if let Some(expected_seq) = expected_seq {
+            if seq != expected_seq {
+                return (
+                    frames,
+                    Some(StoreError::Corrupt("non-monotonic frame seq".into())),
+                );
+            }
+        }
+        expected_seq = Some(seq.wrapping_add(1));
+        frames.push((offset as u64, total as u64, seq, delta));
+        offset = offset.saturating_add(total);
+    }
+}
+
+impl Commitlog {
+    /// Opens (creating if absent) the commitlog at `path`, scanning and
+    /// validating every frame. A torn or corrupt tail is truncated back
+    /// to the last good frame boundary and reported — never an error,
+    /// never a panic. The returned log appends after the good prefix.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the file cannot be opened, read, or
+    /// truncated.
+    pub fn open(path: &Path, policy: FsyncPolicy) -> Result<LogOpen, StoreError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        let (parsed, tail_error) = scan_frames(&bytes);
+        let good_len: u64 = parsed.last().map_or(0, |&(off, total, _, _)| off + total);
+        let next_seq = parsed.last().map_or(0, |&(_, _, seq, _)| seq + 1);
+
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let tail = match tail_error {
+            Some(error) => {
+                let dropped_bytes = (bytes.len() as u64).saturating_sub(good_len);
+                file.set_len(good_len)?;
+                file.sync_data()?;
+                Some(TornTail {
+                    dropped_bytes,
+                    error,
+                })
+            }
+            None => None,
+        };
+        file.seek(SeekFrom::Start(good_len))?;
+
+        let frames = parsed
+            .into_iter()
+            .map(|(_, _, seq, delta)| (seq, delta))
+            .collect();
+        Ok(LogOpen {
+            log: Commitlog {
+                file,
+                path: path.to_path_buf(),
+                next_seq,
+                len_bytes: good_len,
+                policy,
+                unsynced: 0,
+                appended: 0,
+                fsyncs: 0,
+            },
+            frames,
+            tail,
+        })
+    }
+
+    /// Appends one delta as a checksummed frame and applies the fsync
+    /// policy. Returns the frame's sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the write or fsync fails; the log then
+    /// ends on whatever the OS kept, which the next open's tail scan
+    /// cleans up.
+    pub fn append(&mut self, delta: &GraphDelta) -> Result<u64, StoreError> {
+        let seq = self.next_seq;
+        let mut payload = Vec::with_capacity(12 + delta.len() * codec::OP_BYTES);
+        payload.extend_from_slice(&seq.to_le_bytes());
+        codec::encode_delta(&mut payload, delta);
+        if payload.len() as u64 > MAX_FRAME_LEN as u64 {
+            return Err(StoreError::Corrupt("delta frame exceeds length cap".into()));
+        }
+        let mut frame = Vec::with_capacity(7 + payload.len() + 4);
+        frame.extend_from_slice(&MAGIC);
+        frame.push(TAG_DELTA_FRAME);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        let crc = match frame.get(2..) {
+            Some(checksummed) => crc32(0, checksummed),
+            None => 0, // unreachable: frame always holds >= 7 bytes
+        };
+        frame.extend_from_slice(&crc.to_le_bytes());
+
+        self.file.write_all(&frame)?;
+        self.next_seq = seq + 1;
+        self.len_bytes += frame.len() as u64;
+        self.appended += 1;
+        self.unsynced += 1;
+        match self.policy {
+            FsyncPolicy::Always => self.sync()?,
+            FsyncPolicy::Batch => {
+                if self.unsynced >= BATCH_SYNC_EVERY {
+                    self.sync()?;
+                }
+            }
+        }
+        Ok(seq)
+    }
+
+    /// Forces everything appended so far to disk.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] when the fsync fails.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.unsynced > 0 {
+            self.file.sync_data()?;
+            self.unsynced = 0;
+            self.fsyncs += 1;
+        }
+        Ok(())
+    }
+
+    /// Drops every frame with `seq < keep_from` by rewriting the log
+    /// (tmp + rename), called after snapshot retention pruning so the
+    /// log never outgrows what the oldest retained snapshot needs.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn trim_below(&mut self, keep_from: u64) -> Result<(), StoreError> {
+        self.sync()?;
+        let bytes = std::fs::read(&self.path)?;
+        let (parsed, _) = scan_frames(&bytes);
+        let keep_offset = parsed
+            .iter()
+            .find(|&&(_, _, seq, _)| seq >= keep_from)
+            .map_or(bytes.len() as u64, |&(off, _, _, _)| off);
+        if keep_offset == 0 {
+            return Ok(()); // nothing to trim
+        }
+        let tmp = self.path.with_extension("bin.tmp");
+        {
+            let mut out = File::create(&tmp)?;
+            if let Some(kept) = bytes.get(keep_offset as usize..) {
+                out.write_all(kept)?;
+            }
+            out.sync_data()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        let len = file.seek(SeekFrom::End(0))?;
+        self.file = file;
+        self.len_bytes = len;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// The sequence number the next appended frame will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Current log size in bytes (good frames only).
+    pub fn len_bytes(&self) -> u64 {
+        self.len_bytes
+    }
+
+    /// Frames appended through this handle (not counting recovered
+    /// ones).
+    pub fn appended(&self) -> u64 {
+        self.appended
+    }
+
+    /// fsyncs issued through this handle.
+    pub fn fsyncs(&self) -> u64 {
+        self.fsyncs
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("snaple-log-{name}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create tmp dir");
+        dir
+    }
+
+    fn delta(i: u32) -> GraphDelta {
+        let mut d = GraphDelta::new();
+        d.insert(i, i + 1)
+            .insert_weighted(i + 1, i, 0.5)
+            .remove(i, 7);
+        d
+    }
+
+    #[test]
+    fn appends_then_reopens_with_identical_frames() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join(LOG_FILE);
+        let mut log = Commitlog::open(&path, FsyncPolicy::Always)
+            .expect("open")
+            .log;
+        for i in 0..5 {
+            let seq = log.append(&delta(i)).expect("append");
+            assert_eq!(seq, i as u64);
+        }
+        assert_eq!(log.fsyncs(), 5);
+
+        let reopened = Commitlog::open(&path, FsyncPolicy::Always).expect("reopen");
+        assert!(reopened.tail.is_none());
+        assert_eq!(reopened.frames.len(), 5);
+        assert_eq!(reopened.log.next_seq(), 5);
+        for (i, (seq, d)) in reopened.frames.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(
+                d.ops().collect::<Vec<_>>(),
+                delta(i as u32).ops().collect::<Vec<_>>()
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn every_truncation_point_recovers_a_clean_prefix() {
+        let dir = tmp_dir("torn");
+        let path = dir.join(LOG_FILE);
+        let mut boundaries = vec![0u64];
+        {
+            let mut log = Commitlog::open(&path, FsyncPolicy::Always)
+                .expect("open")
+                .log;
+            for i in 0..4 {
+                log.append(&delta(i)).expect("append");
+                boundaries.push(log.len_bytes());
+            }
+        }
+        let full = std::fs::read(&path).expect("read log");
+        for cut in 0..full.len() as u64 {
+            std::fs::write(&path, &full[..cut as usize]).expect("write cut");
+            let opened = Commitlog::open(&path, FsyncPolicy::Always).expect("open cut");
+            let expect_frames = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+            assert_eq!(opened.frames.len(), expect_frames, "cut at {cut}");
+            if boundaries.contains(&cut) {
+                assert!(opened.tail.is_none(), "cut at {cut} is a clean boundary");
+            } else {
+                let tail = opened.tail.expect("mid-frame cut must report a torn tail");
+                assert!(tail.dropped_bytes > 0);
+            }
+            // The file was truncated back to the last good boundary...
+            let healed = std::fs::metadata(&path).expect("metadata").len();
+            assert_eq!(
+                healed,
+                boundaries
+                    .iter()
+                    .filter(|&&b| b <= cut)
+                    .max()
+                    .copied()
+                    .unwrap_or(0)
+            );
+            // ...and appending continues from there.
+            let mut log = opened.log;
+            let next = log.append(&delta(9)).expect("append after heal");
+            assert_eq!(next, expect_frames as u64);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_byte_truncates_from_that_frame_on() {
+        let dir = tmp_dir("corrupt");
+        let path = dir.join(LOG_FILE);
+        let second_frame_start = {
+            let mut log = Commitlog::open(&path, FsyncPolicy::Batch)
+                .expect("open")
+                .log;
+            log.append(&delta(0)).expect("append");
+            let start = log.len_bytes() as usize;
+            log.append(&delta(1)).expect("append");
+            log.append(&delta(2)).expect("append");
+            log.sync().expect("sync");
+            start
+        };
+        let mut bytes = std::fs::read(&path).expect("read");
+        bytes[second_frame_start + 10] ^= 0xFF; // corrupt frame 1's payload
+        std::fs::write(&path, &bytes).expect("write corrupt");
+
+        let opened = Commitlog::open(&path, FsyncPolicy::Always).expect("open corrupt");
+        assert_eq!(opened.frames.len(), 1, "only frame 0 survives");
+        let tail = opened.tail.expect("corruption reported");
+        assert!(matches!(tail.error, StoreError::Corrupt(_)));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trim_below_keeps_a_suffix() {
+        let dir = tmp_dir("trim");
+        let path = dir.join(LOG_FILE);
+        let mut log = Commitlog::open(&path, FsyncPolicy::Always)
+            .expect("open")
+            .log;
+        for i in 0..6 {
+            log.append(&delta(i)).expect("append");
+        }
+        log.trim_below(4).expect("trim");
+        assert_eq!(log.next_seq(), 6);
+
+        let reopened = Commitlog::open(&path, FsyncPolicy::Always).expect("reopen");
+        assert!(reopened.tail.is_none());
+        assert_eq!(
+            reopened.frames.iter().map(|&(s, _)| s).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert_eq!(reopened.log.next_seq(), 6);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,6 +23,11 @@
 //! # (add/remove lines mutate the served graph in place)
 //! snaple-cli serve --graph lj.snplg --updates mixed.txt --batch 8
 //!
+//! # Restartable serving: persist updates into a data dir; re-running
+//! # recovers snapshot + log tail bit-identically after a crash
+//! snaple-cli serve --graph lj.snplg --updates mixed.txt --data-dir ./state
+//! snaple-cli serve --graph lj.snplg --requests stream.txt --data-dir ./state
+//!
 //! # Evaluate prediction quality under the paper's hold-out protocol
 //! snaple-cli evaluate --graph lj.snplg --score counter --removals 1
 //! ```
@@ -35,6 +40,7 @@ use std::process::exit;
 use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer, PendingPrediction};
 use snaple::core::serve::Server;
 use snaple::core::shard::{ShardOptions, ShardRouter, ShardSpec, ShardTransport};
+use snaple::core::store::{Durability, DurabilityOptions, FsyncPolicy, RecoveryReport};
 use snaple::core::{
     ExecuteRequest, GraphDelta, NamedScore, PlanConfig, PredictRequest, Predictor, PrepareRequest,
     QuerySet, Registry, ScorePlan, Snaple, SnapleConfig,
@@ -96,6 +102,10 @@ struct Options {
     workers: usize,
     shards: Option<usize>,
     shard_procs: bool,
+    data_dir: Option<PathBuf>,
+    fsync: String,
+    snapshot_every: usize,
+    retain: usize,
 }
 
 impl Options {
@@ -112,6 +122,9 @@ impl Options {
             removals: 1,
             batch: 8,
             request_size: 50,
+            fsync: "always".into(),
+            snapshot_every: 64,
+            retain: 2,
             ..Options::default()
         };
         let mut it = args.iter();
@@ -168,6 +181,12 @@ impl Options {
                 "--workers" => o.workers = parse_num(&value("--workers"), "--workers"),
                 "--shards" => o.shards = Some(parse_num(&value("--shards"), "--shards")),
                 "--shard-procs" => o.shard_procs = true,
+                "--data-dir" => o.data_dir = Some(PathBuf::from(value("--data-dir"))),
+                "--fsync" => o.fsync = value("--fsync"),
+                "--snapshot-every" => {
+                    o.snapshot_every = parse_num(&value("--snapshot-every"), "--snapshot-every")
+                }
+                "--retain" => o.retain = parse_num(&value("--retain"), "--retain"),
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -257,6 +276,22 @@ impl Options {
     }
 }
 
+/// The serve-config blob snapshots record, compared on reopen to warn
+/// about restarts with changed prediction flags.
+fn serve_config_blob(opts: &Options) -> String {
+    format!(
+        "score={} scores={} k={} klocal={} thr_gamma={} alpha={} seed={}",
+        opts.score,
+        opts.scores.as_deref().unwrap_or("-"),
+        opts.k,
+        opts.klocal.map_or("inf".into(), |v: usize| v.to_string()),
+        opts.thr_gamma
+            .map_or("inf".into(), |v: usize| v.to_string()),
+        opts.alpha.map_or("-".into(), |v: f32| v.to_string()),
+        opts.seed,
+    )
+}
+
 fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> T {
     s.parse()
         .unwrap_or_else(|_| usage(&format!("invalid value {s:?} for {flag}")))
@@ -288,6 +323,8 @@ commands:
             — see the snaple_core::spec docs for the grammar
   serve     --graph FILE [prediction flags] [--batch N] [--workers N]
             [--shards N [--shard-procs]] [--out FILE]
+            [--data-dir DIR [--fsync always|batch] [--snapshot-every K]
+             [--retain N]]
             (--requests FILE|- | --updates FILE|- |
              --request-count N [--request-size M])
             prepare once, then answer a stream of query-set requests,
@@ -315,6 +352,17 @@ commands:
             hosts each shard in a snaple-shardd child process speaking
             the checksummed wire protocol over pipes (default:
             in-process threads exchanging the same frames)
+            --data-dir DIR makes the server RESTARTABLE: updates append
+            to an fsync'd, checksummed commitlog before applying, and
+            every --snapshot-every K updates (default 64) a compacted
+            checkpoint is written (keeping --retain N, default 2).
+            Re-running with the same --data-dir recovers the newest
+            valid snapshot + log tail — bit-identical to a server that
+            never stopped; torn log tails and corrupt snapshots are
+            repaired and reported, never fatal. --fsync batch trades
+            the per-update fsync for one every 32 appends.
+            (--data-dir works on the sequential and --workers paths,
+            not --shards)
   evaluate  --graph FILE [--removals N] [prediction flags]
             [--queries IDS | --query-sample N]
             hold out edges, predict, and report recall/precision/MRR;
@@ -630,6 +678,48 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         return Err("--shard-procs needs --shards N".into());
     }
     let graph = load_graph(opts)?;
+    // Restartable serving: open (or recover) the data dir before anything
+    // else sees the graph — recovery may replace it with the newest
+    // snapshot, and the unsnapshotted log tail replays below.
+    let mut durable: Option<Durability> = None;
+    let mut replay: Vec<GraphDelta> = Vec::new();
+    let graph = if let Some(dir) = &opts.data_dir {
+        if opts.shards.is_some() {
+            return Err("--data-dir does not combine with --shards: shards are \
+                        stateless workers behind a router — persist through the \
+                        single-process paths (sequential or --workers) instead"
+                .into());
+        }
+        let policy = FsyncPolicy::parse(&opts.fsync)
+            .ok_or_else(|| format!("--fsync expects 'always' or 'batch', got {:?}", opts.fsync))?;
+        let store_opts = DurabilityOptions::default()
+            .fsync(policy)
+            .snapshot_every(opts.snapshot_every)
+            .retain(opts.retain);
+        let config_blob = serve_config_blob(opts);
+        let (d, recovered, report): (_, _, RecoveryReport) =
+            Durability::open(dir, &graph, config_blob.as_bytes(), store_opts)
+                .map_err(|e| format!("{}: {e}", dir.display()))?;
+        eprintln!("data dir {}: {}", dir.display(), report.summary());
+        durable = Some(d);
+        match recovered {
+            Some(state) => {
+                if !state.config.is_empty() && state.config != config_blob.as_bytes() {
+                    eprintln!(
+                        "note: serve flags changed since {} was created \
+                         (snapshot recorded {:?})",
+                        dir.display(),
+                        String::from_utf8_lossy(&state.config),
+                    );
+                }
+                replay = state.replay;
+                state.graph
+            }
+            None => graph,
+        }
+    } else {
+        graph
+    };
     let cluster = opts.cluster()?;
     // With --scores the served predictor is a fused multi-score plan:
     // every request's rows are the plan's weighted combined ranking,
@@ -683,10 +773,18 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         return cmd_serve_sharded(opts, &graph, &cluster, events);
     }
     if opts.workers > 0 {
-        return cmd_serve_concurrent(opts, &graph, &cluster, predictor, events);
+        return cmd_serve_concurrent(opts, &graph, &cluster, predictor, events, durable, replay);
     }
 
     let mut server = Server::new(predictor, &graph, &cluster).map_err(|e| e.to_string())?;
+    if let Some(d) = durable {
+        // Fold the recovered log tail back in BEFORE attaching, so the
+        // replayed deltas are not logged a second time.
+        for delta in &replay {
+            server.apply_update(delta).map_err(|e| e.to_string())?;
+        }
+        server.attach_durability(d);
+    }
     let mut out: Box<dyn Write> = match &opts.out {
         Some(p) => Box::new(BufWriter::new(
             File::create(p).map_err(|e| format!("{}: {e}", p.display()))?,
@@ -751,6 +849,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     }
     flush(&mut server, &mut pending, &mut *out, &mut request_idx)?;
     out.flush().map_err(|e| e.to_string())?;
+    server.sync_durability().map_err(|e| e.to_string())?;
     let stats = server.stats();
     eprintln!(
         "served {requests_served} requests on {} ({} cores): {}",
@@ -773,6 +872,8 @@ fn cmd_serve_concurrent(
     cluster: &ClusterSpec,
     predictor: &dyn Predictor,
     events: Vec<ServeEvent>,
+    durable: Option<Durability>,
+    replay: Vec<GraphDelta>,
 ) -> Result<(), String> {
     let mut out: Box<dyn Write> = match &opts.out {
         Some(p) => Box::new(BufWriter::new(
@@ -805,7 +906,7 @@ fn cmd_serve_concurrent(
         Ok(())
     }
 
-    let outcome = ConcurrentServer::run(predictor, graph, cluster, options, |handle| {
+    let body = |handle: snaple::core::ServeHandle<'_, '_>| {
         // Responses are redeemed and written incrementally, in submission
         // order, so memory holds only the outstanding window (bounded by
         // the submission queue) plus head-of-line completions — never the
@@ -869,8 +970,24 @@ fn cmd_serve_concurrent(
         }
         drain_pending(&mut pending, &mut request_idx, true)?;
         Ok::<usize, String>(served)
-    })
-    .map_err(|e| e.to_string())?;
+    };
+    let outcome = match durable {
+        Some(d) => {
+            // Durable run: prepare explicitly so the recovered log tail
+            // folds in BEFORE the store attaches (replays are already
+            // logged — they must not log twice).
+            let mut prepared = predictor
+                .prepare(&PrepareRequest::new(graph, cluster))
+                .map_err(|e| e.to_string())?;
+            for delta in &replay {
+                prepared.apply_delta(delta).map_err(|e| e.to_string())?;
+            }
+            ConcurrentServer::run_prepared_durable(prepared, options, d, body)
+                .map_err(|e| e.to_string())?
+        }
+        None => ConcurrentServer::run(predictor, graph, cluster, options, body)
+            .map_err(|e| e.to_string())?,
+    };
     let requests_served = outcome.value?;
     out.flush().map_err(|e| e.to_string())?;
     eprintln!(

@@ -16,6 +16,7 @@
 //! | [`baseline`] | `snaple-baseline` | the paper's direct GAS baseline |
 //! | [`cassovary`] | `snaple-cassovary` | single-machine random-walk comparator |
 //! | [`eval`] | `snaple-eval` | hold-out protocol, recall, experiment runner |
+//! | [`store`] | `snaple-store` | durability: delta commitlog, snapshots, crash recovery |
 //! | [`supervised`] | `snaple-supervised` | supervised re-ranking over SNAPLE scores (§7 future work) |
 //!
 //! # Quickstart
@@ -235,6 +236,30 @@
 //! ([`PreparedPredictor::fork_with_delta`](core::PreparedPredictor::fork_with_delta))
 //! and atomically published as a new epoch, so in-flight reads finish on
 //! the old graph and no response ever mixes the two.
+//!
+//! # Restartable serving
+//!
+//! Streamed updates survive restarts through the [`store`] crate: a
+//! [`store::Durability`] handle write-ahead-logs every delta into an
+//! fsync'd, crc-checksummed commitlog and checkpoints compacted,
+//! versioned snapshots every K updates. Attach it to either serve layer
+//! ([`Server::attach_durability`](core::serve::Server::attach_durability),
+//! [`ConcurrentServer::run_prepared_durable`](core::concurrent::ConcurrentServer::run_prepared_durable))
+//! and a crashed or stopped server reopens **bit-identical** to one that
+//! never went down: [`store::Durability::open`] loads the newest valid
+//! snapshot (falling back past corrupt ones), truncates torn log tails,
+//! and hands back the delta tail to replay. From the command line:
+//!
+//! ```bash
+//! snaple-cli serve --graph g.snplg --updates mixed.txt --data-dir ./state
+//! # ...crash or ctrl-C, then re-run: recovers snapshot + log tail
+//! snaple-cli serve --graph g.snplg --requests stream.txt --data-dir ./state
+//! ```
+//!
+//! See the [core serve docs](core::serve#restartable-serving) for the
+//! recovery protocol, `tests/durable_serving.rs` for the
+//! kill-at-any-byte crash-recovery properties, and `exp_durable` for
+//! the logging-overhead / recovery-time benchmarks.
 
 pub use snaple_baseline as baseline;
 pub use snaple_cassovary as cassovary;
@@ -242,4 +267,5 @@ pub use snaple_core as core;
 pub use snaple_eval as eval;
 pub use snaple_gas as gas;
 pub use snaple_graph as graph;
+pub use snaple_store as store;
 pub use snaple_supervised as supervised;

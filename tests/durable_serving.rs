@@ -1,0 +1,459 @@
+//! Crash-recovery properties of the durable serving layer
+//! (`snaple-store` + `Server::attach_durability` +
+//! `ConcurrentServer::run_prepared_durable`).
+//!
+//! The contract under test: a server reopened from a data dir is
+//! **bit-identical** to one that never crashed, for every prefix of the
+//! stream a crash can leave behind — including a kill at an arbitrary
+//! byte offset of the commitlog, a corrupted snapshot, and a partial
+//! snapshot temp file. Recovery must repair (truncate, fall back,
+//! report), never panic.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer};
+use snaple::core::serve::Server;
+use snaple::core::{
+    NamedScore, Predictor, PrepareRequest, QuerySet, ScorePlan, Snaple, SnapleConfig,
+};
+use snaple::gas::ClusterSpec;
+use snaple::graph::gen::datasets;
+use snaple::graph::{io, CsrGraph, GraphDelta};
+use snaple::store::{log::LOG_FILE, Durability, DurabilityOptions, FsyncPolicy};
+
+/// Unique scratch dir per test (and per proptest case), cleaned on
+/// entry so a previous failed run can't leak state in.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("snaple-durable-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn graph_bytes(g: &CsrGraph) -> Vec<u8> {
+    let mut out = Vec::new();
+    io::write_binary(g, &mut out).expect("in-memory serialize");
+    out
+}
+
+fn base_graph() -> CsrGraph {
+    CsrGraph::from_edges(
+        40,
+        &[
+            (0, 1),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 0),
+            (5, 6),
+            (6, 7),
+            (7, 5),
+        ],
+    )
+}
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Deterministic churn: mostly inserts (some with odd weights), some
+/// removals, ids within the base graph's vertex range.
+fn churn(seed: u64, ops: usize, num_vertices: u32) -> GraphDelta {
+    let mut state = seed | 1;
+    let mut delta = GraphDelta::new();
+    for _ in 0..ops {
+        let u = (xorshift(&mut state) % num_vertices as u64) as u32;
+        let v = (xorshift(&mut state) % num_vertices as u64) as u32;
+        if xorshift(&mut state).is_multiple_of(5) {
+            delta.remove(u, v);
+        } else {
+            let w = 0.25 + (xorshift(&mut state) % 8) as f32 * 0.5;
+            delta.insert_weighted(u, v, w);
+        }
+    }
+    delta
+}
+
+/// Applies the first `n` deltas sequentially — the state of a server
+/// that (durably) saw exactly that prefix of the stream.
+fn oracle_graph(base: &CsrGraph, deltas: &[GraphDelta], n: usize) -> CsrGraph {
+    let mut g = base.clone();
+    for delta in &deltas[..n] {
+        g = g.compact(delta);
+    }
+    g
+}
+
+/// Records `deltas` into a fresh data dir and returns, per delta, the
+/// log length after its append and the covers_seq of every snapshot
+/// written (the seed snapshot's 0 included).
+fn build_data_dir(
+    dir: &Path,
+    base: &CsrGraph,
+    deltas: &[GraphDelta],
+    opts: DurabilityOptions,
+) -> (Vec<u64>, Vec<u64>) {
+    let (mut durable, recovered, _report) =
+        Durability::open(dir, base, b"test-config", opts).expect("fresh open");
+    assert!(recovered.is_none(), "fresh dir must not recover");
+    let mut frame_ends = Vec::new();
+    let mut covers = vec![0u64];
+    let mut snapshots_seen = durable.stats().snapshots_written;
+    for delta in deltas {
+        durable.record(delta).expect("record");
+        frame_ends.push(fs::metadata(dir.join(LOG_FILE)).expect("log meta").len());
+        if durable.stats().snapshots_written > snapshots_seen {
+            snapshots_seen = durable.stats().snapshots_written;
+            covers.push(durable.next_seq());
+        }
+    }
+    (frame_ends, covers)
+}
+
+/// Recovered effective graph: newest valid snapshot + replayed tail.
+fn recover_effective(dir: &Path, base: &CsrGraph, opts: DurabilityOptions) -> (CsrGraph, usize) {
+    let (_durable, recovered, report) =
+        Durability::open(dir, base, b"test-config", opts).expect("recovery open never errors");
+    let state = recovered.expect("dir had prior state");
+    let mut g = state.graph;
+    for delta in &state.replay {
+        g = g.compact(delta);
+    }
+    (g, report.frames_replayed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Kill the process at an ARBITRARY byte offset of the commitlog:
+    /// recovery truncates the torn tail and restores exactly the state
+    /// of the deltas that durably made it — bit-identical to a server
+    /// that only ever saw that prefix.
+    #[test]
+    fn kill_at_any_log_byte_recovers_a_durable_prefix(
+        seed in 0u64..10_000,
+        n_deltas in 1usize..12,
+        cadence in 2usize..5,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let dir = scratch("cut");
+        let base = base_graph();
+        let deltas: Vec<GraphDelta> = (0..n_deltas)
+            .map(|i| churn(seed.wrapping_mul(31).wrapping_add(i as u64), 1 + i % 5, 40))
+            .collect();
+        // retain enough snapshots that the log is never trimmed, so
+        // the recorded frame offsets stay valid for the cut below.
+        let opts = DurabilityOptions::default()
+            .fsync(FsyncPolicy::Always)
+            .snapshot_every(cadence)
+            .retain(16);
+        let (frame_ends, covers) = build_data_dir(&dir, &base, &deltas, opts.clone());
+
+        // The crash: truncate the log mid-write at an arbitrary byte.
+        let log_path = dir.join(LOG_FILE);
+        let len = fs::metadata(&log_path).unwrap().len();
+        let cut = (len as f64 * cut_frac) as u64;
+        let bytes = fs::read(&log_path).unwrap();
+        fs::write(&log_path, &bytes[..cut as usize]).unwrap();
+
+        // Deltas that survive: frames wholly below the cut — except a
+        // snapshot may durably cover MORE than the surviving log.
+        let k_log = frame_ends.iter().filter(|&&e| e <= cut).count();
+        let k_snap = *covers.last().unwrap() as usize;
+        let expected_n = k_log.max(k_snap);
+
+        let (effective, _replayed) = recover_effective(&dir, &base, opts);
+        let expected = oracle_graph(&base, &deltas, expected_n);
+        prop_assert_eq!(
+            graph_bytes(&effective),
+            graph_bytes(&expected),
+            "cut at byte {}/{} must recover the {}-delta prefix",
+            cut, len, expected_n
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Flip one byte anywhere in the commitlog: the checksum catches
+    /// it, the log is healed to the prefix before the corrupt frame,
+    /// and recovery is bit-identical to the corresponding prefix state
+    /// — never a panic, never silently wrong data.
+    #[test]
+    fn corrupt_log_byte_recovers_the_prefix_before_it(
+        seed in 0u64..10_000,
+        n_deltas in 1usize..10,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let dir = scratch("flip");
+        let base = base_graph();
+        let deltas: Vec<GraphDelta> = (0..n_deltas)
+            .map(|i| churn(seed.wrapping_add(777 * i as u64), 2, 40))
+            .collect();
+        let opts = DurabilityOptions::default()
+            .fsync(FsyncPolicy::Always)
+            .snapshot_every(4)
+            .retain(16);
+        let (frame_ends, covers) = build_data_dir(&dir, &base, &deltas, opts.clone());
+
+        let log_path = dir.join(LOG_FILE);
+        let mut bytes = fs::read(&log_path).unwrap();
+        let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[at] ^= 0xFF;
+        fs::write(&log_path, &bytes).unwrap();
+
+        // Frames strictly before the flipped byte survive the scan.
+        let k_log = frame_ends.iter().filter(|&&e| e <= at as u64).count();
+        let expected_n = k_log.max(*covers.last().unwrap() as usize);
+
+        let (effective, _) = recover_effective(&dir, &base, opts);
+        let expected = oracle_graph(&base, &deltas, expected_n);
+        prop_assert_eq!(
+            graph_bytes(&effective),
+            graph_bytes(&expected),
+            "flip at byte {} must recover the {}-delta prefix",
+            at, expected_n
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Corrupt the NEWEST snapshot (kill-mid-snapshot's worst case):
+    /// recovery falls back to an older snapshot and replays a longer
+    /// log tail — still bit-identical to the never-crashed state,
+    /// with the skipped snapshot reported, not fatal.
+    #[test]
+    fn corrupt_newest_snapshot_falls_back_bit_identically(
+        seed in 0u64..10_000,
+        flip_frac in 0.0f64..1.0,
+    ) {
+        let dir = scratch("snapfall");
+        let base = base_graph();
+        // Cadence 2 over 6 deltas: seed snapshot + 3 more; retain 2.
+        let deltas: Vec<GraphDelta> = (0..6)
+            .map(|i| churn(seed.wrapping_add(i as u64 * 13), 3, 40))
+            .collect();
+        let opts = DurabilityOptions::default()
+            .fsync(FsyncPolicy::Always)
+            .snapshot_every(2)
+            .retain(2);
+        build_data_dir(&dir, &base, &deltas, opts.clone());
+
+        let mut snaps: Vec<PathBuf> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "snap"))
+            .collect();
+        snaps.sort();
+        prop_assert!(snaps.len() >= 2, "retain=2 keeps two snapshots");
+        let newest = snaps.last().unwrap();
+        let mut bytes = fs::read(newest).unwrap();
+        let at = ((bytes.len() - 1) as f64 * flip_frac) as usize;
+        bytes[at] ^= 0xFF;
+        fs::write(newest, &bytes).unwrap();
+
+        let (_durable, recovered, report) =
+            Durability::open(&dir, &base, b"test-config", opts).expect("fallback open");
+        prop_assert_eq!(report.snapshots_skipped.len(), 1, "newest snapshot skipped");
+        let state = recovered.expect("prior state");
+        let mut effective = state.graph;
+        for delta in &state.replay {
+            effective = effective.compact(delta);
+        }
+        // All 6 deltas are still on disk (log retained past the older
+        // snapshot), so the fallback loses NOTHING.
+        let expected = oracle_graph(&base, &deltas, 6);
+        prop_assert_eq!(graph_bytes(&effective), graph_bytes(&expected));
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// A kill mid-snapshot leaves a partial `.snap.tmp` the atomic
+/// tmp+rename protocol never published: recovery ignores it, the next
+/// checkpoint sweeps it.
+#[test]
+fn partial_snapshot_tmp_is_ignored_and_swept() {
+    let dir = scratch("tmpsweep");
+    let base = base_graph();
+    let deltas: Vec<GraphDelta> = (0..3).map(|i| churn(90 + i, 2, 40)).collect();
+    let opts = DurabilityOptions::default()
+        .fsync(FsyncPolicy::Always)
+        .snapshot_every(2)
+        .retain(2);
+    build_data_dir(&dir, &base, &deltas, opts.clone());
+
+    // The crash artifact: a half-written snapshot temp file.
+    let tmp = dir.join("snapshot-00000000000000000099.snap.tmp");
+    fs::write(&tmp, b"partial garbage from a killed checkpoint").unwrap();
+
+    let (mut durable, recovered, report) =
+        Durability::open(&dir, &base, b"test-config", opts).expect("open over tmp");
+    assert!(report.snapshots_skipped.is_empty(), "{}", report.summary());
+    let state = recovered.expect("prior state");
+    let mut effective = state.graph;
+    for delta in &state.replay {
+        effective = effective.compact(delta);
+    }
+    assert_eq!(
+        graph_bytes(&effective),
+        graph_bytes(&oracle_graph(&base, &deltas, 3))
+    );
+
+    // The next checkpoint sweeps the stray temp file.
+    durable.checkpoint().expect("checkpoint");
+    assert!(!tmp.exists(), "checkpoint must sweep .snap.tmp strays");
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// End-to-end serving bit-identity through the sequential [`Server`]:
+/// updates stream into a durable server, the process "dies" (drop), a
+/// second server recovers — and serves rows bit-identical to a server
+/// that never went down, for both the Snaple and score-plan backends.
+#[test]
+fn restarted_server_serves_bit_identical_rows_across_backends() {
+    let graph = datasets::GOWALLA.emulate(0.003, 11);
+    let cluster = ClusterSpec::type_ii(4);
+    let snaple = Snaple::new(
+        SnapleConfig::new(NamedScore::LinearSum)
+            .k(5)
+            .klocal(Some(10)),
+    );
+    let plan = ScorePlan::parse("linearSum, jaccard@k8").expect("plan");
+    let backends: [(&str, &dyn Predictor); 2] = [("snaple", &snaple), ("plan", &plan)];
+
+    let deltas: Vec<GraphDelta> = (0..5)
+        .map(|i| churn(5000 + i, 4, graph.num_vertices() as u32))
+        .collect();
+    let request = QuerySet::sample(graph.num_vertices(), 30, 9);
+
+    for (name, predictor) in backends {
+        let dir = scratch(&format!("serve-{name}"));
+        let opts = DurabilityOptions::default()
+            .fsync(FsyncPolicy::Always)
+            .snapshot_every(2)
+            .retain(2);
+
+        // Phase 1: durable server ingests the update stream, then dies.
+        let (durable, recovered, _) =
+            Durability::open(&dir, &graph, b"cfg", opts.clone()).expect("fresh");
+        assert!(recovered.is_none());
+        let mut server = Server::new(predictor, &graph, &cluster).expect("prepare");
+        server.attach_durability(durable);
+        for delta in &deltas {
+            server.apply_update(delta).expect("durable update");
+        }
+        let live_rows = server.serve(&request).expect("phase-1 serve");
+        drop(server); // the crash: no clean shutdown handshake needed
+
+        // Phase 2: recover and serve the same request.
+        let (durable, recovered, report) =
+            Durability::open(&dir, &graph, b"cfg", opts).expect("recover");
+        let state = recovered.expect("prior state");
+        assert!(!report.repaired(), "clean files: {}", report.summary());
+        let mut restarted = Server::new(predictor, &state.graph, &cluster).expect("re-prepare");
+        for delta in &state.replay {
+            restarted.apply_update(delta).expect("replay");
+        }
+        restarted.attach_durability(durable);
+        let recovered_rows = restarted.serve(&request).expect("phase-2 serve");
+
+        // The never-crashed oracle: a cold server on the fully-updated
+        // graph (updates already proven bit-identical to cold rebuilds).
+        let mut oracle = graph.clone();
+        for delta in &deltas {
+            oracle = oracle.compact(delta);
+        }
+        let oracle_server_rows = {
+            let mut s = Server::new(predictor, &oracle, &cluster).expect("oracle prepare");
+            s.serve(&request).expect("oracle serve")
+        };
+        for q in request.iter() {
+            assert_eq!(
+                live_rows.for_vertex(q),
+                recovered_rows.for_vertex(q),
+                "[{name}] restarted row {q} diverged from the live server"
+            );
+            assert_eq!(
+                recovered_rows.for_vertex(q),
+                oracle_server_rows.for_vertex(q),
+                "[{name}] restarted row {q} diverged from the cold oracle"
+            );
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The concurrent runtime persists through the same store: epoch-swap
+/// updates land in the commitlog before they become observable, and a
+/// restart recovers rows bit-identical to the sequential oracle.
+#[test]
+fn concurrent_durable_run_recovers_bit_identical_rows() {
+    let graph = datasets::GOWALLA.emulate(0.003, 21);
+    let cluster = ClusterSpec::type_ii(4);
+    let snaple = Snaple::new(
+        SnapleConfig::new(NamedScore::LinearSum)
+            .k(5)
+            .klocal(Some(10)),
+    );
+    let deltas: Vec<GraphDelta> = (0..3)
+        .map(|i| churn(7000 + i, 5, graph.num_vertices() as u32))
+        .collect();
+    let request = QuerySet::sample(graph.num_vertices(), 25, 4);
+    let dir = scratch("concurrent");
+    let opts = DurabilityOptions::default()
+        .fsync(FsyncPolicy::Batch) // exercise the batched-fsync path
+        .snapshot_every(2)
+        .retain(2);
+
+    let (durable, recovered, _) = Durability::open(&dir, &graph, b"cfg", opts.clone()).unwrap();
+    assert!(recovered.is_none());
+    let prepared = snaple
+        .prepare(&PrepareRequest::new(&graph, &cluster))
+        .expect("prepare");
+    let outcome = ConcurrentServer::run_prepared_durable(
+        prepared,
+        ConcurrentOptions::default().workers(2),
+        durable,
+        |handle| {
+            for delta in &deltas {
+                handle.apply_update(delta).expect("durable epoch swap");
+            }
+            handle.serve(&request).expect("serve post-updates")
+        },
+    )
+    .expect("durable run");
+    let live_rows = outcome.value;
+    assert_eq!(
+        outcome
+            .stats
+            .durability
+            .as_ref()
+            .expect("durable stats")
+            .logged_deltas,
+        deltas.len()
+    );
+    drop(outcome.durability); // the crash
+
+    // Recover into a sequential server and compare rows.
+    let (_durable, recovered, report) =
+        Durability::open(&dir, &graph, b"cfg", opts).expect("recover");
+    let state = recovered.expect("prior state");
+    assert!(!report.repaired(), "{}", report.summary());
+    let mut restarted = Server::new(&snaple, &state.graph, &cluster).expect("re-prepare");
+    for delta in &state.replay {
+        restarted.apply_update(delta).expect("replay");
+    }
+    let recovered_rows = restarted.serve(&request).expect("recovered serve");
+    for q in request.iter() {
+        assert_eq!(
+            live_rows.for_vertex(q),
+            recovered_rows.for_vertex(q),
+            "row {q} diverged across the concurrent restart"
+        );
+    }
+    fs::remove_dir_all(&dir).ok();
+}
