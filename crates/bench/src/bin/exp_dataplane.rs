@@ -1,0 +1,345 @@
+//! `exp-dataplane` — zero-parse on-disk CSR vs legacy decode-on-load.
+//!
+//! The billion-edge data plane stands on one property: opening a raw
+//! `SNPLG2` file costs **header + TOC only** (the on-disk sections *are*
+//! the CSR arrays), while the legacy `SNPLG1` format re-decodes every
+//! edge on load. This experiment generates an RMAT ladder through the
+//! out-of-core builder (graph size bounded by disk, not RAM), then
+//! measures per size:
+//!
+//! 1. **v2 open** — [`FileCsr::open`](snaple_graph::FileCsr::open):
+//!    must stay *flat* as the graph grows 16x;
+//! 2. **v1 parse** — `io::read_binary` on the same graph re-encoded as
+//!    `SNPLG1`: grows linearly with the edge count;
+//! 3. **backend bit-identity** — SNAPLE prediction rows over the
+//!    in-RAM `csr`, zero-parse `file-csr`, and delta-varint `varint`
+//!    backends must match byte for byte.
+//!
+//! All three properties are **exit-code enforced** — the CI
+//! `dataplane-smoke` step runs `--quick`; the full grid ends with a
+//! 100M-edge streamed-generator run (the builder and generator never
+//! hold the graph in memory, so the run is disk-bound, not RAM-bound).
+
+use std::path::PathBuf;
+use std::process::exit;
+use std::time::Instant;
+
+use snaple_bench::{append_bench_json, banner, emit, ExpArgs};
+use snaple_core::{NamedScore, PredictRequest, Predictor, Snaple, SnapleConfig};
+use snaple_eval::table::fmt_millis;
+use snaple_eval::TextTable;
+use snaple_gas::ClusterSpec;
+use snaple_graph::gen::rmat::RmatConfig;
+use snaple_graph::{compress, io, CompressedGraph, ExternalGraphBuilder, FileCsr, GraphStore};
+
+/// One rung of the size ladder.
+struct Rung {
+    /// Edges to draw from the RMAT generator (pre-dedup).
+    edges: u64,
+    /// Whether the legacy `SNPLG1` decode-on-load path is measured at
+    /// this size (skipped for rungs that would not fit CI RAM budgets —
+    /// v1 *requires* materializing in memory, which is the point).
+    measure_v1: bool,
+}
+
+fn best_of<T>(reps: usize, mut f: impl FnMut() -> T) -> (T, f64) {
+    let mut best = f64::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let started = Instant::now();
+        let value = f();
+        best = best.min(started.elapsed().as_secs_f64());
+        out = Some(value);
+    }
+    (out.expect("reps >= 1"), best)
+}
+
+fn main() {
+    let args = ExpArgs::parse(
+        "exp-dataplane",
+        "zero-parse SNPLG2 open vs linear SNPLG1 parse; backend bit-identity",
+    );
+    banner(
+        "exp-dataplane",
+        "the billion-edge data plane (storage backends, out-of-core build)",
+        &args,
+    );
+
+    // Quick: 100k -> 1.6M drawn edges (16x). Full: 1M -> 100M; the
+    // 100M rung exercises the streamed generator + external builder at
+    // scale and measures v2 open only (a v1 re-encode at 100M would
+    // deliberately blow the point of the experiment: it has to fit in
+    // RAM).
+    let ladder: Vec<Rung> = if args.quick {
+        vec![
+            Rung {
+                edges: 100_000,
+                measure_v1: true,
+            },
+            Rung {
+                edges: 400_000,
+                measure_v1: true,
+            },
+            Rung {
+                edges: 1_600_000,
+                measure_v1: true,
+            },
+        ]
+    } else {
+        vec![
+            Rung {
+                edges: 1_000_000,
+                measure_v1: true,
+            },
+            Rung {
+                edges: 10_000_000,
+                measure_v1: true,
+            },
+            Rung {
+                edges: 100_000_000,
+                measure_v1: false,
+            },
+        ]
+    };
+    let reps = if args.quick { 3 } else { 5 };
+
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("snaple-dataplane-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("FAILED: cannot create scratch dir {}: {e}", dir.display());
+        exit(1);
+    }
+
+    let mut table = TextTable::new(vec![
+        "drawn edges",
+        "unique edges",
+        "gen+build",
+        "v2 bytes",
+        "v2 open",
+        "v1 parse",
+        "parse/open",
+    ]);
+    let mut v2_opens: Vec<(u64, f64)> = Vec::new();
+    let mut v1_parses: Vec<(u64, f64)> = Vec::new();
+    let mut failures: Vec<String> = Vec::new();
+
+    for rung in &ladder {
+        // 16 drawn edges per vertex, the RMAT convention.
+        let scale = (64 - (rung.edges / 16).leading_zeros() - 1).max(4);
+        let config = RmatConfig {
+            scale,
+            edges: rung.edges,
+            seed: args.seed,
+            ..RmatConfig::default()
+        };
+        let v2_path = dir.join(format!("rmat-{}.snplg", rung.edges));
+
+        // --- Streamed generate + out-of-core build straight to disk. --
+        let started = Instant::now();
+        let mut builder = ExternalGraphBuilder::new();
+        builder.scratch_dir(&dir);
+        let stats = match config.generate_with(builder, &v2_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("FAILED: generate {} edges: {e}", rung.edges);
+                exit(1);
+            }
+        };
+        let build_seconds = started.elapsed().as_secs_f64();
+
+        // --- v2 open: header + TOC only, flat in graph size. ----------
+        let (_, open_seconds) = best_of(reps, || {
+            FileCsr::open(&v2_path).expect("open just-built SNPLG2")
+        });
+        v2_opens.push((rung.edges, open_seconds));
+
+        // --- v1 parse: decode every edge on load. ---------------------
+        let v1_seconds = if rung.measure_v1 {
+            let v1_path = dir.join(format!("rmat-{}.v1.snplg", rung.edges));
+            let file_csr = FileCsr::open(&v2_path).expect("open for v1 re-encode");
+            let csr = file_csr.to_csr();
+            let out = std::fs::File::create(&v1_path).expect("create v1 file");
+            io::write_binary_v1(&csr, std::io::BufWriter::new(out)).expect("write v1");
+            drop(csr);
+            let (_, secs) = best_of(reps, || {
+                let f = std::fs::File::open(&v1_path).expect("open v1 file");
+                io::read_binary(std::io::BufReader::new(f)).expect("parse v1")
+            });
+            v1_parses.push((rung.edges, secs));
+            std::fs::remove_file(&v1_path).ok();
+            Some(secs)
+        } else {
+            None
+        };
+
+        table.row(vec![
+            rung.edges.to_string(),
+            stats.edges.to_string(),
+            fmt_millis(build_seconds),
+            stats.output_bytes.to_string(),
+            fmt_millis(open_seconds),
+            v1_seconds.map_or("(skipped)".into(), fmt_millis),
+            v1_seconds.map_or("-".into(), |v1| {
+                format!("{:.0}x", v1 / open_seconds.max(1e-9))
+            }),
+        ]);
+        append_bench_json(&format!(
+            "{{\"name\":\"dataplane/ladder/{}\",\"drawn_edges\":{},\
+             \"unique_edges\":{},\"build_seconds\":{build_seconds:.6},\
+             \"v2_bytes\":{},\"v2_open_seconds\":{open_seconds:.9},\
+             \"v1_parse_seconds\":{}}}",
+            rung.edges,
+            rung.edges,
+            stats.edges,
+            stats.output_bytes,
+            v1_seconds.map_or("null".into(), |v| format!("{v:.6}")),
+        ));
+        std::fs::remove_file(&v2_path).ok();
+    }
+
+    // --- Enforcement 1: v2 open is flat across the ladder. ------------
+    // Open reads a fixed-size header + TOC whatever the graph size; a
+    // generous noise budget (25x or an absolute 50ms floor) still
+    // rejects anything O(edges) over a 16-100x edge range.
+    let (small_e, small_open) = v2_opens[0];
+    let (big_e, big_open) = v2_opens[v2_opens.len() - 1];
+    let open_budget = (small_open * 25.0).max(0.050);
+    if big_open > open_budget {
+        failures.push(format!(
+            "v2 open grew with graph size: {} at {small_e} edges but {} at {big_e} edges \
+             (budget {})",
+            fmt_millis(small_open),
+            fmt_millis(big_open),
+            fmt_millis(open_budget),
+        ));
+    }
+
+    // --- Enforcement 2: v1 parse grows ~linearly with edges. ----------
+    // Over a >= 10x edge-count range, a full per-edge decode must slow
+    // down by well over the 3x we require (generous against CI noise).
+    let (v1_small_e, v1_small) = v1_parses[0];
+    let (v1_big_e, v1_big) = v1_parses[v1_parses.len() - 1];
+    if v1_big < v1_small * 3.0 {
+        failures.push(format!(
+            "v1 parse did not grow with graph size: {} at {v1_small_e} edges vs {} at \
+             {v1_big_e} edges — expected >= 3x",
+            fmt_millis(v1_small),
+            fmt_millis(v1_big),
+        ));
+    }
+    // And at the largest v1-measured size, zero-parse open must beat the
+    // full decode outright.
+    let matching_open = v2_opens
+        .iter()
+        .find(|(e, _)| *e == v1_big_e)
+        .map(|&(_, s)| s)
+        .expect("v1 rungs are a subset of the ladder");
+    if v1_big < matching_open * 5.0 {
+        failures.push(format!(
+            "v2 open ({}) is not >= 5x faster than v1 parse ({}) at {v1_big_e} edges",
+            fmt_millis(matching_open),
+            fmt_millis(v1_big),
+        ));
+    }
+
+    // --- Enforcement 3: prediction rows bit-identical per backend. ----
+    let rows_identical = check_backend_identity(&dir, &args, &mut failures);
+
+    emit(&args, "dataplane", &table);
+    append_bench_json(&format!(
+        "{{\"name\":\"dataplane/summary\",\"v2_open_small_seconds\":{small_open:.9},\
+         \"v2_open_big_seconds\":{big_open:.9},\"v1_parse_big_seconds\":{v1_big:.6},\
+         \"backends_identical\":{rows_identical},\"failures\":{}}}",
+        failures.len(),
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+
+    if failures.is_empty() {
+        println!(
+            "\ndataplane holds: v2 open flat ({} -> {} over {}x edges), v1 parse {:.0}x \
+             slower than open at {v1_big_e} edges, rows bit-identical on all backends",
+            fmt_millis(small_open),
+            fmt_millis(big_open),
+            big_e / small_e,
+            v1_big / matching_open.max(1e-9),
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAILED: {f}");
+        }
+        exit(1);
+    }
+}
+
+/// Runs the same SNAPLE prediction over the `csr`, `file-csr`, and
+/// `varint` backends of one graph and pushes a failure when any row
+/// diverges.
+fn check_backend_identity(
+    dir: &std::path::Path,
+    args: &ExpArgs,
+    failures: &mut Vec<String>,
+) -> bool {
+    let config = RmatConfig {
+        scale: 12,
+        edges: 60_000,
+        seed: args.seed ^ 0x9e37,
+        ..RmatConfig::default()
+    };
+    let v2_path = dir.join("identity.snplg");
+    let vz_path = dir.join("identity.vz.snplg");
+    config
+        .generate_to_file(&v2_path)
+        .expect("generate identity graph");
+    let file_csr = FileCsr::open(&v2_path).expect("open identity graph");
+    {
+        let out = std::fs::File::create(&vz_path).expect("create varint file");
+        compress::write_v2_varint(&file_csr, std::io::BufWriter::new(out)).expect("write varint");
+    }
+    let backends: Vec<Box<dyn GraphStore>> = vec![
+        Box::new(file_csr.to_csr()),
+        Box::new(file_csr),
+        Box::new(CompressedGraph::open(&vz_path).expect("open varint")),
+    ];
+
+    let cluster = ClusterSpec::type_ii(4);
+    let snaple = Snaple::new(
+        SnapleConfig::new(NamedScore::LinearSum)
+            .k(5)
+            .klocal(Some(20))
+            .seed(args.seed),
+    );
+    let mut reference: Option<(String, Vec<String>)> = None;
+    let mut identical = true;
+    for graph in &backends {
+        let name = graph.backend_name().to_string();
+        let prediction = snaple
+            .predict(&PredictRequest::new(graph.as_ref(), &cluster))
+            .expect("predict");
+        let rows: Vec<String> = snaple_graph::store::vertices(graph.as_ref())
+            .flat_map(|v| {
+                prediction
+                    .for_vertex(v)
+                    .iter()
+                    .map(move |(t, s)| format!("{v} {t} {s}"))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        match &reference {
+            None => reference = Some((name, rows)),
+            Some((ref_name, ref_rows)) => {
+                if rows != *ref_rows {
+                    identical = false;
+                    failures.push(format!(
+                        "prediction rows diverge between the {ref_name} and {name} backends"
+                    ));
+                }
+            }
+        }
+    }
+    println!(
+        "\nbackend bit-identity: {} rows {} across csr / file-csr / varint",
+        reference.map_or(0, |(_, rows)| rows.len()),
+        if identical { "identical" } else { "DIVERGED" },
+    );
+    identical
+}

@@ -127,9 +127,7 @@ fn main() {
         }
 
         // --- Cold path: rebuild edge list + graph + partition. ----------
-        let mutated_edges: Vec<(u32, u32)> = deployment
-            .graph()
-            .edges()
+        let mutated_edges: Vec<(u32, u32)> = snaple_graph::store::edges(deployment.graph())
             .map(|(u, v)| (u.as_u32(), v.as_u32()))
             .collect();
         let mut rebuild_seconds = f64::MAX;

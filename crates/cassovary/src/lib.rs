@@ -53,7 +53,7 @@ use snaple_core::{
 use snaple_gas::stats::{NodeStats, RunStats, StepStats};
 use snaple_gas::CostModel;
 use snaple_graph::hash::hash2;
-use snaple_graph::{CsrGraph, VertexId};
+use snaple_graph::{CsrGraph, GraphStore, VertexId};
 
 /// Cost of one random-walk hop, in seconds.
 ///
@@ -173,7 +173,7 @@ impl RandomWalkPpr {
     /// Runs the walks for `targets` and assembles the shared result type.
     fn walk(
         &self,
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         cost: &CostModel,
         storage_bytes: u64,
         targets: &[VertexId],
@@ -273,6 +273,23 @@ impl RandomWalkPpr {
     }
 }
 
+/// The graph a [`PreparedWalk`] runs over: any [`GraphStore`] backend
+/// while it is still the caller's borrow, an owned in-memory CSR once a
+/// delta has been folded in.
+enum WalkGraph<'a> {
+    Borrowed(&'a dyn GraphStore),
+    Owned(CsrGraph),
+}
+
+impl WalkGraph<'_> {
+    fn store(&self) -> &dyn GraphStore {
+        match self {
+            WalkGraph::Borrowed(g) => *g,
+            WalkGraph::Owned(g) => g,
+        }
+    }
+}
+
 /// A random-walk predictor with its per-graph state precomputed: the
 /// hop-calibrated cost model, the graph's storage footprint, and the
 /// all-vertices target table.
@@ -284,7 +301,7 @@ impl RandomWalkPpr {
 /// stream can keep mutating it in place.
 pub struct PreparedWalk<'a> {
     ppr: RandomWalkPpr,
-    graph: std::borrow::Cow<'a, CsrGraph>,
+    graph: WalkGraph<'a>,
     cost: CostModel,
     storage_bytes: u64,
     all_vertices: Vec<VertexId>,
@@ -294,7 +311,7 @@ pub struct PreparedWalk<'a> {
 
 impl PreparedPredictor for PreparedWalk<'_> {
     fn execute(&self, req: &ExecuteRequest<'_>) -> Result<Prediction, SnapleError> {
-        req.validate_for(&self.graph)?;
+        req.validate_for(self.graph.store())?;
         if req.attributes().is_some() {
             return Err(SnapleError::InvalidConfig(
                 "random-walk PPR scores structure only and accepts no content attributes"
@@ -306,7 +323,7 @@ impl PreparedPredictor for PreparedWalk<'_> {
             None => &self.all_vertices,
         };
         let mut prediction = self.ppr.walk(
-            &self.graph,
+            self.graph.store(),
             &self.cost,
             self.storage_bytes,
             targets,
@@ -324,8 +341,8 @@ impl PreparedPredictor for PreparedWalk<'_> {
         delta: &snaple_graph::GraphDelta,
     ) -> Result<snaple_gas::DeltaStats, SnapleError> {
         let started = Instant::now();
-        let overlay = delta.resolve(&self.graph);
-        let grown_vertices = overlay.num_vertices() - self.graph.num_vertices();
+        let overlay = delta.resolve(self.graph.store());
+        let grown_vertices = overlay.num_vertices() - self.graph.store().num_vertices();
         let stats = snaple_gas::DeltaStats {
             inserted_edges: overlay.num_inserted(),
             removed_edges: overlay.num_removed(),
@@ -334,10 +351,19 @@ impl PreparedPredictor for PreparedWalk<'_> {
             apply_wall_seconds: 0.0,
         };
         if !overlay.is_noop() {
-            let mutated = self.graph.compact_overlay(&overlay);
+            // Consume an owned graph in place; materialize any other
+            // backend once, then fold the overlay in.
+            let placeholder = WalkGraph::Owned(CsrGraph::from_edges(0, &[]));
+            let mutated = match std::mem::replace(&mut self.graph, placeholder) {
+                WalkGraph::Owned(g) => g.compact_overlay_owned(&overlay),
+                WalkGraph::Borrowed(g) => match g.as_csr() {
+                    Some(csr) => csr.compact_overlay(&overlay),
+                    None => g.to_csr().compact_overlay_owned(&overlay),
+                },
+            };
             self.storage_bytes = mutated.storage_bytes();
             self.all_vertices = mutated.vertices().collect();
-            self.graph = std::borrow::Cow::Owned(mutated);
+            self.graph = WalkGraph::Owned(mutated);
         }
         let apply_wall_seconds = started.elapsed().as_secs_f64();
         self.delta_apply_seconds += apply_wall_seconds;
@@ -356,7 +382,7 @@ impl PreparedPredictor for PreparedWalk<'_> {
     ) -> Result<(Box<dyn PreparedPredictor>, snaple_gas::DeltaStats), SnapleError> {
         let mut fork = PreparedWalk {
             ppr: self.ppr.clone(),
-            graph: std::borrow::Cow::Owned(self.graph.clone().into_owned()),
+            graph: WalkGraph::Owned(self.graph.store().to_csr()),
             cost: self.cost.clone(),
             storage_bytes: self.storage_bytes,
             all_vertices: self.all_vertices.clone(),
@@ -396,7 +422,7 @@ impl Predictor for RandomWalkPpr {
         let graph = req.graph();
         let cost = CostModel::for_cluster(req.cluster()).with_op_cost(WALK_HOP_COST);
         let storage_bytes = graph.storage_bytes();
-        let all_vertices: Vec<VertexId> = graph.vertices().collect();
+        let all_vertices: Vec<VertexId> = snaple_graph::store::vertices(graph).collect();
         let setup = SetupStats {
             prepare_wall_seconds: started.elapsed().as_secs_f64(),
             partition_build_seconds: 0.0,
@@ -404,7 +430,7 @@ impl Predictor for RandomWalkPpr {
         };
         Ok(Box::new(PreparedWalk {
             ppr: self.clone(),
-            graph: std::borrow::Cow::Borrowed(graph),
+            graph: WalkGraph::Borrowed(graph),
             cost,
             storage_bytes,
             all_vertices,

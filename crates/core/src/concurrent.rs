@@ -97,7 +97,7 @@ use std::thread;
 use std::time::Instant;
 
 use snaple_gas::{ClusterSpec, DeltaStats};
-use snaple_graph::{CsrGraph, GraphDelta};
+use snaple_graph::{GraphDelta, GraphStore};
 use snaple_store::Durability;
 
 use crate::error::SnapleError;
@@ -474,7 +474,7 @@ impl ConcurrentServer {
     /// [`PendingPrediction::wait`]), not here.
     pub fn run<'g, R>(
         predictor: &'g dyn Predictor,
-        graph: &'g CsrGraph,
+        graph: &'g dyn GraphStore,
         cluster: &'g ClusterSpec,
         options: ConcurrentOptions<'g>,
         body: impl FnOnce(ServeHandle<'_, 'g>) -> R,
@@ -764,6 +764,7 @@ mod tests {
     use crate::config::{NamedScore, SnapleConfig};
     use crate::predictor::Snaple;
     use snaple_graph::gen::datasets;
+    use snaple_graph::CsrGraph;
 
     fn setup() -> (CsrGraph, ClusterSpec, Snaple) {
         let graph = datasets::GOWALLA.emulate(0.004, 3);

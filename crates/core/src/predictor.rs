@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use snaple_gas::{Deployment, Engine, RunStats};
-use snaple_graph::{CsrGraph, VertexId, VertexMask};
+use snaple_graph::{GraphStore, VertexId, VertexMask};
 
 use crate::config::{PathLength, ScoreComponents, SnapleConfig};
 use crate::error::SnapleError;
@@ -36,7 +36,7 @@ impl StepMasks {
     /// Builds the mask chain for `queries` by expanding one out-hop per
     /// step of lookahead.
     pub(crate) fn build(
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         queries: &VertexMask,
         path_length: PathLength,
     ) -> StepMasks {
@@ -388,6 +388,7 @@ mod tests {
     use crate::predictor_api::{PredictRequest, QuerySet};
     use snaple_gas::{ClusterSpec, EngineError};
     use snaple_graph::gen::datasets;
+    use snaple_graph::CsrGraph;
 
     fn v(i: u32) -> VertexId {
         VertexId::new(i)

@@ -95,7 +95,7 @@
 
 use snaple_gas::{ClusterSpec, DeltaStats};
 use snaple_graph::hash::hash2;
-use snaple_graph::{CsrGraph, GraphDelta, VertexId, VertexMask};
+use snaple_graph::{GraphDelta, GraphStore, VertexId, VertexMask};
 
 use crate::error::SnapleError;
 use crate::predictor::Prediction;
@@ -191,7 +191,7 @@ impl FromIterator<VertexId> for QuerySet {
 /// [`PredictRequest::new`] and the `with_*` builders.
 #[derive(Clone, Copy, Debug)]
 pub struct PredictRequest<'a> {
-    graph: &'a CsrGraph,
+    graph: &'a dyn GraphStore,
     cluster: &'a ClusterSpec,
     attributes: Option<&'a [Vec<u32>]>,
     queries: Option<&'a QuerySet>,
@@ -199,7 +199,7 @@ pub struct PredictRequest<'a> {
 
 impl<'a> PredictRequest<'a> {
     /// Creates an all-vertices request without attributes.
-    pub fn new(graph: &'a CsrGraph, cluster: &'a ClusterSpec) -> Self {
+    pub fn new(graph: &'a dyn GraphStore, cluster: &'a ClusterSpec) -> Self {
         PredictRequest {
             graph,
             cluster,
@@ -223,7 +223,7 @@ impl<'a> PredictRequest<'a> {
     }
 
     /// The graph to predict over.
-    pub fn graph(&self) -> &'a CsrGraph {
+    pub fn graph(&self) -> &'a dyn GraphStore {
         self.graph
     }
 
@@ -286,18 +286,18 @@ impl<'a> PredictRequest<'a> {
 /// simulated cluster the heavy per-graph state should be built for.
 #[derive(Clone, Copy, Debug)]
 pub struct PrepareRequest<'a> {
-    graph: &'a CsrGraph,
+    graph: &'a dyn GraphStore,
     cluster: &'a ClusterSpec,
 }
 
 impl<'a> PrepareRequest<'a> {
     /// Creates a prepare request.
-    pub fn new(graph: &'a CsrGraph, cluster: &'a ClusterSpec) -> Self {
+    pub fn new(graph: &'a dyn GraphStore, cluster: &'a ClusterSpec) -> Self {
         PrepareRequest { graph, cluster }
     }
 
     /// The graph to prepare for.
-    pub fn graph(&self) -> &'a CsrGraph {
+    pub fn graph(&self) -> &'a dyn GraphStore {
         self.graph
     }
 
@@ -366,7 +366,7 @@ impl<'a> ExecuteRequest<'a> {
     /// # Errors
     ///
     /// [`SnapleError::InvalidConfig`] describing the mismatch.
-    pub fn validate_for(&self, graph: &CsrGraph) -> Result<(), SnapleError> {
+    pub fn validate_for(&self, graph: &dyn GraphStore) -> Result<(), SnapleError> {
         if let Some(attrs) = self.attributes {
             if attrs.len() != graph.num_vertices() {
                 return Err(SnapleError::InvalidConfig(format!(
@@ -392,7 +392,7 @@ impl<'a> ExecuteRequest<'a> {
 
     /// The active-vertex mask of the query subset over `graph` (`None`
     /// for all-vertices requests).
-    pub fn query_mask(&self, graph: &CsrGraph) -> Option<VertexMask> {
+    pub fn query_mask(&self, graph: &dyn GraphStore) -> Option<VertexMask> {
         self.queries.map(|q| q.to_mask(graph.num_vertices()))
     }
 }
@@ -564,6 +564,7 @@ impl<P: Predictor + ?Sized> Predictor for &P {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snaple_graph::CsrGraph;
 
     fn v(i: u32) -> VertexId {
         VertexId::new(i)

@@ -98,7 +98,7 @@
 use std::time::Instant;
 
 use snaple_gas::{ClusterSpec, DeltaStats};
-use snaple_graph::{CsrGraph, GraphDelta, VertexId};
+use snaple_graph::{GraphDelta, GraphStore, VertexId};
 use snaple_store::{Durability, DurabilityStats};
 
 use crate::error::SnapleError;
@@ -486,7 +486,7 @@ impl<'a> Server<'a> {
     /// Propagates [`SnapleError`] from [`Predictor::prepare`].
     pub fn new(
         predictor: &'a dyn Predictor,
-        graph: &'a CsrGraph,
+        graph: &'a dyn GraphStore,
         cluster: &'a ClusterSpec,
     ) -> Result<Self, SnapleError> {
         let started = Instant::now();
@@ -695,6 +695,7 @@ mod tests {
     use crate::predictor::Snaple;
     use crate::predictor_api::PredictRequest;
     use snaple_graph::gen::datasets;
+    use snaple_graph::CsrGraph;
 
     fn setup() -> (CsrGraph, ClusterSpec, Snaple) {
         let graph = datasets::GOWALLA.emulate(0.005, 3);

@@ -27,7 +27,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use snaple_gas::{ClusterSpec, DeltaStats, RunStats, ShardAssignment};
-use snaple_graph::{CsrGraph, GraphDelta, VertexId};
+use snaple_graph::{GraphDelta, GraphStore, VertexId};
 
 use crate::error::SnapleError;
 use crate::predictor::Prediction;
@@ -719,7 +719,7 @@ impl ShardRouter {
     /// shard dies during preparation.
     pub fn run<R>(
         spec: &ShardSpec,
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         cluster: &ClusterSpec,
         options: ShardOptions,
         body: impl FnOnce(&RouterHandle<'_>) -> R,

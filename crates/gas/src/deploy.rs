@@ -61,10 +61,10 @@
 //! stream step, and refresh the deployment in place when update batches
 //! interleave with prediction batches.
 
-use std::borrow::Cow;
+use std::sync::Arc;
 use std::time::Instant;
 
-use snaple_graph::{CsrGraph, GraphDelta};
+use snaple_graph::{CsrGraph, GraphDelta, GraphStore};
 
 use crate::cluster::{ClusterSpec, NodeId};
 use crate::cost::CostModel;
@@ -88,15 +88,44 @@ pub struct DeltaStats {
     pub apply_wall_seconds: f64,
 }
 
+/// The graph a deployment partitions, in whichever ownership shape the
+/// caller handed it over: borrowed from the caller (the historical
+/// `Cow::Borrowed` path), owned after the first applied delta, or shared
+/// with other deployments behind an `Arc` (how file-backed and compressed
+/// [`GraphStore`] backends are served without copying them per engine).
+#[derive(Clone, Debug)]
+enum DepGraph<'g> {
+    Borrowed(&'g dyn GraphStore),
+    Owned(CsrGraph),
+    Shared(Arc<dyn GraphStore>),
+}
+
+impl DepGraph<'_> {
+    fn store(&self) -> &dyn GraphStore {
+        match self {
+            DepGraph::Borrowed(g) => *g,
+            DepGraph::Owned(g) => g,
+            DepGraph::Shared(g) => g.as_ref(),
+        }
+    }
+}
+
 /// The immutable-between-updates heavy state of a GAS run: graph, cluster,
 /// vertex-cut partition and cost model.
+///
+/// The graph can be any [`GraphStore`] backend — an in-memory
+/// [`CsrGraph`], a file-backed `snaple_graph::v2::FileCsr`, or a
+/// compressed `snaple_graph::compress::CompressedGraph` — and partitioning,
+/// supersteps and delta applies behave identically over all of them
+/// (applying a delta folds any backend into an owned in-memory CSR, since
+/// the mutated graph no longer matches the on-disk bytes).
 ///
 /// See the [module docs](self) for why this exists, how it is shared, and
 /// how [`Deployment::apply_delta`] refreshes it in place.
 #[derive(Clone, Debug)]
 pub struct Deployment<'g> {
     /// Borrowed until the first applied delta, owned afterwards.
-    graph: Cow<'g, CsrGraph>,
+    graph: DepGraph<'g>,
     cluster: ClusterSpec,
     strategy: PartitionStrategy,
     seed: u64,
@@ -121,20 +150,46 @@ impl<'g> Deployment<'g> {
     /// Returns [`EngineError::InvalidConfig`] for unusable cluster shapes
     /// (zero nodes, more than [`crate::partition::MAX_NODES`] nodes).
     pub fn new(
-        graph: &'g CsrGraph,
+        graph: &'g dyn GraphStore,
         cluster: ClusterSpec,
         strategy: PartitionStrategy,
         seed: u64,
     ) -> Result<Self, EngineError> {
+        Deployment::assemble(DepGraph::Borrowed(graph), cluster, strategy, seed)
+    }
+
+    /// Like [`Deployment::new`] over a shared, owning graph handle — the
+    /// entry point for serving layers that open a [`GraphStore`] backend
+    /// themselves (e.g. `snaple_graph::io::open_store`) and need a
+    /// `'static` deployment.
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::new`].
+    pub fn new_shared(
+        graph: Arc<dyn GraphStore>,
+        cluster: ClusterSpec,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Result<Deployment<'static>, EngineError> {
+        Deployment::assemble(DepGraph::Shared(graph), cluster, strategy, seed)
+    }
+
+    fn assemble<'a>(
+        graph: DepGraph<'a>,
+        cluster: ClusterSpec,
+        strategy: PartitionStrategy,
+        seed: u64,
+    ) -> Result<Deployment<'a>, EngineError> {
         let started = Instant::now();
-        let part = PartitionedGraph::build(graph, cluster.nodes, strategy, seed)?;
+        let part = PartitionedGraph::build(graph.store(), cluster.nodes, strategy, seed)?;
         let partition_build_seconds = started.elapsed().as_secs_f64();
         let cost = CostModel::for_cluster(&cluster);
         let node_static_bytes = (0..part.num_nodes())
             .map(|n| part.node_edges(NodeId::new(n as u16)).len() as u64 * 8)
             .collect();
         Ok(Deployment {
-            graph: Cow::Borrowed(graph),
+            graph,
             cluster,
             strategy,
             seed,
@@ -171,7 +226,7 @@ impl<'g> Deployment<'g> {
     /// [`Deployment::new`].
     pub fn apply_delta(&mut self, delta: &GraphDelta) -> Result<DeltaStats, EngineError> {
         let started = Instant::now();
-        let overlay = delta.resolve(&self.graph);
+        let overlay = delta.resolve(self.graph.store());
         if overlay.is_noop() {
             let stats = DeltaStats {
                 apply_wall_seconds: started.elapsed().as_secs_f64(),
@@ -181,7 +236,7 @@ impl<'g> Deployment<'g> {
             self.delta_apply_seconds += stats.apply_wall_seconds;
             return Ok(stats);
         }
-        let grown_vertices = overlay.num_vertices() - self.graph.num_vertices();
+        let grown_vertices = overlay.num_vertices() - self.graph.store().num_vertices();
         self.part.ensure_vertices(overlay.num_vertices(), self.seed);
 
         // Route the whole batch first, then splice each touched node's
@@ -226,7 +281,22 @@ impl<'g> Deployment<'g> {
             added_by_node[n].sort_unstable();
         }
 
-        let new_graph = self.graph.compact_overlay(&overlay);
+        // Fold the overlay in without transiently doubling the adjacency:
+        // an owned CSR is compacted *consuming* (its arrays are reused in
+        // place), an in-memory borrow uses the cloning merge, and any
+        // other backend is materialized once and then consumed.
+        let placeholder = DepGraph::Owned(CsrGraph::from_edges(0, &[]));
+        let new_graph = match std::mem::replace(&mut self.graph, placeholder) {
+            DepGraph::Owned(g) => g.compact_overlay_owned(&overlay),
+            DepGraph::Borrowed(g) => match g.as_csr() {
+                Some(csr) => csr.compact_overlay(&overlay),
+                None => g.to_csr().compact_overlay_owned(&overlay),
+            },
+            DepGraph::Shared(g) => match g.as_csr() {
+                Some(csr) => csr.compact_overlay(&overlay),
+                None => g.to_csr().compact_overlay_owned(&overlay),
+            },
+        };
         self.part.splice_nodes(&removed_by_node, &added_by_node);
         // Refresh the touched partitions' cached cost-model entries;
         // untouched entries are already exact.
@@ -237,7 +307,7 @@ impl<'g> Deployment<'g> {
             self.node_static_bytes[n] =
                 self.part.node_edges(NodeId::new(n as u16)).len() as u64 * 8;
         }
-        self.graph = Cow::Owned(new_graph);
+        self.graph = DepGraph::Owned(new_graph);
 
         let stats = DeltaStats {
             inserted_edges: overlay.num_inserted(),
@@ -263,8 +333,21 @@ impl<'g> Deployment<'g> {
     /// (graph CSR arrays, partition edge lists); the subsequent
     /// [`Deployment::apply_delta`] on the fork is still incremental.
     pub fn detach(&self) -> Deployment<'static> {
+        let graph = match &self.graph {
+            DepGraph::Owned(g) => DepGraph::Owned(g.clone()),
+            // An in-memory borrow detaches to an owned copy (the
+            // historical behavior); other backends detach to a shared
+            // handle — cloning a file-backed graph into RAM would defeat
+            // its purpose, and epoch forks only mutate via `apply_delta`,
+            // which folds to an owned CSR anyway.
+            DepGraph::Borrowed(g) => match g.as_csr() {
+                Some(csr) => DepGraph::Owned(csr.clone()),
+                None => DepGraph::Shared(g.clone_shared()),
+            },
+            DepGraph::Shared(g) => DepGraph::Shared(Arc::clone(g)),
+        };
         Deployment {
-            graph: Cow::Owned(self.graph.clone().into_owned()),
+            graph,
             cluster: self.cluster.clone(),
             strategy: self.strategy,
             seed: self.seed,
@@ -280,8 +363,8 @@ impl<'g> Deployment<'g> {
 
     /// The graph this deployment partitions — the *current* graph,
     /// reflecting every applied delta.
-    pub fn graph(&self) -> &CsrGraph {
-        &self.graph
+    pub fn graph(&self) -> &dyn GraphStore {
+        self.graph.store()
     }
 
     /// The simulated cluster.
@@ -441,9 +524,7 @@ mod tests {
             })
             .collect();
         collected.sort_unstable();
-        let expected: Vec<(u32, u32)> = d
-            .graph()
-            .edges()
+        let expected: Vec<(u32, u32)> = snaple_graph::store::edges(d.graph())
             .map(|(u, v)| (u.as_u32(), v.as_u32()))
             .collect();
         assert_eq!(collected, expected);

@@ -3,7 +3,7 @@
 use std::thread;
 
 use snaple_graph::hash::hash2;
-use snaple_graph::{CsrGraph, Direction, VertexId, VertexMask};
+use snaple_graph::{store, Direction, GraphStore, VertexId, VertexMask};
 
 use crate::cluster::{ClusterSpec, NodeId};
 use crate::cost::CostModel;
@@ -142,7 +142,7 @@ impl<'d> Engine<'d> {
     /// Returns [`EngineError::InvalidConfig`] for unusable cluster shapes
     /// (zero nodes, more than [`crate::partition::MAX_NODES`] nodes).
     pub fn new(
-        graph: &'d CsrGraph,
+        graph: &'d dyn GraphStore,
         cluster: ClusterSpec,
         strategy: PartitionStrategy,
         seed: u64,
@@ -217,7 +217,7 @@ impl<'d> Engine<'d> {
 
     /// The graph this engine executes over — the deployment's *current*
     /// graph, reflecting any deltas applied before this engine was made.
-    pub fn graph(&self) -> &CsrGraph {
+    pub fn graph(&self) -> &dyn GraphStore {
         self.deployment.get().graph()
     }
 
@@ -405,7 +405,7 @@ impl<'d> Engine<'d> {
         // from the deployment's per-partition cache — maintained
         // incrementally across delta applies instead of recounted here.
         mem_base.copy_from_slice(dep.node_static_bytes());
-        for v in graph.vertices() {
+        for v in store::vertices(graph) {
             if let Some(rm) = &read_mask {
                 if !rm.contains(v) {
                     continue;
@@ -842,7 +842,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use snaple_graph::gen;
+    use snaple_graph::{gen, CsrGraph};
 
     /// Sums neighbor values along out-edges: new state = Σ_{v ∈ Γ(u)} old(v).
     struct SumNeighbors;
@@ -1222,7 +1222,7 @@ mod tests {
         assert_eq!(stats.removed_edges, removed);
         assert_eq!(stats.inserted_edges, 4);
 
-        let mutated = deployment.graph().clone();
+        let mutated = deployment.graph().to_csr();
         let mut incremental_state = vec![1u64; mutated.num_vertices()];
         let mut engine = Engine::on(&deployment);
         engine

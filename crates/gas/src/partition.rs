@@ -17,7 +17,7 @@
 //!   ties by load.
 
 use snaple_graph::hash::{hash1, hash2};
-use snaple_graph::{CsrGraph, VertexId};
+use snaple_graph::{store, GraphStore, VertexId};
 
 use crate::error::EngineError;
 use crate::NodeId;
@@ -77,7 +77,7 @@ impl PartitionedGraph {
     /// Returns [`EngineError::InvalidConfig`] if `num_nodes` is zero or
     /// exceeds [`MAX_NODES`].
     pub fn build(
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         num_nodes: usize,
         strategy: PartitionStrategy,
         seed: u64,
@@ -95,7 +95,7 @@ impl PartitionedGraph {
         let mut node_edges: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); num_nodes];
         let mut loads = vec![0u64; num_nodes];
 
-        for (u, v) in graph.edges() {
+        for (u, v) in store::edges(graph) {
             let node = match strategy {
                 PartitionStrategy::RandomVertexCut => {
                     (hash2(seed, u.as_u32() as u64, v.as_u32() as u64) % num_nodes as u64) as usize
@@ -428,7 +428,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use snaple_graph::gen;
+    use snaple_graph::{gen, CsrGraph};
 
     fn test_graph() -> CsrGraph {
         let mut rng = StdRng::seed_from_u64(5);

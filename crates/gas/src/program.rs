@@ -1,6 +1,6 @@
 //! The GAS program interface.
 
-use snaple_graph::{CsrGraph, Direction, VertexId};
+use snaple_graph::{Direction, GraphStore, VertexId};
 
 use crate::scratch::ScratchArena;
 use crate::size::SizeEstimate;
@@ -51,12 +51,12 @@ impl WorkTally {
 /// restriction the paper works within.
 #[derive(Debug)]
 pub struct GatherCtx<'a> {
-    graph: &'a CsrGraph,
+    graph: &'a dyn GraphStore,
     seed: u64,
 }
 
 impl<'a> GatherCtx<'a> {
-    pub(crate) fn new(graph: &'a CsrGraph, seed: u64) -> Self {
+    pub(crate) fn new(graph: &'a dyn GraphStore, seed: u64) -> Self {
         GatherCtx { graph, seed }
     }
 
@@ -314,6 +314,7 @@ pub trait GasStep: Sync {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use snaple_graph::CsrGraph;
 
     #[test]
     fn tally_accumulates_and_merges() {

@@ -7,7 +7,7 @@
 //! the benchmarks non-SNAPLE workloads to measure partitioners with.
 
 use snaple_graph::algo;
-use snaple_graph::{CsrGraph, Direction, VertexId};
+use snaple_graph::{store, CsrGraph, Direction, GraphStore, VertexId};
 
 use crate::cluster::ClusterSpec;
 use crate::engine::Engine;
@@ -75,7 +75,7 @@ impl GasStep for PageRankStep {
 ///
 /// Propagates engine errors ([`EngineError`]).
 pub fn pagerank(
-    graph: &CsrGraph,
+    graph: &dyn GraphStore,
     cluster: ClusterSpec,
     strategy: PartitionStrategy,
     damping: f64,
@@ -90,8 +90,7 @@ pub fn pagerank(
     let mut engine = Engine::new(graph, cluster, strategy, seed)?;
     let mut rank = vec![uniform; n];
     for _ in 0..iterations {
-        let dangling: f64 = graph
-            .vertices()
+        let dangling: f64 = store::vertices(graph)
             .filter(|&u| graph.out_degree(u) == 0)
             .map(|u| rank[u.index()])
             .sum();
@@ -162,7 +161,7 @@ impl GasStep for MinLabelStep {
 ///
 /// Propagates engine errors ([`EngineError`]).
 pub fn connected_components(
-    graph: &CsrGraph,
+    graph: &dyn GraphStore,
     cluster: ClusterSpec,
     strategy: PartitionStrategy,
     seed: u64,
@@ -192,7 +191,7 @@ pub fn connected_components(
 ///
 /// Propagates engine errors ([`EngineError`]).
 pub fn degrees(
-    graph: &CsrGraph,
+    graph: &dyn GraphStore,
     cluster: ClusterSpec,
     strategy: PartitionStrategy,
     seed: u64,

@@ -41,6 +41,17 @@ pub struct CsrGraph {
     in_sources: Vec<VertexId>,
 }
 
+/// Owned arrays of a decomposed [`CsrGraph`]:
+/// `(n, out_offsets, out_targets, out_weights, in_offsets, in_sources)`.
+pub(crate) type CsrParts = (
+    usize,
+    Vec<usize>,
+    Vec<VertexId>,
+    Option<Vec<f32>>,
+    Vec<usize>,
+    Vec<VertexId>,
+);
+
 impl CsrGraph {
     /// Builds a graph from raw, already validated CSR arrays.
     ///
@@ -243,6 +254,21 @@ impl CsrGraph {
     /// Raw in-CSR arrays `(offsets, sources)`.
     pub(crate) fn in_csr(&self) -> (&[usize], &[VertexId]) {
         (&self.in_offsets, &self.in_sources)
+    }
+
+    /// Decomposes the graph into its owned arrays
+    /// `(n, out_offsets, out_targets, out_weights, in_offsets, in_sources)`
+    /// — for the consuming delta compactor, which rebuilds adjacency
+    /// in place instead of cloning it.
+    pub(crate) fn into_parts(self) -> CsrParts {
+        (
+            self.num_vertices,
+            self.out_offsets,
+            self.out_targets,
+            self.out_weights,
+            self.in_offsets,
+            self.in_sources,
+        )
     }
 
     /// Total bytes of the CSR arrays (used for memory accounting).

@@ -20,6 +20,7 @@
 //! [reciprocity](crate::stats::reciprocity) for directed datasets.
 
 pub mod datasets;
+pub mod rmat;
 
 use std::collections::HashSet;
 

@@ -1,17 +1,38 @@
-//! Graph serialization: SNAP-style text edge lists and a compact binary
-//! format.
+//! Graph serialization: SNAP-style text edge lists and the binary
+//! formats.
 //!
 //! The text format is one `source target [weight]` triple per line, with `#`
 //! or `%` starting comment lines — the format the paper's public datasets
-//! ship in. The binary format (`SNPLG1`) stores the CSR arrays directly and
-//! loads an order of magnitude faster; the bench harness uses it to cache
-//! emulated datasets between runs.
+//! ship in.
+//!
+//! # Binary formats and routing
+//!
+//! Two binary formats exist; both are auto-detected from their magic:
+//!
+//! * **`SNPLG2`** (see [`v2`]) — the current format.
+//!   [`write_binary`] emits it; its sections are the CSR arrays
+//!   verbatim (both adjacency directions), so loading is a vectorized
+//!   bytes→ints copy with no per-edge decode and no reverse-adjacency
+//!   rebuild, and [`v2::FileCsr`] can open it
+//!   lazily in O(1) of the edge count.
+//! * **`SNPLG1`** — the legacy format (out-adjacency only, in-adjacency
+//!   re-derived on load). Kept fully readable; [`write_binary_v1`]
+//!   still writes it for tooling that needs the old layout.
+//!
+//! [`read_binary`] accepts either. [`open_store`] is the file-level
+//! entry point: it dispatches on magic (and the varint flag) to the
+//! right [`GraphStore`] backend — eager [`CsrGraph`], lazy
+//! [`FileCsr`](crate::v2::FileCsr), or compressed
+//! [`CompressedGraph`](crate::compress::CompressedGraph).
 
 use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
 
 use bytes::{Buf, BufMut};
 
-use crate::{CsrGraph, GraphBuilder, GraphError, VertexId};
+use crate::store::GraphStore;
+use crate::{store, v2, CsrGraph, GraphBuilder, GraphError, VertexId};
 
 const MAGIC: &[u8; 6] = b"SNPLG1";
 const FLAG_WEIGHTED: u8 = 1;
@@ -89,14 +110,14 @@ pub fn read_edge_list<R: Read>(reader: R, symmetrize: bool) -> Result<CsrGraph, 
 /// # Errors
 ///
 /// Returns [`GraphError::Io`] on write failures.
-pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+pub fn write_edge_list<W: Write>(graph: &dyn GraphStore, mut writer: W) -> Result<(), GraphError> {
     writeln!(
         writer,
         "# snaple edge list: {} vertices, {} edges",
         graph.num_vertices(),
         graph.num_edges()
     )?;
-    for u in graph.vertices() {
+    for u in store::vertices(graph) {
         let nbrs = graph.out_neighbors(u);
         match graph.out_weights(u) {
             Some(ws) => {
@@ -114,12 +135,29 @@ pub fn write_edge_list<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), 
     Ok(())
 }
 
-/// Encodes a graph into the `SNPLG1` binary format.
+/// Encodes a graph in the current binary format (`SNPLG2`, raw flavor).
+///
+/// Use [`write_binary_v1`] when the legacy layout is explicitly needed;
+/// [`read_binary`] auto-detects either. For the compressed flavor see
+/// [`compress::write_v2_varint`](crate::compress::write_v2_varint).
 ///
 /// # Errors
 ///
 /// Returns [`GraphError::Io`] on write failures.
-pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
+pub fn write_binary<W: Write>(graph: &dyn GraphStore, writer: W) -> Result<(), GraphError> {
+    v2::write_v2(graph, writer)
+}
+
+/// Encodes a graph into the legacy `SNPLG1` binary format.
+///
+/// Kept for tooling pinned to the old layout; new writes should go
+/// through [`write_binary`]. Unlike `SNPLG2`, this stores only the
+/// out-adjacency — readers pay an O(edges) reverse-adjacency rebuild.
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on write failures.
+pub fn write_binary_v1<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), GraphError> {
     let mut header = Vec::with_capacity(MAGIC.len() + 1 + 16);
     header.put_slice(MAGIC);
     header.put_u8(if graph.is_weighted() {
@@ -154,7 +192,8 @@ pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), Gra
     Ok(())
 }
 
-/// Decodes a graph from the `SNPLG1` binary format.
+/// Decodes a graph from either binary format, auto-detected from the
+/// magic (`SNPLG2` current, `SNPLG1` legacy).
 ///
 /// # Errors
 ///
@@ -163,7 +202,51 @@ pub fn write_binary<W: Write>(graph: &CsrGraph, mut writer: W) -> Result<(), Gra
 pub fn read_binary<R: Read>(mut reader: R) -> Result<CsrGraph, GraphError> {
     let mut data = Vec::new();
     reader.read_to_end(&mut data)?;
-    let mut buf = &data[..];
+    if data.get(..v2::MAGIC2.len()) == Some(v2::MAGIC2.as_slice()) {
+        return v2::decode_v2(&data);
+    }
+    read_binary_v1_bytes(&data)
+}
+
+/// Opens a graph file as the [`GraphStore`] backend its format calls
+/// for, dispatching on the magic bytes:
+///
+/// * raw `SNPLG2` → lazy [`FileCsr`](crate::v2::FileCsr) (open is O(1)
+///   in the edge count);
+/// * varint `SNPLG2` → [`CompressedGraph`](crate::compress::CompressedGraph)
+///   (streams stay compressed in memory);
+/// * `SNPLG1` → eager in-RAM [`CsrGraph`].
+///
+/// # Errors
+///
+/// Returns [`GraphError::Io`] on filesystem failures and
+/// [`GraphError::Corrupt`] on malformed or unrecognized files.
+pub fn open_store(path: &Path) -> Result<Arc<dyn GraphStore>, GraphError> {
+    use std::io::Seek;
+    let mut file = std::fs::File::open(path)?;
+    let mut prelude = [0u8; 8];
+    let got = file.read(&mut prelude)?;
+    if prelude.get(..v2::MAGIC2.len()) == Some(v2::MAGIC2.as_slice()) {
+        let varint = prelude.get(7).is_some_and(|f| f & v2::FLAG2_VARINT != 0);
+        drop(file);
+        if varint {
+            return Ok(Arc::new(crate::compress::CompressedGraph::open(path)?));
+        }
+        return Ok(Arc::new(v2::FileCsr::open(path)?));
+    }
+    if prelude.get(..MAGIC.len()) == Some(MAGIC.as_slice()) {
+        file.seek(std::io::SeekFrom::Start(0))?;
+        return Ok(Arc::new(read_binary(BufReader::new(file))?));
+    }
+    let _ = got;
+    Err(GraphError::Corrupt(format!(
+        "{}: not a SNPLG1/SNPLG2 graph file",
+        path.display()
+    )))
+}
+
+fn read_binary_v1_bytes(data: &[u8]) -> Result<CsrGraph, GraphError> {
+    let mut buf = data;
     if buf.remaining() < MAGIC.len() + 1 + 16 {
         return Err(GraphError::Corrupt("truncated header".into()));
     }
@@ -298,6 +381,7 @@ mod tests {
         let g = sample();
         let mut out = Vec::new();
         write_binary(&g, &mut out).unwrap();
+        assert_eq!(&out[..6], b"SNPLG2", "default writes are v2");
         let g2 = read_binary(&out[..]).unwrap();
         assert_eq!(g.num_vertices(), g2.num_vertices());
         assert_eq!(g.num_edges(), g2.num_edges());
@@ -305,6 +389,63 @@ mod tests {
             assert_eq!(g.out_neighbors(u), g2.out_neighbors(u));
             assert_eq!(g.in_neighbors(u), g2.in_neighbors(u));
         }
+    }
+
+    #[test]
+    fn legacy_v1_files_stay_readable_through_the_same_entry_point() {
+        let g = sample();
+        let mut v1 = Vec::new();
+        write_binary_v1(&g, &mut v1).unwrap();
+        assert_eq!(&v1[..6], b"SNPLG1");
+        let g2 = read_binary(&v1[..]).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for u in g.vertices() {
+            assert_eq!(g.out_neighbors(u), g2.out_neighbors(u));
+            assert_eq!(g.in_neighbors(u), g2.in_neighbors(u));
+        }
+    }
+
+    #[test]
+    fn open_store_dispatches_every_format_to_its_backend() {
+        let dir = std::env::temp_dir().join(format!("snpl-open-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let g = sample();
+
+        let v2_path = dir.join("g.v2.snplg");
+        let mut v2_bytes = Vec::new();
+        write_binary(&g, &mut v2_bytes).unwrap();
+        std::fs::write(&v2_path, &v2_bytes).unwrap();
+
+        let v1_path = dir.join("g.v1.snplg");
+        let mut v1_bytes = Vec::new();
+        write_binary_v1(&g, &mut v1_bytes).unwrap();
+        std::fs::write(&v1_path, &v1_bytes).unwrap();
+
+        let vz_path = dir.join("g.vz.snplg");
+        let mut vz_bytes = Vec::new();
+        crate::compress::write_v2_varint(&g, &mut vz_bytes).unwrap();
+        std::fs::write(&vz_path, &vz_bytes).unwrap();
+
+        let expectations = [
+            (&v2_path, "file-csr"),
+            (&v1_path, "csr"),
+            (&vz_path, "varint"),
+        ];
+        for (path, backend) in expectations {
+            let s = open_store(path).unwrap();
+            assert_eq!(s.backend_name(), backend, "{}", path.display());
+            assert!(s.hydrate().is_ok());
+            assert_eq!(s.num_edges(), g.num_edges());
+            for u in g.vertices() {
+                assert_eq!(s.out_neighbors(u), g.out_neighbors(u));
+                assert_eq!(s.in_neighbors(u), g.in_neighbors(u));
+            }
+        }
+
+        let junk = dir.join("junk.bin");
+        std::fs::write(&junk, b"not a graph at all").unwrap();
+        assert!(matches!(open_store(&junk), Err(GraphError::Corrupt(_))));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -9,6 +9,10 @@
 //! * [`CsrGraph`] — an immutable compressed-sparse-row directed graph with
 //!   both out- and in-adjacency, the storage format consumed by the GAS
 //!   engine ([`snaple-gas`](https://example.org/snaple)).
+//! * [`GraphStore`] — the storage-backend abstraction over adjacency
+//!   access: [`CsrGraph`] (eager, in RAM), [`v2::FileCsr`] (lazy,
+//!   file-backed, zero-parse) and [`compress::CompressedGraph`]
+//!   (delta-varint, opt-in) all serve the same engine code.
 //! * [`GraphBuilder`] — the mutable construction side: collect edges, then
 //!   [`GraphBuilder::build`] a [`CsrGraph`] (deduplicated, sorted, optionally
 //!   symmetrized).
@@ -43,13 +47,42 @@
 //! assert_eq!(g.num_vertices(), 3);
 //! assert_eq!(g.out_neighbors(VertexId::new(0)).len(), 2);
 //! ```
+//!
+//! # Graphs bigger than RAM
+//!
+//! The paper's headline scale is a billion edges — graphs that cannot
+//! be *built* in memory, and that a server should not have to *parse*
+//! per run. Three pieces make that workflow:
+//!
+//! 1. **Build out of core.** [`extbuild::ExternalGraphBuilder`]
+//!    chunk-sorts an edge stream of any length through bounded-memory
+//!    runs on disk and merges it straight into a `SNPLG2` file, with
+//!    the same dedup/symmetrize/self-loop semantics as the in-RAM
+//!    [`GraphBuilder`]. [`gen::rmat`] streams synthetic RMAT/Kronecker
+//!    edges into it without materializing the edge list. From the CLI:
+//!    `snaple-cli graph gen --rmat-scale 25 --out big.snplg` and
+//!    `snaple-cli graph convert --graph edges.txt --out big.snplg`.
+//! 2. **Open without parsing.** `SNPLG2` ([`v2`]) stores the CSR
+//!    arrays verbatim, both directions, each section checksummed.
+//!    [`v2::FileCsr::open`] reads only the header and section table —
+//!    open time is flat in the edge count — and faults sections in on
+//!    first touch; [`io::open_store`] picks the right backend from the
+//!    file magic. `--graph-format file` on `snaple predict`/`serve`
+//!    selects it end to end.
+//! 3. **Serve any backend.** The engine, partitioner and serving
+//!    layers consume [`GraphStore`], so eager, file-backed and
+//!    compressed ([`compress::CompressedGraph`], `--graph-format
+//!    varint`) graphs produce bit-identical predictions — pinned by
+//!    property tests.
 
 pub mod algo;
 pub mod builder;
 pub mod codec;
+pub mod compress;
 pub mod csr;
 pub mod delta;
 pub mod error;
+pub mod extbuild;
 pub mod gen;
 pub mod hash;
 pub mod id;
@@ -58,11 +91,17 @@ pub mod mask;
 pub mod relabel;
 pub mod sample;
 pub mod stats;
+pub mod store;
+pub mod v2;
 
 pub use builder::GraphBuilder;
+pub use compress::CompressedGraph;
 pub use csr::{CsrGraph, Direction};
 pub use delta::{DeltaOverlay, GraphDelta};
 pub use error::GraphError;
+pub use extbuild::ExternalGraphBuilder;
 pub use id::VertexId;
 pub use mask::VertexMask;
 pub use relabel::Relabeling;
+pub use store::GraphStore;
+pub use v2::FileCsr;

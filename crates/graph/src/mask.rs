@@ -7,8 +7,9 @@
 //! by [expanding](VertexMask::expand) a query set along the graph's edges,
 //! one hop per step of lookahead.
 
-use crate::csr::{CsrGraph, Direction};
+use crate::csr::Direction;
 use crate::id::VertexId;
+use crate::store::GraphStore;
 
 /// A subset of a graph's vertices, stored as a bitmask.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -133,7 +134,7 @@ impl VertexMask {
     /// # Panics
     ///
     /// Panics when the mask and graph sizes disagree.
-    pub fn expand(&self, graph: &CsrGraph, dir: Direction) -> VertexMask {
+    pub fn expand(&self, graph: &dyn GraphStore, dir: Direction) -> VertexMask {
         assert_eq!(
             self.num_vertices,
             graph.num_vertices(),
@@ -150,7 +151,7 @@ impl VertexMask {
 
     /// [`expand`](Self::expand) along out-edges — the direction SNAPLE's
     /// steps gather over.
-    pub fn expand_out(&self, graph: &CsrGraph) -> VertexMask {
+    pub fn expand_out(&self, graph: &dyn GraphStore) -> VertexMask {
         self.expand(graph, Direction::Out)
     }
 }
@@ -158,6 +159,7 @@ impl VertexMask {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::csr::CsrGraph;
 
     fn v(i: u32) -> VertexId {
         VertexId::new(i)

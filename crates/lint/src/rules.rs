@@ -121,13 +121,15 @@ pub struct Analysis {
 
 /// Files whose non-test code must be panic-free (rules `panic` +
 /// `index`). Paths are workspace-relative with forward slashes.
-pub const PANIC_FREE_ZONE: [&str; 9] = [
+pub const PANIC_FREE_ZONE: [&str; 11] = [
     "crates/core/src/shard/wire.rs",
     "crates/core/src/shard/runtime.rs",
     "crates/core/src/shard/router.rs",
     "crates/core/src/concurrent.rs",
     "crates/gas/src/engine.rs",
     "crates/graph/src/codec.rs",
+    "crates/graph/src/v2.rs",
+    "crates/graph/src/compress.rs",
     "crates/store/src/log.rs",
     "crates/store/src/snapshot.rs",
     "crates/store/src/recover.rs",
@@ -135,11 +137,14 @@ pub const PANIC_FREE_ZONE: [&str; 9] = [
 
 /// Files whose decode-path functions get the wire-safety rules: the
 /// shard protocol plus everything that decodes bytes that may have been
-/// corrupted at rest (the shared delta codec, the commitlog scanner,
-/// the snapshot loader).
-pub const WIRE_ZONE: [&str; 4] = [
+/// corrupted at rest (the shared delta codec, the `SNPLG2` zero-parse
+/// reader, the delta-varint block decoder, the commitlog scanner, the
+/// snapshot loader).
+pub const WIRE_ZONE: [&str; 6] = [
     "crates/core/src/shard/wire.rs",
     "crates/graph/src/codec.rs",
+    "crates/graph/src/v2.rs",
+    "crates/graph/src/compress.rs",
     "crates/store/src/log.rs",
     "crates/store/src/snapshot.rs",
 ];

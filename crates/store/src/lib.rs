@@ -19,7 +19,11 @@
 //!   compacted graph plus the serve config, written after every K
 //!   logged deltas and published atomically (tmp + rename). The last N
 //!   snapshots are retained so a corrupt newest checkpoint falls back
-//!   to an older one.
+//!   to an older one. The graph section is a verbatim raw
+//!   [`snaple_graph::v2`] (`SNPLG2`) file — checkpoint **is** the
+//!   serving layout, streamed out in bounded chunks, and recovery is an
+//!   open with no per-edge re-encode; snapshots from pre-`SNPLG2`
+//!   builds remain readable.
 //! * [`recover`] — the [`Durability`] handle tying both together.
 //!   Opening a data dir loads the newest *valid* snapshot and replays
 //!   the log tail, reconstructing a state bit-identical to a server

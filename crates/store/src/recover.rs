@@ -9,12 +9,14 @@
 //! * **[`Durability::record`]** appends the delta to the commitlog
 //!   (applying the fsync policy) *before* the server applies it — the
 //!   log is a write-ahead log. Every `snapshot_every` records, the
-//!   accumulated deltas are folded into the base graph with
-//!   [`CsrGraph::compact`] on Durability's own copy (an epoch-consistent
-//!   clone — the serving predictor's state is untouched and serving
-//!   continues), a new snapshot is published atomically, old snapshots
-//!   beyond the retention window are pruned, and the log is trimmed
-//!   below the oldest retained snapshot's coverage.
+//!   accumulated deltas are folded into the base graph with the
+//!   consuming [`CsrGraph::compact_owned`] on Durability's own copy (an
+//!   epoch-consistent clone — the serving predictor's state is
+//!   untouched and serving continues), a new snapshot is streamed out
+//!   atomically in the `SNPLG2` serving layout (see
+//!   [`crate::snapshot`]), old snapshots beyond the retention window
+//!   are pruned, and the log is trimmed below the oldest retained
+//!   snapshot's coverage.
 //! * **Reopen** = recovery: load the newest snapshot that validates
 //!   (falling back to older ones on checksum failure), then replay the
 //!   log tail (`seq >= covers_seq`). The caller applies the returned
@@ -322,7 +324,11 @@ impl Durability {
         // supersedes it (matters under the batch fsync policy).
         self.log.sync()?;
         if !self.pending.is_empty() {
-            self.graph = self.graph.compact(&self.pending);
+            // Consuming compact: the old adjacency is moved into the
+            // rebuild instead of cloned next to it, so checkpointing a
+            // 100M-edge graph never transiently doubles memory.
+            let graph = std::mem::replace(&mut self.graph, CsrGraph::from_edges(0, &[]));
+            self.graph = graph.compact_owned(&self.pending);
             self.pending = GraphDelta::new();
         }
         self.pending_frames = 0;

@@ -1,8 +1,7 @@
 //! Versioned, checksummed graph checkpoints with atomic publication.
 //!
 //! A snapshot freezes the compacted graph plus the serve config at a
-//! log position. Layout (a stepping stone toward the planned mmap
-//! format: fixed header, 8-byte-aligned graph section):
+//! log position:
 //!
 //! ```text
 //! offset  0  magic      "SNPLSNAP"            8 B
@@ -18,6 +17,18 @@
 //!       end  crc32      u32 LE                 over every prior byte
 //! ```
 //!
+//! # The graph section *is* the serving layout
+//!
+//! Since the `SNPLG2` rebase the embedded graph section is a verbatim
+//! raw-flavor `SNPLG2` file (the on-disk CSR format of
+//! [`snaple_graph::v2`]): checkpointing **streams** the CSR arrays to
+//! disk through [`snaple_graph::v2::write_v2`] — its size is known up
+//! front via [`snaple_graph::v2::encoded_len`], so nothing is buffered
+//! beyond a 64 KiB chunk — and recovery decodes the same arrays back
+//! with no per-edge re-encode. Snapshots written by older builds embed
+//! a `SNPLG1` section instead; [`SnapshotStore::load`] auto-detects the
+//! magic and reads both.
+//!
 //! Publication is atomic: the snapshot is written and fsync'd as
 //! `*.tmp`, then renamed into place (`snapshot-<covers_seq>.snap`), so
 //! a reader never observes a half-written file under the published
@@ -31,9 +42,32 @@ use std::fs::File;
 use std::path::{Path, PathBuf};
 
 use snaple_graph::codec::crc32;
-use snaple_graph::{io, CsrGraph};
+use snaple_graph::{io, v2, CsrGraph, GraphStore};
 
 use crate::StoreError;
+
+/// Forwards writes while chaining a CRC-32 over every byte — what lets
+/// [`SnapshotStore::write`] stream the graph section straight to the
+/// file and still emit the trailing whole-file checksum.
+struct CrcWriter<W> {
+    inner: W,
+    crc: u32,
+    written: u64,
+}
+
+impl<W: std::io::Write> std::io::Write for CrcWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        // snaple-lint: allow(index) — n is the count the writer just accepted, so n <= buf.len()
+        self.crc = crc32(self.crc, &buf[..n]);
+        self.written += n as u64;
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.inner.flush()
+    }
+}
 
 /// The eight magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SNPLSNAP";
@@ -102,43 +136,62 @@ impl SnapshotStore {
     /// Serializes and atomically publishes a snapshot covering log
     /// frames `< covers_seq`. Returns the published path.
     ///
+    /// The graph section is streamed through
+    /// [`snaple_graph::v2::write_v2`] in bounded chunks — a checkpoint
+    /// never materializes a second copy of the adjacency in memory, so
+    /// a 100M-edge snapshot costs the graph itself plus a 64 KiB
+    /// buffer, not 3× the graph.
+    ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on filesystem failures; [`StoreError::Corrupt`]
     /// when the graph fails to serialize.
     pub fn write(
         &self,
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         covers_seq: u64,
         config: &[u8],
     ) -> Result<PathBuf, StoreError> {
-        let mut graph_blob = Vec::new();
-        io::write_binary(graph, &mut graph_blob)
-            .map_err(|e| StoreError::Corrupt(format!("snapshot graph encode: {e}")))?;
-
+        // The raw SNPLG2 size is exact and known up front, which is
+        // what allows the header to precede the streamed section.
+        let graph_len = v2::encoded_len(graph);
         let config_end = HEADER_LEN + config.len();
         let graph_start = config_end.div_ceil(8) * 8; // 8-byte-aligned graph section
-        let mut buf = Vec::with_capacity(graph_start + graph_blob.len() + 4);
-        buf.extend_from_slice(&SNAPSHOT_MAGIC);
-        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        buf.extend_from_slice(&0u32.to_le_bytes()); // flags
-        buf.extend_from_slice(&covers_seq.to_le_bytes());
-        buf.extend_from_slice(&(config.len() as u64).to_le_bytes());
-        buf.extend_from_slice(&(graph_blob.len() as u64).to_le_bytes());
-        buf.resize(HEADER_LEN, 0); // reserved
-        buf.extend_from_slice(config);
-        buf.resize(graph_start, 0); // alignment padding
-        buf.extend_from_slice(&graph_blob);
-        let crc = crc32(0, &buf);
-        buf.extend_from_slice(&crc.to_le_bytes());
+
+        let mut head = Vec::with_capacity(graph_start);
+        head.extend_from_slice(&SNAPSHOT_MAGIC);
+        head.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        head.extend_from_slice(&0u32.to_le_bytes()); // flags
+        head.extend_from_slice(&covers_seq.to_le_bytes());
+        head.extend_from_slice(&(config.len() as u64).to_le_bytes());
+        head.extend_from_slice(&graph_len.to_le_bytes());
+        head.resize(HEADER_LEN, 0); // reserved
+        head.extend_from_slice(config);
+        head.resize(graph_start, 0); // alignment padding
 
         let path = self.dir.join(snapshot_name(covers_seq));
         let tmp = self.dir.join(format!("{}.tmp", snapshot_name(covers_seq)));
         {
-            let mut out = File::create(&tmp)?;
             use std::io::Write as _;
-            out.write_all(&buf)?;
-            out.sync_data()?;
+            let mut out = CrcWriter {
+                inner: File::create(&tmp)?,
+                crc: 0,
+                written: 0,
+            };
+            out.write_all(&head)?;
+            v2::write_v2(graph, &mut out)
+                .map_err(|e| StoreError::Corrupt(format!("snapshot graph encode: {e}")))?;
+            if out.written != graph_start as u64 + graph_len {
+                return Err(StoreError::Corrupt(format!(
+                    "snapshot graph encode: wrote {} bytes where the header \
+                     promised {graph_len}",
+                    out.written - graph_start as u64
+                )));
+            }
+            let crc = out.crc;
+            let mut file = out.inner;
+            file.write_all(&crc.to_le_bytes())?;
+            file.sync_data()?;
         }
         std::fs::rename(&tmp, &path)?;
         // Make the rename itself durable.
@@ -327,9 +380,46 @@ mod tests {
             let config_end = HEADER_LEN + config.len();
             let graph_start = config_end.div_ceil(8) * 8;
             assert_eq!(graph_start % 8, 0);
-            // The graph section must start with the SNPLG1 magic.
-            assert_eq!(&bytes[graph_start..graph_start + 6], b"SNPLG1");
+            // The graph section must be a verbatim SNPLG2 file.
+            assert_eq!(&bytes[graph_start..graph_start + 6], b"SNPLG2");
         }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshots_with_v1_graph_sections_still_load() {
+        // Snapshots written before the SNPLG2 rebase embed a SNPLG1
+        // graph section; hand-assemble one and require `load` to read
+        // it via the auto-detecting binary reader.
+        let dir = tmp_dir("v1compat");
+        let g = graph(6);
+        let mut graph_blob = Vec::new();
+        io::write_binary_v1(&g, &mut graph_blob).expect("v1 encode");
+        let config = b"legacy-cfg";
+
+        let config_end = HEADER_LEN + config.len();
+        let graph_start = config_end.div_ceil(8) * 8;
+        let mut buf = Vec::with_capacity(graph_start + graph_blob.len() + 4);
+        buf.extend_from_slice(&SNAPSHOT_MAGIC);
+        buf.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&17u64.to_le_bytes());
+        buf.extend_from_slice(&(config.len() as u64).to_le_bytes());
+        buf.extend_from_slice(&(graph_blob.len() as u64).to_le_bytes());
+        buf.resize(HEADER_LEN, 0);
+        buf.extend_from_slice(config);
+        buf.resize(graph_start, 0);
+        buf.extend_from_slice(&graph_blob);
+        let crc = crc32(0, &buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+
+        let path = dir.join("snapshot-00000000000000000017.snap");
+        std::fs::write(&path, &buf).expect("write v1-era snapshot");
+
+        let (loaded, meta) = SnapshotStore::load(&path).expect("load v1-era snapshot");
+        assert_eq!(meta.covers_seq, 17);
+        assert_eq!(meta.config, config);
+        assert_eq!(graph_bytes(&loaded), graph_bytes(&g));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use snaple_core::{ExecuteRequest, PlanConfig, QuerySet, ScorePlan, ScoreSpec, SnapleError};
 use snaple_gas::{ClusterSpec, Deployment, RunStats};
-use snaple_graph::{CsrGraph, VertexId};
+use snaple_graph::{GraphStore, VertexId};
 
 use crate::SupervisedConfig;
 
@@ -32,7 +32,7 @@ impl<'c> FeaturePanel<'c> {
     /// Propagates [`SnapleError`] from the underlying SNAPLE runs.
     pub fn extract(
         &self,
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         cluster: &ClusterSpec,
     ) -> Result<CandidateTable, SnapleError> {
         self.extract_for(graph, cluster, None)
@@ -72,7 +72,7 @@ impl<'c> FeaturePanel<'c> {
     /// Propagates [`SnapleError`] for unusable cluster shapes.
     pub fn deploy<'g>(
         &self,
-        graph: &'g CsrGraph,
+        graph: &'g dyn GraphStore,
         cluster: &ClusterSpec,
     ) -> Result<Deployment<'g>, SnapleError> {
         let plan = self.plan()?;
@@ -95,7 +95,7 @@ impl<'c> FeaturePanel<'c> {
     /// Propagates [`SnapleError`] from the underlying SNAPLE runs.
     pub fn extract_for(
         &self,
-        graph: &CsrGraph,
+        graph: &dyn GraphStore,
         cluster: &ClusterSpec,
         queries: Option<&QuerySet>,
     ) -> Result<CandidateTable, SnapleError> {

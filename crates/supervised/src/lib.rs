@@ -52,7 +52,7 @@ use snaple_core::{
     SetupStats, SnapleError,
 };
 use snaple_gas::{ClusterSpec, Deployment};
-use snaple_graph::CsrGraph;
+use snaple_graph::{CsrGraph, GraphStore};
 
 use crate::features::{CandidateTable, FeaturePanel};
 use crate::logistic::LogisticRegression;
@@ -221,7 +221,7 @@ impl TrainedModel {
         &self.feature_names
     }
 
-    fn rank(&self, graph: &CsrGraph, table: CandidateTable) -> Prediction {
+    fn rank(&self, graph: &dyn GraphStore, table: CandidateTable) -> Prediction {
         use snaple_core::topk::top_k_by_score;
         let mut per_vertex: Vec<Vec<(snaple_graph::VertexId, f32)>> =
             vec![Vec::new(); graph.num_vertices()];

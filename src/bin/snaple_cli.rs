@@ -36,6 +36,7 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 use std::process::exit;
+use std::sync::Arc;
 
 use snaple::core::concurrent::{ConcurrentOptions, ConcurrentServer, PendingPrediction};
 use snaple::core::serve::Server;
@@ -48,24 +49,43 @@ use snaple::core::{
 use snaple::eval::{metrics, HoldOut, TextTable};
 use snaple::gas::ClusterSpec;
 use snaple::graph::gen::datasets;
+use snaple::graph::gen::rmat::RmatConfig;
 use snaple::graph::stats::GraphSummary;
-use snaple::graph::{io, CsrGraph};
+use snaple::graph::{
+    compress, io, CompressedGraph, CsrGraph, ExternalGraphBuilder, FileCsr, GraphStore,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
         usage("");
     };
-    let opts = Options::parse(rest);
-    let result = match command.as_str() {
-        "emulate" => cmd_emulate(&opts),
-        "stats" => cmd_stats(&opts),
-        "predict" => cmd_predict(&opts),
-        "serve" => cmd_serve(&opts),
-        "evaluate" => cmd_evaluate(&opts),
-        "sweep" => cmd_sweep(&opts),
-        "--help" | "-h" | "help" => usage(""),
-        other => usage(&format!("unknown command {other:?}")),
+    let result = if command == "graph" {
+        // `graph` takes a sub-subcommand before the flags.
+        let Some((sub, rest)) = rest.split_first() else {
+            usage("graph needs a subcommand: convert or gen")
+        };
+        let opts = Options::parse(rest);
+        match sub.as_str() {
+            "convert" => cmd_graph_convert(&opts),
+            "gen" => cmd_graph_gen(&opts),
+            "--help" | "-h" | "help" => usage(""),
+            other => usage(&format!(
+                "unknown graph subcommand {other:?} (expected convert or gen)"
+            )),
+        }
+    } else {
+        let opts = Options::parse(rest);
+        match command.as_str() {
+            "emulate" => cmd_emulate(&opts),
+            "stats" => cmd_stats(&opts),
+            "predict" => cmd_predict(&opts),
+            "serve" => cmd_serve(&opts),
+            "evaluate" => cmd_evaluate(&opts),
+            "sweep" => cmd_sweep(&opts),
+            "--help" | "-h" | "help" => usage(""),
+            other => usage(&format!("unknown command {other:?}")),
+        }
     };
     if let Err(e) = result {
         eprintln!("error: {e}");
@@ -106,6 +126,10 @@ struct Options {
     fsync: String,
     snapshot_every: usize,
     retain: usize,
+    graph_format: String,
+    chunk_edges: Option<usize>,
+    rmat_scale: Option<u32>,
+    edges: Option<u64>,
 }
 
 impl Options {
@@ -125,6 +149,7 @@ impl Options {
             fsync: "always".into(),
             snapshot_every: 64,
             retain: 2,
+            graph_format: "auto".into(),
             ..Options::default()
         };
         let mut it = args.iter();
@@ -187,6 +212,14 @@ impl Options {
                     o.snapshot_every = parse_num(&value("--snapshot-every"), "--snapshot-every")
                 }
                 "--retain" => o.retain = parse_num(&value("--retain"), "--retain"),
+                "--graph-format" => o.graph_format = value("--graph-format"),
+                "--chunk-edges" => {
+                    o.chunk_edges = Some(parse_num(&value("--chunk-edges"), "--chunk-edges"))
+                }
+                "--rmat-scale" => {
+                    o.rmat_scale = Some(parse_num(&value("--rmat-scale"), "--rmat-scale"))
+                }
+                "--edges" => o.edges = Some(parse_num(&value("--edges"), "--edges")),
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other:?}")),
             }
@@ -247,7 +280,7 @@ impl Options {
     /// every explicit id against the loaded graph *before* any heavy work
     /// starts — an out-of-range id gets a proper error naming it instead
     /// of surfacing from deep inside mask construction.
-    fn query_set(&self, graph: &CsrGraph) -> Result<Option<QuerySet>, String> {
+    fn query_set(&self, graph: &dyn GraphStore) -> Result<Option<QuerySet>, String> {
         match (&self.queries, self.query_sample) {
             (Some(_), Some(_)) => Err("--queries and --query-sample are mutually exclusive".into()),
             (Some(list), None) => {
@@ -375,9 +408,38 @@ commands:
             (recall/precision/MRR + per-column work); --compare also
             runs each column standalone (N extra traversals) to print
             the fused-vs-independent gather-op comparison
+  graph convert --graph FILE --out FILE [--graph-format v2|varint|v1]
+            [--chunk-edges N] [--symmetrize]
+            re-encode a graph between formats. Text edge lists convert
+            to raw SNPLG2 OUT-OF-CORE: edges are chunk-sorted into spill
+            runs of --chunk-edges each (default 4M) and k-way merged
+            straight to disk, so inputs larger than RAM convert fine
+  graph gen --rmat-scale S [--edges M] [--seed N] [--chunk-edges N]
+            --out FILE
+            stream a synthetic RMAT/Kronecker graph with 2^S vertices
+            (default M = 16*2^S edges) through the out-of-core builder
+            directly to a raw SNPLG2 file — graph size is bounded by
+            disk, not RAM
 
 serve accepts --scores too: the served rows are then the plan's
 weighted combined ranking (one fused sweep per coalesced batch).
+
+predict/serve accept --graph-format auto|csr|file|varint to pick the
+storage backend ('auto' dispatches on the file magic): 'csr' is the
+fully in-RAM adjacency, 'file' opens a raw SNPLG2 file zero-parse (the
+on-disk sections ARE the CSR arrays — open cost is header + TOC only,
+flat in graph size), 'varint' is the delta-varint compressed backend
+(~2-4x smaller resident footprint). Rows are bit-identical across all
+backends.
+
+graphs bigger than RAM — quickstart:
+  snaple-cli graph gen --rmat-scale 25 --out big.snplg     # ~0.5G edges
+  snaple-cli graph convert --graph edges.txt --out big.snplg  # or yours
+  snaple-cli predict --graph big.snplg --graph-format file \\
+             --query-sample 64 --out rows.txt
+the generator and converter never hold the graph in memory (chunked
+spill runs + k-way merge), and --graph-format file serves straight off
+the on-disk layout.
 
 graph files: '.snplg' binary (from emulate/--out) or text edge lists
 (one 'src dst [weight]' per line; add --symmetrize for undirected input)."
@@ -399,6 +461,182 @@ fn load_graph(opts: &Options) -> Result<CsrGraph, String> {
 
 fn is_binary(path: &Path) -> bool {
     path.extension().is_some_and(|e| e == "snplg")
+}
+
+/// Loads `--graph` as the backend `--graph-format` selects:
+///
+/// * `auto` (default) — binary files open through
+///   [`io::open_store`], which dispatches on the magic (zero-parse
+///   `file-csr` for raw `SNPLG2`, `varint` for the compressed flavor,
+///   in-RAM `csr` for legacy `SNPLG1`); text edge lists parse in RAM.
+/// * `csr` — force a fully in-RAM [`CsrGraph`].
+/// * `file` — force the zero-parse file-backed backend (raw `SNPLG2`
+///   only; convert other inputs first with `graph convert`).
+/// * `varint` — force the delta-varint compressed backend (re-encoding
+///   in RAM when the input is not already varint-flavored).
+fn load_store(opts: &Options) -> Result<Arc<dyn GraphStore>, String> {
+    let path = opts.graph.as_ref().ok_or("missing --graph")?;
+    match opts.graph_format.as_str() {
+        "auto" if is_binary(path) => {
+            io::open_store(path).map_err(|e| format!("{}: {e}", path.display()))
+        }
+        "auto" | "csr" => Ok(Arc::new(load_graph(opts)?)),
+        "file" => {
+            if !is_binary(path) {
+                return Err(format!(
+                    "--graph-format file needs a raw SNPLG2 binary; convert first: \
+                     snaple-cli graph convert --graph {} --out graph.snplg",
+                    path.display()
+                ));
+            }
+            match FileCsr::open(path) {
+                Ok(g) => Ok(Arc::new(g)),
+                Err(e) => Err(format!("{}: {e}", path.display())),
+            }
+        }
+        "varint" => {
+            if is_binary(path) {
+                if let Ok(g) = CompressedGraph::open(path) {
+                    return Ok(Arc::new(g));
+                }
+            }
+            // Not varint-flavored on disk: load and re-encode in RAM.
+            let g = load_graph(opts)?;
+            Ok(Arc::new(CompressedGraph::from_store(&g)))
+        }
+        other => Err(format!(
+            "--graph-format expects auto, csr, file or varint, got {other:?}"
+        )),
+    }
+}
+
+/// `graph convert` — re-encode any readable graph into the requested
+/// on-disk format (default: raw `SNPLG2`). Text edge lists stream
+/// through the out-of-core [`ExternalGraphBuilder`], so inputs larger
+/// than RAM convert in bounded memory.
+fn cmd_graph_convert(opts: &Options) -> Result<(), String> {
+    let input = opts.graph.as_ref().ok_or("missing --graph")?;
+    let out = opts.out.as_ref().ok_or("missing --out")?;
+    let format = match opts.graph_format.as_str() {
+        "auto" | "file" | "v2" => "v2",
+        "varint" => "varint",
+        "v1" => "v1",
+        other => {
+            return Err(format!(
+                "graph convert --graph-format expects v2 (default), varint or v1, \
+                 got {other:?}"
+            ))
+        }
+    };
+
+    if !is_binary(input) && format == "v2" {
+        // Out-of-core path: the edge list streams through the external
+        // builder and never materializes in RAM.
+        let mut builder = match opts.chunk_edges {
+            Some(c) => ExternalGraphBuilder::with_chunk_edges(c),
+            None => ExternalGraphBuilder::new(),
+        };
+        builder.symmetrize(opts.symmetrize);
+        let file = File::open(input).map_err(|e| format!("{}: {e}", input.display()))?;
+        for (lineno, line) in BufReader::new(file).lines().enumerate() {
+            let line = line.map_err(|e| format!("{}: {e}", input.display()))?;
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            let err = || {
+                format!(
+                    "{} line {}: expected 'src dst [weight]', got {line:?}",
+                    input.display(),
+                    lineno + 1
+                )
+            };
+            let u: u32 = fields.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+            let v: u32 = fields.next().and_then(|s| s.parse().ok()).ok_or_else(err)?;
+            match fields.next() {
+                Some(w) => {
+                    let w: f32 = w.parse().map_err(|_| err())?;
+                    builder
+                        .add_weighted_edge(u, v, w)
+                        .map_err(|e| e.to_string())?;
+                }
+                None => builder.add_edge(u, v).map_err(|e| e.to_string())?,
+            }
+        }
+        let stats = builder.build(out).map_err(|e| e.to_string())?;
+        println!(
+            "wrote {}: {} vertices, {} edges ({} records via {} sorted runs, {} bytes)",
+            out.display(),
+            stats.vertices,
+            stats.edges,
+            stats.records,
+            stats.runs.max(1),
+            stats.output_bytes,
+        );
+        return Ok(());
+    }
+
+    // In-RAM re-encode between binary flavors (or into v1/varint).
+    let store = load_store(opts)?;
+    let file = File::create(out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let mut writer = BufWriter::new(file);
+    match format {
+        "v2" => io::write_binary(store.as_ref(), &mut writer).map_err(|e| e.to_string())?,
+        "varint" => {
+            compress::write_v2_varint(store.as_ref(), &mut writer).map_err(|e| e.to_string())?
+        }
+        _ => io::write_binary_v1(&store.to_csr(), &mut writer).map_err(|e| e.to_string())?,
+    }
+    writer.flush().map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({format}): {} vertices, {} edges",
+        out.display(),
+        store.num_vertices(),
+        store.num_edges(),
+    );
+    Ok(())
+}
+
+/// `graph gen` — stream an RMAT/Kronecker draw straight to a raw
+/// `SNPLG2` file; the edge list never exists in RAM, so generated
+/// graphs can exceed memory.
+fn cmd_graph_gen(opts: &Options) -> Result<(), String> {
+    let out = opts.out.as_ref().ok_or("missing --out")?;
+    let scale = opts
+        .rmat_scale
+        .ok_or("missing --rmat-scale (log2 of the vertex count)")?;
+    if scale > 31 {
+        return Err(format!(
+            "--rmat-scale {scale} exceeds the 31-bit vertex-id space"
+        ));
+    }
+    let config = RmatConfig {
+        scale,
+        edges: opts.edges.unwrap_or(16u64 << scale),
+        seed: opts.seed,
+        ..RmatConfig::default()
+    };
+    let mut builder = match opts.chunk_edges {
+        Some(c) => ExternalGraphBuilder::with_chunk_edges(c),
+        None => ExternalGraphBuilder::new(),
+    };
+    builder.symmetrize(opts.symmetrize);
+    let stats = config
+        .generate_with(builder, out)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "wrote {}: RMAT scale {scale} seed {} — {} vertices, {} edges \
+         ({} drawn, {} sorted runs, {} bytes)",
+        out.display(),
+        opts.seed,
+        stats.vertices,
+        stats.edges,
+        stats.records,
+        stats.runs.max(1),
+        stats.output_bytes,
+    );
+    Ok(())
 }
 
 fn cmd_emulate(opts: &Options) -> Result<(), String> {
@@ -451,7 +689,7 @@ fn cmd_stats(opts: &Options) -> Result<(), String> {
 
 /// The multi-score predict path: one fused sweep, one output line per
 /// `column label / source / target / score`.
-fn cmd_predict_plan(opts: &Options, graph: &CsrGraph) -> Result<(), String> {
+fn cmd_predict_plan(opts: &Options, graph: &dyn GraphStore) -> Result<(), String> {
     let cluster = opts.cluster()?;
     let plan = opts.score_plan()?;
     let queries = opts.query_set(graph)?;
@@ -499,14 +737,15 @@ fn cmd_predict_plan(opts: &Options, graph: &CsrGraph) -> Result<(), String> {
 }
 
 fn cmd_predict(opts: &Options) -> Result<(), String> {
-    let graph = load_graph(opts)?;
+    let store = load_store(opts)?;
+    let graph = store.as_ref();
     if opts.scores.is_some() {
-        return cmd_predict_plan(opts, &graph);
+        return cmd_predict_plan(opts, graph);
     }
     let cluster = opts.cluster()?;
     let snaple = Snaple::new(opts.snaple_config()?);
-    let queries = opts.query_set(&graph)?;
-    let mut req = PredictRequest::new(&graph, &cluster);
+    let queries = opts.query_set(graph)?;
+    let mut req = PredictRequest::new(graph, &cluster);
     if let Some(q) = &queries {
         req = req.with_queries(q);
     }
@@ -529,12 +768,13 @@ fn cmd_predict(opts: &Options) -> Result<(), String> {
         None => format!("{} sources", graph.num_vertices()),
     };
     eprintln!(
-        "predicted {} edges for {scope} in {:.2} simulated seconds on {} ({} cores); \
-         traffic {:.1} MB, replication {:.2}",
+        "predicted {} edges for {scope} in {:.2} simulated seconds on {} ({} cores, \
+         {} backend); traffic {:.1} MB, replication {:.2}",
         prediction.total_predictions(),
         prediction.simulated_seconds(),
         cluster.name,
         cluster.total_cores(),
+        graph.backend_name(),
         prediction.stats.total_network_bytes() as f64 / 1e6,
         prediction.stats.replication_factor,
     );
@@ -677,13 +917,14 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
     } else if opts.shard_procs {
         return Err("--shard-procs needs --shards N".into());
     }
-    let graph = load_graph(opts)?;
+    let store = load_store(opts)?;
     // Restartable serving: open (or recover) the data dir before anything
     // else sees the graph — recovery may replace it with the newest
     // snapshot, and the unsnapshotted log tail replays below.
     let mut durable: Option<Durability> = None;
     let mut replay: Vec<GraphDelta> = Vec::new();
-    let graph = if let Some(dir) = &opts.data_dir {
+    let mut recovered_graph: Option<CsrGraph> = None;
+    if let Some(dir) = &opts.data_dir {
         if opts.shards.is_some() {
             return Err("--data-dir does not combine with --shards: shards are \
                         stateless workers behind a router — persist through the \
@@ -697,28 +938,37 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
             .snapshot_every(opts.snapshot_every)
             .retain(opts.retain);
         let config_blob = serve_config_blob(opts);
+        // Durability owns an in-RAM base copy; borrow the CSR directly
+        // when the backend is already one, materialize otherwise.
+        let base_owned;
+        let base: &CsrGraph = match store.as_csr() {
+            Some(csr) => csr,
+            None => {
+                base_owned = store.to_csr();
+                &base_owned
+            }
+        };
         let (d, recovered, report): (_, _, RecoveryReport) =
-            Durability::open(dir, &graph, config_blob.as_bytes(), store_opts)
+            Durability::open(dir, base, config_blob.as_bytes(), store_opts)
                 .map_err(|e| format!("{}: {e}", dir.display()))?;
         eprintln!("data dir {}: {}", dir.display(), report.summary());
         durable = Some(d);
-        match recovered {
-            Some(state) => {
-                if !state.config.is_empty() && state.config != config_blob.as_bytes() {
-                    eprintln!(
-                        "note: serve flags changed since {} was created \
-                         (snapshot recorded {:?})",
-                        dir.display(),
-                        String::from_utf8_lossy(&state.config),
-                    );
-                }
-                replay = state.replay;
-                state.graph
+        if let Some(state) = recovered {
+            if !state.config.is_empty() && state.config != config_blob.as_bytes() {
+                eprintln!(
+                    "note: serve flags changed since {} was created \
+                     (snapshot recorded {:?})",
+                    dir.display(),
+                    String::from_utf8_lossy(&state.config),
+                );
             }
-            None => graph,
+            replay = state.replay;
+            recovered_graph = Some(state.graph);
         }
-    } else {
-        graph
+    }
+    let graph: &dyn GraphStore = match &recovered_graph {
+        Some(g) => g,
+        None => store.as_ref(),
     };
     let cluster = opts.cluster()?;
     // With --scores the served predictor is a fused multi-score plan:
@@ -770,13 +1020,13 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
         return Err("--batch must be at least 1".into());
     }
     if opts.shards.is_some() {
-        return cmd_serve_sharded(opts, &graph, &cluster, events);
+        return cmd_serve_sharded(opts, graph, &cluster, events);
     }
     if opts.workers > 0 {
-        return cmd_serve_concurrent(opts, &graph, &cluster, predictor, events, durable, replay);
+        return cmd_serve_concurrent(opts, graph, &cluster, predictor, events, durable, replay);
     }
 
-    let mut server = Server::new(predictor, &graph, &cluster).map_err(|e| e.to_string())?;
+    let mut server = Server::new(predictor, graph, &cluster).map_err(|e| e.to_string())?;
     if let Some(d) = durable {
         // Fold the recovered log tail back in BEFORE attaching, so the
         // replayed deltas are not logged a second time.
@@ -868,7 +1118,7 @@ fn cmd_serve(opts: &Options) -> Result<(), String> {
 /// sequential server — and then swap in the post-delta epoch.
 fn cmd_serve_concurrent(
     opts: &Options,
-    graph: &CsrGraph,
+    graph: &dyn GraphStore,
     cluster: &ClusterSpec,
     predictor: &dyn Predictor,
     events: Vec<ServeEvent>,
@@ -1011,7 +1261,7 @@ fn cmd_serve_concurrent(
 /// bit-identical to the sequential and `--workers` paths.
 fn cmd_serve_sharded(
     opts: &Options,
-    graph: &CsrGraph,
+    graph: &dyn GraphStore,
     cluster: &ClusterSpec,
     events: Vec<ServeEvent>,
 ) -> Result<(), String> {

@@ -1,0 +1,279 @@
+//! Property tests for the billion-edge data plane:
+//!
+//! 1. a `SNPLG2` round trip is **bit-identical** to the in-memory
+//!    [`CsrGraph`] — including graphs that have been relabeled or
+//!    delta-compacted first (the shapes serving actually writes);
+//! 2. the out-of-core [`ExternalGraphBuilder`] produces exactly the
+//!    graph the in-RAM [`GraphBuilder`] produces, on arbitrary edge
+//!    lists and with chunk sizes small enough to force multi-run
+//!    spills and k-way merges;
+//! 3. SNAPLE prediction rows are bit-identical across the `csr`,
+//!    `file-csr`, and `varint` storage backends;
+//! 4. forged or truncated `SNPLG2` bytes are rejected with typed
+//!    errors on every open path — never a panic.
+
+use proptest::prelude::*;
+
+use snaple::core::{NamedScore, PredictRequest, Predictor, Snaple, SnapleConfig};
+use snaple::gas::ClusterSpec;
+use snaple::graph::relabel::Relabeling;
+use snaple::graph::{
+    compress, io, store, CompressedGraph, CsrGraph, ExternalGraphBuilder, FileCsr, GraphBuilder,
+    GraphDelta, GraphStore,
+};
+
+fn edges_strategy() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0u32..48, 0u32..48), 0..260)
+}
+
+fn weighted_edges_strategy() -> impl Strategy<Value = Vec<(u32, u32, f32)>> {
+    proptest::collection::vec((0u32..48, 0u32..48, 0.25f32..8.0), 0..260)
+}
+
+/// One prediction row: the source vertex and its ranked (target, score)
+/// pairs.
+type Row = (u32, Vec<(snaple::graph::VertexId, f32)>);
+
+fn build(edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new();
+    for &(u, v) in edges {
+        b.add_edge(u, v);
+    }
+    b.build()
+}
+
+/// Full structural equality between two stores: vertex/edge counts,
+/// out/in adjacency, and out-weights.
+fn assert_same_graph(a: &dyn GraphStore, b: &dyn GraphStore) {
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    assert_eq!(a.num_edges(), b.num_edges());
+    assert_eq!(a.is_weighted(), b.is_weighted());
+    for u in store::vertices(a) {
+        assert_eq!(a.out_neighbors(u), b.out_neighbors(u), "out row {u}");
+        assert_eq!(a.in_neighbors(u), b.in_neighbors(u), "in row {u}");
+        let wa: Option<Vec<f32>> = a.out_weights(u).map(|w| w.to_vec());
+        let wb: Option<Vec<f32>> = b.out_weights(u).map(|w| w.to_vec());
+        assert_eq!(wa, wb, "weights row {u}");
+    }
+}
+
+/// Unique scratch path per test case (proptest runs cases in one
+/// process, so the pid alone is not enough).
+fn scratch(tag: &str, case: u64) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("snaple-dp-{tag}-{}-{case}", std::process::id()))
+}
+
+proptest! {
+    /// SNPLG2 round trip == the in-memory graph, bit for bit, via both
+    /// the eager reader and the zero-parse `FileCsr` backend.
+    #[test]
+    fn snplg2_round_trips_bit_identical(edges in edges_strategy(), case in 0u64..u64::MAX) {
+        let g = build(&edges);
+        let mut buf = Vec::new();
+        io::write_binary(&g, &mut buf).unwrap();
+        prop_assert_eq!(&buf[..6], b"SNPLG2");
+
+        let eager = io::read_binary(&buf[..]).unwrap();
+        assert_same_graph(&g, &eager);
+
+        let path = scratch("rt", case);
+        std::fs::write(&path, &buf).unwrap();
+        let lazy = FileCsr::open(&path).unwrap();
+        assert_same_graph(&g, &lazy);
+        // Hydrating the file backend reproduces the original CsrGraph.
+        assert_same_graph(&g, &lazy.to_csr());
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The round trip also holds for the graph shapes serving writes:
+    /// degree-relabeled and delta-compacted graphs.
+    #[test]
+    fn relabeled_and_compacted_graphs_round_trip(
+        edges in edges_strategy(),
+        inserts in proptest::collection::vec((0u32..48, 0u32..48), 0..40),
+        removes in proptest::collection::vec((0u32..48, 0u32..48), 0..20),
+    ) {
+        let base = build(&edges);
+
+        let relabeled = Relabeling::degree_order(&base).apply(&base);
+        let mut buf = Vec::new();
+        io::write_binary(&relabeled, &mut buf).unwrap();
+        assert_same_graph(&relabeled, &io::read_binary(&buf[..]).unwrap());
+
+        let mut delta = GraphDelta::new();
+        for &(u, v) in &inserts {
+            delta.insert(u, v);
+        }
+        for &(u, v) in &removes {
+            delta.remove(u, v);
+        }
+        let compacted = base.compact(&delta);
+        let mut buf = Vec::new();
+        io::write_binary(&compacted, &mut buf).unwrap();
+        assert_same_graph(&compacted, &io::read_binary(&buf[..]).unwrap());
+    }
+
+    /// Weighted graphs keep exact (bit-level) weights through v2 and
+    /// through the varint-compressed flavor.
+    #[test]
+    fn weighted_round_trip_all_flavors(wedges in weighted_edges_strategy()) {
+        let mut b = GraphBuilder::new();
+        for &(u, v, w) in &wedges {
+            b.add_weighted_edge(u, v, w);
+        }
+        let g = b.build();
+
+        let mut raw = Vec::new();
+        io::write_binary(&g, &mut raw).unwrap();
+        assert_same_graph(&g, &io::read_binary(&raw[..]).unwrap());
+
+        let mut vz = Vec::new();
+        compress::write_v2_varint(&g, &mut vz).unwrap();
+        assert_same_graph(&g, &io::read_binary(&vz[..]).unwrap());
+    }
+
+    /// The chunk-spilling external builder builds exactly the graph the
+    /// in-RAM builder builds — tiny chunks force real spill runs and a
+    /// k-way merge.
+    #[test]
+    fn external_builder_matches_in_ram_builder(
+        edges in edges_strategy(),
+        chunk in 1usize..64,
+        sym in 0u32..2,
+        case in 0u64..u64::MAX,
+    ) {
+        let symmetrize = sym == 1;
+        let mut in_ram = GraphBuilder::new();
+        in_ram.symmetrize(symmetrize);
+        let mut ext = ExternalGraphBuilder::with_chunk_edges(chunk);
+        ext.symmetrize(symmetrize);
+        for &(u, v) in &edges {
+            in_ram.add_edge(u, v);
+            ext.add_edge(u, v).unwrap();
+        }
+        let expected = in_ram.build();
+
+        let path = scratch("ext", case);
+        let stats = ext.build(&path).unwrap();
+        let built = FileCsr::open(&path).unwrap();
+        prop_assert_eq!(stats.edges, expected.num_edges());
+        assert_same_graph(&expected, &built);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// SNAPLE prediction rows are bit-identical whichever storage
+    /// backend serves the adjacency.
+    #[test]
+    fn predictions_identical_across_backends(
+        edges in proptest::collection::vec((0u32..32, 0u32..32), 10..120),
+        case in 0u64..u64::MAX,
+    ) {
+        let g = build(&edges);
+        let mut raw = Vec::new();
+        io::write_binary(&g, &mut raw).unwrap();
+        let path = scratch("pred", case);
+        std::fs::write(&path, &raw).unwrap();
+        let file_csr = FileCsr::open(&path).unwrap();
+        let varint = {
+            let mut vz = Vec::new();
+            compress::write_v2_varint(&g, &mut vz).unwrap();
+            let vz_path = scratch("predvz", case);
+            std::fs::write(&vz_path, &vz).unwrap();
+            let c = CompressedGraph::open(&vz_path).unwrap();
+            std::fs::remove_file(&vz_path).ok();
+            c
+        };
+
+        let cluster = ClusterSpec::type_i(2);
+        let snaple = Snaple::new(
+            SnapleConfig::new(NamedScore::LinearSum).k(4).klocal(Some(8)).seed(7),
+        );
+        let backends: [&dyn GraphStore; 3] = [&g, &file_csr, &varint];
+        let mut reference: Option<Vec<Row>> = None;
+        for backend in backends {
+            let pred = snaple.predict(&PredictRequest::new(backend, &cluster)).unwrap();
+            let rows: Vec<Row> = store::vertices(backend)
+                .map(|v| (v.as_u32(), pred.for_vertex(v).to_vec()))
+                .collect();
+            match &reference {
+                None => reference = Some(rows),
+                Some(expected) => prop_assert_eq!(
+                    expected,
+                    &rows,
+                    "rows diverged on backend {}",
+                    backend.backend_name()
+                ),
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncations and bit flips of SNPLG2 bytes (both flavors) are
+    /// rejected with typed errors on every open path — never a panic.
+    #[test]
+    fn forged_snplg2_never_panics(
+        edges in edges_strategy(),
+        cut in 0usize..4096,
+        flip in 0usize..4096,
+        case in 0u64..u64::MAX,
+    ) {
+        let g = build(&edges);
+        let mut raw = Vec::new();
+        io::write_binary(&g, &mut raw).unwrap();
+        let mut vz = Vec::new();
+        compress::write_v2_varint(&g, &mut vz).unwrap();
+
+        let path = scratch("forge", case);
+        for buf in [&raw, &vz] {
+            // Truncation: error or valid graph, never a panic.
+            let cut = cut.min(buf.len());
+            let _ = io::read_binary(&buf[..cut]);
+            std::fs::write(&path, &buf[..cut]).unwrap();
+            let _ = FileCsr::open(&path);
+            let _ = CompressedGraph::open(&path);
+            let _ = io::open_store(&path);
+            // Bit flip: same.
+            if !buf.is_empty() {
+                let mut forged = (*buf).clone();
+                let i = flip % forged.len();
+                forged[i] ^= 0x5a;
+                let _ = io::read_binary(&forged[..]);
+                std::fs::write(&path, &forged).unwrap();
+                let _ = FileCsr::open(&path);
+                let _ = CompressedGraph::open(&path);
+                let _ = io::open_store(&path);
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+/// `FileCsr` refuses to open a varint-flavored file (the zero-parse
+/// contract only holds for raw sections) and `CompressedGraph` refuses
+/// a raw one — both with typed errors naming the right entry point.
+#[test]
+fn flavor_mismatch_is_a_typed_error() {
+    let g = build(&[(0, 1), (1, 2), (2, 0)]);
+    let dir = std::env::temp_dir();
+    let raw_path = dir.join(format!("snaple-dp-flavor-raw-{}.snplg", std::process::id()));
+    let vz_path = dir.join(format!("snaple-dp-flavor-vz-{}.snplg", std::process::id()));
+
+    let mut raw = Vec::new();
+    io::write_binary(&g, &mut raw).unwrap();
+    std::fs::write(&raw_path, &raw).unwrap();
+    let mut vz = Vec::new();
+    compress::write_v2_varint(&g, &mut vz).unwrap();
+    std::fs::write(&vz_path, &vz).unwrap();
+
+    assert!(CompressedGraph::open(&raw_path).is_err());
+    assert!(FileCsr::open(&vz_path).is_err());
+    // open_store dispatches both correctly.
+    assert_eq!(
+        io::open_store(&raw_path).unwrap().backend_name(),
+        "file-csr"
+    );
+    assert_eq!(io::open_store(&vz_path).unwrap().backend_name(), "varint");
+
+    std::fs::remove_file(&raw_path).ok();
+    std::fs::remove_file(&vz_path).ok();
+}
